@@ -1,0 +1,89 @@
+// §3.1 ablation: column-order sensitivity and multi-order ensembling.
+//
+// The paper notes the autoregressive model "can be architected to use any
+// ordering(s) of the attributes" and ships the table order. This bench
+// quantifies what the choice costs: it trains K models over K different
+// orders, evaluates each alone, and evaluates the K-way ensemble at a
+// MATCHED total sample budget (each member gets budget/K progressive
+// paths). Per-query variance depends on where the filtered columns fall in
+// the walk order, so averaging across orders flattens the error tail —
+// the effect NeuroCard later exploited.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t kOrders = 4;
+  const size_t kTotalSamples = 2000;
+  PrintBanner(
+      "Ablation (§3.1): column orderings and multi-order ensembles",
+      StrFormat("DMV rows=%zu queries=%zu orders=%zu total-samples=%zu",
+                env.dmv_rows / 2, env.queries / 2, kOrders, kTotalSamples));
+
+  Table table = MakeDmvLike(env.dmv_rows / 2, env.seed);
+  Workload workload =
+      MakeWorkload(table, env.queries / 2, env.seed + 31);
+
+  MultiOrderConfig cfg;
+  cfg.num_orders = kOrders;
+  cfg.model = DmvModelConfig(env.seed + 7);
+  cfg.trainer.epochs = std::max<size_t>(env.epochs / 2, 3);
+  cfg.estimator.num_samples = kTotalSamples / kOrders;
+  cfg.order_seed = env.seed + 91;
+  MultiOrderEnsemble ensemble(table, cfg);
+  std::printf("# trained %zu members (%s total)\n", ensemble.num_members(),
+              HumanBytes(ensemble.SizeBytes()).c_str());
+
+  // Each member alone, at the FULL budget (order sensitivity)...
+  std::vector<std::unique_ptr<ErrorReport>> reports;
+  for (size_t k = 0; k < kOrders; ++k) {
+    auto rep = std::make_unique<ErrorReport>(StrFormat("order-%zu", k));
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      // Scale member estimates to the full budget by averaging repeats.
+      double est = 0;
+      for (size_t rep_i = 0; rep_i < kOrders; ++rep_i) {
+        est += ensemble.MemberEstimate(k, workload.queries[qi]);
+      }
+      est /= static_cast<double>(kOrders);
+      rep->Add(est * static_cast<double>(table.num_rows()),
+               static_cast<double>(workload.cards[qi]),
+               workload.sels[qi]);
+    }
+    reports.push_back(std::move(rep));
+  }
+
+  // ...vs the ensemble at the same total budget.
+  auto ens_rep = std::make_unique<ErrorReport>(
+      StrFormat("ensemble-%zux%zu", kOrders, kTotalSamples / kOrders));
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    const double est = ensemble.EstimateSelectivity(workload.queries[qi]);
+    ens_rep->Add(est * static_cast<double>(table.num_rows()),
+                 static_cast<double>(workload.cards[qi]),
+                 workload.sels[qi]);
+  }
+  reports.push_back(std::move(ens_rep));
+
+  std::vector<const ErrorReport*> ptrs;
+  for (const auto& r : reports) ptrs.push_back(r.get());
+  PrintErrorTable("Per-order estimators vs multi-order ensemble "
+                  "(matched total sample budget)",
+                  ptrs);
+  std::printf(
+      "# expected shape: individual orders differ noticeably at the tail; "
+      "the ensemble\n# tracks (or beats) the best single order without "
+      "knowing which one that is.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

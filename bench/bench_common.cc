@@ -1,0 +1,136 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  env.dmv_rows = static_cast<size_t>(GetEnvInt("NARU_DMV_ROWS", 40000));
+  env.conva_rows = static_cast<size_t>(GetEnvInt("NARU_CONVA_ROWS", 20000));
+  env.convb_rows = static_cast<size_t>(GetEnvInt("NARU_CONVB_ROWS", 10000));
+  env.queries = static_cast<size_t>(GetEnvInt("NARU_QUERIES", 60));
+  env.epochs = static_cast<size_t>(GetEnvInt("NARU_EPOCHS", 10));
+  env.mscn_queries =
+      static_cast<size_t>(GetEnvInt("NARU_MSCN_QUERIES", 800));
+  env.seed = static_cast<uint64_t>(GetEnvInt("NARU_SEED", 42));
+  return env;
+}
+
+Workload MakeWorkload(const Table& table, size_t num_queries, uint64_t seed,
+                      bool out_of_distribution, size_t min_filters,
+                      size_t max_filters) {
+  WorkloadConfig cfg;
+  cfg.num_queries = num_queries;
+  cfg.min_filters = min_filters;
+  cfg.max_filters = max_filters;
+  cfg.out_of_distribution = out_of_distribution;
+  cfg.seed = seed;
+  Workload w;
+  w.queries = GenerateWorkload(table, cfg);
+  w.cards = ExecuteCounts(table, w.queries);
+  w.sels.reserve(w.cards.size());
+  for (int64_t c : w.cards) {
+    w.sels.push_back(static_cast<double>(c) /
+                     static_cast<double>(table.num_rows()));
+  }
+  return w;
+}
+
+std::vector<size_t> TableDomains(const Table& table) {
+  std::vector<size_t> domains;
+  domains.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    domains.push_back(table.column(c).DomainSize());
+  }
+  return domains;
+}
+
+MadeModel::Config DmvModelConfig(uint64_t seed) {
+  MadeModel::Config cfg;
+  // Scaled-down analogue of the paper's 5-layer DMV MLP.
+  cfg.hidden_sizes = {128, 128, 128, 128};
+  cfg.encoder.onehot_threshold = 64;
+  cfg.encoder.embed_dim = 32;
+  cfg.embedding_reuse = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+MadeModel::Config ConvivaAModelConfig(uint64_t seed) {
+  MadeModel::Config cfg;
+  // The paper's Conviva-A model: 4 hidden layers of 128, h = 64.
+  cfg.hidden_sizes = {128, 128, 128, 128};
+  cfg.encoder.onehot_threshold = 64;
+  cfg.encoder.embed_dim = 32;
+  cfg.embedding_reuse = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<MadeModel> TrainModel(const Table& table,
+                                      MadeModel::Config config,
+                                      size_t epochs,
+                                      const std::string& tag) {
+  auto model = std::make_unique<MadeModel>(TableDomains(table), config);
+  TrainerConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.batch_size = 512;
+  tcfg.lr = 2e-3;
+  tcfg.lr_decay = 0.92;
+  Trainer trainer(model.get(), tcfg);
+  Stopwatch sw;
+  const auto curve = trainer.Train(table);
+  std::printf("# trained %s: %zu epochs in %.1fs, NLL %.2f -> %.2f bits\n",
+              tag.c_str(), epochs, sw.ElapsedSeconds(), curve.front(),
+              curve.back());
+  return model;
+}
+
+void EvaluateEstimator(Estimator* est, const Workload& workload,
+                       size_t num_rows, ErrorReport* report,
+                       QuantileSketch* latency_ms) {
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    Stopwatch sw;
+    const double sel = est->EstimateSelectivity(workload.queries[i]);
+    if (latency_ms != nullptr) latency_ms->Add(sw.ElapsedMillis());
+    report->Add(sel * static_cast<double>(num_rows),
+                static_cast<double>(workload.cards[i]), workload.sels[i]);
+  }
+}
+
+void PrintErrorTable(const std::string& title,
+                     const std::vector<const ErrorReport*>& reports) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", ErrorReport::FormatHeader().c_str());
+  std::printf("%s\n",
+              std::string(14 + 3 * (3 + 4 * 9), '-').c_str());
+  for (const auto* r : reports) {
+    std::printf("%s\n", r->FormatRow().c_str());
+  }
+}
+
+void PrintBanner(const std::string& experiment, const std::string& detail) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", detail.c_str());
+  std::printf("==============================================================\n");
+}
+
+size_t BudgetBytes(const Table& table, double fraction) {
+  const double raw = static_cast<double>(table.EstimatedRawBytes());
+  return std::max<size_t>(static_cast<size_t>(raw * fraction), 256 * 1024);
+}
+
+size_t SampleRows(const Table& table, double fraction) {
+  return std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(table.num_rows()) * fraction),
+      32);
+}
+
+}  // namespace bench
+}  // namespace naru

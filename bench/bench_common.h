@@ -1,0 +1,92 @@
+// Shared scaffolding for the per-table/per-figure benchmark binaries.
+//
+// Every bench runs at laptop scale by default and scales toward the paper's
+// setup through environment variables:
+//   NARU_DMV_ROWS        rows of the DMV-like table        (default 40000)
+//   NARU_CONVA_ROWS      rows of the Conviva-A-like table  (default 20000)
+//   NARU_CONVB_ROWS      rows of the Conviva-B-like table  (default 10000)
+//   NARU_QUERIES         evaluation queries per workload   (default 60)
+//   NARU_EPOCHS          Naru training epochs              (default 10)
+//   NARU_MSCN_QUERIES    MSCN training queries             (default 800)
+//   NARU_SEED            global experiment seed            (default 42)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/made.h"
+#include "core/naru_estimator.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "estimator/estimator.h"
+#include "query/executor.h"
+#include "query/metrics.h"
+#include "query/workload.h"
+#include "util/env_config.h"
+#include "util/quantile.h"
+#include "util/stopwatch.h"
+
+namespace naru {
+namespace bench {
+
+/// Environment-resolved experiment scale.
+struct BenchEnv {
+  size_t dmv_rows;
+  size_t conva_rows;
+  size_t convb_rows;
+  size_t queries;
+  size_t epochs;
+  size_t mscn_queries;
+  uint64_t seed;
+};
+BenchEnv GetBenchEnv();
+
+/// A workload with ground truth attached.
+struct Workload {
+  std::vector<Query> queries;
+  std::vector<int64_t> cards;
+  std::vector<double> sels;
+};
+
+/// Generates queries per §6.1.3 and executes them for ground truth.
+Workload MakeWorkload(const Table& table, size_t num_queries, uint64_t seed,
+                      bool out_of_distribution = false,
+                      size_t min_filters = 5, size_t max_filters = 11);
+
+std::vector<size_t> TableDomains(const Table& table);
+
+/// Paper-inspired model configs scaled to the bench defaults.
+MadeModel::Config DmvModelConfig(uint64_t seed);
+MadeModel::Config ConvivaAModelConfig(uint64_t seed);
+
+/// Trains and returns a model, logging per-epoch NLL.
+std::unique_ptr<MadeModel> TrainModel(const Table& table,
+                                      MadeModel::Config config,
+                                      size_t epochs, const std::string& tag);
+
+/// Runs `est` over the workload, filling the error report and (optionally)
+/// per-query latency in milliseconds.
+void EvaluateEstimator(Estimator* est, const Workload& workload,
+                       size_t num_rows, ErrorReport* report,
+                       QuantileSketch* latency_ms = nullptr);
+
+/// Prints the paper-style grouped error table.
+void PrintErrorTable(const std::string& title,
+                     const std::vector<const ErrorReport*>& reports);
+
+/// Prints a banner for the experiment.
+void PrintBanner(const std::string& experiment, const std::string& detail);
+
+/// Storage budget for a dataset: `fraction` of the raw table bytes, floored
+/// so miniature runs keep baselines functional (sizes are printed so the
+/// comparison stays honest).
+size_t BudgetBytes(const Table& table, double fraction);
+
+/// Row count for sampling-family estimators: `fraction` of the table's
+/// rows (the paper's 1.3% / 0.7% budgets), NOT floored -- the point of the
+/// Sample baseline is that small samples miss rare tuples.
+size_t SampleRows(const Table& table, double fraction);
+
+}  // namespace bench
+}  // namespace naru

@@ -1,0 +1,64 @@
+// Figure 4: distribution of true query selectivities for the generated
+// workloads (DMV and Conviva-A). The §6.1.3 generator must cover a wide
+// spectrum from <=0.1% to tens of percent.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+void PrintCdf(const std::string& name, std::vector<double> sels) {
+  std::sort(sels.begin(), sels.end());
+  std::printf("\n%s (n=%zu): selectivity CDF\n", name.c_str(), sels.size());
+  std::printf("%-12s %s\n", "sel <=", "fraction of queries");
+  for (double threshold :
+       {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0}) {
+    const auto it = std::upper_bound(sels.begin(), sels.end(), threshold);
+    const double frac = static_cast<double>(it - sels.begin()) /
+                        static_cast<double>(sels.size());
+    std::printf("%-12g %.3f %s\n", threshold, frac,
+                std::string(static_cast<size_t>(frac * 40), '#').c_str());
+  }
+  size_t high = 0;
+  size_t medium = 0;
+  size_t low = 0;
+  for (double s : sels) {
+    switch (BucketForSelectivity(s)) {
+      case SelectivityBucket::kHigh:
+        ++high;
+        break;
+      case SelectivityBucket::kMedium:
+        ++medium;
+        break;
+      case SelectivityBucket::kLow:
+        ++low;
+        break;
+    }
+  }
+  std::printf("buckets: high(>2%%)=%zu medium(0.5-2%%)=%zu low(<=0.5%%)=%zu\n",
+              high, medium, low);
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 4: distribution of query selectivities",
+              StrFormat("queries=%zu per dataset", env.queries));
+
+  Table dmv = MakeDmvLike(env.dmv_rows, env.seed);
+  PrintCdf("DMV", MakeWorkload(dmv, env.queries, env.seed + 1).sels);
+
+  Table conviva = MakeConvivaALike(env.conva_rows, env.seed);
+  PrintCdf("Conviva-A",
+           MakeWorkload(conviva, env.queries, env.seed + 1).sels);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

@@ -1,0 +1,81 @@
+// Figure 5: training time vs estimation quality.
+//
+// After every epoch, reports (a) the entropy gap in bits and (b) the max
+// q-error over the evaluation workload. Expected shape: both fall rapidly
+// in the first epochs, then flatten (1 epoch already yields a usable DMV
+// estimator in the paper).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/entropy.h"
+#include "data/table_stats.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+void RunCurve(const Table& table, MadeModel::Config config, size_t epochs,
+              size_t num_samples, const Workload& test,
+              const std::string& tag) {
+  const double h_data = TableStats::JointEntropyBits(table);
+  std::printf("\n%s: |T|=%zu H(P)=%.2f bits, Naru-%zu\n", tag.c_str(),
+              table.num_rows(), h_data, num_samples);
+  std::printf("%-6s %-14s %-14s %-12s %-10s\n", "epoch", "train NLL(bits)",
+              "entropy gap", "max q-err", "epoch(s)");
+
+  MadeModel model(TableDomains(table), config);
+  TrainerConfig tcfg;
+  tcfg.batch_size = 512;
+  tcfg.lr = 2e-3;
+  tcfg.epochs = 1;
+  Trainer trainer(&model, tcfg);
+
+  const size_t n = table.num_rows();
+  for (size_t epoch = 1; epoch <= epochs; ++epoch) {
+    Stopwatch sw;
+    const double nll_bits = trainer.RunEpoch(table);
+    const double secs = sw.ElapsedSeconds();
+    const double gap =
+        ModelCrossEntropyBits(&model, table, /*max_rows=*/10000) - h_data;
+
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = num_samples;
+    NaruEstimator est(&model, ncfg, 0);
+    double max_err = 0;
+    for (size_t i = 0; i < test.queries.size(); ++i) {
+      const double est_card = est.EstimateSelectivity(test.queries[i]) *
+                              static_cast<double>(n);
+      max_err = std::max(
+          max_err, QError(est_card, static_cast<double>(test.cards[i])));
+    }
+    std::printf("%-6zu %-14.3f %-14.3f %-12s %-10.1f\n", epoch, nll_bits,
+                gap, FormatPaperNumber(max_err).c_str(), secs);
+  }
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Figure 5: training time vs quality",
+              StrFormat("epochs=%zu queries=%zu", env.epochs, env.queries));
+
+  const size_t queries = std::min<size_t>(env.queries, 30);
+
+  Table dmv = MakeDmvLike(env.dmv_rows, env.seed);
+  const Workload dmv_test = MakeWorkload(dmv, queries, env.seed + 1);
+  RunCurve(dmv, DmvModelConfig(env.seed + 5), std::min<size_t>(env.epochs, 5), 2000, dmv_test,
+           "(a) DMV");
+
+  Table conviva = MakeConvivaALike(env.conva_rows, env.seed);
+  const Workload conviva_test =
+      MakeWorkload(conviva, queries, env.seed + 1, false, 5, 11);
+  RunCurve(conviva, ConvivaAModelConfig(env.seed + 5), std::min<size_t>(env.epochs, 5), 4000,
+           conviva_test, "(b) Conviva-A");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

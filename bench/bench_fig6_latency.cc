@@ -1,0 +1,92 @@
+// Figure 6: per-query estimation latency CDFs on DMV.
+//
+// The paper's observation: Naru answers in ~10ms-class latency (here on
+// CPU), flat across queries because every query walks all columns; scan-
+// based estimators' latency scales with the sample and filter count.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimator/dbms1.h"
+#include "estimator/indep.h"
+#include "estimator/kde.h"
+#include "estimator/mscn.h"
+#include "estimator/postgres1d.h"
+#include "estimator/sample.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+void PrintLatencyRow(const std::string& name, const QuantileSketch& ms) {
+  std::printf("%-14s %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),
+              ms.Quantile(0.25), ms.Quantile(0.5), ms.Quantile(0.75),
+              ms.Quantile(0.95), ms.Quantile(0.99));
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t queries = std::min<size_t>(env.queries, 40);
+  PrintBanner("Figure 6: estimator latency (ms, CPU)",
+              StrFormat("rows=%zu queries=%zu", env.dmv_rows, queries));
+
+  Table table = MakeDmvLike(env.dmv_rows, env.seed);
+  const size_t n = table.num_rows();
+  const size_t budget = BudgetBytes(table, 0.013);
+  const Workload test = MakeWorkload(table, queries, env.seed + 1);
+  const Workload train = MakeWorkload(table, 500, env.seed + 1000);
+
+  std::printf("\n%-14s %8s %8s %8s %8s %8s\n", "Estimator", "p25", "p50",
+              "p75", "p95", "p99");
+
+  auto measure = [&](Estimator* est) {
+    ErrorReport report(est->name());
+    QuantileSketch latency;
+    EvaluateEstimator(est, test, n, &report, &latency);
+    PrintLatencyRow(est->name(), latency);
+  };
+
+  Postgres1dEstimator postgres(table);
+  measure(&postgres);
+
+  Dbms1Estimator dbms1(table);
+  measure(&dbms1);
+
+  auto sample = SampleEstimator(table, SampleRows(table, 0.013), env.seed + 2);
+  measure(&sample);
+
+  auto kde = KdeEstimator(table, SampleRows(table, 0.013), env.seed + 3);
+  measure(&kde);
+
+  MscnConfig mcfg;
+  mcfg.sample_rows = 1000;
+  mcfg.seed = env.seed + 4;
+  MscnEstimator mscn(table, mcfg);
+  mscn.Train(train.queries, train.cards);
+  measure(&mscn);
+
+  MscnConfig big = mcfg;
+  big.sample_rows = 10000;
+  big.name = "MSCN-10K";
+  MscnEstimator mscn10k(table, big);
+  mscn10k.Train(train.queries, train.cards);
+  measure(&mscn10k);
+
+  auto model = TrainModel(table, DmvModelConfig(env.seed + 5), env.epochs,
+                          "Naru(DMV)");
+  for (size_t samples : {size_t{1000}, size_t{2000}}) {
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = samples;
+    ncfg.enumeration_threshold = 0;  // pure sampling path for latency
+    NaruEstimator est(model.get(), ncfg, model->SizeBytes());
+    measure(&est);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

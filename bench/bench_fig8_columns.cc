@@ -1,0 +1,81 @@
+// Figure 8: accuracy vs number of columns (5..100) on Conviva-B with an
+// exact oracle model.
+//
+// Expected shape: variance grows with column count, but a tractable number
+// of progressive sample paths keeps worst-case error bounded even at 100
+// columns / 10^190 joint space; more paths help monotonically.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/oracle_model.h"
+#include "estimator/indep.h"
+#include "estimator/sample.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+double MaxError(Estimator* est, const Workload& w, size_t n) {
+  double max_err = 1.0;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const double est_card =
+        est->EstimateSelectivity(w.queries[i]) * static_cast<double>(n);
+    max_err = std::max(
+        max_err, QError(est_card, static_cast<double>(w.cards[i])));
+  }
+  return max_err;
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t queries =
+      static_cast<size_t>(GetEnvInt("NARU_FIG8_QUERIES", 15));
+  // Paper uses 10000 paths for the top line; default trimmed for runtime.
+  const size_t max_paths =
+      static_cast<size_t>(GetEnvInt("NARU_FIG8_PATHS", 4000));
+  PrintBanner("Figure 8: accuracy vs column count (Conviva-B, oracle model)",
+              StrFormat("rows=%zu queries=%zu", env.convb_rows, queries));
+
+  Table full = MakeConvivaBLike(env.convb_rows, env.seed);
+  const size_t n = full.num_rows();
+
+  std::printf("\n%-8s %-10s %-12s %-12s %-12s %-10s %-12s\n", "cols",
+              "joint", "Naru-100", "Naru-1000",
+              StrFormat("Naru-%zu", max_paths).c_str(), "Indep",
+              "Sample(1%)");
+  for (size_t cols : {size_t{5}, size_t{15}, size_t{30}, size_t{50},
+                      size_t{75}, size_t{100}}) {
+    Table table = full.Slice(0, n, cols);
+    // Predicates cover at most 12 columns (paper setup).
+    const Workload test =
+        MakeWorkload(table, queries, env.seed + cols, false,
+                     std::min<size_t>(5, cols), std::min<size_t>(12, cols));
+    OracleModel oracle(&table, 0.0);
+
+    std::printf("%-8zu 10^%-7.0f", cols, table.Log10JointSpaceSize());
+    for (size_t paths : {size_t{100}, size_t{1000}, max_paths}) {
+      NaruEstimatorConfig ncfg;
+      ncfg.num_samples = paths;
+      ncfg.enumeration_threshold = 0;
+      ncfg.sampler_seed = env.seed + 6;
+      NaruEstimator est(&oracle, ncfg, 0, StrFormat("Naru-%zu", paths));
+      std::printf(" %-12s",
+                  FormatPaperNumber(MaxError(&est, test, n)).c_str());
+    }
+    IndepEstimator indep(table);
+    SampleEstimator sample(table, std::max<size_t>(n / 100, 16),
+                           env.seed + 2);
+    std::printf(" %-10s %-12s\n",
+                FormatPaperNumber(MaxError(&indep, test, n)).c_str(),
+                FormatPaperNumber(MaxError(&sample, test, n)).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

@@ -1,0 +1,138 @@
+// Table 3: estimation errors on DMV across all estimator families.
+//
+// Reproduces the paper's headline comparison: q-error quantiles grouped by
+// true selectivity for Hist, Indep, Postgres, DBMS-1, Sample, KDE,
+// KDE-superv, MSCN-{base,0,10K} and Naru-{1000,2000}. Expected shape:
+// independence-based estimators blow up at tail; Sample/MSCN collapse on
+// low selectivity; Naru stays single-digit at the tail.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimator/bayesnet.h"
+#include "estimator/dbms1.h"
+#include "estimator/hist_nd.h"
+#include "estimator/indep.h"
+#include "estimator/kde.h"
+#include "estimator/mscn.h"
+#include "estimator/postgres1d.h"
+#include "estimator/sample.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Table 3: estimation errors on DMV",
+              StrFormat("rows=%zu queries=%zu epochs=%zu (env NARU_*)",
+                        env.dmv_rows, env.queries, env.epochs));
+
+  Table table = MakeDmvLike(env.dmv_rows, env.seed);
+  const size_t n = table.num_rows();
+  const size_t budget = BudgetBytes(table, 0.013);  // paper: 1.3% of data
+  std::printf("# joint space 10^%.1f, budget %s\n",
+              table.Log10JointSpaceSize(), HumanBytes(budget).c_str());
+
+  const Workload test = MakeWorkload(table, env.queries, env.seed + 1);
+  // Training workloads for the supervised baselines (disjoint seed).
+  const Workload train =
+      MakeWorkload(table, env.mscn_queries, env.seed + 1000);
+
+  std::vector<std::unique_ptr<ErrorReport>> reports;
+  std::vector<std::pair<std::string, size_t>> sizes;
+  auto evaluate = [&](Estimator* est) {
+    reports.push_back(std::make_unique<ErrorReport>(est->name()));
+    EvaluateEstimator(est, test, n, reports.back().get());
+    sizes.emplace_back(est->name(), est->SizeBytes());
+  };
+
+  HistNdEstimator hist(table, budget);
+  evaluate(&hist);
+
+  IndepEstimator indep(table);
+  evaluate(&indep);
+
+  Postgres1dEstimator postgres(table);
+  evaluate(&postgres);
+
+  Dbms1Estimator dbms1(table);
+  evaluate(&dbms1);
+
+  // Extension row (not in the paper's Table 3): the classic PRM-family
+  // baseline — a Chow-Liu tree with exact inference. Captures pairwise
+  // structure, so it sits between the independence family and Naru.
+  BayesNetEstimator bayesnet(table);
+  evaluate(&bayesnet);
+
+  auto sample = SampleEstimator(table, SampleRows(table, 0.013), env.seed + 2);
+  evaluate(&sample);
+
+  auto kde = KdeEstimator(table, SampleRows(table, 0.013), env.seed + 3);
+  evaluate(&kde);
+
+  auto kde_superv =
+      KdeEstimator(table, SampleRows(table, 0.013), env.seed + 3, "KDE-superv");
+  {
+    // Tune on a slice of the training workload (query feedback).
+    const size_t tune = std::min<size_t>(train.queries.size(), 300);
+    std::vector<Query> tq(train.queries.begin(),
+                          train.queries.begin() + tune);
+    std::vector<double> ts(train.sels.begin(), train.sels.begin() + tune);
+    KdeSupervisedTune(&kde_superv, tq, ts, /*rounds=*/2);
+  }
+  evaluate(&kde_superv);
+
+  auto train_mscn = [&](MscnConfig cfg) {
+    auto mscn = std::make_unique<MscnEstimator>(table, cfg);
+    mscn->Train(train.queries, train.cards);
+    return mscn;
+  };
+  MscnConfig base_cfg;
+  base_cfg.sample_rows = 1000;
+  base_cfg.name = "MSCN-base";
+  base_cfg.seed = env.seed + 4;
+  auto mscn_base = train_mscn(base_cfg);
+  evaluate(mscn_base.get());
+
+  MscnConfig zero_cfg = base_cfg;
+  zero_cfg.sample_rows = 0;
+  zero_cfg.name = "MSCN-0";
+  auto mscn_0 = train_mscn(zero_cfg);
+  evaluate(mscn_0.get());
+
+  MscnConfig big_cfg = base_cfg;
+  big_cfg.sample_rows = 10000;
+  big_cfg.name = "MSCN-10K";
+  auto mscn_10k = train_mscn(big_cfg);
+  evaluate(mscn_10k.get());
+
+  auto model = TrainModel(table, DmvModelConfig(env.seed + 5), env.epochs,
+                          "Naru(DMV)");
+  for (size_t samples : {size_t{1000}, size_t{2000}}) {
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = samples;
+    ncfg.sampler_seed = env.seed + 6;
+    NaruEstimator est(model.get(), ncfg, model->SizeBytes());
+    evaluate(&est);
+  }
+
+  std::vector<const ErrorReport*> rows;
+  for (const auto& r : reports) rows.push_back(r.get());
+  PrintErrorTable("Errors grouped by true selectivity "
+                  "(median / 95th / 99th / max):",
+                  rows);
+
+  std::printf("\nEstimator sizes:\n");
+  for (const auto& [name, bytes] : sizes) {
+    std::printf("  %-14s %s\n", name.c_str(), HumanBytes(bytes).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

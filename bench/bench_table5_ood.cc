@@ -1,0 +1,101 @@
+// Table 5: robustness to out-of-distribution queries on DMV.
+//
+// Literals are drawn uniformly from the whole joint domain, so ~all queries
+// match nothing. MSCN (supervised on in-distribution queries) degrades
+// badly; Sample/KDE correctly return ~0; Naru, having modeled the data
+// distribution itself, assigns near-zero mass off-distribution.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimator/kde.h"
+#include "estimator/mscn.h"
+#include "estimator/sample.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+void PrintQuantRow(const std::string& name, const QuantileSketch& s) {
+  std::printf("%-14s %8s %8s %8s %8s\n", name.c_str(),
+              FormatPaperNumber(s.Quantile(0.5)).c_str(),
+              FormatPaperNumber(s.Quantile(0.95)).c_str(),
+              FormatPaperNumber(s.Quantile(0.99)).c_str(),
+              FormatPaperNumber(s.Quantile(1.0)).c_str());
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  PrintBanner("Table 5: robustness to out-of-distribution queries (DMV)",
+              StrFormat("rows=%zu queries=%zu", env.dmv_rows, env.queries));
+
+  Table table = MakeDmvLike(env.dmv_rows, env.seed);
+  const size_t n = table.num_rows();
+  const size_t budget = BudgetBytes(table, 0.013);
+
+  const Workload ood = MakeWorkload(table, env.queries, env.seed + 7,
+                                    /*out_of_distribution=*/true, 8, 11);
+  size_t zero_card = 0;
+  for (int64_t c : ood.cards) {
+    if (c == 0) ++zero_card;
+  }
+  std::printf("# %.0f%% of OOD queries have true cardinality 0\n",
+              100.0 * static_cast<double>(zero_card) /
+                  static_cast<double>(ood.cards.size()));
+
+  // In-distribution training data for the supervised baselines.
+  const Workload train =
+      MakeWorkload(table, env.mscn_queries, env.seed + 1000);
+
+  auto q_errors = [&](Estimator* est) {
+    QuantileSketch s;
+    for (size_t i = 0; i < ood.queries.size(); ++i) {
+      const double est_card =
+          est->EstimateSelectivity(ood.queries[i]) * static_cast<double>(n);
+      s.Add(QError(est_card, static_cast<double>(ood.cards[i])));
+    }
+    return s;
+  };
+
+  std::printf("\n%-14s %8s %8s %8s %8s\n", "Estimator", "Median", "95th",
+              "99th", "Max");
+
+  MscnConfig mcfg;
+  mcfg.sample_rows = 10000;
+  mcfg.name = "MSCN-10K";
+  mcfg.seed = env.seed + 4;
+  MscnEstimator mscn(table, mcfg);
+  mscn.Train(train.queries, train.cards);
+  PrintQuantRow(mscn.name(), q_errors(&mscn));
+
+  auto kde_superv =
+      KdeEstimator(table, SampleRows(table, 0.013), env.seed + 3, "KDE-superv");
+  {
+    const size_t tune = std::min<size_t>(train.queries.size(), 300);
+    std::vector<Query> tq(train.queries.begin(),
+                          train.queries.begin() + tune);
+    std::vector<double> ts(train.sels.begin(), train.sels.begin() + tune);
+    KdeSupervisedTune(&kde_superv, tq, ts, 2);
+  }
+  PrintQuantRow(kde_superv.name(), q_errors(&kde_superv));
+
+  auto sample = SampleEstimator(table, SampleRows(table, 0.013), env.seed + 2);
+  PrintQuantRow(sample.name(), q_errors(&sample));
+
+  auto model = TrainModel(table, DmvModelConfig(env.seed + 5), env.epochs,
+                          "Naru(DMV)");
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 2000;
+  ncfg.sampler_seed = env.seed + 6;
+  NaruEstimator nar(model.get(), ncfg, model->SizeBytes());
+  PrintQuantRow(nar.name(), q_errors(&nar));
+
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

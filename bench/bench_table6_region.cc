@@ -1,0 +1,102 @@
+// Table 6: query region sizes vs estimated enumeration latency vs Naru's
+// actual progressive-sampling latency, at the workload's 99th percentile.
+//
+// Enumeration cost is modeled as (points in region) / (measured model
+// point-likelihood throughput) -- exactly how the paper derives its
+// ">1000 hr" estimates; progressive sampling answers the same queries in
+// milliseconds.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/entropy.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+struct RegionRow {
+  double log10_region_p99;
+  double enum_hours;
+  double naru_ms_p99;
+};
+
+RegionRow Measure(const Table& table, MadeModel* model,
+                  const Workload& test, size_t num_samples) {
+  // Region sizes at the 99th percentile.
+  QuantileSketch region_log10;
+  for (const auto& q : test.queries) {
+    region_log10.Add(q.Log10RegionSize());
+  }
+  const double p99 = region_log10.Quantile(0.99);
+
+  // Model point-likelihood throughput (points/sec).
+  constexpr size_t kProbe = 4096;
+  IntMatrix probe(kProbe, table.num_columns());
+  for (size_t r = 0; r < kProbe; ++r) {
+    table.GetRowCodes(r % table.num_rows(), probe.Row(r));
+  }
+  std::vector<double> lp;
+  Stopwatch sw;
+  model->LogProbRows(probe, &lp);
+  const double points_per_sec =
+      static_cast<double>(kProbe) / std::max(sw.ElapsedSeconds(), 1e-9);
+
+  // Naru's actual latency at p99.
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = num_samples;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model, ncfg, 0);
+  QuantileSketch latency;
+  for (const auto& q : test.queries) {
+    Stopwatch qsw;
+    est.EstimateSelectivity(q);
+    latency.Add(qsw.ElapsedMillis());
+  }
+
+  RegionRow row;
+  row.log10_region_p99 = p99;
+  row.enum_hours = std::pow(10.0, p99) / points_per_sec / 3600.0;
+  row.naru_ms_p99 = latency.Quantile(0.99);
+  return row;
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t queries = std::min<size_t>(env.queries, 100);
+  PrintBanner("Table 6: query region size vs enumeration vs Naru latency",
+              "99th-percentile query; enumeration estimated at measured "
+              "model throughput");
+
+  std::printf("\n%-12s %-16s %-16s %-14s\n", "Dataset", "Region (99th)",
+              "Enum (est.)", "Naru (actual)");
+
+  {
+    Table dmv = MakeDmvLike(env.dmv_rows, env.seed);
+    auto model = TrainModel(dmv, DmvModelConfig(env.seed + 5), 1, "DMV");
+    const Workload test = MakeWorkload(dmv, queries, env.seed + 1);
+    const RegionRow row = Measure(dmv, model.get(), test, 2000);
+    std::printf("%-12s 10^%-13.1f %-13.3g hr %11.0f ms\n", "DMV",
+                row.log10_region_p99, row.enum_hours, row.naru_ms_p99);
+  }
+  {
+    Table conviva = MakeConvivaALike(env.conva_rows, env.seed);
+    auto model =
+        TrainModel(conviva, ConvivaAModelConfig(env.seed + 5), 1,
+                   "Conviva-A");
+    const Workload test =
+        MakeWorkload(conviva, queries, env.seed + 1, false, 5, 11);
+    const RegionRow row = Measure(conviva, model.get(), test, 4000);
+    std::printf("%-12s 10^%-13.1f %-13.3g hr %11.0f ms\n", "Conviva-A",
+                row.log10_region_p99, row.enum_hours, row.naru_ms_p99);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

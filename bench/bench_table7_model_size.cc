@@ -1,0 +1,54 @@
+// Table 7: model size vs entropy gap on Conviva-A.
+//
+// Four MADE widths (32/64/128/256 x 4 layers) trained for a fixed number
+// of epochs; larger models reach lower entropy gaps (with diminishing
+// returns, per Figure 5's accuracy saturation).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/entropy.h"
+#include "data/table_stats.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t epochs =
+      static_cast<size_t>(GetEnvInt("NARU_T7_EPOCHS", 3));  // paper: 5
+  PrintBanner("Table 7: model size vs entropy gap (Conviva-A)",
+              StrFormat("rows=%zu epochs=%zu", env.conva_rows, epochs));
+
+  Table table = MakeConvivaALike(env.conva_rows, env.seed);
+  const double h_data = TableStats::JointEntropyBits(table);
+  std::printf("# H(P) = %.2f bits\n", h_data);
+  std::printf("\n%-22s %-12s %-18s\n", "Architecture", "Size",
+              StrFormat("Entropy gap, %zu epochs", epochs).c_str());
+
+  for (size_t width : {32, 64, 128, 256}) {
+    MadeModel::Config cfg = ConvivaAModelConfig(env.seed + 5);
+    cfg.hidden_sizes = {width, width, width, width};
+    MadeModel model(TableDomains(table), cfg);
+    TrainerConfig tcfg;
+    tcfg.epochs = epochs;
+    tcfg.batch_size = 512;
+    tcfg.lr = 2e-3;
+    Trainer trainer(&model, tcfg);
+    trainer.Train(table);
+    const double gap =
+        ModelCrossEntropyBits(&model, table, 10000) - h_data;
+    std::printf("%-22s %-12s %11.2f bits\n",
+                StrFormat("%zux%zux%zux%zu", width, width, width, width)
+                    .c_str(),
+                HumanBytes(model.SizeBytes()).c_str(), gap);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

@@ -1,0 +1,100 @@
+// Table 8: robustness to data shifts (§6.7.3).
+//
+// The DMV-like table is split into 5 date-ordered partitions with drifting
+// cluster mix. Estimators are built after the first partition; after each
+// subsequent ingest we query all data ingested so far, comparing a stale
+// model against one refreshed with gradient updates on the grown relation.
+// Expected shape: the refreshed model's errors stay flat; the stale model
+// degrades gracefully but steadily.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t queries = std::min<size_t>(env.queries, 40);
+  const size_t psamples =
+      static_cast<size_t>(GetEnvInt("NARU_T8_PSAMPLES", 1500));
+  constexpr int kParts = 5;
+  PrintBanner("Table 8: robustness to data shifts (5 partition ingests)",
+              StrFormat("rows=%zu queries/ingest=%zu psamples=%zu",
+                        env.dmv_rows, queries, psamples));
+
+  Table full = MakeDmvLike(env.dmv_rows, env.seed, kParts);
+  const size_t part_rows = full.num_rows() / kParts;
+
+  Table part1 = full.Slice(0, part_rows, full.num_columns());
+  MadeModel::Config mcfg = DmvModelConfig(env.seed + 5);
+
+  MadeModel stale(TableDomains(full), mcfg);
+  {
+    TrainerConfig tcfg;
+    tcfg.epochs = env.epochs;
+    tcfg.batch_size = 512;
+    Trainer t(&stale, tcfg);
+    t.Train(part1);
+  }
+  MadeModel refreshed(TableDomains(full), mcfg);
+  TrainerConfig rcfg;
+  rcfg.epochs = env.epochs;
+  rcfg.batch_size = 512;
+  Trainer refresher(&refreshed, rcfg);
+  refresher.Train(part1);
+
+  std::printf("\n%-10s | %-22s | %-22s\n", "",
+              "Naru refreshed", "Naru stale");
+  std::printf("%-10s | %-10s %-10s | %-10s %-10s\n", "ingested", "90th",
+              "max", "90th", "max");
+
+  for (int part = 1; part <= kParts; ++part) {
+    Table seen = full.Slice(0, part_rows * static_cast<size_t>(part),
+                            full.num_columns());
+    if (part > 1) {
+      // Refresh on samples from the updated relation (§4.1).
+      refresher.FineTune(seen, /*passes=*/1);
+    }
+    // Queries drawn from first-partition tuples, truth over all ingested
+    // data (the paper's protocol).
+    WorkloadConfig wcfg;
+    wcfg.num_queries = queries;
+    wcfg.min_filters = 5;
+    wcfg.max_filters = 11;
+    wcfg.seed = env.seed + 100 + static_cast<uint64_t>(part);
+    auto probes = GenerateWorkload(part1, wcfg);
+    // Re-bind the queries to the grown table (same regions, new truth).
+    QuantileSketch refreshed_err;
+    QuantileSketch stale_err;
+    const double n = static_cast<double>(seen.num_rows());
+    for (auto& q : probes) {
+      Query grown(seen, q.predicates());
+      const double truth =
+          ExecuteSelectivity(seen, grown) * n;
+      NaruEstimatorConfig ncfg;
+      ncfg.num_samples = psamples;
+      ncfg.sampler_seed = env.seed + 6;
+      NaruEstimator est_fresh(&refreshed, ncfg, 0, "fresh");
+      NaruEstimator est_stale(&stale, ncfg, 0, "stale");
+      refreshed_err.Add(
+          QError(est_fresh.EstimateSelectivity(grown) * n, truth));
+      stale_err.Add(
+          QError(est_stale.EstimateSelectivity(grown) * n, truth));
+    }
+    std::printf("%-10d | %-10s %-10s | %-10s %-10s\n", part,
+                FormatPaperNumber(refreshed_err.Quantile(0.9)).c_str(),
+                FormatPaperNumber(refreshed_err.Quantile(1.0)).c_str(),
+                FormatPaperNumber(stale_err.Quantile(0.9)).c_str(),
+                FormatPaperNumber(stale_err.Quantile(1.0)).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main() { return naru::bench::Run(); }

@@ -1,0 +1,103 @@
+// Lossless table compression with the likelihood model (§8).
+//
+// "Data compression is also inherently linked to likelihood modeling."
+// An arithmetic (range) coder spending -log2 P̂(x) bits per tuple turns the
+// trained estimator into a compressor whose output size IS the model's
+// cross entropy on the data — the entropy gap (§3.3) made physical:
+//
+//     coded bits/tuple  ≈  H(P)  +  entropy gap  (+ ~1% coder overhead)
+//
+// This example compresses a DMV-like relation with three models of
+// increasing quality (untrained MADE ~ the naive dictionary bound,
+// a Chow-Liu Bayes net, a trained MADE), verifies every blob decompresses
+// to the exact original codes, and prints the bits/tuple ladder alongside
+// the table's exact empirical joint entropy.
+//
+// Build & run:  ./build/examples/compress_table
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/compress.h"
+#include "core/made.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "data/table_stats.h"
+#include "estimator/bayesnet.h"
+
+using namespace naru;
+
+namespace {
+
+bool VerifyRoundTrip(ConditionalModel* model, const Table& t,
+                     const std::string& blob) {
+  IntMatrix decoded;
+  if (!DecompressTuples(model, blob, &decoded).ok()) return false;
+  std::vector<int32_t> row(t.num_columns());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    t.GetRowCodes(r, row.data());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (decoded.At(r, c) != row[c]) return false;
+    }
+  }
+  return true;
+}
+
+void Report(const char* name, ConditionalModel* model, const Table& t) {
+  CompressionStats stats;
+  auto blob = CompressTable(model, t, &stats);
+  if (!blob.ok()) {
+    std::printf("%-24s compression failed: %s\n", name,
+                blob.status().ToString().c_str());
+    return;
+  }
+  const bool ok = VerifyRoundTrip(model, t, blob.ValueOrDie());
+  std::printf("%-24s %10.2f bits/tuple   %8.1f KB   round-trip %s\n", name,
+              stats.bits_per_tuple,
+              static_cast<double>(blob.ValueOrDie().size()) / 1024.0,
+              ok ? "exact" : "FAILED");
+}
+
+}  // namespace
+
+int main() {
+  Table table = MakeDmvLike(/*rows=*/20000, /*seed=*/5);
+  const double h_joint = TableStats::JointEntropyBits(table);
+
+  std::vector<size_t> domains;
+  double naive_bits = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    domains.push_back(table.column(c).DomainSize());
+    naive_bits += std::ceil(std::log2(
+        std::max<double>(2.0, static_cast<double>(domains.back()))));
+  }
+  std::printf("table: %zu rows x %zu cols\n", table.num_rows(),
+              table.num_columns());
+  std::printf("exact joint entropy H(P): %.2f bits/tuple\n", h_joint);
+  std::printf("naive dictionary codes:   %.0f bits/tuple\n\n", naive_bits);
+
+  // 1. Untrained MADE: near-uniform conditionals, ~ the naive bound.
+  MadeModel::Config mcfg;
+  mcfg.hidden_sizes = {128, 128, 128};
+  mcfg.encoder.embed_dim = 32;
+  MadeModel untrained(domains, mcfg);
+  Report("MADE (untrained)", &untrained, table);
+
+  // 2. Chow-Liu Bayes net: pairwise structure only.
+  BayesNet bn(table);
+  Report("Chow-Liu Bayes net", &bn, table);
+
+  // 3. Trained MADE: the full joint approximation.
+  MadeModel trained(domains, mcfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 12;
+  Trainer(&trained, tcfg).Train(table);
+  Report("MADE (trained)", &trained, table);
+
+  std::printf(
+      "\nThe gap between each row and H(P) is that model's entropy gap\n"
+      "(§3.3); compression is the same quantity the estimator's accuracy\n"
+      "rides on.\n");
+  return 0;
+}

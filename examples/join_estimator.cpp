@@ -1,0 +1,155 @@
+// Estimating over a joined relation (§4.1 "Joins", §2.2).
+//
+// "The estimator does not distinguish between the type of table it is
+// built on" — materialize the join, feed its tuples to the model, and the
+// estimator answers filters on ANY column of either side, capturing
+// cross-relation correlations that per-table statistics cannot see.
+//
+// Scenario: a checkins fact table (user_id, city, stars) joined with a
+// users dimension table (user_id, tier, age_bucket), where tier correlates
+// with city through the users' home regions. A query filtering
+// city AND tier is exactly where the classical "independent per-relation
+// selectivities" heuristic breaks; Naru trained on the join gets it right.
+//
+// Build & run:  ./build/examples/join_estimator
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/made.h"
+#include "core/naru_estimator.h"
+#include "core/trainer.h"
+#include "data/join.h"
+#include "data/table.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+using namespace naru;
+
+namespace {
+
+constexpr size_t kUsers = 2000;
+constexpr size_t kCheckins = 30000;
+const char* kCities[] = {"amsterdam", "berlin", "chicago", "denver", "oslo"};
+const char* kTiers[] = {"free", "plus", "pro"};
+
+// Every user has a deterministic home city (u % 5); tier and checkin city
+// both lean toward it, which is exactly the cross-relation correlation the
+// joined estimator must capture.
+size_t HomeCity(size_t u) { return u % 5; }
+
+// Users: tier depends on the home city (city i leans toward tier i % 3).
+Table MakeUsers(Rng* rng) {
+  std::vector<Value> ids, tiers, ages;
+  for (size_t u = 0; u < kUsers; ++u) {
+    ids.emplace_back(static_cast<int64_t>(u));
+    const size_t tier = rng->UniformDouble() < 0.7
+                            ? HomeCity(u) % 3
+                            : rng->UniformInt(3);
+    tiers.emplace_back(std::string(kTiers[tier]));
+    ages.emplace_back(static_cast<int64_t>(20 + 10 * rng->UniformInt(5)));
+  }
+  TableBuilder b("users");
+  b.AddValueColumn("user_id", ids);
+  b.AddValueColumn("tier", tiers);
+  b.AddValueColumn("age_bucket", ages);
+  return b.Build();
+}
+
+// Checkins: users mostly check in at their home city.
+Table MakeCheckins(Rng* rng) {
+  std::vector<Value> uids, cities, stars;
+  for (size_t i = 0; i < kCheckins; ++i) {
+    const size_t u = rng->UniformInt(kUsers);
+    const size_t city =
+        rng->UniformDouble() < 0.8 ? HomeCity(u) : rng->UniformInt(5);
+    uids.emplace_back(static_cast<int64_t>(u));
+    cities.emplace_back(std::string(kCities[city]));
+    stars.emplace_back(static_cast<int64_t>(1 + rng->UniformInt(10)));
+  }
+  TableBuilder b("checkins");
+  b.AddValueColumn("user_id", uids);
+  b.AddValueColumn("city", cities);
+  b.AddValueColumn("stars", stars);
+  return b.Build();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  Table users = MakeUsers(&rng);
+  Table checkins = MakeCheckins(&rng);
+
+  // --- 1. Materialize checkins ⋈ users on user_id (§4.1). --------------
+  auto joined = HashJoinTables(checkins, users,
+                               {.left_key = "user_id",
+                                .right_key = "user_id",
+                                .output_name = "checkins_users"});
+  if (!joined.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 joined.status().ToString().c_str());
+    return 1;
+  }
+  const Table& j = joined.ValueOrDie();
+  std::printf("joined relation '%s': %zu rows x %zu cols\n",
+              j.name().c_str(), j.num_rows(), j.num_columns());
+
+  // --- 2. Train one Naru model over the joined tuples. -----------------
+  std::vector<size_t> domains;
+  for (size_t c = 0; c < j.num_columns(); ++c) {
+    domains.push_back(j.column(c).DomainSize());
+  }
+  MadeModel::Config mcfg;
+  mcfg.hidden_sizes = {128, 128};
+  mcfg.encoder.embed_dim = 32;
+  MadeModel model(domains, mcfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 10;
+  Trainer(&model, tcfg).Train(j);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 2000;
+  NaruEstimator est(&model, ncfg, model.SizeBytes());
+
+  // --- 3. Cross-relation filters. ---------------------------------------
+  const std::vector<std::string> clauses = {
+      "l_city = 'berlin' AND r_tier = 'plus'",   // correlated pair
+      "l_city = 'berlin' AND r_tier = 'free'",   // anti-correlated pair
+      "l_stars >= 8 AND r_age_bucket <= 30",
+  };
+  std::printf("\n%-46s %10s %10s %10s %8s\n", "WHERE", "true",
+              "naru", "indep", "q-err");
+  for (const auto& clause : clauses) {
+    auto q = ParseWhere(j, clause);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    const double truth = ExecuteSelectivity(j, q.ValueOrDie());
+    const double naru_sel = est.EstimateSelectivity(q.ValueOrDie());
+
+    // The classical heuristic: per-predicate selectivities multiplied
+    // (per-relation stats cannot see the city <-> tier correlation).
+    double indep = 1.0;
+    for (const auto& pred : q.ValueOrDie().predicates()) {
+      Query single(j, {pred});
+      indep *= ExecuteSelectivity(j, single);
+    }
+
+    const auto qerr = [&](double e) {
+      const double a = std::max(truth * j.num_rows(), 1.0);
+      const double b = std::max(e * j.num_rows(), 1.0);
+      return std::max(a, b) / std::min(a, b);
+    };
+    std::printf("%-46s %10.4f %10.4f %10.4f %8.2f vs %.2f\n", clause.c_str(),
+                truth, naru_sel, indep, qerr(naru_sel), qerr(indep));
+  }
+  std::printf(
+      "\nNaru trained on the join answers both-side filters directly; the\n"
+      "independence heuristic misses the city <-> tier correlation in both\n"
+      "directions (over- and under-estimation).\n");
+  return 0;
+}

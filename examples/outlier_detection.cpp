@@ -1,0 +1,80 @@
+// Example: likelihood-based outlier detection (§8, future-work application).
+//
+// A trained Naru model assigns every tuple a log-likelihood under the
+// learned joint distribution. Tuples far below the typical likelihood are
+// statistical outliers -- candidate dirty records. This example trains a
+// model on a clean Conviva-A-like table, injects corrupted rows (random
+// values breaking the column correlations), and shows that ranking by
+// model log-likelihood separates the corrupted rows from the clean ones.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/entropy.h"
+#include "core/made.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "util/random.h"
+
+using namespace naru;
+
+int main() {
+  Table clean = MakeConvivaALike(20000, 11);
+  std::vector<size_t> domains;
+  for (size_t c = 0; c < clean.num_columns(); ++c) {
+    domains.push_back(clean.column(c).DomainSize());
+  }
+
+  MadeModel::Config mcfg;
+  mcfg.hidden_sizes = {128, 128, 128};
+  mcfg.encoder.embed_dim = 32;
+  MadeModel model(domains, mcfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 10;
+  Trainer trainer(&model, tcfg);
+  trainer.Train(clean);
+
+  // Score a mixed batch: 500 clean rows + 50 corrupted rows whose cells
+  // are drawn independently at random (correlations destroyed).
+  constexpr size_t kClean = 500;
+  constexpr size_t kDirty = 50;
+  Rng rng(3);
+  IntMatrix batch(kClean + kDirty, clean.num_columns());
+  for (size_t r = 0; r < kClean; ++r) {
+    clean.GetRowCodes(rng.UniformInt(clean.num_rows()), batch.Row(r));
+  }
+  for (size_t r = kClean; r < kClean + kDirty; ++r) {
+    for (size_t c = 0; c < clean.num_columns(); ++c) {
+      batch.At(r, c) = static_cast<int32_t>(rng.UniformInt(domains[c]));
+    }
+  }
+
+  std::vector<double> log_probs;
+  model.LogProbRows(batch, &log_probs);
+
+  // Rank ascending: the lowest-likelihood rows should be the dirty ones.
+  std::vector<size_t> order(log_probs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return log_probs[a] < log_probs[b];
+  });
+
+  size_t dirty_in_top = 0;
+  for (size_t i = 0; i < kDirty; ++i) {
+    if (order[i] >= kClean) ++dirty_in_top;
+  }
+  std::printf("flagged the %zu lowest-likelihood tuples: %zu/%zu are truly "
+              "corrupted (precision %.0f%%)\n",
+              kDirty, dirty_in_top, kDirty,
+              100.0 * static_cast<double>(dirty_in_top) / kDirty);
+
+  double clean_avg = 0;
+  double dirty_avg = 0;
+  for (size_t i = 0; i < kClean; ++i) clean_avg += log_probs[i];
+  for (size_t i = kClean; i < kClean + kDirty; ++i) {
+    dirty_avg += log_probs[i];
+  }
+  std::printf("mean log-likelihood: clean %.1f nats vs corrupted %.1f nats\n",
+              clean_avg / kClean, dirty_avg / kDirty);
+  return 0;
+}

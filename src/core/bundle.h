@@ -1,0 +1,28 @@
+// Self-describing estimator persistence.
+//
+// MadeModel::Save/Load store only parameter tensors and require the caller
+// to reconstruct the exact architecture first. A *bundle* additionally
+// stores the column domains and the model configuration in a small text
+// header, so a trained estimator can be reopened with a single call — the
+// workflow a DBMS integration needs (train offline, ship the artifact to
+// the optimizer process, §4.1).
+//
+// Layout: "<path>" is a text manifest, "<path>.weights" holds the tensors.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/made.h"
+#include "util/status.h"
+
+namespace naru {
+
+/// Writes the manifest + weights for a trained model.
+Status SaveModelBundle(const std::string& path, MadeModel* model);
+
+/// Reconstructs the model (architecture from the manifest, weights from
+/// the sidecar file).
+Result<std::unique_ptr<MadeModel>> LoadModelBundle(const std::string& path);
+
+}  // namespace naru

@@ -1,0 +1,270 @@
+#include "core/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+// ---------------------------------------------------------------------------
+// Range coder
+// ---------------------------------------------------------------------------
+
+RangeEncoder::RangeEncoder(std::string* out) : out_(out) {
+  NARU_CHECK(out_ != nullptr);
+}
+
+void RangeEncoder::ShiftLow() {
+  // LZMA-style carry handling: the top 32 bits of low_ carry into the
+  // cached byte run. cache_size_ starts at 1, which emits one leading
+  // byte the decoder skips by priming with 5 reads.
+  if (static_cast<uint32_t>(low_) < 0xFF000000u ||
+      static_cast<uint32_t>(low_ >> 32) != 0) {
+    uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    do {
+      out_->push_back(static_cast<char>(cache_ + carry));
+      cache_ = 0xFF;
+    } while (--cache_size_ != 0);
+    cache_ = static_cast<uint8_t>(low_ >> 24);
+  }
+  ++cache_size_;
+  low_ = (low_ & 0x00FFFFFFu) << 8;
+}
+
+void RangeEncoder::Encode(uint32_t cum, uint32_t freq, uint32_t total) {
+  NARU_DCHECK(freq >= 1 && cum + freq <= total && total <= kMaxTotal);
+  range_ /= total;
+  low_ += static_cast<uint64_t>(cum) * range_;
+  range_ *= freq;
+  while (range_ < kTop) {
+    range_ <<= 8;
+    ShiftLow();
+  }
+}
+
+void RangeEncoder::Finish() {
+  for (int i = 0; i < 5; ++i) ShiftLow();
+}
+
+RangeDecoder::RangeDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  // The first of the five priming bytes is the encoder's initial zero
+  // cache byte; it shifts out of the 32-bit code register.
+  for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | NextByte();
+}
+
+uint8_t RangeDecoder::NextByte() {
+  if (pos_ >= size_) {
+    overran_ = true;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint32_t RangeDecoder::DecodeTarget(uint32_t total) {
+  range_ /= total;
+  const uint32_t t = code_ / range_;
+  return std::min(t, total - 1);
+}
+
+void RangeDecoder::Consume(uint32_t cum, uint32_t freq) {
+  code_ -= cum * range_;
+  range_ *= freq;
+  while (range_ < kTop) {
+    code_ = (code_ << 8) | NextByte();
+    range_ <<= 8;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model-driven codec
+// ---------------------------------------------------------------------------
+
+uint32_t QuantizeFreqs(const float* probs, size_t domain, uint32_t scale,
+                       std::vector<uint32_t>* freqs) {
+  freqs->resize(domain);
+  uint32_t total = 0;
+  for (size_t v = 0; v < domain; ++v) {
+    const float p = probs[v];
+    const float clamped = p > 0.0f ? (p < 1.0f ? p : 1.0f) : 0.0f;
+    const uint32_t f =
+        1u + static_cast<uint32_t>(clamped * static_cast<float>(scale));
+    (*freqs)[v] = f;
+    total += f;
+  }
+  return total;
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'A', 'R', 'U', 'C', 'M', 'P', '1'};
+// Per-symbol probability resolution. domain + kScale must stay below
+// RangeEncoder::kMaxTotal; 2^16 leaves room for domains up to ~4M.
+constexpr uint32_t kScale = 1u << 16;
+
+void AppendU32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+void AppendU64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+Result<std::string> CompressTable(ConditionalModel* model, const Table& table,
+                                  CompressionStats* stats, size_t batch) {
+  NARU_CHECK(model != nullptr && batch >= 1);
+  const size_t n = model->num_columns();
+  if (table.num_columns() != model->num_table_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("model covers %zu table columns, table has %zu",
+                  model->num_table_columns(), table.num_columns()));
+  }
+
+  std::string blob(kMagic, sizeof(kMagic));
+  AppendU64(&blob, table.num_rows());
+  AppendU32(&blob, static_cast<uint32_t>(n));
+  for (size_t pos = 0; pos < n; ++pos) {
+    AppendU32(&blob, static_cast<uint32_t>(model->DomainSize(pos)));
+  }
+  const size_t header_bytes = blob.size();
+
+  std::string payload;
+  RangeEncoder enc(&payload);
+  IntMatrix tuples;    // model-position order, per batch
+  Matrix probs;
+  std::vector<uint32_t> freqs;
+
+  const size_t rows = table.num_rows();
+  std::vector<int32_t> row_codes(model->num_table_columns());
+  for (size_t start = 0; start < rows; start += batch) {
+    const size_t chunk = std::min(batch, rows - start);
+    tuples.Resize(chunk, n);
+    for (size_t r = 0; r < chunk; ++r) {
+      table.GetRowCodes(start + r, row_codes.data());
+      model->EncodeTableRow(row_codes.data(), tuples.Row(r));
+      for (size_t pos = 0; pos < n; ++pos) {
+        if (static_cast<size_t>(tuples.At(r, pos)) >=
+            model->DomainSize(pos)) {
+          return Status::InvalidArgument(StrFormat(
+              "row %zu encodes outside model domain at position %zu "
+              "(table/model mismatch)",
+              start + r, pos));
+        }
+      }
+    }
+    // Column-major within the batch: the decoder can batch the same way.
+    for (size_t pos = 0; pos < n; ++pos) {
+      model->ConditionalDist(tuples, pos, &probs);
+      const size_t d = model->DomainSize(pos);
+      for (size_t r = 0; r < chunk; ++r) {
+        const uint32_t total = QuantizeFreqs(probs.Row(r), d, kScale, &freqs);
+        const uint32_t sym = static_cast<uint32_t>(tuples.At(r, pos));
+        uint32_t cum = 0;
+        for (uint32_t v = 0; v < sym; ++v) cum += freqs[v];
+        enc.Encode(cum, freqs[sym], total);
+      }
+    }
+  }
+  enc.Finish();
+  blob += payload;
+
+  if (stats != nullptr) {
+    stats->rows = rows;
+    stats->payload_bytes = blob.size() - header_bytes;
+    stats->bits_per_tuple =
+        rows == 0 ? 0
+                  : 8.0 * static_cast<double>(stats->payload_bytes) /
+                        static_cast<double>(rows);
+    double naive = 0;
+    for (size_t pos = 0; pos < n; ++pos) {
+      naive += std::ceil(std::log2(
+          std::max<double>(2.0, static_cast<double>(model->DomainSize(pos)))));
+    }
+    stats->naive_bits_per_tuple = naive;
+  }
+  return blob;
+}
+
+Status DecompressTuples(ConditionalModel* model, const std::string& blob,
+                        IntMatrix* tuples, size_t batch) {
+  NARU_CHECK(model != nullptr && tuples != nullptr && batch >= 1);
+  const size_t n = model->num_columns();
+  const size_t min_header = sizeof(kMagic) + 8 + 4;
+  if (blob.size() < min_header ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a naru compressed blob");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(blob.data());
+  size_t off = sizeof(kMagic);
+  const uint64_t rows = ReadU64(p + off);
+  off += 8;
+  const uint32_t cols = ReadU32(p + off);
+  off += 4;
+  if (cols != n) {
+    return Status::InvalidArgument(
+        StrFormat("blob has %u columns, model has %zu", cols, n));
+  }
+  if (blob.size() < off + 4 * static_cast<size_t>(cols)) {
+    return Status::InvalidArgument("truncated blob header");
+  }
+  for (size_t pos = 0; pos < n; ++pos) {
+    const uint32_t d = ReadU32(p + off);
+    off += 4;
+    if (d != model->DomainSize(pos)) {
+      return Status::InvalidArgument(StrFormat(
+          "blob domain %u vs model domain %zu at position %zu", d,
+          model->DomainSize(pos), pos));
+    }
+  }
+
+  RangeDecoder dec(p + off, blob.size() - off);
+  IntMatrix work;  // model-position order
+  Matrix probs;
+  std::vector<uint32_t> freqs;
+  tuples->Resize(rows, model->num_table_columns());
+
+  for (size_t start = 0; start < rows; start += batch) {
+    const size_t chunk = std::min<size_t>(batch, rows - start);
+    work.Resize(chunk, n);
+    work.Fill(0);
+    for (size_t pos = 0; pos < n; ++pos) {
+      model->ConditionalDist(work, pos, &probs);
+      const size_t d = model->DomainSize(pos);
+      for (size_t r = 0; r < chunk; ++r) {
+        const uint32_t total = QuantizeFreqs(probs.Row(r), d, kScale, &freqs);
+        const uint32_t target = dec.DecodeTarget(total);
+        uint32_t cum = 0;
+        uint32_t sym = 0;
+        while (sym + 1 < d && cum + freqs[sym] <= target) {
+          cum += freqs[sym];
+          ++sym;
+        }
+        dec.Consume(cum, freqs[sym]);
+        work.At(r, pos) = static_cast<int32_t>(sym);
+      }
+    }
+    if (dec.overran()) {
+      return Status::InvalidArgument("compressed payload truncated");
+    }
+    for (size_t r = 0; r < chunk; ++r) {
+      model->DecodeToTableRow(work.Row(r), tuples->Row(start + r));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace naru

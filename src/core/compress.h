@@ -1,0 +1,113 @@
+// Lossless table compression driven by the likelihood model (§8).
+//
+// "Data compression is also inherently linked to likelihood modeling": an
+// entropy coder fed the model's conditionals P̂(X_i | x_<i) spends
+// -log2 P̂(x) bits per tuple, so a well-fit autoregressive model compresses
+// the relation to within quantization overhead of its cross entropy — the
+// same quantity the §3.3 entropy gap measures. This module provides:
+//
+//  - a carry-aware byte-oriented range coder (LZMA-style, 64-bit low /
+//    32-bit range) usable with any integer frequency table, and
+//  - a model-driven codec that walks the model's column order, quantizes
+//    each conditional into integer frequencies (deterministically on both
+//    sides), and range-codes every dictionary code of every tuple.
+//
+// Decompression replays the identical conditional computations: after
+// decoding column i of a batch of rows, those codes become the prefix for
+// column i+1 — the same trick progressive sampling uses, with the coder
+// standing in for the sampler. Works over any ConditionalModel (MADE,
+// Transformer, permuted orders, Bayes nets, the Oracle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/conditional_model.h"
+#include "data/table.h"
+#include "util/status.h"
+
+namespace naru {
+
+/// Byte-oriented range encoder (Subbotin/LZMA lineage). Symbols are coded
+/// as [cum, cum+freq) slices of a [0, total) frequency line.
+class RangeEncoder {
+ public:
+  /// Appends coded bytes to `*out` (not owned).
+  explicit RangeEncoder(std::string* out);
+
+  /// Codes a symbol occupying [cum, cum + freq) of [0, total).
+  /// Requires freq >= 1, cum + freq <= total, total <= kMaxTotal.
+  void Encode(uint32_t cum, uint32_t freq, uint32_t total);
+
+  /// Flushes the coder state; call exactly once, after the last symbol.
+  void Finish();
+
+  /// Frequency totals above this lose coding precision guarantees.
+  static constexpr uint32_t kMaxTotal = 1u << 22;
+
+ private:
+  static constexpr uint32_t kTop = 1u << 24;
+  void ShiftLow();
+
+  std::string* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+/// Mirror decoder over a byte buffer.
+class RangeDecoder {
+ public:
+  RangeDecoder(const uint8_t* data, size_t size);
+
+  /// Returns a value in [0, total); the caller maps it to the symbol whose
+  /// [cum, cum+freq) contains it, then calls Consume with that interval.
+  uint32_t DecodeTarget(uint32_t total);
+  void Consume(uint32_t cum, uint32_t freq);
+
+  /// True when more bytes were requested than provided (corrupt stream).
+  bool overran() const { return overran_; }
+
+ private:
+  static constexpr uint32_t kTop = 1u << 24;
+  uint8_t NextByte();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  bool overran_ = false;
+};
+
+/// Quantizes a float probability row into integer frequencies >= 1.
+/// freq[v] = 1 + floor(probs[v] * scale); returns the total. Deterministic,
+/// so encoder and decoder derive identical tables from identical floats.
+uint32_t QuantizeFreqs(const float* probs, size_t domain, uint32_t scale,
+                       std::vector<uint32_t>* freqs);
+
+struct CompressionStats {
+  size_t rows = 0;
+  size_t payload_bytes = 0;  ///< range-coded bytes (excl. header)
+  double bits_per_tuple = 0;
+  /// Naive dictionary-code cost: sum_i ceil(log2 |A_i|) bits per tuple.
+  double naive_bits_per_tuple = 0;
+};
+
+/// Compresses all rows of `table` against `model`'s conditionals into a
+/// self-describing blob (header + range-coded payload).
+/// The model must have been built over the table's domains.
+Result<std::string> CompressTable(ConditionalModel* model,
+                                  const Table& table,
+                                  CompressionStats* stats = nullptr,
+                                  size_t batch = 512);
+
+/// Inverse of CompressTable: reconstructs the dictionary codes (row-major,
+/// table column order). Fails cleanly on bad magic, truncated input, or a
+/// model/blob domain mismatch.
+Status DecompressTuples(ConditionalModel* model, const std::string& blob,
+                        IntMatrix* tuples, size_t batch = 512);
+
+}  // namespace naru

@@ -1,0 +1,43 @@
+#include "core/conditional_model.h"
+
+#include <cmath>
+
+namespace naru {
+
+namespace {
+
+class StatelessSession : public SamplingSession {
+ public:
+  explicit StatelessSession(ConditionalModel* model) : model_(model) {}
+  void Dist(const IntMatrix& samples, size_t col, Matrix* probs) override {
+    model_->ConditionalDist(samples, col, probs);
+  }
+
+ private:
+  ConditionalModel* model_;
+};
+
+}  // namespace
+
+void ConditionalModel::LogProbRows(const IntMatrix& tuples,
+                                   std::vector<double>* out_nats) {
+  const size_t batch = tuples.rows();
+  out_nats->assign(batch, 0.0);
+  Matrix probs;
+  for (size_t col = 0; col < num_columns(); ++col) {
+    ConditionalDist(tuples, col, &probs);
+    for (size_t r = 0; r < batch; ++r) {
+      const double p =
+          std::max<double>(probs.At(r, static_cast<size_t>(tuples.At(r, col))),
+                           1e-38);
+      (*out_nats)[r] += std::log(p);
+    }
+  }
+}
+
+std::unique_ptr<SamplingSession> ConditionalModel::StartSession(
+    size_t /*batch*/) {
+  return std::make_unique<StatelessSession>(this);
+}
+
+}  // namespace naru

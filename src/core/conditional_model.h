@@ -1,0 +1,113 @@
+// The autoregressive-conditional interface queried by progressive sampling.
+//
+// Any model that can produce P̂(X_i | x_<i) plugs into the sampler (§3.2,
+// Eq. 1): the learned MADE network (architecture B), the per-column
+// aggregation network (architecture A), or the scanning Oracle used for the
+// §6.7 microbenchmarks. The sampler drives a SamplingSession so stateful
+// models (the Oracle's shrinking row lists) can serve columns incrementally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "query/query.h"
+#include "tensor/matrix.h"
+
+namespace naru {
+
+/// A per-query stateful cursor over the model's conditionals.
+///
+/// The sampler calls Dist with col = 0, 1, ..., in increasing order; before
+/// the call for column c, samples(r, j) holds the sampled code of column j
+/// for every j < c and every path r. Dist fills probs (batch x domain(col))
+/// with P̂(X_col = v | samples_<col>) for each path row.
+class SamplingSession {
+ public:
+  virtual ~SamplingSession() = default;
+  virtual void Dist(const IntMatrix& samples, size_t col, Matrix* probs) = 0;
+};
+
+/// A joint distribution factored in column order (chain rule, §2.1).
+class ConditionalModel {
+ public:
+  virtual ~ConditionalModel() = default;
+
+  virtual size_t num_columns() const = 0;
+  virtual size_t DomainSize(size_t col) const = 0;
+
+  /// Table column served at model position `model_col`. Models trained
+  /// over a permutation of the table order (multi-order ensembles; §3.1
+  /// notes the model "can be architected to use any ordering(s)") override
+  /// this so the sampler can map query regions onto model positions. The
+  /// default is the identity (model order == table order).
+  virtual size_t TableColumnOf(size_t model_col) const { return model_col; }
+
+  /// Number of TABLE columns this model covers. Equals num_columns()
+  /// except for models whose positions subdivide table columns
+  /// (FactorizedModel splits large domains into high/low sub-columns);
+  /// queries are always expressed over table columns.
+  virtual size_t num_table_columns() const { return num_columns(); }
+
+  /// True when model position `pos` is unconstrained by `query`: the
+  /// contained mass at that step is exactly 1 and the sampler can draw
+  /// from the full conditional (and exit early on a trailing run).
+  virtual bool PositionIsWildcard(const Query& query, size_t pos) const {
+    return query.region(TableColumnOf(pos)).IsAll();
+  }
+
+  /// Zeroes the entries of `probs_row` (length DomainSize(pos)) outside
+  /// the set allowed at model position `pos` for a path whose sampled
+  /// model prefix is `prefix` (positions < pos are valid); returns the
+  /// remaining mass. The default masks with the table column's query
+  /// region identically for every path; factorized models restrict a low
+  /// sub-column using the already-sampled high part, which is why the
+  /// prefix is part of the contract.
+  virtual double MaskProbsToRegion(const Query& query, const int32_t* prefix,
+                                   size_t pos, float* probs_row) const {
+    (void)prefix;
+    return query.region(TableColumnOf(pos)).MaskProbs(probs_row);
+  }
+
+  /// An in-domain code for position `pos` used to keep dead sample paths
+  /// well-defined (their weights are already 0; the value never affects
+  /// estimates, it only has to be a legal input to the model).
+  virtual int32_t FallbackCode(const Query& query, size_t pos) const {
+    const ValueSet& region = query.region(TableColumnOf(pos));
+    return region.IsEmpty() ? 0 : region.NthCode(0);
+  }
+
+  /// Translates one TABLE-order row (num_table_columns codes) into the
+  /// model's position layout (num_columns codes). The default permutes by
+  /// TableColumnOf, covering both identity and reordered models.
+  virtual void EncodeTableRow(const int32_t* table_codes,
+                              int32_t* model_codes) const {
+    for (size_t pos = 0; pos < num_columns(); ++pos) {
+      model_codes[pos] = table_codes[TableColumnOf(pos)];
+    }
+  }
+
+  /// Inverse of EncodeTableRow.
+  virtual void DecodeToTableRow(const int32_t* model_codes,
+                                int32_t* table_codes) const {
+    for (size_t pos = 0; pos < num_columns(); ++pos) {
+      table_codes[TableColumnOf(pos)] = model_codes[pos];
+    }
+  }
+
+  /// Stateless conditional query: fills probs (batch x DomainSize(col))
+  /// given the prefix codes in `samples` (columns >= col are ignored).
+  virtual void ConditionalDist(const IntMatrix& samples, size_t col,
+                               Matrix* probs) = 0;
+
+  /// log P̂(x) in nats for each full tuple row. The default composes
+  /// ConditionalDist column by column; models with a one-pass likelihood
+  /// (MADE) override it.
+  virtual void LogProbRows(const IntMatrix& tuples,
+                           std::vector<double>* out_nats);
+
+  /// Starts a sampling cursor; the default session forwards to
+  /// ConditionalDist.
+  virtual std::unique_ptr<SamplingSession> StartSession(size_t batch);
+};
+
+}  // namespace naru

@@ -1,0 +1,60 @@
+#include "core/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/table_stats.h"
+#include "util/random.h"
+
+namespace naru {
+
+IntMatrix TableToCodes(const Table& table) {
+  IntMatrix codes(table.num_rows(), table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      codes.At(r, c) = col.code(r);
+    }
+  }
+  return codes;
+}
+
+double ModelCrossEntropyBits(ConditionalModel* model, const Table& table,
+                             size_t max_rows, uint64_t seed) {
+  const size_t n = table.num_rows();
+  NARU_CHECK(n > 0);
+  std::vector<size_t> rows;
+  if (n <= max_rows) {
+    rows.resize(n);
+    for (size_t r = 0; r < n; ++r) rows[r] = r;
+  } else {
+    Rng rng(seed);
+    rows.resize(max_rows);
+    for (size_t i = 0; i < max_rows; ++i) rows[i] = rng.UniformInt(n);
+  }
+
+  const size_t cols = table.num_columns();
+  constexpr size_t kBatch = 1024;
+  double total_nats = 0;
+  std::vector<double> log_probs;
+  for (size_t start = 0; start < rows.size(); start += kBatch) {
+    const size_t chunk = std::min(kBatch, rows.size() - start);
+    IntMatrix batch(chunk, cols);
+    for (size_t i = 0; i < chunk; ++i) {
+      table.GetRowCodes(rows[start + i], batch.Row(i));
+    }
+    model->LogProbRows(batch, &log_probs);
+    for (double lp : log_probs) total_nats -= lp;
+  }
+  return total_nats / static_cast<double>(rows.size()) / std::log(2.0);
+}
+
+double EntropyGapBits(ConditionalModel* model, const Table& table,
+                      size_t max_rows, uint64_t seed) {
+  const double ce = ModelCrossEntropyBits(model, table, max_rows, seed);
+  const double h = TableStats::JointEntropyBits(table);
+  return ce - h;
+}
+
+}  // namespace naru

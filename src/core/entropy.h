@@ -1,0 +1,25 @@
+// Goodness-of-fit via the entropy gap (§3.3).
+//
+// H(P, P̂) - H(P) = KL(P || P̂) >= 0; zero means a perfect fit. H(P) is the
+// exact empirical entropy of the table; H(P, P̂) is estimated by averaging
+// -log2 P̂(x) over (a sample of) the table's tuples.
+#pragma once
+
+#include "core/conditional_model.h"
+#include "data/table.h"
+
+namespace naru {
+
+/// -E_{x ~ T}[log2 P̂(x)], averaged over up to `max_rows` tuples (all rows
+/// when the table is smaller; sampled deterministically by `seed`).
+double ModelCrossEntropyBits(ConditionalModel* model, const Table& table,
+                             size_t max_rows = 20000, uint64_t seed = 99);
+
+/// Entropy gap in bits: ModelCrossEntropyBits - exact H(P).
+double EntropyGapBits(ConditionalModel* model, const Table& table,
+                      size_t max_rows = 20000, uint64_t seed = 99);
+
+/// Converts codes of the full table into one IntMatrix (training input).
+IntMatrix TableToCodes(const Table& table);
+
+}  // namespace naru

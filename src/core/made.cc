@@ -1,0 +1,216 @@
+#include "core/made.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/serialize.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+Matrix MadeModel::BuildMask(const std::vector<int>& in_deg,
+                            const std::vector<int>& out_deg, bool strict) {
+  Matrix mask(in_deg.size(), out_deg.size());
+  for (size_t i = 0; i < in_deg.size(); ++i) {
+    float* row = mask.Row(i);
+    for (size_t j = 0; j < out_deg.size(); ++j) {
+      const bool allowed =
+          strict ? (out_deg[j] > in_deg[i]) : (out_deg[j] >= in_deg[i]);
+      row[j] = allowed ? 1.0f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+MadeModel::MadeModel(std::vector<size_t> domains, Config config)
+    : domains_(std::move(domains)),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      encoder_(domains_, config_.encoder, &rng_) {
+  const size_t n = domains_.size();
+  NARU_CHECK(n >= 1);
+
+  // Input degrees: every input dimension carries its column index.
+  input_degrees_.reserve(encoder_.total_width());
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t k = 0; k < encoder_.width(c); ++k) {
+      input_degrees_.push_back(static_cast<int>(c));
+    }
+  }
+
+  // Hidden degrees cycle over {0 .. n-2}: degree d = "sees columns <= d".
+  const int max_deg = n >= 2 ? static_cast<int>(n) - 1 : 1;
+  std::vector<int> prev_deg = input_degrees_;
+  bool prev_is_input = true;
+  for (size_t l = 0; l < config_.hidden_sizes.size(); ++l) {
+    const size_t width = config_.hidden_sizes[l];
+    std::vector<int> deg(width);
+    for (size_t k = 0; k < width; ++k) {
+      deg[k] = static_cast<int>(k % static_cast<size_t>(max_deg));
+    }
+    // input->hidden needs "hidden_deg >= input_col"; hidden->hidden needs
+    // "out_deg >= in_deg". Both are the non-strict comparison, but for the
+    // input layer the degree means "is column c", which is compatible.
+    Matrix mask = BuildMask(prev_deg, deg, /*strict=*/false);
+    hidden_.emplace_back(StrFormat("made.h%zu", l), prev_deg.size(), width,
+                         std::move(mask), &rng_);
+    layer_degrees_.push_back(deg);
+    prev_deg = std::move(deg);
+    prev_is_input = false;
+  }
+  (void)prev_is_input;
+
+  // Output heads: block i may only read units with degree < i, hence the
+  // strict mask. Column 0's head sees nothing (bias-only marginal start);
+  // that is intended: P(X_0) is learned through the bias + softmax.
+  heads_.resize(n);
+  for (size_t c = 0; c < n; ++c) {
+    const bool reuse = config_.embedding_reuse &&
+                       encoder_.encoding(c) == ColEncoding::kEmbedding;
+    const size_t out_width =
+        reuse ? config_.encoder.embed_dim : domains_[c];
+    std::vector<int> out_deg(out_width, static_cast<int>(c));
+    Matrix mask = BuildMask(prev_deg, out_deg, /*strict=*/true);
+    heads_[c].reuse = reuse;
+    heads_[c].fc = std::make_unique<MaskedLinear>(
+        StrFormat("made.out%zu", c), prev_deg.size(), out_width,
+        std::move(mask), &rng_);
+  }
+  acts_.resize(hidden_.size());
+}
+
+bool MadeModel::HasSkip(size_t layer) const {
+  return config_.residual && layer > 0 &&
+         hidden_[layer].in_dim() == hidden_[layer].out_dim();
+}
+
+void MadeModel::ForwardTrunk(const IntMatrix& codes, size_t upto) {
+  encoder_.EncodeBatchPrefix(codes, upto, &x_);
+  const Matrix* cur = &x_;
+  for (size_t l = 0; l < hidden_.size(); ++l) {
+    hidden_[l].Forward(*cur, &acts_[l]);
+    if (HasSkip(l)) Axpy(*cur, 1.0f, &acts_[l]);
+    ReluForward(acts_[l], &acts_[l]);
+    cur = &acts_[l];
+  }
+}
+
+void MadeModel::HeadForward(size_t col, Matrix* block) {
+  const Head& head = heads_[col];
+  if (!head.reuse) {
+    head.fc->Forward(final_hidden(), block);
+    return;
+  }
+  head.fc->Forward(final_hidden(), &head_tmp_);  // (B x h)
+  const Embedding* emb = encoder_.embedding(col);
+  NARU_CHECK(emb != nullptr);
+  GemmNT(head_tmp_, emb->table().value, block);  // (B x D)
+}
+
+void MadeModel::HeadBackward(size_t col, const Matrix& dblock,
+                             Matrix* dfinal) {
+  Head& head = heads_[col];
+  if (!head.reuse) {
+    head.fc->Backward(final_hidden(), dblock, dfinal,
+                      /*accumulate_dx=*/true);
+    return;
+  }
+  Embedding* emb = encoder_.embedding(col);
+  // logits = tmp · E^T  =>  dtmp = dblock · E;  dE += dblock^T · tmp.
+  GemmNN(dblock, emb->table().value, &dtmp_);
+  GemmTN(dblock, head_tmp_, &emb->table().grad, /*accumulate=*/true);
+  head.fc->Backward(final_hidden(), dtmp_, dfinal, /*accumulate_dx=*/true);
+}
+
+void MadeModel::ConditionalDist(const IntMatrix& samples, size_t col,
+                                Matrix* probs) {
+  NARU_CHECK(col < num_columns());
+  ForwardTrunk(samples, col);
+  HeadForward(col, &block_);
+  SoftmaxRows(block_, probs);
+}
+
+void MadeModel::LogProbRows(const IntMatrix& tuples,
+                            std::vector<double>* out_nats) {
+  const size_t batch = tuples.rows();
+  out_nats->assign(batch, 0.0);
+  ForwardTrunk(tuples, num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    HeadForward(c, &block_);
+    const size_t d = domains_[c];
+    for (size_t r = 0; r < batch; ++r) {
+      const float* row = block_.Row(r);
+      const double log_z = LogSumExpSlice(row, 0, d);
+      const int32_t target = tuples.At(r, c);
+      (*out_nats)[r] += static_cast<double>(row[target]) - log_z;
+    }
+  }
+}
+
+double MadeModel::ForwardBackward(const IntMatrix& codes) {
+  const size_t batch = codes.rows();
+  NARU_CHECK(batch > 0);
+  ForwardTrunk(codes, num_columns());
+
+  const float grad_scale = 1.0f / static_cast<float>(batch);
+  Matrix dfinal(final_hidden().rows(), final_hidden().cols());
+  targets_.resize(batch);
+
+  double total_nll = 0;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    HeadForward(c, &block_);
+    for (size_t r = 0; r < batch; ++r) targets_[r] = codes.At(r, c);
+    dblock_.Resize(block_.rows(), block_.cols());
+    dblock_.Zero();
+    total_nll += SoftmaxCrossEntropySlice(block_, 0, domains_[c],
+                                          targets_.data(), grad_scale,
+                                          &dblock_);
+    HeadBackward(c, dblock_, &dfinal);
+  }
+
+  // Backprop through the hidden stack.
+  Matrix grad = std::move(dfinal);
+  Matrix grad_prev;
+  for (size_t l = hidden_.size(); l-- > 0;) {
+    // acts_[l] is post-ReLU; its positivity gates the ReLU backward.
+    ReluBackward(acts_[l], grad, &grad);
+    const Matrix& input = (l == 0) ? x_ : acts_[l - 1];
+    hidden_[l].Backward(input, grad, &grad_prev);
+    // ResMADE identity path: z = W h + b + h, so dh gains the gated
+    // upstream gradient in addition to the masked-linear term.
+    if (HasSkip(l)) Axpy(grad, 1.0f, &grad_prev);
+    grad = std::move(grad_prev);
+    grad_prev = Matrix();
+  }
+  if (hidden_.empty()) {
+    // Degenerate linear MADE: heads consumed x_ directly and dfinal is the
+    // gradient w.r.t. x_ (now held in `grad`).
+  }
+  encoder_.Backward(codes, grad);
+  return total_nll;
+}
+
+std::vector<Parameter*> MadeModel::Parameters() {
+  std::vector<Parameter*> params;
+  encoder_.CollectParameters(&params);
+  for (auto& h : hidden_) h.CollectParameters(&params);
+  for (auto& head : heads_) head.fc->CollectParameters(&params);
+  return params;
+}
+
+size_t MadeModel::SizeBytes() { return ParameterBytes(Parameters()); }
+
+Status MadeModel::Save(const std::string& path) {
+  return SaveParameters(path, Parameters());
+}
+
+Status MadeModel::Load(const std::string& path) {
+  NARU_RETURN_NOT_OK(LoadParameters(path, Parameters()));
+  for (auto& h : hidden_) h.ProjectWeights();
+  for (auto& head : heads_) head.fc->ProjectWeights();
+  return Status::OK();
+}
+
+}  // namespace naru

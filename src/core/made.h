@@ -1,0 +1,122 @@
+// MADE: masked autoregressive network over relational tuples (§3.2, §4.3 B).
+//
+// The model maps an encoded tuple to one output block per column, where
+// block i is (after softmax) the conditional distribution
+// P̂(X_i | x_1..x_{i-1}). Autoregressiveness is enforced with MADE weight
+// masks (Germain et al. 2015): every input dimension carries the index of
+// the column it encodes, hidden units carry degrees in {0..n-2} meaning
+// "may depend on columns <= degree", and output block i may only read
+// hidden units with degree < i. Column order is the table order (§3.1).
+//
+// Output heads are per-column MaskedLinears. Large-domain columns can use
+// the paper's "embedding reuse" (§4.2): the head emits h dims and logits
+// are formed against the input embedding table, logits = H · E_i^T, saving
+// a |A_i| x F output layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/conditional_model.h"
+#include "core/encoding.h"
+#include "core/trainable_model.h"
+#include "nn/masked_linear.h"
+#include "util/status.h"
+
+namespace naru {
+
+class MadeModel : public ConditionalModel, public TrainableModel {
+ public:
+  struct Config {
+    /// Hidden layer widths; empty = linear (bias/logistic) MADE.
+    std::vector<size_t> hidden_sizes = {128, 128, 128, 128};
+    EncoderConfig encoder;
+    /// Use embedding reuse for columns that are embedding-encoded.
+    bool embedding_reuse = true;
+    /// ResMADE: pre-activation residual skips between equal-width hidden
+    /// layers, h_{l+1} = ReLU(W h_l + b + h_l). Degree vectors of
+    /// equal-width layers coincide, so the identity path is mask-safe and
+    /// the autoregressive property is preserved. Deeper MADE stacks train
+    /// noticeably faster with this on.
+    bool residual = false;
+    uint64_t seed = 1;
+  };
+
+  /// `domains[i]` is |A_i| for column i in model (= table) order.
+  MadeModel(std::vector<size_t> domains, Config config);
+
+  // --- ConditionalModel ---
+  size_t num_columns() const override { return domains_.size(); }
+  size_t DomainSize(size_t col) const override { return domains_[col]; }
+  void ConditionalDist(const IntMatrix& samples, size_t col,
+                       Matrix* probs) override;
+  void LogProbRows(const IntMatrix& tuples,
+                   std::vector<double>* out_nats) override;
+
+  // --- Training ---
+  /// Fused forward/backward over a batch of full tuples; accumulates
+  /// parameter gradients (mean-scaled) and returns the summed NLL in nats.
+  double ForwardBackward(const IntMatrix& codes);
+
+  /// All trainable parameters (optimizer registration, serialization).
+  std::vector<Parameter*> Parameters();
+
+  /// float32 model size (the paper's reported estimator size).
+  size_t SizeBytes();
+
+  Status Save(const std::string& path);
+  Status Load(const std::string& path);
+
+  const Config& config() const { return config_; }
+  const InputEncoder& encoder() const { return encoder_; }
+
+ private:
+  /// Encodes columns < upto and runs the hidden stack; the result lives in
+  /// final_hidden(). With upto == num_columns() this is a full forward.
+  void ForwardTrunk(const IntMatrix& codes, size_t upto);
+
+  const Matrix& final_hidden() const {
+    return acts_.empty() ? x_ : acts_.back();
+  }
+
+  /// Computes the raw logits block for `col` from the last ForwardTrunk.
+  /// The block is written into `block` (batch x domains_[col]).
+  void HeadForward(size_t col, Matrix* block);
+
+  /// Backpropagates a logits-block gradient through head `col`,
+  /// accumulating into dfinal (batch x F).
+  void HeadBackward(size_t col, const Matrix& dblock, Matrix* dfinal);
+
+  /// Builds the MADE mask between two degree vectors.
+  static Matrix BuildMask(const std::vector<int>& in_deg,
+                          const std::vector<int>& out_deg, bool strict);
+
+  /// True when hidden layer `layer` carries a ResMADE residual skip.
+  bool HasSkip(size_t layer) const;
+
+  std::vector<size_t> domains_;
+  Config config_;
+  Rng rng_;
+  InputEncoder encoder_;
+  std::vector<int> input_degrees_;             // per input dim
+  std::vector<std::vector<int>> layer_degrees_;  // per hidden layer
+  std::vector<MaskedLinear> hidden_;
+
+  struct Head {
+    std::unique_ptr<MaskedLinear> fc;
+    bool reuse = false;  // logits = fc_out · E^T
+  };
+  std::vector<Head> heads_;
+
+  // Workspace (the model is single-threaded by design; batched GEMMs
+  // parallelize internally).
+  Matrix x_;
+  std::vector<Matrix> acts_;
+  Matrix head_tmp_;   // reuse heads' h-dim output
+  Matrix block_;      // current head logits
+  Matrix dblock_;
+  Matrix dtmp_;
+  std::vector<int32_t> targets_;
+};
+
+}  // namespace naru

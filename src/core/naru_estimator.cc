@@ -1,0 +1,37 @@
+#include "core/naru_estimator.h"
+
+#include <cmath>
+
+#include "core/enumerator.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+NaruEstimator::NaruEstimator(ConditionalModel* model,
+                             NaruEstimatorConfig config,
+                             size_t model_size_bytes, std::string name)
+    : model_(model),
+      config_(config),
+      sampler_(model,
+               ProgressiveSamplerConfig{
+                   .num_samples = config.num_samples,
+                   .max_batch = 512,
+                   .seed = config.sampler_seed,
+                   .uniform_region = config.uniform_region,
+               }),
+      model_size_bytes_(model_size_bytes),
+      name_(name.empty() ? StrFormat("Naru-%zu", config.num_samples)
+                         : std::move(name)) {}
+
+double NaruEstimator::EstimateSelectivity(const Query& query) {
+  if (query.HasEmptyRegion()) return 0.0;
+  if (config_.enumeration_threshold > 0) {
+    const double log10_points = query.Log10RegionSize();
+    if (log10_points <= std::log10(config_.enumeration_threshold)) {
+      return EnumerateSelectivity(model_, query);
+    }
+  }
+  return sampler_.EstimateSelectivity(query);
+}
+
+}  // namespace naru

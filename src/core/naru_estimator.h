@@ -1,0 +1,45 @@
+// The end-to-end Naru estimator (§4, §5): a trained autoregressive model
+// queried through progressive sampling, with exact enumeration for small
+// query regions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/conditional_model.h"
+#include "core/sampler.h"
+#include "estimator/estimator.h"
+
+namespace naru {
+
+struct NaruEstimatorConfig {
+  /// Progressive sample paths (names the estimator "Naru-<S>").
+  size_t num_samples = 1000;
+  /// Regions with at most this many points are answered by exact
+  /// enumeration instead of sampling (0 disables enumeration).
+  double enumeration_threshold = 10000;
+  uint64_t sampler_seed = 7;
+  /// Use the §5.1 uniform-region strawman (ablation only).
+  bool uniform_region = false;
+};
+
+/// Wraps any ConditionalModel (a trained MadeModel, an arch-A model, or an
+/// OracleModel) as an Estimator. Does not own the model.
+class NaruEstimator : public Estimator {
+ public:
+  NaruEstimator(ConditionalModel* model, NaruEstimatorConfig config,
+                size_t model_size_bytes, std::string name = "");
+
+  std::string name() const override { return name_; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override { return model_size_bytes_; }
+
+ private:
+  ConditionalModel* model_;
+  NaruEstimatorConfig config_;
+  ProgressiveSampler sampler_;
+  size_t model_size_bytes_;
+  std::string name_;
+};
+
+}  // namespace naru

@@ -1,0 +1,119 @@
+#include "core/percolumn.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+PerColumnModel::PerColumnModel(std::vector<size_t> domains, Config config)
+    : domains_(std::move(domains)),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      encoder_(domains_, config_.encoder, &rng_) {
+  nets_.reserve(domains_.size());
+  for (size_t c = 0; c < domains_.size(); ++c) {
+    // Input: prefix encoding width + 1 bias slot.
+    const size_t in_dim = encoder_.offset(c) + 1;
+    std::vector<size_t> dims;
+    dims.push_back(in_dim);
+    for (size_t h : config_.hidden_sizes) dims.push_back(h);
+    dims.push_back(domains_[c]);
+    nets_.push_back(std::make_unique<Mlp>(StrFormat("colnet%zu", c), dims,
+                                          &rng_));
+  }
+}
+
+void PerColumnModel::BuildInput(const IntMatrix& codes, size_t col,
+                                Matrix* x) {
+  const size_t batch = codes.rows();
+  const size_t width = encoder_.offset(col);
+  // EncodeBatchPrefix writes into a full-width matrix; copy the prefix
+  // slice and append the constant slot.
+  encoder_.EncodeBatchPrefix(codes, col, &enc_);
+  x->Resize(batch, width + 1);
+  for (size_t r = 0; r < batch; ++r) {
+    const float* src = enc_.Row(r);
+    float* dst = x->Row(r);
+    for (size_t j = 0; j < width; ++j) dst[j] = src[j];
+    dst[width] = 1.0f;
+  }
+}
+
+void PerColumnModel::ConditionalDist(const IntMatrix& samples, size_t col,
+                                     Matrix* probs) {
+  BuildInput(samples, col, &in_);
+  nets_[col]->ForwardInference(in_, &logits_);
+  SoftmaxRows(logits_, probs);
+}
+
+void PerColumnModel::LogProbRows(const IntMatrix& tuples,
+                                 std::vector<double>* out_nats) {
+  const size_t batch = tuples.rows();
+  out_nats->assign(batch, 0.0);
+  for (size_t c = 0; c < num_columns(); ++c) {
+    BuildInput(tuples, c, &in_);
+    nets_[c]->ForwardInference(in_, &logits_);
+    for (size_t r = 0; r < batch; ++r) {
+      const float* row = logits_.Row(r);
+      const double log_z = LogSumExpSlice(row, 0, domains_[c]);
+      (*out_nats)[r] +=
+          static_cast<double>(row[tuples.At(r, c)]) - log_z;
+    }
+  }
+}
+
+double PerColumnModel::ForwardBackward(const IntMatrix& codes) {
+  const size_t batch = codes.rows();
+  const float grad_scale = 1.0f / static_cast<float>(batch);
+  targets_.resize(batch);
+  double total_nll = 0;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    BuildInput(codes, c, &in_);
+    nets_[c]->Forward(in_, &logits_);
+    for (size_t r = 0; r < batch; ++r) targets_[r] = codes.At(r, c);
+    dlogits_.Resize(logits_.rows(), logits_.cols());
+    dlogits_.Zero();
+    total_nll += SoftmaxCrossEntropySlice(logits_, 0, domains_[c],
+                                          targets_.data(), grad_scale,
+                                          &dlogits_);
+    nets_[c]->Backward(dlogits_, &din_);
+    // Scatter gradient into the embedding tables feeding the prefix.
+    if (din_.cols() > 1) {
+      // din_ includes the constant slot at the end; embeddings only occupy
+      // the prefix columns. Reassemble a full-width gradient.
+      Matrix full(batch, encoder_.total_width());
+      full.Zero();
+      const size_t width = encoder_.offset(c);
+      for (size_t r = 0; r < batch; ++r) {
+        const float* src = din_.Row(r);
+        float* dst = full.Row(r);
+        for (size_t j = 0; j < width; ++j) dst[j] = src[j];
+      }
+      encoder_.Backward(codes, full);
+    }
+  }
+  return total_nll;
+}
+
+std::vector<Parameter*> PerColumnModel::Parameters() {
+  std::vector<Parameter*> params;
+  encoder_.CollectParameters(&params);
+  for (auto& net : nets_) net->CollectParameters(&params);
+  return params;
+}
+
+size_t PerColumnModel::SizeBytes() { return ParameterBytes(Parameters()); }
+
+Status PerColumnModel::Save(const std::string& path) {
+  return SaveParameters(path, Parameters());
+}
+
+Status PerColumnModel::Load(const std::string& path) {
+  return LoadParameters(path, Parameters());
+}
+
+}  // namespace naru

@@ -1,0 +1,145 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace naru {
+
+ProgressiveSampler::ProgressiveSampler(ConditionalModel* model,
+                                       ProgressiveSamplerConfig cfg)
+    : model_(model), cfg_(cfg), rng_(cfg.seed) {
+  NARU_CHECK(cfg_.num_samples >= 1);
+  NARU_CHECK(cfg_.max_batch >= 1);
+}
+
+double ProgressiveSampler::EstimateSelectivity(const Query& query) {
+  return EstimateWithStdError(query, nullptr);
+}
+
+double ProgressiveSampler::EstimateWithStdError(const Query& query,
+                                                double* std_error) {
+  NARU_CHECK(query.num_columns() == model_->num_table_columns());
+  if (std_error != nullptr) *std_error = 0.0;
+  if (query.HasEmptyRegion()) return 0.0;
+
+  // Last constrained *model position* (not table column): permuted models
+  // serve table columns out of order and factorized models subdivide them,
+  // so the trailing-wildcard early exit must respect the model's own walk
+  // order.
+  int last_col = -1;
+  for (size_t i = 0; i < model_->num_columns(); ++i) {
+    if (!model_->PositionIsWildcard(query, i)) {
+      last_col = static_cast<int>(i);
+    }
+  }
+  if (last_col < 0 && !cfg_.uniform_region) return 1.0;  // all wildcards
+
+  double weight_sum = 0;
+  double weight_sq_sum = 0;
+  size_t remaining = cfg_.num_samples;
+  while (remaining > 0) {
+    const size_t chunk = std::min(remaining, cfg_.max_batch);
+    weight_sum += cfg_.uniform_region
+                      ? UniformChunkWeightSum(query, chunk)
+                      : ChunkWeightSum(query, chunk, last_col,
+                                       &weight_sq_sum);
+    remaining -= chunk;
+  }
+  const double s = static_cast<double>(cfg_.num_samples);
+  const double mean = weight_sum / s;
+  if (std_error != nullptr && !cfg_.uniform_region && cfg_.num_samples > 1) {
+    // Unbiased sample variance of the path weights.
+    const double var =
+        std::max(0.0, (weight_sq_sum - s * mean * mean) / (s - 1.0));
+    *std_error = std::sqrt(var / s);
+  }
+  return mean;
+}
+
+double ProgressiveSampler::ChunkWeightSum(const Query& query, size_t chunk,
+                                          int last_col,
+                                          double* weight_sq_sum) {
+  const size_t n = model_->num_columns();
+  samples_.Resize(chunk, n);
+  samples_.Fill(0);
+  std::vector<double> weights(chunk, 1.0);
+  std::vector<uint8_t> alive(chunk, 1);
+
+  auto session = model_->StartSession(chunk);
+  for (size_t col = 0; col <= static_cast<size_t>(last_col); ++col) {
+    const bool wildcard = model_->PositionIsWildcard(query, col);
+    session->Dist(samples_, col, &probs_);
+    const size_t d = model_->DomainSize(col);
+    NARU_CHECK(probs_.rows() == chunk && probs_.cols() == d);
+    for (size_t r = 0; r < chunk; ++r) {
+      float* row = probs_.Row(r);
+      if (!alive[r]) {
+        // Dead paths keep a valid (but irrelevant) prefix so stateful
+        // sessions stay well-defined.
+        samples_.At(r, col) = model_->FallbackCode(query, col);
+        continue;
+      }
+      double mass;
+      if (wildcard) {
+        mass = 1.0;  // wildcard position: P(X ∈ full domain) is exactly 1
+      } else {
+        // Per-path mask: the model zeroes entries outside the allowed set
+        // given this path's sampled prefix (Alg. 1 lines 12-14).
+        mass = model_->MaskProbsToRegion(query, samples_.Row(r), col, row);
+      }
+      if (!(mass > 0.0) || !std::isfinite(mass)) {
+        weights[r] = 0.0;
+        alive[r] = 0;
+        samples_.At(r, col) = model_->FallbackCode(query, col);
+        continue;
+      }
+      weights[r] *= std::min(mass, 1.0);
+      // Draw from the truncated, renormalized conditional (the row has
+      // been zeroed outside the region; Categorical renormalizes).
+      const size_t v = rng_.Categorical(row, d);
+      samples_.At(r, col) = static_cast<int32_t>(v);
+    }
+  }
+
+  double sum = 0;
+  for (double w : weights) {
+    sum += w;
+    *weight_sq_sum += w * w;
+  }
+  return sum;
+}
+
+double ProgressiveSampler::UniformChunkWeightSum(const Query& query,
+                                                 size_t chunk) {
+  // The uniform-region strawman exists only for the §5.1 ablation and is
+  // not generalized to factorized position layouts.
+  NARU_CHECK(model_->num_columns() == model_->num_table_columns());
+  const size_t n = model_->num_columns();
+  samples_.Resize(chunk, n);
+  samples_.Fill(0);
+  std::vector<double> weights(chunk, 1.0);
+
+  // First materialize uniform draws from the full region R_1 x ... x R_n,
+  // then weight each point by |R| · P̂(x) (naive Monte Carlo integration).
+  auto session = model_->StartSession(chunk);
+  for (size_t col = 0; col < n; ++col) {
+    const ValueSet& region = query.region(model_->TableColumnOf(col));
+    const size_t count = region.Count();
+    NARU_CHECK(count > 0);
+    session->Dist(samples_, col, &probs_);
+    for (size_t r = 0; r < chunk; ++r) {
+      const int32_t v = region.NthCode(rng_.UniformInt(count));
+      const double p = static_cast<double>(
+          probs_.At(r, static_cast<size_t>(v)));
+      weights[r] *= p * static_cast<double>(count);
+      samples_.At(r, col) = v;
+    }
+  }
+
+  double sum = 0;
+  for (double w : weights) sum += w;
+  return sum;
+}
+
+}  // namespace naru

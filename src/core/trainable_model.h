@@ -1,0 +1,42 @@
+// Training-side interface of Naru models.
+//
+// ConditionalModel is the *query-side* contract (what progressive sampling
+// needs); TrainableModel is the *training-side* contract (what the Trainer
+// and the serialization bundle need). Every learned architecture — MADE
+// (arch B), the per-column nets (arch A), the causal Transformer — derives
+// from both; the scanning Oracle derives only from ConditionalModel since
+// it has nothing to train.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/matrix.h"
+
+namespace naru {
+
+class TrainableModel {
+ public:
+  virtual ~TrainableModel() = default;
+
+  virtual size_t num_columns() const = 0;
+
+  /// Width of the batches ForwardBackward accepts. Equals num_columns()
+  /// except for models with an internal sub-column layout (FactorizedModel
+  /// accepts TABLE rows and splits them itself).
+  virtual size_t num_input_columns() const { return num_columns(); }
+
+  /// Fused forward/backward over a batch of full dictionary-code tuples.
+  /// Accumulates parameter gradients (mean-scaled over the batch) and
+  /// returns the batch's summed negative log-likelihood in nats.
+  virtual double ForwardBackward(const IntMatrix& codes) = 0;
+
+  /// All trainable parameters, for optimizer registration and (de)serialization.
+  virtual std::vector<Parameter*> Parameters() = 0;
+
+  /// float32 model size in bytes (the paper's reported estimator size).
+  virtual size_t SizeBytes() { return ParameterBytes(Parameters()); }
+};
+
+}  // namespace naru

@@ -1,0 +1,63 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/entropy.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+Trainer::Trainer(TrainableModel* model, TrainerConfig config)
+    : model_(model), config_(config), rng_(config.shuffle_seed) {
+  AdamOptions opts;
+  opts.lr = config_.lr;
+  opts.clip_global_norm = config_.clip_global_norm;
+  optimizer_ = std::make_unique<Adam>(model_->Parameters(), opts);
+}
+
+double Trainer::RunEpoch(const Table& table) {
+  const size_t n = table.num_rows();
+  NARU_CHECK(n > 0);
+  const size_t cols = table.num_columns();
+  NARU_CHECK(cols == model_->num_input_columns());
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng_.Shuffle(&order);
+
+  double total_nll_nats = 0;
+  IntMatrix batch;
+  for (size_t start = 0; start < n; start += config_.batch_size) {
+    const size_t chunk = std::min(config_.batch_size, n - start);
+    batch.Resize(chunk, cols);
+    for (size_t i = 0; i < chunk; ++i) {
+      table.GetRowCodes(order[start + i], batch.Row(i));
+    }
+    total_nll_nats += model_->ForwardBackward(batch);
+    optimizer_->Step();
+  }
+  return total_nll_nats / static_cast<double>(n) / std::log(2.0);
+}
+
+std::vector<double> Trainer::Train(const Table& table) {
+  std::vector<double> curve;
+  curve.reserve(config_.epochs);
+  for (size_t e = 0; e < config_.epochs; ++e) {
+    const double bits = RunEpoch(table);
+    curve.push_back(bits);
+    if (config_.verbose) {
+      NARU_LOG_INFO("epoch %zu/%zu: train NLL %.3f bits/tuple (lr %.2g)",
+                    e + 1, config_.epochs, bits, optimizer_->lr());
+    }
+    optimizer_->set_lr(optimizer_->lr() * config_.lr_decay);
+  }
+  return curve;
+}
+
+void Trainer::FineTune(const Table& new_partition, size_t passes) {
+  for (size_t p = 0; p < passes; ++p) RunEpoch(new_partition);
+}
+
+}  // namespace naru

@@ -1,0 +1,55 @@
+// Maximum-likelihood training loop for Naru models (§3.2, §4.1).
+//
+// Unsupervised: the trainer only reads tuples from the table (no queries,
+// no feedback) and minimizes the cross entropy H(P, P̂) (Eq. 2). One epoch
+// is one shuffled pass over the data; RunEpoch returns the epoch's average
+// negative log-likelihood in bits/tuple, which (minus the exact data
+// entropy) is the §3.3 entropy gap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/trainable_model.h"
+#include "data/table.h"
+#include "nn/adam.h"
+#include "util/random.h"
+
+namespace naru {
+
+struct TrainerConfig {
+  size_t epochs = 10;
+  size_t batch_size = 512;
+  double lr = 2e-3;
+  /// Multiplied into lr after each epoch (1.0 = constant).
+  double lr_decay = 1.0;
+  /// Global-norm gradient clip; 0 disables.
+  double clip_global_norm = 5.0;
+  uint64_t shuffle_seed = 123;
+  bool verbose = false;
+};
+
+class Trainer {
+ public:
+  Trainer(TrainableModel* model, TrainerConfig config);
+
+  /// One shuffled pass over `table`; returns average NLL in bits/tuple.
+  double RunEpoch(const Table& table);
+
+  /// config.epochs passes; returns the per-epoch NLL (bits/tuple) curve.
+  std::vector<double> Train(const Table& table);
+
+  /// Incremental refresh on newly ingested data (§6.7.3): `passes` epochs
+  /// over `new_partition` only, at the (possibly decayed) current lr.
+  void FineTune(const Table& new_partition, size_t passes = 1);
+
+  Adam& optimizer() { return *optimizer_; }
+
+ private:
+  TrainableModel* model_;
+  TrainerConfig config_;
+  std::unique_ptr<Adam> optimizer_;
+  Rng rng_;
+};
+
+}  // namespace naru

@@ -1,0 +1,97 @@
+#include "data/csv_table.h"
+
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+namespace {
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Table> LoadTableFromCsv(const std::string& path,
+                               const std::string& name,
+                               const std::vector<std::string>& columns,
+                               char delim) {
+  NARU_ASSIGN_OR_RETURN(CsvContents csv, ReadCsvFile(path, delim));
+
+  // Resolve the selected column indices.
+  std::vector<size_t> selected;
+  std::vector<std::string> out_names;
+  if (columns.empty()) {
+    for (size_t i = 0; i < csv.header.size(); ++i) selected.push_back(i);
+    out_names = csv.header;
+  } else {
+    for (const auto& want : columns) {
+      bool found = false;
+      for (size_t i = 0; i < csv.header.size(); ++i) {
+        if (csv.header[i] == want) {
+          selected.push_back(i);
+          out_names.push_back(want);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("CSV column not found: " + want);
+      }
+    }
+  }
+
+  TableBuilder builder(name);
+  for (size_t k = 0; k < selected.size(); ++k) {
+    const size_t ci = selected[k];
+    // Infer type with one pass, then materialize values.
+    bool all_int = true;
+    bool all_double = true;
+    for (const auto& row : csv.rows) {
+      int64_t iv;
+      double dv;
+      if (all_int && !ParseInt(row[ci], &iv)) all_int = false;
+      if (!all_int && all_double && !ParseDouble(row[ci], &dv)) {
+        all_double = false;
+        break;
+      }
+    }
+    std::vector<Value> values;
+    values.reserve(csv.rows.size());
+    for (const auto& row : csv.rows) {
+      const std::string& cell = row[ci];
+      if (all_int) {
+        int64_t iv = 0;
+        ParseInt(cell, &iv);
+        values.emplace_back(iv);
+      } else if (all_double) {
+        double dv = 0;
+        ParseDouble(cell, &dv);
+        values.emplace_back(dv);
+      } else {
+        values.emplace_back(cell);
+      }
+    }
+    builder.AddValueColumn(out_names[k], values);
+  }
+  return builder.Build();
+}
+
+}  // namespace naru

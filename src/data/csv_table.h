@@ -1,0 +1,24 @@
+// CSV -> Table import with simple type inference.
+//
+// This is the path for loading the paper's real datasets (e.g. the NY DMV
+// registration dump) when available; the benchmark suite falls back to the
+// synthetic generators otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace naru {
+
+/// Loads `path` as a table named `name`. Column types are inferred per
+/// column: all-int64 -> int, else all-double -> double, else string.
+/// `columns`, when non-empty, selects (and orders) a subset by header name.
+Result<Table> LoadTableFromCsv(const std::string& path,
+                               const std::string& name,
+                               const std::vector<std::string>& columns = {},
+                               char delim = ',');
+
+}  // namespace naru

@@ -1,0 +1,254 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace naru {
+
+namespace {
+
+// Mixes a column id into a per-column multiplier for base-value placement.
+uint64_t ColumnHash(uint64_t c) {
+  uint64_t z = c + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Table MakeDmvLike(size_t rows, uint64_t seed, int num_partitions) {
+  NARU_CHECK(num_partitions >= 1);
+  // The paper's 11 DMV columns with their reported domain sizes.
+  const char* names[11] = {"record_type", "reg_class", "state",   "county",
+                           "body_type",   "fuel_type", "valid_date", "color",
+                           "sco_ind",     "sus_ind",   "rev_ind"};
+  const size_t domains[11] = {4, 75, 89, 63, 59, 9, 2101, 225, 2, 2, 2};
+  constexpr size_t kDateCol = 6;
+  constexpr size_t kNumClusters = 64;
+
+  Rng rng(seed);
+  ZipfTable cluster_dist(kNumClusters, 1.35);
+  std::vector<ZipfTable> local_offsets;
+  std::vector<ZipfTable> global_dists;
+  local_offsets.reserve(11);
+  global_dists.reserve(11);
+  for (size_t c = 0; c < 11; ++c) {
+    const size_t width = std::max<size_t>(1, domains[c] / 16);
+    local_offsets.emplace_back(width, 1.5);
+    global_dists.emplace_back(domains[c], 1.05);
+  }
+
+  std::vector<std::vector<int64_t>> cols(11);
+  for (auto& v : cols) v.reserve(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const int part =
+        static_cast<int>((r * static_cast<size_t>(num_partitions)) / rows);
+    // Later partitions shift the cluster mix (statistical drift).
+    const size_t z =
+        (cluster_dist.Sample(&rng) + static_cast<size_t>(part) * 5) %
+        kNumClusters;
+    for (size_t c = 0; c < 11; ++c) {
+      const size_t d = domains[c];
+      int64_t value;
+      if (d == 2) {
+        // Indicator columns track cluster bits with 5% noise.
+        value = static_cast<int64_t>((z >> (c % 6)) & 1);
+        if (rng.UniformDouble() < 0.05) value ^= 1;
+      } else if (c == kDateCol) {
+        // Dates live inside the partition's date window (§6.7.3 ingests
+        // "one new partition per day"), clustered near the window start.
+        const size_t window = d / static_cast<size_t>(num_partitions);
+        const size_t base = static_cast<size_t>(part) * window;
+        const size_t offset =
+            (z * 31 + local_offsets[c].Sample(&rng)) % std::max<size_t>(window, 1);
+        value = static_cast<int64_t>(base + offset);
+      } else if (rng.UniformDouble() < 0.92) {
+        // Correlated draw: cluster-determined base plus local Zipf offset.
+        // Real registration data is dominated by default values (standard
+        // record type, common colors); a 35% "mode" draw reproduces those
+        // heavy hitters so equality literals often select fat values.
+        const size_t base = (z * ColumnHash(c)) % d;
+        const size_t offset = rng.UniformDouble() < 0.35
+                                  ? 0
+                                  : local_offsets[c].Sample(&rng);
+        value = static_cast<int64_t>((base + offset) % d);
+      } else {
+        // Background noise: globally skewed draw.
+        value = static_cast<int64_t>(global_dists[c].Sample(&rng));
+      }
+      cols[c].push_back(value);
+    }
+  }
+
+  TableBuilder builder("dmv_like");
+  for (size_t c = 0; c < 11; ++c) builder.AddIntColumn(names[c], cols[c]);
+  return builder.Build();
+}
+
+Table MakeConvivaALike(size_t rows, uint64_t seed) {
+  struct ColSpec {
+    const char* name;
+    size_t domain;
+    bool numeric;
+  };
+  // 6 small-domain categoricals + 9 large-domain numeric quantities,
+  // mirroring the paper's description (domains 2 - 1.9K).
+  const ColSpec specs[15] = {
+      {"error_flag", 2, false},     {"conn_type", 5, false},
+      {"device", 12, false},        {"cdn", 6, false},
+      {"asn_bucket", 40, false},    {"region", 25, false},
+      {"bandwidth_kbps", 1900, true}, {"bitrate", 800, true},
+      {"buffer_ms", 1200, true},    {"join_time", 1000, true},
+      {"play_time", 1500, true},    {"bytes_mb", 1800, true},
+      {"chunks", 300, true},        {"dropped", 150, true},
+      {"session_len", 900, true},
+  };
+  constexpr size_t kNumClusters = 16;
+
+  Rng rng(seed);
+  ZipfTable cluster_dist(kNumClusters, 1.05);
+
+  // Per-cluster latent means and per-column loadings.
+  std::vector<std::array<double, 3>> mu(kNumClusters);
+  Rng setup(seed ^ 0xABCDEF12345ULL);
+  for (auto& m : mu) {
+    for (double& x : m) x = setup.Gaussian() * 1.2;
+  }
+  std::vector<std::array<double, 3>> loadings(15);
+  for (auto& l : loadings) {
+    for (double& x : l) x = setup.Gaussian() * 0.8;
+  }
+
+  std::vector<std::vector<int64_t>> cols(15);
+  for (auto& v : cols) v.reserve(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t z = cluster_dist.Sample(&rng);
+    double f[3];
+    for (int k = 0; k < 3; ++k) f[k] = mu[z][k] + 0.5 * rng.Gaussian();
+    for (size_t c = 0; c < 15; ++c) {
+      const size_t d = specs[c].domain;
+      int64_t value;
+      if (!specs[c].numeric) {
+        if (rng.UniformDouble() < 0.85) {
+          value = static_cast<int64_t>((z * ColumnHash(c)) % d);
+        } else {
+          value = static_cast<int64_t>(rng.UniformInt(d));
+        }
+      } else if (rng.UniformDouble() < 0.40) {
+        // Zero-inflation: telemetry quantities (dropped frames, buffering
+        // time, ...) are dominated by a zero/idle mode in real logs.
+        value = 0;
+      } else {
+        // Correlated log-normal quantity quantized onto [0, d).
+        const double score = loadings[c][0] * f[0] + loadings[c][1] * f[1] +
+                             loadings[c][2] * f[2] + 0.25 * rng.Gaussian();
+        const double u = 1.0 / (1.0 + std::exp(-score));  // in (0,1)
+        // Square to skew mass toward the low end (bandwidths, latencies).
+        value = static_cast<int64_t>(u * u * static_cast<double>(d - 1));
+      }
+      cols[c].push_back(value);
+    }
+  }
+
+  TableBuilder builder("conviva_a_like");
+  for (size_t c = 0; c < 15; ++c) {
+    builder.AddIntColumn(specs[c].name, cols[c]);
+  }
+  return builder.Build();
+}
+
+Table MakeConvivaBLike(size_t rows, uint64_t seed, size_t cols) {
+  NARU_CHECK(cols >= 5);
+  constexpr size_t kUniqueCol = 3;  // near-the-front unique session id
+  Rng rng(seed);
+  Rng setup(seed ^ 0x5DEECE66DULL);
+
+  // Per-column domain schedule: flags, mid-size categoricals, larger
+  // numerics; paper reports domains 2 - 10K.
+  std::vector<size_t> domains(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    if (c == kUniqueCol) {
+      domains[c] = rows;  // unique session id column
+    } else if (c % 5 == 0) {
+      domains[c] = 2;
+    } else if (c % 5 == 1) {
+      domains[c] = 8 + ColumnHash(c) % 24;
+    } else if (c % 5 == 2) {
+      domains[c] = 50 + ColumnHash(c) % 200;
+    } else {
+      domains[c] = 300 + ColumnHash(c) % 1800;
+    }
+  }
+
+  // Low-rank loadings (rank 4).
+  std::vector<std::array<double, 4>> loadings(cols);
+  for (auto& l : loadings) {
+    for (double& x : l) x = setup.Gaussian();
+  }
+
+  // Unique ids: a fixed pseudo-random permutation of [0, rows).
+  std::vector<int64_t> ids(rows);
+  for (size_t r = 0; r < rows; ++r) ids[r] = static_cast<int64_t>(r);
+  setup.Shuffle(&ids);
+
+  std::vector<std::vector<int64_t>> data(cols);
+  for (auto& v : data) v.reserve(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    double f[4];
+    for (double& x : f) x = rng.Gaussian();
+    for (size_t c = 0; c < cols; ++c) {
+      if (c == kUniqueCol) {
+        data[c].push_back(ids[r]);
+        continue;
+      }
+      double score = 0;
+      for (int k = 0; k < 4; ++k) score += loadings[c][k] * f[k];
+      score += 0.4 * rng.Gaussian();
+      const double u = 1.0 / (1.0 + std::exp(-score));
+      data[c].push_back(static_cast<int64_t>(
+          u * static_cast<double>(domains[c] - 1) + 0.5));
+    }
+  }
+
+  TableBuilder builder("conviva_b_like");
+  for (size_t c = 0; c < cols; ++c) {
+    builder.AddIntColumn("col" + std::to_string(c), data[c]);
+  }
+  return builder.Build();
+}
+
+Table MakeRandomTable(size_t rows, const std::vector<size_t>& domains,
+                      uint64_t seed, double skew) {
+  Rng rng(seed);
+  const size_t k = std::max<size_t>(2, domains.size() * 2);
+  ZipfTable cluster_dist(k, 1.0);
+  std::vector<ZipfTable> offsets;
+  offsets.reserve(domains.size());
+  for (size_t d : domains) {
+    offsets.emplace_back(std::max<size_t>(1, d / 2), skew);
+  }
+  std::vector<std::vector<int64_t>> data(domains.size());
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t z = cluster_dist.Sample(&rng);
+    for (size_t c = 0; c < domains.size(); ++c) {
+      const size_t d = domains[c];
+      const size_t base = (z * ColumnHash(c)) % d;
+      data[c].push_back(
+          static_cast<int64_t>((base + offsets[c].Sample(&rng)) % d));
+    }
+  }
+  TableBuilder builder("random_table");
+  for (size_t c = 0; c < domains.size(); ++c) {
+    builder.AddIntColumn("c" + std::to_string(c), data[c]);
+  }
+  return builder.Build();
+}
+
+}  // namespace naru

@@ -1,0 +1,38 @@
+// Synthetic dataset generators standing in for the paper's evaluation data.
+//
+// The real DMV CSV and the proprietary Conviva logs are unavailable offline;
+// these generators reproduce the *statistical regime* each dataset supplies
+// to the experiments (see DESIGN.md §2 for the substitution argument):
+//   - DmvLike:     11 columns with the paper's exact domain sizes, strong
+//                  latent-cluster correlations, Zipf skew.
+//   - ConvivaALike: 15 columns mixing small categorical flags with
+//                  large-domain correlated numeric quantities (joint 10^23).
+//   - ConvivaBLike: 10K rows x 100 columns, low-rank latent structure,
+//                  globally unique tuples (joint 10^190-scale).
+// All generators are deterministic in (rows, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace naru {
+
+/// DMV-like table. With `num_partitions` > 1, rows are grouped into
+/// `num_partitions` contiguous date-ordered partitions whose underlying
+/// cluster mix drifts from one partition to the next (for the §6.7.3
+/// ingestion study); partition p occupies rows [p*rows/parts, ...).
+Table MakeDmvLike(size_t rows, uint64_t seed, int num_partitions = 1);
+
+/// Conviva-A-like table: 15 columns (6 categorical + 9 numeric).
+Table MakeConvivaALike(size_t rows, uint64_t seed);
+
+/// Conviva-B-like table: `cols` columns (default 100), unique rows.
+Table MakeConvivaBLike(size_t rows, uint64_t seed, size_t cols = 100);
+
+/// Small random correlated table for property tests: `domains[i]` gives
+/// each column's maximum domain size; `skew` the Zipf exponent.
+Table MakeRandomTable(size_t rows, const std::vector<size_t>& domains,
+                      uint64_t seed, double skew = 1.0);
+
+}  // namespace naru

@@ -1,0 +1,50 @@
+#include "data/dictionary.h"
+
+#include <algorithm>
+
+namespace naru {
+
+Dictionary Dictionary::Build(const std::vector<Value>& values,
+                             bool with_placeholder) {
+  Dictionary d;
+  d.has_placeholder_ = with_placeholder;
+  if (values.empty()) return d;
+  d.type_ = values[0].type();
+  for (const auto& v : values) {
+    NARU_CHECK_MSG(v.type() == d.type_,
+                   "mixed value types in one column dictionary");
+    d.index_.emplace(v, 0);
+  }
+  d.sorted_.reserve(d.index_.size());
+  int32_t code = 0;
+  for (auto& [value, assigned] : d.index_) {
+    assigned = code++;
+    d.sorted_.push_back(value);
+  }
+  return d;
+}
+
+Result<int32_t> Dictionary::CodeFor(const Value& v) const {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  if (has_placeholder_) return placeholder_code();
+  return Status::NotFound("value not in dictionary: " + v.ToString());
+}
+
+int32_t Dictionary::LowerBoundCode(const Value& v) const {
+  auto it = index_.lower_bound(v);
+  if (it == index_.end()) return static_cast<int32_t>(sorted_.size());
+  return it->second;
+}
+
+size_t Dictionary::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : sorted_) {
+    bytes += sizeof(Value);
+    if (v.type() == ValueType::kString) bytes += v.AsString().capacity();
+  }
+  // The map roughly doubles it (nodes + values); good enough for budgets.
+  return bytes * 2;
+}
+
+}  // namespace naru

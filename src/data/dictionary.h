@@ -1,0 +1,65 @@
+// Ordered dictionary encoding of a column domain (§4.2).
+//
+// All distinct values of a column are sorted and assigned dense codes
+// [0, |A|), making the code order consistent with the value order; numerics
+// and strings therefore support range predicates directly on codes. An
+// optional placeholder slot (the paper's ⊥) can be reserved so an estimator
+// built before new data arrived can still encode unseen values.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/value.h"
+#include "util/status.h"
+
+namespace naru {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds from (not necessarily unique or sorted) values. All values must
+  /// share one type. When `with_placeholder` is true, an extra code
+  /// |A| (the ⊥ slot) is reserved for unseen values.
+  static Dictionary Build(const std::vector<Value>& values,
+                          bool with_placeholder = false);
+
+  /// Domain size, including the placeholder slot when present.
+  size_t size() const {
+    return sorted_.size() + (has_placeholder_ ? 1 : 0);
+  }
+  bool has_placeholder() const { return has_placeholder_; }
+  /// The ⊥ code (only valid when has_placeholder()).
+  int32_t placeholder_code() const {
+    return static_cast<int32_t>(sorted_.size());
+  }
+
+  /// Exact-match code for `v`; the placeholder code if reserved and `v` is
+  /// unseen; error otherwise.
+  Result<int32_t> CodeFor(const Value& v) const;
+
+  /// Smallest code whose value is >= v (== size of real domain when none);
+  /// the ordered-domain primitive for encoding range literals that are not
+  /// present in the data.
+  int32_t LowerBoundCode(const Value& v) const;
+
+  /// Value for a (non-placeholder) code.
+  const Value& ValueFor(int32_t code) const {
+    NARU_DCHECK(code >= 0 && static_cast<size_t>(code) < sorted_.size());
+    return sorted_[static_cast<size_t>(code)];
+  }
+
+  ValueType value_type() const { return type_; }
+
+  /// Approximate in-memory footprint of the dictionary payload.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Value> sorted_;
+  std::map<Value, int32_t> index_;
+  bool has_placeholder_ = false;
+  ValueType type_ = ValueType::kInt;
+};
+
+}  // namespace naru

@@ -1,0 +1,80 @@
+#include "data/join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace naru {
+
+Result<Table> HashJoinTables(const Table& left, const Table& right,
+                             const JoinSpec& spec) {
+  NARU_ASSIGN_OR_RETURN(size_t lkey, left.ColumnIndex(spec.left_key));
+  NARU_ASSIGN_OR_RETURN(size_t rkey, right.ColumnIndex(spec.right_key));
+  const Column& lcol = left.column(lkey);
+  const Column& rcol = right.column(rkey);
+  if (lcol.dict().value_type() != rcol.dict().value_type()) {
+    return Status::InvalidArgument(
+        "join key type mismatch between " + spec.left_key + " and " +
+        spec.right_key);
+  }
+
+  // Build side: right table rows indexed by key *value* (via the left
+  // dictionary where possible, so probing is code-to-code).
+  // Map right key codes -> left key codes once.
+  std::vector<int32_t> r_to_l(rcol.DomainSize(), -1);
+  for (size_t rc = 0; rc < rcol.DomainSize(); ++rc) {
+    if (rcol.dict().has_placeholder() &&
+        static_cast<int32_t>(rc) == rcol.dict().placeholder_code()) {
+      continue;
+    }
+    const Value& v = rcol.dict().ValueFor(static_cast<int32_t>(rc));
+    auto code = lcol.dict().CodeFor(v);
+    if (code.ok()) r_to_l[rc] = code.ValueOrDie();
+  }
+  std::unordered_map<int32_t, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    const int32_t translated = r_to_l[static_cast<size_t>(rcol.code(r))];
+    if (translated >= 0) {
+      build[translated].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Probe side: collect matching row-id pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    const auto it = build.find(lcol.code(l));
+    if (it == build.end()) continue;
+    for (uint32_t r : it->second) {
+      matches.emplace_back(static_cast<uint32_t>(l), r);
+    }
+  }
+
+  // Materialize output columns through values (fresh dictionaries).
+  TableBuilder builder(spec.output_name);
+  std::vector<Value> values;
+  values.reserve(matches.size());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    const Column& col = left.column(c);
+    values.clear();
+    for (const auto& [l, r] : matches) {
+      values.push_back(col.dict().ValueFor(col.code(l)));
+    }
+    builder.AddValueColumn("l_" + col.name(), values);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (c == rkey) continue;  // drop the duplicate key column
+    const Column& col = right.column(c);
+    values.clear();
+    for (const auto& [l, r] : matches) {
+      values.push_back(col.dict().ValueFor(col.code(r)));
+    }
+    builder.AddValueColumn("r_" + col.name(), values);
+  }
+  if (matches.empty()) {
+    return Status::InvalidArgument(
+        "join produced no rows; an estimator needs a non-empty relation");
+  }
+  return builder.Build();
+}
+
+}  // namespace naru

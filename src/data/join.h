@@ -1,0 +1,36 @@
+// Join materialization substrate (§4.1 "Joins").
+//
+// Naru does not distinguish between base tables and join results: an
+// estimator built over the tuples of a joined relation supports filters on
+// any column of that relation. This module supplies the simplest of the
+// paper's listed options — pre-computing and materializing the join — via
+// an in-memory hash equi-join over dictionary values. (Streaming multi-way
+// join samplers are orthogonal substrate work the paper defers to citations
+// [55, 56, 5, 29].)
+#pragma once
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace naru {
+
+struct JoinSpec {
+  /// Column names of the equi-join keys.
+  std::string left_key;
+  std::string right_key;
+  /// Name of the output relation.
+  std::string output_name = "joined";
+};
+
+/// Materializes `left ⋈ right` on `spec.left_key == spec.right_key`
+/// (values compared through the dictionaries, so separately-built tables
+/// join correctly). The output contains all left columns followed by all
+/// right columns except the (duplicate) right key; column names are
+/// prefixed "l_" / "r_" to avoid collisions. Errors when a key column is
+/// missing or the key value types differ.
+Result<Table> HashJoinTables(const Table& left, const Table& right,
+                             const JoinSpec& spec);
+
+}  // namespace naru

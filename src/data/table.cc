@@ -1,0 +1,115 @@
+#include "data/table.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->name() == name) return i;
+  }
+  return Status::NotFound("no column named " + name + " in table " + name_);
+}
+
+void Table::AddColumn(std::unique_ptr<Column> col) {
+  if (columns_.empty()) {
+    num_rows_ = col->num_rows();
+  } else {
+    NARU_CHECK_MSG(col->num_rows() == num_rows_,
+                   "column %s has %zu rows, table has %zu",
+                   col->name().c_str(), col->num_rows(), num_rows_);
+  }
+  columns_.push_back(std::move(col));
+}
+
+Status Table::AppendRows(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("schema mismatch: column count");
+  }
+  // Re-encode through values so appends work across separately-built
+  // dictionaries. Unseen values require a ⊥ slot.
+  std::vector<std::vector<int32_t>> recoded(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    const Column& dst = column(c);
+    const Column& src = other.column(c);
+    if (dst.name() != src.name()) {
+      return Status::InvalidArgument(
+          StrFormat("schema mismatch: column %zu is %s vs %s", c,
+                    dst.name().c_str(), src.name().c_str()));
+    }
+    recoded[c].reserve(src.num_rows());
+    for (size_t r = 0; r < src.num_rows(); ++r) {
+      const int32_t src_code = src.code(r);
+      const Value& v = src.dict().ValueFor(src_code);
+      NARU_ASSIGN_OR_RETURN(int32_t dst_code, dst.dict().CodeFor(v));
+      recoded[c].push_back(dst_code);
+    }
+  }
+  for (size_t c = 0; c < num_columns(); ++c) {
+    mutable_column(c).AppendCodes(recoded[c]);
+  }
+  num_rows_ += other.num_rows();
+  return Status::OK();
+}
+
+Table Table::Slice(size_t row_begin, size_t row_end,
+                   size_t prefix_cols) const {
+  NARU_CHECK(row_begin <= row_end && row_end <= num_rows_);
+  NARU_CHECK(prefix_cols <= num_columns());
+  Table out(name_ + ".slice");
+  for (size_t c = 0; c < prefix_cols; ++c) {
+    const Column& src = column(c);
+    std::vector<int32_t> codes(src.codes().begin() + row_begin,
+                               src.codes().begin() + row_end);
+    out.AddColumn(std::make_unique<Column>(src.name(), src.dict(),
+                                           std::move(codes)));
+  }
+  return out;
+}
+
+double Table::Log10JointSpaceSize() const {
+  double log10 = 0;
+  for (const auto& col : columns_) {
+    log10 += std::log10(static_cast<double>(col->DomainSize()));
+  }
+  return log10;
+}
+
+size_t Table::EstimatedRawBytes() const {
+  // Approximate each attribute cell at 8 bytes (numeric width / pointer to
+  // short string), matching how the paper budgets against in-memory size.
+  return num_rows_ * num_columns() * 8;
+}
+
+void Table::GetRowCodes(size_t r, int32_t* out) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out[c] = columns_[c]->code(r);
+  }
+}
+
+TableBuilder& TableBuilder::AddValueColumn(const std::string& name,
+                                           const std::vector<Value>& values,
+                                           bool with_placeholder) {
+  Dictionary dict = Dictionary::Build(values, with_placeholder);
+  std::vector<int32_t> codes;
+  codes.reserve(values.size());
+  for (const auto& v : values) {
+    codes.push_back(dict.CodeFor(v).ValueOrDie());
+  }
+  table_.AddColumn(
+      std::make_unique<Column>(name, std::move(dict), std::move(codes)));
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddIntColumn(const std::string& name,
+                                         const std::vector<int64_t>& values,
+                                         bool with_placeholder) {
+  std::vector<Value> vals;
+  vals.reserve(values.size());
+  for (int64_t v : values) vals.emplace_back(v);
+  return AddValueColumn(name, vals, with_placeholder);
+}
+
+}  // namespace naru

@@ -1,0 +1,109 @@
+// In-memory dictionary-encoded columnar table — the relation under
+// estimation (§2). Columns store dense int32 codes; the Dictionary maps
+// codes back to typed values. Tables support appends (for the data-shift
+// experiment, §6.7.3) and cheap row/column access for scans and training.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "util/status.h"
+
+namespace naru {
+
+/// One dictionary-encoded column.
+class Column {
+ public:
+  Column(std::string name, Dictionary dict, std::vector<int32_t> codes)
+      : name_(std::move(name)),
+        dict_(std::move(dict)),
+        codes_(std::move(codes)) {}
+
+  const std::string& name() const { return name_; }
+  const Dictionary& dict() const { return dict_; }
+  /// Domain size |A_i| (includes the ⊥ slot when reserved).
+  size_t DomainSize() const { return dict_.size(); }
+  size_t num_rows() const { return codes_.size(); }
+  int32_t code(size_t row) const { return codes_[row]; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  void AppendCodes(const std::vector<int32_t>& more) {
+    codes_.insert(codes_.end(), more.begin(), more.end());
+  }
+
+ private:
+  std::string name_;
+  Dictionary dict_;
+  std::vector<int32_t> codes_;
+};
+
+/// A named collection of equal-length columns.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column& mutable_column(size_t i) { return *columns_[i]; }
+
+  /// Index of the column with `name`, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Adds a fully-built column; must match the current row count (or be the
+  /// first column).
+  void AddColumn(std::unique_ptr<Column> col);
+
+  /// Appends the rows of `other` (same schema: column count, names and
+  /// compatible dictionaries -- codes are re-encoded through values unless
+  /// dictionaries are shared). Used by the ingestion/drift experiment.
+  Status AppendRows(const Table& other);
+
+  /// Copies the first `prefix_cols` columns of rows [row_begin, row_end)
+  /// into a fresh table (used for column-scaling and partition studies).
+  Table Slice(size_t row_begin, size_t row_end, size_t prefix_cols) const;
+
+  /// log10 of the exact joint-space size, prod |A_i| (paper Table 1's
+  /// "Joint" column); log to avoid overflow at 10^190.
+  double Log10JointSpaceSize() const;
+
+  /// Estimated in-memory size of the raw (pre-encoding) table, used to set
+  /// the storage budgets of Table 1.
+  size_t EstimatedRawBytes() const;
+
+  /// Writes row `r`'s codes into `out[0..num_columns)`.
+  void GetRowCodes(size_t r, int32_t* out) const;
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+/// Convenience builder: assembles a table column-by-column from raw values.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::string name) : table_(std::move(name)) {}
+
+  /// Dictionary-encodes `values` (order-preserving) and adds the column.
+  TableBuilder& AddValueColumn(const std::string& name,
+                               const std::vector<Value>& values,
+                               bool with_placeholder = false);
+
+  /// Adds a column whose values are the int64s in `values`.
+  TableBuilder& AddIntColumn(const std::string& name,
+                             const std::vector<int64_t>& values,
+                             bool with_placeholder = false);
+
+  Table Build() { return std::move(table_); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace naru

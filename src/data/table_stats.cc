@@ -1,0 +1,59 @@
+#include "data/table_stats.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace naru {
+
+TableStats TableStats::Compute(const Table& table) {
+  TableStats stats;
+  stats.num_rows_ = table.num_rows();
+  stats.columns_.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats& cs = stats.columns_[c];
+    cs.counts.assign(col.DomainSize(), 0);
+    for (size_t r = 0; r < col.num_rows(); ++r) {
+      ++cs.counts[static_cast<size_t>(col.code(r))];
+    }
+    cs.distinct = 0;
+    for (int64_t v : cs.counts) {
+      if (v > 0) ++cs.distinct;
+    }
+  }
+  return stats;
+}
+
+double TableStats::JointEntropyBits(const Table& table) {
+  const size_t n = table.num_rows();
+  if (n == 0) return 0;
+  const size_t cols = table.num_columns();
+  // Hash each row's code tuple with a simple polynomial rolling hash over
+  // 64-bit mixing; collisions are resolved by keying on the full tuple.
+  struct VecHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      uint64_t h = 0x9E3779B97F4A7C15ULL;
+      for (int32_t x : v) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(x)) +
+             0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> counts;
+  counts.reserve(n * 2);
+  std::vector<int32_t> row(cols);
+  for (size_t r = 0; r < n; ++r) {
+    table.GetRowCodes(r, row.data());
+    ++counts[row];
+  }
+  double h = 0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (const auto& [tuple, count] : counts) {
+    const double p = static_cast<double>(count) * inv_n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace naru

@@ -1,0 +1,44 @@
+// Per-column marginal statistics computed by scanning a table once.
+//
+// These are the inputs to the classical baselines (Indep, Postgres1D,
+// Dbms1) and to entropy computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace naru {
+
+/// Marginal counts for one column: counts[code] = #rows with that code.
+struct ColumnStats {
+  std::vector<int64_t> counts;
+  size_t distinct = 0;  // number of codes with count > 0
+
+  /// Selectivity of a single code.
+  double Fraction(int32_t code, size_t num_rows) const {
+    return static_cast<double>(counts[static_cast<size_t>(code)]) /
+           static_cast<double>(num_rows);
+  }
+};
+
+/// All columns' marginal stats plus table-level aggregates.
+class TableStats {
+ public:
+  static TableStats Compute(const Table& table);
+
+  const ColumnStats& column(size_t i) const { return columns_[i]; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Exact empirical entropy H(P) of the joint, in bits, computed from the
+  /// distinct-tuple histogram (feasible for the datasets we train on).
+  static double JointEntropyBits(const Table& table);
+
+ private:
+  std::vector<ColumnStats> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace naru

@@ -1,0 +1,58 @@
+// Typed cell values for relational columns.
+//
+// Naru models every column as a finite discrete domain (§2.2): values are
+// dictionary-encoded to dense integer codes whose order matches the value
+// order, so range predicates on codes are range predicates on values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace naru {
+
+/// Column datatype tag.
+enum class ValueType { kInt, kDouble, kString };
+
+/// A single cell value. Comparisons are only defined between values of the
+/// same type (enforced by the Dictionary, which is homogeneous).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(v_.index());
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator<(const Value& o) const {
+    NARU_DCHECK(type() == o.type());
+    return v_ < o.v_;
+  }
+
+  std::string ToString() const {
+    switch (type()) {
+      case ValueType::kInt:
+        return std::to_string(AsInt());
+      case ValueType::kDouble:
+        return std::to_string(AsDouble());
+      case ValueType::kString:
+        return AsString();
+    }
+    return "?";
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace naru

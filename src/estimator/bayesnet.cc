@@ -1,0 +1,227 @@
+#include "estimator/bayesnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace naru {
+
+BayesNet::BayesNet(const Table& table, BayesNetConfig config)
+    : config_(config) {
+  NARU_CHECK(table.num_rows() > 0);
+  const size_t n = table.num_columns();
+  domains_.resize(n);
+  for (size_t c = 0; c < n; ++c) domains_[c] = table.column(c).DomainSize();
+  LearnStructure(table);
+  FitCpts(table);
+}
+
+double BayesNet::PairMutualInformation(const Table& table, size_t a,
+                                       size_t b, size_t row_limit) const {
+  const auto& ca = table.column(a).codes();
+  const auto& cb = table.column(b).codes();
+  const size_t rows = row_limit == 0
+                          ? ca.size()
+                          : std::min(ca.size(), row_limit);
+  // Joint and marginal counts. Keys pack (code_a, code_b) into 64 bits.
+  std::unordered_map<uint64_t, uint32_t> joint;
+  std::vector<uint32_t> ma(domains_[a], 0), mb(domains_[b], 0);
+  joint.reserve(rows / 4);
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t va = static_cast<uint32_t>(ca[r]);
+    const uint32_t vb = static_cast<uint32_t>(cb[r]);
+    ++joint[(static_cast<uint64_t>(va) << 32) | vb];
+    ++ma[va];
+    ++mb[vb];
+  }
+  const double inv = 1.0 / static_cast<double>(rows);
+  double mi = 0;
+  for (const auto& [key, cnt] : joint) {
+    const uint32_t va = static_cast<uint32_t>(key >> 32);
+    const uint32_t vb = static_cast<uint32_t>(key & 0xffffffffu);
+    const double pab = cnt * inv;
+    const double pa = ma[va] * inv;
+    const double pb = mb[vb] * inv;
+    mi += pab * std::log(pab / (pa * pb));
+  }
+  return std::max(mi, 0.0);
+}
+
+void BayesNet::LearnStructure(const Table& table) {
+  const size_t n = domains_.size();
+  parents_.assign(n, -1);
+  topo_.clear();
+  pos_of_.assign(n, 0);
+
+  if (n == 1) {
+    topo_ = {0};
+    return;
+  }
+
+  // Prim's algorithm for the maximum spanning tree under pairwise MI.
+  // O(n^2) edge evaluations; each evaluation is one pass over the rows.
+  std::vector<double> best_w(n, -1.0);
+  std::vector<int> best_from(n, -1);
+  std::vector<uint8_t> in_tree(n, 0);
+  in_tree[0] = 1;
+  topo_.push_back(0);
+  for (size_t v = 1; v < n; ++v) {
+    best_w[v] = PairMutualInformation(table, 0, v, config_.mi_sample_rows);
+    best_from[v] = 0;
+  }
+  for (size_t step = 1; step < n; ++step) {
+    size_t pick = 0;
+    double w = -1;
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_w[v] > w) {
+        w = best_w[v];
+        pick = v;
+      }
+    }
+    in_tree[pick] = 1;
+    parents_[pick] = best_from[pick];
+    topo_.push_back(pick);  // Prim order is parents-before-children
+    for (size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double mi =
+          PairMutualInformation(table, pick, v, config_.mi_sample_rows);
+      if (mi > best_w[v]) {
+        best_w[v] = mi;
+        best_from[v] = static_cast<int>(pick);
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) pos_of_[topo_[i]] = i;
+}
+
+void BayesNet::FitCpts(const Table& table) {
+  const size_t n = domains_.size();
+  const size_t rows = table.num_rows();
+  const double alpha = config_.laplace_alpha;
+  cpts_.resize(n);
+  size_bytes_ = 0;
+
+  for (size_t v = 0; v < n; ++v) {
+    const int p = parents_[v];
+    const size_t dv = domains_[v];
+    const size_t dp = p < 0 ? 1 : domains_[static_cast<size_t>(p)];
+    Matrix counts(dp, dv);
+    const auto& cv = table.column(v).codes();
+    if (p < 0) {
+      for (size_t r = 0; r < rows; ++r) {
+        counts.At(0, static_cast<size_t>(cv[r])) += 1.0f;
+      }
+    } else {
+      const auto& cp = table.column(static_cast<size_t>(p)).codes();
+      for (size_t r = 0; r < rows; ++r) {
+        counts.At(static_cast<size_t>(cp[r]), static_cast<size_t>(cv[r])) +=
+            1.0f;
+      }
+    }
+    // Row-normalize with Laplace smoothing: P(v|p) has no zero cells, so
+    // LogProbRows stays finite and the sampler's truncations stay valid.
+    for (size_t rp = 0; rp < dp; ++rp) {
+      float* row = counts.Row(rp);
+      double z = 0;
+      for (size_t x = 0; x < dv; ++x) z += row[x];
+      const double denom = z + alpha * static_cast<double>(dv);
+      for (size_t x = 0; x < dv; ++x) {
+        row[x] = static_cast<float>((row[x] + alpha) / denom);
+      }
+    }
+    size_bytes_ += dp * dv * sizeof(float);
+    cpts_[v] = std::move(counts);
+  }
+}
+
+double BayesNet::ExactSelectivity(const Query& query) const {
+  const size_t n = domains_.size();
+  NARU_CHECK(query.num_columns() == n);
+  if (query.HasEmptyRegion()) return 0.0;
+
+  // factor[v][x] accumulates the product of children's messages at X_v = x.
+  std::vector<std::vector<double>> factor(n);
+  for (size_t v = 0; v < n; ++v) factor[v].assign(domains_[v], 1.0);
+
+  // Leaf-to-root: reverse topological order guarantees every child of v is
+  // processed (and folded into factor[v]) before v itself.
+  for (size_t i = n; i-- > 1;) {  // skip the root (topo_[0])
+    const size_t v = topo_[i];
+    const size_t p = static_cast<size_t>(parents_[v]);
+    const ValueSet& rv = query.region(v);
+    const Matrix& cpt = cpts_[v];
+    std::vector<double>& msg = factor[p];  // multiplied in place below
+    const std::vector<double>& fv = factor[v];
+    for (size_t xp = 0; xp < domains_[p]; ++xp) {
+      const float* row = cpt.Row(xp);
+      double s = 0;
+      if (rv.IsAll()) {
+        for (size_t xv = 0; xv < domains_[v]; ++xv) s += row[xv] * fv[xv];
+      } else {
+        for (size_t xv = 0; xv < domains_[v]; ++xv) {
+          if (rv.Contains(static_cast<int32_t>(xv))) s += row[xv] * fv[xv];
+        }
+      }
+      msg[xp] *= s;
+    }
+  }
+
+  const size_t root = topo_[0];
+  const ValueSet& rr = query.region(root);
+  const float* marg = cpts_[root].Row(0);
+  double total = 0;
+  for (size_t x = 0; x < domains_[root]; ++x) {
+    if (rr.IsAll() || rr.Contains(static_cast<int32_t>(x))) {
+      total += marg[x] * factor[root][x];
+    }
+  }
+  return total;
+}
+
+void BayesNet::ConditionalDist(const IntMatrix& samples, size_t pos,
+                               Matrix* probs) {
+  NARU_CHECK(pos < domains_.size());
+  const size_t v = topo_[pos];
+  const size_t dv = domains_[v];
+  const size_t batch = samples.rows();
+  probs->Resize(batch, dv);
+  const Matrix& cpt = cpts_[v];
+  if (parents_[v] < 0) {
+    const float* marg = cpt.Row(0);
+    for (size_t r = 0; r < batch; ++r) {
+      std::copy(marg, marg + dv, probs->Row(r));
+    }
+    return;
+  }
+  // The parent precedes v in topo order, so its sampled code sits at an
+  // earlier model position of the samples matrix.
+  const size_t parent_pos = pos_of_[static_cast<size_t>(parents_[v])];
+  NARU_CHECK(parent_pos < pos);
+  for (size_t r = 0; r < batch; ++r) {
+    const int32_t xp = samples.At(r, parent_pos);
+    const float* row = cpt.Row(static_cast<size_t>(xp));
+    std::copy(row, row + dv, probs->Row(r));
+  }
+}
+
+void BayesNet::LogProbRows(const IntMatrix& tuples,
+                           std::vector<double>* out_nats) {
+  const size_t n = domains_.size();
+  NARU_CHECK(tuples.cols() == n);
+  out_nats->assign(tuples.rows(), 0.0);
+  for (size_t r = 0; r < tuples.rows(); ++r) {
+    double lp = 0;
+    for (size_t v = 0; v < n; ++v) {
+      const int p = parents_[v];
+      const size_t xp =
+          p < 0 ? 0 : static_cast<size_t>(tuples.At(r, static_cast<size_t>(p)));
+      lp += std::log(static_cast<double>(
+          cpts_[v].At(xp, static_cast<size_t>(tuples.At(r, v)))));
+    }
+    (*out_nats)[r] = lp;
+  }
+}
+
+}  // namespace naru

@@ -1,0 +1,124 @@
+#include "estimator/column_synopsis.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace naru {
+
+ColumnSynopsis::ColumnSynopsis(const ColumnStats& stats, size_t num_rows,
+                               size_t num_mcvs, size_t num_buckets) {
+  NARU_CHECK(num_rows > 0);
+  domain_ = stats.counts.size();
+  distinct_ = stats.distinct;
+  const double inv_n = 1.0 / static_cast<double>(num_rows);
+
+  // Pick the top-`num_mcvs` codes by count.
+  std::vector<int32_t> codes;
+  codes.reserve(domain_);
+  for (size_t v = 0; v < domain_; ++v) {
+    if (stats.counts[v] > 0) codes.push_back(static_cast<int32_t>(v));
+  }
+  const size_t k = std::min(num_mcvs, codes.size());
+  std::partial_sort(codes.begin(), codes.begin() + static_cast<long>(k),
+                    codes.end(), [&](int32_t a, int32_t b) {
+                      return stats.counts[static_cast<size_t>(a)] >
+                             stats.counts[static_cast<size_t>(b)];
+                    });
+  std::vector<bool> is_mcv(domain_, false);
+  for (size_t i = 0; i < k; ++i) {
+    is_mcv[static_cast<size_t>(codes[i])] = true;
+    mcvs_.push_back({codes[i],
+                     static_cast<double>(
+                         stats.counts[static_cast<size_t>(codes[i])]) *
+                         inv_n});
+  }
+  std::sort(mcvs_.begin(), mcvs_.end(),
+            [](const Mcv& a, const Mcv& b) { return a.code < b.code; });
+
+  // Equi-depth buckets over the remaining mass.
+  int64_t rest_rows = 0;
+  for (size_t v = 0; v < domain_; ++v) {
+    if (!is_mcv[v]) rest_rows += stats.counts[v];
+  }
+  if (rest_rows > 0 && num_buckets > 0) {
+    const int64_t per_bucket =
+        std::max<int64_t>(1, rest_rows / static_cast<int64_t>(num_buckets));
+    Bucket cur{/*lo=*/-1, /*hi=*/-1, /*fraction=*/0, /*distinct=*/0};
+    int64_t cur_rows = 0;
+    for (size_t v = 0; v < domain_; ++v) {
+      if (is_mcv[v] || stats.counts[v] == 0) continue;
+      if (cur.lo < 0) cur.lo = static_cast<int32_t>(v);
+      cur.hi = static_cast<int32_t>(v);
+      cur_rows += stats.counts[v];
+      ++cur.distinct;
+      if (cur_rows >= per_bucket) {
+        cur.fraction = static_cast<double>(cur_rows) * inv_n;
+        buckets_.push_back(cur);
+        cur = Bucket{-1, -1, 0, 0};
+        cur_rows = 0;
+      }
+    }
+    if (cur.lo >= 0) {
+      cur.fraction = static_cast<double>(cur_rows) * inv_n;
+      buckets_.push_back(cur);
+    }
+  }
+}
+
+double ColumnSynopsis::McvMass(const ValueSet& set) const {
+  double mass = 0;
+  for (const auto& m : mcvs_) {
+    if (set.Contains(m.code)) mass += m.fraction;
+  }
+  return mass;
+}
+
+double ColumnSynopsis::BucketMass(const ValueSet& set) const {
+  double mass = 0;
+  for (const auto& b : buckets_) {
+    if (b.distinct <= 0) continue;
+    // Distinct codes inside the bucket are assumed uniformly frequent and
+    // uniformly spread over [lo, hi]; estimate the overlapped share.
+    double overlap;
+    switch (set.kind()) {
+      case ValueSet::Kind::kAll:
+        overlap = 1.0;
+        break;
+      case ValueSet::Kind::kInterval: {
+        const int64_t lo = std::max<int64_t>(set.lo(), b.lo);
+        const int64_t hi = std::min<int64_t>(set.hi(), b.hi);
+        if (hi < lo) {
+          overlap = 0;
+        } else {
+          overlap = static_cast<double>(hi - lo + 1) /
+                    static_cast<double>(b.hi - b.lo + 1);
+        }
+        break;
+      }
+      case ValueSet::Kind::kSet: {
+        // Count member codes falling in [lo, hi].
+        const auto& codes = set.codes();
+        const auto first = std::lower_bound(codes.begin(), codes.end(), b.lo);
+        const auto last = std::upper_bound(codes.begin(), codes.end(), b.hi);
+        overlap = static_cast<double>(last - first) /
+                  static_cast<double>(b.hi - b.lo + 1);
+        break;
+      }
+    }
+    mass += b.fraction * std::min(overlap, 1.0);
+  }
+  return mass;
+}
+
+double ColumnSynopsis::EstimateFraction(const ValueSet& set) const {
+  if (set.IsAll()) return 1.0;
+  if (set.Count() == 0) return 0.0;
+  const double mass = McvMass(set) + BucketMass(set);
+  return std::clamp(mass, 0.0, 1.0);
+}
+
+size_t ColumnSynopsis::SizeBytes() const {
+  return mcvs_.size() * sizeof(Mcv) + buckets_.size() * sizeof(Bucket);
+}
+
+}  // namespace naru

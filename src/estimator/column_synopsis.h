@@ -1,0 +1,56 @@
+// Classical single-column synopsis: most-common values + equi-depth
+// histogram (the machinery behind Postgres' pg_stats and similar
+// commercial 1D statistics).
+//
+// The synopsis answers "what fraction of rows fall in this ValueSet"
+// using (a) exact frequencies for the tracked MCVs and (b) a uniformity
+// assumption across the remaining distinct values inside each equi-depth
+// bucket. Postgres1D combines per-column answers with the attribute value
+// independence assumption; Dbms1 combines them with exponential backoff.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table_stats.h"
+#include "query/value_set.h"
+
+namespace naru {
+
+class ColumnSynopsis {
+ public:
+  /// Builds from exact marginal counts. `num_mcvs` most common values are
+  /// tracked exactly; the rest go into `num_buckets` equi-depth buckets.
+  ColumnSynopsis(const ColumnStats& stats, size_t num_rows, size_t num_mcvs,
+                 size_t num_buckets);
+
+  /// Estimated fraction of rows with value in `set`.
+  double EstimateFraction(const ValueSet& set) const;
+
+  /// Number of distinct values observed (for Dbms1's distinct-count math).
+  size_t distinct() const { return distinct_; }
+
+  size_t SizeBytes() const;
+
+ private:
+  struct Mcv {
+    int32_t code;
+    double fraction;
+  };
+  struct Bucket {
+    int32_t lo;            // inclusive code bound
+    int32_t hi;            // inclusive code bound
+    double fraction;       // share of total rows in this bucket
+    int64_t distinct;      // distinct non-MCV codes inside
+  };
+
+  double McvMass(const ValueSet& set) const;
+  double BucketMass(const ValueSet& set) const;
+
+  std::vector<Mcv> mcvs_;        // sorted by code
+  std::vector<Bucket> buckets_;  // sorted by lo
+  size_t distinct_ = 0;
+  size_t domain_ = 0;
+};
+
+}  // namespace naru

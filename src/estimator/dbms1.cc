@@ -1,0 +1,90 @@
+#include "estimator/dbms1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace naru {
+
+namespace {
+uint64_t PairKey(size_t a, size_t b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+}  // namespace
+
+Dbms1Estimator::Dbms1Estimator(const Table& table, size_t num_mcvs,
+                               size_t num_buckets)
+    : num_rows_(table.num_rows()) {
+  const TableStats stats = TableStats::Compute(table);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    columns_.emplace_back(stats.column(c), table.num_rows(), num_mcvs,
+                          num_buckets);
+    distinct_.push_back(stats.column(c).distinct);
+  }
+  // Inter-column unique value counts: distinct (a, b) code pairs.
+  const size_t n = table.num_columns();
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      std::unordered_set<uint64_t> pairs;
+      pairs.reserve(1024);
+      const Column& ca = table.column(a);
+      const Column& cb = table.column(b);
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        pairs.insert((static_cast<uint64_t>(
+                          static_cast<uint32_t>(ca.code(r)))
+                      << 32) |
+                     static_cast<uint32_t>(cb.code(r)));
+      }
+      pair_distinct_[PairKey(a, b)] = static_cast<int64_t>(pairs.size());
+    }
+  }
+}
+
+double Dbms1Estimator::PairIndependenceFactor(size_t a, size_t b) const {
+  if (a > b) std::swap(a, b);
+  const auto it = pair_distinct_.find(PairKey(a, b));
+  if (it == pair_distinct_.end()) return 1.0;
+  const double expected = std::min<double>(
+      static_cast<double>(num_rows_),
+      static_cast<double>(distinct_[a]) * static_cast<double>(distinct_[b]));
+  if (expected <= 0) return 1.0;
+  return std::clamp(static_cast<double>(it->second) / expected, 0.0, 1.0);
+}
+
+double Dbms1Estimator::EstimateSelectivity(const Query& query) {
+  // Per-column estimates for the filtered columns.
+  std::vector<std::pair<double, size_t>> sels;  // (selectivity, column)
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    const ValueSet& region = query.region(c);
+    if (region.IsAll()) continue;
+    sels.emplace_back(columns_[c].EstimateFraction(region), c);
+  }
+  if (sels.empty()) return 1.0;
+  std::sort(sels.begin(), sels.end());
+  if (sels[0].first == 0.0) return 0.0;
+
+  // Exponential backoff over the four most selective predicates. The
+  // backoff base exponent halves per predicate; the observed pairwise
+  // correlation of the two leading columns scales how much of the second
+  // predicate is counted (fully correlated pairs contribute nothing new).
+  double sel = sels[0].first;
+  double exponent = 0.5;
+  for (size_t i = 1; i < sels.size() && i < 4; ++i) {
+    double e = exponent;
+    if (i == 1) {
+      e *= PairIndependenceFactor(sels[0].second, sels[1].second) + 0.5;
+      e = std::min(e, 1.0);
+    }
+    sel *= std::pow(sels[i].first, e);
+    exponent *= 0.5;
+  }
+  return sel;
+}
+
+size_t Dbms1Estimator::SizeBytes() const {
+  size_t bytes = pair_distinct_.size() * (sizeof(uint64_t) + sizeof(int64_t));
+  for (const auto& c : columns_) bytes += c.SizeBytes();
+  return bytes;
+}
+
+}  // namespace naru

@@ -1,0 +1,33 @@
+// Common interface for all selectivity estimators (Table 2).
+//
+// Estimators are constructed from a table (unsupervised synopses) or from a
+// table plus training queries (the supervised baselines) and answer
+// conjunctive range/equality queries with a selectivity in [0, 1].
+#pragma once
+
+#include <string>
+
+#include "query/query.h"
+
+namespace naru {
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Display name used in benchmark tables (e.g. "Naru-2000").
+  virtual std::string name() const = 0;
+
+  /// Estimated fraction of rows satisfying `query`.
+  virtual double EstimateSelectivity(const Query& query) = 0;
+
+  /// Storage footprint charged against the paper's per-dataset budget.
+  virtual size_t SizeBytes() const = 0;
+
+  /// Convenience: selectivity scaled to a cardinality.
+  double EstimateCardinality(const Query& query, size_t num_rows) {
+    return EstimateSelectivity(query) * static_cast<double>(num_rows);
+  }
+};
+
+}  // namespace naru

@@ -1,0 +1,120 @@
+#include "estimator/hist_nd.h"
+
+#include <algorithm>
+
+namespace naru {
+
+HistNdEstimator::HistNdEstimator(const Table& table, size_t budget_bytes) {
+  const size_t n = table.num_columns();
+  domains_.resize(n);
+  for (size_t c = 0; c < n; ++c) domains_[c] = table.column(c).DomainSize();
+
+  // Start at one bin per column and greedily double the coarsest column
+  // (largest codes-per-bin ratio) while the dense array fits the budget.
+  bins_.assign(n, 1);
+  const size_t max_cells = std::max<size_t>(budget_bytes / sizeof(float), 1);
+  for (;;) {
+    size_t best = n;
+    double best_ratio = 1.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (bins_[c] >= domains_[c]) continue;
+      const double ratio = static_cast<double>(domains_[c]) /
+                           static_cast<double>(bins_[c]);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = c;
+      }
+    }
+    if (best == n) break;  // every column fully resolved
+    const size_t grown = std::min(bins_[best] * 2, domains_[best]);
+    double cells = static_cast<double>(grown);
+    for (size_t c = 0; c < n; ++c) {
+      if (c != best) cells *= static_cast<double>(bins_[c]);
+      if (cells > static_cast<double>(max_cells)) break;
+    }
+    if (cells > static_cast<double>(max_cells)) break;
+    bins_[best] = grown;
+  }
+
+  strides_.assign(n, 1);
+  for (size_t c = n; c-- > 1;) {
+    strides_[c - 1] = strides_[c] * bins_[c];
+  }
+  size_t total = strides_[0] * bins_[0];
+  cells_.assign(total, 0.0f);
+
+  const float inc = 1.0f / static_cast<float>(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    size_t idx = 0;
+    for (size_t c = 0; c < n; ++c) {
+      idx += BinOf(c, table.column(c).code(r)) * strides_[c];
+    }
+    cells_[idx] += inc;
+  }
+}
+
+double HistNdEstimator::EstimateSelectivity(const Query& query) {
+  const size_t n = domains_.size();
+  // For each column, list the overlapped bins with their coverage fraction
+  // (uniformity within a bin's code range).
+  std::vector<std::vector<std::pair<size_t, double>>> per_col(n);
+  for (size_t c = 0; c < n; ++c) {
+    const ValueSet& region = query.region(c);
+    auto& list = per_col[c];
+    if (region.IsAll()) {
+      for (size_t b = 0; b < bins_[c]; ++b) list.emplace_back(b, 1.0);
+      continue;
+    }
+    for (size_t b = 0; b < bins_[c]; ++b) {
+      // Codes covered by bin b: [lo, hi).
+      const size_t lo = b * domains_[c] / bins_[c];
+      const size_t hi = (b + 1) * domains_[c] / bins_[c];
+      if (hi <= lo) continue;
+      size_t inside = 0;
+      if (region.kind() == ValueSet::Kind::kInterval) {
+        const int64_t a = std::max<int64_t>(region.lo(),
+                                            static_cast<int64_t>(lo));
+        const int64_t z = std::min<int64_t>(region.hi(),
+                                            static_cast<int64_t>(hi) - 1);
+        inside = z >= a ? static_cast<size_t>(z - a + 1) : 0;
+      } else {
+        for (size_t v = lo; v < hi; ++v) {
+          if (region.Contains(static_cast<int32_t>(v))) ++inside;
+        }
+      }
+      if (inside > 0) {
+        list.emplace_back(b, static_cast<double>(inside) /
+                                 static_cast<double>(hi - lo));
+      }
+    }
+    if (list.empty()) return 0.0;
+  }
+
+  // Sum over the cross product of overlapped bins (recursion over columns).
+  double total = 0;
+  std::vector<size_t> pick(n, 0);
+  // Iterative odometer over per_col lists.
+  for (;;) {
+    size_t idx = 0;
+    double cover = 1.0;
+    for (size_t c = 0; c < n; ++c) {
+      idx += per_col[c][pick[c]].first * strides_[c];
+      cover *= per_col[c][pick[c]].second;
+    }
+    total += static_cast<double>(cells_[idx]) * cover;
+    size_t c = n;
+    bool done = true;
+    while (c-- > 0) {
+      if (++pick[c] < per_col[c].size()) {
+        done = false;
+        break;
+      }
+      pick[c] = 0;
+      if (c == 0) break;
+    }
+    if (done) break;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+}  // namespace naru

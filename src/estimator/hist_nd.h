@@ -1,0 +1,41 @@
+// Hist baseline (Table 2): dense N-dimensional equal-width histogram.
+//
+// Per-column bin counts are grown greedily (largest bins-per-code deficit
+// first) until the dense cell array would exceed the storage budget.
+// Queries sum the overlapping cells, scaling boundary cells by the assumed
+// uniform within-bin code coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+
+namespace naru {
+
+class HistNdEstimator : public Estimator {
+ public:
+  /// Builds a histogram whose dense cell array fits in `budget_bytes`.
+  HistNdEstimator(const Table& table, size_t budget_bytes);
+
+  std::string name() const override { return "Hist"; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override {
+    return cells_.size() * sizeof(float) + bins_.size() * sizeof(size_t);
+  }
+
+  const std::vector<size_t>& bins_per_column() const { return bins_; }
+
+ private:
+  size_t BinOf(size_t col, int32_t code) const {
+    return static_cast<size_t>(code) * bins_[col] / domains_[col];
+  }
+
+  std::vector<size_t> domains_;
+  std::vector<size_t> bins_;     // bins per column
+  std::vector<size_t> strides_;  // mixed-radix strides
+  std::vector<float> cells_;     // fraction of rows per cell
+};
+
+}  // namespace naru

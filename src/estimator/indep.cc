@@ -1,0 +1,56 @@
+#include "estimator/indep.h"
+
+namespace naru {
+
+IndepEstimator::IndepEstimator(const Table& table)
+    : num_rows_(table.num_rows()) {
+  prefix_.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    std::vector<int64_t> counts(col.DomainSize(), 0);
+    for (size_t r = 0; r < col.num_rows(); ++r) {
+      ++counts[static_cast<size_t>(col.code(r))];
+    }
+    prefix_[c].assign(col.DomainSize() + 1, 0);
+    for (size_t v = 0; v < counts.size(); ++v) {
+      prefix_[c][v + 1] = prefix_[c][v] + counts[v];
+    }
+  }
+}
+
+double IndepEstimator::EstimateSelectivity(const Query& query) {
+  double sel = 1.0;
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    const ValueSet& region = query.region(c);
+    if (region.IsAll()) continue;
+    const auto& prefix = prefix_[c];
+    int64_t rows = 0;
+    switch (region.kind()) {
+      case ValueSet::Kind::kAll:
+        break;
+      case ValueSet::Kind::kInterval:
+        if (region.hi() >= region.lo()) {
+          rows = prefix[static_cast<size_t>(region.hi()) + 1] -
+                 prefix[static_cast<size_t>(region.lo())];
+        }
+        break;
+      case ValueSet::Kind::kSet:
+        for (int32_t code : region.codes()) {
+          rows += prefix[static_cast<size_t>(code) + 1] -
+                  prefix[static_cast<size_t>(code)];
+        }
+        break;
+    }
+    sel *= static_cast<double>(rows) / static_cast<double>(num_rows_);
+    if (sel == 0.0) return 0.0;
+  }
+  return sel;
+}
+
+size_t IndepEstimator::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& p : prefix_) bytes += p.size() * sizeof(int64_t);
+  return bytes;
+}
+
+}  // namespace naru

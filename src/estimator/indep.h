@@ -1,0 +1,27 @@
+// Indep baseline (Table 2): perfect per-column selectivities combined by
+// multiplication. Its error isolates the cost of the attribute value
+// independence assumption alone, since the marginals are exact.
+#pragma once
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+
+namespace naru {
+
+class IndepEstimator : public Estimator {
+ public:
+  explicit IndepEstimator(const Table& table);
+
+  std::string name() const override { return "Indep"; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override;
+
+ private:
+  /// prefix_[c][v] = #rows with code < v in column c (exact marginals).
+  std::vector<std::vector<int64_t>> prefix_;
+  size_t num_rows_;
+};
+
+}  // namespace naru

@@ -1,0 +1,146 @@
+#include "estimator/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace naru {
+
+namespace {
+
+// Standard normal CDF.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+// Mass the kernel centered at x with bandwidth h places on [lo-.5, hi+.5].
+double IntervalMass(double x, double h, double lo, double hi) {
+  return NormalCdf((hi + 0.5 - x) / h) - NormalCdf((lo - 0.5 - x) / h);
+}
+
+}  // namespace
+
+KdeEstimator::KdeEstimator(const Table& table, size_t sample_points,
+                           uint64_t seed, std::string name)
+    : name_(std::move(name)), dims_(table.num_columns()) {
+  m_ = std::min(sample_points, table.num_rows());
+  NARU_CHECK(m_ > 0);
+  Rng rng(seed);
+  std::vector<size_t> indices(table.num_rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (size_t i = 0; i < m_; ++i) {
+    const size_t j = i + rng.UniformInt(indices.size() - i);
+    std::swap(indices[i], indices[j]);
+  }
+  points_.resize(m_ * dims_);
+  for (size_t i = 0; i < m_; ++i) {
+    for (size_t c = 0; c < dims_; ++c) {
+      points_[i * dims_ + c] =
+          static_cast<float>(table.column(c).code(indices[i]));
+    }
+  }
+  // Scott's rule: h_j = sigma_j * m^(-1/(d+4)).
+  bandwidth_.resize(dims_);
+  const double factor =
+      std::pow(static_cast<double>(m_),
+               -1.0 / (static_cast<double>(dims_) + 4.0));
+  for (size_t c = 0; c < dims_; ++c) {
+    double mean = 0;
+    for (size_t i = 0; i < m_; ++i) mean += points_[i * dims_ + c];
+    mean /= static_cast<double>(m_);
+    double var = 0;
+    for (size_t i = 0; i < m_; ++i) {
+      const double d = points_[i * dims_ + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(std::max<size_t>(m_ - 1, 1));
+    bandwidth_[c] = std::max(std::sqrt(var) * factor, 0.3);
+  }
+}
+
+KdeEstimator KdeEstimator::FromBudget(const Table& table, size_t budget_bytes,
+                                      uint64_t seed, std::string name) {
+  const size_t bytes_per_point = table.num_columns() * sizeof(float);
+  const size_t points = std::max<size_t>(budget_bytes / bytes_per_point, 16);
+  return KdeEstimator(table, points, seed, std::move(name));
+}
+
+double KdeEstimator::EstimateSelectivity(const Query& query) {
+  double total = 0;
+  for (size_t i = 0; i < m_; ++i) {
+    const float* point = points_.data() + i * dims_;
+    double mass = 1.0;
+    for (size_t c = 0; c < dims_ && mass > 0; ++c) {
+      const ValueSet& region = query.region(c);
+      if (region.IsAll()) continue;
+      const double x = point[c];
+      const double h = bandwidth_[c];
+      double dim_mass = 0;
+      switch (region.kind()) {
+        case ValueSet::Kind::kAll:
+          dim_mass = 1.0;
+          break;
+        case ValueSet::Kind::kInterval:
+          dim_mass = IntervalMass(x, h, static_cast<double>(region.lo()),
+                                  static_cast<double>(region.hi()));
+          break;
+        case ValueSet::Kind::kSet: {
+          // Exact per-code mass for small sets; interval approximation
+          // scaled by density for very large ones (e.g. !=).
+          const auto& codes = region.codes();
+          if (codes.size() <= 64) {
+            for (int32_t v : codes) {
+              dim_mass += IntervalMass(x, h, v, v);
+            }
+          } else {
+            const double lo = codes.front();
+            const double hi = codes.back();
+            const double coverage =
+                static_cast<double>(codes.size()) / (hi - lo + 1.0);
+            dim_mass = IntervalMass(x, h, lo, hi) * coverage;
+          }
+          break;
+        }
+      }
+      mass *= std::clamp(dim_mass, 0.0, 1.0);
+    }
+    total += mass;
+  }
+  return total / static_cast<double>(m_);
+}
+
+void KdeSupervisedTune(KdeEstimator* kde, const std::vector<Query>& queries,
+                       const std::vector<double>& true_selectivities,
+                       int rounds) {
+  NARU_CHECK(queries.size() == true_selectivities.size());
+  if (queries.empty()) return;
+  auto objective = [&]() {
+    double loss = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const double est =
+          std::max(kde->EstimateSelectivity(queries[i]), 1e-12);
+      const double truth = std::max(true_selectivities[i], 1e-12);
+      const double d = std::log(est) - std::log(truth);
+      loss += d * d;
+    }
+    return loss;
+  };
+
+  const double factors[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  auto& bw = kde->bandwidth();
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t c = 0; c < bw.size(); ++c) {
+      const double original = bw[c];
+      double best_factor = 1.0;
+      double best_loss = std::numeric_limits<double>::infinity();
+      for (double f : factors) {
+        bw[c] = original * f;
+        const double loss = objective();
+        if (loss < best_loss) {
+          best_loss = loss;
+          best_factor = f;
+        }
+      }
+      bw[c] = original * best_factor;
+    }
+  }
+}
+
+}  // namespace naru

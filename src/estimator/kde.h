@@ -1,0 +1,56 @@
+// KDE baselines (Table 2): Gaussian product-kernel density estimation over
+// dictionary codes (Heimel et al. style).
+//
+// The estimator keeps m sample points; a range query's selectivity is the
+// sample average of the per-dimension Gaussian CDF mass over the query
+// hyper-rectangle (product kernels factorize across dimensions):
+//   sel ≈ (1/m) Σ_k Π_j [Φ((hi_j + .5 - x_kj)/h_j) - Φ((lo_j - .5 - x_kj)/h_j)].
+// Bandwidths default to Scott's rule; KdeSupervisedTune optimizes per-
+// dimension bandwidth multipliers against training-query feedback
+// (the paper's KDE-superv), which is what makes KDE usable on discrete,
+// high-dimensional data.
+#pragma once
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace naru {
+
+class KdeEstimator : public Estimator {
+ public:
+  KdeEstimator(const Table& table, size_t sample_points, uint64_t seed,
+               std::string name = "KDE");
+
+  static KdeEstimator FromBudget(const Table& table, size_t budget_bytes,
+                                 uint64_t seed, std::string name = "KDE");
+
+  std::string name() const override { return name_; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override {
+    return points_.size() * sizeof(float) + bandwidth_.size() * sizeof(double);
+  }
+
+  /// Per-dimension bandwidths (Scott's rule at construction).
+  std::vector<double>& bandwidth() { return bandwidth_; }
+
+ private:
+  std::string name_;
+  size_t m_ = 0;      // sample points
+  size_t dims_ = 0;
+  std::vector<float> points_;  // row-major (m x dims) code coordinates
+  std::vector<double> bandwidth_;
+};
+
+/// Tunes `kde`'s bandwidths by coordinate descent over multiplicative
+/// factors, minimizing mean squared log q-error on (queries, true
+/// selectivities). This is the query-feedback step distinguishing
+/// KDE-superv from plain KDE.
+void KdeSupervisedTune(KdeEstimator* kde, const std::vector<Query>& queries,
+                       const std::vector<double>& true_selectivities,
+                       int rounds = 2);
+
+}  // namespace naru

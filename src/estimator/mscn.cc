@@ -1,0 +1,165 @@
+#include "estimator/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace naru {
+
+MscnEstimator::MscnEstimator(const Table& table, MscnConfig config)
+    : config_(std::move(config)),
+      num_rows_(table.num_rows()),
+      num_cols_(table.num_columns()),
+      rng_(config_.seed) {
+  actual_sample_rows_ = std::min(config_.sample_rows, table.num_rows());
+  if (actual_sample_rows_ > 0) {
+    std::vector<size_t> indices(table.num_rows());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (size_t i = 0; i < actual_sample_rows_; ++i) {
+      const size_t j = i + rng_.UniformInt(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+    }
+    sample_.resize(actual_sample_rows_ * num_cols_);
+    for (size_t i = 0; i < actual_sample_rows_; ++i) {
+      table.GetRowCodes(indices[i], sample_.data() + i * num_cols_);
+    }
+  }
+  net_ = std::make_unique<Mlp>(
+      "mscn",
+      std::vector<size_t>{FeatureDim(), config_.hidden1, config_.hidden2, 1},
+      &rng_);
+}
+
+size_t MscnEstimator::FeatureDim() const {
+  return 5 * num_cols_ + actual_sample_rows_;
+}
+
+void MscnEstimator::Featurize(const Query& query, Matrix* x,
+                              size_t r) const {
+  float* row = x->Row(r);
+  std::fill(row, row + x->cols(), 0.0f);
+  // Per-column predicate slots. Regions more complex than an interval are
+  // summarized by their bounding interval (the workload only emits
+  // {=, <=, >=}, so this is exact in practice).
+  for (size_t c = 0; c < num_cols_; ++c) {
+    const ValueSet& region = query.region(c);
+    float* slot = row + 5 * c;
+    if (region.IsAll()) continue;
+    slot[0] = 1.0f;
+    const size_t domain = region.domain();
+    const double denom = domain > 1 ? static_cast<double>(domain - 1) : 1.0;
+    int64_t lo = 0;
+    int64_t hi = static_cast<int64_t>(domain) - 1;
+    if (region.kind() == ValueSet::Kind::kInterval) {
+      lo = region.lo();
+      hi = region.hi();
+    } else if (!region.codes().empty()) {
+      lo = region.codes().front();
+      hi = region.codes().back();
+    }
+    if (lo == hi) {
+      slot[1] = 1.0f;  // equality
+      slot[4] = static_cast<float>(static_cast<double>(lo) / denom);
+    } else if (lo == 0) {
+      slot[2] = 1.0f;  // <=
+      slot[4] = static_cast<float>(static_cast<double>(hi) / denom);
+    } else {
+      slot[3] = 1.0f;  // >=
+      slot[4] = static_cast<float>(static_cast<double>(lo) / denom);
+    }
+  }
+  // Sample bitmap: 1 for each materialized sample row satisfying the query.
+  float* bitmap = row + 5 * num_cols_;
+  for (size_t i = 0; i < actual_sample_rows_; ++i) {
+    const int32_t* codes = sample_.data() + i * num_cols_;
+    bool match = true;
+    for (size_t c = 0; c < num_cols_; ++c) {
+      const ValueSet& region = query.region(c);
+      if (!region.IsAll() && !region.Contains(codes[c])) {
+        match = false;
+        break;
+      }
+    }
+    bitmap[i] = match ? 1.0f : 0.0f;
+  }
+}
+
+double MscnEstimator::Train(const std::vector<Query>& queries,
+                            const std::vector<int64_t>& true_cards) {
+  NARU_CHECK(queries.size() == true_cards.size());
+  NARU_CHECK(!queries.empty());
+  const size_t q = queries.size();
+  const double log_n = std::log(static_cast<double>(std::max<size_t>(
+      num_rows_, 2)));
+
+  Matrix features(q, FeatureDim());
+  std::vector<float> targets(q);
+  for (size_t i = 0; i < q; ++i) {
+    Featurize(queries[i], &features, i);
+    const double card = std::max<double>(
+        1.0, static_cast<double>(true_cards[i]));
+    targets[i] = static_cast<float>(std::log(card) / log_n);  // in [0, 1]
+  }
+
+  std::vector<Parameter*> params;
+  net_->CollectParameters(&params);
+  AdamOptions opts;
+  opts.lr = config_.lr;
+  opts.clip_global_norm = 5.0;
+  Adam adam(params, opts);
+
+  std::vector<size_t> order(q);
+  for (size_t i = 0; i < q; ++i) order[i] = i;
+
+  double last_epoch_loss = 0;
+  Matrix xb;
+  Matrix pred;
+  Matrix dpred;
+  std::vector<float> tb;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0;
+    size_t batches = 0;
+    for (size_t start = 0; start < q; start += config_.batch_size) {
+      const size_t chunk = std::min(config_.batch_size, q - start);
+      xb.Resize(chunk, FeatureDim());
+      tb.resize(chunk);
+      for (size_t i = 0; i < chunk; ++i) {
+        const size_t src = order[start + i];
+        std::copy(features.Row(src), features.Row(src) + features.cols(),
+                  xb.Row(i));
+        tb[i] = targets[src];
+      }
+      net_->Forward(xb, &pred);
+      epoch_loss += MeanSquaredError(pred, tb.data(), &dpred);
+      net_->Backward(dpred, nullptr);
+      adam.Step();
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+double MscnEstimator::EstimateSelectivity(const Query& query) {
+  Matrix x(1, FeatureDim());
+  Featurize(query, &x, 0);
+  Matrix y;
+  net_->ForwardInference(x, &y);
+  const double t = std::clamp(static_cast<double>(y.At(0, 0)), 0.0, 1.0);
+  const double card =
+      std::pow(static_cast<double>(std::max<size_t>(num_rows_, 2)), t);
+  return std::min(card / static_cast<double>(num_rows_), 1.0);
+}
+
+size_t MscnEstimator::SizeBytes() const {
+  size_t bytes = sample_.size() * sizeof(int32_t);
+  std::vector<Parameter*> params;
+  net_->CollectParameters(&params);
+  // CollectParameters is non-const on Mlp; fall back to summing shapes.
+  bytes += ParameterBytes(params);
+  return bytes;
+}
+
+}  // namespace naru

@@ -1,0 +1,65 @@
+// MSCN baseline (Table 2): supervised deep regression net (Kipf et al.).
+//
+// Queries are featurized into fixed per-column slots
+//   [has_filter, op=eq, op=le, op=ge, literal / (|A_i|-1)]
+// (the single-table specialization of MSCN's pooled predicate-set encoder)
+// concatenated with a bitmap of which rows of a materialized uniform sample
+// satisfy the query — the component the paper finds MSCN's accuracy depends
+// on most. A small MLP regresses the min-max-normalized log cardinality,
+// trained with MSE on generated (query, true-cardinality) pairs.
+//
+// Variants (paper §6.1.2): MSCN-base (1K-row sample), MSCN-0 (no sample,
+// query features only) and MSCN-10K (10K-row sample).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "nn/adam.h"
+#include "nn/mlp.h"
+#include "query/query.h"
+
+namespace naru {
+
+struct MscnConfig {
+  /// Materialized-sample rows (0 = MSCN-0).
+  size_t sample_rows = 1000;
+  size_t hidden1 = 256;
+  size_t hidden2 = 128;
+  size_t epochs = 40;
+  size_t batch_size = 128;
+  double lr = 1e-3;
+  uint64_t seed = 11;
+  std::string name = "MSCN-base";
+};
+
+class MscnEstimator : public Estimator {
+ public:
+  MscnEstimator(const Table& table, MscnConfig config);
+
+  /// Supervised training on (query, true cardinality) pairs. Returns the
+  /// final epoch's mean squared error on the normalized targets.
+  double Train(const std::vector<Query>& queries,
+               const std::vector<int64_t>& true_cards);
+
+  std::string name() const override { return config_.name; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override;
+
+ private:
+  /// Writes the feature vector of `query` into row `r` of `x`.
+  void Featurize(const Query& query, Matrix* x, size_t r) const;
+  size_t FeatureDim() const;
+
+  MscnConfig config_;
+  size_t num_rows_;
+  size_t num_cols_;
+  std::vector<int32_t> sample_;  // row-major (sample_rows x num_cols)
+  size_t actual_sample_rows_ = 0;
+  Rng rng_;
+  std::unique_ptr<Mlp> net_;
+};
+
+}  // namespace naru

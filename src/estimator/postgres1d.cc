@@ -1,0 +1,32 @@
+#include "estimator/postgres1d.h"
+
+namespace naru {
+
+Postgres1dEstimator::Postgres1dEstimator(const Table& table, size_t num_mcvs,
+                                         size_t num_buckets) {
+  const TableStats stats = TableStats::Compute(table);
+  columns_.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    columns_.emplace_back(stats.column(c), table.num_rows(), num_mcvs,
+                          num_buckets);
+  }
+}
+
+double Postgres1dEstimator::EstimateSelectivity(const Query& query) {
+  double sel = 1.0;
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    const ValueSet& region = query.region(c);
+    if (region.IsAll()) continue;
+    sel *= columns_[c].EstimateFraction(region);
+    if (sel == 0.0) return 0.0;
+  }
+  return sel;
+}
+
+size_t Postgres1dEstimator::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.SizeBytes();
+  return bytes;
+}
+
+}  // namespace naru

@@ -1,0 +1,31 @@
+// Postgres baseline (Table 2): per-column MCVs + equi-depth histograms
+// combined under the attribute value independence (AVI) assumption —
+// the selectivity machinery of a stock open-source DBMS (eqsel /
+// scalarltsel analogues), tuned to a generous per-column bucket count the
+// way the paper tunes Postgres to its 10,000-bin maximum.
+#pragma once
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/column_synopsis.h"
+#include "estimator/estimator.h"
+
+namespace naru {
+
+class Postgres1dEstimator : public Estimator {
+ public:
+  Postgres1dEstimator(const Table& table, size_t num_mcvs = 100,
+                      size_t num_buckets = 10000);
+
+  std::string name() const override { return "Postgres"; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override;
+
+  const ColumnSynopsis& synopsis(size_t col) const { return columns_[col]; }
+
+ private:
+  std::vector<ColumnSynopsis> columns_;
+};
+
+}  // namespace naru

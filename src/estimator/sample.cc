@@ -1,0 +1,52 @@
+#include "estimator/sample.h"
+
+#include <algorithm>
+
+namespace naru {
+
+SampleEstimator::SampleEstimator(const Table& table, size_t sample_rows,
+                                 uint64_t seed)
+    : cols_(table.num_columns()) {
+  rows_ = std::min(sample_rows, table.num_rows());
+  NARU_CHECK(rows_ > 0);
+  // Partial Fisher-Yates over row indices for a uniform sample without
+  // replacement.
+  std::vector<size_t> indices(table.num_rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Rng rng(seed);
+  for (size_t i = 0; i < rows_; ++i) {
+    const size_t j = i + rng.UniformInt(indices.size() - i);
+    std::swap(indices[i], indices[j]);
+  }
+  codes_.resize(rows_ * cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    table.GetRowCodes(indices[i], codes_.data() + i * cols_);
+  }
+}
+
+SampleEstimator SampleEstimator::FromBudget(const Table& table,
+                                            size_t budget_bytes,
+                                            uint64_t seed) {
+  const size_t bytes_per_row = table.num_columns() * sizeof(int32_t);
+  const size_t rows = std::max<size_t>(1, budget_bytes / bytes_per_row);
+  return SampleEstimator(table, rows, seed);
+}
+
+double SampleEstimator::EstimateSelectivity(const Query& query) {
+  size_t hits = 0;
+  for (size_t i = 0; i < rows_; ++i) {
+    const int32_t* row = codes_.data() + i * cols_;
+    bool match = true;
+    for (size_t c = 0; c < cols_; ++c) {
+      const ValueSet& region = query.region(c);
+      if (!region.IsAll() && !region.Contains(row[c])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rows_);
+}
+
+}  // namespace naru

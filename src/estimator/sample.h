@@ -1,0 +1,39 @@
+// Sample baseline (Table 2): keeps p% of tuples uniformly at random in
+// memory and answers queries by evaluating the predicate on the sample.
+// Excellent on high-selectivity queries, collapses when the sample has no
+// hits (the paper's low-selectivity tail).
+#pragma once
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "util/random.h"
+
+namespace naru {
+
+class SampleEstimator : public Estimator {
+ public:
+  /// Keeps `sample_rows` uniform rows (without replacement).
+  SampleEstimator(const Table& table, size_t sample_rows, uint64_t seed);
+
+  /// Sizes the sample to `budget_bytes` at 4 bytes per attribute cell.
+  static SampleEstimator FromBudget(const Table& table, size_t budget_bytes,
+                                    uint64_t seed);
+
+  std::string name() const override { return name_; }
+  double EstimateSelectivity(const Query& query) override;
+  size_t SizeBytes() const override {
+    return rows_ * cols_ * sizeof(int32_t);
+  }
+
+  size_t sample_rows() const { return rows_; }
+
+ private:
+  std::string name_ = "Sample";
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int32_t> codes_;  // row-major sample
+};
+
+}  // namespace naru

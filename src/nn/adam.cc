@@ -1,0 +1,57 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace naru {
+
+Adam::Adam(std::vector<Parameter*> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double scale = 1.0;
+  if (opts_.clip_global_norm > 0) {
+    double sq = 0;
+    for (const auto* p : params_) sq += p->grad.SumSquares();
+    const double norm = std::sqrt(sq);
+    if (norm > opts_.clip_global_norm) scale = opts_.clip_global_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(opts_.beta1);
+  const float b2 = static_cast<float>(opts_.beta2);
+  const float one_minus_b1 = 1.0f - b1;
+  const float one_minus_b2 = 1.0f - b2;
+  const double step_size = opts_.lr / bc1;
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const float grad = g[j] * static_cast<float>(scale);
+      m[j] = b1 * m[j] + one_minus_b1 * grad;
+      v[j] = b2 * v[j] + one_minus_b2 * grad * grad;
+      const double vhat = static_cast<double>(v[j]) / bc2;
+      w[j] -= static_cast<float>(step_size * m[j] /
+                                 (std::sqrt(vhat) + opts_.eps));
+      g[j] = 0.0f;
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto* p : params_) p->ZeroGrad();
+}
+
+}  // namespace naru

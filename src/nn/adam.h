@@ -1,0 +1,42 @@
+// Adam optimizer (Kingma & Ba, 2015) over a registered parameter set,
+// with optional global-norm gradient clipping.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace naru {
+
+struct AdamOptions {
+  double lr = 2e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// 0 disables clipping.
+  double clip_global_norm = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamOptions opts);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all gradients without stepping.
+  void ZeroGrad();
+
+  void set_lr(double lr) { opts_.lr = lr; }
+  double lr() const { return opts_.lr; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamOptions opts_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace naru

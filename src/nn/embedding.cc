@@ -1,0 +1,39 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+#include "nn/init.h"
+
+namespace naru {
+
+Embedding::Embedding(std::string name, size_t num, size_t dim, Rng* rng)
+    : table_(name + ".emb", num, dim) {
+  NormalInit(&table_.value, /*std_dev=*/0.1, rng);
+}
+
+void Embedding::Lookup(const int32_t* codes, size_t batch, Matrix* dst,
+                       size_t dst_offset) const {
+  const size_t d = dim();
+  NARU_CHECK(dst->rows() >= batch && dst_offset + d <= dst->cols());
+  for (size_t r = 0; r < batch; ++r) {
+    const int32_t code = codes[r];
+    NARU_DCHECK(code >= 0 && static_cast<size_t>(code) < num());
+    std::memcpy(dst->Row(r) + dst_offset, table_.value.Row(code),
+                d * sizeof(float));
+  }
+}
+
+void Embedding::Accumulate(const int32_t* codes, size_t batch,
+                           const Matrix& dsrc, size_t src_offset) {
+  const size_t d = dim();
+  NARU_CHECK(dsrc.rows() >= batch && src_offset + d <= dsrc.cols());
+  for (size_t r = 0; r < batch; ++r) {
+    const int32_t code = codes[r];
+    NARU_DCHECK(code >= 0 && static_cast<size_t>(code) < num());
+    float* grow = table_.grad.Row(code);
+    const float* srow = dsrc.Row(r) + src_offset;
+    for (size_t j = 0; j < d; ++j) grow[j] += srow[j];
+  }
+}
+
+}  // namespace naru

@@ -1,0 +1,46 @@
+// Learnable embedding table for large-domain column encodings (§4.2).
+//
+// Forward looks up rows by dictionary code and writes them into a column
+// slice of the destination batch matrix; backward scatters gradients back
+// into the used rows. The same table doubles as the output decoder under
+// the paper's "embedding reuse" optimization (logits = H E^T).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace naru {
+
+class Embedding {
+ public:
+  /// `num` domain entries, `dim` embedding width (the paper's h, default 64).
+  Embedding(std::string name, size_t num, size_t dim, Rng* rng);
+
+  size_t num() const { return table_.value.rows(); }
+  size_t dim() const { return table_.value.cols(); }
+
+  /// For each batch row r, copies table[codes[r]] into
+  /// dst->Row(r)[dst_offset .. dst_offset+dim).
+  void Lookup(const int32_t* codes, size_t batch, Matrix* dst,
+              size_t dst_offset) const;
+
+  /// Scatters the gradient slice back: grad_table[codes[r]] +=
+  /// dsrc->Row(r)[offset..offset+dim).
+  void Accumulate(const int32_t* codes, size_t batch, const Matrix& dsrc,
+                  size_t src_offset);
+
+  Parameter& table() { return table_; }
+  const Parameter& table() const { return table_; }
+
+  void CollectParameters(std::vector<Parameter*>* out) {
+    out->push_back(&table_);
+  }
+
+ private:
+  Parameter table_;  // (num x dim)
+};
+
+}  // namespace naru

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace naru {
+
+void KaimingUniformInit(Matrix* w, size_t fan_in, Rng* rng) {
+  NARU_CHECK(fan_in > 0);
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+  float* data = w->data();
+  for (size_t i = 0; i < w->size(); ++i) {
+    data[i] = static_cast<float>((rng->UniformDouble() * 2.0 - 1.0) * bound);
+  }
+}
+
+void NormalInit(Matrix* w, double std_dev, Rng* rng) {
+  float* data = w->data();
+  for (size_t i = 0; i < w->size(); ++i) {
+    data[i] = static_cast<float>(rng->Gaussian() * std_dev);
+  }
+}
+
+}  // namespace naru

@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace naru {
+
+/// He/Kaiming uniform init: U(-sqrt(6/fan_in), +sqrt(6/fan_in)).
+/// Appropriate for ReLU MLPs; used for Linear/MaskedLinear weights.
+void KaimingUniformInit(Matrix* w, size_t fan_in, Rng* rng);
+
+/// N(0, std) init; used for embedding tables (std defaults to small).
+void NormalInit(Matrix* w, double std_dev, Rng* rng);
+
+}  // namespace naru

@@ -1,0 +1,86 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace naru {
+
+LayerNorm::LayerNorm(std::string name, size_t dim)
+    : gamma_(name + ".gamma", 1, dim), beta_(name + ".beta", 1, dim) {
+  gamma_.value.Fill(1.0f);
+}
+
+namespace {
+
+// Mean and 1/sqrt(var + eps) of one row.
+void RowStats(const float* x, size_t dim, float eps, float* mean,
+              float* rstd) {
+  double sum = 0;
+  for (size_t c = 0; c < dim; ++c) sum += x[c];
+  const float mu = static_cast<float>(sum / static_cast<double>(dim));
+  double ss = 0;
+  for (size_t c = 0; c < dim; ++c) {
+    const float d = x[c] - mu;
+    ss += static_cast<double>(d) * d;
+  }
+  *mean = mu;
+  *rstd = 1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(dim)) +
+                           eps);
+}
+
+}  // namespace
+
+void LayerNorm::Forward(const Matrix& x, Matrix* y) const {
+  const size_t dim = this->dim();
+  NARU_CHECK(x.cols() == dim);
+  y->Resize(x.rows(), dim);
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.Row(r);
+    float* yr = y->Row(r);
+    float mu, rstd;
+    RowStats(xr, dim, kEps, &mu, &rstd);
+    for (size_t c = 0; c < dim; ++c) {
+      yr[c] = (xr[c] - mu) * rstd * g[c] + b[c];
+    }
+  }
+}
+
+void LayerNorm::Backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
+  const size_t dim = this->dim();
+  NARU_CHECK(x.cols() == dim && dy.cols() == dim && dy.rows() == x.rows());
+  dx->Resize(x.rows(), dim);
+  const float* g = gamma_.value.data();
+  float* dg = gamma_.grad.data();
+  float* db = beta_.grad.data();
+  const float inv_dim = 1.0f / static_cast<float>(dim);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.Row(r);
+    const float* dyr = dy.Row(r);
+    float* dxr = dx->Row(r);
+    float mu, rstd;
+    RowStats(xr, dim, kEps, &mu, &rstd);
+    // dxhat_c = dy_c * gamma_c;
+    // dx = rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)).
+    double sum_dxhat = 0, sum_dxhat_xhat = 0;
+    for (size_t c = 0; c < dim; ++c) {
+      const float xhat = (xr[c] - mu) * rstd;
+      const float dxhat = dyr[c] * g[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+      dg[c] += dyr[c] * xhat;
+      db[c] += dyr[c];
+    }
+    const float m1 = static_cast<float>(sum_dxhat) * inv_dim;
+    const float m2 = static_cast<float>(sum_dxhat_xhat) * inv_dim;
+    for (size_t c = 0; c < dim; ++c) {
+      const float xhat = (xr[c] - mu) * rstd;
+      const float dxhat = dyr[c] * g[c];
+      dxr[c] = rstd * (dxhat - m1 - xhat * m2);
+    }
+  }
+}
+
+}  // namespace naru

@@ -1,0 +1,48 @@
+// Row-wise layer normalization (Ba et al. 2016), used by the Transformer
+// blocks (§3.1/§4.3 list the Transformer [54] among the pluggable
+// autoregressive architectures).
+//
+// Follows the Linear convention: the layer is stateless with respect to
+// activations — Backward recomputes the per-row mean/rstd from the forward
+// input, which is cheaper than stashing normalized activations for the
+// small feature widths used here.
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace naru {
+
+class LayerNorm {
+ public:
+  /// Normalizes each length-`dim` row to zero mean / unit variance, then
+  /// applies the learned affine y = xhat * gamma + beta.
+  LayerNorm(std::string name, size_t dim);
+
+  size_t dim() const { return gamma_.value.cols(); }
+
+  /// y = LN(x); x is (batch x dim), y resized to match (y may alias x only
+  /// if the caller no longer needs x — Backward requires the original x).
+  void Forward(const Matrix& x, Matrix* y) const;
+
+  /// Given the forward input `x` and upstream gradient `dy`, accumulates
+  /// dgamma/dbeta and writes dx (may alias dy; never aliases x).
+  void Backward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+  void CollectParameters(std::vector<Parameter*>* out) {
+    out->push_back(&gamma_);
+    out->push_back(&beta_);
+  }
+
+ private:
+  static constexpr float kEps = 1e-5f;
+
+  Parameter gamma_;  // (1 x dim), initialized to 1
+  Parameter beta_;   // (1 x dim), initialized to 0
+};
+
+}  // namespace naru

@@ -1,0 +1,58 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace naru {
+
+double SoftmaxCrossEntropySlice(const Matrix& logits, size_t begin,
+                                size_t end, const int32_t* targets,
+                                float grad_scale, Matrix* dlogits) {
+  NARU_CHECK(end <= logits.cols() && begin < end);
+  NARU_CHECK(dlogits->rows() == logits.rows() &&
+             dlogits->cols() == logits.cols());
+  const size_t k = end - begin;
+  double total_nll = 0;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.Row(r) + begin;
+    float* dout = dlogits->Row(r) + begin;
+    const int32_t target = targets[r];
+    NARU_DCHECK(target >= 0 && static_cast<size_t>(target) < k);
+    float mx = in[0];
+    for (size_t i = 1; i < k; ++i) mx = std::max(mx, in[i]);
+    double sum = 0;
+    for (size_t i = 0; i < k; ++i) {
+      sum += std::exp(static_cast<double>(in[i]) - mx);
+    }
+    const double log_z = static_cast<double>(mx) + std::log(sum);
+    total_nll += log_z - static_cast<double>(in[target]);
+    const double inv_sum = 1.0 / sum;
+    for (size_t i = 0; i < k; ++i) {
+      const double p =
+          std::exp(static_cast<double>(in[i]) - mx) * inv_sum;
+      dout[i] += static_cast<float>(p) * grad_scale;
+    }
+    dout[target] -= grad_scale;
+  }
+  return total_nll;
+}
+
+double MeanSquaredError(const Matrix& pred, const float* targets,
+                        Matrix* dpred) {
+  NARU_CHECK(pred.cols() == 1);
+  const size_t n = pred.rows();
+  NARU_CHECK(n > 0);
+  dpred->Resize(n, 1);
+  double total = 0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const float diff = pred.At(r, 0) - targets[r];
+    total += static_cast<double>(diff) * diff;
+    dpred->At(r, 0) = 2.0f * diff * inv_n;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace naru

@@ -1,0 +1,27 @@
+// Loss functions with fused gradient computation.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace naru {
+
+/// Softmax cross-entropy over a column slice of a logits batch.
+///
+/// For each batch row r, treats logits[r, begin:end) as unnormalized scores
+/// of a categorical over (end-begin) classes with target `targets[r]`
+/// (an offset within the slice). Adds the gradient
+/// d(loss)/d(logits) = (softmax - onehot) * grad_scale into the same slice
+/// of `dlogits` (which must be pre-sized to match logits; other columns are
+/// untouched). Returns the summed negative log-likelihood in nats.
+double SoftmaxCrossEntropySlice(const Matrix& logits, size_t begin,
+                                size_t end, const int32_t* targets,
+                                float grad_scale, Matrix* dlogits);
+
+/// Mean squared error loss between a (batch x 1) prediction and targets;
+/// writes d(loss)/d(pred) into dpred (resized). Returns mean loss.
+double MeanSquaredError(const Matrix& pred, const float* targets,
+                        Matrix* dpred);
+
+}  // namespace naru

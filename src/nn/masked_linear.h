@@ -1,0 +1,53 @@
+// MADE-style masked fully-connected layer.
+//
+// A MaskedLinear is a Linear whose weight matrix is elementwise-multiplied
+// by a fixed binary mask that enforces the autoregressive property
+// (Germain et al., 2015). The mask is applied once to the initial weights
+// and re-applied to every weight gradient, so masked entries stay exactly
+// zero through training.
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace naru {
+
+class MaskedLinear {
+ public:
+  /// `mask` must be (in_dim x out_dim) with entries in {0, 1}.
+  MaskedLinear(std::string name, size_t in_dim, size_t out_dim, Matrix mask,
+               Rng* rng);
+
+  size_t in_dim() const { return w_.value.rows(); }
+  size_t out_dim() const { return w_.value.cols(); }
+
+  void Forward(const Matrix& x, Matrix* y) const;
+
+  /// Accumulates masked weight grads; dx computed unless nullptr.
+  /// With `accumulate_dx`, dx += dy W^T instead of overwriting (used when
+  /// several output heads feed gradient into one shared hidden layer).
+  void Backward(const Matrix& x, const Matrix& dy, Matrix* dx,
+                bool accumulate_dx = false);
+
+  const Matrix& mask() const { return mask_; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+  void CollectParameters(std::vector<Parameter*>* out) {
+    out->push_back(&w_);
+    out->push_back(&b_);
+  }
+
+  /// Re-applies the mask to the weight values. Called after deserialization
+  /// (and defensively after optimizer steps in debug builds).
+  void ProjectWeights();
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Matrix mask_;
+};
+
+}  // namespace naru

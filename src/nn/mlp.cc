@@ -1,0 +1,60 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+Mlp::Mlp(std::string name, const std::vector<size_t>& dims, Rng* rng) {
+  NARU_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(StrFormat("%s.l%zu", name.c_str(), i), dims[i],
+                         dims[i + 1], rng);
+  }
+  inputs_.resize(layers_.size());
+  pre_.resize(layers_.size());
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y) {
+  const Matrix* cur = &x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    inputs_[i] = *cur;  // copy; batches are small relative to weights
+    layers_[i].Forward(inputs_[i], &pre_[i]);
+    if (i + 1 < layers_.size()) {
+      ReluForward(pre_[i], &pre_[i]);
+      cur = &pre_[i];
+    }
+  }
+  *y = pre_.back();
+}
+
+void Mlp::ForwardInference(const Matrix& x, Matrix* y) const {
+  Matrix a = x;
+  Matrix b;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].Forward(a, &b);
+    if (i + 1 < layers_.size()) ReluForward(b, &b);
+    a = std::move(b);
+    b = Matrix();
+  }
+  *y = std::move(a);
+}
+
+void Mlp::Backward(const Matrix& dy, Matrix* dx) {
+  Matrix grad = dy;
+  Matrix grad_prev;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Matrix* out_grad = (i == 0) ? dx : &grad_prev;
+    layers_[i].Backward(inputs_[i], grad, out_grad);
+    if (i > 0) {
+      // inputs_[i] is post-ReLU of layer i-1; its positivity pattern equals
+      // that of the pre-activation, so it serves as the ReLU backward gate.
+      ReluBackward(inputs_[i], grad_prev, &grad_prev);
+      grad = std::move(grad_prev);
+      grad_prev = Matrix();
+    }
+  }
+}
+
+}  // namespace naru

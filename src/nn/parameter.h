@@ -1,0 +1,40 @@
+// Trainable parameter: a value matrix plus its gradient accumulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace naru {
+
+/// One trainable tensor. Layers expose their parameters so optimizers can
+/// iterate over them uniformly.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+
+  /// Number of scalar weights.
+  size_t count() const { return value.size(); }
+};
+
+/// Total scalar count across a parameter set.
+inline size_t TotalParameterCount(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const auto* p : params) n += p->count();
+  return n;
+}
+
+/// Model size in bytes assuming float32 storage (paper reports MB sizes).
+inline size_t ParameterBytes(const std::vector<Parameter*>& params) {
+  return TotalParameterCount(params) * sizeof(float);
+}
+
+}  // namespace naru

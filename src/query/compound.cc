@@ -1,0 +1,70 @@
+#include "query/compound.h"
+
+#include <algorithm>
+
+namespace naru {
+
+Query ConjoinQueries(const Query& a, const Query& b) {
+  NARU_CHECK(a.num_columns() == b.num_columns());
+  std::vector<ValueSet> regions;
+  regions.reserve(a.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    regions.push_back(a.region(c).Intersect(b.region(c)));
+  }
+  std::vector<Predicate> preds = a.predicates();
+  preds.insert(preds.end(), b.predicates().begin(), b.predicates().end());
+  return Query(std::move(regions), std::move(preds));
+}
+
+double EstimateDisjunction(Estimator* estimator,
+                           const std::vector<Query>& disjuncts) {
+  NARU_CHECK(!disjuncts.empty());
+  NARU_CHECK_MSG(disjuncts.size() <= 20,
+                 "inclusion-exclusion over %zu disjuncts is intractable",
+                 disjuncts.size());
+  const size_t k = disjuncts.size();
+  double total = 0;
+  // Iterate all non-empty subsets; sign = (-1)^(|S|+1).
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    Query term = disjuncts[static_cast<size_t>(
+        __builtin_ctz(mask))];
+    int bits = 1;
+    for (size_t i = static_cast<size_t>(__builtin_ctz(mask)) + 1; i < k;
+         ++i) {
+      if (mask & (1u << i)) {
+        term = ConjoinQueries(term, disjuncts[i]);
+        ++bits;
+      }
+    }
+    const double sel =
+        term.HasEmptyRegion() ? 0.0 : estimator->EstimateSelectivity(term);
+    total += (bits % 2 == 1) ? sel : -sel;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double ExecuteDisjunctionSelectivity(const Table& table,
+                                     const std::vector<Query>& disjuncts) {
+  NARU_CHECK(!disjuncts.empty());
+  size_t hits = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool any = false;
+    for (const auto& q : disjuncts) {
+      bool match = true;
+      for (size_t c = 0; c < table.num_columns() && match; ++c) {
+        const ValueSet& region = q.region(c);
+        if (!region.IsAll() && !region.Contains(table.column(c).code(r))) {
+          match = false;
+        }
+      }
+      if (match) {
+        any = true;
+        break;
+      }
+    }
+    if (any) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace naru

@@ -1,0 +1,32 @@
+// Compound (disjunctive) query estimation via inclusion–exclusion (§2.2).
+//
+// Estimators answer conjunctions; "arbitrary conjunctions or disjunctions
+// ... are supported via the inclusion-exclusion principle". This module
+// evaluates a disjunction of conjunctive queries against any Estimator:
+//   sel(q1 ∨ q2 ∨ ...) = Σ sel(qi) − Σ sel(qi ∧ qj) + ...
+// Conjunctions of Query objects intersect their per-column regions, so
+// each inclusion–exclusion term is itself one estimator call. The number
+// of terms is 2^k − 1; keep k small (the API checks k <= 20).
+#pragma once
+
+#include <vector>
+
+#include "estimator/estimator.h"
+#include "query/query.h"
+
+namespace naru {
+
+/// Conjunction of two conjunctive queries over the same table: per-column
+/// region intersection.
+Query ConjoinQueries(const Query& a, const Query& b);
+
+/// Selectivity of the disjunction of `disjuncts` under `estimator`,
+/// computed by inclusion-exclusion. Result clamped to [0, 1].
+double EstimateDisjunction(Estimator* estimator,
+                           const std::vector<Query>& disjuncts);
+
+/// Exact disjunction selectivity by scanning (ground truth for tests).
+double ExecuteDisjunctionSelectivity(const Table& table,
+                                     const std::vector<Query>& disjuncts);
+
+}  // namespace naru

@@ -1,0 +1,89 @@
+#include "query/executor.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace naru {
+
+namespace {
+
+// Filters evaluated in ascending region-count order would be ideal; for
+// simplicity we evaluate filtered columns in position order with early
+// exit, which is already dominated by the first selective filter.
+struct CompiledFilter {
+  size_t column;
+  const ValueSet* region;
+};
+
+std::vector<CompiledFilter> CompileFilters(const Query& query) {
+  std::vector<CompiledFilter> filters;
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    if (!query.region(c).IsAll()) {
+      filters.push_back({c, &query.region(c)});
+    }
+  }
+  return filters;
+}
+
+}  // namespace
+
+int64_t ExecuteCount(const Table& table, const Query& query) {
+  const auto filters = CompileFilters(query);
+  if (filters.empty()) return static_cast<int64_t>(table.num_rows());
+
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, table.num_rows(),
+      [&](size_t lo, size_t hi) {
+        int64_t local = 0;
+        for (size_t r = lo; r < hi; ++r) {
+          bool match = true;
+          for (const auto& f : filters) {
+            if (!f.region->Contains(table.column(f.column).code(r))) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++local;
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/4096);
+  return total.load();
+}
+
+double ExecuteSelectivity(const Table& table, const Query& query) {
+  if (table.num_rows() == 0) return 0;
+  return static_cast<double>(ExecuteCount(table, query)) /
+         static_cast<double>(table.num_rows());
+}
+
+std::vector<int64_t> ExecuteCounts(const Table& table,
+                                   const std::vector<Query>& queries) {
+  std::vector<int64_t> out(queries.size());
+  // Parallelism lives inside ExecuteCount; run queries serially so memory
+  // stays bounded and the pool is not oversubscribed.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = ExecuteCount(table, queries[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ExecuteBitmap(const Table& table, const Query& query,
+                                   size_t limit) {
+  const auto filters = CompileFilters(query);
+  const size_t n = std::min(limit, table.num_rows());
+  std::vector<uint8_t> bitmap(n, 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (const auto& f : filters) {
+      if (!f.region->Contains(table.column(f.column).code(r))) {
+        bitmap[r] = 0;
+        break;
+      }
+    }
+  }
+  return bitmap;
+}
+
+}  // namespace naru

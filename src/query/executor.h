@@ -1,0 +1,31 @@
+// Ground-truth query execution by (parallel) full scan.
+//
+// Supplies the "actual" cardinalities against which every estimator's
+// q-error is computed (the paper obtains these from Postgres; here the
+// scan executor plays that role).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+
+namespace naru {
+
+/// Exact number of rows of `table` satisfying `query`.
+int64_t ExecuteCount(const Table& table, const Query& query);
+
+/// Exact selectivity in [0, 1].
+double ExecuteSelectivity(const Table& table, const Query& query);
+
+/// Batch variant, parallelized across queries.
+std::vector<int64_t> ExecuteCounts(const Table& table,
+                                   const std::vector<Query>& queries);
+
+/// Bitmap of qualifying rows among rows [0, limit) -- used by the MSCN
+/// baseline's materialized-sample featurization.
+std::vector<uint8_t> ExecuteBitmap(const Table& table, const Query& query,
+                                   size_t limit);
+
+}  // namespace naru

@@ -1,0 +1,76 @@
+#include "query/metrics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+double QError(double estimated_cardinality, double actual_cardinality) {
+  const double est = std::max(estimated_cardinality, 1.0);
+  const double actual = std::max(actual_cardinality, 1.0);
+  return std::max(est, actual) / std::min(est, actual);
+}
+
+SelectivityBucket BucketForSelectivity(double selectivity) {
+  if (selectivity > 0.02) return SelectivityBucket::kHigh;
+  if (selectivity > 0.005) return SelectivityBucket::kMedium;
+  return SelectivityBucket::kLow;
+}
+
+const char* BucketName(SelectivityBucket b) {
+  switch (b) {
+    case SelectivityBucket::kHigh:
+      return "High(>2%)";
+    case SelectivityBucket::kMedium:
+      return "Med(.5-2%)";
+    case SelectivityBucket::kLow:
+      return "Low(<=.5%)";
+  }
+  return "?";
+}
+
+void ErrorReport::Add(double estimated_card, double actual_card,
+                      double true_sel) {
+  const double err = QError(estimated_card, actual_card);
+  buckets_[static_cast<int>(BucketForSelectivity(true_sel))].Add(err);
+  overall_.Add(err);
+}
+
+ErrorQuantiles ErrorReport::Bucket(SelectivityBucket b) const {
+  return ComputeErrorQuantiles(buckets_[static_cast<int>(b)]);
+}
+
+ErrorQuantiles ErrorReport::Overall() const {
+  return ComputeErrorQuantiles(overall_);
+}
+
+std::string ErrorReport::FormatRow() const {
+  std::string row = StrFormat("%-14s", name_.c_str());
+  for (int b = 0; b < 3; ++b) {
+    const auto q = ComputeErrorQuantiles(buckets_[b]);
+    row += StrFormat(" | %8s %8s %8s %8s",
+                     FormatPaperNumber(q.median).c_str(),
+                     FormatPaperNumber(q.p95).c_str(),
+                     FormatPaperNumber(q.p99).c_str(),
+                     FormatPaperNumber(q.max).c_str());
+  }
+  return row;
+}
+
+std::string ErrorReport::FormatHeader() {
+  std::string h = StrFormat("%-14s", "Estimator");
+  for (int b = 0; b < 3; ++b) {
+    h += StrFormat(" | %-8s %-8s %-8s %-8s",
+                   BucketName(static_cast<SelectivityBucket>(b)), "95th",
+                   "99th", "Max");
+  }
+  h += "\n";
+  h += StrFormat("%-14s", "");
+  for (int b = 0; b < 3; ++b) {
+    h += StrFormat(" | %-8s %-8s %-8s %-8s", "Median", "", "", "");
+  }
+  return h;
+}
+
+}  // namespace naru

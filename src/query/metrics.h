@@ -1,0 +1,50 @@
+// Accuracy metrics and paper-style reporting (§6.1.3).
+//
+// The q-error is max(est, actual) / min(est, actual) with both cardinalities
+// floored at 1. Queries are bucketed by true selectivity into the paper's
+// high (>2%), medium (0.5%-2%] and low (<=0.5%) groups, and each bucket is
+// reported at {median, 95th, 99th, max}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/quantile.h"
+
+namespace naru {
+
+/// Multiplicative error between estimated and actual cardinalities,
+/// both floored at 1 (guards division by zero for empty results).
+double QError(double estimated_cardinality, double actual_cardinality);
+
+/// Paper's selectivity buckets.
+enum class SelectivityBucket { kHigh, kMedium, kLow };
+
+SelectivityBucket BucketForSelectivity(double selectivity);
+const char* BucketName(SelectivityBucket b);
+
+/// Per-bucket q-error accumulator for one estimator.
+class ErrorReport {
+ public:
+  explicit ErrorReport(std::string estimator_name)
+      : name_(std::move(estimator_name)) {}
+
+  /// Records one query's result.
+  void Add(double estimated_card, double actual_card, double true_sel);
+
+  const std::string& name() const { return name_; }
+  ErrorQuantiles Bucket(SelectivityBucket b) const;
+  ErrorQuantiles Overall() const;
+
+  /// One table row: name | med/95/99/max for high | medium | low.
+  std::string FormatRow() const;
+  /// Header matching FormatRow.
+  static std::string FormatHeader();
+
+ private:
+  std::string name_;
+  QuantileSketch buckets_[3];
+  QuantileSketch overall_;
+};
+
+}  // namespace naru

@@ -1,0 +1,358 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kOp, kLParen, kRParen, kComma, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // identifier/literal text or operator symbol
+  size_t pos = 0;    // byte offset (for error messages)
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Result<Token> Next() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    Token t;
+    t.pos = pos_;
+    if (pos_ >= s_.size()) return t;  // kEnd
+
+    const char c = s_[pos_];
+    if (c == '(') {
+      ++pos_;
+      t.kind = TokKind::kLParen;
+      return t;
+    }
+    if (c == ')') {
+      ++pos_;
+      t.kind = TokKind::kRParen;
+      return t;
+    }
+    if (c == ',') {
+      ++pos_;
+      t.kind = TokKind::kComma;
+      return t;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string out;
+      while (pos_ < s_.size() && s_[pos_] != quote) out += s_[pos_++];
+      if (pos_ >= s_.size()) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", t.pos));
+      }
+      ++pos_;  // closing quote
+      t.kind = TokKind::kString;
+      t.text = std::move(out);
+      return t;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '!') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '=' || (c == '<' && s_[pos_] == '>'))) {
+        op += s_[pos_++];
+      }
+      if (op == "!") {
+        return Status::InvalidArgument(
+            StrFormat("stray '!' at offset %zu (did you mean !=?)", t.pos));
+      }
+      t.kind = TokKind::kOp;
+      t.text = std::move(op);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      std::string num;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '.' || s_[pos_] == '-' || s_[pos_] == '+' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        num += s_[pos_++];
+      }
+      t.kind = TokKind::kNumber;
+      t.text = std::move(num);
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '_' || s_[pos_] == '.')) {
+        id += s_[pos_++];
+      }
+      t.kind = TokKind::kIdent;
+      t.text = std::move(id);
+      return t;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, t.pos));
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsKeyword(const Token& t, const char* kw) {
+  return t.kind == TokKind::kIdent && ToUpper(t.text) == kw;
+}
+
+/// Interprets a literal token in the column's value type.
+Result<Value> LiteralValue(const Dictionary& dict, const Token& tok) {
+  if (tok.kind != TokKind::kNumber && tok.kind != TokKind::kString &&
+      tok.kind != TokKind::kIdent) {
+    return Status::InvalidArgument(
+        StrFormat("expected a literal at offset %zu", tok.pos));
+  }
+  switch (dict.value_type()) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.text.c_str(), &end, 10);
+      if (end == tok.text.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("'%s' is not an integer (offset %zu)",
+                      tok.text.c_str(), tok.pos));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(tok.text.c_str(), &end);
+      if (end == tok.text.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("'%s' is not a number (offset %zu)", tok.text.c_str(),
+                      tok.pos));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(tok.text);
+  }
+  return Status::InvalidArgument("unknown column value type");
+}
+
+/// The code of the largest dictionary entry <= v, or -1 when none is.
+int32_t UpperBoundCode(const Dictionary& dict, const Value& v) {
+  const auto exact = dict.CodeFor(v);
+  if (exact.ok()) return exact.ValueOrDie();
+  return dict.LowerBoundCode(v) - 1;
+}
+
+/// Encodes `column op literal` into an exact code-space predicate, mapping
+/// absent range literals through the ordered domain.
+Result<Predicate> EncodeComparison(size_t column, const Dictionary& dict,
+                                   const std::string& op, const Value& v) {
+  Predicate p;
+  p.column = column;
+  const auto exact = dict.CodeFor(v);
+  if (op == "=") {
+    if (exact.ok()) {
+      p.op = CompareOp::kEq;
+      p.literal = exact.ValueOrDie();
+    } else {
+      p.op = CompareOp::kIn;  // empty IN list: matches nothing (sel 0)
+      p.in_list.clear();
+    }
+    return p;
+  }
+  if (op == "!=" || op == "<>") {
+    if (exact.ok()) {
+      p.op = CompareOp::kNeq;
+      p.literal = exact.ValueOrDie();
+    } else {
+      p.op = CompareOp::kNeq;
+      p.literal = -1;  // != nothing: matches everything
+    }
+    return p;
+  }
+  if (op == "<=") {
+    p.op = CompareOp::kLe;
+    p.literal = exact.ok() ? exact.ValueOrDie() : UpperBoundCode(dict, v);
+    return p;
+  }
+  if (op == "<") {
+    p.op = exact.ok() ? CompareOp::kLt : CompareOp::kLe;
+    p.literal = exact.ok() ? exact.ValueOrDie() : UpperBoundCode(dict, v);
+    return p;
+  }
+  if (op == ">=") {
+    p.op = CompareOp::kGe;
+    p.literal = exact.ok() ? exact.ValueOrDie() : dict.LowerBoundCode(v);
+    return p;
+  }
+  if (op == ">") {
+    p.op = exact.ok() ? CompareOp::kGt : CompareOp::kGe;
+    p.literal = exact.ok() ? exact.ValueOrDie() : dict.LowerBoundCode(v);
+    return p;
+  }
+  return Status::InvalidArgument("unknown operator: " + op);
+}
+
+class Parser {
+ public:
+  Parser(const Table& table, std::string_view clause)
+      : table_(table), lexer_(clause) {}
+
+  Result<std::vector<Predicate>> Parse() {
+    NARU_ASSIGN_OR_RETURN(auto disjuncts, ParseDisjuncts());
+    if (disjuncts.size() > 1) {
+      return Status::InvalidArgument(
+          "clause contains OR; use ParseDisjunction for disjunctions");
+    }
+    return disjuncts.empty() ? std::vector<Predicate>{}
+                             : std::move(disjuncts[0]);
+  }
+
+  Result<std::vector<std::vector<Predicate>>> ParseDisjuncts() {
+    NARU_RETURN_NOT_OK(Advance());
+    std::vector<std::vector<Predicate>> disjuncts;
+    if (cur_.kind == TokKind::kEnd) return disjuncts;  // empty: match all
+    while (true) {  // one conjunction per iteration
+      std::vector<Predicate> preds;
+      while (true) {
+        NARU_ASSIGN_OR_RETURN(Predicate p, Term());
+        preds.push_back(std::move(p));
+        if (cur_.kind == TokKind::kEnd || IsKeyword(cur_, "OR")) break;
+        if (!IsKeyword(cur_, "AND")) {
+          return Status::InvalidArgument(
+              StrFormat("expected AND or OR at offset %zu", cur_.pos));
+        }
+        NARU_RETURN_NOT_OK(Advance());
+      }
+      disjuncts.push_back(std::move(preds));
+      if (cur_.kind == TokKind::kEnd) break;
+      NARU_RETURN_NOT_OK(Advance());  // consume OR
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("dangling OR at end of clause");
+      }
+    }
+    return disjuncts;
+  }
+
+ private:
+  Status Advance() {
+    NARU_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Result<Predicate> Term() {
+    if (cur_.kind != TokKind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("expected a column name at offset %zu", cur_.pos));
+    }
+    NARU_ASSIGN_OR_RETURN(size_t column, table_.ColumnIndex(cur_.text));
+    const Dictionary& dict = table_.column(column).dict();
+    NARU_RETURN_NOT_OK(Advance());
+
+    if (IsKeyword(cur_, "BETWEEN")) {
+      NARU_RETURN_NOT_OK(Advance());
+      NARU_ASSIGN_OR_RETURN(Value lo, LiteralValue(dict, cur_));
+      NARU_RETURN_NOT_OK(Advance());
+      if (!IsKeyword(cur_, "AND")) {
+        return Status::InvalidArgument(
+            StrFormat("expected AND in BETWEEN at offset %zu", cur_.pos));
+      }
+      NARU_RETURN_NOT_OK(Advance());
+      NARU_ASSIGN_OR_RETURN(Value hi, LiteralValue(dict, cur_));
+      NARU_RETURN_NOT_OK(Advance());
+      Predicate p;
+      p.column = column;
+      p.op = CompareOp::kBetween;
+      const auto lo_exact = dict.CodeFor(lo);
+      p.literal = lo_exact.ok() ? lo_exact.ValueOrDie() : dict.LowerBoundCode(lo);
+      const auto hi_exact = dict.CodeFor(hi);
+      p.literal2 = hi_exact.ok() ? hi_exact.ValueOrDie() : UpperBoundCode(dict, hi);
+      return p;
+    }
+
+    if (IsKeyword(cur_, "IN")) {
+      NARU_RETURN_NOT_OK(Advance());
+      if (cur_.kind != TokKind::kLParen) {
+        return Status::InvalidArgument(
+            StrFormat("expected ( after IN at offset %zu", cur_.pos));
+      }
+      Predicate p;
+      p.column = column;
+      p.op = CompareOp::kIn;
+      do {
+        NARU_RETURN_NOT_OK(Advance());
+        NARU_ASSIGN_OR_RETURN(Value v, LiteralValue(dict, cur_));
+        const auto code = dict.CodeFor(v);
+        if (code.ok()) p.in_list.push_back(code.ValueOrDie());
+        // Absent IN literals match nothing; simply skipped.
+        NARU_RETURN_NOT_OK(Advance());
+      } while (cur_.kind == TokKind::kComma);
+      if (cur_.kind != TokKind::kRParen) {
+        return Status::InvalidArgument(
+            StrFormat("expected , or ) in IN list at offset %zu", cur_.pos));
+      }
+      NARU_RETURN_NOT_OK(Advance());
+      return p;
+    }
+
+    if (cur_.kind != TokKind::kOp) {
+      return Status::InvalidArgument(StrFormat(
+          "expected an operator, BETWEEN or IN at offset %zu", cur_.pos));
+    }
+    const std::string op = cur_.text;
+    NARU_RETURN_NOT_OK(Advance());
+    NARU_ASSIGN_OR_RETURN(Value v, LiteralValue(dict, cur_));
+    NARU_RETURN_NOT_OK(Advance());
+    return EncodeComparison(column, dict, op, v);
+  }
+
+  const Table& table_;
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+Result<std::vector<Predicate>> ParsePredicates(const Table& table,
+                                               std::string_view clause) {
+  return Parser(table, clause).Parse();
+}
+
+Result<Query> ParseWhere(const Table& table, std::string_view clause) {
+  NARU_ASSIGN_OR_RETURN(std::vector<Predicate> preds,
+                        ParsePredicates(table, clause));
+  return Query(table, std::move(preds));
+}
+
+Result<std::vector<Query>> ParseDisjunction(const Table& table,
+                                            std::string_view clause) {
+  Parser parser(table, clause);
+  NARU_ASSIGN_OR_RETURN(auto disjuncts, parser.ParseDisjuncts());
+  std::vector<Query> queries;
+  queries.reserve(std::max<size_t>(disjuncts.size(), 1));
+  if (disjuncts.empty()) {
+    queries.emplace_back(table, std::vector<Predicate>{});
+    return queries;
+  }
+  for (auto& preds : disjuncts) {
+    queries.emplace_back(table, std::move(preds));
+  }
+  return queries;
+}
+
+}  // namespace naru

@@ -1,0 +1,52 @@
+// SQL-ish WHERE-clause parser for conjunctive predicates (§2.2).
+//
+// Turns a textual filter into the library's Predicate / Query objects,
+// resolving column names against a table and literals against the column
+// dictionaries. Supported grammar (keywords case-insensitive):
+//
+//   clause  := conj ( OR conj )*
+//   conj    := term ( AND term )*
+//   term    := column op literal
+//            | column BETWEEN literal AND literal
+//            | column IN '(' literal ( ',' literal )* ')'
+//   op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//   literal := number | 'quoted string' | "quoted string" | bareword
+//
+// AND binds tighter than OR. Disjunctions are evaluated against any
+// estimator through inclusion-exclusion (query/compound.h, §2.2);
+// ParsePredicates/ParseWhere accept only a single conjunction and report
+// an error when the clause contains OR.
+//
+// Literals are interpreted in the column's value type and mapped to
+// dictionary codes. Range literals absent from the data are encoded
+// exactly through the ordered domain (LowerBoundCode); an equality or IN
+// literal absent from the data matches nothing (the semantically exact
+// answer — selectivity 0 — rather than an error), which also gives the
+// §6.3 out-of-distribution behaviour when such queries are typed in.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace naru {
+
+/// Parses a conjunction; fails with InvalidArgument on syntax errors and
+/// NotFound on unknown column names.
+Result<std::vector<Predicate>> ParsePredicates(const Table& table,
+                                               std::string_view clause);
+
+/// Convenience: ParsePredicates + Query construction. An empty or
+/// all-whitespace clause yields the match-everything query.
+Result<Query> ParseWhere(const Table& table, std::string_view clause);
+
+/// Parses `conj (OR conj)*` into one Query per disjunct, ready for
+/// EstimateDisjunction / ExecuteDisjunctionSelectivity. A clause without
+/// OR yields a single-element vector.
+Result<std::vector<Query>> ParseDisjunction(const Table& table,
+                                            std::string_view clause);
+
+}  // namespace naru

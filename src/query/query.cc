@@ -1,0 +1,124 @@
+#include "query/query.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNeq:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kIn:
+      return "IN";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+ValueSet Predicate::ToValueSet(size_t domain) const {
+  const int64_t d = static_cast<int64_t>(domain);
+  switch (op) {
+    case CompareOp::kEq:
+      return ValueSet::Interval(domain, literal, literal);
+    case CompareOp::kNeq: {
+      std::vector<int32_t> codes;
+      codes.reserve(domain - 1);
+      for (int64_t c = 0; c < d; ++c) {
+        if (c != literal) codes.push_back(static_cast<int32_t>(c));
+      }
+      return ValueSet::Set(domain, std::move(codes));
+    }
+    case CompareOp::kLt:
+      return ValueSet::Interval(domain, 0, literal - 1);
+    case CompareOp::kLe:
+      return ValueSet::Interval(domain, 0, literal);
+    case CompareOp::kGt:
+      return ValueSet::Interval(domain, literal + 1, d - 1);
+    case CompareOp::kGe:
+      return ValueSet::Interval(domain, literal, d - 1);
+    case CompareOp::kIn:
+      return ValueSet::Set(domain, in_list);
+    case CompareOp::kBetween:
+      return ValueSet::Interval(domain, literal, literal2);
+  }
+  return ValueSet::All(domain);
+}
+
+Query::Query(const Table& table, std::vector<Predicate> predicates)
+    : predicates_(std::move(predicates)) {
+  regions_.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    regions_.push_back(ValueSet::All(table.column(c).DomainSize()));
+  }
+  for (const auto& p : predicates_) {
+    NARU_CHECK(p.column < regions_.size());
+    const size_t domain = regions_[p.column].domain();
+    regions_[p.column] =
+        regions_[p.column].Intersect(p.ToValueSet(domain));
+  }
+}
+
+Query::Query(std::vector<ValueSet> regions,
+             std::vector<Predicate> predicates)
+    : predicates_(std::move(predicates)), regions_(std::move(regions)) {
+  NARU_CHECK(!regions_.empty());
+}
+
+size_t Query::NumFilteredColumns() const {
+  size_t n = 0;
+  for (const auto& r : regions_) {
+    if (!r.IsAll()) ++n;
+  }
+  return n;
+}
+
+int Query::LastFilteredColumn() const {
+  for (int c = static_cast<int>(regions_.size()) - 1; c >= 0; --c) {
+    if (!regions_[static_cast<size_t>(c)].IsAll()) return c;
+  }
+  return -1;
+}
+
+double Query::Log10RegionSize() const {
+  double log10 = 0;
+  for (const auto& r : regions_) {
+    const size_t count = r.Count();
+    if (count == 0) return -std::numeric_limits<double>::infinity();
+    log10 += std::log10(static_cast<double>(count));
+  }
+  return log10;
+}
+
+bool Query::HasEmptyRegion() const {
+  for (const auto& r : regions_) {
+    if (r.Count() == 0) return true;
+  }
+  return false;
+}
+
+std::string Query::ToString(const Table& table) const {
+  std::vector<std::string> parts;
+  for (const auto& p : predicates_) {
+    parts.push_back(StrFormat("%s %s %lld",
+                              table.column(p.column).name().c_str(),
+                              CompareOpToString(p.op),
+                              static_cast<long long>(p.literal)));
+  }
+  return JoinStrings(parts, " AND ");
+}
+
+}  // namespace naru

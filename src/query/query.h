@@ -1,0 +1,70 @@
+// Query representation: conjunctions of single-column predicates (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/value_set.h"
+
+namespace naru {
+
+/// Comparison operators supported by the estimator (§2.2: the usual
+/// operators; IN and BETWEEN are ranges in the formulation).
+enum class CompareOp { kEq, kNeq, kLt, kLe, kGt, kGe, kIn, kBetween };
+
+const char* CompareOpToString(CompareOp op);
+
+/// One predicate `column <op> literal` (literals as dictionary codes).
+struct Predicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  int64_t literal = 0;        // code; primary literal (lo for BETWEEN)
+  int64_t literal2 = 0;       // hi for BETWEEN
+  std::vector<int32_t> in_list;  // codes for IN
+
+  /// The region of the column's domain this predicate allows.
+  ValueSet ToValueSet(size_t domain) const;
+};
+
+/// A conjunctive query over one table: per-column allowed regions.
+/// Unfiltered columns hold wildcard (kAll) sets.
+class Query {
+ public:
+  /// Builds the per-column region vector from a conjunction of predicates.
+  /// Multiple predicates on one column intersect.
+  Query(const Table& table, std::vector<Predicate> predicates);
+
+  /// Builds directly from per-column regions (used by compound-query
+  /// algebra; `predicates` is display-only metadata).
+  explicit Query(std::vector<ValueSet> regions,
+                 std::vector<Predicate> predicates = {});
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<ValueSet>& regions() const { return regions_; }
+  const ValueSet& region(size_t col) const { return regions_[col]; }
+  size_t num_columns() const { return regions_.size(); }
+
+  /// Number of columns with a non-wildcard region.
+  size_t NumFilteredColumns() const;
+
+  /// Index of the last non-wildcard column, or -1 if none (enables the
+  /// trailing-wildcard early exit in the sampler).
+  int LastFilteredColumn() const;
+
+  /// log10 of the number of points in the query region R_1 x ... x R_n
+  /// (Table 6's "query region size"); wildcards count their full domain.
+  double Log10RegionSize() const;
+
+  /// True when some column's region is empty (selectivity is exactly 0).
+  bool HasEmptyRegion() const;
+
+  std::string ToString(const Table& table) const;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<ValueSet> regions_;
+};
+
+}  // namespace naru

@@ -1,0 +1,86 @@
+#include "query/workload.h"
+
+#include <algorithm>
+
+namespace naru {
+
+std::vector<Query> GenerateWorkload(const Table& table,
+                                    const WorkloadConfig& config) {
+  NARU_CHECK(table.num_rows() > 0);
+  NARU_CHECK(config.min_filters >= 1);
+  const size_t num_cols = table.num_columns();
+  const size_t max_filters = std::min(config.max_filters, num_cols);
+  const size_t min_filters = std::min(config.min_filters, max_filters);
+
+  Rng rng(config.seed);
+  std::vector<Query> out;
+  out.reserve(config.num_queries);
+
+  std::vector<size_t> col_order(num_cols);
+  for (size_t i = 0; i < num_cols; ++i) col_order[i] = i;
+
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    const size_t f = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(min_filters),
+                         static_cast<int64_t>(max_filters)));
+    // Choose f distinct columns via partial shuffle.
+    rng.Shuffle(&col_order);
+
+    // Literals follow the data distribution: take them from one random
+    // tuple (in-distribution) or uniformly from each domain (OOD).
+    const size_t tuple_row = rng.UniformInt(table.num_rows());
+
+    std::vector<Predicate> preds;
+    preds.reserve(f);
+    for (size_t k = 0; k < f; ++k) {
+      const size_t col = col_order[k];
+      const size_t domain = table.column(col).DomainSize();
+      Predicate p;
+      p.column = col;
+      if (config.out_of_distribution) {
+        p.literal = static_cast<int64_t>(rng.UniformInt(domain));
+      } else {
+        p.literal = table.column(col).code(tuple_row);
+      }
+      if (domain >= config.range_domain_threshold) {
+        if (config.in_probability > 0 &&
+            rng.UniformDouble() < config.in_probability) {
+          // IN-list whose members follow the data distribution: literals
+          // from several random tuples (plus the anchor tuple's value).
+          p.op = CompareOp::kIn;
+          const size_t len =
+              1 + rng.UniformInt(std::max<size_t>(config.max_in_list, 1));
+          p.in_list.push_back(static_cast<int32_t>(p.literal));
+          for (size_t j = 1; j < len; ++j) {
+            const size_t row = config.out_of_distribution
+                                   ? 0
+                                   : rng.UniformInt(table.num_rows());
+            p.in_list.push_back(
+                config.out_of_distribution
+                    ? static_cast<int32_t>(rng.UniformInt(domain))
+                    : table.column(col).code(row));
+          }
+        } else {
+          switch (rng.UniformInt(3)) {
+            case 0:
+              p.op = CompareOp::kEq;
+              break;
+            case 1:
+              p.op = CompareOp::kLe;
+              break;
+            default:
+              p.op = CompareOp::kGe;
+              break;
+          }
+        }
+      } else {
+        p.op = CompareOp::kEq;
+      }
+      preds.push_back(p);
+    }
+    out.emplace_back(table, std::move(preds));
+  }
+  return out;
+}
+
+}  // namespace naru

@@ -1,0 +1,40 @@
+// The paper's random multidimensional workload generator (§6.1.3).
+//
+// Each query draws f ∈ [min_filters, max_filters] distinct columns; columns
+// with domain >= `range_domain_threshold` get an operator uniform from
+// {=, <=, >=}, small-domain columns get equality. Literals come from a
+// random data tuple (in-distribution) or uniformly from the whole domain
+// (the §6.3 out-of-distribution mode).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace naru {
+
+struct WorkloadConfig {
+  size_t num_queries = 2000;
+  size_t min_filters = 5;
+  size_t max_filters = 11;
+  /// Domains >= this get range operators; below it, equality only (the
+  /// paper avoids range predicates on low-domain categoricals).
+  size_t range_domain_threshold = 10;
+  /// Literals drawn uniformly from the joint domain instead of from data.
+  bool out_of_distribution = false;
+  /// Probability that a range-eligible column receives an IN-list predicate
+  /// instead of {=, <=, >=} (§2.2 treats IN as a range; 0 disables).
+  double in_probability = 0.0;
+  /// Maximum IN-list length (literals drawn from distinct data tuples).
+  size_t max_in_list = 5;
+  uint64_t seed = 42;
+};
+
+/// Generates `config.num_queries` conjunctive queries against `table`.
+std::vector<Query> GenerateWorkload(const Table& table,
+                                    const WorkloadConfig& config);
+
+}  // namespace naru

@@ -1,0 +1,118 @@
+#include "tensor/gemm.h"
+
+#include "util/thread_pool.h"
+
+namespace naru {
+
+namespace {
+// Minimum rows per task to avoid parallelization overhead on tiny batches.
+constexpr size_t kMinRowsPerTask = 16;
+}  // namespace
+
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  NARU_CHECK(b.rows() == k);
+  if (accumulate) {
+    NARU_CHECK(c->rows() == m && c->cols() == n);
+  } else {
+    c->Resize(m, n);
+    c->Zero();
+  }
+  ParallelFor(
+      0, m,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          // ikj ordering: inner loop is a vectorizable axpy over B's row.
+          for (size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = b.Row(kk);
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      kMinRowsPerTask);
+}
+
+void GemmNT(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  NARU_CHECK(b.cols() == k);
+  if (accumulate) {
+    NARU_CHECK(c->rows() == m && c->cols() == n);
+  } else {
+    c->Resize(m, n);
+    c->Zero();
+  }
+  ParallelFor(
+      0, m,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const float* arow = a.Row(i);
+          float* crow = c->Row(i);
+          for (size_t j = 0; j < n; ++j) {
+            const float* brow = b.Row(j);
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] += acc;
+          }
+        }
+      },
+      kMinRowsPerTask);
+}
+
+void GemmTN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  NARU_CHECK(b.rows() == m);
+  if (accumulate) {
+    NARU_CHECK(c->rows() == k && c->cols() == n);
+  } else {
+    c->Resize(k, n);
+    c->Zero();
+  }
+  // Parallelize over output rows (columns of A) to keep writes disjoint.
+  ParallelFor(
+      0, k,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = 0; i < m; ++i) {
+          const float* arow = a.Row(i);
+          const float* brow = b.Row(i);
+          for (size_t kk = lo; kk < hi; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* crow = c->Row(kk);
+            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      8);
+}
+
+void AddBiasRows(const Matrix& bias, Matrix* c) {
+  NARU_CHECK(bias.rows() == 1 && bias.cols() == c->cols());
+  const float* b = bias.Row(0);
+  const size_t n = c->cols();
+  for (size_t i = 0; i < c->rows(); ++i) {
+    float* crow = c->Row(i);
+    for (size_t j = 0; j < n; ++j) crow[j] += b[j];
+  }
+}
+
+void AccumulateBiasGrad(const Matrix& dy, Matrix* bias_grad) {
+  NARU_CHECK(bias_grad->rows() == 1 && bias_grad->cols() == dy.cols());
+  float* g = bias_grad->Row(0);
+  const size_t n = dy.cols();
+  for (size_t i = 0; i < dy.rows(); ++i) {
+    const float* row = dy.Row(i);
+    for (size_t j = 0; j < n; ++j) g[j] += row[j];
+  }
+}
+
+}  // namespace naru

@@ -1,0 +1,33 @@
+// Matrix-multiply kernels, thread-parallel over output rows.
+//
+// Three explicit variants cover every case the NN forward/backward passes
+// need, avoiding a general (and slower) stride-parameterized kernel:
+//   GemmNN:  C = A   * B      (forward:  X * W)
+//   GemmNT:  C = A   * B^T    (backward: dY * W^T, and embedding-reuse logits)
+//   GemmTN:  C = A^T * B      (backward: X^T * dY for weight gradients)
+// All support optional accumulation into C (beta = 1).
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace naru {
+
+/// C(MxN) = A(MxK) * B(KxN) [+ C if accumulate].
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* c,
+            bool accumulate = false);
+
+/// C(MxN) = A(MxK) * B(NxK)^T [+ C if accumulate].
+void GemmNT(const Matrix& a, const Matrix& b, Matrix* c,
+            bool accumulate = false);
+
+/// C(KxN) = A(MxK)^T * B(MxN) [+ C if accumulate].
+void GemmTN(const Matrix& a, const Matrix& b, Matrix* c,
+            bool accumulate = false);
+
+/// Adds a length-N bias row to every row of C(MxN).
+void AddBiasRows(const Matrix& bias, Matrix* c);
+
+/// bias_grad(1xN) += column sums of dY(MxN).
+void AccumulateBiasGrad(const Matrix& dy, Matrix* bias_grad);
+
+}  // namespace naru

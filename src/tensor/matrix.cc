@@ -1,0 +1,26 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+double Matrix::SumSquares() const {
+  double s = 0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double Matrix::AbsMax() const {
+  double m = 0;
+  for (float v : data_) m = std::max(m, std::fabs(static_cast<double>(v)));
+  return m;
+}
+
+std::string Matrix::ShapeString() const {
+  return StrFormat("[%zu x %zu]", rows_, cols_);
+}
+
+}  // namespace naru

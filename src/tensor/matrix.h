@@ -1,0 +1,113 @@
+// Dense row-major float32 matrix — the workhorse of the NN substrate.
+//
+// Deliberately minimal: shape + contiguous storage + element access. All
+// numeric kernels live in gemm.h / ops.h so they can be tuned independently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace naru {
+
+/// Row-major float matrix. A batch of activations is one Matrix with one
+/// example per row.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(size_t r) {
+    NARU_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    NARU_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    NARU_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    NARU_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Reshapes to (rows, cols), reallocating if needed. Contents unspecified.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Sets every element to `v`.
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// Frobenius-style helpers used by the optimizer and tests.
+  double SumSquares() const;
+  double AbsMax() const;
+
+  std::string ShapeString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Row-major int32 matrix for dictionary codes (one tuple per row).
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  int32_t* Row(size_t r) {
+    NARU_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const int32_t* Row(size_t r) const {
+    NARU_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  int32_t& At(size_t r, size_t c) {
+    NARU_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  int32_t At(size_t r, size_t c) const {
+    NARU_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+  void Fill(int32_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int32_t> data_;
+};
+
+}  // namespace naru

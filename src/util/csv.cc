@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<CsvContents> ReadCsvFile(const std::string& path, char delim,
+                                bool has_header) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  CsvContents out;
+  std::string line;
+  bool first = true;
+  size_t arity = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line, delim);
+    if (first) {
+      first = false;
+      if (has_header) {
+        out.header = std::move(fields);
+        arity = out.header.size();
+        continue;
+      }
+      arity = fields.size();
+      for (size_t i = 0; i < arity; ++i) {
+        out.header.push_back("col" + std::to_string(i));
+      }
+    }
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("CSV arity mismatch at line %zu in %s: got %zu want %zu",
+                    line_no, path.c_str(), fields.size(), arity));
+    }
+    out.rows.push_back(std::move(fields));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvContents& contents,
+                    char delim) {
+  std::ofstream os(path);
+  if (!os.good()) return Status::IOError("cannot open for write: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << delim;
+      const std::string& f = row[i];
+      const bool needs_quote = f.find(delim) != std::string::npos ||
+                               f.find('"') != std::string::npos ||
+                               f.find('\n') != std::string::npos;
+      if (needs_quote) {
+        os << '"';
+        for (char c : f) {
+          if (c == '"') os << "\"\"";
+          else os << c;
+        }
+        os << '"';
+      } else {
+        os << f;
+      }
+    }
+    os << '\n';
+  };
+  if (!contents.header.empty()) write_row(contents.header);
+  for (const auto& row : contents.rows) write_row(row);
+  if (!os.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace naru

@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing for table import/export.
+//
+// Supports RFC4180-style double-quote escaping on read, header rows, and
+// configurable delimiters. This is the on-ramp for loading real datasets
+// (e.g. the DMV registration CSV) into naru::Table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace naru {
+
+/// Parsed CSV contents: a header row plus data rows of equal arity.
+struct CsvContents {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses one CSV line (handles quoted fields with embedded delimiters).
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim);
+
+/// Reads `path` fully. When `has_header` is false the header vector is
+/// filled with "col0..colN-1". Rows with a different arity than the header
+/// produce an InvalidArgument error.
+Result<CsvContents> ReadCsvFile(const std::string& path, char delim = ',',
+                                bool has_header = true);
+
+/// Writes rows (with optional header) to `path`.
+Status WriteCsvFile(const std::string& path, const CsvContents& contents,
+                    char delim = ',');
+
+}  // namespace naru

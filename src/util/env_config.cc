@@ -1,0 +1,31 @@
+#include "util/env_config.h"
+
+#include <cstdlib>
+
+namespace naru {
+
+int64_t GetEnvInt(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  return v;
+}
+
+}  // namespace naru

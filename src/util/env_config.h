@@ -1,0 +1,21 @@
+// Environment-variable driven configuration for benchmarks and examples.
+//
+// All benchmark binaries run with laptop-scale defaults; NARU_* environment
+// variables scale them toward the paper's full setup (see README).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace naru {
+
+/// Returns the integer value of env var `name`, or `def` when unset/invalid.
+int64_t GetEnvInt(const std::string& name, int64_t def);
+
+/// Returns the double value of env var `name`, or `def` when unset/invalid.
+double GetEnvDouble(const std::string& name, double def);
+
+/// Returns the string value of env var `name`, or `def` when unset.
+std::string GetEnvString(const std::string& name, const std::string& def);
+
+}  // namespace naru

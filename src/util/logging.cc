@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env_config.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+namespace {
+std::atomic<int> g_level{-1};
+
+int LoadLevel() {
+  int expected = -1;
+  int from_env = static_cast<int>(GetEnvInt("NARU_LOG_LEVEL", 1));
+  if (from_env < 0) from_env = 0;
+  if (from_env > 4) from_env = 4;
+  g_level.compare_exchange_strong(expected, from_env);
+  return g_level.load();
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int level = g_level.load();
+  if (level < 0) level = LoadLevel();
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "[naru %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace naru

@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr.
+//
+// Controlled by NARU_LOG_LEVEL (0=debug, 1=info, 2=warn, 3=error, 4=off);
+// default is info. Logging is line-buffered and safe to call from multiple
+// threads (each line is emitted with a single fprintf).
+#pragma once
+
+#include <string>
+
+namespace naru {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Current minimum level (from NARU_LOG_LEVEL at first use).
+LogLevel GetLogLevel();
+
+/// Overrides the level programmatically (tests).
+void SetLogLevel(LogLevel level);
+
+/// Emits one log line if `level` >= the configured level.
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace naru
+
+#define NARU_LOG_DEBUG(...) \
+  ::naru::LogMessage(::naru::LogLevel::kDebug, ::naru::StrFormat(__VA_ARGS__))
+#define NARU_LOG_INFO(...) \
+  ::naru::LogMessage(::naru::LogLevel::kInfo, ::naru::StrFormat(__VA_ARGS__))
+#define NARU_LOG_WARN(...) \
+  ::naru::LogMessage(::naru::LogLevel::kWarn, ::naru::StrFormat(__VA_ARGS__))
+#define NARU_LOG_ERROR(...) \
+  ::naru::LogMessage(::naru::LogLevel::kError, ::naru::StrFormat(__VA_ARGS__))

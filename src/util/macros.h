@@ -1,0 +1,46 @@
+// Common assertion and class-decoration macros used across the library.
+//
+// We follow a no-exceptions policy (Google C++ style): recoverable errors are
+// reported through naru::Status / naru::Result, while programming errors and
+// violated invariants abort through NARU_CHECK.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a file/line message when `condition` is false.
+// Use for invariants that indicate a programming bug, not for user errors.
+#define NARU_CHECK(condition)                                                \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "NARU_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Like NARU_CHECK but with a printf-style message appended.
+#define NARU_CHECK_MSG(condition, ...)                                       \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "NARU_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #condition);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Debug-only check; compiled out in release builds.
+#ifdef NDEBUG
+#define NARU_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#else
+#define NARU_DCHECK(condition) NARU_CHECK(condition)
+#endif
+
+// Deletes copy construction/assignment for `TypeName`.
+#define NARU_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete

@@ -1,0 +1,60 @@
+#include "util/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace naru {
+
+double QuantileSketch::Quantile(double q) const {
+  NARU_CHECK(!values_.empty());
+  NARU_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double QuantileSketch::Mean() const {
+  NARU_CHECK(!values_.empty());
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+ErrorQuantiles ComputeErrorQuantiles(const QuantileSketch& sketch) {
+  ErrorQuantiles out;
+  out.count = sketch.count();
+  if (sketch.empty()) return out;
+  out.median = sketch.Quantile(0.5);
+  out.p95 = sketch.Quantile(0.95);
+  out.p99 = sketch.Quantile(0.99);
+  out.max = sketch.Quantile(1.0);
+  return out;
+}
+
+std::string FormatPaperNumber(double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "inf");
+  } else if (v >= 10000.0) {
+    const int exp = static_cast<int>(std::floor(std::log10(v)));
+    const double mant = v / std::pow(10.0, exp);
+    std::snprintf(buf, sizeof(buf), "%.0fe%d", mant, exp);
+  } else if (v >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace naru

@@ -1,0 +1,54 @@
+// Exact quantile accumulation for error/latency reporting.
+//
+// The paper reports q-errors at {median, 95th, 99th, max}; workloads are a
+// few thousand queries so an exact (store-all) accumulator is appropriate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace naru {
+
+/// Collects doubles and answers exact quantile queries.
+class QuantileSketch {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Exact q-quantile with linear interpolation, q in [0, 1].
+  /// Quantile(0.5) is the median, Quantile(1.0) the maximum.
+  double Quantile(double q) const;
+
+  double Max() const { return Quantile(1.0); }
+  double Min() const { return Quantile(0.0); }
+  double Mean() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// The paper's standard error report row: median / 95th / 99th / max.
+struct ErrorQuantiles {
+  double median = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+  size_t count = 0;
+};
+
+/// Computes the standard report from a sketch (all zeros when empty).
+ErrorQuantiles ComputeErrorQuantiles(const QuantileSketch& sketch);
+
+/// Formats a value the way the paper's tables do: "3 · 10^4" magnitudes
+/// collapse to engineering-style strings; small values keep 2 decimals.
+std::string FormatPaperNumber(double v);
+
+}  // namespace naru

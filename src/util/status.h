@@ -1,0 +1,135 @@
+// Status / Result error-handling primitives (Arrow/Abseil style).
+//
+// Fallible operations return Status (or Result<T> when they produce a value)
+// instead of throwing. Callers either handle the error or propagate it with
+// NARU_RETURN_NOT_OK / NARU_ASSIGN_OR_RETURN.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace naru {
+
+/// Error categories for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error value. Ok Statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if this status is not OK. Use at call sites where
+  /// failure indicates a bug (e.g. in tests and examples).
+  void CheckOK() const {
+    NARU_CHECK_MSG(ok(), "status not OK: %s", ToString().c_str());
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error union: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    NARU_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    NARU_CHECK_MSG(ok(), "Result holds error: %s",
+                   std::get<Status>(value_).ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T&& ValueOrDie() && {
+    NARU_CHECK_MSG(ok(), "Result holds error: %s",
+                   std::get<Status>(value_).ToString().c_str());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace naru
+
+/// Propagates a non-OK Status to the caller.
+#define NARU_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::naru::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#define NARU_CONCAT_IMPL(x, y) x##y
+#define NARU_CONCAT(x, y) NARU_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+/// error. Usage: NARU_ASSIGN_OR_RETURN(auto table, LoadCsv(path));
+#define NARU_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto NARU_CONCAT(_result_, __LINE__) = (rexpr);                \
+  if (!NARU_CONCAT(_result_, __LINE__).ok())                     \
+    return NARU_CONCAT(_result_, __LINE__).status();             \
+  lhs = std::move(NARU_CONCAT(_result_, __LINE__)).ValueOrDie()

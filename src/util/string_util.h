@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace naru {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string TrimString(std::string_view s);
+
+/// "12.7 MB"-style human-readable byte counts.
+std::string HumanBytes(uint64_t bytes);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace naru

@@ -1,0 +1,126 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace naru {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  NARU_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+// Shared work-stealing state for one ParallelFor call. Heap-allocated so
+// that straggler helper tasks that wake after the call returned still see
+// valid memory (they only observe next >= num_chunks and exit).
+struct PforState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t begin = 0;
+  size_t end = 0;
+  size_t chunk = 1;
+  size_t num_chunks = 0;
+  std::function<void(size_t, size_t)> fn;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next.fetch_add(1);
+      if (c >= num_chunks) break;
+      const size_t lo = begin + c * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      fn(lo, hi);
+      if (done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t min_chunk) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t max_chunks = num_threads() * 4;
+  const size_t chunk =
+      std::max<size_t>(min_chunk, (n + max_chunks - 1) / max_chunks);
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<PforState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->fn = fn;
+
+  const size_t helpers = std::min(num_threads(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == state->num_chunks; });
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 4;
+    return new ThreadPool(std::min<size_t>(hw, 16));
+  }();
+  return pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk) {
+  GlobalThreadPool()->ParallelFor(begin, end, fn, min_chunk);
+}
+
+}  // namespace naru

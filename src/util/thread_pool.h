@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a blocking ParallelFor.
+//
+// Used to parallelize batched matrix multiplies, ground-truth query execution
+// and dataset generation. The pool is created once (see GlobalThreadPool) and
+// reused; ParallelFor partitions [begin, end) into contiguous chunks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace naru {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  NARU_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) and
+  /// blocks until all chunks complete. The calling thread participates.
+  /// fn must be safe to call concurrently on disjoint ranges.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& fn,
+                   size_t min_chunk = 1);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the hardware concurrency (capped at 16).
+/// Lazily constructed, never destroyed before exit.
+ThreadPool* GlobalThreadPool();
+
+/// Convenience wrapper over GlobalThreadPool()->ParallelFor.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk = 1);
+
+}  // namespace naru

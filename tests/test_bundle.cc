@@ -1,0 +1,83 @@
+// Tests for self-describing model bundles (train once, reopen anywhere).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/bundle.h"
+#include "core/naru_estimator.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "query/workload.h"
+
+namespace naru {
+namespace {
+
+TEST(Bundle, RoundTripReproducesEstimates) {
+  Table t = MakeRandomTable(2000, {8, 40, 6}, 3, 1.1);
+  std::vector<size_t> domains = {t.column(0).DomainSize(),
+                                 t.column(1).DomainSize(),
+                                 t.column(2).DomainSize()};
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {32, 16};
+  cfg.encoder.onehot_threshold = 10;
+  cfg.encoder.embed_dim = 8;
+  cfg.seed = 5;
+  MadeModel model(domains, cfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 3;
+  Trainer trainer(&model, tcfg);
+  trainer.Train(t);
+
+  const std::string path = testing::TempDir() + "/naru_bundle_test";
+  ASSERT_TRUE(SaveModelBundle(path, &model).ok());
+
+  auto loaded = LoadModelBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  MadeModel* reopened = loaded.ValueOrDie().get();
+  ASSERT_EQ(reopened->num_columns(), 3u);
+  EXPECT_EQ(reopened->DomainSize(1), domains[1]);
+  EXPECT_EQ(reopened->config().hidden_sizes, cfg.hidden_sizes);
+
+  // Same sampler seed => bit-identical estimates.
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 8;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 3;
+  wcfg.range_domain_threshold = 6;
+  wcfg.seed = 9;
+  for (const auto& q : GenerateWorkload(t, wcfg)) {
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = 300;
+    ncfg.sampler_seed = 77;
+    NaruEstimator ea(&model, ncfg, 0, "orig");
+    NaruEstimator eb(reopened, ncfg, 0, "loaded");
+    EXPECT_DOUBLE_EQ(ea.EstimateSelectivity(q), eb.EstimateSelectivity(q));
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".weights").c_str());
+}
+
+TEST(Bundle, MissingManifestFails) {
+  EXPECT_FALSE(LoadModelBundle("/nonexistent/bundle").ok());
+}
+
+TEST(Bundle, CorruptManifestFails) {
+  const std::string path = testing::TempDir() + "/naru_bad_bundle";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not-a-bundle\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadModelBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Bundle, InconsistentDomainsFail) {
+  const std::string path = testing::TempDir() + "/naru_bad_bundle2";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("naru-bundle-v1\ncolumns 3\ndomains 4 5\nhidden 8\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadModelBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace naru

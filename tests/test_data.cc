@@ -1,0 +1,223 @@
+// Unit tests for the data substrate: dictionaries, tables, stats,
+// generators, CSV import.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/csv_table.h"
+#include "data/datasets.h"
+#include "data/table.h"
+#include "data/table_stats.h"
+#include "util/csv.h"
+
+namespace naru {
+namespace {
+
+TEST(Dictionary, SortedCodesPreserveOrder) {
+  std::vector<Value> values = {Value(int64_t{30}), Value(int64_t{10}),
+                               Value(int64_t{20}), Value(int64_t{10})};
+  Dictionary d = Dictionary::Build(values);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.CodeFor(Value(int64_t{10})).ValueOrDie(), 0);
+  EXPECT_EQ(d.CodeFor(Value(int64_t{20})).ValueOrDie(), 1);
+  EXPECT_EQ(d.CodeFor(Value(int64_t{30})).ValueOrDie(), 2);
+  EXPECT_EQ(d.ValueFor(2).AsInt(), 30);
+}
+
+TEST(Dictionary, StringOrderAndLowerBound) {
+  std::vector<Value> values = {Value(std::string("pear")),
+                               Value(std::string("apple")),
+                               Value(std::string("mango"))};
+  Dictionary d = Dictionary::Build(values);
+  EXPECT_EQ(d.CodeFor(Value(std::string("apple"))).ValueOrDie(), 0);
+  EXPECT_EQ(d.LowerBoundCode(Value(std::string("banana"))), 1);
+  EXPECT_EQ(d.LowerBoundCode(Value(std::string("zzz"))), 3);
+  EXPECT_FALSE(d.CodeFor(Value(std::string("kiwi"))).ok());
+}
+
+TEST(Dictionary, PlaceholderAbsorbsUnseen) {
+  std::vector<Value> values = {Value(int64_t{1}), Value(int64_t{2})};
+  Dictionary d = Dictionary::Build(values, /*with_placeholder=*/true);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.CodeFor(Value(int64_t{99})).ValueOrDie(),
+            d.placeholder_code());
+}
+
+TEST(Table, BuilderAndAccessors) {
+  TableBuilder b("t");
+  b.AddIntColumn("a", {3, 1, 2, 1});
+  b.AddIntColumn("b", {0, 0, 1, 1});
+  Table t = b.Build();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.ColumnIndex("b").ValueOrDie(), 1u);
+  EXPECT_FALSE(t.ColumnIndex("zz").ok());
+  // Codes follow value order: a values {1,2,3} -> codes {0,1,2}.
+  EXPECT_EQ(t.column(0).code(0), 2);
+  EXPECT_EQ(t.column(0).code(1), 0);
+  int32_t row[2];
+  t.GetRowCodes(2, row);
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 1);
+}
+
+TEST(Table, SliceKeepsDictionaries) {
+  TableBuilder b("t");
+  b.AddIntColumn("a", {5, 6, 7, 8});
+  b.AddIntColumn("b", {1, 1, 2, 2});
+  Table t = b.Build();
+  Table s = t.Slice(1, 3, 2);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.num_columns(), 2u);
+  // Same dictionary: value 6 still encodes to code 1.
+  EXPECT_EQ(s.column(0).code(0), 1);
+  EXPECT_EQ(s.column(0).dict().size(), 4u);
+}
+
+TEST(Table, AppendRowsReencodes) {
+  TableBuilder b1("t1");
+  b1.AddIntColumn("a", {1, 2, 3});
+  Table t1 = b1.Build();
+
+  TableBuilder b2("t2");
+  b2.AddIntColumn("a", {3, 2});
+  Table t2 = b2.Build();
+
+  ASSERT_TRUE(t1.AppendRows(t2).ok());
+  EXPECT_EQ(t1.num_rows(), 5u);
+  // Appended 3 encodes under t1's dictionary as code 2.
+  EXPECT_EQ(t1.column(0).code(3), 2);
+  EXPECT_EQ(t1.column(0).code(4), 1);
+}
+
+TEST(Table, AppendUnseenValueFailsWithoutPlaceholder) {
+  TableBuilder b1("t1");
+  b1.AddIntColumn("a", {1, 2});
+  Table t1 = b1.Build();
+  TableBuilder b2("t2");
+  b2.AddIntColumn("a", {9});
+  Table t2 = b2.Build();
+  EXPECT_FALSE(t1.AppendRows(t2).ok());
+}
+
+TEST(Table, JointSpaceSize) {
+  Table t = TableBuilder("t")
+                .AddIntColumn("a", {0, 1, 0, 1})   // domain 2
+                .AddIntColumn("b", {0, 1, 2, 0})   // domain 3
+                .Build();
+  EXPECT_NEAR(t.Log10JointSpaceSize(), std::log10(2.0 * 3.0), 1e-12);
+}
+
+TEST(TableStats, MarginalCounts) {
+  Table t = TableBuilder("t")
+                .AddIntColumn("a", {1, 1, 2, 3})
+                .Build();
+  TableStats stats = TableStats::Compute(t);
+  EXPECT_EQ(stats.column(0).counts[0], 2);  // value 1
+  EXPECT_EQ(stats.column(0).counts[1], 1);
+  EXPECT_EQ(stats.column(0).distinct, 3u);
+}
+
+TEST(TableStats, JointEntropyUniform) {
+  // 4 distinct equally-frequent tuples -> H = 2 bits.
+  Table t = TableBuilder("t")
+                .AddIntColumn("a", {0, 0, 1, 1})
+                .AddIntColumn("b", {0, 1, 0, 1})
+                .Build();
+  EXPECT_NEAR(TableStats::JointEntropyBits(t), 2.0, 1e-9);
+}
+
+TEST(TableStats, JointEntropySkewed) {
+  // p = {3/4, 1/4}: H = 0.811278 bits.
+  Table t = TableBuilder("t")
+                .AddIntColumn("a", {0, 0, 0, 1})
+                .Build();
+  EXPECT_NEAR(TableStats::JointEntropyBits(t), 0.811278, 1e-5);
+}
+
+TEST(Datasets, DmvLikeShape) {
+  Table t = MakeDmvLike(2000, 7);
+  EXPECT_EQ(t.num_rows(), 2000u);
+  EXPECT_EQ(t.num_columns(), 11u);
+  // Domain sizes are bounded by the spec'd sizes.
+  EXPECT_LE(t.column(0).DomainSize(), 4u);
+  EXPECT_LE(t.column(6).DomainSize(), 2101u);
+  EXPECT_EQ(t.column(8).DomainSize(), 2u);
+  // Deterministic in the seed.
+  Table t2 = MakeDmvLike(2000, 7);
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(t.column(3).code(r), t2.column(3).code(r));
+  }
+  // Correlated: entropy far below the independent upper bound.
+  const double joint_bits = TableStats::JointEntropyBits(t);
+  EXPECT_LT(joint_bits, 11.0 + std::log2(2000.0));
+}
+
+TEST(Datasets, DmvPartitionsDrift) {
+  Table t = MakeDmvLike(5000, 3, /*num_partitions=*/5);
+  // Dates in the first partition live in the first window.
+  const size_t date_col = 6;
+  int64_t max_first = 0;
+  for (size_t r = 0; r < 1000; ++r) {
+    max_first = std::max<int64_t>(
+        max_first,
+        t.column(date_col).dict().ValueFor(t.column(date_col).code(r))
+            .AsInt());
+  }
+  EXPECT_LT(max_first, 2101 / 5);
+}
+
+TEST(Datasets, ConvivaALikeShape) {
+  Table t = MakeConvivaALike(3000, 11);
+  EXPECT_EQ(t.num_columns(), 15u);
+  EXPECT_LE(t.column(0).DomainSize(), 2u);
+  // Numeric columns spread into large domains.
+  EXPECT_GT(t.column(6).DomainSize(), 100u);
+}
+
+TEST(Datasets, ConvivaBLikeUniqueRows) {
+  Table t = MakeConvivaBLike(1000, 13, 20);
+  EXPECT_EQ(t.num_columns(), 20u);
+  // The session-id column makes all rows unique: H(P) == log2(N).
+  EXPECT_NEAR(TableStats::JointEntropyBits(t), std::log2(1000.0), 1e-9);
+}
+
+TEST(CsvTable, LoadsWithTypeInference) {
+  const std::string path = testing::TempDir() + "/naru_table.csv";
+  CsvContents contents;
+  contents.header = {"id", "score", "city"};
+  contents.rows = {{"2", "0.5", "SF"},
+                   {"1", "1.5", "Portland"},
+                   {"2", "2.5", "SF"}};
+  ASSERT_TRUE(WriteCsvFile(path, contents).ok());
+  auto result = LoadTableFromCsv(path, "t");
+  ASSERT_TRUE(result.ok());
+  const Table& t = result.ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.column(0).dict().value_type(), ValueType::kInt);
+  EXPECT_EQ(t.column(1).dict().value_type(), ValueType::kDouble);
+  EXPECT_EQ(t.column(2).dict().value_type(), ValueType::kString);
+  // "Portland" < "SF" so Portland is code 0.
+  EXPECT_EQ(t.column(2).code(1), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTable, ColumnSubsetSelection) {
+  const std::string path = testing::TempDir() + "/naru_table2.csv";
+  CsvContents contents;
+  contents.header = {"a", "b", "c"};
+  contents.rows = {{"1", "2", "3"}};
+  ASSERT_TRUE(WriteCsvFile(path, contents).ok());
+  auto result = LoadTableFromCsv(path, "t", {"c", "a"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().num_columns(), 2u);
+  EXPECT_EQ(result.ValueOrDie().column(0).name(), "c");
+  EXPECT_FALSE(LoadTableFromCsv(path, "t", {"zz"}).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace naru

@@ -1,0 +1,294 @@
+// Tests for the baseline estimators of Table 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "estimator/dbms1.h"
+#include "estimator/hist_nd.h"
+#include "estimator/indep.h"
+#include "estimator/kde.h"
+#include "estimator/mscn.h"
+#include "estimator/postgres1d.h"
+#include "estimator/sample.h"
+#include "query/executor.h"
+#include "query/metrics.h"
+#include "query/workload.h"
+
+namespace naru {
+namespace {
+
+// An independent two-column table: every estimator that assumes
+// independence must be exact here.
+Table IndependentTable() {
+  std::vector<int64_t> a;
+  std::vector<int64_t> b;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(static_cast<int64_t>(rng.UniformInt(8)));
+    b.push_back(static_cast<int64_t>(rng.UniformInt(5)));
+  }
+  return TableBuilder("ind").AddIntColumn("a", a).AddIntColumn("b", b)
+      .Build();
+}
+
+TEST(Indep, ExactOnIndependentData) {
+  Table t = IndependentTable();
+  IndepEstimator est(t);
+  Predicate p0{/*column=*/0, CompareOp::kLe, /*literal=*/3, 0, {}};
+  Predicate p1{/*column=*/1, CompareOp::kEq, /*literal=*/2, 0, {}};
+  Query q(t, {p0, p1});
+  const double truth = ExecuteSelectivity(t, q);
+  EXPECT_NEAR(est.EstimateSelectivity(q), truth, 0.02);
+}
+
+TEST(Indep, ExactMarginals) {
+  Table t = IndependentTable();
+  IndepEstimator est(t);
+  // Single-column queries are answered exactly (perfect marginals).
+  for (int64_t lit = 0; lit < 8; ++lit) {
+    Predicate p{/*column=*/0, CompareOp::kEq, lit, 0, {}};
+    Query q(t, {p});
+    EXPECT_DOUBLE_EQ(est.EstimateSelectivity(q), ExecuteSelectivity(t, q));
+  }
+}
+
+TEST(Indep, FailsOnCorrelatedData) {
+  // Perfectly correlated columns: b == a.
+  std::vector<int64_t> a;
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int64_t>(rng.UniformInt(10)));
+  }
+  Table t = TableBuilder("corr").AddIntColumn("a", a).AddIntColumn("b", a)
+                .Build();
+  IndepEstimator est(t);
+  Predicate p0{/*column=*/0, CompareOp::kEq, /*literal=*/3, 0, {}};
+  Predicate p1{/*column=*/1, CompareOp::kEq, /*literal=*/3, 0, {}};
+  Query q(t, {p0, p1});
+  const double truth = ExecuteSelectivity(t, q);
+  const double est_sel = est.EstimateSelectivity(q);
+  // Indep estimates p^2 instead of p: off by ~10x.
+  EXPECT_GT(QError(est_sel * t.num_rows(), truth * t.num_rows()), 5.0);
+}
+
+TEST(HistNd, ExactWhenBinsResolveDomains) {
+  Table t = MakeRandomTable(2000, {4, 5, 3}, 11);
+  // Budget large enough for full 4*5*3 = 60-cell resolution.
+  HistNdEstimator hist(t, /*budget_bytes=*/1 << 16);
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 20;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 3;
+  wcfg.range_domain_threshold = 4;
+  wcfg.seed = 2;
+  for (const auto& q : GenerateWorkload(t, wcfg)) {
+    EXPECT_NEAR(hist.EstimateSelectivity(q), ExecuteSelectivity(t, q), 1e-5);
+  }
+}
+
+TEST(HistNd, StaysWithinBudget) {
+  Table t = MakeDmvLike(5000, 3);
+  const size_t budget = 64 * 1024;
+  HistNdEstimator hist(t, budget);
+  EXPECT_LE(hist.SizeBytes(), budget + 1024);
+  // Coarse bins: estimates are in [0, 1] and not NaN.
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 20;
+  wcfg.seed = 4;
+  for (const auto& q : GenerateWorkload(t, wcfg)) {
+    const double sel = hist.EstimateSelectivity(q);
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
+}
+
+TEST(Sample, ExactWithFullSample) {
+  Table t = MakeRandomTable(1000, {6, 7}, 13);
+  SampleEstimator est(t, /*sample_rows=*/1000, /*seed=*/1);
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 20;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 2;
+  wcfg.seed = 6;
+  for (const auto& q : GenerateWorkload(t, wcfg)) {
+    EXPECT_DOUBLE_EQ(est.EstimateSelectivity(q), ExecuteSelectivity(t, q));
+  }
+}
+
+TEST(Sample, BudgetSizing) {
+  Table t = MakeDmvLike(10000, 5);
+  auto est = SampleEstimator::FromBudget(t, /*budget_bytes=*/44 * 1000, 1);
+  // 44KB / (11 cols * 4B) = 1000 rows.
+  EXPECT_EQ(est.sample_rows(), 1000u);
+  EXPECT_LE(est.SizeBytes(), 44u * 1000u);
+}
+
+TEST(Sample, MissesRareValues) {
+  // A value appearing once in 100K rows is almost surely absent from a
+  // small sample -> estimate 0 (the paper's low-selectivity failure mode).
+  std::vector<int64_t> a(20000, 0);
+  a[777] = 1;
+  Table t = TableBuilder("rare").AddIntColumn("a", a).Build();
+  SampleEstimator est(t, /*sample_rows=*/100, /*seed=*/3);
+  Predicate p{/*column=*/0, CompareOp::kEq, /*literal=*/1, 0, {}};
+  Query q(t, {p});
+  EXPECT_DOUBLE_EQ(est.EstimateSelectivity(q), 0.0);
+}
+
+TEST(Postgres1d, SingleColumnAccuracy) {
+  Table t = MakeDmvLike(20000, 17);
+  Postgres1dEstimator est(t);
+  // Single-column predicates: MCV + histogram should be accurate.
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 40;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 1;
+  wcfg.seed = 10;
+  for (const auto& q : GenerateWorkload(t, wcfg)) {
+    const double truth = ExecuteSelectivity(t, q);
+    const double est_sel = est.EstimateSelectivity(q);
+    EXPECT_LT(QError(est_sel * t.num_rows() + 1, truth * t.num_rows() + 1),
+              3.0)
+        << q.ToString(t);
+  }
+}
+
+TEST(Postgres1d, IndependenceCombination) {
+  Table t = IndependentTable();
+  Postgres1dEstimator est(t);
+  Predicate p0{/*column=*/0, CompareOp::kLe, /*literal=*/5, 0, {}};
+  Predicate p1{/*column=*/1, CompareOp::kGe, /*literal=*/1, 0, {}};
+  Query q(t, {p0, p1});
+  EXPECT_NEAR(est.EstimateSelectivity(q), ExecuteSelectivity(t, q), 0.05);
+}
+
+TEST(Dbms1, BackoffBeatsAviTailOnSelectiveQueries) {
+  // The Table 3 contrast: AVI underestimates correlated conjunctions by
+  // orders of magnitude, so on queries with non-trivial true cardinality
+  // (where the q-error floor at card=1 cannot mask underestimation)
+  // exponential backoff has a much better tail.
+  Table t = MakeDmvLike(20000, 19);
+  Dbms1Estimator dbms1(t);
+  Postgres1dEstimator postgres(t);
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 300;
+  wcfg.min_filters = 3;
+  wcfg.max_filters = 7;
+  wcfg.seed = 12;
+  const auto queries = GenerateWorkload(t, wcfg);
+  QuantileSketch dbms1_err;
+  QuantileSketch pg_err;
+  for (const auto& q : queries) {
+    const double truth = ExecuteSelectivity(t, q) * t.num_rows();
+    if (truth < 0.001 * t.num_rows()) continue;  // avoid the floor artifact
+    dbms1_err.Add(QError(dbms1.EstimateSelectivity(q) * t.num_rows(), truth));
+    pg_err.Add(QError(postgres.EstimateSelectivity(q) * t.num_rows(), truth));
+  }
+  ASSERT_GT(dbms1_err.count(), 20u);
+  EXPECT_LT(dbms1_err.Quantile(0.9), pg_err.Quantile(0.9));
+}
+
+TEST(Kde, RoughOnSmoothData) {
+  Table t = MakeConvivaALike(8000, 21);
+  KdeEstimator kde(t, /*sample_points=*/2000, /*seed=*/5);
+  // Single range predicate on a large numeric column.
+  const int64_t lit =
+      static_cast<int64_t>(t.column(6).DomainSize() / 2);
+  Predicate p{/*column=*/6, CompareOp::kLe, lit, 0, {}};
+  Query q(t, {p});
+  const double truth = ExecuteSelectivity(t, q);
+  EXPECT_NEAR(kde.EstimateSelectivity(q), truth,
+              std::max(0.5 * truth, 0.05));
+}
+
+TEST(Kde, SupervisedTuningImproves) {
+  Table t = MakeDmvLike(10000, 23);
+  KdeEstimator kde(t, 1000, 7, "KDE-superv");
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 60;
+  wcfg.seed = 14;
+  const auto queries = GenerateWorkload(t, wcfg);
+  std::vector<double> truths;
+  truths.reserve(queries.size());
+  for (const auto& q : queries) truths.push_back(ExecuteSelectivity(t, q));
+
+  auto loss = [&](KdeEstimator* est) {
+    double total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const double e = std::max(est->EstimateSelectivity(queries[i]), 1e-12);
+      const double d = std::log(e) - std::log(std::max(truths[i], 1e-12));
+      total += d * d;
+    }
+    return total;
+  };
+  const double before = loss(&kde);
+  KdeSupervisedTune(&kde, queries, truths, /*rounds=*/1);
+  const double after = loss(&kde);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Mscn, LearnsWorkloadDistribution) {
+  Table t = MakeDmvLike(8000, 25);
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 700;
+  wcfg.seed = 16;
+  auto queries = GenerateWorkload(t, wcfg);
+  auto cards = ExecuteCounts(t, queries);
+
+  MscnConfig mcfg;
+  mcfg.sample_rows = 300;
+  mcfg.epochs = 25;
+  mcfg.name = "MSCN-test";
+  MscnEstimator mscn(t, mcfg);
+  // Train on the first 600, evaluate on the held-out 100.
+  std::vector<Query> train_q(queries.begin(), queries.begin() + 600);
+  std::vector<int64_t> train_c(cards.begin(), cards.begin() + 600);
+  mscn.Train(train_q, train_c);
+
+  QuantileSketch errs;
+  for (size_t i = 600; i < queries.size(); ++i) {
+    const double est = mscn.EstimateCardinality(queries[i], t.num_rows());
+    errs.Add(QError(est, static_cast<double>(cards[i])));
+  }
+  // In-distribution median error should be small (the paper reports ~1.2).
+  EXPECT_LT(errs.Quantile(0.5), 8.0);
+}
+
+TEST(Mscn, SampleBitmapImprovesOverMscn0) {
+  Table t = MakeDmvLike(8000, 27);
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 500;
+  wcfg.seed = 18;
+  auto queries = GenerateWorkload(t, wcfg);
+  auto cards = ExecuteCounts(t, queries);
+  std::vector<Query> train_q(queries.begin(), queries.begin() + 400);
+  std::vector<int64_t> train_c(cards.begin(), cards.begin() + 400);
+
+  MscnConfig with;
+  with.sample_rows = 500;
+  with.epochs = 20;
+  with.name = "MSCN-base";
+  MscnEstimator mscn_with(t, with);
+  mscn_with.Train(train_q, train_c);
+
+  MscnConfig without = with;
+  without.sample_rows = 0;
+  without.name = "MSCN-0";
+  MscnEstimator mscn_0(t, without);
+  mscn_0.Train(train_q, train_c);
+
+  double log_err_with = 0;
+  double log_err_without = 0;
+  for (size_t i = 400; i < queries.size(); ++i) {
+    const double truth = static_cast<double>(cards[i]);
+    log_err_with += std::log(QError(
+        mscn_with.EstimateCardinality(queries[i], t.num_rows()), truth));
+    log_err_without += std::log(QError(
+        mscn_0.EstimateCardinality(queries[i], t.num_rows()), truth));
+  }
+  EXPECT_LT(log_err_with, log_err_without);
+}
+
+}  // namespace
+}  // namespace naru

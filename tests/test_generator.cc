@@ -1,0 +1,214 @@
+// Tests for tuple generation and the alternative Monte Carlo integrators:
+// ancestral marginals, rejection estimation, weighted in-region draws
+// (importance identities), the independence-MH chain, and conditional
+// expectations. Where exact answers exist (small joints), estimates must
+// converge to them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/enumerator.h"
+#include "core/generator.h"
+#include "core/made.h"
+#include "data/datasets.h"
+#include "estimator/bayesnet.h"
+#include "query/executor.h"
+
+namespace naru {
+namespace {
+
+MadeModel::Config SmallConfig(uint64_t seed) {
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {24, 24};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.encoder.embed_dim = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Exact P̂(X ∈ R) and exact E[g | X ∈ R] on a small joint by enumeration.
+double ExactConditionalExpectation(
+    ConditionalModel* model, const Query& query,
+    const std::function<double(const int32_t*)>& g) {
+  const size_t n = model->num_columns();
+  std::vector<size_t> domains(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    domains[model->TableColumnOf(pos)] = model->DomainSize(pos);
+  }
+  IntMatrix tuple(1, n);
+  std::vector<int32_t> idx(n, 0);
+  std::vector<double> lp;
+  double num = 0, den = 0;
+  while (true) {
+    for (size_t c = 0; c < n; ++c) tuple.At(0, c) = idx[c];
+    if (RowSatisfies(query, tuple.Row(0))) {
+      model->LogProbRows(tuple, &lp);
+      const double p = std::exp(lp[0]);
+      num += p * g(tuple.Row(0));
+      den += p;
+    }
+    size_t c = 0;
+    for (; c < n; ++c) {
+      if (static_cast<size_t>(++idx[c]) < domains[c]) break;
+      idx[c] = 0;
+    }
+    if (c == n) break;
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+TEST(TupleGenerator, AncestralMarginalMatchesModel) {
+  const std::vector<size_t> domains = {5, 4, 3};
+  MadeModel model(domains, SmallConfig(3));
+  TupleGenerator gen(&model, 7);
+  IntMatrix tuples;
+  gen.DrawUnconditional(40000, &tuples);
+  ASSERT_EQ(tuples.rows(), 40000u);
+
+  // Column 0's empirical distribution vs the model's marginal.
+  Matrix probs;
+  IntMatrix dummy(1, 3);
+  model.ConditionalDist(dummy, 0, &probs);
+  std::vector<double> freq(domains[0], 0);
+  for (size_t r = 0; r < tuples.rows(); ++r) {
+    ASSERT_GE(tuples.At(r, 0), 0);
+    ASSERT_LT(tuples.At(r, 0), 5);
+    freq[static_cast<size_t>(tuples.At(r, 0))] += 1;
+  }
+  for (size_t v = 0; v < domains[0]; ++v) {
+    EXPECT_NEAR(freq[v] / 40000.0, probs.At(0, v), 0.015) << "value " << v;
+  }
+}
+
+TEST(TupleGenerator, RejectionConvergesToEnumeration) {
+  const std::vector<size_t> domains = {4, 5, 3};
+  MadeModel model(domains, SmallConfig(5));
+  // Regions built directly over the model's domains: col0 <= 1, col2 >= 1.
+  Query q({ValueSet::Interval(4, 0, 1), ValueSet::All(5),
+           ValueSet::Interval(3, 1, 2)});
+  const double exact = EnumerateSelectivity(&model, q);
+  const double rejected = RejectionSelectivity(&model, q, 60000, 9);
+  ASSERT_GT(exact, 0.01);  // untrained model: sizeable region mass
+  EXPECT_NEAR(rejected / exact, 1.0, 0.1);
+}
+
+TEST(TupleGenerator, WeightedDrawsSatisfyQueryAndAverageToMass) {
+  const std::vector<size_t> domains = {4, 6, 5};
+  MadeModel model(domains, SmallConfig(11));
+  // col1 >= 2, col2 <= 2 over the model's own domains.
+  Query q({ValueSet::All(4), ValueSet::Interval(6, 2, 5),
+           ValueSet::Interval(5, 0, 2)});
+
+  TupleGenerator gen(&model, 17);
+  IntMatrix tuples;
+  std::vector<double> weights;
+  gen.DrawWeighted(q, 30000, &tuples, &weights);
+
+  double mean_w = 0;
+  size_t live = 0;
+  for (size_t r = 0; r < tuples.rows(); ++r) {
+    if (weights[r] > 0) {
+      EXPECT_TRUE(RowSatisfies(q, tuples.Row(r))) << "row " << r;
+      ++live;
+    }
+    mean_w += weights[r];
+  }
+  mean_w /= static_cast<double>(tuples.rows());
+  EXPECT_GT(live, 29000u);  // zero-mass paths are rare on a smooth model
+
+  const double exact = EnumerateSelectivity(&model, q);
+  EXPECT_NEAR(mean_w / exact, 1.0, 0.05);
+}
+
+TEST(TupleGenerator, EmptyRegionYieldsZeroWeights) {
+  const std::vector<size_t> domains = {4, 3};
+  MadeModel model(domains, SmallConfig(19));
+  std::vector<ValueSet> regions = {ValueSet::Empty(4), ValueSet::All(3)};
+  Query q(std::move(regions));
+  TupleGenerator gen(&model, 23);
+  IntMatrix tuples;
+  std::vector<double> weights;
+  gen.DrawWeighted(q, 100, &tuples, &weights);
+  for (double w : weights) EXPECT_EQ(w, 0.0);
+}
+
+TEST(IndependenceMh, ChainStatesStayInRegionAndAcceptOften) {
+  const std::vector<size_t> domains = {5, 4, 6};
+  MadeModel model(domains, SmallConfig(29));
+  // col0 >= 1, col2 <= 3.
+  Query q({ValueSet::Interval(5, 1, 4), ValueSet::All(4),
+           ValueSet::Interval(6, 0, 3)});
+
+  IndependenceMhChain chain(&model, q, 37);
+  chain.Advance(500);  // burn-in
+  IntMatrix states;
+  chain.Sample(2000, /*thin=*/2, &states);
+  for (size_t r = 0; r < states.rows(); ++r) {
+    EXPECT_TRUE(RowSatisfies(q, states.Row(r)));
+  }
+  // An untrained (near-smooth) model gives balanced weights; independence
+  // MH should accept most proposals.
+  EXPECT_GT(chain.acceptance_rate(), 0.5);
+}
+
+TEST(IndependenceMh, MarginalMatchesExactConditional) {
+  // Compare the chain's empirical marginal of one column against the
+  // exactly-enumerated conditional P̂(X_c = v | X ∈ R).
+  const std::vector<size_t> domains = {4, 5, 3};
+  MadeModel model(domains, SmallConfig(41));
+  Query q({ValueSet::All(4), ValueSet::Interval(5, 0, 2), ValueSet::All(3)});
+
+  // Exact conditional marginal of column 0 over the region.
+  std::vector<double> exact(domains[0], 0.0);
+  for (size_t v = 0; v < domains[0]; ++v) {
+    exact[v] = ExactConditionalExpectation(
+        &model, q,
+        [&](const int32_t* row) { return row[0] == static_cast<int32_t>(v); });
+  }
+
+  IndependenceMhChain chain(&model, q, 47);
+  chain.Advance(1000);
+  IntMatrix states;
+  chain.Sample(30000, /*thin=*/1, &states);
+  std::vector<double> freq(domains[0], 0.0);
+  for (size_t r = 0; r < states.rows(); ++r) {
+    freq[static_cast<size_t>(states.At(r, 0))] += 1;
+  }
+  for (size_t v = 0; v < domains[0]; ++v) {
+    EXPECT_NEAR(freq[v] / 30000.0, exact[v], 0.02) << "value " << v;
+  }
+}
+
+TEST(ConditionalExpectation, MatchesExactOnSmallJoint) {
+  const std::vector<size_t> domains = {4, 5, 3};
+  MadeModel model(domains, SmallConfig(53));
+  Query q({ValueSet::Interval(4, 1, 3), ValueSet::All(5), ValueSet::All(3)});
+
+  auto g = [](const int32_t* row) { return static_cast<double>(row[1]); };
+  const double exact = ExactConditionalExpectation(&model, q, g);
+  const double est = ConditionalExpectation(&model, q, g, 40000, 61);
+  EXPECT_NEAR(est / exact, 1.0, 0.05);
+}
+
+TEST(Generators, WorkOverBayesNetModels) {
+  // The generator stack is model-agnostic: run it over the Chow-Liu tree.
+  Table t = MakeRandomTable(1500, {5, 6, 4}, 67, /*skew=*/1.0);
+  BayesNet net(t);
+  Query q(t, {{1, CompareOp::kGe, 2}});
+
+  const double exact = net.ExactSelectivity(q);
+  const double rejected = RejectionSelectivity(&net, q, 40000, 71);
+  EXPECT_NEAR(rejected / exact, 1.0, 0.1);
+
+  IndependenceMhChain chain(&net, q, 73);
+  chain.Advance(200);
+  IntMatrix states;
+  chain.Sample(500, 2, &states);
+  for (size_t r = 0; r < states.rows(); ++r) {
+    EXPECT_TRUE(RowSatisfies(q, states.Row(r)));
+  }
+}
+
+}  // namespace
+}  // namespace naru

@@ -1,0 +1,175 @@
+// Tests for the join substrate (§4.1) and compound-query algebra (§2.2):
+// hash-join correctness vs nested loops, estimators over joined relations,
+// inclusion-exclusion disjunction estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/made.h"
+#include "core/naru_estimator.h"
+#include "core/oracle_model.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "data/join.h"
+#include "estimator/indep.h"
+#include "query/compound.h"
+#include "query/executor.h"
+#include "query/metrics.h"
+#include "query/workload.h"
+
+namespace naru {
+namespace {
+
+Table LeftTable() {
+  return TableBuilder("left")
+      .AddIntColumn("key", {1, 2, 2, 3, 5})
+      .AddIntColumn("a", {10, 20, 21, 30, 50})
+      .Build();
+}
+
+Table RightTable() {
+  return TableBuilder("right")
+      .AddIntColumn("key", {2, 2, 3, 4})
+      .AddIntColumn("b", {7, 8, 9, 11})
+      .Build();
+}
+
+TEST(Join, MatchesNestedLoopSemantics) {
+  auto joined = HashJoinTables(LeftTable(), RightTable(),
+                               {"key", "key", "j"});
+  ASSERT_TRUE(joined.ok());
+  const Table& j = joined.ValueOrDie();
+  // key=2 matches 2x2 rows, key=3 matches 1x1: total 5 rows.
+  EXPECT_EQ(j.num_rows(), 5u);
+  // Columns: l_key, l_a, r_b.
+  EXPECT_EQ(j.num_columns(), 3u);
+  EXPECT_TRUE(j.ColumnIndex("l_key").ok());
+  EXPECT_TRUE(j.ColumnIndex("l_a").ok());
+  EXPECT_TRUE(j.ColumnIndex("r_b").ok());
+  // Every joined row's key is 2 or 3.
+  const size_t key_idx = j.ColumnIndex("l_key").ValueOrDie();
+  for (size_t r = 0; r < j.num_rows(); ++r) {
+    const int64_t key =
+        j.column(key_idx).dict().ValueFor(j.column(key_idx).code(r)).AsInt();
+    EXPECT_TRUE(key == 2 || key == 3);
+  }
+}
+
+TEST(Join, MissingKeyColumnFails) {
+  EXPECT_FALSE(
+      HashJoinTables(LeftTable(), RightTable(), {"nope", "key"}).ok());
+  EXPECT_FALSE(
+      HashJoinTables(LeftTable(), RightTable(), {"key", "nope"}).ok());
+}
+
+TEST(Join, TypeMismatchFails) {
+  Table strings = TableBuilder("s")
+                      .AddValueColumn("key", {Value(std::string("x"))})
+                      .Build();
+  EXPECT_FALSE(HashJoinTables(LeftTable(), strings, {"key", "key"}).ok());
+}
+
+TEST(Join, EmptyResultIsError) {
+  Table disjoint = TableBuilder("d")
+                       .AddIntColumn("key", {100, 200})
+                       .Build();
+  EXPECT_FALSE(HashJoinTables(LeftTable(), disjoint, {"key", "key"}).ok());
+}
+
+TEST(Join, EstimatorOverJoinedRelation) {
+  // §4.1: once trained on join-result tuples, the estimator answers
+  // filters over any column of the joined relation.
+  Rng rng(5);
+  std::vector<int64_t> fact_key;
+  std::vector<int64_t> fact_val;
+  for (int i = 0; i < 4000; ++i) {
+    fact_key.push_back(static_cast<int64_t>(rng.Zipf(30, 1.2)));
+    fact_val.push_back(static_cast<int64_t>(rng.UniformInt(50)));
+  }
+  Table fact = TableBuilder("fact")
+                   .AddIntColumn("key", fact_key)
+                   .AddIntColumn("val", fact_val)
+                   .Build();
+  std::vector<int64_t> dim_key;
+  std::vector<int64_t> dim_attr;
+  for (int k = 0; k < 30; ++k) {
+    dim_key.push_back(k);
+    dim_attr.push_back(k % 5);
+  }
+  Table dim = TableBuilder("dim")
+                  .AddIntColumn("key", dim_key)
+                  .AddIntColumn("attr", dim_attr)
+                  .Build();
+  auto joined = HashJoinTables(fact, dim, {"key", "key", "fact_dim"});
+  ASSERT_TRUE(joined.ok());
+  const Table& j = joined.ValueOrDie();
+  EXPECT_EQ(j.num_rows(), fact.num_rows());  // FK join preserves fact rows
+
+  // Oracle-model Naru over the join answers cross-table filters well.
+  OracleModel oracle(&j);
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 2000;
+  NaruEstimator est(&oracle, ncfg, 0);
+  const size_t val_idx = j.ColumnIndex("l_val").ValueOrDie();
+  const size_t attr_idx = j.ColumnIndex("r_attr").ValueOrDie();
+  Predicate p1{val_idx, CompareOp::kLe, 20, 0, {}};
+  Predicate p2{attr_idx, CompareOp::kEq, 2, 0, {}};
+  Query q(j, {p1, p2});
+  const double truth = ExecuteSelectivity(j, q);
+  EXPECT_NEAR(est.EstimateSelectivity(q), truth,
+              std::max(0.25 * truth, 0.01));
+}
+
+TEST(Compound, ConjoinIntersectsRegions) {
+  Table t = TableBuilder("t")
+                .AddIntColumn("a", {0, 1, 2, 3, 4, 5, 6, 7})
+                .AddIntColumn("b", {0, 0, 1, 1, 0, 0, 1, 1})
+                .Build();
+  Query q1(t, {Predicate{0, CompareOp::kGe, 2, 0, {}}});
+  Query q2(t, {Predicate{0, CompareOp::kLe, 5, 0, {}},
+               Predicate{1, CompareOp::kEq, 1, 0, {}}});
+  Query both = ConjoinQueries(q1, q2);
+  EXPECT_EQ(both.region(0).Count(), 4u);  // [2, 5]
+  EXPECT_EQ(both.region(1).Count(), 1u);
+}
+
+TEST(Compound, InclusionExclusionExactWithOracleEstimator) {
+  // With a near-exact estimator, the disjunction estimate must match the
+  // scan-based disjunction selectivity.
+  Table t = MakeRandomTable(2000, {8, 10, 6}, 9);
+  OracleModel oracle(&t);
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 4000;
+  // Enumerate exactly for small regions so terms are near-exact.
+  ncfg.enumeration_threshold = 1e5;
+  NaruEstimator est(&oracle, ncfg, 0);
+
+  Query q1(t, {Predicate{0, CompareOp::kLe, 3, 0, {}}});
+  Query q2(t, {Predicate{1, CompareOp::kGe, 6, 0, {}}});
+  Query q3(t, {Predicate{2, CompareOp::kEq, 1, 0, {}}});
+  const std::vector<Query> disjuncts = {q1, q2, q3};
+
+  const double truth = ExecuteDisjunctionSelectivity(t, disjuncts);
+  const double estimate = EstimateDisjunction(&est, disjuncts);
+  EXPECT_NEAR(estimate, truth, 0.02);
+}
+
+TEST(Compound, DisjunctionOfDisjointPredicatesAdds) {
+  Table t = MakeRandomTable(1000, {10, 5}, 11);
+  IndepEstimator est(t);
+  Query lo(t, {Predicate{0, CompareOp::kLe, 2, 0, {}}});
+  Query hi(t, {Predicate{0, CompareOp::kGe, 7, 0, {}}});
+  const double sum = est.EstimateSelectivity(lo) + est.EstimateSelectivity(hi);
+  EXPECT_NEAR(EstimateDisjunction(&est, {lo, hi}), sum, 1e-9);
+}
+
+TEST(Compound, DisjunctionWithSelfIsIdempotent) {
+  Table t = MakeRandomTable(1000, {10, 5}, 13);
+  IndepEstimator est(t);
+  Query q(t, {Predicate{0, CompareOp::kLe, 4, 0, {}}});
+  EXPECT_NEAR(EstimateDisjunction(&est, {q, q}),
+              est.EstimateSelectivity(q), 1e-9);
+}
+
+}  // namespace
+}  // namespace naru

@@ -1,0 +1,239 @@
+// Tests for permuted-order models and the multi-order ensemble: permutation
+// plumbing, normalization, sampler/enumerator agreement through a permuted
+// model, trained end-to-end accuracy, and ensemble semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ensemble.h"
+#include "core/enumerator.h"
+#include "core/made.h"
+#include "core/ordered_model.h"
+#include "core/sampler.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "query/executor.h"
+
+namespace naru {
+namespace {
+
+MadeModel::Config SmallConfig(uint64_t seed) {
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {32, 32};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.encoder.embed_dim = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(OrderedModel, RandomOrderIsPermutation) {
+  Rng rng(3);
+  for (size_t n : {1u, 2u, 7u, 30u}) {
+    const auto order = OrderedModel::RandomOrder(n, &rng);
+    ASSERT_EQ(order.size(), n);
+    std::vector<uint8_t> seen(n, 0);
+    for (size_t c : order) {
+      ASSERT_LT(c, n);
+      ASSERT_FALSE(seen[c]);
+      seen[c] = 1;
+    }
+  }
+}
+
+TEST(OrderedModel, IdentityOrderMatchesInner) {
+  const std::vector<size_t> domains = {4, 6, 5};
+  auto inner = std::make_unique<MadeModel>(domains, SmallConfig(7));
+  MadeModel reference(domains, SmallConfig(7));  // same seed => same weights
+
+  std::vector<size_t> order = {0, 1, 2};
+  OrderedModel wrapped(std::move(inner), order);
+
+  IntMatrix tuple(2, 3);
+  tuple.At(0, 0) = 1;
+  tuple.At(0, 1) = 5;
+  tuple.At(0, 2) = 2;
+  tuple.At(1, 0) = 3;
+  tuple.At(1, 1) = 0;
+  tuple.At(1, 2) = 4;
+  std::vector<double> lp_wrapped, lp_ref;
+  wrapped.LogProbRows(tuple, &lp_wrapped);
+  reference.LogProbRows(tuple, &lp_ref);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(lp_wrapped[r], lp_ref[r], 1e-6);
+  }
+  EXPECT_EQ(wrapped.TableColumnOf(1), 1u);
+}
+
+TEST(OrderedModel, PermutedJointSumsToOne) {
+  // Enumerate the full joint in TABLE order through the wrapper; the
+  // permuted chain-rule factorization must still normalize.
+  const std::vector<size_t> table_domains = {3, 4, 2};
+  const std::vector<size_t> order = {2, 0, 1};
+  auto inner = std::make_unique<MadeModel>(
+      OrderedModel::PermuteDomains(table_domains, order), SmallConfig(11));
+  OrderedModel model(std::move(inner), order);
+
+  double total = 0;
+  IntMatrix tuple(1, 3);
+  std::vector<double> lp;
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 0; b < 4; ++b) {
+      for (size_t c = 0; c < 2; ++c) {
+        tuple.At(0, 0) = static_cast<int32_t>(a);
+        tuple.At(0, 1) = static_cast<int32_t>(b);
+        tuple.At(0, 2) = static_cast<int32_t>(c);
+        model.LogProbRows(tuple, &lp);
+        total += std::exp(lp[0]);
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(OrderedModel, DomainSizeFollowsModelPositions) {
+  const std::vector<size_t> table_domains = {3, 9, 5};
+  const std::vector<size_t> order = {1, 2, 0};
+  auto inner = std::make_unique<MadeModel>(
+      OrderedModel::PermuteDomains(table_domains, order), SmallConfig(13));
+  OrderedModel model(std::move(inner), order);
+  EXPECT_EQ(model.DomainSize(0), 9u);
+  EXPECT_EQ(model.DomainSize(1), 5u);
+  EXPECT_EQ(model.DomainSize(2), 3u);
+  EXPECT_EQ(model.TableColumnOf(0), 1u);
+  EXPECT_EQ(model.TableColumnOf(2), 0u);
+}
+
+TEST(OrderedModel, FirstPositionFilterIsExact) {
+  // When the only filtered table column sits at model position 0, every
+  // progressive path carries the identical weight P(X ∈ R): the sampler
+  // must agree with exact enumeration to floating-point accuracy even on
+  // an untrained model. This pins down the region -> position mapping.
+  Table t = MakeRandomTable(200, {5, 7, 4}, 17, /*skew=*/0.8);
+  const std::vector<size_t> table_domains = {
+      t.column(0).DomainSize(), t.column(1).DomainSize(),
+      t.column(2).DomainSize()};
+  const std::vector<size_t> order = {2, 0, 1};  // table col 2 first
+  auto inner = std::make_unique<MadeModel>(
+      OrderedModel::PermuteDomains(table_domains, order), SmallConfig(19));
+  OrderedModel model(std::move(inner), order);
+
+  // Filter ONLY table column 2 (= model position 0).
+  Query q(t, {{/*column=*/2, CompareOp::kLe, 1}});
+  ProgressiveSamplerConfig scfg;
+  scfg.num_samples = 16;  // exactness => tiny budget suffices
+  ProgressiveSampler sampler(&model, scfg);
+  const double sampled = sampler.EstimateSelectivity(q);
+  const double enumerated = EnumerateSelectivity(&model, q);
+  EXPECT_NEAR(sampled, enumerated, 1e-6);
+}
+
+TEST(OrderedModel, SamplerMatchesEnumeratorOnPermutedModel) {
+  // Multi-column range query on an untrained permuted model: progressive
+  // sampling (many paths) must converge to the exact enumerated mass.
+  Table t = MakeRandomTable(300, {4, 5, 3}, 23, /*skew=*/0.5);
+  const std::vector<size_t> table_domains = {
+      t.column(0).DomainSize(), t.column(1).DomainSize(),
+      t.column(2).DomainSize()};
+  const std::vector<size_t> order = {1, 2, 0};
+  auto inner = std::make_unique<MadeModel>(
+      OrderedModel::PermuteDomains(table_domains, order), SmallConfig(29));
+  OrderedModel model(std::move(inner), order);
+
+  Query q(t, {{/*column=*/0, CompareOp::kGe, 1},
+              {/*column=*/2, CompareOp::kLe, 1}});
+  const double exact = EnumerateSelectivity(&model, q);
+  ProgressiveSamplerConfig scfg;
+  scfg.num_samples = 20000;
+  ProgressiveSampler sampler(&model, scfg);
+  const double sampled = sampler.EstimateSelectivity(q);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_NEAR(sampled / exact, 1.0, 0.1);
+}
+
+TEST(OrderedModel, TrainedPermutedModelEstimatesAccurately) {
+  Table t = MakeRandomTable(2000, {8, 10, 6}, 31, /*skew=*/1.0);
+  const std::vector<size_t> table_domains = {
+      t.column(0).DomainSize(), t.column(1).DomainSize(),
+      t.column(2).DomainSize()};
+  const std::vector<size_t> order = {2, 1, 0};
+  MadeModel::Config mcfg = SmallConfig(37);
+  mcfg.hidden_sizes = {64, 64};
+  auto inner = std::make_unique<MadeModel>(
+      OrderedModel::PermuteDomains(table_domains, order), mcfg);
+  OrderedModel model(std::move(inner), order);
+
+  TrainerConfig tcfg;
+  tcfg.epochs = 20;
+  tcfg.batch_size = 128;
+  tcfg.lr = 5e-3;
+  Trainer(&model, tcfg).Train(t);
+
+  NaruEstimatorConfig ecfg;
+  ecfg.num_samples = 1000;
+  ecfg.enumeration_threshold = 0;
+  NaruEstimator est(&model, ecfg, 0, "NaruPerm");
+  Query q(t, {{/*column=*/0, CompareOp::kLe,
+               static_cast<int64_t>(t.column(0).DomainSize() / 2)},
+              {/*column=*/1, CompareOp::kGe, 2}});
+  const double truth = ExecuteSelectivity(t, q);
+  const double got = est.EstimateSelectivity(q);
+  ASSERT_GT(truth, 0.0);
+  const double qerr =
+      std::max(got, truth) / std::max(1e-9, std::min(got, truth));
+  EXPECT_LT(qerr, 2.0) << "estimate " << got << " truth " << truth;
+}
+
+TEST(MultiOrderEnsemble, MeanOfMembersAndMetadata) {
+  Table t = MakeRandomTable(600, {6, 5, 4}, 41, /*skew=*/0.8);
+  MultiOrderConfig cfg;
+  cfg.num_orders = 3;
+  cfg.model = SmallConfig(43);
+  cfg.trainer.epochs = 3;
+  cfg.trainer.batch_size = 128;
+  cfg.estimator.num_samples = 200;
+  cfg.estimator.enumeration_threshold = 0;
+  MultiOrderEnsemble ens(t, cfg);
+
+  EXPECT_EQ(ens.num_members(), 3u);
+  // Member 0 keeps the natural order.
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(ens.member_order(0)[i], i);
+  EXPECT_GT(ens.SizeBytes(), 0u);
+
+  Query q(t, {{/*column=*/1, CompareOp::kLe, 2}});
+  double mean = 0;
+  for (size_t k = 0; k < 3; ++k) mean += ens.MemberEstimate(k, q);
+  mean /= 3;
+  // Member estimators are freshly-seeded per call? No: sampler draws fresh
+  // randomness each call, so re-estimating gives a new MC draw. Compare
+  // with a tolerance that accommodates two independent 200-path draws.
+  const double combined = ens.EstimateSelectivity(q);
+  EXPECT_NEAR(combined, mean, 0.15);
+  EXPECT_GT(combined, 0.0);
+  EXPECT_LE(combined, 1.0 + 1e-9);
+}
+
+TEST(MultiOrderEnsemble, AccurateOnCorrelatedTable) {
+  Table t = MakeRandomTable(2000, {8, 8, 8}, 47, /*skew=*/1.1);
+  MultiOrderConfig cfg;
+  cfg.num_orders = 3;
+  cfg.model = SmallConfig(53);
+  cfg.model.hidden_sizes = {64, 64};
+  cfg.trainer.epochs = 15;
+  cfg.trainer.batch_size = 128;
+  cfg.trainer.lr = 5e-3;
+  cfg.estimator.num_samples = 400;
+  cfg.estimator.enumeration_threshold = 0;
+  MultiOrderEnsemble ens(t, cfg);
+
+  Query q(t, {{/*column=*/0, CompareOp::kLe, 4},
+              {/*column=*/2, CompareOp::kGe, 3}});
+  const double truth = ExecuteSelectivity(t, q);
+  const double got = ens.EstimateSelectivity(q);
+  ASSERT_GT(truth, 0.0);
+  const double qerr =
+      std::max(got, truth) / std::max(1e-9, std::min(got, truth));
+  EXPECT_LT(qerr, 2.0) << "estimate " << got << " truth " << truth;
+}
+
+}  // namespace
+}  // namespace naru

@@ -1,0 +1,254 @@
+// Tests for the WHERE-clause parser: grammar coverage, literal-to-code
+// semantics (present and absent literals, all value types), equivalence
+// with hand-built predicates via the scan executor, and error paths.
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+#include "query/compound.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace naru {
+namespace {
+
+// city (string), year (int, gaps: 2000,2005,2010), score (double).
+Table MakeTypedTable() {
+  TableBuilder b("typed");
+  std::vector<Value> cities, years, scores;
+  const char* names[] = {"amsterdam", "berlin", "chicago", "denver"};
+  for (int i = 0; i < 40; ++i) {
+    cities.emplace_back(std::string(names[i % 4]));
+    years.emplace_back(static_cast<int64_t>(2000 + 5 * (i % 3)));
+    scores.emplace_back(0.5 * (i % 5));
+  }
+  b.AddValueColumn("city", cities);
+  b.AddValueColumn("year", years);
+  b.AddValueColumn("score", scores);
+  return b.Build();
+}
+
+// Parsed clause and hand-built predicates must select identical rows.
+void ExpectSameRows(const Table& t, const std::string& clause,
+                    const std::vector<Predicate>& expected) {
+  auto parsed = ParseWhere(t, clause);
+  ASSERT_TRUE(parsed.ok()) << clause << ": " << parsed.status().ToString();
+  Query manual(t, expected);
+  EXPECT_EQ(ExecuteCount(t, parsed.ValueOrDie()), ExecuteCount(t, manual))
+      << clause;
+}
+
+TEST(Parser, EqualityAndComparisons) {
+  Table t = MakeTypedTable();
+  const size_t year = t.ColumnIndex("year").ValueOrDie();
+  const int32_t c2005 =
+      t.column(year).dict().CodeFor(Value(int64_t{2005})).ValueOrDie();
+
+  ExpectSameRows(t, "year = 2005", {{year, CompareOp::kEq, c2005}});
+  ExpectSameRows(t, "year != 2005", {{year, CompareOp::kNeq, c2005}});
+  ExpectSameRows(t, "year <> 2005", {{year, CompareOp::kNeq, c2005}});
+  ExpectSameRows(t, "year <= 2005", {{year, CompareOp::kLe, c2005}});
+  ExpectSameRows(t, "year < 2005", {{year, CompareOp::kLt, c2005}});
+  ExpectSameRows(t, "year >= 2005", {{year, CompareOp::kGe, c2005}});
+  ExpectSameRows(t, "year > 2005", {{year, CompareOp::kGt, c2005}});
+}
+
+TEST(Parser, StringLiteralsQuotedAndBare) {
+  Table t = MakeTypedTable();
+  const size_t city = t.ColumnIndex("city").ValueOrDie();
+  const int32_t berlin =
+      t.column(city).dict().CodeFor(Value(std::string("berlin"))).ValueOrDie();
+  ExpectSameRows(t, "city = 'berlin'", {{city, CompareOp::kEq, berlin}});
+  ExpectSameRows(t, "city = \"berlin\"", {{city, CompareOp::kEq, berlin}});
+  ExpectSameRows(t, "city = berlin", {{city, CompareOp::kEq, berlin}});
+}
+
+TEST(Parser, ConjunctionsAndCaseInsensitiveKeywords) {
+  Table t = MakeTypedTable();
+  auto q = ParseWhere(t, "city = 'berlin' and year >= 2005 AND score < 1.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.ValueOrDie().NumFilteredColumns(), 3u);
+  const int64_t n = ExecuteCount(t, q.ValueOrDie());
+  EXPECT_GT(n, 0);
+  EXPECT_LT(n, static_cast<int64_t>(t.num_rows()));
+}
+
+TEST(Parser, BetweenMapsAbsentBoundsExactly) {
+  Table t = MakeTypedTable();
+  // Years present: 2000, 2005, 2010. BETWEEN 2001 AND 2009 == exactly 2005.
+  auto q = ParseWhere(t, "year BETWEEN 2001 AND 2009");
+  ASSERT_TRUE(q.ok());
+  const size_t year = t.ColumnIndex("year").ValueOrDie();
+  const int32_t c2005 =
+      t.column(year).dict().CodeFor(Value(int64_t{2005})).ValueOrDie();
+  Query manual(t, {{year, CompareOp::kEq, c2005}});
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()), ExecuteCount(t, manual));
+
+  // An inverted/vacuous BETWEEN selects nothing.
+  auto empty = ParseWhere(t, "year BETWEEN 2006 AND 2009");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(ExecuteCount(t, empty.ValueOrDie()), 0);
+}
+
+TEST(Parser, InListSkipsAbsentLiterals) {
+  Table t = MakeTypedTable();
+  auto q = ParseWhere(t, "city IN ('berlin', 'oslo', 'denver')");
+  ASSERT_TRUE(q.ok());
+  // oslo is absent: matches exactly berlin + denver rows (20 of 40).
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()), 20);
+
+  auto none = ParseWhere(t, "city IN ('oslo')");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(ExecuteCount(t, none.ValueOrDie()), 0);
+}
+
+TEST(Parser, AbsentLiteralSemantics) {
+  Table t = MakeTypedTable();
+  // Equality on an absent value: selectivity exactly 0 (OOD behaviour).
+  auto zero = ParseWhere(t, "year = 2003");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(ExecuteCount(t, zero.ValueOrDie()), 0);
+
+  // != absent value: everything.
+  auto all = ParseWhere(t, "year != 2003");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(ExecuteCount(t, all.ValueOrDie()),
+            static_cast<int64_t>(t.num_rows()));
+
+  // Range ops on absent values: exact ordered-domain semantics.
+  auto le = ParseWhere(t, "year <= 2003");    // == year = 2000
+  auto gt = ParseWhere(t, "year > 2003");     // == year >= 2005
+  ASSERT_TRUE(le.ok() && gt.ok());
+  EXPECT_EQ(ExecuteCount(t, le.ValueOrDie()) + ExecuteCount(t, gt.ValueOrDie()),
+            static_cast<int64_t>(t.num_rows()));
+}
+
+TEST(Parser, DoubleColumnLiterals) {
+  Table t = MakeTypedTable();
+  // scores: 0, 0.5, 1.0, 1.5, 2.0 (8 rows each).
+  auto q = ParseWhere(t, "score >= 1.0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()), 24);
+  auto mid = ParseWhere(t, "score > 0.7 AND score < 1.7");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(ExecuteCount(t, mid.ValueOrDie()), 16);  // 1.0 and 1.5
+}
+
+TEST(Parser, EmptyClauseMatchesEverything) {
+  Table t = MakeTypedTable();
+  auto q = ParseWhere(t, "   ");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.ValueOrDie().NumFilteredColumns(), 0u);
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()),
+            static_cast<int64_t>(t.num_rows()));
+}
+
+TEST(Parser, MultiplePredicatesOnOneColumnIntersect) {
+  Table t = MakeTypedTable();
+  auto q = ParseWhere(t, "year >= 2005 AND year <= 2005");
+  ASSERT_TRUE(q.ok());
+  auto eq = ParseWhere(t, "year = 2005");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()),
+            ExecuteCount(t, eq.ValueOrDie()));
+}
+
+TEST(Parser, ErrorPaths) {
+  Table t = MakeTypedTable();
+  // Unknown column.
+  EXPECT_FALSE(ParseWhere(t, "altitude = 3").ok());
+  // Missing literal.
+  EXPECT_FALSE(ParseWhere(t, "year =").ok());
+  // Missing operator.
+  EXPECT_FALSE(ParseWhere(t, "year 2005").ok());
+  // Dangling AND.
+  EXPECT_FALSE(ParseWhere(t, "year = 2005 AND").ok());
+  // Missing AND between terms.
+  EXPECT_FALSE(ParseWhere(t, "year = 2005 city = berlin").ok());
+  // Unterminated string.
+  EXPECT_FALSE(ParseWhere(t, "city = 'berl").ok());
+  // Bad IN syntax.
+  EXPECT_FALSE(ParseWhere(t, "city IN berlin").ok());
+  EXPECT_FALSE(ParseWhere(t, "city IN ('berlin'").ok());
+  // Stray characters.
+  EXPECT_FALSE(ParseWhere(t, "year = 2005 ; drop table").ok());
+  // Non-numeric literal on an int column.
+  EXPECT_FALSE(ParseWhere(t, "year = berlin").ok());
+  // BETWEEN missing AND.
+  EXPECT_FALSE(ParseWhere(t, "year BETWEEN 2000 2010").ok());
+}
+
+TEST(Parser, DisjunctionsSplitOnOr) {
+  Table t = MakeTypedTable();
+  auto d = ParseDisjunction(
+      t, "city = 'berlin' AND year >= 2005 OR score > 1.5 OR city = denver");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ(d.ValueOrDie().size(), 3u);
+  EXPECT_EQ(d.ValueOrDie()[0].NumFilteredColumns(), 2u);
+  EXPECT_EQ(d.ValueOrDie()[1].NumFilteredColumns(), 1u);
+  EXPECT_EQ(d.ValueOrDie()[2].NumFilteredColumns(), 1u);
+}
+
+TEST(Parser, DisjunctionMatchesManualUnionCount) {
+  Table t = MakeTypedTable();
+  auto d = ParseDisjunction(t, "city = 'berlin' OR year = 2010");
+  ASSERT_TRUE(d.ok());
+  // Manual union count by scan.
+  const size_t city = t.ColumnIndex("city").ValueOrDie();
+  const size_t year = t.ColumnIndex("year").ValueOrDie();
+  int64_t expected = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const bool a =
+        t.column(city).dict().ValueFor(t.column(city).code(r)).AsString() ==
+        "berlin";
+    const bool b =
+        t.column(year).dict().ValueFor(t.column(year).code(r)).AsInt() ==
+        2010;
+    expected += (a || b);
+  }
+  const double sel =
+      ExecuteDisjunctionSelectivity(t, d.ValueOrDie());
+  EXPECT_EQ(static_cast<int64_t>(sel * static_cast<double>(t.num_rows()) +
+                                 0.5),
+            expected);
+}
+
+TEST(Parser, SingleConjunctionViaDisjunctionApi) {
+  Table t = MakeTypedTable();
+  auto d = ParseDisjunction(t, "year = 2005");
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.ValueOrDie().size(), 1u);
+  auto empty = ParseDisjunction(t, "");
+  ASSERT_TRUE(empty.ok());
+  ASSERT_EQ(empty.ValueOrDie().size(), 1u);
+  EXPECT_EQ(empty.ValueOrDie()[0].NumFilteredColumns(), 0u);
+}
+
+TEST(Parser, OrErrorPaths) {
+  Table t = MakeTypedTable();
+  // ParseWhere (conjunction-only API) rejects OR.
+  EXPECT_FALSE(ParseWhere(t, "year = 2005 OR year = 2010").ok());
+  // Dangling OR.
+  EXPECT_FALSE(ParseDisjunction(t, "year = 2005 OR").ok());
+  // OR with missing left term.
+  EXPECT_FALSE(ParseDisjunction(t, "OR year = 2005").ok());
+}
+
+TEST(Parser, WorksWithWildcardsAndIsComposable) {
+  Table t = MakeTypedTable();
+  auto q = ParseWhere(t, "score BETWEEN 0.5 AND 1.5 AND city != 'chicago'");
+  ASSERT_TRUE(q.ok());
+  int64_t manual = 0;
+  const size_t city = t.ColumnIndex("city").ValueOrDie();
+  const size_t score = t.ColumnIndex("score").ValueOrDie();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double s =
+        t.column(score).dict().ValueFor(t.column(score).code(r)).AsDouble();
+    const std::string c =
+        t.column(city).dict().ValueFor(t.column(city).code(r)).AsString();
+    manual += (s >= 0.5 && s <= 1.5 && c != "chicago");
+  }
+  EXPECT_EQ(ExecuteCount(t, q.ValueOrDie()), manual);
+}
+
+}  // namespace
+}  // namespace naru

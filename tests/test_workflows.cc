@@ -1,0 +1,196 @@
+// End-to-end workflow tests that cut across modules the way a user would:
+// drift + fine-tune recovery on two architectures, parsed disjunctions
+// over the Bayes-net estimator, multi-order ensembles driven by parsed
+// queries, and estimator behaviour right after serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/ensemble.h"
+#include "core/made.h"
+#include "core/naru_estimator.h"
+#include "core/trainer.h"
+#include "core/transformer.h"
+#include "data/datasets.h"
+#include "estimator/bayesnet.h"
+#include "query/compound.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace naru {
+namespace {
+
+double QErr(double est_card, double true_card) {
+  const double a = std::max(est_card, 1.0);
+  const double b = std::max(true_card, 1.0);
+  return std::max(a, b) / std::min(a, b);
+}
+
+// Two partitions with shifted distributions: part B flips the skew of the
+// first column and re-correlates the second.
+Table MakePartition(size_t rows, uint64_t seed, bool shifted) {
+  Rng rng(seed);
+  std::vector<int64_t> a(rows), b(rows), c(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const int64_t base = static_cast<int64_t>(rng.UniformInt(8));
+    a[r] = shifted ? 7 - base : base;
+    b[r] = (a[r] + static_cast<int64_t>(rng.UniformInt(3))) % 8;
+    c[r] = static_cast<int64_t>(rng.UniformInt(5));
+  }
+  TableBuilder tb("part");
+  tb.AddIntColumn("a", a);
+  tb.AddIntColumn("b", b);
+  tb.AddIntColumn("c", c);
+  return tb.Build();
+}
+
+template <typename Model>
+void DriftAndRecover(Model* model, const char* tag) {
+  Table part1 = MakePartition(3000, 3, /*shifted=*/false);
+  Table part2 = MakePartition(3000, 5, /*shifted=*/true);
+
+  TrainerConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batch_size = 256;
+  tcfg.lr = 5e-3;
+  Trainer trainer(model, tcfg);
+  trainer.Train(part1);
+
+  // Combined relation after the shifted ingest.
+  Table all = MakePartition(3000, 3, false);
+  ASSERT_TRUE(all.AppendRows(MakePartition(3000, 5, true)).ok());
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 1500;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model, ncfg, 0, tag);
+
+  // A query centered in the shifted region.
+  Query q(all, {{0, CompareOp::kGe, 6}, {1, CompareOp::kLe, 3}});
+  const double truth =
+      ExecuteSelectivity(all, q) * static_cast<double>(all.num_rows());
+  ASSERT_GT(truth, 0.0);
+
+  const double stale =
+      est.EstimateSelectivity(q) * static_cast<double>(all.num_rows());
+  trainer.FineTune(part2, /*passes=*/6);
+  const double fresh =
+      est.EstimateSelectivity(q) * static_cast<double>(all.num_rows());
+
+  // Stale model underestimates the newly-dense region; refresh recovers.
+  EXPECT_LT(QErr(fresh, truth), QErr(stale, truth) + 0.5) << tag;
+  EXPECT_LT(QErr(fresh, truth), 2.5) << tag;
+}
+
+TEST(Workflow, DriftFineTuneRecoveryMade) {
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {48, 48};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.seed = 7;
+  MadeModel model({8, 8, 5}, cfg);
+  DriftAndRecover(&model, "made");
+}
+
+TEST(Workflow, DriftFineTuneRecoveryTransformer) {
+  TransformerModel::Config cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.ffn_hidden = 64;
+  cfg.seed = 7;
+  TransformerModel model({8, 8, 5}, cfg);
+  DriftAndRecover(&model, "transformer");
+}
+
+TEST(Workflow, ParsedDisjunctionOverBayesNet) {
+  Table t = MakeRandomTable(4000, {6, 8, 5}, 11, /*skew=*/1.1);
+  // Name-addressable columns for the parser.
+  TableBuilder tb("named");
+  std::vector<int64_t> c0, c1, c2;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    c0.push_back(t.column(0).code(r));
+    c1.push_back(t.column(1).code(r));
+    c2.push_back(t.column(2).code(r));
+  }
+  tb.AddIntColumn("x", c0);
+  tb.AddIntColumn("y", c1);
+  tb.AddIntColumn("z", c2);
+  Table named = tb.Build();
+
+  BayesNetEstimator bn(named);
+  auto disjuncts =
+      ParseDisjunction(named, "x <= 2 AND y >= 4 OR z = 1 OR x = 5");
+  ASSERT_TRUE(disjuncts.ok()) << disjuncts.status().ToString();
+
+  const double est = EstimateDisjunction(&bn, disjuncts.ValueOrDie());
+  const double truth =
+      ExecuteDisjunctionSelectivity(named, disjuncts.ValueOrDie());
+  ASSERT_GT(truth, 0.0);
+  EXPECT_LT(QErr(est * named.num_rows(), truth * named.num_rows()), 1.6);
+}
+
+TEST(Workflow, EnsembleAnswersParsedQueries) {
+  Table t = MakeRandomTable(2500, {7, 9, 6}, 13, /*skew=*/1.0);
+  TableBuilder tb("named");
+  std::vector<int64_t> c0, c1, c2;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    c0.push_back(t.column(0).code(r));
+    c1.push_back(t.column(1).code(r));
+    c2.push_back(t.column(2).code(r));
+  }
+  tb.AddIntColumn("a", c0);
+  tb.AddIntColumn("b", c1);
+  tb.AddIntColumn("c", c2);
+  Table named = tb.Build();
+
+  MultiOrderConfig cfg;
+  cfg.num_orders = 2;
+  cfg.model.hidden_sizes = {48, 48};
+  cfg.model.encoder.onehot_threshold = 16;
+  cfg.trainer.epochs = 12;
+  cfg.trainer.batch_size = 256;
+  cfg.trainer.lr = 5e-3;
+  cfg.estimator.num_samples = 800;
+  cfg.estimator.enumeration_threshold = 0;
+  MultiOrderEnsemble ens(named, cfg);
+
+  auto q = ParseWhere(named, "a >= 2 AND b <= 5");
+  ASSERT_TRUE(q.ok());
+  const double truth = ExecuteSelectivity(named, q.ValueOrDie());
+  ASSERT_GT(truth, 0.0);
+  const double est = ens.EstimateSelectivity(q.ValueOrDie());
+  EXPECT_LT(QErr(est * named.num_rows(), truth * named.num_rows()), 2.0);
+}
+
+TEST(Workflow, SavedModelServesIdenticalEstimates) {
+  Table t = MakeRandomTable(1500, {6, 7, 4}, 17, /*skew=*/0.9);
+  const std::vector<size_t> domains = {t.column(0).DomainSize(),
+                                       t.column(1).DomainSize(),
+                                       t.column(2).DomainSize()};
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {32, 32};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.seed = 19;
+  MadeModel model(domains, cfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 6;
+  Trainer(&model, tcfg).Train(t);
+
+  const std::string path = testing::TempDir() + "/naru_workflow_model.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+  MadeModel reloaded(domains, cfg);
+  ASSERT_TRUE(reloaded.Load(path).ok());
+
+  Query q(t, {{0, CompareOp::kLe, 3}, {2, CompareOp::kGe, 1}});
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 600;
+  ncfg.sampler_seed = 23;  // identical sampler seeds => identical draws
+  NaruEstimator a(&model, ncfg, 0, "orig");
+  NaruEstimator b(&reloaded, ncfg, 0, "reload");
+  EXPECT_NEAR(a.EstimateSelectivity(q), b.EstimateSelectivity(q), 1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace naru
