@@ -1,7 +1,9 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/string_util.h"
 
@@ -18,7 +20,19 @@ BenchEnv GetBenchEnv() {
   env.mscn_queries =
       static_cast<size_t>(GetEnvInt("NARU_MSCN_QUERIES", 800));
   env.seed = static_cast<uint64_t>(GetEnvInt("NARU_SEED", 42));
+  // Clamped: a negative value would wrap through size_t to 2^64-ish and
+  // e.g. ask the serving engine for that many threads.
+  env.threads = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_THREADS", 0), 0, 256));
+  env.batch = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_BATCH", 0), 0, 1 << 20));
   return env;
+}
+
+void InitBench(int argc, char** argv) {
+  if (!ApplyFlagOverrides(argc, argv)) {
+    std::exit(2);
+  }
 }
 
 Workload MakeWorkload(const Table& table, size_t num_queries, uint64_t seed,
@@ -101,6 +115,40 @@ void EvaluateEstimator(Estimator* est, const Workload& workload,
     report->Add(sel * static_cast<double>(num_rows),
                 static_cast<double>(workload.cards[i]), workload.sels[i]);
   }
+}
+
+double EvaluateEstimatorBatched(Estimator* est, const Workload& workload,
+                                size_t num_rows, size_t batch_size,
+                                ErrorReport* report) {
+  NARU_CHECK(batch_size >= 1);
+  const size_t n = workload.queries.size();
+
+  // Slice outside the timed window so the stopwatch sees only
+  // EstimateBatch, matching what EvaluateEstimator times per query.
+  std::vector<std::vector<Query>> batches;
+  for (size_t lo = 0; lo < n; lo += batch_size) {
+    const size_t hi = std::min(n, lo + batch_size);
+    batches.emplace_back(
+        workload.queries.begin() + static_cast<ptrdiff_t>(lo),
+        workload.queries.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  std::vector<std::vector<double>> outs(batches.size());
+
+  Stopwatch sw;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    est->EstimateBatch(batches[b], &outs[b]);
+  }
+  const double seconds = sw.ElapsedSeconds();
+
+  size_t i = 0;
+  for (const auto& sels : outs) {
+    for (double sel : sels) {
+      report->Add(sel * static_cast<double>(num_rows),
+                  static_cast<double>(workload.cards[i]), workload.sels[i]);
+      ++i;
+    }
+  }
+  return seconds > 0 ? static_cast<double>(n) / seconds : 0.0;
 }
 
 void PrintErrorTable(const std::string& title,

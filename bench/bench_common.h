@@ -9,6 +9,12 @@
 //   NARU_EPOCHS          Naru training epochs              (default 10)
 //   NARU_MSCN_QUERIES    MSCN training queries             (default 800)
 //   NARU_SEED            global experiment seed            (default 42)
+//   NARU_THREADS         serving threads (0 = global pool) (default 0)
+//   NARU_BATCH           EstimateBatch size (0 = per-bench default/grid)
+//
+// Every knob is also reachable as a command-line flag through
+// InitBench(argc, argv): `--threads 4` sets NARU_THREADS=4, `--queries=200`
+// sets NARU_QUERIES=200, and so on (see util/env_config.h).
 #pragma once
 
 #include <memory>
@@ -39,8 +45,19 @@ struct BenchEnv {
   size_t epochs;
   size_t mscn_queries;
   uint64_t seed;
+  /// Serving threads for the inference engine (0 = share the global pool,
+  /// 1 = strictly serial).
+  size_t threads;
+  /// Batch size for EstimateBatch-driven evaluation (0 = let each bench
+  /// pick its default or sweep its grid).
+  size_t batch;
 };
 BenchEnv GetBenchEnv();
+
+/// Applies `--flag value` overrides onto the NARU_* environment (so every
+/// bench shares one knob surface) — call first in main(). Terminates with
+/// exit code 2 on a malformed command line.
+void InitBench(int argc, char** argv);
 
 /// A workload with ground truth attached.
 struct Workload {
@@ -70,6 +87,13 @@ std::unique_ptr<MadeModel> TrainModel(const Table& table,
 void EvaluateEstimator(Estimator* est, const Workload& workload,
                        size_t num_rows, ErrorReport* report,
                        QuantileSketch* latency_ms = nullptr);
+
+/// Runs `est` over the workload through EstimateBatch in batches of
+/// `batch_size` (>= 1), filling the report; returns achieved queries/sec.
+/// For a fixed seed the per-query errors equal EvaluateEstimator's.
+double EvaluateEstimatorBatched(Estimator* est, const Workload& workload,
+                                size_t num_rows, size_t batch_size,
+                                ErrorReport* report);
 
 /// Prints the paper-style grouped error table.
 void PrintErrorTable(const std::string& title,

@@ -61,4 +61,7 @@ int Run() {
 }  // namespace bench
 }  // namespace naru
 
-int main() { return naru::bench::Run(); }
+int main(int argc, char** argv) {
+  naru::bench::InitBench(argc, argv);
+  return naru::bench::Run();
+}

@@ -82,6 +82,24 @@ int Run() {
     NaruEstimator est(model.get(), ncfg, model->SizeBytes());
     measure(&est);
   }
+
+  // Amortized serving throughput for contrast with the per-query latencies
+  // above (same workload, answered through EstimateBatch; errors identical
+  // to the sequential path by construction).
+  {
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = 1000;
+    ncfg.enumeration_threshold = 0;
+    NaruEstimator est(model.get(), ncfg, model->SizeBytes());
+    const size_t batch = env.batch > 0 ? env.batch : 16;
+    ErrorReport report(est.name());
+    const double qps =
+        EvaluateEstimatorBatched(&est, test, n, batch, &report);
+    std::printf("\n%s batched: %.1f queries/sec at batch=%zu "
+                "(estimator-owned engine on the global pool; see "
+                "bench_serving_throughput for the threads grid)\n",
+                est.name().c_str(), qps, batch);
+  }
   return 0;
 }
 
@@ -89,4 +107,7 @@ int Run() {
 }  // namespace bench
 }  // namespace naru
 
-int main() { return naru::bench::Run(); }
+int main(int argc, char** argv) {
+  naru::bench::InitBench(argc, argv);
+  return naru::bench::Run();
+}

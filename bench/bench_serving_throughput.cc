@@ -1,0 +1,157 @@
+// Serving throughput: queries/sec of the batched, thread-parallel
+// InferenceEngine versus the sequential one-query-at-a-time path.
+//
+// Workload model: a serving TRACE, not a one-shot evaluation set. A query
+// optimizer enumerating join orders (or a dashboard refreshing panels)
+// re-issues many identical cardinality requests, so the trace draws
+// `serve-requests` requests uniformly from a pool of `serve-unique`
+// distinct query templates. The sequential baseline (threads=1 / batch=1,
+// the pre-engine serving path) recomputes every request from scratch;
+// engine configurations amortize across the batch with shard-parallel
+// sampling, shared workspaces, and exact-result caches.
+//
+// Every configuration must produce bit-identical estimates for the whole
+// trace (asserted at the end), so the grid measures execution efficiency
+// only — no accuracy is traded anywhere.
+//
+// Knobs (env or flags, see bench_common.h):
+//   --threads N         restrict the engine thread grid to {N}  (default 2/4/8)
+//   --batch N           restrict the batch grid to {N}          (default 1/8/64)
+//   --serve-requests N  trace length                            (default 512)
+//   --serve-unique N    distinct query templates in the pool    (default 256)
+//   --serve-samples N   progressive sample paths per query      (default 512)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/inference_engine.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const size_t rows = std::min<size_t>(env.dmv_rows, 20000);
+  // Clamped to sane ranges so a negative flag value cannot wrap to 2^64.
+  const size_t num_requests = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_REQUESTS", 512), 1, 1 << 22));
+  const size_t num_unique = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_UNIQUE", 256), 1, 1 << 22));
+  const size_t num_samples = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_SAMPLES", 512), 1, 1 << 20));
+  PrintBanner(
+      "Serving throughput: batched EstimateBatch vs sequential",
+      StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu", rows,
+                num_requests, num_unique, num_samples));
+
+  Table table = MakeDmvLike(rows, env.seed);
+  auto model = TrainModel(table, DmvModelConfig(env.seed + 5),
+                          std::min<size_t>(env.epochs, 3), "Naru(serving)");
+
+  // Template pool (no ground truth needed for throughput): mixed filter
+  // widths, including single-filter queries — when the filter lands on the
+  // first model column those take the exact leading-only shortcut and
+  // never sample. (The marginal-mass cache itself only gets hits across
+  // differently-configured estimators sharing a model; with one estimator
+  // the full-query memo always answers first, so the marginal column
+  // below prints 0.)
+  WorkloadConfig wcfg;
+  wcfg.num_queries = num_unique;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 8;
+  wcfg.seed = env.seed + 17;
+  const std::vector<Query> pool = GenerateWorkload(table, wcfg);
+
+  // The trace: uniform draws from the pool. Deterministic in the seed.
+  Rng trace_rng(env.seed + 23);
+  std::vector<Query> trace;
+  trace.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    trace.push_back(pool[trace_rng.UniformInt(pool.size())]);
+  }
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = num_samples;
+  ncfg.enumeration_threshold = 0;  // pure sampling path: clean scaling story
+  NaruEstimator est(model.get(), ncfg, model->SizeBytes());
+
+  std::vector<size_t> thread_grid = {2, 4, 8};
+  std::vector<size_t> batch_grid = {1, 8, 64};
+  if (env.threads > 0) thread_grid = {env.threads};
+  if (env.batch > 0) batch_grid = {env.batch};
+
+  std::printf("\n%8s %6s %10s %10s %9s %9s %9s\n", "threads", "batch", "qps",
+              "speedup", "memo", "marginal", "sampled");
+
+  // Baseline: the sequential pre-engine path — one thread, one query at a
+  // time, no cross-query sharing of any kind.
+  std::vector<double> reference(trace.size());
+  double baseline_qps;
+  {
+    ScopedSerialRegion serial;
+    Stopwatch sw;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      reference[i] = est.EstimateSelectivity(trace[i]);
+    }
+    const double secs = sw.ElapsedSeconds();
+    baseline_qps = secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
+  }
+  std::printf("%8d %6d %10.1f %9.2fx %9s %9s %9zu   (sequential path)\n", 1,
+              1, baseline_qps, 1.0, "-", "-", trace.size());
+
+  double headline_qps = 0;  // threads=4, batch=64
+  bool all_identical = true;
+
+  for (size_t threads : thread_grid) {
+    for (size_t batch : batch_grid) {
+      InferenceEngineConfig ecfg;
+      ecfg.num_threads = threads;
+      InferenceEngine engine(ecfg);  // fresh engine: caches start cold
+
+      std::vector<double> results(trace.size());
+      std::vector<Query> chunk;
+      std::vector<double> chunk_out;
+      Stopwatch sw;
+      for (size_t lo = 0; lo < trace.size(); lo += batch) {
+        const size_t hi = std::min(trace.size(), lo + batch);
+        chunk.assign(trace.begin() + static_cast<ptrdiff_t>(lo),
+                     trace.begin() + static_cast<ptrdiff_t>(hi));
+        engine.EstimateBatch(&est, chunk, &chunk_out);
+        for (size_t i = lo; i < hi; ++i) results[i] = chunk_out[i - lo];
+      }
+      const double secs = sw.ElapsedSeconds();
+      const double qps =
+          secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
+
+      if (results != reference) all_identical = false;
+      if (threads == 4 && batch == 64) headline_qps = qps;
+
+      const auto stats = engine.stats();
+      std::printf("%8zu %6zu %10.1f %9.2fx %9zu %9zu %9zu\n", threads, batch,
+                  qps, baseline_qps > 0 ? qps / baseline_qps : 0.0,
+                  stats.memo_hits, stats.marginal_hits, stats.sampled);
+    }
+  }
+
+  std::printf("\nestimates bit-identical across all configurations: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  if (baseline_qps > 0 && headline_qps > 0) {
+    std::printf("headline: batch=64/threads=4 vs batch=1/threads=1 = %.2fx\n",
+                headline_qps / baseline_qps);
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main(int argc, char** argv) {
+  naru::bench::InitBench(argc, argv);
+  return naru::bench::Run();
+}

@@ -12,8 +12,13 @@
 //
 //   naru_cli truth <data.csv> "<predicates>"
 //       Exact answer by scanning (for comparison).
+//
+//   naru_cli serve <data.csv> <model.bundle> <queries.txt> [threads]
+//       Serves a whole file of conjunctions (one per line) through the
+//       batched InferenceEngine and prints one selectivity per line.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +29,7 @@
 #include "query/executor.h"
 #include "query/compound.h"
 #include "query/parser.h"
+#include "serve/inference_engine.h"
 #include "util/string_util.h"
 
 using namespace naru;
@@ -36,7 +42,9 @@ int Usage() {
                "  naru_cli train <data.csv> <model.bundle> [epochs]\n"
                "  naru_cli estimate <data.csv> <model.bundle> \"<preds>\" "
                "[samples]\n"
-               "  naru_cli truth <data.csv> \"<preds>\"\n");
+               "  naru_cli truth <data.csv> \"<preds>\"\n"
+               "  naru_cli serve <data.csv> <model.bundle> <queries.txt> "
+               "[threads]\n");
   return 2;
 }
 
@@ -105,6 +113,61 @@ int main(int argc, char** argv) {
     const double sel = EstimateDisjunction(&est, disjuncts.ValueOrDie());
     std::printf("selectivity %.6g  cardinality %.0f\n", sel,
                 sel * static_cast<double>(table.num_rows()));
+    return 0;
+  }
+
+  if (cmd == "serve") {
+    if (argc < 5) return Usage();
+    auto model = LoadModelBundle(argv[3]);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    std::ifstream in(argv[4]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[4]);
+      return 1;
+    }
+    std::vector<Query> queries;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      auto disjuncts = ParseDisjunction(table, line);
+      if (!disjuncts.ok()) {
+        std::fprintf(stderr, "error: line %zu: %s\n", lineno,
+                     disjuncts.status().ToString().c_str());
+        return 1;
+      }
+      if (disjuncts.ValueOrDie().size() != 1) {
+        std::fprintf(stderr, "error: line %zu must be one conjunction\n",
+                     lineno);
+        return 1;
+      }
+      queries.push_back(disjuncts.ValueOrDie()[0]);
+    }
+    MadeModel* m = model.ValueOrDie().get();
+    NaruEstimator est(m, NaruEstimatorConfig{}, m->SizeBytes());
+    InferenceEngineConfig ecfg;
+    const long long threads = argc >= 6 ? std::atoll(argv[5]) : 0;
+    if (threads < 0 || threads > 256) {
+      std::fprintf(stderr, "error: threads must be in [0, 256]\n");
+      return 1;
+    }
+    ecfg.num_threads = static_cast<size_t>(threads);
+    InferenceEngine engine(ecfg);
+    std::vector<double> sels;
+    engine.EstimateBatch(&est, queries, &sels);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::printf("%.6g\t%.0f\t%s\n", sels[i],
+                  sels[i] * static_cast<double>(table.num_rows()),
+                  queries[i].ToString(table).c_str());
+    }
+    const auto stats = engine.stats();
+    std::fprintf(stderr, "# served %zu queries (%zu sampled, %zu cached)\n",
+                 stats.queries, stats.sampled, stats.memo_hits);
     return 0;
   }
 

@@ -68,5 +68,21 @@ int main() {
   std::printf("  actual cardinality:    %.0f\n", true_sel * n);
   std::printf("  q-error:               %.2fx\n",
               QError(est_sel * n, true_sel * n));
+
+  // --- 4. Or ask in batches: EstimateBatch serves many queries through ---
+  // --- one engine (shared workspaces, caches, threads).               ---
+  std::vector<Query> batch;
+  batch.push_back(query);
+  batch.push_back(Query(table, {{reg_class, CompareOp::kLe, 30, 0, {}}}));
+  batch.push_back(Query(table, {{rev_ind, CompareOp::kEq, 1, 0, {}}}));
+  std::vector<double> batch_sels;
+  estimator.EstimateBatch(batch, &batch_sels);
+  const auto batch_truth = ExecuteSelectivities(table, batch);
+  std::printf("\nbatched (%zu queries):\n", batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::printf("  est %8.0f  actual %8.0f  q-error %.2fx\n",
+                batch_sels[i] * n, batch_truth[i] * n,
+                QError(batch_sels[i] * n, batch_truth[i] * n));
+  }
   return 0;
 }

@@ -108,6 +108,15 @@ class ConditionalModel {
   /// Starts a sampling cursor; the default session forwards to
   /// ConditionalDist.
   virtual std::unique_ptr<SamplingSession> StartSession(size_t batch);
+
+  /// True when independently started sessions may run Dist concurrently
+  /// from different threads (the model's weights are read-only at inference
+  /// and every session owns its evaluation workspace). The sharded sampler
+  /// and the serving engine only parallelize over models that declare this;
+  /// the default is the conservative false because the default session
+  /// forwards to ConditionalDist, which most models back with shared
+  /// scratch buffers.
+  virtual bool SupportsConcurrentSampling() const { return false; }
 };
 
 }  // namespace naru

@@ -53,6 +53,20 @@ double MultiOrderEnsemble::EstimateSelectivity(const Query& query) {
   return sum / static_cast<double>(members_.size());
 }
 
+void MultiOrderEnsemble::EstimateBatch(const std::vector<Query>& queries,
+                                       std::vector<double>* out) {
+  // Each member serves the whole batch through its engine; summing member
+  // results in member order matches the sequential path bit for bit.
+  out->assign(queries.size(), 0.0);
+  std::vector<double> member_out;
+  for (auto& m : members_) {
+    m.estimator->EstimateBatch(queries, &member_out);
+    for (size_t i = 0; i < queries.size(); ++i) (*out)[i] += member_out[i];
+  }
+  const double k = static_cast<double>(members_.size());
+  for (double& v : *out) v /= k;
+}
+
 double MultiOrderEnsemble::MemberEstimate(size_t k, const Query& query) {
   NARU_CHECK(k < members_.size());
   return members_[k].estimator->EstimateSelectivity(query);

@@ -43,6 +43,10 @@ class MultiOrderEnsemble : public Estimator {
   std::string name() const override { return name_; }
   /// Mean of the member estimates.
   double EstimateSelectivity(const Query& query) override;
+  /// Mean of the member batch estimates (each member serves the batch
+  /// through its own serving engine; results match the sequential path).
+  void EstimateBatch(const std::vector<Query>& queries,
+                     std::vector<double>* out) override;
   /// Sum of member model sizes.
   size_t SizeBytes() const override { return size_bytes_; }
 

@@ -107,6 +107,9 @@ class FactorizedModel : public ConditionalModel, public TrainableModel {
   std::unique_ptr<SamplingSession> StartSession(size_t batch) override {
     return cond_->StartSession(batch);
   }
+  bool SupportsConcurrentSampling() const override {
+    return cond_->SupportsConcurrentSampling();
+  }
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
 

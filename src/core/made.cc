@@ -78,7 +78,7 @@ MadeModel::MadeModel(std::vector<size_t> domains, Config config)
         StrFormat("made.out%zu", c), prev_deg.size(), out_width,
         std::move(mask), &rng_);
   }
-  acts_.resize(hidden_.size());
+  eval_.acts.resize(hidden_.size());
 }
 
 bool MadeModel::HasSkip(size_t layer) const {
@@ -86,62 +86,92 @@ bool MadeModel::HasSkip(size_t layer) const {
          hidden_[layer].in_dim() == hidden_[layer].out_dim();
 }
 
-void MadeModel::ForwardTrunk(const IntMatrix& codes, size_t upto) {
-  encoder_.EncodeBatchPrefix(codes, upto, &x_);
-  const Matrix* cur = &x_;
+void MadeModel::ForwardTrunk(const IntMatrix& codes, size_t upto,
+                             EvalContext* ctx) const {
+  if (ctx->acts.size() != hidden_.size()) ctx->acts.resize(hidden_.size());
+  encoder_.EncodeBatchPrefix(codes, upto, &ctx->x);
+  const Matrix* cur = &ctx->x;
   for (size_t l = 0; l < hidden_.size(); ++l) {
-    hidden_[l].Forward(*cur, &acts_[l]);
-    if (HasSkip(l)) Axpy(*cur, 1.0f, &acts_[l]);
-    ReluForward(acts_[l], &acts_[l]);
-    cur = &acts_[l];
+    hidden_[l].Forward(*cur, &ctx->acts[l]);
+    if (HasSkip(l)) Axpy(*cur, 1.0f, &ctx->acts[l]);
+    ReluForward(ctx->acts[l], &ctx->acts[l]);
+    cur = &ctx->acts[l];
   }
 }
 
-void MadeModel::HeadForward(size_t col, Matrix* block) {
+void MadeModel::HeadForward(size_t col, EvalContext* ctx,
+                            Matrix* block) const {
   const Head& head = heads_[col];
   if (!head.reuse) {
-    head.fc->Forward(final_hidden(), block);
+    head.fc->Forward(final_hidden(*ctx), block);
     return;
   }
-  head.fc->Forward(final_hidden(), &head_tmp_);  // (B x h)
+  head.fc->Forward(final_hidden(*ctx), &ctx->head_tmp);  // (B x h)
   const Embedding* emb = encoder_.embedding(col);
   NARU_CHECK(emb != nullptr);
-  GemmNT(head_tmp_, emb->table().value, block);  // (B x D)
+  GemmNT(ctx->head_tmp, emb->table().value, block);  // (B x D)
 }
 
 void MadeModel::HeadBackward(size_t col, const Matrix& dblock,
                              Matrix* dfinal) {
   Head& head = heads_[col];
   if (!head.reuse) {
-    head.fc->Backward(final_hidden(), dblock, dfinal,
+    head.fc->Backward(final_hidden(eval_), dblock, dfinal,
                       /*accumulate_dx=*/true);
     return;
   }
   Embedding* emb = encoder_.embedding(col);
   // logits = tmp · E^T  =>  dtmp = dblock · E;  dE += dblock^T · tmp.
   GemmNN(dblock, emb->table().value, &dtmp_);
-  GemmTN(dblock, head_tmp_, &emb->table().grad, /*accumulate=*/true);
-  head.fc->Backward(final_hidden(), dtmp_, dfinal, /*accumulate_dx=*/true);
+  GemmTN(dblock, eval_.head_tmp, &emb->table().grad, /*accumulate=*/true);
+  head.fc->Backward(final_hidden(eval_), dtmp_, dfinal,
+                    /*accumulate_dx=*/true);
 }
 
 void MadeModel::ConditionalDist(const IntMatrix& samples, size_t col,
                                 Matrix* probs) {
+  ConditionalDistWith(&eval_, samples, col, probs);
+}
+
+void MadeModel::ConditionalDistWith(EvalContext* ctx, const IntMatrix& samples,
+                                    size_t col, Matrix* probs) const {
   NARU_CHECK(col < num_columns());
-  ForwardTrunk(samples, col);
-  HeadForward(col, &block_);
-  SoftmaxRows(block_, probs);
+  ForwardTrunk(samples, col, ctx);
+  HeadForward(col, ctx, &ctx->block);
+  SoftmaxRows(ctx->block, probs);
+}
+
+namespace {
+// Sampling cursor with private scratch: distinct sessions evaluate the
+// (read-only) weights concurrently.
+class MadeSession : public SamplingSession {
+ public:
+  explicit MadeSession(const MadeModel* model) : model_(model) {}
+  void Dist(const IntMatrix& samples, size_t col, Matrix* probs) override {
+    model_->ConditionalDistWith(&ctx_, samples, col, probs);
+  }
+
+ private:
+  const MadeModel* model_;
+  MadeModel::EvalContext ctx_;
+};
+}  // namespace
+
+std::unique_ptr<SamplingSession> MadeModel::StartSession(size_t batch) {
+  (void)batch;  // contexts size themselves on first Dist
+  return std::make_unique<MadeSession>(this);
 }
 
 void MadeModel::LogProbRows(const IntMatrix& tuples,
                             std::vector<double>* out_nats) {
   const size_t batch = tuples.rows();
   out_nats->assign(batch, 0.0);
-  ForwardTrunk(tuples, num_columns());
+  ForwardTrunk(tuples, num_columns(), &eval_);
   for (size_t c = 0; c < num_columns(); ++c) {
-    HeadForward(c, &block_);
+    HeadForward(c, &eval_, &eval_.block);
     const size_t d = domains_[c];
     for (size_t r = 0; r < batch; ++r) {
-      const float* row = block_.Row(r);
+      const float* row = eval_.block.Row(r);
       const double log_z = LogSumExpSlice(row, 0, d);
       const int32_t target = tuples.At(r, c);
       (*out_nats)[r] += static_cast<double>(row[target]) - log_z;
@@ -152,19 +182,19 @@ void MadeModel::LogProbRows(const IntMatrix& tuples,
 double MadeModel::ForwardBackward(const IntMatrix& codes) {
   const size_t batch = codes.rows();
   NARU_CHECK(batch > 0);
-  ForwardTrunk(codes, num_columns());
+  ForwardTrunk(codes, num_columns(), &eval_);
 
   const float grad_scale = 1.0f / static_cast<float>(batch);
-  Matrix dfinal(final_hidden().rows(), final_hidden().cols());
+  Matrix dfinal(final_hidden(eval_).rows(), final_hidden(eval_).cols());
   targets_.resize(batch);
 
   double total_nll = 0;
   for (size_t c = 0; c < num_columns(); ++c) {
-    HeadForward(c, &block_);
+    HeadForward(c, &eval_, &eval_.block);
     for (size_t r = 0; r < batch; ++r) targets_[r] = codes.At(r, c);
-    dblock_.Resize(block_.rows(), block_.cols());
+    dblock_.Resize(eval_.block.rows(), eval_.block.cols());
     dblock_.Zero();
-    total_nll += SoftmaxCrossEntropySlice(block_, 0, domains_[c],
+    total_nll += SoftmaxCrossEntropySlice(eval_.block, 0, domains_[c],
                                           targets_.data(), grad_scale,
                                           &dblock_);
     HeadBackward(c, dblock_, &dfinal);
@@ -174,9 +204,9 @@ double MadeModel::ForwardBackward(const IntMatrix& codes) {
   Matrix grad = std::move(dfinal);
   Matrix grad_prev;
   for (size_t l = hidden_.size(); l-- > 0;) {
-    // acts_[l] is post-ReLU; its positivity gates the ReLU backward.
-    ReluBackward(acts_[l], grad, &grad);
-    const Matrix& input = (l == 0) ? x_ : acts_[l - 1];
+    // acts[l] is post-ReLU; its positivity gates the ReLU backward.
+    ReluBackward(eval_.acts[l], grad, &grad);
+    const Matrix& input = (l == 0) ? eval_.x : eval_.acts[l - 1];
     hidden_[l].Backward(input, grad, &grad_prev);
     // ResMADE identity path: z = W h + b + h, so dh gains the gated
     // upstream gradient in addition to the masked-linear term.

@@ -45,13 +45,31 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   /// `domains[i]` is |A_i| for column i in model (= table) order.
   MadeModel(std::vector<size_t> domains, Config config);
 
+  /// Scratch buffers for one inference forward pass. The model's weights
+  /// are read-only at inference, so callers holding distinct contexts may
+  /// evaluate concurrently; every sampling session owns one (which is what
+  /// makes SupportsConcurrentSampling() true). Training keeps using the
+  /// model's own member context.
+  struct EvalContext {
+    Matrix x;
+    std::vector<Matrix> acts;
+    Matrix head_tmp;  // reuse heads' h-dim output
+    Matrix block;     // current head logits
+  };
+
   // --- ConditionalModel ---
   size_t num_columns() const override { return domains_.size(); }
   size_t DomainSize(size_t col) const override { return domains_[col]; }
   void ConditionalDist(const IntMatrix& samples, size_t col,
                        Matrix* probs) override;
+  /// Re-entrant ConditionalDist evaluating through caller-owned scratch.
+  void ConditionalDistWith(EvalContext* ctx, const IntMatrix& samples,
+                           size_t col, Matrix* probs) const;
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
+  /// Sessions own an EvalContext each, so they can run concurrently.
+  std::unique_ptr<SamplingSession> StartSession(size_t batch) override;
+  bool SupportsConcurrentSampling() const override { return true; }
 
   // --- Training ---
   /// Fused forward/backward over a batch of full tuples; accumulates
@@ -71,20 +89,24 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   const InputEncoder& encoder() const { return encoder_; }
 
  private:
-  /// Encodes columns < upto and runs the hidden stack; the result lives in
-  /// final_hidden(). With upto == num_columns() this is a full forward.
-  void ForwardTrunk(const IntMatrix& codes, size_t upto);
+  /// Encodes columns < upto and runs the hidden stack into `ctx`; the
+  /// result lives in final_hidden(*ctx). With upto == num_columns() this is
+  /// a full forward. Const: only caller scratch is written.
+  void ForwardTrunk(const IntMatrix& codes, size_t upto,
+                    EvalContext* ctx) const;
 
-  const Matrix& final_hidden() const {
-    return acts_.empty() ? x_ : acts_.back();
+  const Matrix& final_hidden(const EvalContext& ctx) const {
+    return ctx.acts.empty() ? ctx.x : ctx.acts.back();
   }
 
-  /// Computes the raw logits block for `col` from the last ForwardTrunk.
-  /// The block is written into `block` (batch x domains_[col]).
-  void HeadForward(size_t col, Matrix* block);
+  /// Computes the raw logits block for `col` from the last ForwardTrunk
+  /// through `ctx`. The block is written into `block` (batch x
+  /// domains_[col]), which may alias &ctx->block.
+  void HeadForward(size_t col, EvalContext* ctx, Matrix* block) const;
 
   /// Backpropagates a logits-block gradient through head `col`,
-  /// accumulating into dfinal (batch x F).
+  /// accumulating into dfinal (batch x F). Reads the member context's
+  /// forward activations (training is single-threaded by design).
   void HeadBackward(size_t col, const Matrix& dblock, Matrix* dfinal);
 
   /// Builds the MADE mask between two degree vectors.
@@ -108,12 +130,10 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   };
   std::vector<Head> heads_;
 
-  // Workspace (the model is single-threaded by design; batched GEMMs
-  // parallelize internally).
-  Matrix x_;
-  std::vector<Matrix> acts_;
-  Matrix head_tmp_;   // reuse heads' h-dim output
-  Matrix block_;      // current head logits
+  // Member workspace for the single-threaded paths (training, the
+  // stateless ConditionalDist, LogProbRows). Concurrent inference goes
+  // through session-owned EvalContexts instead.
+  EvalContext eval_;
   Matrix dblock_;
   Matrix dtmp_;
   std::vector<int32_t> targets_;

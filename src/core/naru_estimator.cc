@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/enumerator.h"
+#include "serve/inference_engine.h"
 #include "util/string_util.h"
 
 namespace naru {
@@ -15,7 +16,6 @@ NaruEstimator::NaruEstimator(ConditionalModel* model,
       sampler_(model,
                ProgressiveSamplerConfig{
                    .num_samples = config.num_samples,
-                   .max_batch = 512,
                    .seed = config.sampler_seed,
                    .uniform_region = config.uniform_region,
                }),
@@ -23,15 +23,35 @@ NaruEstimator::NaruEstimator(ConditionalModel* model,
       name_(name.empty() ? StrFormat("Naru-%zu", config.num_samples)
                          : std::move(name)) {}
 
+NaruEstimator::~NaruEstimator() = default;
+
+bool NaruEstimator::ShouldEnumerate(const Query& query) const {
+  if (config_.enumeration_threshold == 0) return false;
+  return query.Log10RegionSize() <=
+         std::log10(static_cast<double>(config_.enumeration_threshold));
+}
+
 double NaruEstimator::EstimateSelectivity(const Query& query) {
   if (query.HasEmptyRegion()) return 0.0;
-  if (config_.enumeration_threshold > 0) {
-    const double log10_points = query.Log10RegionSize();
-    if (log10_points <= std::log10(config_.enumeration_threshold)) {
-      return EnumerateSelectivity(model_, query);
-    }
+  if (ShouldEnumerate(query)) {
+    return EnumerateSelectivity(model_, query);
   }
   return sampler_.EstimateSelectivity(query);
+}
+
+void NaruEstimator::InvalidateServingCaches() {
+  // Enter the same call_once as EstimateBatch: a plain null-check here
+  // would race with a concurrent first EstimateBatch constructing engine_.
+  std::call_once(engine_once_,
+                 [this] { engine_ = std::make_unique<InferenceEngine>(); });
+  engine_->ClearCachesFor(model_);
+}
+
+void NaruEstimator::EstimateBatch(const std::vector<Query>& queries,
+                                  std::vector<double>* out) {
+  std::call_once(engine_once_,
+                 [this] { engine_ = std::make_unique<InferenceEngine>(); });
+  engine_->EstimateBatch(this, queries, out);
 }
 
 }  // namespace naru

@@ -1,10 +1,15 @@
 // The end-to-end Naru estimator (§4, §5): a trained autoregressive model
 // queried through progressive sampling, with exact enumeration for small
-// query regions.
+// query regions. Batched estimation is served through an InferenceEngine
+// (src/serve), which shards sample paths across threads and shares
+// workspaces and exact-result caches across the queries of a batch; for a
+// fixed seed the batched results are identical to the sequential ones.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/conditional_model.h"
 #include "core/sampler.h"
@@ -12,12 +17,14 @@
 
 namespace naru {
 
+class InferenceEngine;
+
 struct NaruEstimatorConfig {
   /// Progressive sample paths (names the estimator "Naru-<S>").
   size_t num_samples = 1000;
   /// Regions with at most this many points are answered by exact
   /// enumeration instead of sampling (0 disables enumeration).
-  double enumeration_threshold = 10000;
+  size_t enumeration_threshold = 10000;
   uint64_t sampler_seed = 7;
   /// Use the §5.1 uniform-region strawman (ablation only).
   bool uniform_region = false;
@@ -29,10 +36,31 @@ class NaruEstimator : public Estimator {
  public:
   NaruEstimator(ConditionalModel* model, NaruEstimatorConfig config,
                 size_t model_size_bytes, std::string name = "");
+  ~NaruEstimator() override;
 
   std::string name() const override { return name_; }
   double EstimateSelectivity(const Query& query) override;
+  /// Serves the batch through a lazily created private InferenceEngine
+  /// (defaults: shared global pool, caching on). Construct an engine
+  /// explicitly to control threads or share caches across estimators.
+  void EstimateBatch(const std::vector<Query>& queries,
+                     std::vector<double>* out) override;
   size_t SizeBytes() const override { return model_size_bytes_; }
+
+  /// True when `query`'s region is small enough for exact enumeration
+  /// under this config. Exposed so the serving engine applies exactly the
+  /// same policy as the sequential path.
+  bool ShouldEnumerate(const Query& query) const;
+
+  /// Drops the private serving engine's cached results for this model.
+  /// Call after retraining the wrapped model in place, or EstimateBatch
+  /// would keep serving pre-retrain memo entries while
+  /// EstimateSelectivity reflects the new weights.
+  void InvalidateServingCaches();
+
+  ConditionalModel* model() const { return model_; }
+  const NaruEstimatorConfig& config() const { return config_; }
+  ProgressiveSampler* sampler() { return &sampler_; }
 
  private:
   ConditionalModel* model_;
@@ -40,6 +68,8 @@ class NaruEstimator : public Estimator {
   ProgressiveSampler sampler_;
   size_t model_size_bytes_;
   std::string name_;
+  std::once_flag engine_once_;               // EstimateBatch may race on first use
+  std::unique_ptr<InferenceEngine> engine_;  // lazily built by EstimateBatch
 };
 
 }  // namespace naru

@@ -39,6 +39,9 @@ class OracleModel : public ConditionalModel {
 
   std::unique_ptr<SamplingSession> StartSession(size_t batch) override;
 
+  /// Sessions keep private path-group state and only read the table.
+  bool SupportsConcurrentSampling() const override { return true; }
+
   double smoothing_lambda() const { return lambda_; }
   void set_smoothing_lambda(double lambda) { lambda_ = lambda; }
 

@@ -83,6 +83,9 @@ class OrderedModel : public ConditionalModel, public TrainableModel {
   std::unique_ptr<SamplingSession> StartSession(size_t batch) override {
     return cond_->StartSession(batch);
   }
+  bool SupportsConcurrentSampling() const override {
+    return cond_->SupportsConcurrentSampling();
+  }
 
   /// Accepts TABLE-order tuples (permutes, then delegates).
   void LogProbRows(const IntMatrix& tuples,

@@ -6,23 +6,63 @@
 
 namespace naru {
 
+std::unique_ptr<SamplerWorkspace> SamplerWorkspacePool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      auto ws = std::move(free_.back());
+      free_.pop_back();
+      return ws;
+    }
+    ++created_;
+  }
+  return std::make_unique<SamplerWorkspace>();
+}
+
+void SamplerWorkspacePool::Release(std::unique_ptr<SamplerWorkspace> ws) {
+  if (ws == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+size_t SamplerWorkspacePool::total_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t SamplerWorkspacePool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
 ProgressiveSampler::ProgressiveSampler(ConditionalModel* model,
-                                       ProgressiveSamplerConfig cfg)
-    : model_(model), cfg_(cfg), rng_(cfg.seed) {
+                                       ProgressiveSamplerConfig cfg,
+                                       SamplerWorkspacePool* workspaces)
+    : model_(model),
+      cfg_(cfg),
+      workspaces_(workspaces != nullptr ? workspaces : &own_workspaces_) {
   NARU_CHECK(cfg_.num_samples >= 1);
-  NARU_CHECK(cfg_.max_batch >= 1);
+  NARU_CHECK(cfg_.shard_size >= 1);
+}
+
+uint64_t ProgressiveSampler::ShardSeed(uint64_t seed, size_t shard) {
+  // splitmix64 finalizer over (seed, shard): adjacent shards land in
+  // uncorrelated regions of the xoshiro seed space.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+size_t ProgressiveSampler::NumShards() const {
+  return (cfg_.num_samples + cfg_.shard_size - 1) / cfg_.shard_size;
 }
 
 double ProgressiveSampler::EstimateSelectivity(const Query& query) {
   return EstimateWithStdError(query, nullptr);
 }
 
-double ProgressiveSampler::EstimateWithStdError(const Query& query,
-                                                double* std_error) {
-  NARU_CHECK(query.num_columns() == model_->num_table_columns());
-  if (std_error != nullptr) *std_error = 0.0;
-  if (query.HasEmptyRegion()) return 0.0;
-
+int ProgressiveSampler::LastConstrainedPosition(const Query& query) const {
   // Last constrained *model position* (not table column): permuted models
   // serve table columns out of order and factorized models subdivide them,
   // so the trailing-wildcard early exit must respect the model's own walk
@@ -33,18 +73,118 @@ double ProgressiveSampler::EstimateWithStdError(const Query& query,
       last_col = static_cast<int>(i);
     }
   }
-  if (last_col < 0 && !cfg_.uniform_region) return 1.0;  // all wildcards
+  return last_col;
+}
 
+ProgressiveSampler::Path ProgressiveSampler::Classify(
+    const Query& query) const {
+  if (query.HasEmptyRegion()) return Path::kEmpty;
+  // The uniform-region strawman integrates over the full region and takes
+  // none of the exact shortcuts.
+  if (cfg_.uniform_region) return Path::kSampled;
+  const int last_col = LastConstrainedPosition(query);
+  if (last_col < 0) return Path::kAllWildcard;
+  if (last_col == 0) return Path::kLeadingOnly;
+  return Path::kSampled;
+}
+
+double ProgressiveSampler::EstimateWithStdError(const Query& query,
+                                                double* std_error) {
+  return EstimateWithOptions(query, std_error, RunOptions{});
+}
+
+double ProgressiveSampler::LeadingOnlyMass(const Query& query) {
+  // Position 0 has no prefix, so one 1-row session step yields the exact
+  // contained mass P̂(X_0 ∈ R_0) — identical to what any sample path would
+  // multiply in, with zero Monte Carlo variance.
+  auto session = model_->StartSession(1);
+  IntMatrix dummy(1, model_->num_columns());
+  dummy.Fill(0);
+  Matrix probs;
+  session->Dist(dummy, 0, &probs);
+  NARU_CHECK(probs.rows() == 1 && probs.cols() == model_->DomainSize(0));
+  const double mass =
+      model_->MaskProbsToRegion(query, dummy.Row(0), 0, probs.Row(0));
+  if (!(mass > 0.0) || !std::isfinite(mass)) return 0.0;
+  return std::min(mass, 1.0);
+}
+
+double ProgressiveSampler::EstimateWithOptions(const Query& query,
+                                               double* std_error,
+                                               const RunOptions& options) {
+  const size_t parallelism =
+      options.parallelism != 0 ? options.parallelism : cfg_.parallelism;
+  SamplerWorkspacePool* workspaces =
+      options.workspaces != nullptr ? options.workspaces : workspaces_;
+  NARU_CHECK(query.num_columns() == model_->num_table_columns());
+  if (std_error != nullptr) *std_error = 0.0;
+  switch (Classify(query)) {
+    case Path::kEmpty:
+      return 0.0;
+    case Path::kAllWildcard:
+      return 1.0;
+    case Path::kLeadingOnly:
+      return LeadingOnlyMass(query);
+    case Path::kSampled:
+      break;
+  }
+  const int last_col = LastConstrainedPosition(query);
+
+  const size_t num_shards = NumShards();
+  std::vector<double> shard_w(num_shards, 0.0);
+  std::vector<double> shard_w2(num_shards, 0.0);
+
+  auto run_shard = [&](size_t k) {
+    const size_t lo = k * cfg_.shard_size;
+    const size_t rows = std::min(cfg_.shard_size, cfg_.num_samples - lo);
+    Rng rng(ShardSeed(cfg_.seed, k));
+    WorkspaceLease ws(workspaces);
+    shard_w[k] = cfg_.uniform_region
+                     ? UniformShardWeightSum(query, rows, &rng, ws.get())
+                     : ShardWeightSum(query, rows, last_col, &rng, ws.get(),
+                                      &shard_w2[k]);
+  };
+
+  // The model's kernel-level parallelism (gemm) is suppressed inside shard
+  // execution whenever shard-level parallelism is available, so thread
+  // accounting stays honest: "parallelism 1" on a concurrent-capable model
+  // really runs on one thread.
+  const bool concurrent_ok = model_->SupportsConcurrentSampling();
+  // A caller-established serial region wins over any parallelism setting:
+  // whoever opened it (the serving engine's per-query workers, a bench's
+  // sequential baseline) is accounting threads at a coarser grain.
+  const bool parallel = concurrent_ok && parallelism != 1 &&
+                        num_shards > 1 && !ScopedSerialRegion::Active();
+  if (parallel) {
+    ThreadPool* pool = options.thread_pool != nullptr ? options.thread_pool
+                       : cfg_.thread_pool != nullptr  ? cfg_.thread_pool
+                                                      : GlobalThreadPool();
+    pool->ParallelFor(
+        0, num_shards,
+        [&](size_t lo, size_t hi) {
+          ScopedSerialRegion serial;
+          for (size_t k = lo; k < hi; ++k) run_shard(k);
+        },
+        /*min_chunk=*/1);
+  } else if ((concurrent_ok && num_shards > 1) || parallelism == 1) {
+    // Serial was chosen even though parallelism was available (an explicit
+    // parallelism=1, or a caller's serial region): honest thread
+    // accounting, kernels run inline.
+    ScopedSerialRegion serial;
+    for (size_t k = 0; k < num_shards; ++k) run_shard(k);
+  } else {
+    // No shard parallelism to trade on (a single shard, or a model
+    // without concurrent sessions): keep the kernels' internal pool
+    // parallelism — it is the only parallelism available.
+    for (size_t k = 0; k < num_shards; ++k) run_shard(k);
+  }
+
+  // Reduce in shard order: the sum is independent of execution order.
   double weight_sum = 0;
   double weight_sq_sum = 0;
-  size_t remaining = cfg_.num_samples;
-  while (remaining > 0) {
-    const size_t chunk = std::min(remaining, cfg_.max_batch);
-    weight_sum += cfg_.uniform_region
-                      ? UniformChunkWeightSum(query, chunk)
-                      : ChunkWeightSum(query, chunk, last_col,
-                                       &weight_sq_sum);
-    remaining -= chunk;
+  for (size_t k = 0; k < num_shards; ++k) {
+    weight_sum += shard_w[k];
+    weight_sq_sum += shard_w2[k];
   }
   const double s = static_cast<double>(cfg_.num_samples);
   const double mean = weight_sum / s;
@@ -57,27 +197,28 @@ double ProgressiveSampler::EstimateWithStdError(const Query& query,
   return mean;
 }
 
-double ProgressiveSampler::ChunkWeightSum(const Query& query, size_t chunk,
-                                          int last_col,
+double ProgressiveSampler::ShardWeightSum(const Query& query, size_t rows,
+                                          int last_col, Rng* rng,
+                                          SamplerWorkspace* ws,
                                           double* weight_sq_sum) {
   const size_t n = model_->num_columns();
-  samples_.Resize(chunk, n);
-  samples_.Fill(0);
-  std::vector<double> weights(chunk, 1.0);
-  std::vector<uint8_t> alive(chunk, 1);
+  ws->samples.Resize(rows, n);
+  ws->samples.Fill(0);
+  ws->weights.assign(rows, 1.0);
+  ws->alive.assign(rows, 1);
 
-  auto session = model_->StartSession(chunk);
+  auto session = model_->StartSession(rows);
   for (size_t col = 0; col <= static_cast<size_t>(last_col); ++col) {
     const bool wildcard = model_->PositionIsWildcard(query, col);
-    session->Dist(samples_, col, &probs_);
+    session->Dist(ws->samples, col, &ws->probs);
     const size_t d = model_->DomainSize(col);
-    NARU_CHECK(probs_.rows() == chunk && probs_.cols() == d);
-    for (size_t r = 0; r < chunk; ++r) {
-      float* row = probs_.Row(r);
-      if (!alive[r]) {
+    NARU_CHECK(ws->probs.rows() == rows && ws->probs.cols() == d);
+    for (size_t r = 0; r < rows; ++r) {
+      float* row = ws->probs.Row(r);
+      if (!ws->alive[r]) {
         // Dead paths keep a valid (but irrelevant) prefix so stateful
         // sessions stay well-defined.
-        samples_.At(r, col) = model_->FallbackCode(query, col);
+        ws->samples.At(r, col) = model_->FallbackCode(query, col);
         continue;
       }
       double mass;
@@ -86,59 +227,61 @@ double ProgressiveSampler::ChunkWeightSum(const Query& query, size_t chunk,
       } else {
         // Per-path mask: the model zeroes entries outside the allowed set
         // given this path's sampled prefix (Alg. 1 lines 12-14).
-        mass = model_->MaskProbsToRegion(query, samples_.Row(r), col, row);
+        mass = model_->MaskProbsToRegion(query, ws->samples.Row(r), col, row);
       }
       if (!(mass > 0.0) || !std::isfinite(mass)) {
-        weights[r] = 0.0;
-        alive[r] = 0;
-        samples_.At(r, col) = model_->FallbackCode(query, col);
+        ws->weights[r] = 0.0;
+        ws->alive[r] = 0;
+        ws->samples.At(r, col) = model_->FallbackCode(query, col);
         continue;
       }
-      weights[r] *= std::min(mass, 1.0);
+      ws->weights[r] *= std::min(mass, 1.0);
       // Draw from the truncated, renormalized conditional (the row has
       // been zeroed outside the region; Categorical renormalizes).
-      const size_t v = rng_.Categorical(row, d);
-      samples_.At(r, col) = static_cast<int32_t>(v);
+      const size_t v = rng->Categorical(row, d);
+      ws->samples.At(r, col) = static_cast<int32_t>(v);
     }
   }
 
   double sum = 0;
-  for (double w : weights) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double w = ws->weights[r];
     sum += w;
     *weight_sq_sum += w * w;
   }
   return sum;
 }
 
-double ProgressiveSampler::UniformChunkWeightSum(const Query& query,
-                                                 size_t chunk) {
+double ProgressiveSampler::UniformShardWeightSum(const Query& query,
+                                                 size_t rows, Rng* rng,
+                                                 SamplerWorkspace* ws) {
   // The uniform-region strawman exists only for the §5.1 ablation and is
   // not generalized to factorized position layouts.
   NARU_CHECK(model_->num_columns() == model_->num_table_columns());
   const size_t n = model_->num_columns();
-  samples_.Resize(chunk, n);
-  samples_.Fill(0);
-  std::vector<double> weights(chunk, 1.0);
+  ws->samples.Resize(rows, n);
+  ws->samples.Fill(0);
+  ws->weights.assign(rows, 1.0);
 
   // First materialize uniform draws from the full region R_1 x ... x R_n,
   // then weight each point by |R| · P̂(x) (naive Monte Carlo integration).
-  auto session = model_->StartSession(chunk);
+  auto session = model_->StartSession(rows);
   for (size_t col = 0; col < n; ++col) {
     const ValueSet& region = query.region(model_->TableColumnOf(col));
     const size_t count = region.Count();
     NARU_CHECK(count > 0);
-    session->Dist(samples_, col, &probs_);
-    for (size_t r = 0; r < chunk; ++r) {
-      const int32_t v = region.NthCode(rng_.UniformInt(count));
-      const double p = static_cast<double>(
-          probs_.At(r, static_cast<size_t>(v)));
-      weights[r] *= p * static_cast<double>(count);
-      samples_.At(r, col) = v;
+    session->Dist(ws->samples, col, &ws->probs);
+    for (size_t r = 0; r < rows; ++r) {
+      const int32_t v = region.NthCode(rng->UniformInt(count));
+      const double p =
+          static_cast<double>(ws->probs.At(r, static_cast<size_t>(v)));
+      ws->weights[r] *= p * static_cast<double>(count);
+      ws->samples.At(r, col) = v;
     }
   }
 
   double sum = 0;
-  for (double w : weights) sum += w;
+  for (double w : ws->weights) sum += w;
   return sum;
 }
 

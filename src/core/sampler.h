@@ -11,31 +11,112 @@
 // remaining column is a wildcard the walk stops early (the product of the
 // remaining masses is identically 1, so the early exit is exact).
 //
+// Execution model: the S paths are cut into fixed-size SHARDS. Each shard
+// draws from its own RNG stream derived from (seed, shard index) and walks
+// its paths through a private SamplingSession using a SamplerWorkspace
+// leased from a pool, so shards can run concurrently on a thread pool when
+// the model allows it (ConditionalModel::SupportsConcurrentSampling). The
+// shard layout and the final shard-order reduction are independent of the
+// thread count, so estimates are bit-identical for a fixed seed whether the
+// walk runs on one thread or many.
+//
 // A `uniform_region` mode implements the paper's strawman (§5.1 "first
 // attempt"): sample uniformly from the region and importance-weight by
 // |R| · P̂(x); it collapses on skewed data and exists for the ablation.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <vector>
+
 #include "core/conditional_model.h"
 #include "query/query.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace naru {
+
+/// Reusable per-shard sampling scratch: the sampled-prefix matrix, the
+/// model-probability matrix and the per-path weight/liveness vectors that
+/// used to be private members of ProgressiveSampler.
+struct SamplerWorkspace {
+  IntMatrix samples;
+  Matrix probs;
+  std::vector<double> weights;
+  std::vector<uint8_t> alive;
+};
+
+/// Thread-safe free-list of SamplerWorkspaces. Workspaces keep their
+/// capacity between leases, so steady-state serving performs no allocation;
+/// one pool can back many samplers (the serving engine shares one across
+/// every query of a batch).
+class SamplerWorkspacePool {
+ public:
+  /// Leases a workspace (creating one if the free list is empty). Return it
+  /// with Release — or use the RAII WorkspaceLease below.
+  std::unique_ptr<SamplerWorkspace> Acquire();
+  void Release(std::unique_ptr<SamplerWorkspace> ws);
+
+  /// Total workspaces ever created (tests assert reuse keeps this small).
+  size_t total_created() const;
+  /// Workspaces currently on the free list.
+  size_t available() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SamplerWorkspace>> free_;
+  size_t created_ = 0;
+};
+
+/// RAII lease of a SamplerWorkspace from a pool.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(SamplerWorkspacePool* pool)
+      : pool_(pool), ws_(pool->Acquire()) {}
+  ~WorkspaceLease() { pool_->Release(std::move(ws_)); }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  SamplerWorkspace* get() { return ws_.get(); }
+  SamplerWorkspace* operator->() { return ws_.get(); }
+
+ private:
+  SamplerWorkspacePool* pool_;
+  std::unique_ptr<SamplerWorkspace> ws_;
+};
 
 struct ProgressiveSamplerConfig {
   /// Number of sample paths S (the paper's Naru-1000/2000/4000 suffix).
   size_t num_samples = 1000;
-  /// Paths are processed in chunks of at most this many (bounds memory and
-  /// amortizes model forward passes).
-  size_t max_batch = 512;
+  /// Paths are processed in shards of exactly this many (last shard takes
+  /// the remainder). The shard is the unit of determinism AND of
+  /// parallelism: per-shard RNG streams are derived from (seed, shard), so
+  /// changing the thread count never changes an estimate. It also bounds
+  /// workspace memory and amortizes model forward passes (per-row forward
+  /// cost is flat from 128 rows up, so small shards cost nothing there).
+  /// NOTE: because the shard layout defines the RNG streams, changing
+  /// this value — including its default — changes every estimate for a
+  /// given seed and invalidates any memoized results.
+  size_t shard_size = 128;
   uint64_t seed = 7;
   /// Use the uniform-region strawman instead of progressive sampling.
   bool uniform_region = false;
+  /// Degree of shard parallelism: 1 = serial on the calling thread, any
+  /// other value = spread shards across `thread_pool`. Only consulted when
+  /// the model supports concurrent sampling; results never depend on it.
+  size_t parallelism = 0;
+  /// Pool for shard execution (nullptr = the process-global pool). The
+  /// serving engine injects its own sized pool here.
+  ThreadPool* thread_pool = nullptr;
 };
 
 class ProgressiveSampler {
  public:
-  ProgressiveSampler(ConditionalModel* model, ProgressiveSamplerConfig cfg);
+  /// `workspaces` may be nullptr (the sampler then uses a private pool) or
+  /// a shared pool, e.g. the serving engine's, so concurrent queries reuse
+  /// one set of buffers.
+  ProgressiveSampler(ConditionalModel* model, ProgressiveSamplerConfig cfg,
+                     SamplerWorkspacePool* workspaces = nullptr);
 
   /// Unbiased estimate of the query's selectivity.
   double EstimateSelectivity(const Query& query);
@@ -47,17 +128,64 @@ class ProgressiveSampler {
   /// optimizer can use to decide whether to spend more sample paths.
   double EstimateWithStdError(const Query& query, double* std_error);
 
+  /// Per-call execution overrides for the serving engine. Every field
+  /// affects only WHERE the work runs, never the estimate.
+  struct RunOptions {
+    /// 0 = inherit config; 1 = serial on the calling thread (the engine
+    /// uses this when it already runs one query per worker).
+    size_t parallelism = 0;
+    /// nullptr = inherit config (the engine injects its sized pool).
+    ThreadPool* thread_pool = nullptr;
+    /// nullptr = the sampler's own pool (the engine shares one pool across
+    /// all queries of a batch).
+    SamplerWorkspacePool* workspaces = nullptr;
+  };
+
+  /// As EstimateWithStdError with per-call execution overrides. Estimates
+  /// are identical for any options.
+  double EstimateWithOptions(const Query& query, double* std_error,
+                             const RunOptions& options);
+
+  /// How a query will be answered. The serving engine routes on this so
+  /// its fast paths can never diverge from the sampler's own.
+  enum class Path {
+    kEmpty,        ///< some region empty: exactly 0
+    kAllWildcard,  ///< no constrained position: exactly 1
+    kLeadingOnly,  ///< only position 0 constrained: exact marginal mass
+    kSampled,      ///< full progressive-sampling walk
+  };
+  Path Classify(const Query& query) const;
+
+  /// Exact contained mass of the query's region at model position 0,
+  /// P̂(X_0 ∈ R_0) — the answer when position 0 is the only constrained
+  /// position (the "single leading filter" fast path, no sampling needed).
+  /// Exposed so the serving engine can cache it keyed on the masked region.
+  double LeadingOnlyMass(const Query& query);
+
+  /// Shard count for the configured S (diagnostics/tests).
+  size_t NumShards() const;
+
+  const ProgressiveSamplerConfig& config() const { return cfg_; }
+
  private:
-  double ChunkWeightSum(const Query& query, size_t chunk, int last_col,
+  /// Walks one shard of `rows` paths; returns the shard's weight sum and
+  /// adds squared weights into *weight_sq_sum.
+  double ShardWeightSum(const Query& query, size_t rows, int last_col,
+                        Rng* rng, SamplerWorkspace* ws,
                         double* weight_sq_sum);
-  double UniformChunkWeightSum(const Query& query, size_t chunk);
+  double UniformShardWeightSum(const Query& query, size_t rows, Rng* rng,
+                               SamplerWorkspace* ws);
+
+  /// Independent RNG stream for shard `shard` of a fixed seed.
+  static uint64_t ShardSeed(uint64_t seed, size_t shard);
+
+  /// Last constrained model position of `query`, or -1 if none.
+  int LastConstrainedPosition(const Query& query) const;
 
   ConditionalModel* model_;
   ProgressiveSamplerConfig cfg_;
-  Rng rng_;
-  // Workspace.
-  IntMatrix samples_;
-  Matrix probs_;
+  SamplerWorkspacePool own_workspaces_;
+  SamplerWorkspacePool* workspaces_;  // external or &own_workspaces_
 };
 
 }  // namespace naru

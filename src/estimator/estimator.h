@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "query/query.h"
 
@@ -20,6 +21,20 @@ class Estimator {
 
   /// Estimated fraction of rows satisfying `query`.
   virtual double EstimateSelectivity(const Query& query) = 0;
+
+  /// Estimates a batch of queries, writing one selectivity per query into
+  /// `out` (resized to queries.size()). The default loops over
+  /// EstimateSelectivity; estimators with a cheaper amortized path (Naru's
+  /// serving engine, the multi-order ensemble) override it. For a fixed
+  /// seed the batch results must equal the sequential ones exactly, so
+  /// callers may mix the two paths freely.
+  virtual void EstimateBatch(const std::vector<Query>& queries,
+                             std::vector<double>* out) {
+    out->resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      (*out)[i] = EstimateSelectivity(queries[i]);
+    }
+  }
 
   /// Storage footprint charged against the paper's per-dataset budget.
   virtual size_t SizeBytes() const = 0;

@@ -70,6 +70,18 @@ std::vector<int64_t> ExecuteCounts(const Table& table,
   return out;
 }
 
+std::vector<double> ExecuteSelectivities(const Table& table,
+                                         const std::vector<Query>& queries) {
+  const auto counts = ExecuteCounts(table, queries);
+  std::vector<double> sels(counts.size(), 0.0);
+  if (table.num_rows() == 0) return sels;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    sels[i] = static_cast<double>(counts[i]) /
+              static_cast<double>(table.num_rows());
+  }
+  return sels;
+}
+
 std::vector<uint8_t> ExecuteBitmap(const Table& table, const Query& query,
                                    size_t limit) {
   const auto filters = CompileFilters(query);

@@ -23,6 +23,11 @@ double ExecuteSelectivity(const Table& table, const Query& query);
 std::vector<int64_t> ExecuteCounts(const Table& table,
                                    const std::vector<Query>& queries);
 
+/// Batch selectivities — the ground-truth mirror of
+/// Estimator::EstimateBatch (all zero for an empty table).
+std::vector<double> ExecuteSelectivities(const Table& table,
+                                         const std::vector<Query>& queries);
+
 /// Bitmap of qualifying rows among rows [0, limit) -- used by the MSCN
 /// baseline's materialized-sample featurization.
 std::vector<uint8_t> ExecuteBitmap(const Table& table, const Query& query,

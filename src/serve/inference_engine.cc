@@ -1,0 +1,267 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+
+#include "core/enumerator.h"
+#include "serve/query_key.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+namespace {
+
+// Enumeration runs LogProbRows through the model's shared scratch buffers,
+// so it must be serialized PER MODEL, not per engine: two engines (e.g.
+// two estimators' private engines) may serve one model concurrently. The
+// registry leaks one mutex per model pointer ever enumerated — bounded and
+// harmless (address reuse just shares a mutex).
+std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
+  static std::mutex registry_mu;
+  static auto* registry =
+      new std::unordered_map<const ConditionalModel*,
+                             std::unique_ptr<std::mutex>>();
+  std::lock_guard<std::mutex> lock(registry_mu);
+  auto& slot = (*registry)[model];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(InferenceEngineConfig config)
+    : cfg_(config) {
+  if (cfg_.num_threads > 1) {
+    own_pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+  }
+}
+
+InferenceEngine::~InferenceEngine() = default;
+
+ThreadPool* InferenceEngine::pool() const {
+  if (cfg_.num_threads == 1) return nullptr;
+  if (own_pool_ != nullptr) return own_pool_.get();
+  return GlobalThreadPool();
+}
+
+size_t InferenceEngine::num_threads() const {
+  ThreadPool* p = pool();
+  return p == nullptr ? 1 : p->num_threads();
+}
+
+InferenceEngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InferenceEngine::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.clear();
+  stats_ = InferenceEngineStats{};
+}
+
+void InferenceEngine::ClearCachesFor(const ConditionalModel* model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.erase(model);
+}
+
+void InferenceEngine::EstimateBatch(NaruEstimator* est,
+                                    const std::vector<Query>& queries,
+                                    std::vector<double>* out) {
+  const size_t n = queries.size();
+  out->assign(n, 0.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries += n;
+  }
+  if (n == 0) return;
+
+  // A caller-established serial region wins over the engine's own thread
+  // configuration — the same coarser-grain-wins rule the sampler follows.
+  ThreadPool* p = ScopedSerialRegion::Active() ? nullptr : pool();
+  const bool concurrent = est->model()->SupportsConcurrentSampling();
+
+  // Coalesce duplicates up front: k copies of one uncached query would
+  // otherwise cost k full walks (k workers all miss the memo before any
+  // finishes) — on exactly the repeated-template traces the engine
+  // serves. Coalescing is exact (identical queries get the one
+  // deterministic result), so it stays on even when caching is disabled.
+  std::unordered_map<std::string, size_t> first_index;
+  std::vector<size_t> reps;          // one representative per distinct key
+  std::vector<size_t> dup_of(n, 0);  // representative index per query
+  reps.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = first_index.emplace(QueryKey(queries[i]), i);
+    if (inserted) reps.push_back(i);
+    dup_of[i] = it->second;
+  }
+  const size_t m = reps.size();
+
+  // The schedule is chosen on the COALESCED width: a batch of 64 requests
+  // over 2 distinct templates is 2 queries' worth of work and should shard
+  // each walk across the pool, not park it on 2 of N workers.
+  if (p != nullptr && concurrent && m >= p->num_threads() && m > 1) {
+    // Wide batches: one distinct query per worker, sampler serial within a
+    // query. Queries are independent and every cached value is exact, so
+    // the schedule cannot affect results.
+    p->ParallelFor(
+        0, m,
+        [&](size_t lo, size_t hi) {
+          ScopedSerialRegion serial;
+          for (size_t k = lo; k < hi; ++k) {
+            (*out)[reps[k]] =
+                EstimateOne(est, queries[reps[k]], /*sampler_parallelism=*/1,
+                            /*sampler_pool=*/nullptr);
+          }
+        },
+        /*min_chunk=*/1);
+  } else if (p == nullptr) {
+    // Strictly serial: hold a serial region across the whole batch so the
+    // enumeration and leading-only paths (whose kernels would otherwise
+    // fan out to the global pool) honor the num_threads=1 contract too.
+    ScopedSerialRegion serial;
+    for (size_t k = 0; k < m; ++k) {
+      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]],
+                                    /*sampler_parallelism=*/1,
+                                    /*sampler_pool=*/nullptr);
+    }
+  } else {
+    // Narrow batches (or a non-concurrent model): distinct queries run in
+    // order; each query's sample-path shards use the engine's pool.
+    for (size_t k = 0; k < m; ++k) {
+      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]],
+                                    /*sampler_parallelism=*/0, p);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) (*out)[i] = (*out)[dup_of[i]];
+}
+
+void InferenceEngine::EstimateMixedBatch(
+    const std::vector<NaruEstimator*>& ests, const std::vector<Query>& queries,
+    std::vector<double>* out) {
+  NARU_CHECK(ests.size() == queries.size());
+  out->assign(queries.size(), 0.0);
+
+  // Group query indices by estimator (queries against the same model share
+  // sessions' weights, workspaces, and caches), then serve each group as
+  // one batch.
+  std::vector<NaruEstimator*> order;
+  std::unordered_map<NaruEstimator*, std::vector<size_t>> groups;
+  for (size_t i = 0; i < ests.size(); ++i) {
+    auto& bucket = groups[ests[i]];
+    if (bucket.empty()) order.push_back(ests[i]);
+    bucket.push_back(i);
+  }
+  std::vector<Query> group_queries;
+  std::vector<double> group_out;
+  for (NaruEstimator* est : order) {
+    const auto& idx = groups[est];
+    group_queries.clear();
+    group_queries.reserve(idx.size());
+    for (size_t i : idx) group_queries.push_back(queries[i]);
+    EstimateBatch(est, group_queries, &group_out);
+    for (size_t k = 0; k < idx.size(); ++k) (*out)[idx[k]] = group_out[k];
+  }
+}
+
+double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
+                                    size_t sampler_parallelism,
+                                    ThreadPool* sampler_pool) {
+  ConditionalModel* model = est->model();
+  if (query.HasEmptyRegion()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exact_shortcuts;
+    return 0.0;
+  }
+
+  const bool use_cache = cfg_.enable_cache;
+  std::string memo_key;
+  if (use_cache) {
+    // Sampled estimates depend on the estimator's sampling configuration,
+    // not only on the model — two estimators wrapping one model (e.g.
+    // Naru-1000 and Naru-4000) must never share memo entries. The
+    // leading-mass cache below stays per-model: a masked marginal mass is
+    // exact and config-independent.
+    const NaruEstimatorConfig& cfg = est->config();
+    memo_key = StrFormat("%zu|%zu|%llu|%d|", cfg.num_samples,
+                         cfg.enumeration_threshold,
+                         static_cast<unsigned long long>(cfg.sampler_seed),
+                         cfg.uniform_region ? 1 : 0);
+    memo_key += QueryKey(query);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto& memo = caches_[model].result_memo;
+    const auto it = memo.find(memo_key);
+    if (it != memo.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+  }
+
+  double result;
+  if (est->ShouldEnumerate(query)) {
+    // Serialized per model (see EnumerationMutexFor); sampling queries
+    // keep flowing meanwhile.
+    {
+      std::lock_guard<std::mutex> lock(EnumerationMutexFor(model));
+      result = EnumerateSelectivity(model, query);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.enumerated;
+  } else {
+    // Route on the sampler's own path classification so the engine's fast
+    // paths can never diverge from (and therefore always bit-match) the
+    // sequential ProgressiveSampler::EstimateWithStdError.
+    const ProgressiveSampler::Path path = est->sampler()->Classify(query);
+    if (path == ProgressiveSampler::Path::kAllWildcard) {
+      result = 1.0;  // every position wildcard: the walk would exit at once
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.exact_shortcuts;
+    } else if (path == ProgressiveSampler::Path::kLeadingOnly) {
+      // P̂(X_0 ∈ R_0) depends only on the masked region, so repeated
+      // predicate prefixes skip the forward pass entirely.
+      const std::string region_key =
+          RegionKey(query.region(model->TableColumnOf(0)));
+      bool hit = false;
+      if (use_cache) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto& masses = caches_[model].leading_mass;
+        const auto it = masses.find(region_key);
+        if (it != masses.end()) {
+          result = it->second;
+          hit = true;
+          ++stats_.marginal_hits;
+          ++stats_.exact_shortcuts;
+        }
+      }
+      if (!hit) {
+        result = est->sampler()->LeadingOnlyMass(query);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.exact_shortcuts;
+        if (use_cache) {
+          auto& masses = caches_[model].leading_mass;
+          if (masses.size() < cfg_.cache_capacity) {
+            masses.emplace(region_key, result);
+          }
+        }
+      }
+    } else {
+      ProgressiveSampler::RunOptions options;
+      options.parallelism = sampler_parallelism;
+      options.thread_pool = sampler_pool;
+      options.workspaces = &workspaces_;
+      result = est->sampler()->EstimateWithOptions(query, nullptr, options);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.sampled;
+    }
+  }
+
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& memo = caches_[model].result_memo;
+    if (memo.size() < cfg_.cache_capacity) {
+      memo.emplace(memo_key, result);
+    }
+  }
+  return result;
+}
+
+}  // namespace naru

@@ -1,0 +1,120 @@
+// Batched, thread-parallel serving for Naru estimators.
+//
+// The sequential path (NaruEstimator::EstimateSelectivity) answers one
+// query at a time; this engine serves *batches*: queries against the same
+// ConditionalModel share one SamplerWorkspace pool, an exact-result cache,
+// and a thread pool that either spreads whole queries across workers (large
+// batches) or shards one query's sample paths (small batches). Everything
+// the engine caches is exact and deterministic — empty regions, trailing-
+// wildcard early exits, masked first-column marginal masses keyed on the
+// masked region, and full-query memo entries — so for a fixed sampler seed
+// a batched estimate is bit-identical to the sequential one, regardless of
+// batch size or thread count.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/naru_estimator.h"
+#include "core/sampler.h"
+#include "util/thread_pool.h"
+
+namespace naru {
+
+struct InferenceEngineConfig {
+  /// Compute threads: 0 = share the process-global pool, 1 = strictly
+  /// serial on the calling thread, n > 1 = a dedicated pool of n workers.
+  /// Only binding for models with SupportsConcurrentSampling(): other
+  /// models fall back to their kernels' internal parallelism, which runs
+  /// on the process-global pool regardless of this setting (it is the
+  /// only parallelism they have).
+  size_t num_threads = 0;
+  /// Cache exact results (memo + first-column marginal masses). Hits can
+  /// never change an estimate, only skip redundant forward passes.
+  bool enable_cache = true;
+  /// Per-model bound on cached entries (memo and marginal maps each);
+  /// inserts stop at capacity.
+  size_t cache_capacity = 8192;
+};
+
+/// Serving counters (cumulative since construction / ClearCaches).
+struct InferenceEngineStats {
+  size_t queries = 0;
+  size_t memo_hits = 0;          ///< full-query cache hits
+  size_t marginal_hits = 0;      ///< first-column marginal-mass cache hits
+  size_t exact_shortcuts = 0;    ///< empty / all-wildcard / leading-only
+  size_t enumerated = 0;
+  size_t sampled = 0;            ///< full progressive-sampling walks
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(InferenceEngineConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Estimates all queries against `est`, one selectivity per query in
+  /// *out. Thread-safe with respect to the engine's own state; do not call
+  /// concurrently for estimators sharing a model that does not support
+  /// concurrent sampling.
+  void EstimateBatch(NaruEstimator* est, const std::vector<Query>& queries,
+                     std::vector<double>* out);
+
+  /// Groups a mixed batch by estimator and serves each group batched:
+  /// `ests` and `queries` are parallel arrays of equal length, and
+  /// (*out)[i] is ests[i]'s estimate for queries[i].
+  void EstimateMixedBatch(const std::vector<NaruEstimator*>& ests,
+                          const std::vector<Query>& queries,
+                          std::vector<double>* out);
+
+  InferenceEngineStats stats() const;
+  void ClearCaches();
+
+  /// Drops all cached entries for one model. Call when a model the engine
+  /// has served is destroyed or retrained while the engine lives — cache
+  /// keys are model addresses, so a replacement model allocated at the
+  /// same address would otherwise hit the old model's exact-result
+  /// entries.
+  void ClearCachesFor(const ConditionalModel* model);
+
+  /// Effective worker count (1 when serial, pool width otherwise).
+  size_t num_threads() const;
+
+  SamplerWorkspacePool* workspace_pool() { return &workspaces_; }
+
+ private:
+  struct ModelCache {
+    /// Keys embed the estimator's sampling config in addition to the query
+    /// regions: estimators wrapping the same model with different path
+    /// counts/seeds must not share entries.
+    std::unordered_map<std::string, double> result_memo;
+    /// Keyed on the masked region only — marginal masses are exact and
+    /// config-independent.
+    std::unordered_map<std::string, double> leading_mass;
+  };
+
+  /// One query, mirroring NaruEstimator::EstimateSelectivity exactly:
+  /// empty region, enumeration policy, trailing-wildcard exit, leading-only
+  /// marginal, then the sharded sampler with `sampler_parallelism` on
+  /// `sampler_pool` (nullptr = the sampler's configured pool).
+  double EstimateOne(NaruEstimator* est, const Query& query,
+                     size_t sampler_parallelism, ThreadPool* sampler_pool);
+
+  /// nullptr when the engine is strictly serial.
+  ThreadPool* pool() const;
+
+  InferenceEngineConfig cfg_;
+  std::unique_ptr<ThreadPool> own_pool_;
+  SamplerWorkspacePool workspaces_;
+
+  mutable std::mutex mu_;  // caches + stats
+  std::unordered_map<const ConditionalModel*, ModelCache> caches_;
+  InferenceEngineStats stats_;
+};
+
+}  // namespace naru

@@ -1,5 +1,7 @@
 #include "util/env_config.h"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace naru {
@@ -26,6 +28,35 @@ std::string GetEnvString(const std::string& name, const std::string& def) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr) return def;
   return v;
+}
+
+bool ApplyFlagOverrides(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      std::fprintf(stderr, "unrecognized argument '%s' (expected --flag)\n",
+                   arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "1";
+    }
+    std::string name = "NARU_";
+    for (char c : arg) {
+      name += (c == '-') ? '_' : static_cast<char>(std::toupper(
+                                     static_cast<unsigned char>(c)));
+    }
+    ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+  }
+  return true;
 }
 
 }  // namespace naru

@@ -18,4 +18,13 @@ double GetEnvDouble(const std::string& name, double def);
 /// Returns the string value of env var `name`, or `def` when unset.
 std::string GetEnvString(const std::string& name, const std::string& def);
 
+/// Maps command-line flags onto the NARU_* environment knobs so benches and
+/// examples share one configuration surface: `--threads 4` / `--threads=4`
+/// sets NARU_THREADS=4 (dashes become underscores, names are upper-cased),
+/// after which the GetEnv* accessors above observe the override. A bare
+/// trailing flag sets the variable to "1". Returns false (after printing to
+/// stderr) on a malformed argument list; unknown flags are accepted — every
+/// NARU_* knob is reachable this way.
+bool ApplyFlagOverrides(int argc, char** argv);
+
 }  // namespace naru

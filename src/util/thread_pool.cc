@@ -117,9 +117,21 @@ ThreadPool* GlobalThreadPool() {
   return pool;
 }
 
+namespace {
+thread_local int serial_region_depth = 0;
+}  // namespace
+
+ScopedSerialRegion::ScopedSerialRegion() { ++serial_region_depth; }
+ScopedSerialRegion::~ScopedSerialRegion() { --serial_region_depth; }
+bool ScopedSerialRegion::Active() { return serial_region_depth > 0; }
+
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk) {
+  if (ScopedSerialRegion::Active()) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
   GlobalThreadPool()->ParallelFor(begin, end, fn, min_chunk);
 }
 

@@ -49,9 +49,27 @@ class ThreadPool {
 /// Lazily constructed, never destroyed before exit.
 ThreadPool* GlobalThreadPool();
 
-/// Convenience wrapper over GlobalThreadPool()->ParallelFor.
+/// Convenience wrapper over GlobalThreadPool()->ParallelFor. Runs inline on
+/// the calling thread while a ScopedSerialRegion is active (see below).
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk = 1);
+
+/// While alive, the free-function ParallelFor runs its body inline on the
+/// calling thread instead of fanning out to the global pool. Used by code
+/// that manages parallelism at a coarser grain (the sharded progressive
+/// sampler, the serving engine's per-query workers) so the fine-grained
+/// kernel parallelism in gemm/ops does not oversubscribe the pool — and so
+/// a "1 thread" serving configuration really uses one thread. Nesting-safe;
+/// the flag is per-thread.
+class ScopedSerialRegion {
+ public:
+  ScopedSerialRegion();
+  ~ScopedSerialRegion();
+  NARU_DISALLOW_COPY_AND_ASSIGN(ScopedSerialRegion);
+
+  /// True when the calling thread is inside a ScopedSerialRegion.
+  static bool Active();
+};
 
 }  // namespace naru

@@ -131,7 +131,7 @@ TEST_F(TrainedNaruTest, EnumerationAutoFallback) {
   // still produce a sane answer.
   NaruEstimatorConfig ncfg;
   ncfg.num_samples = 100;
-  ncfg.enumeration_threshold = 1e7;
+  ncfg.enumeration_threshold = 10000000;
   NaruEstimator nar(model_, ncfg, model_->SizeBytes());
   std::vector<Predicate> preds;
   for (size_t c = 0; c < table_->num_columns(); ++c) {

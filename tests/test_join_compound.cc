@@ -141,7 +141,7 @@ TEST(Compound, InclusionExclusionExactWithOracleEstimator) {
   NaruEstimatorConfig ncfg;
   ncfg.num_samples = 4000;
   // Enumerate exactly for small regions so terms are near-exact.
-  ncfg.enumeration_threshold = 1e5;
+  ncfg.enumeration_threshold = 100000;
   NaruEstimator est(&oracle, ncfg, 0);
 
   Query q1(t, {Predicate{0, CompareOp::kLe, 3, 0, {}}});

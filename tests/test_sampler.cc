@@ -116,7 +116,7 @@ TEST(Sampler, TrailingWildcardsNeedNoModelCalls) {
   Query q(t, {p});
   ProgressiveSamplerConfig scfg;
   scfg.num_samples = 64;
-  scfg.max_batch = 64;
+  scfg.shard_size = 64;
   ProgressiveSampler sampler(&model, scfg);
   const double est = sampler.EstimateSelectivity(q);
   EXPECT_NEAR(est, 1.0 / 3.0, 1e-6);

@@ -1,0 +1,327 @@
+// Tests for the batched serving path (src/serve): EstimateBatch must be a
+// pure execution-strategy change — bit-identical to the sequential
+// per-query path for a fixed seed, invariant to thread count and batch
+// size, and free of cross-query state leaks through the shared workspace
+// pool and caches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "core/made.h"
+#include "core/naru_estimator.h"
+#include "core/oracle_model.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "query/workload.h"
+#include "serve/inference_engine.h"
+#include "serve/query_key.h"
+
+namespace naru {
+namespace {
+
+Table SmallTable(uint64_t seed) {
+  return MakeRandomTable(600, {7, 5, 9, 4, 6}, seed, /*skew=*/1.0);
+}
+
+std::unique_ptr<MadeModel> SmallTrainedModel(const Table& table,
+                                             uint64_t seed) {
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {24, 24};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.seed = seed;
+  auto model = std::make_unique<MadeModel>(
+      std::vector<size_t>{7, 5, 9, 4, 6}, cfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 128;
+  Trainer(model.get(), tcfg).Train(table);
+  return model;
+}
+
+// A serving workload exercising every engine path: sampled walks,
+// trailing-wildcard exits, leading-only marginals, empty regions and
+// duplicates.
+std::vector<Query> ServingQueries(const Table& table, uint64_t seed) {
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 24;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 5;
+  wcfg.seed = seed;
+  std::vector<Query> queries = GenerateWorkload(table, wcfg);
+  const size_t n = table.num_columns();
+  std::vector<ValueSet> all;
+  for (size_t c = 0; c < n; ++c) {
+    all.push_back(ValueSet::All(table.column(c).DomainSize()));
+  }
+  queries.emplace_back(all);  // all wildcards
+  auto lead = all;
+  lead[0] = ValueSet::Interval(table.column(0).DomainSize(), 1, 3);
+  queries.emplace_back(lead);  // single leading filter
+  auto lead2 = all;
+  lead2[0] = ValueSet::Interval(table.column(0).DomainSize(), 1, 3);
+  queries.emplace_back(lead2);  // duplicate of the leading-only query
+  auto empty = all;
+  empty[2] = ValueSet::Empty(table.column(2).DomainSize());
+  queries.emplace_back(empty);  // empty region
+  queries.push_back(queries[0]);  // duplicate of a sampled query
+  return queries;
+}
+
+TEST(QueryKey, DistinguishesRegionsExactly) {
+  EXPECT_EQ(RegionKey(ValueSet::All(10)), RegionKey(ValueSet::All(12)));
+  EXPECT_EQ(RegionKey(ValueSet::Interval(10, 2, 5)),
+            RegionKey(ValueSet::Interval(10, 2, 5)));
+  EXPECT_NE(RegionKey(ValueSet::Interval(10, 2, 5)),
+            RegionKey(ValueSet::Interval(10, 2, 6)));
+  EXPECT_NE(RegionKey(ValueSet::Set(10, {2, 3})),
+            RegionKey(ValueSet::Set(10, {2, 4})));
+  EXPECT_NE(RegionKey(ValueSet::Interval(10, 2, 3)),
+            RegionKey(ValueSet::Set(10, {2, 3})));
+
+  Query a({ValueSet::Interval(10, 2, 5), ValueSet::All(4)});
+  Query b({ValueSet::Interval(10, 2, 5), ValueSet::All(4)});
+  Query c({ValueSet::Interval(10, 2, 4), ValueSet::All(4)});
+  EXPECT_EQ(QueryKey(a), QueryKey(b));
+  EXPECT_NE(QueryKey(a), QueryKey(c));
+}
+
+TEST(InferenceEngine, BatchMatchesSequentialBitForBit) {
+  Table table = SmallTable(3);
+  auto model = SmallTrainedModel(table, 3);
+  const auto queries = ServingQueries(table, 31);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 50;  // exercise the enumeration path too
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<double> sequential;
+  for (const auto& q : queries) {
+    sequential.push_back(est.EstimateSelectivity(q));
+  }
+
+  // Through an explicit engine...
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 3});
+  std::vector<double> batched;
+  engine.EstimateBatch(&est, queries, &batched);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(batched[i], sequential[i]) << "query " << i;
+  }
+
+  // ...and through the estimator's own EstimateBatch override.
+  std::vector<double> via_estimator;
+  est.EstimateBatch(queries, &via_estimator);
+  EXPECT_EQ(via_estimator, sequential);
+
+  // The default Estimator::EstimateBatch loop agrees as well.
+  std::vector<double> via_base;
+  est.Estimator::EstimateBatch(queries, &via_base);
+  EXPECT_EQ(via_base, sequential);
+}
+
+TEST(InferenceEngine, ThreadCountInvariance) {
+  Table table = SmallTable(5);
+  auto model = SmallTrainedModel(table, 5);
+  const auto queries = ServingQueries(table, 57);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 300;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<std::vector<double>> results;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    InferenceEngine engine(InferenceEngineConfig{.num_threads = threads});
+    std::vector<double> out;
+    engine.EstimateBatch(&est, queries, &out);
+    results.push_back(std::move(out));
+  }
+  for (size_t k = 1; k < results.size(); ++k) {
+    EXPECT_EQ(results[k], results[0]) << "thread config " << k;
+  }
+}
+
+TEST(InferenceEngine, WorkspaceReuseDoesNotLeakAcrossBatches) {
+  Table table = SmallTable(7);
+  auto model = SmallTrainedModel(table, 7);
+  const auto queries = ServingQueries(table, 91);
+  const std::vector<Query> batch_a(queries.begin(), queries.begin() + 10);
+  const std::vector<Query> batch_b(queries.begin() + 10, queries.end());
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  // Caching off: a repeated batch must be recomputed through the reused
+  // workspaces and still match a fresh estimator exactly.
+  InferenceEngineConfig ecfg;
+  ecfg.num_threads = 2;
+  ecfg.enable_cache = false;
+  InferenceEngine engine(ecfg);
+
+  std::vector<double> first_a, b_out, second_a;
+  engine.EstimateBatch(&est, batch_a, &first_a);
+  engine.EstimateBatch(&est, batch_b, &b_out);
+  engine.EstimateBatch(&est, batch_a, &second_a);
+  EXPECT_EQ(second_a, first_a);
+
+  NaruEstimator fresh(model.get(), ncfg, 0);
+  std::vector<double> fresh_a;
+  for (const auto& q : batch_a) fresh_a.push_back(fresh.EstimateSelectivity(q));
+  EXPECT_EQ(second_a, fresh_a);
+
+  // The pool recycles buffers instead of growing per batch: three batches
+  // may never need more workspaces than the engine has runners.
+  EXPECT_LE(engine.workspace_pool()->total_created(),
+            engine.num_threads() + 1);
+  EXPECT_EQ(engine.workspace_pool()->available(),
+            engine.workspace_pool()->total_created());
+}
+
+TEST(InferenceEngine, CacheHitsAreExactAndCounted) {
+  Table table = SmallTable(11);
+  auto model = SmallTrainedModel(table, 11);
+  const auto queries = ServingQueries(table, 13);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 1});
+  std::vector<double> first, second;
+  engine.EstimateBatch(&est, queries, &first);
+  const auto cold = engine.stats();
+  engine.EstimateBatch(&est, queries, &second);
+  const auto warm = engine.stats();
+
+  EXPECT_EQ(second, first);
+  // In-batch duplicates are coalesced before dispatch, so the cold pass
+  // computes each distinct query exactly once without touching the memo;
+  // the workload's 29 queries contain 2 handcrafted duplicates.
+  EXPECT_EQ(cold.memo_hits, 0u);
+  EXPECT_LE(cold.sampled + cold.exact_shortcuts + cold.enumerated,
+            queries.size() - 2);
+  // The warm pass (coalesced again) memo-hits every distinct query the
+  // cold pass computed, except the empty-region one, which short-circuits
+  // before the cache is even consulted — on both passes.
+  EXPECT_EQ(warm.memo_hits - cold.memo_hits,
+            cold.sampled + cold.exact_shortcuts + cold.enumerated - 1);
+  EXPECT_EQ(warm.exact_shortcuts - cold.exact_shortcuts, 1u);
+  EXPECT_EQ(warm.sampled, cold.sampled);
+}
+
+TEST(InferenceEngine, MixedBatchGroupsByEstimator) {
+  Table table = SmallTable(17);
+  auto model_a = SmallTrainedModel(table, 17);
+  auto model_b = SmallTrainedModel(table, 18);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est_a(model_a.get(), ncfg, 0, "A");
+  NaruEstimator est_b(model_b.get(), ncfg, 0, "B");
+
+  const auto queries = ServingQueries(table, 23);
+  std::vector<NaruEstimator*> ests;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ests.push_back(i % 2 == 0 ? &est_a : &est_b);
+  }
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 2});
+  std::vector<double> mixed;
+  engine.EstimateMixedBatch(ests, queries, &mixed);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(mixed[i], ests[i]->EstimateSelectivity(queries[i]))
+        << "query " << i;
+  }
+}
+
+TEST(InferenceEngine, EstimatorsSharingOneModelDoNotShareMemoEntries) {
+  Table table = SmallTable(19);
+  auto model = SmallTrainedModel(table, 19);
+
+  NaruEstimatorConfig small_cfg;
+  small_cfg.num_samples = 100;
+  small_cfg.enumeration_threshold = 0;
+  NaruEstimatorConfig big_cfg = small_cfg;
+  big_cfg.num_samples = 800;
+  NaruEstimator small_est(model.get(), small_cfg, 0, "Naru-100");
+  NaruEstimator big_est(model.get(), big_cfg, 0, "Naru-800");
+
+  const auto queries = ServingQueries(table, 47);
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 2});
+  std::vector<double> small_out, big_out;
+  engine.EstimateBatch(&small_est, queries, &small_out);
+  engine.EstimateBatch(&big_est, queries, &big_out);
+
+  // The second batch must not inherit the first estimator's memoized
+  // sampled values — it uses a different path count over the same model.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(big_out[i], big_est.EstimateSelectivity(queries[i]))
+        << "query " << i;
+  }
+
+  // The marginal-mass cache, by contrast, IS config-independent and shared
+  // across the two estimators: the workload's leading-only query misses
+  // big_est's memo (different key) but hits the mass small_est cached.
+  EXPECT_GE(engine.stats().marginal_hits, 1u);
+}
+
+TEST(InferenceEngine, OracleModelServesConcurrently) {
+  Table table = SmallTable(29);
+  OracleModel oracle(&table);
+  ASSERT_TRUE(oracle.SupportsConcurrentSampling());
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(&oracle, ncfg, 0, "Oracle");
+
+  const auto queries = ServingQueries(table, 37);
+  std::vector<double> sequential;
+  for (const auto& q : queries) {
+    sequential.push_back(est.EstimateSelectivity(q));
+  }
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 4});
+  std::vector<double> batched;
+  engine.EstimateBatch(&est, queries, &batched);
+  EXPECT_EQ(batched, sequential);
+}
+
+TEST(MultiOrderEnsemble, BatchMatchesSequential) {
+  Table table = MakeRandomTable(400, {6, 5, 4}, 41, /*skew=*/1.0);
+  MultiOrderConfig cfg;
+  cfg.num_orders = 2;
+  cfg.model.hidden_sizes = {16, 16};
+  cfg.model.encoder.onehot_threshold = 16;
+  cfg.model.seed = 41;
+  cfg.trainer.epochs = 2;
+  cfg.trainer.batch_size = 128;
+  cfg.estimator.num_samples = 150;
+  cfg.estimator.enumeration_threshold = 0;
+  MultiOrderEnsemble ensemble(table, cfg);
+
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 8;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 3;
+  wcfg.seed = 43;
+  const auto queries = GenerateWorkload(table, wcfg);
+
+  std::vector<double> sequential;
+  for (const auto& q : queries) {
+    sequential.push_back(ensemble.EstimateSelectivity(q));
+  }
+  std::vector<double> batched;
+  ensemble.EstimateBatch(queries, &batched);
+  EXPECT_EQ(batched, sequential);
+}
+
+}  // namespace
+}  // namespace naru
