@@ -12,6 +12,16 @@
 //   NARU_THREADS         serving threads (0 = global pool) (default 0)
 //   NARU_BATCH           EstimateBatch size (0 = per-bench default/grid)
 //
+// Serving benches add (see docs/SERVING.md for the full knob reference):
+//   NARU_SERVE_REQUESTS  trace length
+//   NARU_SERVE_UNIQUE    distinct query templates in the pool
+//   NARU_SERVE_SAMPLES   progressive sample paths per query
+//   NARU_SERVE_QPS       open-loop arrival rate (bench_serving_async)
+//   NARU_MAX_BATCH       async micro-batch flush size
+//   NARU_MAX_WAIT_MS     async micro-batch flush deadline
+//   NARU_CACHE_BUDGET_MB per-model exact-result cache budget
+//   NARU_SMOKE           CI preset: tiny model, no arrival sleeps
+//
 // Every knob is also reachable as a command-line flag through
 // InitBench(argc, argv): `--threads 4` sets NARU_THREADS=4, `--queries=200`
 // sets NARU_QUERIES=200, and so on (see util/env_config.h).

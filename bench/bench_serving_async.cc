@@ -1,0 +1,204 @@
+// Async serving latency: Submit()-based streaming vs the blocking path,
+// under OPEN-LOOP load.
+//
+// bench_serving_throughput measures closed-loop throughput (the next batch
+// waits for the previous one); real servers face open-loop arrivals — a
+// Poisson process that does not slow down when the server falls behind, so
+// queueing delay shows up in the latency a client observes. This bench
+// replays one such trace two ways:
+//
+//   blocking   sleep to each arrival, then answer that single query with a
+//              blocking EstimateBatch before reading the next — request
+//              arrival and sampling never overlap, so any service backlog
+//              is paid as queueing delay;
+//   async      sleep to each arrival, Submit() to the AsyncEngine, move
+//              on — the dispatcher coalesces adaptive micro-batches
+//              (flush on max-batch or the max-wait deadline) while later
+//              requests keep arriving.
+//
+// Latency is measured against the SCHEDULED arrival (completion − arrival),
+// so it includes queueing delay. Every configuration must produce estimates
+// bit-identical to the sequential per-query path (checked; nonzero exit on
+// mismatch) — the grid trades latency against batching, never accuracy.
+//
+// Knobs (env or flags, see bench_common.h):
+//   --threads N         engine threads                  (default 4, smoke 2)
+//   --serve-requests N  trace length                    (default 256)
+//   --serve-unique N    distinct query templates        (default 64)
+//   --serve-samples N   sample paths per query          (default 256)
+//   --serve-qps X       open-loop arrival rate; 0 = all arrive at t=0
+//                       (default 200, smoke 0)
+//   --max-batch N       async flush size                (default 32)
+//   --max-wait-ms X     restrict the deadline grid to {X} (default 0/2/8)
+//   --smoke             CI preset: tiny model, no arrival sleeps
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/async_engine.h"
+#include "util/string_util.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::duration MsToDuration(double ms) {
+  return std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+void PrintRow(const char* mode, double wait_ms, double achieved_qps,
+              const QuantileSketch& latency_ms, size_t batches,
+              size_t largest) {
+  std::printf("%10s %9s %9.1f %8.2f %8.2f %8.2f %8.2f %8zu %8zu\n", mode,
+              wait_ms < 0 ? "-" : StrFormat("%.1f", wait_ms).c_str(),
+              achieved_qps, latency_ms.Quantile(0.5), latency_ms.Quantile(0.9),
+              latency_ms.Quantile(0.99), latency_ms.Max(), batches, largest);
+}
+
+int Run() {
+  const BenchEnv env = GetBenchEnv();
+  const bool smoke = GetEnvBool("NARU_SMOKE", false);
+  const size_t rows = std::min<size_t>(env.dmv_rows, smoke ? 4000 : 20000);
+  const size_t epochs = std::min<size_t>(env.epochs, smoke ? 1 : 3);
+  const size_t num_requests = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_REQUESTS", smoke ? 64 : 256), 1, 1 << 22));
+  const size_t num_unique = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_UNIQUE", smoke ? 24 : 64), 1, 1 << 22));
+  const size_t num_samples = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_SAMPLES", smoke ? 128 : 256), 1, 1 << 20));
+  const double qps =
+      std::max(GetEnvDouble("NARU_SERVE_QPS", smoke ? 0.0 : 200.0), 0.0);
+  const size_t threads = env.threads > 0 ? env.threads : (smoke ? 2 : 4);
+  const size_t max_batch = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_MAX_BATCH", 32), 1, 1 << 20));
+  std::vector<double> wait_grid = {0.0, 2.0, 8.0};
+  const double wait_override = GetEnvDouble("NARU_MAX_WAIT_MS", -1.0);
+  if (wait_override >= 0) wait_grid = {wait_override};
+  if (smoke && wait_override < 0) wait_grid = {1.0};
+
+  PrintBanner("Async serving latency: open-loop Submit vs blocking",
+              StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu "
+                        "qps=%.0f threads=%zu max_batch=%zu",
+                        rows, num_requests, num_unique, num_samples, qps,
+                        threads, max_batch));
+
+  Table table = MakeDmvLike(rows, env.seed);
+  auto model = TrainModel(table, DmvModelConfig(env.seed + 5), epochs,
+                          "Naru(async)");
+
+  WorkloadConfig wcfg;
+  wcfg.num_queries = num_unique;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 8;
+  wcfg.seed = env.seed + 17;
+  const std::vector<Query> pool = GenerateWorkload(table, wcfg);
+  const std::vector<OpenLoopRequest> trace =
+      GenerateOpenLoopTrace(num_requests, qps, pool.size(), env.seed + 29);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = num_samples;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, model->SizeBytes());
+
+  // The bit-identity reference: the sequential per-query path.
+  std::vector<double> reference(pool.size());
+  {
+    ScopedSerialRegion serial;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      reference[i] = est.EstimateSelectivity(pool[i]);
+    }
+  }
+
+  std::printf("\n%10s %9s %9s %8s %8s %8s %8s %8s %8s\n", "mode", "wait_ms",
+              "qps", "p50_ms", "p90_ms", "p99_ms", "max_ms", "batches",
+              "largest");
+
+  bool all_identical = true;
+
+  // ---- Blocking baseline: arrival and sampling never overlap. ----
+  {
+    InferenceEngineConfig ecfg;
+    ecfg.num_threads = threads;
+    InferenceEngine engine(ecfg);
+    QuantileSketch latency_ms;
+    std::vector<Query> one;
+    std::vector<double> out;
+    const auto start = SteadyClock::now();
+    for (const OpenLoopRequest& req : trace) {
+      const auto scheduled = start + MsToDuration(req.arrival_ms);
+      std::this_thread::sleep_until(scheduled);
+      one.assign(1, pool[req.pool_index]);
+      engine.EstimateBatch(&est, one, &out);
+      if (out[0] != reference[req.pool_index]) all_identical = false;
+      const std::chrono::duration<double, std::milli> lat =
+          SteadyClock::now() - scheduled;
+      latency_ms.Add(lat.count());
+    }
+    const std::chrono::duration<double> total = SteadyClock::now() - start;
+    PrintRow("blocking", -1.0,
+             total.count() > 0 ? num_requests / total.count() : 0.0,
+             latency_ms, num_requests, 1);
+  }
+
+  // ---- Async grid: one max-wait deadline per row. ----
+  for (const double wait_ms : wait_grid) {
+    AsyncEngineConfig acfg;
+    acfg.max_batch_size = max_batch;
+    acfg.max_wait_ms = wait_ms;
+    acfg.engine.num_threads = threads;
+    AsyncEngine engine(acfg);
+
+    std::vector<double> latencies(trace.size(), 0.0);
+    std::vector<std::future<double>> futures;
+    futures.reserve(trace.size());
+    const auto start = SteadyClock::now();
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const auto scheduled = start + MsToDuration(trace[i].arrival_ms);
+      std::this_thread::sleep_until(scheduled);
+      futures.push_back(engine.Submit(
+          &est, pool[trace[i].pool_index],
+          // Runs on the dispatcher thread right before the future
+          // resolves; the later future.get() sequences the write.
+          [&latencies, i, scheduled](double) {
+            const std::chrono::duration<double, std::milli> lat =
+                SteadyClock::now() - scheduled;
+            latencies[i] = lat.count();
+          }));
+    }
+    engine.Drain();
+    const std::chrono::duration<double> total = SteadyClock::now() - start;
+
+    QuantileSketch latency_ms;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (futures[i].get() != reference[trace[i].pool_index]) {
+        all_identical = false;
+      }
+      latency_ms.Add(latencies[i]);
+    }
+    const auto astats = engine.async_stats();
+    PrintRow("async", wait_ms,
+             total.count() > 0 ? num_requests / total.count() : 0.0,
+             latency_ms, astats.batches, astats.largest_batch);
+  }
+
+  std::printf("\nestimates bit-identical across all configurations: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main(int argc, char** argv) {
+  naru::bench::InitBench(argc, argv);
+  return naru::bench::Run();
+}

@@ -13,13 +13,39 @@
 //   naru_cli truth <data.csv> "<predicates>"
 //       Exact answer by scanning (for comparison).
 //
-//   naru_cli serve <data.csv> <model.bundle> <queries.txt> [threads]
-//       Serves a whole file of conjunctions (one per line) through the
-//       batched InferenceEngine and prints one selectivity per line.
+//   naru_cli serve <data.csv> <model.bundle> <queries.txt|-> [threads]
+//       Serves conjunctions (one per line; `-` reads stdin) through the
+//       serving engine and prints one result line per query.
+//
+//       Default mode reads the whole input and answers it as one blocking
+//       EstimateBatch. With --async the CLI becomes a real accept loop:
+//       every line is Submit()ed to the streaming AsyncEngine the moment
+//       it is read, micro-batching happens in the background, and results
+//       stream out in submission order as they complete. A line may carry
+//       an arrival timestamp `@<ms> <preds>` (milliseconds since serve
+//       start); --async replays those arrival times faithfully and
+//       reports per-query latency percentiles, so a recorded trace can be
+//       re-served under its original timing.
+//
+//       Serving knobs (flags map onto NARU_* env vars, see docs/SERVING.md):
+//         --async            stream through AsyncEngine (accept loop)
+//         --max-batch N      async micro-batch flush size   (default 64)
+//         --max-wait-ms X    async micro-batch deadline     (default 2.0)
+//         --cache-budget-mb N  per-model result-cache budget (default 4)
+//
+//       Flags may appear anywhere, but a bare `--flag` consumes a
+//       following non-flag token as its value — place flags after the
+//       positional arguments or write `--flag=value`.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/bundle.h"
@@ -29,7 +55,10 @@
 #include "query/executor.h"
 #include "query/compound.h"
 #include "query/parser.h"
+#include "serve/async_engine.h"
 #include "serve/inference_engine.h"
+#include "util/env_config.h"
+#include "util/quantile.h"
 #include "util/string_util.h"
 
 using namespace naru;
@@ -43,14 +72,57 @@ int Usage() {
                "  naru_cli estimate <data.csv> <model.bundle> \"<preds>\" "
                "[samples]\n"
                "  naru_cli truth <data.csv> \"<preds>\"\n"
-               "  naru_cli serve <data.csv> <model.bundle> <queries.txt> "
-               "[threads]\n");
+               "  naru_cli serve <data.csv> <model.bundle> <queries.txt|-> "
+               "[threads]\n"
+               "    serve flags: --async --max-batch N --max-wait-ms X "
+               "--cache-budget-mb N\n");
   return 2;
+}
+
+/// Splits argv into positional arguments (returned, argv[0] first) and
+/// `--flag [value]` pairs, which are applied onto the NARU_* environment
+/// through ApplyFlagOverrides so every knob is reachable from the CLI.
+std::vector<char*> ExtractPositionals(int argc, char** argv) {
+  std::vector<char*> positionals{argv[0]};
+  std::vector<char*> flags{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+      flags.push_back(argv[i]);
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags.push_back(argv[++i]);  // `--flag value` form
+      }
+    } else {
+      positionals.push_back(argv[i]);
+    }
+  }
+  if (!ApplyFlagOverrides(static_cast<int>(flags.size()), flags.data())) {
+    std::exit(2);
+  }
+  return positionals;
+}
+
+/// Strips an optional `@<ms> ` arrival-timestamp prefix off a trace line.
+/// Returns the arrival offset in ms, or a negative value when the line
+/// carries no timestamp. `*rest` receives the predicate text either way.
+double ParseArrivalPrefix(const std::string& line, std::string* rest) {
+  *rest = line;
+  if (line.empty() || line[0] != '@') return -1.0;
+  char* end = nullptr;
+  const double ms = std::strtod(line.c_str() + 1, &end);
+  if (end == line.c_str() + 1 || ms < 0) return -1.0;
+  while (*end == ' ' || *end == '\t') ++end;
+  *rest = end;
+  return ms;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  std::vector<char*> args = ExtractPositionals(raw_argc, raw_argv);
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
   const std::string csv_path = argv[2];
@@ -124,50 +196,169 @@ int main(int argc, char** argv) {
                    model.status().ToString().c_str());
       return 1;
     }
-    std::ifstream in(argv[4]);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[4]);
-      return 1;
-    }
-    std::vector<Query> queries;
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      if (line.empty() || line[0] == '#') continue;
-      auto disjuncts = ParseDisjunction(table, line);
-      if (!disjuncts.ok()) {
-        std::fprintf(stderr, "error: line %zu: %s\n", lineno,
-                     disjuncts.status().ToString().c_str());
+    const std::string source = argv[4];
+    const bool from_stdin = source == "-";
+    std::ifstream file;
+    if (!from_stdin) {
+      file.open(source);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
         return 1;
       }
-      if (disjuncts.ValueOrDie().size() != 1) {
-        std::fprintf(stderr, "error: line %zu must be one conjunction\n",
-                     lineno);
-        return 1;
-      }
-      queries.push_back(disjuncts.ValueOrDie()[0]);
     }
-    MadeModel* m = model.ValueOrDie().get();
-    NaruEstimator est(m, NaruEstimatorConfig{}, m->SizeBytes());
-    InferenceEngineConfig ecfg;
-    const long long threads = argc >= 6 ? std::atoll(argv[5]) : 0;
+    std::istream& in = from_stdin ? std::cin : file;
+
+    const long long threads =
+        argc >= 6 ? std::atoll(argv[5]) : GetEnvInt("NARU_THREADS", 0);
     if (threads < 0 || threads > 256) {
       std::fprintf(stderr, "error: threads must be in [0, 256]\n");
       return 1;
     }
+    MadeModel* m = model.ValueOrDie().get();
+    NaruEstimator est(m, NaruEstimatorConfig{}, m->SizeBytes());
+    const double num_rows = static_cast<double>(table.num_rows());
+
+    InferenceEngineConfig ecfg;
     ecfg.num_threads = static_cast<size_t>(threads);
-    InferenceEngine engine(ecfg);
-    std::vector<double> sels;
-    engine.EstimateBatch(&est, queries, &sels);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      std::printf("%.6g\t%.0f\t%s\n", sels[i],
-                  sels[i] * static_cast<double>(table.num_rows()),
-                  queries[i].ToString(table).c_str());
+    ecfg.cache_budget_bytes = static_cast<size_t>(std::max<int64_t>(
+                                  GetEnvInt("NARU_CACHE_BUDGET_MB", 4), 0)) *
+                              1024 * 1024;
+
+    if (!GetEnvBool("NARU_ASYNC", false)) {
+      // Blocking mode: read the whole input, answer it as one batch.
+      std::vector<Query> queries;
+      std::string line;
+      std::string preds;
+      size_t lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') continue;
+        ParseArrivalPrefix(line, &preds);  // timestamps ignored when blocking
+        auto disjuncts = ParseDisjunction(table, preds);
+        if (!disjuncts.ok()) {
+          std::fprintf(stderr, "error: line %zu: %s\n", lineno,
+                       disjuncts.status().ToString().c_str());
+          return 1;
+        }
+        if (disjuncts.ValueOrDie().size() != 1) {
+          std::fprintf(stderr, "error: line %zu must be one conjunction\n",
+                       lineno);
+          return 1;
+        }
+        queries.push_back(disjuncts.ValueOrDie()[0]);
+      }
+      InferenceEngine engine(ecfg);
+      std::vector<double> sels;
+      engine.EstimateBatch(&est, queries, &sels);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::printf("%.6g\t%.0f\t%s\n", sels[i], sels[i] * num_rows,
+                    queries[i].ToString(table).c_str());
+      }
+      const auto stats = engine.stats();
+      std::fprintf(stderr, "# served %zu queries (%zu sampled, %zu cached)\n",
+                   stats.queries, stats.sampled, stats.memo_hits);
+      return 0;
     }
-    const auto stats = engine.stats();
-    std::fprintf(stderr, "# served %zu queries (%zu sampled, %zu cached)\n",
-                 stats.queries, stats.sampled, stats.memo_hits);
+
+    // Async accept loop: Submit each line as it arrives (honoring `@<ms>`
+    // replay timestamps), stream results out in submission order, report
+    // latency percentiles. Parse errors are reported and skipped — an
+    // accept loop must not die on one malformed request.
+    AsyncEngineConfig acfg;
+    acfg.engine = ecfg;
+    acfg.max_batch_size = static_cast<size_t>(
+        std::max<int64_t>(GetEnvInt("NARU_MAX_BATCH", 64), 1));
+    acfg.max_wait_ms = GetEnvDouble("NARU_MAX_WAIT_MS", 2.0);
+    AsyncEngine engine(acfg);
+
+    struct Slot {
+      std::future<double> result;
+      std::string text;
+    };
+    std::deque<Slot> inflight;
+    QuantileSketch latency_ms;
+    std::mutex latency_mu;
+    const auto trace_start = std::chrono::steady_clock::now();
+    const auto print_ready_prefix = [&](bool block) {
+      while (!inflight.empty() &&
+             (block || inflight.front().result.wait_for(
+                           std::chrono::seconds(0)) ==
+                           std::future_status::ready)) {
+        // The engine surfaces dispatcher-side failures as exceptional
+        // futures; report the one query and keep the loop serving.
+        try {
+          const double sel = inflight.front().result.get();
+          std::printf("%.6g\t%.0f\t%s\n", sel, sel * num_rows,
+                      inflight.front().text.c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: query '%s' failed: %s\n",
+                       inflight.front().text.c_str(), e.what());
+        }
+        std::fflush(stdout);
+        inflight.pop_front();
+      }
+    };
+
+    std::string line;
+    std::string preds;
+    size_t lineno = 0;
+    size_t rejected = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      const double at_ms = ParseArrivalPrefix(line, &preds);
+      if (at_ms >= 0) {
+        // Replay: wait until this request's recorded arrival time.
+        std::this_thread::sleep_until(
+            trace_start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(at_ms)));
+      }
+      auto disjuncts = ParseDisjunction(table, preds);
+      if (!disjuncts.ok() || disjuncts.ValueOrDie().size() != 1) {
+        std::fprintf(stderr, "error: line %zu rejected: %s\n", lineno,
+                     disjuncts.ok() ? "must be one conjunction"
+                                    : disjuncts.status().ToString().c_str());
+        ++rejected;
+        continue;
+      }
+      Query query = disjuncts.ValueOrDie()[0];
+      std::string text = query.ToString(table);
+      const auto arrival = std::chrono::steady_clock::now();
+      auto fut = engine.Submit(
+          &est, std::move(query), [&, arrival](double) {
+            const std::chrono::duration<double, std::milli> elapsed =
+                std::chrono::steady_clock::now() - arrival;
+            std::lock_guard<std::mutex> lock(latency_mu);
+            latency_ms.Add(elapsed.count());
+          });
+      inflight.push_back(Slot{std::move(fut), std::move(text)});
+      print_ready_prefix(/*block=*/false);
+    }
+    engine.Drain();
+    print_ready_prefix(/*block=*/true);
+
+    const auto astats = engine.async_stats();
+    const auto estats = engine.stats();
+    std::fprintf(stderr,
+                 "# served %zu queries (%zu rejected) in %zu micro-batches "
+                 "(largest %zu; %zu size / %zu deadline / %zu drain "
+                 "flushes)\n",
+                 astats.completed, rejected, astats.batches,
+                 astats.largest_batch, astats.size_flushes,
+                 astats.deadline_flushes, astats.drain_flushes);
+    std::fprintf(stderr,
+                 "# engine: %zu sampled, %zu memo hits, %zu evictions, "
+                 "%.1f KB cached\n",
+                 estats.sampled, estats.memo_hits,
+                 estats.memo_evictions + estats.marginal_evictions,
+                 (estats.memo_bytes + estats.marginal_bytes) / 1024.0);
+    if (!latency_ms.empty()) {
+      std::fprintf(stderr,
+                   "# latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+                   latency_ms.Quantile(0.5), latency_ms.Quantile(0.9),
+                   latency_ms.Quantile(0.99), latency_ms.Max());
+    }
     return 0;
   }
 

@@ -2,8 +2,10 @@
 // queried through progressive sampling, with exact enumeration for small
 // query regions. Batched estimation is served through an InferenceEngine
 // (src/serve), which shards sample paths across threads and shares
-// workspaces and exact-result caches across the queries of a batch; for a
-// fixed seed the batched results are identical to the sequential ones.
+// workspaces and exact-result caches across the queries of a batch;
+// streaming submission goes through serve/async_engine.h. For a fixed seed
+// the batched and streamed results are identical to the sequential ones
+// (see docs/SERVING.md for the full determinism contract).
 #pragma once
 
 #include <memory>

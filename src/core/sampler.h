@@ -36,25 +36,30 @@
 
 namespace naru {
 
-/// Reusable per-shard sampling scratch: the sampled-prefix matrix, the
-/// model-probability matrix and the per-path weight/liveness vectors that
-/// used to be private members of ProgressiveSampler.
+/// Reusable per-shard sampling scratch. One workspace carries everything a
+/// shard's walk mutates, so leasing a workspace per shard is what makes
+/// concurrent shard execution safe: no two shards ever share a buffer.
+/// Buffers keep their capacity between leases (steady-state serving does
+/// not allocate).
 struct SamplerWorkspace {
-  IntMatrix samples;
-  Matrix probs;
-  std::vector<double> weights;
-  std::vector<uint8_t> alive;
+  IntMatrix samples;            ///< sampled prefix codes, paths x columns
+  Matrix probs;                 ///< model conditionals for the current column
+  std::vector<double> weights;  ///< per-path running products of masses
+  std::vector<uint8_t> alive;   ///< per-path liveness (0 once weight hits 0)
 };
 
-/// Thread-safe free-list of SamplerWorkspaces. Workspaces keep their
-/// capacity between leases, so steady-state serving performs no allocation;
-/// one pool can back many samplers (the serving engine shares one across
-/// every query of a batch).
+/// Thread-safe free-list of SamplerWorkspaces. One pool can back many
+/// samplers: the serving engine shares a single pool across every query of
+/// a batch (and the async dispatcher across every micro-batch), so the
+/// number of live workspaces tracks the number of concurrently running
+/// shards, not the number of queries served.
 class SamplerWorkspacePool {
  public:
   /// Leases a workspace (creating one if the free list is empty). Return it
   /// with Release — or use the RAII WorkspaceLease below.
   std::unique_ptr<SamplerWorkspace> Acquire();
+  /// Returns a leased workspace to the free list; its buffers keep their
+  /// capacity for the next lease.
   void Release(std::unique_ptr<SamplerWorkspace> ws);
 
   /// Total workspaces ever created (tests assert reuse keeps this small).

@@ -12,6 +12,14 @@
 
 namespace naru {
 
+/// Abstract base of every selectivity estimator in the repo — the Naru
+/// model-backed estimator, the Table 2 baselines, and the multi-order
+/// ensemble all implement this surface, so benchmarks and the serving
+/// layer treat them interchangeably.
+///
+/// Thread-safety is implementation-defined: NaruEstimator's batched paths
+/// (EstimateBatch via InferenceEngine / AsyncEngine) manage their own
+/// synchronization, but most baselines assume single-threaded use.
 class Estimator {
  public:
   virtual ~Estimator() = default;

@@ -1,6 +1,7 @@
 #include "query/workload.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace naru {
 
@@ -81,6 +82,26 @@ std::vector<Query> GenerateWorkload(const Table& table,
     out.emplace_back(table, std::move(preds));
   }
   return out;
+}
+
+std::vector<OpenLoopRequest> GenerateOpenLoopTrace(size_t num_requests,
+                                                   double qps,
+                                                   size_t pool_size,
+                                                   uint64_t seed) {
+  NARU_CHECK(pool_size > 0);
+  Rng rng(seed);
+  std::vector<OpenLoopRequest> trace;
+  trace.reserve(num_requests);
+  double clock_ms = 0.0;
+  const double mean_gap_ms = qps > 0 ? 1000.0 / qps : 0.0;
+  for (size_t i = 0; i < num_requests; ++i) {
+    if (mean_gap_ms > 0) {
+      // Exponential inter-arrival via inverse CDF; 1 - U avoids log(0).
+      clock_ms += -std::log(1.0 - rng.UniformDouble()) * mean_gap_ms;
+    }
+    trace.push_back(OpenLoopRequest{clock_ms, rng.UniformInt(pool_size)});
+  }
+  return trace;
 }
 
 }  // namespace naru

@@ -37,4 +37,22 @@ struct WorkloadConfig {
 std::vector<Query> GenerateWorkload(const Table& table,
                                     const WorkloadConfig& config);
 
+/// One request of an open-loop serving trace: WHEN it arrives (milliseconds
+/// since trace start) and WHICH template from a query pool it asks for.
+/// Open-loop means arrivals are scheduled by a clock, not gated on earlier
+/// completions — the load a server actually faces.
+struct OpenLoopRequest {
+  double arrival_ms = 0;
+  size_t pool_index = 0;
+};
+
+/// Generates a Poisson arrival process at `qps` requests/second over a pool
+/// of `pool_size` query templates (drawn uniformly). `qps <= 0` schedules
+/// every arrival at t = 0 — maximum instantaneous pressure. Deterministic
+/// in `seed`; arrivals are returned in nondecreasing time order.
+std::vector<OpenLoopRequest> GenerateOpenLoopTrace(size_t num_requests,
+                                                   double qps,
+                                                   size_t pool_size,
+                                                   uint64_t seed);
+
 }  // namespace naru

@@ -1,0 +1,130 @@
+#include "serve/async_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace naru {
+
+AsyncEngine::AsyncEngine(AsyncEngineConfig config)
+    : cfg_(config), engine_(config.engine) {
+  cfg_.max_batch_size = std::max<size_t>(cfg_.max_batch_size, 1);
+  cfg_.max_wait_ms = std::max(cfg_.max_wait_ms, 0.0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AsyncEngine::~AsyncEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<double> AsyncEngine::Submit(
+    NaruEstimator* est, Query query, std::function<void(double)> on_complete) {
+  Pending p{est, std::move(query), std::promise<double>(),
+            std::move(on_complete), std::chrono::steady_clock::now()};
+  std::future<double> result = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(p));
+    ++stats_.submitted;
+  }
+  cv_.notify_all();
+  return result;
+}
+
+void AsyncEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait on a submission watermark, not queue emptiness: micro-batches are
+  // cut FIFO by one dispatcher, so `completed >= watermark` proves every
+  // query submitted before this call is done — even while other threads
+  // keep the queue non-empty with new work.
+  const size_t watermark = stats_.submitted;
+  ++drain_waiters_;
+  cv_.notify_all();  // flush pending work now instead of at the deadline
+  drain_cv_.wait(lock, [&] { return stats_.completed >= watermark; });
+  --drain_waiters_;
+}
+
+AsyncEngineStats AsyncEngine::async_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncEngine::DispatcherLoop() {
+  const auto max_wait = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(cfg_.max_wait_ms));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stop_ and nothing left: done
+
+    // Let the micro-batch accumulate until it is full, the oldest pending
+    // submission hits its deadline, or someone needs results now.
+    const auto deadline = pending_.front().arrival + max_wait;
+    while (!stop_ && drain_waiters_ == 0 &&
+           pending_.size() < cfg_.max_batch_size &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+    }
+
+    // Cut one micro-batch off the queue. Later submissions keep arriving
+    // and accumulating while this batch runs — that overlap is the point.
+    const size_t take = std::min(pending_.size(), cfg_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    ++stats_.batches;
+    stats_.largest_batch = std::max(stats_.largest_batch, take);
+    if (take >= cfg_.max_batch_size) {
+      ++stats_.size_flushes;
+    } else if (stop_ || drain_waiters_ > 0) {
+      ++stats_.drain_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+    lock.unlock();
+
+    std::vector<NaruEstimator*> ests;
+    std::vector<Query> queries;
+    ests.reserve(take);
+    queries.reserve(take);
+    for (Pending& p : batch) {
+      ests.push_back(p.est);
+      queries.push_back(std::move(p.query));  // batch only needs promises now
+    }
+    std::vector<double> out;
+    try {
+      engine_.EstimateMixedBatch(ests, queries, &out);
+      for (size_t i = 0; i < take; ++i) {
+        if (batch[i].on_complete) batch[i].on_complete(out[i]);
+        batch[i].promise.set_value(out[i]);
+      }
+    } catch (...) {
+      // Estimation itself is noexcept in practice; this guards allocation
+      // failure and user on_complete callbacks so waiters never hang.
+      const auto err = std::current_exception();
+      for (size_t i = 0; i < take; ++i) {
+        try {
+          batch[i].promise.set_exception(err);
+        } catch (const std::future_error&) {
+          // value already set before the callback threw
+        }
+      }
+    }
+
+    lock.lock();
+    stats_.completed += take;
+    drain_cv_.notify_all();  // a Drain watermark may have been reached
+  }
+}
+
+}  // namespace naru

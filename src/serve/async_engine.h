@@ -1,0 +1,119 @@
+// Asynchronous, streaming submission on top of the batch InferenceEngine.
+//
+// The blocking EstimateBatch surface forces a server to collect a whole
+// batch before any sampling starts. AsyncEngine inverts that: callers
+// Submit() single queries as they arrive and immediately get a
+// std::future<double>; a background dispatcher thread coalesces pending
+// submissions into adaptive micro-batches — flushed as soon as
+// `max_batch_size` queries are pending OR the oldest pending query has
+// waited `max_wait_ms` — and drives them through the shard-parallel
+// InferenceEngine. Request arrival therefore overlaps with sampling: while
+// one micro-batch is being estimated, the next one accumulates.
+//
+// Determinism contract: a query's estimate is independent of which
+// micro-batch it lands in. EstimateBatch coalesces duplicates and serves
+// every distinct query through the fixed-seed sharded sampler, and every
+// cache entry is exact, so for a fixed seed Submit() returns a value
+// bit-identical to the sequential NaruEstimator::EstimateSelectivity —
+// regardless of arrival order, batching boundaries, thread count, or
+// cache eviction history (asserted in tests/test_serving_async.cc).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "serve/inference_engine.h"
+
+namespace naru {
+
+struct AsyncEngineConfig {
+  /// Flush a micro-batch as soon as this many submissions are pending
+  /// (values below 1 are treated as 1). Larger batches amortize better;
+  /// the deadline below bounds the latency cost of waiting for them.
+  size_t max_batch_size = 64;
+  /// Flush deadline: a pending query is dispatched at most this many
+  /// milliseconds after its submission even if the batch is not full.
+  /// 0 dispatches as soon as the dispatcher is free (lowest latency,
+  /// least coalescing). Negative values are treated as 0.
+  double max_wait_ms = 2.0;
+  /// The wrapped blocking engine (threads, caching, cache budget).
+  InferenceEngineConfig engine;
+};
+
+/// Dispatcher counters (cumulative since construction).
+struct AsyncEngineStats {
+  size_t submitted = 0;         ///< queries accepted by Submit
+  size_t completed = 0;         ///< queries whose result has been delivered
+  size_t batches = 0;           ///< micro-batches dispatched
+  size_t size_flushes = 0;      ///< flushed because max_batch_size was hit
+  size_t deadline_flushes = 0;  ///< flushed because max_wait_ms expired
+  size_t drain_flushes = 0;     ///< flushed early by Drain() / destruction
+  size_t largest_batch = 0;     ///< widest micro-batch dispatched
+};
+
+/// A streaming serving front-end over one InferenceEngine. Thread-safe:
+/// any number of threads may Submit concurrently. Estimators passed to
+/// Submit must outlive the delivery of their results.
+class AsyncEngine {
+ public:
+  explicit AsyncEngine(AsyncEngineConfig config = {});
+  /// Drains every pending submission, then joins the dispatcher.
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Enqueues one query and returns a future resolving to its selectivity
+  /// (bit-identical to est->EstimateSelectivity(query) for a fixed seed).
+  /// If `on_complete` is provided it is invoked with the result on the
+  /// dispatcher thread, before the future becomes ready — keep it cheap
+  /// (record a timestamp, bump a counter); heavy work there stalls every
+  /// later micro-batch.
+  std::future<double> Submit(NaruEstimator* est, Query query,
+                             std::function<void(double)> on_complete = {});
+
+  /// Blocks until every query submitted before this call has completed —
+  /// and no longer: queries submitted concurrently with or after Drain
+  /// are not waited for, so a drain cannot be starved by ongoing traffic.
+  /// Pending work is flushed immediately (counted as drain_flushes)
+  /// rather than waiting out max_wait_ms.
+  void Drain();
+
+  AsyncEngineStats async_stats() const;
+  /// The wrapped engine's counters and cache occupancy.
+  EngineStats stats() const { return engine_.stats(); }
+  /// The wrapped blocking engine (e.g. for ClearCachesFor on retrain).
+  InferenceEngine* engine() { return &engine_; }
+
+ private:
+  struct Pending {
+    NaruEstimator* est;
+    Query query;
+    std::promise<double> promise;
+    std::function<void(double)> on_complete;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void DispatcherLoop();
+
+  AsyncEngineConfig cfg_;
+  InferenceEngine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes the dispatcher
+  std::condition_variable drain_cv_;  // wakes Drain waiters
+  std::deque<Pending> pending_;
+  size_t drain_waiters_ = 0;    // active Drain calls: flush immediately
+  bool stop_ = false;
+  AsyncEngineStats stats_;
+
+  std::thread dispatcher_;  // last member: joins before the rest dies
+};
+
+}  // namespace naru

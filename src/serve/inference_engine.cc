@@ -26,6 +26,17 @@ std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
   return *slot;
 }
 
+// The config-dependent memo-key prefix: sampled estimates depend on the
+// estimator's sampling configuration, not only on the model — two
+// estimators wrapping one model (e.g. Naru-1000 and Naru-4000) must never
+// share memo entries. Built once per batch, not once per query.
+std::string MemoPrefix(const NaruEstimatorConfig& cfg) {
+  return StrFormat("%zu|%zu|%llu|%d|", cfg.num_samples,
+                   cfg.enumeration_threshold,
+                   static_cast<unsigned long long>(cfg.sampler_seed),
+                   cfg.uniform_region ? 1 : 0);
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(InferenceEngineConfig config)
@@ -48,15 +59,23 @@ size_t InferenceEngine::num_threads() const {
   return p == nullptr ? 1 : p->num_threads();
 }
 
-InferenceEngineStats InferenceEngine::stats() const {
+EngineStats InferenceEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  EngineStats snapshot = stats_;
+  for (const auto& [model, cache] : caches_) {
+    (void)model;
+    snapshot.memo_entries += cache.result_memo.entries();
+    snapshot.memo_bytes += cache.result_memo.bytes();
+    snapshot.marginal_entries += cache.leading_mass.entries();
+    snapshot.marginal_bytes += cache.leading_mass.bytes();
+  }
+  return snapshot;
 }
 
 void InferenceEngine::ClearCaches() {
   std::lock_guard<std::mutex> lock(mu_);
   caches_.clear();
-  stats_ = InferenceEngineStats{};
+  stats_ = EngineStats{};
 }
 
 void InferenceEngine::ClearCachesFor(const ConditionalModel* model) {
@@ -80,21 +99,34 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   ThreadPool* p = ScopedSerialRegion::Active() ? nullptr : pool();
   const bool concurrent = est->model()->SupportsConcurrentSampling();
 
-  // Coalesce duplicates up front: k copies of one uncached query would
-  // otherwise cost k full walks (k workers all miss the memo before any
-  // finishes) — on exactly the repeated-template traces the engine
-  // serves. Coalescing is exact (identical queries get the one
-  // deterministic result), so it stays on even when caching is disabled.
-  std::unordered_map<std::string, size_t> first_index;
+  // ONE keyed pass over the batch: each query's canonical key is built
+  // exactly once here and reused for (a) duplicate coalescing and (b) the
+  // memo lookup inside EstimateOne — the sequential code used to rebuild
+  // it per call. The config-dependent memo prefix is likewise hoisted to
+  // once per batch.
+  //
+  // Coalescing duplicates up front matters because k copies of one
+  // uncached query would otherwise cost k full walks (k workers all miss
+  // the memo before any finishes) — on exactly the repeated-template
+  // traces the engine serves. Coalescing is exact (identical queries get
+  // the one deterministic result), so it stays on even when caching is
+  // disabled.
+  std::vector<std::string> keys(n);
+  std::unordered_map<std::string_view, size_t> first_index;
   std::vector<size_t> reps;          // one representative per distinct key
   std::vector<size_t> dup_of(n, 0);  // representative index per query
   reps.reserve(n);
+  first_index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    const auto [it, inserted] = first_index.emplace(QueryKey(queries[i]), i);
+    keys[i] = QueryKey(queries[i]);
+    const auto [it, inserted] =
+        first_index.emplace(std::string_view(keys[i]), i);
     if (inserted) reps.push_back(i);
     dup_of[i] = it->second;
   }
   const size_t m = reps.size();
+  const std::string memo_prefix =
+      cfg_.enable_cache ? MemoPrefix(est->config()) : std::string();
 
   // The schedule is chosen on the COALESCED width: a batch of 64 requests
   // over 2 distinct templates is 2 queries' worth of work and should shard
@@ -109,7 +141,8 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
           ScopedSerialRegion serial;
           for (size_t k = lo; k < hi; ++k) {
             (*out)[reps[k]] =
-                EstimateOne(est, queries[reps[k]], /*sampler_parallelism=*/1,
+                EstimateOne(est, queries[reps[k]], memo_prefix, keys[reps[k]],
+                            /*sampler_parallelism=*/1,
                             /*sampler_pool=*/nullptr);
           }
         },
@@ -120,7 +153,8 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
     // fan out to the global pool) honor the num_threads=1 contract too.
     ScopedSerialRegion serial;
     for (size_t k = 0; k < m; ++k) {
-      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]],
+      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]], memo_prefix,
+                                    keys[reps[k]],
                                     /*sampler_parallelism=*/1,
                                     /*sampler_pool=*/nullptr);
     }
@@ -128,7 +162,8 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
     // Narrow batches (or a non-concurrent model): distinct queries run in
     // order; each query's sample-path shards use the engine's pool.
     for (size_t k = 0; k < m; ++k) {
-      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]],
+      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]], memo_prefix,
+                                    keys[reps[k]],
                                     /*sampler_parallelism=*/0, p);
     }
   }
@@ -164,6 +199,8 @@ void InferenceEngine::EstimateMixedBatch(
 }
 
 double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
+                                    const std::string& memo_prefix,
+                                    const std::string& query_key,
                                     size_t sampler_parallelism,
                                     ThreadPool* sampler_pool) {
   ConditionalModel* model = est->model();
@@ -176,24 +213,16 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
   const bool use_cache = cfg_.enable_cache;
   std::string memo_key;
   if (use_cache) {
-    // Sampled estimates depend on the estimator's sampling configuration,
-    // not only on the model — two estimators wrapping one model (e.g.
-    // Naru-1000 and Naru-4000) must never share memo entries. The
-    // leading-mass cache below stays per-model: a masked marginal mass is
-    // exact and config-independent.
-    const NaruEstimatorConfig& cfg = est->config();
-    memo_key = StrFormat("%zu|%zu|%llu|%d|", cfg.num_samples,
-                         cfg.enumeration_threshold,
-                         static_cast<unsigned long long>(cfg.sampler_seed),
-                         cfg.uniform_region ? 1 : 0);
-    memo_key += QueryKey(query);
+    memo_key.reserve(memo_prefix.size() + query_key.size());
+    memo_key += memo_prefix;
+    memo_key += query_key;
     std::lock_guard<std::mutex> lock(mu_);
-    const auto& memo = caches_[model].result_memo;
-    const auto it = memo.find(memo_key);
-    if (it != memo.end()) {
+    double cached;
+    if (caches_[model].result_memo.Lookup(memo_key, &cached)) {
       ++stats_.memo_hits;
-      return it->second;
+      return cached;
     }
+    ++stats_.memo_misses;
   }
 
   double result;
@@ -223,13 +252,13 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
       bool hit = false;
       if (use_cache) {
         std::lock_guard<std::mutex> lock(mu_);
-        const auto& masses = caches_[model].leading_mass;
-        const auto it = masses.find(region_key);
-        if (it != masses.end()) {
-          result = it->second;
+        auto& masses = caches_[model].leading_mass;
+        if (masses.Lookup(region_key, &result)) {
           hit = true;
           ++stats_.marginal_hits;
           ++stats_.exact_shortcuts;
+        } else {
+          ++stats_.marginal_misses;
         }
       }
       if (!hit) {
@@ -237,10 +266,8 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.exact_shortcuts;
         if (use_cache) {
-          auto& masses = caches_[model].leading_mass;
-          if (masses.size() < cfg_.cache_capacity) {
-            masses.emplace(region_key, result);
-          }
+          stats_.marginal_evictions += caches_[model].leading_mass.Insert(
+              region_key, result, cfg_.cache_budget_bytes);
         }
       }
     } else {
@@ -256,10 +283,8 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
 
   if (use_cache) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto& memo = caches_[model].result_memo;
-    if (memo.size() < cfg_.cache_capacity) {
-      memo.emplace(memo_key, result);
-    }
+    stats_.memo_evictions += caches_[model].result_memo.Insert(
+        memo_key, result, cfg_.cache_budget_bytes);
   }
   return result;
 }

@@ -2,14 +2,19 @@
 //
 // The sequential path (NaruEstimator::EstimateSelectivity) answers one
 // query at a time; this engine serves *batches*: queries against the same
-// ConditionalModel share one SamplerWorkspace pool, an exact-result cache,
+// ConditionalModel share one SamplerWorkspace pool, exact-result caches,
 // and a thread pool that either spreads whole queries across workers (large
 // batches) or shards one query's sample paths (small batches). Everything
 // the engine caches is exact and deterministic — empty regions, trailing-
 // wildcard early exits, masked first-column marginal masses keyed on the
 // masked region, and full-query memo entries — so for a fixed sampler seed
 // a batched estimate is bit-identical to the sequential one, regardless of
-// batch size or thread count.
+// batch size, thread count, or cache eviction history.
+//
+// Caches are size-aware LRU maps (serve/lru_cache.h) bounded by a byte
+// budget per model; hit/miss/eviction counters and occupancy are exposed
+// through EngineStats. For an asynchronous Submit()-based surface on top
+// of this engine, see serve/async_engine.h.
 #pragma once
 
 #include <memory>
@@ -20,6 +25,7 @@
 
 #include "core/naru_estimator.h"
 #include "core/sampler.h"
+#include "serve/lru_cache.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -35,21 +41,44 @@ struct InferenceEngineConfig {
   /// Cache exact results (memo + first-column marginal masses). Hits can
   /// never change an estimate, only skip redundant forward passes.
   bool enable_cache = true;
-  /// Per-model bound on cached entries (memo and marginal maps each);
-  /// inserts stop at capacity.
-  size_t cache_capacity = 8192;
+  /// Per-model byte budget for EACH exact-result cache (the memo and the
+  /// marginal-mass map are budgeted independently). Entries are charged
+  /// key bytes + LruResultCache::kEntryOverheadBytes; once a budget is
+  /// exceeded the least-recently-used entries are evicted. Eviction can
+  /// never change an estimate — a re-asked query recomputes to the
+  /// bit-identical value through the deterministic sampler.
+  size_t cache_budget_bytes = 4 * 1024 * 1024;
 };
 
-/// Serving counters (cumulative since construction / ClearCaches).
-struct InferenceEngineStats {
-  size_t queries = 0;
+/// Serving counters and cache introspection. Counters are cumulative
+/// since construction / ClearCaches(); occupancy fields are a snapshot
+/// taken by stats(). ClearCachesFor() drops the erased model's occupancy
+/// and eviction history from subsequent snapshots but leaves the
+/// cumulative request counters untouched.
+struct EngineStats {
+  size_t queries = 0;            ///< requests accepted by EstimateBatch
   size_t memo_hits = 0;          ///< full-query cache hits
+  size_t memo_misses = 0;        ///< full-query lookups that missed
   size_t marginal_hits = 0;      ///< first-column marginal-mass cache hits
+  size_t marginal_misses = 0;    ///< marginal-mass lookups that missed
   size_t exact_shortcuts = 0;    ///< empty / all-wildcard / leading-only
-  size_t enumerated = 0;
+  size_t enumerated = 0;         ///< answered by exact enumeration
   size_t sampled = 0;            ///< full progressive-sampling walks
+
+  size_t memo_evictions = 0;     ///< LRU evictions from the memo caches
+  size_t marginal_evictions = 0; ///< LRU evictions from the marginal caches
+  size_t memo_entries = 0;       ///< live memo entries across all models
+  size_t memo_bytes = 0;         ///< charged memo bytes across all models
+  size_t marginal_entries = 0;   ///< live marginal entries across models
+  size_t marginal_bytes = 0;     ///< charged marginal bytes across models
 };
 
+/// Pre-LRU name for the stats struct, kept as an alias for existing
+/// callers.
+using InferenceEngineStats = EngineStats;
+
+/// The blocking batch-serving engine. Thread-safe with respect to its own
+/// state; see EstimateBatch for the per-model concurrency contract.
 class InferenceEngine {
  public:
   explicit InferenceEngine(InferenceEngineConfig config = {});
@@ -72,7 +101,10 @@ class InferenceEngine {
                           const std::vector<Query>& queries,
                           std::vector<double>* out);
 
-  InferenceEngineStats stats() const;
+  /// Counters plus a point-in-time cache occupancy snapshot.
+  EngineStats stats() const;
+
+  /// Drops every cached entry and zeroes all counters.
   void ClearCaches();
 
   /// Drops all cached entries for one model. Call when a model the engine
@@ -85,6 +117,8 @@ class InferenceEngine {
   /// Effective worker count (1 when serial, pool width otherwise).
   size_t num_threads() const;
 
+  const InferenceEngineConfig& config() const { return cfg_; }
+
   SamplerWorkspacePool* workspace_pool() { return &workspaces_; }
 
  private:
@@ -92,18 +126,23 @@ class InferenceEngine {
     /// Keys embed the estimator's sampling config in addition to the query
     /// regions: estimators wrapping the same model with different path
     /// counts/seeds must not share entries.
-    std::unordered_map<std::string, double> result_memo;
+    LruResultCache result_memo;
     /// Keyed on the masked region only — marginal masses are exact and
     /// config-independent.
-    std::unordered_map<std::string, double> leading_mass;
+    LruResultCache leading_mass;
   };
 
   /// One query, mirroring NaruEstimator::EstimateSelectivity exactly:
   /// empty region, enumeration policy, trailing-wildcard exit, leading-only
   /// marginal, then the sharded sampler with `sampler_parallelism` on
   /// `sampler_pool` (nullptr = the sampler's configured pool).
+  /// `memo_prefix` and `query_key` are the batch-hoisted key parts
+  /// (see EstimateBatch): the memo key is their concatenation, computed
+  /// here exactly once per distinct query.
   double EstimateOne(NaruEstimator* est, const Query& query,
-                     size_t sampler_parallelism, ThreadPool* sampler_pool);
+                     const std::string& memo_prefix,
+                     const std::string& query_key, size_t sampler_parallelism,
+                     ThreadPool* sampler_pool);
 
   /// nullptr when the engine is strictly serial.
   ThreadPool* pool() const;
@@ -114,7 +153,7 @@ class InferenceEngine {
 
   mutable std::mutex mu_;  // caches + stats
   std::unordered_map<const ConditionalModel*, ModelCache> caches_;
-  InferenceEngineStats stats_;
+  EngineStats stats_;
 };
 
 }  // namespace naru

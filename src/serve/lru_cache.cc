@@ -1,0 +1,44 @@
+#include "serve/lru_cache.h"
+
+namespace naru {
+
+bool LruResultCache::Lookup(std::string_view key, double* value) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  *value = it->second->value;
+  return true;
+}
+
+size_t LruResultCache::Insert(std::string_view key, double value,
+                              size_t budget_bytes) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->value = value;
+    order_.splice(order_.begin(), order_, it->second);
+  } else {
+    order_.push_front(Entry{std::string(key), value});
+    // The view must alias the entry's own storage, not the caller's key.
+    map_.emplace(std::string_view(order_.front().key), order_.begin());
+    bytes_ += EntryBytes(order_.front().key);
+  }
+  size_t evicted = 0;
+  while (bytes_ > budget_bytes && !order_.empty()) {
+    const Entry& lru = order_.back();
+    bytes_ -= EntryBytes(lru.key);
+    map_.erase(std::string_view(lru.key));
+    order_.pop_back();
+    ++evicted;
+  }
+  evictions_ += evicted;
+  return evicted;
+}
+
+void LruResultCache::Clear() {
+  map_.clear();
+  order_.clear();
+  bytes_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace naru

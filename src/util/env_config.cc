@@ -24,6 +24,18 @@ double GetEnvDouble(const std::string& name, double def) {
   return parsed;
 }
 
+bool GetEnvBool(const std::string& name, bool def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  std::string s;
+  for (const char* p = v; *p != '\0'; ++p) {
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return def;
+}
+
 std::string GetEnvString(const std::string& name, const std::string& def) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr) return def;

@@ -15,6 +15,12 @@ int64_t GetEnvInt(const std::string& name, int64_t def);
 /// Returns the double value of env var `name`, or `def` when unset/invalid.
 double GetEnvDouble(const std::string& name, double def);
 
+/// Returns the boolean value of env var `name`: "1"/"true"/"yes"/"on" are
+/// true, "0"/"false"/"no"/"off" are false (case-insensitive), anything
+/// else (or unset) yields `def`. Bare flags (`--async`, `--smoke`) map to
+/// "1" through ApplyFlagOverrides below, so they read as true here.
+bool GetEnvBool(const std::string& name, bool def);
+
 /// Returns the string value of env var `name`, or `def` when unset.
 std::string GetEnvString(const std::string& name, const std::string& def);
 

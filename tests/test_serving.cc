@@ -16,6 +16,7 @@
 #include "data/datasets.h"
 #include "query/workload.h"
 #include "serve/inference_engine.h"
+#include "serve/lru_cache.h"
 #include "serve/query_key.h"
 
 namespace naru {
@@ -213,6 +214,84 @@ TEST(InferenceEngine, CacheHitsAreExactAndCounted) {
             cold.sampled + cold.exact_shortcuts + cold.enumerated - 1);
   EXPECT_EQ(warm.exact_shortcuts - cold.exact_shortcuts, 1u);
   EXPECT_EQ(warm.sampled, cold.sampled);
+}
+
+TEST(InferenceEngine, LruEvictionNeverChangesAnEstimate) {
+  Table table = SmallTable(23);
+  auto model = SmallTrainedModel(table, 23);
+  const auto queries = ServingQueries(table, 77);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  // A budget that fits only a couple of entries: serving the workload
+  // repeatedly churns the caches through constant eviction.
+  InferenceEngineConfig ecfg;
+  ecfg.num_threads = 2;
+  ecfg.cache_budget_bytes = 2 * (64 + LruResultCache::kEntryOverheadBytes);
+  InferenceEngine tiny(ecfg);
+
+  std::vector<double> first, second, third;
+  tiny.EstimateBatch(&est, queries, &first);
+  tiny.EstimateBatch(&est, queries, &second);
+  tiny.EstimateBatch(&est, queries, &third);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(third, first);
+
+  // An unconstrained engine and the sequential path agree bit-for-bit:
+  // an evicted entry recomputes to the identical value.
+  InferenceEngine roomy(InferenceEngineConfig{.num_threads = 2});
+  std::vector<double> cached;
+  roomy.EstimateBatch(&est, queries, &cached);
+  EXPECT_EQ(cached, first);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(first[i], est.EstimateSelectivity(queries[i])) << "query " << i;
+  }
+
+  const auto tiny_stats = tiny.stats();
+  const auto roomy_stats = roomy.stats();
+  EXPECT_GT(tiny_stats.memo_evictions, 0u);
+  EXPECT_LE(tiny_stats.memo_bytes, ecfg.cache_budget_bytes);
+  EXPECT_LE(tiny_stats.marginal_bytes, ecfg.cache_budget_bytes);
+  EXPECT_EQ(roomy_stats.memo_evictions, 0u);
+  EXPECT_GT(roomy_stats.memo_entries, 0u);
+  EXPECT_GT(roomy_stats.memo_bytes, 0u);
+}
+
+// The batch path builds each query's canonical key exactly once and reuses
+// it for both duplicate coalescing and the memo: miss counters must line
+// up one-to-one with the computed distinct queries, and duplicates must
+// never reach the cache at all.
+TEST(InferenceEngine, CoalescingAndMemoShareOneKeyedPass) {
+  Table table = SmallTable(31);
+  auto model = SmallTrainedModel(table, 31);
+  const auto queries = ServingQueries(table, 83);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 2});
+  std::vector<double> out;
+  engine.EstimateBatch(&est, queries, &out);
+  const auto cold = engine.stats();
+
+  // Every computed distinct query consulted the memo exactly once and
+  // missed; the empty-region query short-circuits before the cache, so it
+  // is the one compute (an exact shortcut) without a matching miss.
+  EXPECT_EQ(cold.memo_misses,
+            cold.sampled + cold.enumerated + cold.exact_shortcuts - 1);
+  EXPECT_EQ(cold.memo_hits, 0u);
+  // The workload carries duplicates; none of them reached the cache.
+  EXPECT_LT(cold.memo_misses + 1, queries.size());
+
+  engine.EstimateBatch(&est, queries, &out);
+  const auto warm = engine.stats();
+  EXPECT_EQ(warm.memo_misses, cold.memo_misses);  // warm pass misses nothing
+  EXPECT_EQ(warm.memo_hits, cold.memo_misses);    // and hits every miss
 }
 
 TEST(InferenceEngine, MixedBatchGroupsByEstimator) {

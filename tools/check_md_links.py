@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[id]: target`, resolves relative targets against the
+linking file, and exits nonzero listing any target that does not exist.
+External links (scheme://, mailto:) and pure in-page anchors (#...) are
+skipped; a `path#fragment` target is checked for the path only. Stdlib
+only — runs anywhere python3 does.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+# Inline [text](target) — target may carry an optional "title"; images are
+# the same syntax behind a '!'. Reference definitions are `[id]: target`.
+INLINE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+REFDEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def strip_code_fences(text):
+    """Drop fenced code blocks so example links aren't checked."""
+    out, keep = [], True
+    for line in text.splitlines():
+        if FENCE.match(line):
+            keep = not keep
+            continue
+        if keep:
+            out.append(line)
+    return "\n".join(out)
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    broken = []
+    for path in sorted(md_files(root)):
+        text = strip_code_fences(open(path, encoding="utf-8").read())
+        targets = INLINE.findall(text) + REFDEF.findall(text)
+        for target in targets:
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme:
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = check(root)
+    for path, target in broken:
+        print(f"BROKEN: {path}: ({target})")
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
