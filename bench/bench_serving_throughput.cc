@@ -14,12 +14,24 @@
 // trace (asserted at the end), so the grid measures execution efficiency
 // only — no accuracy is traded anywhere.
 //
+// Half the template pool is shaped to share a leading-wildcard run of
+// `--serve-prefix-wildcards` columns (default 2), the structure the
+// sampling-plan layer (src/plan) shares across the queries of a batch;
+// each engine row reports its plan-group count and prefix-share ratio,
+// and every engine configuration is additionally run with planning
+// disabled so the planned/legacy speedup is measured directly.
+//
 // Knobs (env or flags, see bench_common.h):
 //   --threads N         restrict the engine thread grid to {N}  (default 2/4/8)
 //   --batch N           restrict the batch grid to {N}          (default 1/8/64)
 //   --serve-requests N  trace length                            (default 512)
 //   --serve-unique N    distinct query templates in the pool    (default 256)
 //   --serve-samples N   progressive sample paths per query      (default 512)
+//   --serve-prefix-wildcards N  leading wildcard columns forced on half
+//                       the pool (default 2; 0 disables shaping)
+//   --smoke             CI preset: tiny model/trace, single grid point;
+//                       exits nonzero if the planned path's estimates
+//                       diverge from the sequential (or legacy) path
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -36,22 +48,29 @@ namespace {
 
 int Run() {
   const BenchEnv env = GetBenchEnv();
-  const size_t rows = std::min<size_t>(env.dmv_rows, 20000);
+  const bool smoke = GetEnvBool("NARU_SMOKE", false);
+  const size_t rows =
+      smoke ? 6000 : std::min<size_t>(env.dmv_rows, 20000);
   // Clamped to sane ranges so a negative flag value cannot wrap to 2^64.
-  const size_t num_requests = static_cast<size_t>(
-      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_REQUESTS", 512), 1, 1 << 22));
-  const size_t num_unique = static_cast<size_t>(
-      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_UNIQUE", 256), 1, 1 << 22));
-  const size_t num_samples = static_cast<size_t>(
-      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_SAMPLES", 512), 1, 1 << 20));
+  const size_t num_requests = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_REQUESTS", smoke ? 128 : 512), 1, 1 << 22));
+  const size_t num_unique = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_UNIQUE", smoke ? 64 : 256), 1, 1 << 22));
+  const size_t num_samples = static_cast<size_t>(std::clamp<int64_t>(
+      GetEnvInt("NARU_SERVE_SAMPLES", smoke ? 256 : 512), 1, 1 << 20));
+  const size_t prefix_wildcards = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_PREFIX_WILDCARDS", 2), 0, 64));
   PrintBanner(
-      "Serving throughput: batched EstimateBatch vs sequential",
-      StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu", rows,
-                num_requests, num_unique, num_samples));
+      "Serving throughput: planned EstimateBatch vs legacy vs sequential",
+      StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu "
+                "prefix-wildcards=%zu%s",
+                rows, num_requests, num_unique, num_samples, prefix_wildcards,
+                smoke ? " (smoke)" : ""));
 
   Table table = MakeDmvLike(rows, env.seed);
   auto model = TrainModel(table, DmvModelConfig(env.seed + 5),
-                          std::min<size_t>(env.epochs, 3), "Naru(serving)");
+                          std::min<size_t>(env.epochs, smoke ? 2 : 3),
+                          "Naru(serving)");
 
   // Template pool (no ground truth needed for throughput): mixed filter
   // widths, including single-filter queries — when the filter lands on the
@@ -59,13 +78,25 @@ int Run() {
   // never sample. (The marginal-mass cache itself only gets hits across
   // differently-configured estimators sharing a model; with one estimator
   // the full-query memo always answers first, so the marginal column
-  // below prints 0.)
+  // below prints 0.) Half the pool shares a leading-wildcard run of
+  // `prefix_wildcards` columns — the batch shape the plan layer shares.
   WorkloadConfig wcfg;
   wcfg.num_queries = num_unique;
   wcfg.min_filters = 1;
   wcfg.max_filters = 8;
+  wcfg.leading_wildcards = prefix_wildcards;
+  wcfg.leading_wildcard_fraction = prefix_wildcards > 0 ? 0.5 : 0.0;
   wcfg.seed = env.seed + 17;
   const std::vector<Query> pool = GenerateWorkload(table, wcfg);
+  if (prefix_wildcards > 0) {
+    size_t shaped = 0;
+    for (const Query& q : pool) {
+      shaped += q.LeadingWildcardRun() >= prefix_wildcards ? 1 : 0;
+    }
+    std::printf("# pool: %zu of %zu templates share a >=%zu-column "
+                "leading-wildcard run\n",
+                shaped, pool.size(), prefix_wildcards);
+  }
 
   // The trace: uniform draws from the pool. Deterministic in the seed.
   Rng trace_rng(env.seed + 23);
@@ -80,13 +111,15 @@ int Run() {
   ncfg.enumeration_threshold = 0;  // pure sampling path: clean scaling story
   NaruEstimator est(model.get(), ncfg, model->SizeBytes());
 
-  std::vector<size_t> thread_grid = {2, 4, 8};
-  std::vector<size_t> batch_grid = {1, 8, 64};
+  std::vector<size_t> thread_grid = smoke ? std::vector<size_t>{2}
+                                          : std::vector<size_t>{2, 4, 8};
+  std::vector<size_t> batch_grid = smoke ? std::vector<size_t>{64}
+                                         : std::vector<size_t>{1, 8, 64};
   if (env.threads > 0) thread_grid = {env.threads};
   if (env.batch > 0) batch_grid = {env.batch};
 
-  std::printf("\n%8s %6s %10s %10s %9s %9s %9s\n", "threads", "batch", "qps",
-              "speedup", "memo", "marginal", "sampled");
+  std::printf("\n%8s %6s %5s %10s %10s %9s %9s %7s %7s\n", "threads", "batch",
+              "plan", "qps", "speedup", "memo", "sampled", "groups", "share");
 
   // Baseline: the sequential pre-engine path — one thread, one query at a
   // time, no cross-query sharing of any kind.
@@ -101,48 +134,61 @@ int Run() {
     const double secs = sw.ElapsedSeconds();
     baseline_qps = secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
   }
-  std::printf("%8d %6d %10.1f %9.2fx %9s %9s %9zu   (sequential path)\n", 1,
-              1, baseline_qps, 1.0, "-", "-", trace.size());
+  std::printf("%8d %6d %5s %10.1f %9.2fx %9s %9zu %7s %7s   (sequential)\n",
+              1, 1, "-", baseline_qps, 1.0, "-", trace.size(), "-", "-");
 
-  double headline_qps = 0;  // threads=4, batch=64
+  double headline_planned = 0;  // largest threads x largest batch, planned
+  double headline_legacy = 0;   // same point, planning disabled
   bool all_identical = true;
 
   for (size_t threads : thread_grid) {
     for (size_t batch : batch_grid) {
-      InferenceEngineConfig ecfg;
-      ecfg.num_threads = threads;
-      InferenceEngine engine(ecfg);  // fresh engine: caches start cold
+      for (const bool planned : {false, true}) {
+        InferenceEngineConfig ecfg;
+        ecfg.num_threads = threads;
+        ecfg.enable_plan = planned;
+        InferenceEngine engine(ecfg);  // fresh engine: caches start cold
 
-      std::vector<double> results(trace.size());
-      std::vector<Query> chunk;
-      std::vector<double> chunk_out;
-      Stopwatch sw;
-      for (size_t lo = 0; lo < trace.size(); lo += batch) {
-        const size_t hi = std::min(trace.size(), lo + batch);
-        chunk.assign(trace.begin() + static_cast<ptrdiff_t>(lo),
-                     trace.begin() + static_cast<ptrdiff_t>(hi));
-        engine.EstimateBatch(&est, chunk, &chunk_out);
-        for (size_t i = lo; i < hi; ++i) results[i] = chunk_out[i - lo];
+        std::vector<double> results(trace.size());
+        std::vector<Query> chunk;
+        std::vector<double> chunk_out;
+        Stopwatch sw;
+        for (size_t lo = 0; lo < trace.size(); lo += batch) {
+          const size_t hi = std::min(trace.size(), lo + batch);
+          chunk.assign(trace.begin() + static_cast<ptrdiff_t>(lo),
+                       trace.begin() + static_cast<ptrdiff_t>(hi));
+          engine.EstimateBatch(&est, chunk, &chunk_out);
+          for (size_t i = lo; i < hi; ++i) results[i] = chunk_out[i - lo];
+        }
+        const double secs = sw.ElapsedSeconds();
+        const double qps =
+            secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
+
+        if (results != reference) all_identical = false;
+        if (threads == thread_grid.back() && batch == batch_grid.back()) {
+          (planned ? headline_planned : headline_legacy) = qps;
+        }
+
+        const auto stats = engine.stats();
+        std::printf("%8zu %6zu %5s %10.1f %9.2fx %9zu %9zu %7zu %7.3f\n",
+                    threads, batch, planned ? "yes" : "no", qps,
+                    baseline_qps > 0 ? qps / baseline_qps : 0.0,
+                    stats.memo_hits, stats.sampled, stats.plan_groups,
+                    stats.prefix_share_ratio());
       }
-      const double secs = sw.ElapsedSeconds();
-      const double qps =
-          secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
-
-      if (results != reference) all_identical = false;
-      if (threads == 4 && batch == 64) headline_qps = qps;
-
-      const auto stats = engine.stats();
-      std::printf("%8zu %6zu %10.1f %9.2fx %9zu %9zu %9zu\n", threads, batch,
-                  qps, baseline_qps > 0 ? qps / baseline_qps : 0.0,
-                  stats.memo_hits, stats.marginal_hits, stats.sampled);
     }
   }
 
   std::printf("\nestimates bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO (BUG)");
-  if (baseline_qps > 0 && headline_qps > 0) {
-    std::printf("headline: batch=64/threads=4 vs batch=1/threads=1 = %.2fx\n",
-                headline_qps / baseline_qps);
+  if (headline_legacy > 0 && headline_planned > 0) {
+    std::printf(
+        "headline: planned vs legacy engine at threads=%zu/batch=%zu = "
+        "%.2fx (planned %.2fx, legacy %.2fx over sequential)\n",
+        thread_grid.back(), batch_grid.back(),
+        headline_planned / headline_legacy,
+        baseline_qps > 0 ? headline_planned / baseline_qps : 0.0,
+        baseline_qps > 0 ? headline_legacy / baseline_qps : 0.0);
   }
   return all_identical ? 0 : 1;
 }

@@ -27,6 +27,11 @@
 //       reports per-query latency percentiles, so a recorded trace can be
 //       re-served under its original timing.
 //
+//       Both modes print full EngineStats (cache hit/miss/eviction
+//       counters, sampling-plan group sizes, prefix-share ratio, workspace
+//       churn) on stderr at exit — including on SIGINT, which winds the
+//       loop down cleanly instead of discarding the counters.
+//
 //       Serving knobs (flags map onto NARU_* env vars, see docs/SERVING.md):
 //         --async            stream through AsyncEngine (accept loop)
 //         --max-batch N      async micro-batch flush size   (default 64)
@@ -36,6 +41,7 @@
 //       Flags may appear anywhere, but a bare `--flag` consumes a
 //       following non-flag token as its value — place flags after the
 //       positional arguments or write `--flag=value`.
+#include <csignal>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +107,23 @@ std::vector<char*> ExtractPositionals(int argc, char** argv) {
     std::exit(2);
   }
   return positionals;
+}
+
+/// Set by SIGINT. `serve` installs the handler WITHOUT SA_RESTART so a
+/// blocking getline on stdin returns early (EINTR fails the stream); both
+/// serve loops then wind down normally and print EngineStats on the way
+/// out — Ctrl-C on a live accept loop reports the serving counters
+/// instead of discarding them.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
+void InstallSigintHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSigint;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads
+  sigaction(SIGINT, &sa, nullptr);
 }
 
 /// Strips an optional `@<ms> ` arrival-timestamp prefix off a trace line.
@@ -224,13 +247,17 @@ int main(int raw_argc, char** raw_argv) {
                                   GetEnvInt("NARU_CACHE_BUDGET_MB", 4), 0)) *
                               1024 * 1024;
 
+    InstallSigintHandler();
+
     if (!GetEnvBool("NARU_ASYNC", false)) {
       // Blocking mode: read the whole input, answer it as one batch.
+      // SIGINT while reading stops collecting; what was read is served
+      // and the stats still print.
       std::vector<Query> queries;
       std::string line;
       std::string preds;
       size_t lineno = 0;
-      while (std::getline(in, line)) {
+      while (!g_interrupted && std::getline(in, line)) {
         ++lineno;
         if (line.empty() || line[0] == '#') continue;
         ParseArrivalPrefix(line, &preds);  // timestamps ignored when blocking
@@ -254,9 +281,10 @@ int main(int raw_argc, char** raw_argv) {
         std::printf("%.6g\t%.0f\t%s\n", sels[i], sels[i] * num_rows,
                     queries[i].ToString(table).c_str());
       }
-      const auto stats = engine.stats();
-      std::fprintf(stderr, "# served %zu queries (%zu sampled, %zu cached)\n",
-                   stats.queries, stats.sampled, stats.memo_hits);
+      if (g_interrupted) {
+        std::fprintf(stderr, "# interrupted: served what was read\n");
+      }
+      std::fputs(FormatEngineStats(engine.stats()).c_str(), stderr);
       return 0;
     }
 
@@ -303,16 +331,26 @@ int main(int raw_argc, char** raw_argv) {
     std::string preds;
     size_t lineno = 0;
     size_t rejected = 0;
-    while (std::getline(in, line)) {
+    while (!g_interrupted && std::getline(in, line)) {
       ++lineno;
       if (line.empty() || line[0] == '#') continue;
       const double at_ms = ParseArrivalPrefix(line, &preds);
       if (at_ms >= 0) {
-        // Replay: wait until this request's recorded arrival time.
-        std::this_thread::sleep_until(
+        // Replay: wait until this request's recorded arrival time. Sleep
+        // in short slices — sleep_until retries on EINTR, so one long
+        // sleep would ignore SIGINT for the rest of the replay gap.
+        const auto target =
             trace_start +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double, std::milli>(at_ms)));
+                std::chrono::duration<double, std::milli>(at_ms));
+        while (!g_interrupted) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= target) break;
+          std::this_thread::sleep_for(std::min<
+              std::chrono::steady_clock::duration>(
+              target - now, std::chrono::milliseconds(50)));
+        }
+        if (g_interrupted) break;
       }
       auto disjuncts = ParseDisjunction(table, preds);
       if (!disjuncts.ok() || disjuncts.ValueOrDie().size() != 1) {
@@ -339,20 +377,17 @@ int main(int raw_argc, char** raw_argv) {
     print_ready_prefix(/*block=*/true);
 
     const auto astats = engine.async_stats();
-    const auto estats = engine.stats();
+    if (g_interrupted) {
+      std::fprintf(stderr, "# interrupted: drained in-flight work\n");
+    }
     std::fprintf(stderr,
-                 "# served %zu queries (%zu rejected) in %zu micro-batches "
-                 "(largest %zu; %zu size / %zu deadline / %zu drain "
-                 "flushes)\n",
-                 astats.completed, rejected, astats.batches,
-                 astats.largest_batch, astats.size_flushes,
+                 "# served %zu queries (%zu rejected, %zu joined in-flight "
+                 "twins) in %zu micro-batches (largest %zu; %zu size / %zu "
+                 "deadline / %zu drain flushes)\n",
+                 astats.completed, rejected, astats.joined_duplicates,
+                 astats.batches, astats.largest_batch, astats.size_flushes,
                  astats.deadline_flushes, astats.drain_flushes);
-    std::fprintf(stderr,
-                 "# engine: %zu sampled, %zu memo hits, %zu evictions, "
-                 "%.1f KB cached\n",
-                 estats.sampled, estats.memo_hits,
-                 estats.memo_evictions + estats.marginal_evictions,
-                 (estats.memo_bytes + estats.marginal_bytes) / 1024.0);
+    std::fputs(FormatEngineStats(engine.stats()).c_str(), stderr);
     if (!latency_ms.empty()) {
       std::fprintf(stderr,
                    "# latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",

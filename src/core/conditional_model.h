@@ -50,9 +50,10 @@ class ConditionalModel {
 
   /// True when model position `pos` is unconstrained by `query`: the
   /// contained mass at that step is exactly 1 and the sampler can draw
-  /// from the full conditional (and exit early on a trailing run).
+  /// from the full conditional (and exit early on a trailing run). The
+  /// default reads the query's materialized wildcard bitmap.
   virtual bool PositionIsWildcard(const Query& query, size_t pos) const {
-    return query.region(TableColumnOf(pos)).IsAll();
+    return query.wildcard_mask()[TableColumnOf(pos)] != 0;
   }
 
   /// Zeroes the entries of `probs_row` (length DomainSize(pos)) outside
@@ -117,6 +118,20 @@ class ConditionalModel {
   /// forwards to ConditionalDist, which most models back with shared
   /// scratch buffers.
   virtual bool SupportsConcurrentSampling() const { return false; }
+
+  /// True when this model's sampling sessions are PURE: Dist(samples, col)
+  /// is a function of its arguments alone — callable at any column without
+  /// prior calls, with any row count, and row-independent, so rows from
+  /// unrelated walks may be stacked into one matrix and evaluated in one
+  /// call with per-row results bit-identical to evaluating each walk
+  /// separately. This is the contract the sampling-plan executor
+  /// (src/plan) relies on for both prefix forking (resume a walk at column
+  /// L through a fresh session) and cross-query GEMM fusion (one stacked
+  /// forward pass for a whole plan group). Feed-forward models whose
+  /// sessions recompute from the prefix (MADE) declare this; models with
+  /// incremental per-session state (the Oracle's shrinking row lists) must
+  /// not.
+  virtual bool SupportsStackedEvaluation() const { return false; }
 };
 
 }  // namespace naru

@@ -65,11 +65,25 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   /// Re-entrant ConditionalDist evaluating through caller-owned scratch.
   void ConditionalDistWith(EvalContext* ctx, const IntMatrix& samples,
                            size_t col, Matrix* probs) const;
+  /// Stacked-rows entry point for the sampling-plan executor (src/plan):
+  /// `samples` rows may stack the walk states of several queries, and the
+  /// one trunk forward + head evaluation here fuses what would otherwise
+  /// be one GEMM sequence per query. Per-row results are bit-identical to
+  /// evaluating each query's rows separately because every kernel on the
+  /// path (encode, gemm, bias, relu, softmax) is row-independent — the
+  /// property SupportsStackedEvaluation() advertises.
+  void StackedConditionalDist(EvalContext* ctx, const IntMatrix& samples,
+                              size_t col, Matrix* probs) const {
+    ConditionalDistWith(ctx, samples, col, probs);
+  }
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
   /// Sessions own an EvalContext each, so they can run concurrently.
   std::unique_ptr<SamplingSession> StartSession(size_t batch) override;
   bool SupportsConcurrentSampling() const override { return true; }
+  /// Sessions route through ConditionalDistWith, a pure function of
+  /// (samples, col) — see StackedConditionalDist above.
+  bool SupportsStackedEvaluation() const override { return true; }
 
   // --- Training ---
   /// Fused forward/backward over a batch of full tuples; accumulates

@@ -16,6 +16,7 @@ NaruEstimator::NaruEstimator(ConditionalModel* model,
       sampler_(model,
                ProgressiveSamplerConfig{
                    .num_samples = config.num_samples,
+                   .shard_size = config.shard_size,
                    .seed = config.sampler_seed,
                    .uniform_region = config.uniform_region,
                }),

@@ -28,6 +28,10 @@ struct NaruEstimatorConfig {
   /// enumeration instead of sampling (0 disables enumeration).
   size_t enumeration_threshold = 10000;
   uint64_t sampler_seed = 7;
+  /// Sample-path shard size (see ProgressiveSamplerConfig::shard_size).
+  /// Part of the RNG-stream contract: changing it changes every sampled
+  /// estimate for a given seed, so it participates in serving memo keys.
+  size_t shard_size = 128;
   /// Use the §5.1 uniform-region strawman (ablation only).
   bool uniform_region = false;
 };

@@ -86,6 +86,10 @@ class OrderedModel : public ConditionalModel, public TrainableModel {
   bool SupportsConcurrentSampling() const override {
     return cond_->SupportsConcurrentSampling();
   }
+  /// Sessions are the inner model's, so purity is inherited.
+  bool SupportsStackedEvaluation() const override {
+    return cond_->SupportsStackedEvaluation();
+  }
 
   /// Accepts TABLE-order tuples (permutes, then delegates).
   void LogProbRows(const IntMatrix& tuples,

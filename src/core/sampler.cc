@@ -35,6 +35,55 @@ size_t SamplerWorkspacePool::available() const {
   return free_.size();
 }
 
+void SamplerColumnStep(const ConditionalModel* model, const Query& query,
+                       size_t col, bool wildcard,
+                       const SamplerRowBlock& block, Rng* rng) {
+  const size_t d = block.probs->cols();
+  for (size_t r = 0; r < block.rows; ++r) {
+    const size_t row_index = block.row_offset + r;
+    float* row = block.probs->Row(row_index);
+    if (!block.alive[r]) {
+      // Dead paths keep a valid (but irrelevant) prefix so stateful
+      // sessions stay well-defined.
+      block.samples->At(row_index, col) = model->FallbackCode(query, col);
+      continue;
+    }
+    double mass;
+    if (wildcard) {
+      mass = 1.0;  // wildcard position: P(X ∈ full domain) is exactly 1
+    } else {
+      // Per-path mask: the model zeroes entries outside the allowed set
+      // given this path's sampled prefix (Alg. 1 lines 12-14).
+      mass = model->MaskProbsToRegion(query, block.samples->Row(row_index),
+                                      col, row);
+    }
+    if (!(mass > 0.0) || !std::isfinite(mass)) {
+      block.weights[r] = 0.0;
+      block.alive[r] = 0;
+      block.samples->At(row_index, col) = model->FallbackCode(query, col);
+      continue;
+    }
+    block.weights[r] *= std::min(mass, 1.0);
+    // Draw from the truncated, renormalized conditional (the row has
+    // been zeroed outside the region; Categorical renormalizes).
+    const size_t v = rng->Categorical(row, d);
+    block.samples->At(row_index, col) = static_cast<int32_t>(v);
+  }
+}
+
+uint64_t SamplerShardSeed(uint64_t seed, size_t shard) {
+  // splitmix64 finalizer over (seed, shard): adjacent shards land in
+  // uncorrelated regions of the xoshiro seed space.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+size_t SamplerNumShards(size_t num_samples, size_t shard_size) {
+  return (num_samples + shard_size - 1) / shard_size;
+}
+
 ProgressiveSampler::ProgressiveSampler(ConditionalModel* model,
                                        ProgressiveSamplerConfig cfg,
                                        SamplerWorkspacePool* workspaces)
@@ -46,16 +95,11 @@ ProgressiveSampler::ProgressiveSampler(ConditionalModel* model,
 }
 
 uint64_t ProgressiveSampler::ShardSeed(uint64_t seed, size_t shard) {
-  // splitmix64 finalizer over (seed, shard): adjacent shards land in
-  // uncorrelated regions of the xoshiro seed space.
-  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(shard) + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  return SamplerShardSeed(seed, shard);
 }
 
 size_t ProgressiveSampler::NumShards() const {
-  return (cfg_.num_samples + cfg_.shard_size - 1) / cfg_.shard_size;
+  return SamplerNumShards(cfg_.num_samples, cfg_.shard_size);
 }
 
 double ProgressiveSampler::EstimateSelectivity(const Query& query) {
@@ -211,36 +255,13 @@ double ProgressiveSampler::ShardWeightSum(const Query& query, size_t rows,
   for (size_t col = 0; col <= static_cast<size_t>(last_col); ++col) {
     const bool wildcard = model_->PositionIsWildcard(query, col);
     session->Dist(ws->samples, col, &ws->probs);
-    const size_t d = model_->DomainSize(col);
-    NARU_CHECK(ws->probs.rows() == rows && ws->probs.cols() == d);
-    for (size_t r = 0; r < rows; ++r) {
-      float* row = ws->probs.Row(r);
-      if (!ws->alive[r]) {
-        // Dead paths keep a valid (but irrelevant) prefix so stateful
-        // sessions stay well-defined.
-        ws->samples.At(r, col) = model_->FallbackCode(query, col);
-        continue;
-      }
-      double mass;
-      if (wildcard) {
-        mass = 1.0;  // wildcard position: P(X ∈ full domain) is exactly 1
-      } else {
-        // Per-path mask: the model zeroes entries outside the allowed set
-        // given this path's sampled prefix (Alg. 1 lines 12-14).
-        mass = model_->MaskProbsToRegion(query, ws->samples.Row(r), col, row);
-      }
-      if (!(mass > 0.0) || !std::isfinite(mass)) {
-        ws->weights[r] = 0.0;
-        ws->alive[r] = 0;
-        ws->samples.At(r, col) = model_->FallbackCode(query, col);
-        continue;
-      }
-      ws->weights[r] *= std::min(mass, 1.0);
-      // Draw from the truncated, renormalized conditional (the row has
-      // been zeroed outside the region; Categorical renormalizes).
-      const size_t v = rng->Categorical(row, d);
-      ws->samples.At(r, col) = static_cast<int32_t>(v);
-    }
+    NARU_CHECK(ws->probs.rows() == rows &&
+               ws->probs.cols() == model_->DomainSize(col));
+    SamplerColumnStep(model_, query, col, wildcard,
+                      SamplerRowBlock{&ws->samples, &ws->probs,
+                                      ws->weights.data(), ws->alive.data(),
+                                      /*row_offset=*/0, rows},
+                      rng);
   }
 
   double sum = 0;

@@ -46,6 +46,15 @@ struct SamplerWorkspace {
   Matrix probs;                 ///< model conditionals for the current column
   std::vector<double> weights;  ///< per-path running products of masses
   std::vector<uint8_t> alive;   ///< per-path liveness (0 once weight hits 0)
+
+  // Plan-execution scratch (src/plan): the shared leading-wildcard prefix
+  // walk of a plan group runs in these before being forked into the
+  // stacked per-query suffix walk, which reuses samples/probs above with
+  // one row block per query. One workspace therefore carries a whole
+  // (shard, group) task, keeping live workspaces proportional to the
+  // number of concurrently running tasks.
+  IntMatrix prefix_samples;     ///< prefix walk codes, paths x columns
+  Matrix prefix_probs;          ///< prefix walk conditionals
 };
 
 /// Thread-safe free-list of SamplerWorkspaces. One pool can back many
@@ -89,6 +98,39 @@ class WorkspaceLease {
   SamplerWorkspacePool* pool_;
   std::unique_ptr<SamplerWorkspace> ws_;
 };
+
+/// One query's block of sample paths inside a (possibly stacked) walk.
+/// The sequential sampler uses a block spanning a whole workspace
+/// (row_offset 0); the plan executor (src/plan) points blocks at row
+/// ranges of one stacked matrix shared by every query of a plan group.
+struct SamplerRowBlock {
+  IntMatrix* samples = nullptr;  ///< sampled prefix codes (stacked rows)
+  Matrix* probs = nullptr;       ///< this column's conditionals, row-aligned
+  double* weights = nullptr;     ///< this block's path weights (length rows)
+  uint8_t* alive = nullptr;      ///< this block's liveness flags
+  size_t row_offset = 0;         ///< first row of the block in samples/probs
+  size_t rows = 0;               ///< paths in the block
+};
+
+/// One column step of Algorithm 1 (lines 12-14) over one query's block:
+/// per path, mask the conditional to the query region, fold the contained
+/// mass into the path weight, and draw the next prefix code from the
+/// truncated distribution (wildcard columns contribute mass exactly 1 and
+/// draw from the full conditional). This is THE per-row walk kernel —
+/// shared by ProgressiveSampler and the plan executor so the planned path
+/// is bit-identical to the sequential one by construction.
+void SamplerColumnStep(const ConditionalModel* model, const Query& query,
+                       size_t col, bool wildcard,
+                       const SamplerRowBlock& block, Rng* rng);
+
+/// Independent RNG stream for shard `shard` of a fixed seed (splitmix64
+/// finalizer; adjacent shards land in uncorrelated xoshiro seed regions).
+/// The (seed, shard) -> stream map is part of the determinism contract:
+/// every execution strategy derives its draws from it.
+uint64_t SamplerShardSeed(uint64_t seed, size_t shard);
+
+/// Shard count for `num_samples` paths in shards of `shard_size`.
+size_t SamplerNumShards(size_t num_samples, size_t shard_size);
 
 struct ProgressiveSamplerConfig {
   /// Number of sample paths S (the paper's Naru-1000/2000/4000 suffix).

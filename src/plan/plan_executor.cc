@@ -1,0 +1,177 @@
+#include "plan/plan_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace naru {
+
+namespace {
+
+// One (group, shard) task: prefix walk, fork, stacked suffix walk.
+// Writes each member's shard weight sum / squared sum into the flat
+// per-(query, shard) result arrays.
+void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
+                   const PlanGroup& group, size_t shard, size_t rows,
+                   uint64_t seed, size_t num_shards, SamplerWorkspace* ws,
+                   std::vector<double>* shard_w, std::vector<double>* shard_w2) {
+  const size_t n = model->num_columns();
+  const size_t members = group.members.size();
+  const size_t prefix_len = group.prefix_len;
+
+  // --- Prefix: one walk over the shared leading-wildcard run. ---
+  Rng rng(SamplerShardSeed(seed, shard));
+  ws->prefix_samples.Resize(rows, n);
+  ws->prefix_samples.Fill(0);
+  ws->weights.assign(rows, 1.0);
+  ws->alive.assign(rows, 1);
+  auto session = model->StartSession(rows);
+  const Query& lead_query = *plan.queries[group.members.front()].query;
+  for (size_t col = 0; col < prefix_len; ++col) {
+    session->Dist(ws->prefix_samples, col, &ws->prefix_probs);
+    NARU_CHECK(ws->prefix_probs.rows() == rows &&
+               ws->prefix_probs.cols() == model->DomainSize(col));
+    // Wildcard for every member by construction of prefix_len; the query
+    // argument is never consulted on the wildcard path.
+    SamplerColumnStep(model, lead_query, col, /*wildcard=*/true,
+                      SamplerRowBlock{&ws->prefix_samples, &ws->prefix_probs,
+                                      ws->weights.data(), ws->alive.data(),
+                                      /*row_offset=*/0, rows},
+                      &rng);
+  }
+
+  // --- Fork: one row block and one RNG copy per member. ---
+  const size_t total = members * rows;
+  ws->samples.Resize(total, n);
+  for (size_t b = 0; b < members; ++b) {
+    // Row-major and same column count: each member's block is one
+    // contiguous copy of the whole prefix block.
+    std::memcpy(ws->samples.Row(b * rows), ws->prefix_samples.Row(0),
+                rows * n * sizeof(int32_t));
+  }
+  ws->weights.assign(total, 1.0);
+  ws->alive.assign(total, 1);
+  std::vector<Rng> rngs(members, rng);
+
+  // --- Suffix: column-synchronous stacked walk. Members are ordered by
+  // last_col descending, so the active set is always a leading slice of
+  // the stacked matrix and finished members drop off by truncation. ---
+  const int max_last = plan.queries[group.members.front()].last_col;
+  size_t active = members;
+  for (size_t col = prefix_len; col <= static_cast<size_t>(max_last); ++col) {
+    while (active > 0 &&
+           plan.queries[group.members[active - 1]].last_col <
+               static_cast<int>(col)) {
+      --active;
+    }
+    if (active == 0) break;
+    ws->samples.Resize(active * rows, n);  // truncation keeps leading rows
+    session->Dist(ws->samples, col, &ws->probs);
+    NARU_CHECK(ws->probs.rows() == active * rows &&
+               ws->probs.cols() == model->DomainSize(col));
+    for (size_t b = 0; b < active; ++b) {
+      const QueryPlan& qp = plan.queries[group.members[b]];
+      SamplerColumnStep(model, *qp.query, col, qp.wildcard[col] != 0,
+                        SamplerRowBlock{&ws->samples, &ws->probs,
+                                        ws->weights.data() + b * rows,
+                                        ws->alive.data() + b * rows,
+                                        /*row_offset=*/b * rows, rows},
+                        &rngs[b]);
+    }
+  }
+
+  // --- Reduce each member's block into its (query, shard) slot. ---
+  for (size_t b = 0; b < members; ++b) {
+    double sum = 0;
+    double sq = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const double w = ws->weights[b * rows + r];
+      sum += w;
+      sq += w * w;
+    }
+    const size_t slot = group.members[b] * num_shards + shard;
+    (*shard_w)[slot] = sum;
+    (*shard_w2)[slot] = sq;
+  }
+}
+
+}  // namespace
+
+void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
+                         const PlanExecutionOptions& options,
+                         std::vector<double>* estimates,
+                         std::vector<double>* std_errors) {
+  NARU_CHECK(model->SupportsStackedEvaluation());
+  NARU_CHECK(options.num_samples >= 1);
+  NARU_CHECK(options.shard_size >= 1);
+  const size_t m = plan.queries.size();
+  estimates->assign(m, 0.0);
+  if (std_errors != nullptr) std_errors->assign(m, 0.0);
+  if (m == 0) return;
+
+  const size_t num_shards =
+      SamplerNumShards(options.num_samples, options.shard_size);
+  std::vector<double> shard_w(m * num_shards, 0.0);
+  std::vector<double> shard_w2(m * num_shards, 0.0);
+
+  SamplerWorkspacePool local_pool;
+  SamplerWorkspacePool* workspaces =
+      options.workspaces != nullptr ? options.workspaces : &local_pool;
+
+  const size_t num_tasks = plan.groups.size() * num_shards;
+  auto run_task = [&](size_t t) {
+    const size_t g = t / num_shards;
+    const size_t k = t % num_shards;
+    const size_t lo = k * options.shard_size;
+    const size_t rows = std::min(options.shard_size, options.num_samples - lo);
+    WorkspaceLease ws(workspaces);
+    RunGroupShard(model, plan, plan.groups[g], k, rows, options.seed,
+                  num_shards, ws.get(), &shard_w, &shard_w2);
+  };
+
+  // Same scheduling discipline as ProgressiveSampler: shard/group
+  // parallelism only on concurrent-capable models, a caller's serial
+  // region wins, and whenever coarse parallelism is exercised (or an
+  // explicit parallelism=1 asked for one thread) the kernels inside run
+  // inline so thread accounting stays honest.
+  const bool concurrent_ok = model->SupportsConcurrentSampling();
+  const bool parallel = concurrent_ok && options.parallelism != 1 &&
+                        num_tasks > 1 && !ScopedSerialRegion::Active();
+  if (parallel) {
+    ThreadPool* pool = options.thread_pool != nullptr ? options.thread_pool
+                                                      : GlobalThreadPool();
+    pool->ParallelFor(
+        0, num_tasks,
+        [&](size_t lo, size_t hi) {
+          ScopedSerialRegion serial;
+          for (size_t t = lo; t < hi; ++t) run_task(t);
+        },
+        /*min_chunk=*/1);
+  } else if ((concurrent_ok && num_tasks > 1) || options.parallelism == 1) {
+    ScopedSerialRegion serial;
+    for (size_t t = 0; t < num_tasks; ++t) run_task(t);
+  } else {
+    for (size_t t = 0; t < num_tasks; ++t) run_task(t);
+  }
+
+  // Reduce in shard order per query — independent of execution order, and
+  // the same arithmetic as ProgressiveSampler::EstimateWithOptions.
+  const double s = static_cast<double>(options.num_samples);
+  for (size_t q = 0; q < m; ++q) {
+    double weight_sum = 0;
+    double weight_sq_sum = 0;
+    for (size_t k = 0; k < num_shards; ++k) {
+      weight_sum += shard_w[q * num_shards + k];
+      weight_sq_sum += shard_w2[q * num_shards + k];
+    }
+    const double mean = weight_sum / s;
+    (*estimates)[q] = mean;
+    if (std_errors != nullptr && options.num_samples > 1) {
+      const double var =
+          std::max(0.0, (weight_sq_sum - s * mean * mean) / (s - 1.0));
+      (*std_errors)[q] = std::sqrt(var / s);
+    }
+  }
+}
+
+}  // namespace naru

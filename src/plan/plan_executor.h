@@ -1,0 +1,68 @@
+// Executes compiled SamplingPlans: shared prefix walks, forked suffix
+// walks, cross-query GEMM fusion.
+//
+// Execution model. The unit of work is a (group, shard) task:
+//
+//   1. PREFIX — walk the group's shared leading-wildcard prefix once, on
+//      one block of shard_size paths, drawing from the shard's RNG stream
+//      Rng(SamplerShardSeed(seed, shard)). Every position in the prefix is
+//      unconstrained for every member, so masses are exactly 1, no path
+//      dies, and the resulting (samples, RNG state) is what EVERY member's
+//      sequential walk would hold after those columns.
+//   2. FORK — copy the prefix block into one row block per member of a
+//      stacked sample matrix and give each member a private copy of the
+//      post-prefix RNG state.
+//   3. SUFFIX — walk the remaining columns column-synchronously: ONE
+//      stacked model evaluation per column covers every still-active
+//      member (the cross-query GEMM fusion; requires
+//      ConditionalModel::SupportsStackedEvaluation), then each member's
+//      block runs the shared SamplerColumnStep kernel with its own RNG.
+//      Members are ordered by last constrained position descending, so a
+//      finished member's rows are dropped from the stacked matrix by
+//      truncating its tail.
+//
+// Determinism: per member, the draws consumed and the arithmetic applied
+// are those of ProgressiveSampler's sequential shard walk, and every
+// kernel on the stacked evaluation path is row-independent — so estimates
+// (and standard errors) are bit-identical to the sequential path for a
+// fixed seed, regardless of grouping, batch composition, or thread count.
+#pragma once
+
+#include <vector>
+
+#include "core/sampler.h"
+#include "plan/sampling_plan.h"
+#include "util/thread_pool.h"
+
+namespace naru {
+
+/// Execution knobs. Sampling fields mirror ProgressiveSamplerConfig (and
+/// are part of the RNG-stream contract); execution fields only move work
+/// between threads and never affect a result.
+struct PlanExecutionOptions {
+  size_t num_samples = 1000;
+  size_t shard_size = 128;
+  uint64_t seed = 7;
+  /// 1 = strictly serial on the calling thread; any other value spreads
+  /// (group, shard) tasks across `thread_pool` when the model supports
+  /// concurrent sampling.
+  size_t parallelism = 0;
+  /// nullptr = the process-global pool.
+  ThreadPool* thread_pool = nullptr;
+  /// nullptr = a private pool for this call (the serving engine injects
+  /// its shared pool so concurrent batches reuse one set of buffers).
+  SamplerWorkspacePool* workspaces = nullptr;
+};
+
+/// Runs `plan` against `model`; (*estimates)[i] is the unbiased
+/// selectivity estimate for plan.queries[i] — bit-identical to
+/// ProgressiveSampler::EstimateWithStdError under the same
+/// (num_samples, shard_size, seed). `std_errors` (optional) receives the
+/// matching Monte Carlo standard errors. Requires
+/// model->SupportsStackedEvaluation().
+void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
+                         const PlanExecutionOptions& options,
+                         std::vector<double>* estimates,
+                         std::vector<double>* std_errors = nullptr);
+
+}  // namespace naru

@@ -1,0 +1,127 @@
+#include "plan/sampling_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace naru {
+
+size_t SamplingPlan::WalkColumns() const {
+  size_t cols = 0;
+  for (const auto& q : queries) {
+    cols += static_cast<size_t>(q.last_col) + 1;
+  }
+  return cols;
+}
+
+size_t SamplingPlan::SharedPrefixColumns() const {
+  size_t saved = 0;
+  for (const auto& g : groups) {
+    if (g.members.size() > 1) saved += g.prefix_len * (g.members.size() - 1);
+  }
+  return saved;
+}
+
+double SamplingPlan::PrefixShareRatio() const {
+  const size_t walk = WalkColumns();
+  if (walk == 0) return 0.0;
+  return static_cast<double>(SharedPrefixColumns()) /
+         static_cast<double>(walk);
+}
+
+SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
+                                 const std::vector<const Query*>& queries,
+                                 const SamplingPlanOptions& options) {
+  SamplingPlan plan;
+  plan.queries.reserve(queries.size());
+  const size_t n = model->num_columns();
+  for (const Query* q : queries) {
+    QueryPlan qp;
+    qp.query = q;
+    qp.wildcard.resize(n);
+    for (size_t pos = 0; pos < n; ++pos) {
+      qp.wildcard[pos] = model->PositionIsWildcard(*q, pos) ? 1 : 0;
+      if (!qp.wildcard[pos]) qp.last_col = static_cast<int>(pos);
+    }
+    while (qp.wildcard_run < n && qp.wildcard[qp.wildcard_run]) {
+      ++qp.wildcard_run;
+    }
+    NARU_CHECK(qp.last_col >= 0);  // plans carry sampled queries only
+    plan.queries.push_back(std::move(qp));
+  }
+  const size_t m = plan.queries.size();
+  if (m == 0) return plan;
+
+  // Sort by leading-run length descending (stable on batch order) so any
+  // contiguous segment's shareable prefix is its LAST element's run.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return plan.queries[a].wildcard_run > plan.queries[b].wildcard_run;
+  });
+
+  // Partition the sorted sequence into contiguous segments maximizing the
+  // prefix-sharing savings Σ run(last) · (len - 1); on equal savings,
+  // prefer fewer segments (wider stacked GEMMs). best[j] = optimum for
+  // the first j queries.
+  struct Best {
+    size_t savings = 0;
+    size_t segments = 0;
+    size_t cut = 0;  // segment start for the partition ending at j
+  };
+  std::vector<Best> best(m + 1);
+  for (size_t j = 1; j <= m; ++j) {
+    best[j].savings = 0;
+    best[j].segments = m + 1;
+    for (size_t i = 0; i < j; ++i) {  // segment [i, j)
+      const size_t run = plan.queries[order[j - 1]].wildcard_run;
+      const size_t cand = best[i].savings + run * (j - 1 - i);
+      const size_t segs = best[i].segments + 1;
+      if (cand > best[j].savings ||
+          (cand == best[j].savings && segs < best[j].segments)) {
+        best[j].savings = cand;
+        best[j].segments = segs;
+        best[j].cut = i;
+      }
+    }
+  }
+
+  // Recover segments, then split any that exceed max_group_width.
+  std::vector<std::pair<size_t, size_t>> segments;  // [begin, end) in order
+  for (size_t j = m; j > 0; j = best[j].cut) {
+    segments.emplace_back(best[j].cut, j);
+  }
+  std::reverse(segments.begin(), segments.end());
+
+  const size_t cap = std::max<size_t>(options.max_group_width, 1);
+  for (const auto& [seg_begin, seg_end] : segments) {
+    const size_t len = seg_end - seg_begin;
+    const size_t pieces = (len + cap - 1) / cap;
+    // Even split: every piece keeps the segment's shared prefix.
+    const size_t base = len / pieces;
+    const size_t extra = len % pieces;
+    size_t at = seg_begin;
+    for (size_t p = 0; p < pieces; ++p) {
+      const size_t take = base + (p < extra ? 1 : 0);
+      PlanGroup group;
+      group.members.assign(order.begin() + static_cast<ptrdiff_t>(at),
+                           order.begin() + static_cast<ptrdiff_t>(at + take));
+      at += take;
+      group.prefix_len = plan.queries[group.members.front()].wildcard_run;
+      for (size_t member : group.members) {
+        group.prefix_len =
+            std::min(group.prefix_len, plan.queries[member].wildcard_run);
+      }
+      // Tail blocks must be droppable by truncation once their queries
+      // pass their last constrained position.
+      std::stable_sort(group.members.begin(), group.members.end(),
+                       [&](size_t a, size_t b) {
+                         return plan.queries[a].last_col >
+                                plan.queries[b].last_col;
+                       });
+      plan.groups.push_back(std::move(group));
+    }
+  }
+  return plan;
+}
+
+}  // namespace naru

@@ -1,0 +1,94 @@
+// Sampling plans: compiled batch execution layouts for progressive
+// sampling.
+//
+// The sequential sampler (§5.1, Algorithm 1) walks every query of a batch
+// independently, re-deriving per-column wildcard flags and early-exit
+// points on every shard and re-running the model forward pass once per
+// (query, column, shard). A SamplingPlan moves all of that to compile
+// time, before any walk starts:
+//
+//   - per-query region-mask metadata is materialized once (wildcard flag
+//     per model position, last constrained position, leading-wildcard run
+//     length);
+//   - queries are partitioned into PLAN GROUPS by shared leading-wildcard
+//     prefix. The walk state over a leading run of unconstrained positions
+//     is query-independent for a fixed (seed, shard) RNG stream — every
+//     position contributes mass exactly 1 and draws from the full
+//     conditional — so one shard walk over the group's common prefix is
+//     computed once and forked into per-query suffix walks, exactly;
+//   - within a group, the per-column model evaluations of all queries are
+//     fused into single stacked forward passes (one GEMM sequence for the
+//     whole group instead of one per query); see plan_executor.h.
+//
+// Grouping maximizes the number of prefix column-walks saved,
+// Σ prefix_len · (group size - 1), by dynamic programming over queries
+// sorted by leading-run length; ties prefer fewer, wider groups (wider
+// stacked GEMMs). The partition only decides WHERE rows sit in stacked
+// matrices and which columns are walked once instead of per query — never
+// what is computed — so estimates are bit-identical to the sequential
+// path for any group layout (the test oracle throughout src/plan).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/conditional_model.h"
+#include "query/query.h"
+
+namespace naru {
+
+/// Compile-time walk metadata for one query of a plan (model-position
+/// indexed; the compiler applies ConditionalModel::PositionIsWildcard so
+/// permuted and factorized layouts resolve here, once, instead of per
+/// shard).
+struct QueryPlan {
+  const Query* query = nullptr;
+  /// Last constrained model position (the trailing-wildcard early exit).
+  /// Plans are compiled for sampled queries only, so this is >= 0.
+  int last_col = -1;
+  /// Leading run of wildcard model positions (the shareable prefix).
+  size_t wildcard_run = 0;
+  /// Wildcard flag per model position 0..num_columns-1.
+  std::vector<uint8_t> wildcard;
+};
+
+/// One group of queries sharing a leading-wildcard prefix walk.
+struct PlanGroup {
+  /// Shared prefix length: min wildcard_run over members (possibly 0 —
+  /// such a group still fuses its members' forward passes).
+  size_t prefix_len = 0;
+  /// Indices into SamplingPlan::queries, ordered by last_col descending
+  /// so that finished queries always occupy the TAIL blocks of the
+  /// stacked walk and can be dropped by truncation.
+  std::vector<size_t> members;
+};
+
+struct SamplingPlan {
+  std::vector<QueryPlan> queries;
+  std::vector<PlanGroup> groups;
+
+  /// Per-shard column-walks the sequential path would run: Σ (last_col+1).
+  size_t WalkColumns() const;
+  /// Per-shard column-walks saved by prefix sharing:
+  /// Σ_groups prefix_len · (members-1).
+  size_t SharedPrefixColumns() const;
+  /// SharedPrefixColumns / WalkColumns in [0, 1).
+  double PrefixShareRatio() const;
+};
+
+struct SamplingPlanOptions {
+  /// Upper bound on queries per group. Bounds stacked-walk memory
+  /// (group_width · shard_size rows of model activations) and yields more
+  /// (group, shard) tasks for the executor to spread across threads.
+  /// Never affects estimates.
+  size_t max_group_width = 32;
+};
+
+/// Compiles the batch `queries` (distinct, sampled-path queries against
+/// `model`) into groups. Deterministic: depends only on the query batch
+/// and options, never on threads or timing.
+SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
+                                 const std::vector<const Query*>& queries,
+                                 const SamplingPlanOptions& options = {});
+
+}  // namespace naru

@@ -70,27 +70,42 @@ Query::Query(const Table& table, std::vector<Predicate> predicates)
     regions_[p.column] =
         regions_[p.column].Intersect(p.ToValueSet(domain));
   }
+  BuildWildcardMask();
 }
 
 Query::Query(std::vector<ValueSet> regions,
              std::vector<Predicate> predicates)
     : predicates_(std::move(predicates)), regions_(std::move(regions)) {
   NARU_CHECK(!regions_.empty());
+  BuildWildcardMask();
+}
+
+void Query::BuildWildcardMask() {
+  wildcard_.resize(regions_.size());
+  for (size_t c = 0; c < regions_.size(); ++c) {
+    wildcard_[c] = regions_[c].IsAll() ? 1 : 0;
+  }
 }
 
 size_t Query::NumFilteredColumns() const {
   size_t n = 0;
-  for (const auto& r : regions_) {
-    if (!r.IsAll()) ++n;
+  for (uint8_t w : wildcard_) {
+    if (!w) ++n;
   }
   return n;
 }
 
 int Query::LastFilteredColumn() const {
-  for (int c = static_cast<int>(regions_.size()) - 1; c >= 0; --c) {
-    if (!regions_[static_cast<size_t>(c)].IsAll()) return c;
+  for (int c = static_cast<int>(wildcard_.size()) - 1; c >= 0; --c) {
+    if (!wildcard_[static_cast<size_t>(c)]) return c;
   }
   return -1;
+}
+
+size_t Query::LeadingWildcardRun() const {
+  size_t run = 0;
+  while (run < wildcard_.size() && wildcard_[run]) ++run;
+  return run;
 }
 
 double Query::Log10RegionSize() const {

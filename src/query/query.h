@@ -46,12 +46,26 @@ class Query {
   const ValueSet& region(size_t col) const { return regions_[col]; }
   size_t num_columns() const { return regions_.size(); }
 
+  /// Per-column wildcard bitmap (1 = the region is the full domain),
+  /// materialized once at construction. The sampling-plan compiler
+  /// (src/plan) and the sampler's wildcard checks consume this instead of
+  /// re-deriving it from the ValueSets on every shard walk.
+  const std::vector<uint8_t>& wildcard_mask() const { return wildcard_; }
+
   /// Number of columns with a non-wildcard region.
   size_t NumFilteredColumns() const;
 
   /// Index of the last non-wildcard column, or -1 if none (enables the
   /// trailing-wildcard early exit in the sampler).
   int LastFilteredColumn() const;
+
+  /// Length of the leading run of wildcard columns in TABLE order (the
+  /// serving benches report this to show how much shareable prefix a
+  /// workload carries). Note the plan compiler derives its runs in
+  /// MODEL-position order through ConditionalModel::PositionIsWildcard
+  /// (permuted/factorized models reorder or subdivide columns); for
+  /// identity-order models the two coincide.
+  size_t LeadingWildcardRun() const;
 
   /// log10 of the number of points in the query region R_1 x ... x R_n
   /// (Table 6's "query region size"); wildcards count their full domain.
@@ -63,8 +77,11 @@ class Query {
   std::string ToString(const Table& table) const;
 
  private:
+  void BuildWildcardMask();
+
   std::vector<Predicate> predicates_;
   std::vector<ValueSet> regions_;
+  std::vector<uint8_t> wildcard_;  // 1 per column whose region IsAll()
 };
 
 }  // namespace naru

@@ -21,11 +21,26 @@ std::vector<Query> GenerateWorkload(const Table& table,
   for (size_t i = 0; i < num_cols; ++i) col_order[i] = i;
 
   for (size_t q = 0; q < config.num_queries; ++q) {
-    const size_t f = static_cast<size_t>(
+    size_t f = static_cast<size_t>(
         rng.UniformRange(static_cast<int64_t>(min_filters),
                          static_cast<int64_t>(max_filters)));
     // Choose f distinct columns via partial shuffle.
     rng.Shuffle(&col_order);
+
+    // Leading-wildcard shaping: push the first `leading_wildcards` columns
+    // out of filter range so this query keeps an unconstrained leading run
+    // (the draw is gated on the knob, so unshaped configs consume exactly
+    // the RNG stream they always did).
+    if (config.leading_wildcards > 0 &&
+        config.leading_wildcard_fraction > 0.0 &&
+        rng.UniformDouble() < config.leading_wildcard_fraction) {
+      std::stable_partition(
+          col_order.begin(), col_order.end(),
+          [&](size_t c) { return c >= config.leading_wildcards; });
+      const size_t eligible =
+          num_cols - std::min(config.leading_wildcards, num_cols);
+      if (eligible > 0) f = std::max<size_t>(std::min(f, eligible), 1);
+    }
 
     // Literals follow the data distribution: take them from one random
     // tuple (in-distribution) or uniformly from each domain (OOD).

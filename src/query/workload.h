@@ -30,6 +30,14 @@ struct WorkloadConfig {
   double in_probability = 0.0;
   /// Maximum IN-list length (literals drawn from distinct data tuples).
   size_t max_in_list = 5;
+  /// Leading-wildcard shaping for serving/plan workloads: with probability
+  /// `leading_wildcard_fraction`, a query's filters avoid the first
+  /// `leading_wildcards` columns, giving it a leading run of unconstrained
+  /// columns — the query-independent walk prefix that sampling plans
+  /// (src/plan) share across the queries of a batch. 0 (the default)
+  /// leaves generation untouched (existing seeds keep their workloads).
+  size_t leading_wildcards = 0;
+  double leading_wildcard_fraction = 0.0;
   uint64_t seed = 42;
 };
 

@@ -4,7 +4,24 @@
 #include <utility>
 #include <vector>
 
+#include "serve/query_key.h"
+#include "util/string_util.h"
+
 namespace naru {
+
+namespace {
+
+// In-flight keys pair the estimator's identity with the canonical query
+// bytes: only submissions against the same estimator (hence the same
+// sampling config) may share a computation.
+std::string InflightKey(const NaruEstimator* est, const Query& query) {
+  std::string key =
+      StrFormat("%p|", static_cast<const void*>(est));
+  key += QueryKey(query);
+  return key;
+}
+
+}  // namespace
 
 AsyncEngine::AsyncEngine(AsyncEngineConfig config)
     : cfg_(config), engine_(config.engine) {
@@ -24,13 +41,33 @@ AsyncEngine::~AsyncEngine() {
 
 std::future<double> AsyncEngine::Submit(
     NaruEstimator* est, Query query, std::function<void(double)> on_complete) {
-  Pending p{est, std::move(query), std::promise<double>(),
-            std::move(on_complete), std::chrono::steady_clock::now()};
-  std::future<double> result = p.promise.get_future();
+  std::string key = InflightKey(est, query);
+  std::future<double> result;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.push_back(std::move(p));
     ++stats_.submitted;
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // An identical twin is pending or mid-walk: join it. No queue entry,
+      // no extra computation — the twin's delivery resolves this future.
+      std::promise<double> promise;
+      result = promise.get_future();
+      it->second->promises.push_back(std::move(promise));
+      it->second->callbacks.push_back(std::move(on_complete));  // may be empty
+      ++stats_.joined_duplicates;
+      return result;
+    }
+    Pending p{est,
+              std::move(query),
+              std::promise<double>(),
+              std::move(on_complete),
+              std::chrono::steady_clock::now(),
+              std::move(key),
+              std::make_shared<Joiners>()};
+    result = p.promise.get_future();
+    inflight_.emplace(p.key, p.joiners);
+    pending_.push_back(std::move(p));
+    ++primaries_submitted_;
   }
   cv_.notify_all();
   return result;
@@ -38,14 +75,19 @@ std::future<double> AsyncEngine::Submit(
 
 void AsyncEngine::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  // Wait on a submission watermark, not queue emptiness: micro-batches are
-  // cut FIFO by one dispatcher, so `completed >= watermark` proves every
-  // query submitted before this call is done — even while other threads
-  // keep the queue non-empty with new work.
-  const size_t watermark = stats_.submitted;
+  // Wait on a PRIMARY watermark, not queue emptiness: micro-batches are
+  // cut FIFO by one dispatcher, so `primaries_completed_ >= watermark`
+  // proves every queue entry submitted before this call is done — even
+  // while other threads keep the queue non-empty with new work. That also
+  // covers every pre-Drain joiner: a joiner delivers exactly when its
+  // (earlier-submitted, hence pre-watermark) primary does. The total
+  // stats_.completed counter would NOT work here — joiner deliveries land
+  // out of FIFO order and could reach a submission-count watermark while
+  // later pre-Drain primaries are still queued.
+  const size_t watermark = primaries_submitted_;
   ++drain_waiters_;
   cv_.notify_all();  // flush pending work now instead of at the deadline
-  drain_cv_.wait(lock, [&] { return stats_.completed >= watermark; });
+  drain_cv_.wait(lock, [&] { return primaries_completed_ >= watermark; });
   --drain_waiters_;
 }
 
@@ -102,27 +144,72 @@ void AsyncEngine::DispatcherLoop() {
       queries.push_back(std::move(p.query));  // batch only needs promises now
     }
     std::vector<double> out;
+    std::exception_ptr batch_error;
     try {
       engine_.EstimateMixedBatch(ests, queries, &out);
-      for (size_t i = 0; i < take; ++i) {
-        if (batch[i].on_complete) batch[i].on_complete(out[i]);
-        batch[i].promise.set_value(out[i]);
-      }
     } catch (...) {
       // Estimation itself is noexcept in practice; this guards allocation
-      // failure and user on_complete callbacks so waiters never hang.
-      const auto err = std::current_exception();
+      // failure so waiters never hang.
+      batch_error = std::current_exception();
+    }
+
+    // Unregister the batch's in-flight keys BEFORE delivering: a joiner
+    // that slipped in while the batch was computing is captured here (its
+    // promise is already in the Joiners list), and any duplicate arriving
+    // after this point starts a fresh computation that will hit the
+    // engine's memo.
+    size_t delivered = take;
+    lock.lock();
+    for (const Pending& p : batch) {
+      inflight_.erase(p.key);
+      delivered += p.joiners->promises.size();
+    }
+    lock.unlock();
+
+    if (batch_error == nullptr) {
+      // Per-request delivery: each submitter's callback runs on the
+      // dispatcher thread before ITS future becomes ready, and a throwing
+      // callback fails only that submitter's future — never the primary's
+      // or another joiner's.
+      const auto deliver = [](std::promise<double>* promise,
+                              const std::function<void(double)>& callback,
+                              double value) {
+        try {
+          if (callback) callback(value);
+          promise->set_value(value);
+        } catch (...) {
+          try {
+            promise->set_exception(std::current_exception());
+          } catch (const std::future_error&) {
+            // value already set before the callback threw
+          }
+        }
+      };
+      for (size_t i = 0; i < take; ++i) {
+        Pending& p = batch[i];
+        deliver(&p.promise, p.on_complete, out[i]);
+        for (size_t j = 0; j < p.joiners->promises.size(); ++j) {
+          deliver(&p.joiners->promises[j], p.joiners->callbacks[j], out[i]);
+        }
+      }
+    } else {
       for (size_t i = 0; i < take; ++i) {
         try {
-          batch[i].promise.set_exception(err);
+          batch[i].promise.set_exception(batch_error);
         } catch (const std::future_error&) {
-          // value already set before the callback threw
+        }
+        for (auto& joined : batch[i].joiners->promises) {
+          try {
+            joined.set_exception(batch_error);
+          } catch (const std::future_error&) {
+          }
         }
       }
     }
 
     lock.lock();
-    stats_.completed += take;
+    stats_.completed += delivered;
+    primaries_completed_ += take;
     drain_cv_.notify_all();  // a Drain watermark may have been reached
   }
 }

@@ -25,8 +25,12 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "serve/inference_engine.h"
 
@@ -55,6 +59,9 @@ struct AsyncEngineStats {
   size_t deadline_flushes = 0;  ///< flushed because max_wait_ms expired
   size_t drain_flushes = 0;     ///< flushed early by Drain() / destruction
   size_t largest_batch = 0;     ///< widest micro-batch dispatched
+  /// Submissions that joined an identical in-flight twin instead of
+  /// enqueueing their own computation (see Submit).
+  size_t joined_duplicates = 0;
 };
 
 /// A streaming serving front-end over one InferenceEngine. Thread-safe:
@@ -75,6 +82,16 @@ class AsyncEngine {
   /// dispatcher thread, before the future becomes ready — keep it cheap
   /// (record a timestamp, bump a counter); heavy work there stalls every
   /// later micro-batch.
+  ///
+  /// In-flight duplicate sharing: a query submitted while an identical
+  /// query (same estimator, literally identical regions by canonical key)
+  /// is still pending or mid-walk JOINS the twin's computation instead of
+  /// enqueueing its own — its future resolves, and its on_complete fires,
+  /// when the twin's result is delivered. Exact for the same reason batch
+  /// coalescing is: identical queries have identical deterministic
+  /// answers. This closes the gap where duplicates landing in different
+  /// micro-batches computed twice; counted in
+  /// AsyncEngineStats::joined_duplicates.
   std::future<double> Submit(NaruEstimator* est, Query query,
                              std::function<void(double)> on_complete = {});
 
@@ -92,12 +109,25 @@ class AsyncEngine {
   InferenceEngine* engine() { return &engine_; }
 
  private:
+  /// Followers of one in-flight computation (duplicate submissions that
+  /// joined it). The vectors are parallel — callbacks[i] (possibly empty)
+  /// belongs to promises[i] — so a follower's callback failure can be
+  /// confined to that follower's future. Mutated only under mu_ while the
+  /// key is registered in `inflight_`; read lock-free by the dispatcher
+  /// after it unregisters the key.
+  struct Joiners {
+    std::vector<std::promise<double>> promises;
+    std::vector<std::function<void(double)>> callbacks;
+  };
+
   struct Pending {
     NaruEstimator* est;
     Query query;
     std::promise<double> promise;
     std::function<void(double)> on_complete;
     std::chrono::steady_clock::time_point arrival;
+    std::string key;  // estimator identity + canonical query bytes
+    std::shared_ptr<Joiners> joiners;
   };
 
   void DispatcherLoop();
@@ -109,9 +139,22 @@ class AsyncEngine {
   std::condition_variable cv_;        // wakes the dispatcher
   std::condition_variable drain_cv_;  // wakes Drain waiters
   std::deque<Pending> pending_;
+  /// Key -> joiner list of the computation currently pending or mid-walk
+  /// for that key. Registered by Submit, unregistered by the dispatcher
+  /// when the result is delivered (later duplicates then hit the engine's
+  /// memo instead).
+  std::unordered_map<std::string, std::shared_ptr<Joiners>> inflight_;
   size_t drain_waiters_ = 0;    // active Drain calls: flush immediately
   bool stop_ = false;
   AsyncEngineStats stats_;
+  /// Drain bookkeeping in PRIMARY terms (queue entries, not joiners).
+  /// Primaries are dispatched and delivered FIFO, so `primaries_completed_
+  /// >= watermark` proves every pre-watermark primary is done — and with
+  /// it every pre-watermark joiner, since a joiner's primary is always
+  /// submitted before the joiner. stats_.completed (primaries + joiners)
+  /// is NOT FIFO-ordered and must not be used as a drain watermark.
+  size_t primaries_submitted_ = 0;
+  size_t primaries_completed_ = 0;
 
   std::thread dispatcher_;  // last member: joins before the rest dies
 };

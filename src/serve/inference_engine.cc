@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/enumerator.h"
+#include "plan/plan_executor.h"
+#include "plan/sampling_plan.h"
 #include "serve/query_key.h"
 #include "util/string_util.h"
 
@@ -31,10 +33,13 @@ std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
 // estimators wrapping one model (e.g. Naru-1000 and Naru-4000) must never
 // share memo entries. Built once per batch, not once per query.
 std::string MemoPrefix(const NaruEstimatorConfig& cfg) {
-  return StrFormat("%zu|%zu|%llu|%d|", cfg.num_samples,
+  // shard_size is part of the key: the shard layout defines the RNG
+  // streams, so two estimators differing only in it produce different
+  // sampled estimates.
+  return StrFormat("%zu|%zu|%llu|%zu|%d|", cfg.num_samples,
                    cfg.enumeration_threshold,
                    static_cast<unsigned long long>(cfg.sampler_seed),
-                   cfg.uniform_region ? 1 : 0);
+                   cfg.shard_size, cfg.uniform_region ? 1 : 0);
 }
 
 }  // namespace
@@ -69,7 +74,35 @@ EngineStats InferenceEngine::stats() const {
     snapshot.marginal_entries += cache.leading_mass.entries();
     snapshot.marginal_bytes += cache.leading_mass.bytes();
   }
+  snapshot.workspaces_created = workspaces_.total_created();
   return snapshot;
+}
+
+std::string FormatEngineStats(const EngineStats& stats) {
+  std::string out;
+  out += StrFormat(
+      "# engine: %zu queries (%zu sampled, %zu enumerated, %zu exact "
+      "shortcuts)\n",
+      stats.queries, stats.sampled, stats.enumerated, stats.exact_shortcuts);
+  out += StrFormat(
+      "# caches: memo %zu hits / %zu misses / %zu evictions (%zu entries, "
+      "%.1f KB), marginal %zu hits / %zu misses / %zu evictions (%zu "
+      "entries, %.1f KB)\n",
+      stats.memo_hits, stats.memo_misses, stats.memo_evictions,
+      stats.memo_entries, stats.memo_bytes / 1024.0, stats.marginal_hits,
+      stats.marginal_misses, stats.marginal_evictions, stats.marginal_entries,
+      stats.marginal_bytes / 1024.0);
+  out += StrFormat(
+      "# plans: %zu queries in %zu groups over %zu batches, avg group %.1f, "
+      "prefix-share ratio %.3f (%zu of %zu column walks shared)\n",
+      stats.planned_queries, stats.plan_groups, stats.plan_batches,
+      stats.plan_groups == 0 ? 0.0
+                             : static_cast<double>(stats.planned_queries) /
+                                   static_cast<double>(stats.plan_groups),
+      stats.prefix_share_ratio(), stats.plan_shared_cols,
+      stats.plan_walk_cols);
+  out += StrFormat("# workspaces created: %zu\n", stats.workspaces_created);
+  return out;
 }
 
 void InferenceEngine::ClearCaches() {
@@ -128,9 +161,48 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   const std::string memo_prefix =
       cfg_.enable_cache ? MemoPrefix(est->config()) : std::string();
 
-  // The schedule is chosen on the COALESCED width: a batch of 64 requests
-  // over 2 distinct templates is 2 queries' worth of work and should shard
-  // each walk across the pool, not park it on 2 of N workers.
+  // Planned route: resolve every distinct query through the exact fast
+  // paths (memo, empty, enumeration, wildcard exits, leading-only), then
+  // compile the sampled remainder into ONE SamplingPlan for the whole
+  // batch — queries grouped by shared leading-wildcard prefix, one prefix
+  // walk per (shard, group), per-column forward passes fused into stacked
+  // GEMMs. Requires pure stackable sessions; the uniform-region strawman
+  // takes none of the walk structure the plan exploits.
+  if (cfg_.enable_plan && est->model()->SupportsStackedEvaluation() &&
+      !est->sampler()->config().uniform_region) {
+    std::vector<size_t> sampled_reps;
+    std::vector<std::string> sampled_keys;
+    auto resolve_and_plan = [&] {
+      std::string memo_key;
+      for (size_t k = 0; k < m; ++k) {
+        double result;
+        if (ResolveBeforeSampling(est, queries[reps[k]], memo_prefix,
+                                  keys[reps[k]], &memo_key, &result)) {
+          (*out)[reps[k]] = result;
+        } else {
+          sampled_reps.push_back(reps[k]);
+          sampled_keys.push_back(std::move(memo_key));
+        }
+      }
+      EstimatePlanned(est, queries, sampled_reps, sampled_keys, p, out);
+    };
+    if (p == nullptr) {
+      // Strictly serial: one serial region over resolution AND plan
+      // execution keeps every kernel inline (the num_threads=1 contract).
+      ScopedSerialRegion serial;
+      resolve_and_plan();
+    } else {
+      resolve_and_plan();
+    }
+    for (size_t i = 0; i < n; ++i) (*out)[i] = (*out)[dup_of[i]];
+    return;
+  }
+
+  // Legacy route (models without stackable sessions, uniform-region, or
+  // enable_plan off): the schedule is chosen on the COALESCED width — a
+  // batch of 64 requests over 2 distinct templates is 2 queries' worth of
+  // work and should shard each walk across the pool, not park it on 2 of
+  // N workers.
   if (p != nullptr && concurrent && m >= p->num_threads() && m > 1) {
     // Wide batches: one distinct query per worker, sampler serial within a
     // query. Queries are independent and every cached value is exact, so
@@ -198,40 +270,40 @@ void InferenceEngine::EstimateMixedBatch(
   }
 }
 
-double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
-                                    const std::string& memo_prefix,
-                                    const std::string& query_key,
-                                    size_t sampler_parallelism,
-                                    ThreadPool* sampler_pool) {
+bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
+                                            const Query& query,
+                                            const std::string& memo_prefix,
+                                            const std::string& query_key,
+                                            std::string* memo_key,
+                                            double* result) {
   ConditionalModel* model = est->model();
+  memo_key->clear();
   if (query.HasEmptyRegion()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.exact_shortcuts;
-    return 0.0;
+    *result = 0.0;
+    return true;
   }
 
   const bool use_cache = cfg_.enable_cache;
-  std::string memo_key;
   if (use_cache) {
-    memo_key.reserve(memo_prefix.size() + query_key.size());
-    memo_key += memo_prefix;
-    memo_key += query_key;
+    memo_key->reserve(memo_prefix.size() + query_key.size());
+    *memo_key += memo_prefix;
+    *memo_key += query_key;
     std::lock_guard<std::mutex> lock(mu_);
-    double cached;
-    if (caches_[model].result_memo.Lookup(memo_key, &cached)) {
+    if (caches_[model].result_memo.Lookup(*memo_key, result)) {
       ++stats_.memo_hits;
-      return cached;
+      return true;
     }
     ++stats_.memo_misses;
   }
 
-  double result;
   if (est->ShouldEnumerate(query)) {
     // Serialized per model (see EnumerationMutexFor); sampling queries
     // keep flowing meanwhile.
     {
       std::lock_guard<std::mutex> lock(EnumerationMutexFor(model));
-      result = EnumerateSelectivity(model, query);
+      *result = EnumerateSelectivity(model, query);
     }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.enumerated;
@@ -241,7 +313,7 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
     // sequential ProgressiveSampler::EstimateWithStdError.
     const ProgressiveSampler::Path path = est->sampler()->Classify(query);
     if (path == ProgressiveSampler::Path::kAllWildcard) {
-      result = 1.0;  // every position wildcard: the walk would exit at once
+      *result = 1.0;  // every position wildcard: the walk would exit at once
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.exact_shortcuts;
     } else if (path == ProgressiveSampler::Path::kLeadingOnly) {
@@ -253,7 +325,7 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
       if (use_cache) {
         std::lock_guard<std::mutex> lock(mu_);
         auto& masses = caches_[model].leading_mass;
-        if (masses.Lookup(region_key, &result)) {
+        if (masses.Lookup(region_key, result)) {
           hit = true;
           ++stats_.marginal_hits;
           ++stats_.exact_shortcuts;
@@ -262,31 +334,111 @@ double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
         }
       }
       if (!hit) {
-        result = est->sampler()->LeadingOnlyMass(query);
+        *result = est->sampler()->LeadingOnlyMass(query);
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.exact_shortcuts;
         if (use_cache) {
           stats_.marginal_evictions += caches_[model].leading_mass.Insert(
-              region_key, result, cfg_.cache_budget_bytes);
+              region_key, *result, cfg_.cache_budget_bytes);
         }
       }
     } else {
-      ProgressiveSampler::RunOptions options;
-      options.parallelism = sampler_parallelism;
-      options.thread_pool = sampler_pool;
-      options.workspaces = &workspaces_;
-      result = est->sampler()->EstimateWithOptions(query, nullptr, options);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.sampled;
+      return false;  // needs a progressive-sampling walk
     }
   }
 
   if (use_cache) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.memo_evictions += caches_[model].result_memo.Insert(
+        *memo_key, *result, cfg_.cache_budget_bytes);
+  }
+  return true;
+}
+
+double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
+                                    const std::string& memo_prefix,
+                                    const std::string& query_key,
+                                    size_t sampler_parallelism,
+                                    ThreadPool* sampler_pool) {
+  std::string memo_key;
+  double result;
+  if (ResolveBeforeSampling(est, query, memo_prefix, query_key, &memo_key,
+                            &result)) {
+    return result;
+  }
+
+  ProgressiveSampler::RunOptions options;
+  options.parallelism = sampler_parallelism;
+  options.thread_pool = sampler_pool;
+  options.workspaces = &workspaces_;
+  result = est->sampler()->EstimateWithOptions(query, nullptr, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sampled;
+  if (cfg_.enable_cache) {
+    stats_.memo_evictions += caches_[est->model()].result_memo.Insert(
         memo_key, result, cfg_.cache_budget_bytes);
   }
   return result;
+}
+
+void InferenceEngine::EstimatePlanned(NaruEstimator* est,
+                                      const std::vector<Query>& queries,
+                                      const std::vector<size_t>& reps,
+                                      const std::vector<std::string>& memo_keys,
+                                      ThreadPool* pool,
+                                      std::vector<double>* out) {
+  if (reps.empty()) return;
+  std::vector<const Query*> sampled;
+  sampled.reserve(reps.size());
+  for (size_t rep : reps) sampled.push_back(&queries[rep]);
+
+  const ProgressiveSamplerConfig& scfg = est->sampler()->config();
+  SamplingPlanOptions plan_opts;
+  if (pool != nullptr) {
+    // (group, shard) tasks are the parallelism grain: when shards alone
+    // cannot cover the pool (few sample paths -> one shard), shrink the
+    // group width so the task count does. Grouping is an execution detail
+    // — it can never change an estimate — so this cap may depend on the
+    // thread count without breaking thread-count invariance.
+    const size_t num_shards =
+        SamplerNumShards(scfg.num_samples, scfg.shard_size);
+    const size_t min_groups =
+        (pool->num_threads() + num_shards - 1) / num_shards;
+    const size_t width_cap =
+        std::max<size_t>(1, (reps.size() + min_groups - 1) / min_groups);
+    plan_opts.max_group_width =
+        std::min(plan_opts.max_group_width, width_cap);
+  }
+  const SamplingPlan plan = CompileSamplingPlan(est->model(), sampled, plan_opts);
+  PlanExecutionOptions popts;
+  popts.num_samples = scfg.num_samples;
+  popts.shard_size = scfg.shard_size;
+  popts.seed = scfg.seed;
+  // When the engine is serial (pool == nullptr) the caller already holds a
+  // ScopedSerialRegion and the executor runs inline; otherwise (group,
+  // shard) tasks spread across the engine's pool.
+  popts.parallelism = pool == nullptr ? 1 : 0;
+  popts.thread_pool = pool;
+  popts.workspaces = &workspaces_;
+
+  std::vector<double> estimates;
+  ExecuteSamplingPlan(est->model(), plan, popts, &estimates);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.sampled += reps.size();
+  stats_.planned_queries += reps.size();
+  ++stats_.plan_batches;
+  stats_.plan_groups += plan.groups.size();
+  stats_.plan_shared_cols += plan.SharedPrefixColumns();
+  stats_.plan_walk_cols += plan.WalkColumns();
+  auto& memo = caches_[est->model()].result_memo;
+  for (size_t i = 0; i < reps.size(); ++i) {
+    (*out)[reps[i]] = estimates[i];
+    if (cfg_.enable_cache) {
+      stats_.memo_evictions +=
+          memo.Insert(memo_keys[i], estimates[i], cfg_.cache_budget_bytes);
+    }
+  }
 }
 
 }  // namespace naru

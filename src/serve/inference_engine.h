@@ -48,6 +48,14 @@ struct InferenceEngineConfig {
   /// never change an estimate — a re-asked query recomputes to the
   /// bit-identical value through the deterministic sampler.
   size_t cache_budget_bytes = 4 * 1024 * 1024;
+  /// Compile each batch's sampled queries into a SamplingPlan (src/plan):
+  /// queries grouped by shared leading-wildcard prefix, one walk per
+  /// (shard, prefix group), per-column model evaluations fused into
+  /// stacked GEMMs across the group. Only taken for models whose sessions
+  /// support stacked evaluation (MADE and wrappers); estimates are
+  /// bit-identical either way, so this is purely an execution strategy
+  /// switch (kept as a flag for A/B benchmarking).
+  bool enable_plan = true;
 };
 
 /// Serving counters and cache introspection. Counters are cumulative
@@ -71,7 +79,26 @@ struct EngineStats {
   size_t memo_bytes = 0;         ///< charged memo bytes across all models
   size_t marginal_entries = 0;   ///< live marginal entries across models
   size_t marginal_bytes = 0;     ///< charged marginal bytes across models
+
+  size_t planned_queries = 0;    ///< sampled walks served through plans
+  size_t plan_batches = 0;       ///< batches that compiled a sampling plan
+  size_t plan_groups = 0;        ///< plan groups compiled (GEMM-fusion units)
+  size_t plan_shared_cols = 0;   ///< per-shard column walks saved by sharing
+  size_t plan_walk_cols = 0;     ///< column walks the sequential path runs
+  size_t workspaces_created = 0; ///< sampler workspaces ever created (churn)
+
+  /// Fraction of per-shard column walks the prefix sharing eliminated.
+  double prefix_share_ratio() const {
+    return plan_walk_cols == 0
+               ? 0.0
+               : static_cast<double>(plan_shared_cols) /
+                     static_cast<double>(plan_walk_cols);
+  }
 };
+
+/// Multi-line human-readable rendering of the counters (what `naru_cli
+/// serve` prints on exit and on SIGINT).
+std::string FormatEngineStats(const EngineStats& stats);
 
 /// Pre-LRU name for the stats struct, kept as an alias for existing
 /// callers.
@@ -143,6 +170,26 @@ class InferenceEngine {
                      const std::string& memo_prefix,
                      const std::string& query_key, size_t sampler_parallelism,
                      ThreadPool* sampler_pool);
+
+  /// Every routing step of EstimateOne short of the sampled walk: memo
+  /// lookup, empty region, enumeration, trailing-wildcard exit,
+  /// leading-only marginal. Returns true with *result set when the query
+  /// resolved; false when it needs a progressive-sampling walk, leaving
+  /// its memo key in *memo_key for post-walk insertion. Shared by
+  /// EstimateOne and the planned batch path so the routing policy cannot
+  /// diverge between them.
+  bool ResolveBeforeSampling(NaruEstimator* est, const Query& query,
+                             const std::string& memo_prefix,
+                             const std::string& query_key,
+                             std::string* memo_key, double* result);
+
+  /// Serves the batch's unresolved sampled queries through a compiled
+  /// SamplingPlan (prefix sharing + stacked GEMMs); writes (*out)[rep]
+  /// and memoizes each result. `reps`/`memo_keys` are parallel arrays.
+  void EstimatePlanned(NaruEstimator* est, const std::vector<Query>& queries,
+                       const std::vector<size_t>& reps,
+                       const std::vector<std::string>& memo_keys,
+                       ThreadPool* pool, std::vector<double>* out);
 
   /// nullptr when the engine is strictly serial.
   ThreadPool* pool() const;

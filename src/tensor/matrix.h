@@ -46,7 +46,12 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  /// Reshapes to (rows, cols), reallocating if needed. Contents unspecified.
+  /// Reshapes to (rows, cols), reallocating if needed. CONTRACT: when
+  /// `cols` is unchanged, the leading min(old_rows, rows) rows keep their
+  /// contents (flat row-major storage, vector::resize semantics) — the
+  /// plan executor (src/plan) truncates stacked walks by shrinking rows
+  /// and relies on this. Contents are unspecified only for the newly
+  /// added tail and whenever `cols` changes.
   void Resize(size_t rows, size_t cols) {
     rows_ = rows;
     cols_ = cols;
@@ -97,6 +102,8 @@ class IntMatrix {
     return data_[r * cols_ + c];
   }
 
+  /// Same preservation contract as Matrix::Resize: with `cols` unchanged,
+  /// the leading min(old_rows, rows) rows keep their contents.
   void Resize(size_t rows, size_t cols) {
     rows_ = rows;
     cols_ = cols;

@@ -1,0 +1,299 @@
+// Tests for the sampling-plan layer (src/plan): plan compilation
+// (grouping, prefix lengths, the savings-maximizing partition) and plan
+// execution (shared prefix walks, forked suffix walks, stacked GEMMs).
+// The oracle throughout is bit-identity with the sequential
+// ProgressiveSampler for a fixed seed — across shard sizes, group
+// layouts, and thread counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/made.h"
+#include "core/oracle_model.h"
+#include "core/trainer.h"
+#include "data/datasets.h"
+#include "plan/plan_executor.h"
+#include "plan/sampling_plan.h"
+#include "query/workload.h"
+
+namespace naru {
+namespace {
+
+Table PlanTable(uint64_t seed) {
+  return MakeRandomTable(700, {6, 5, 8, 4, 7, 5}, seed, /*skew=*/1.0);
+}
+
+std::unique_ptr<MadeModel> PlanModel(const Table& table, uint64_t seed) {
+  MadeModel::Config cfg;
+  cfg.hidden_sizes = {24, 24};
+  cfg.encoder.onehot_threshold = 16;
+  cfg.seed = seed;
+  auto model = std::make_unique<MadeModel>(
+      std::vector<size_t>{6, 5, 8, 4, 7, 5}, cfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 128;
+  Trainer(model.get(), tcfg).Train(table);
+  return model;
+}
+
+/// A query constraining exactly the given columns (interval [1, 2]).
+Query QueryOn(const Table& table, const std::vector<size_t>& cols) {
+  std::vector<ValueSet> regions;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    regions.push_back(ValueSet::All(table.column(c).DomainSize()));
+  }
+  for (size_t c : cols) {
+    regions[c] = ValueSet::Interval(table.column(c).DomainSize(), 1, 2);
+  }
+  return Query(regions);
+}
+
+/// Mixed-leading-wildcard batch: a randomized workload where roughly half
+/// the queries keep a leading run of `wildcards` unconstrained columns.
+std::vector<Query> MixedRunBatch(const Table& table, size_t num,
+                                 size_t wildcards, uint64_t seed) {
+  WorkloadConfig wcfg;
+  wcfg.num_queries = num;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 4;
+  wcfg.leading_wildcards = wildcards;
+  wcfg.leading_wildcard_fraction = 0.5;
+  wcfg.seed = seed;
+  std::vector<Query> out;
+  // Keep only sampled-path queries (>= 2 constrained columns or a
+  // constrained non-leading column): the plan layer only ever sees those.
+  for (Query& q : GenerateWorkload(table, wcfg)) {
+    if (q.LastFilteredColumn() >= 1 && !q.HasEmptyRegion()) {
+      out.push_back(std::move(q));
+    }
+  }
+  return out;
+}
+
+TEST(Query, WildcardMaskAndLeadingRun) {
+  Table t = PlanTable(3);
+  const Query q = QueryOn(t, {2, 4});
+  const auto& mask = q.wildcard_mask();
+  ASSERT_EQ(mask.size(), t.num_columns());
+  for (size_t c = 0; c < mask.size(); ++c) {
+    EXPECT_EQ(mask[c] != 0, c != 2 && c != 4) << "col " << c;
+  }
+  EXPECT_EQ(q.LeadingWildcardRun(), 2u);
+  EXPECT_EQ(q.LastFilteredColumn(), 4);
+  EXPECT_EQ(q.NumFilteredColumns(), 2u);
+  EXPECT_EQ(QueryOn(t, {0}).LeadingWildcardRun(), 0u);
+  EXPECT_EQ(Query(std::vector<ValueSet>{ValueSet::All(4), ValueSet::All(3)})
+                .LeadingWildcardRun(),
+            2u);
+}
+
+TEST(SamplingPlan, GroupsByLeadingWildcardRun) {
+  Table t = PlanTable(5);
+  auto model = PlanModel(t, 5);
+  // Runs: 3, 3, 0, 2, 2 — the optimal partition merges all four
+  // wildcard-led queries into ONE group at prefix 2 (savings 2·3 = 6,
+  // beating {3,3}+{2,2} = 5) and isolates the run-0 query.
+  const std::vector<Query> queries = {
+      QueryOn(t, {3, 4}), QueryOn(t, {3, 5}), QueryOn(t, {0, 2}),
+      QueryOn(t, {2, 3}), QueryOn(t, {2, 5})};
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs);
+  ASSERT_EQ(plan.queries.size(), 5u);
+  EXPECT_EQ(plan.queries[0].wildcard_run, 3u);
+  EXPECT_EQ(plan.queries[2].wildcard_run, 0u);
+  EXPECT_EQ(plan.queries[3].wildcard_run, 2u);
+  EXPECT_EQ(plan.queries[0].last_col, 4);
+
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.SharedPrefixColumns(), 6u);  // prefix 2 shared by 4 queries
+  size_t grouped = 0;
+  for (const auto& g : plan.groups) {
+    grouped += g.members.size();
+    // Members ordered by last_col descending (truncation invariant).
+    for (size_t i = 1; i < g.members.size(); ++i) {
+      EXPECT_GE(plan.queries[g.members[i - 1]].last_col,
+                plan.queries[g.members[i]].last_col);
+    }
+    // The shared prefix never exceeds any member's run.
+    for (size_t m : g.members) {
+      EXPECT_LE(g.prefix_len, plan.queries[m].wildcard_run);
+    }
+  }
+  EXPECT_EQ(grouped, 5u);
+  EXPECT_GT(plan.PrefixShareRatio(), 0.0);
+}
+
+TEST(SamplingPlan, GroupWidthCapSplitsEvenly) {
+  Table t = PlanTable(7);
+  auto model = PlanModel(t, 7);
+  std::vector<Query> queries;
+  for (size_t i = 0; i < 10; ++i) queries.push_back(QueryOn(t, {2, 3 + i % 3}));
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  SamplingPlanOptions opts;
+  opts.max_group_width = 4;
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, opts);
+  size_t grouped = 0;
+  for (const auto& g : plan.groups) {
+    EXPECT_LE(g.members.size(), 4u);
+    EXPECT_EQ(g.prefix_len, 2u);  // every piece keeps the shared prefix
+    grouped += g.members.size();
+  }
+  EXPECT_EQ(grouped, 10u);
+  EXPECT_EQ(plan.groups.size(), 3u);  // 10 into pieces of <= 4
+}
+
+TEST(MadeModel, StackedRowsEvaluateBitIdentically) {
+  Table t = PlanTable(9);
+  auto model = PlanModel(t, 9);
+  ASSERT_TRUE(model->SupportsStackedEvaluation());
+  const size_t n = model->num_columns();
+
+  // Two unrelated walk states...
+  IntMatrix a(3, n), b(5, n);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      a.At(r, c) = static_cast<int32_t>((r + c) % model->DomainSize(c));
+    }
+  }
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      b.At(r, c) = static_cast<int32_t>((2 * r + c) % model->DomainSize(c));
+    }
+  }
+  // ...stacked into one matrix.
+  IntMatrix stacked(8, n);
+  for (size_t r = 0; r < 3; ++r) {
+    std::memcpy(stacked.Row(r), a.Row(r), n * sizeof(int32_t));
+  }
+  for (size_t r = 0; r < 5; ++r) {
+    std::memcpy(stacked.Row(3 + r), b.Row(r), n * sizeof(int32_t));
+  }
+
+  for (size_t col : {size_t{1}, size_t{3}, n - 1}) {
+    MadeModel::EvalContext ctx_a, ctx_b, ctx_s;
+    Matrix pa, pb, ps;
+    model->ConditionalDistWith(&ctx_a, a, col, &pa);
+    model->ConditionalDistWith(&ctx_b, b, col, &pb);
+    model->StackedConditionalDist(&ctx_s, stacked, col, &ps);
+    ASSERT_EQ(ps.rows(), 8u);
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(std::memcmp(ps.Row(r), pa.Row(r),
+                            ps.cols() * sizeof(float)),
+                0)
+          << "col " << col << " row " << r;
+    }
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(std::memcmp(ps.Row(3 + r), pb.Row(r),
+                            ps.cols() * sizeof(float)),
+                0)
+          << "col " << col << " row " << r;
+    }
+  }
+}
+
+// The heart of the refactor: for randomized batches with mixed
+// leading-wildcard runs, planned execution is bit-identical to the
+// sequential per-query sampler — across shard sizes, group layouts, and
+// thread counts (estimates AND standard errors).
+TEST(PlanExecutor, BitIdenticalToSequentialSampler) {
+  Table t = PlanTable(11);
+  auto model = PlanModel(t, 11);
+  const std::vector<Query> queries = MixedRunBatch(t, 24, 3, 131);
+  ASSERT_GE(queries.size(), 8u);
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  for (const size_t shard_size : {size_t{32}, size_t{128}}) {
+    // Sequential reference at this shard size.
+    ProgressiveSamplerConfig scfg;
+    scfg.num_samples = 300;
+    scfg.shard_size = shard_size;
+    scfg.seed = 17;
+    ProgressiveSampler sampler(model.get(), scfg);
+    std::vector<double> want, want_se;
+    for (const auto& q : queries) {
+      double se = 0;
+      want.push_back(sampler.EstimateWithStdError(q, &se));
+      want_se.push_back(se);
+    }
+
+    for (const size_t group_width : {size_t{1}, size_t{3}, size_t{32}}) {
+      SamplingPlanOptions popts;
+      popts.max_group_width = group_width;
+      const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, popts);
+      for (const size_t parallelism : {size_t{1}, size_t{0}}) {
+        PlanExecutionOptions opts;
+        opts.num_samples = 300;
+        opts.shard_size = shard_size;
+        opts.seed = 17;
+        opts.parallelism = parallelism;
+        std::vector<double> got, got_se;
+        ExecuteSamplingPlan(model.get(), plan, opts, &got, &got_se);
+        ASSERT_EQ(got.size(), queries.size());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_EQ(got[i], want[i])
+              << "shard " << shard_size << " width " << group_width
+              << " parallelism " << parallelism << " query " << i;
+          EXPECT_EQ(got_se[i], want_se[i]) << "stderr, query " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanExecutor, PrefixShareSavesModelColumnCalls) {
+  // Two queries sharing a 2-column wildcard prefix, via a call-counting
+  // model: the planned walk must evaluate the prefix columns once per
+  // shard, not once per (query, shard).
+  class CountingModel : public ConditionalModel {
+   public:
+    size_t num_columns() const override { return 4; }
+    size_t DomainSize(size_t) const override { return 3; }
+    void ConditionalDist(const IntMatrix& samples, size_t col,
+                         Matrix* probs) override {
+      ++calls;
+      probs->Resize(samples.rows(), 3);
+      probs->Fill(1.0f / 3.0f);
+      (void)col;
+    }
+    bool SupportsStackedEvaluation() const override { return true; }
+    int calls = 0;
+  };
+  CountingModel model;
+  Query qa({ValueSet::All(3), ValueSet::All(3), ValueSet::Interval(3, 0, 1),
+            ValueSet::All(3)});
+  Query qb({ValueSet::All(3), ValueSet::All(3), ValueSet::All(3),
+            ValueSet::Interval(3, 1, 2)});
+  const SamplingPlan plan =
+      CompileSamplingPlan(&model, {&qa, &qb});
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].prefix_len, 2u);
+
+  PlanExecutionOptions opts;
+  opts.num_samples = 64;
+  opts.shard_size = 64;  // one shard
+  std::vector<double> got;
+  ExecuteSamplingPlan(&model, plan, opts, &got);
+  // Sequential would walk qa over cols 0..2 and qb over 0..3 = 7 calls;
+  // the plan shares cols 0-1 and stacks the rest: 2 (prefix) + 1 (col 2,
+  // stacked) + 1 (col 3, qb alone) = 4.
+  EXPECT_EQ(model.calls, 4);
+  // float32 conditionals: 1/3f + 1/3f carries ~1e-8 rounding.
+  EXPECT_NEAR(got[0], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(got[1], 2.0 / 3.0, 1e-6);
+}
+
+TEST(PlanExecutor, RefusesStatefulSessionModels) {
+  Table t = PlanTable(13);
+  OracleModel oracle(&t);
+  EXPECT_FALSE(oracle.SupportsStackedEvaluation());
+}
+
+}  // namespace
+}  // namespace naru

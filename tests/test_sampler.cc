@@ -219,6 +219,59 @@ TEST(Sampler, StdErrorShrinksWithSampleCount) {
   EXPECT_LT(se_big, se_small / 2.0);
 }
 
+TEST(Sampler, ColumnStepPrimitiveReproducesFullWalk) {
+  // The sampler's per-column row kernel is exposed as SamplerColumnStep so
+  // the plan executor (src/plan) can share it. Re-assembling a whole
+  // estimate from the primitive — shard seeds, column steps, shard-order
+  // reduction — must reproduce EstimateSelectivity bit-for-bit; this
+  // pins the primitive's contract independently of either caller.
+  Table t = MakeRandomTable(500, {5, 6, 4, 5}, 19, /*skew=*/1.0);
+  MadeModel::Config mcfg;
+  mcfg.hidden_sizes = {24, 24};
+  mcfg.encoder.onehot_threshold = 16;
+  mcfg.seed = 4;
+  MadeModel model({5, 6, 4, 5}, mcfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 128;
+  Trainer(&model, tcfg).Train(t);
+
+  Predicate p1{/*column=*/1, CompareOp::kLe, /*literal=*/3, 0, {}};
+  Predicate p2{/*column=*/2, CompareOp::kGe, /*literal=*/1, 0, {}};
+  Query q(t, {p1, p2});
+
+  ProgressiveSamplerConfig scfg;
+  scfg.num_samples = 200;
+  scfg.shard_size = 64;
+  scfg.seed = 23;
+  ProgressiveSampler sampler(&model, scfg);
+  const double want = sampler.EstimateSelectivity(q);
+
+  const int last_col = q.LastFilteredColumn();
+  const size_t n = model.num_columns();
+  double weight_sum = 0;
+  for (size_t k = 0; k < SamplerNumShards(scfg.num_samples, scfg.shard_size);
+       ++k) {
+    const size_t lo = k * scfg.shard_size;
+    const size_t rows = std::min(scfg.shard_size, scfg.num_samples - lo);
+    Rng rng(SamplerShardSeed(scfg.seed, k));
+    IntMatrix samples(rows, n);
+    Matrix probs;
+    std::vector<double> weights(rows, 1.0);
+    std::vector<uint8_t> alive(rows, 1);
+    auto session = model.StartSession(rows);
+    for (size_t col = 0; col <= static_cast<size_t>(last_col); ++col) {
+      session->Dist(samples, col, &probs);
+      SamplerColumnStep(&model, q, col, model.PositionIsWildcard(q, col),
+                        SamplerRowBlock{&samples, &probs, weights.data(),
+                                        alive.data(), 0, rows},
+                        &rng);
+    }
+    for (double w : weights) weight_sum += w;
+  }
+  EXPECT_EQ(weight_sum / static_cast<double>(scfg.num_samples), want);
+}
+
 TEST(Enumerator, MatchesTruthOnOracle) {
   Table t = MakeRandomTable(300, {4, 5, 3}, 15);
   OracleModel oracle(&t);

@@ -352,6 +352,110 @@ TEST(InferenceEngine, EstimatorsSharingOneModelDoNotShareMemoEntries) {
   EXPECT_GE(engine.stats().marginal_hits, 1u);
 }
 
+// Satellite of the plan-layer refactor: randomized batches with mixed
+// leading-wildcard runs must be bit-identical to the per-query sequential
+// path across thread counts, shard sizes, and group layouts — with the
+// plan actually exercised (groups compiled, prefix columns shared).
+TEST(InferenceEngine, PrefixSharingBitIdenticalAcrossThreadsAndShards) {
+  Table table = SmallTable(43);
+  auto model = SmallTrainedModel(table, 43);
+
+  // Mixed runs: half the workload keeps >= 2 leading wildcard columns.
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 64;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 3;
+  wcfg.leading_wildcards = 2;
+  wcfg.leading_wildcard_fraction = 0.5;
+  wcfg.seed = 97;
+  const std::vector<Query> queries = GenerateWorkload(table, wcfg);
+
+  for (const size_t shard_size : {size_t{32}, size_t{128}}) {
+    NaruEstimatorConfig ncfg;
+    ncfg.num_samples = 200;
+    ncfg.enumeration_threshold = 0;
+    ncfg.shard_size = shard_size;
+    NaruEstimator est(model.get(), ncfg, 0);
+
+    std::vector<double> sequential;
+    for (const auto& q : queries) {
+      sequential.push_back(est.EstimateSelectivity(q));
+    }
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      InferenceEngineConfig ecfg;
+      ecfg.num_threads = threads;
+      InferenceEngine engine(ecfg);
+      std::vector<double> batched;
+      engine.EstimateBatch(&est, queries, &batched);
+      EXPECT_EQ(batched, sequential)
+          << "threads " << threads << " shard " << shard_size;
+
+      const auto stats = engine.stats();
+      EXPECT_GT(stats.planned_queries, 0u);
+      EXPECT_GT(stats.plan_groups, 0u);
+      EXPECT_GT(stats.plan_shared_cols, 0u);  // prefixes actually shared
+      EXPECT_GT(stats.prefix_share_ratio(), 0.0);
+      EXPECT_GT(stats.workspaces_created, 0u);  // satellite: pool churn
+      EXPECT_EQ(stats.workspaces_created,
+                engine.workspace_pool()->total_created());
+    }
+  }
+}
+
+// Group layout is an execution detail: splitting the same batch into
+// different micro-batches (hence different plans and groupings) never
+// changes an estimate, and disabling planning entirely agrees too.
+TEST(InferenceEngine, PlanLayoutAndPlanDisableAreResultInvariant) {
+  Table table = SmallTable(47);
+  auto model = SmallTrainedModel(table, 47);
+
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 32;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 4;
+  wcfg.leading_wildcards = 3;
+  wcfg.leading_wildcard_fraction = 0.6;
+  wcfg.seed = 101;
+  const std::vector<Query> queries = GenerateWorkload(table, wcfg);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  // One whole-batch plan (cache off so every pass recomputes).
+  InferenceEngineConfig planned_cfg;
+  planned_cfg.num_threads = 2;
+  planned_cfg.enable_cache = false;
+  InferenceEngine planned(planned_cfg);
+  std::vector<double> whole;
+  planned.EstimateBatch(&est, queries, &whole);
+  EXPECT_GT(planned.stats().plan_batches, 0u);
+
+  // Same queries in chunks of 5: different plans, same results.
+  std::vector<double> chunked(queries.size());
+  for (size_t lo = 0; lo < queries.size(); lo += 5) {
+    const size_t hi = std::min(queries.size(), lo + 5);
+    std::vector<Query> chunk(queries.begin() + static_cast<ptrdiff_t>(lo),
+                             queries.begin() + static_cast<ptrdiff_t>(hi));
+    std::vector<double> out;
+    planned.EstimateBatch(&est, chunk, &out);
+    for (size_t i = lo; i < hi; ++i) chunked[i] = out[i - lo];
+  }
+  EXPECT_EQ(chunked, whole);
+
+  // Legacy (plan disabled) engine agrees bit-for-bit.
+  InferenceEngineConfig legacy_cfg = planned_cfg;
+  legacy_cfg.enable_plan = false;
+  InferenceEngine legacy(legacy_cfg);
+  std::vector<double> unplanned;
+  legacy.EstimateBatch(&est, queries, &unplanned);
+  EXPECT_EQ(unplanned, whole);
+  EXPECT_EQ(legacy.stats().plan_batches, 0u);
+  EXPECT_EQ(legacy.stats().planned_queries, 0u);
+}
+
 TEST(InferenceEngine, OracleModelServesConcurrently) {
   Table table = SmallTable(29);
   OracleModel oracle(&table);

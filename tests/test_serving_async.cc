@@ -6,6 +6,7 @@
 // eviction histories.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
@@ -308,6 +309,103 @@ TEST(AsyncEngine, LruBudgetHonoredUnderConcurrentSubmit) {
   EXPECT_GT(stats.memo_evictions, 0u);
   EXPECT_LE(stats.memo_bytes, acfg.engine.cache_budget_bytes);
   EXPECT_LE(stats.marginal_bytes, acfg.engine.cache_budget_bytes);
+}
+
+// Satellite of the plan-layer PR: a query submitted while its identical
+// twin is pending (queued or mid-walk) joins the twin's computation
+// instead of recomputing — futures and callbacks all resolve to the one
+// deterministic result, and Drain still accounts for every submission.
+TEST(AsyncEngine, InFlightDuplicatesJoinTheirTwin) {
+  Table table = SmallTable(19);
+  auto model = SmallTrainedModel(table, 19);
+  const auto queries = AsyncQueries(table, 89);
+  const Query& hot = queries[0];
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 400;  // slow enough that twins overlap in flight
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+  const double want = est.EstimateSelectivity(hot);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;  // every primary dispatches alone
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;  // joining, not the memo, must dedup
+  AsyncEngine engine(acfg);
+
+  std::atomic<size_t> callbacks{0};
+  std::vector<std::future<double>> futures;
+  const size_t kCopies = 24;
+  for (size_t i = 0; i < kCopies; ++i) {
+    futures.push_back(
+        engine.Submit(&est, hot, [&](double) { ++callbacks; }));
+  }
+  engine.Drain();
+
+  for (auto& f : futures) EXPECT_EQ(f.get(), want);
+  EXPECT_EQ(callbacks.load(), kCopies);  // every duplicate's callback fired
+
+  const auto stats = engine.async_stats();
+  EXPECT_EQ(stats.submitted, kCopies);
+  EXPECT_EQ(stats.completed, kCopies);  // joiners count toward Drain
+  // The first copy computes; while it is queued or walking, later copies
+  // join it. (A copy submitted in the gap after a delivery starts a new
+  // primary, so the exact join count is timing-dependent — but with 24
+  // rapid submissions of a slow query, some must have joined.)
+  EXPECT_GT(stats.joined_duplicates, 0u);
+  EXPECT_LT(stats.batches, kCopies);
+
+  // Distinct queries never join each other.
+  auto fa = engine.Submit(&est, queries[1]);
+  auto fb = engine.Submit(&est, queries[2]);
+  EXPECT_EQ(fa.get(), est.EstimateSelectivity(queries[1]));
+  EXPECT_EQ(fb.get(), est.EstimateSelectivity(queries[2]));
+}
+
+// Drain must cover every pre-Drain submission even while another thread
+// keeps joining duplicates to in-flight queries: joiner deliveries land
+// out of FIFO order, so the watermark has to be counted in primaries
+// (queue entries), not total submissions — a total-count watermark can be
+// reached by joiner inflation while later pre-Drain queries still wait.
+TEST(AsyncEngine, DrainCoversPendingWorkDespiteConcurrentJoins) {
+  Table table = SmallTable(21);
+  auto model = SmallTrainedModel(table, 21);
+  const auto queries = AsyncQueries(table, 91);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 300;  // slow enough that joins overlap the drain
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  std::vector<std::future<double>> futures;
+  for (size_t i = 0; i < 5; ++i) {
+    futures.push_back(engine.Submit(&est, queries[i]));
+  }
+  // A side thread floods duplicates of the first query while we drain.
+  std::atomic<bool> stop{false};
+  std::thread joiner([&] {
+    while (!stop.load()) engine.Submit(&est, queries[0]);
+  });
+  engine.Drain();
+  // Every pre-Drain future must be ready the moment Drain returns.
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "query " << i << " not delivered by Drain";
+  }
+  stop.store(true);
+  joiner.join();
+  engine.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), est.EstimateSelectivity(queries[i]));
+  }
 }
 
 TEST(AsyncEngine, DestructorDrainsPendingSubmissions) {
