@@ -30,6 +30,12 @@
 //                       (default 200, smoke 0)
 //   --max-batch N       async flush size                (default 32)
 //   --max-wait-ms X     restrict the deadline grid to {X} (default 0/2/8)
+//   --serve-mixed-priority  also replay the trace with cycling priority
+//                       classes and every 4th request carrying an expired
+//                       deadline: asserts typed DEADLINE_EXCEEDED results,
+//                       shed counters, and priority-ordered flushing
+//                       (default off; ON under --smoke so CI exercises
+//                       the shedding path on every push)
 //   --smoke             CI preset: tiny model, no arrival sleeps
 #include <algorithm>
 #include <chrono>
@@ -129,15 +135,17 @@ int Run() {
     ecfg.num_threads = threads;
     InferenceEngine engine(ecfg);
     QuantileSketch latency_ms;
-    std::vector<Query> one;
-    std::vector<double> out;
+    std::vector<EstimateRequest> one;
+    std::vector<EstimateResult> out;
     const auto start = SteadyClock::now();
     for (const OpenLoopRequest& req : trace) {
       const auto scheduled = start + MsToDuration(req.arrival_ms);
       std::this_thread::sleep_until(scheduled);
-      one.assign(1, pool[req.pool_index]);
+      one.assign(1, EstimateRequest(pool[req.pool_index]));
       engine.EstimateBatch(&est, one, &out);
-      if (out[0] != reference[req.pool_index]) all_identical = false;
+      if (!out[0].ok() || out[0].estimate != reference[req.pool_index]) {
+        all_identical = false;
+      }
       const std::chrono::duration<double, std::milli> lat =
           SteadyClock::now() - scheduled;
       latency_ms.Add(lat.count());
@@ -157,17 +165,17 @@ int Run() {
     AsyncEngine engine(acfg);
 
     std::vector<double> latencies(trace.size(), 0.0);
-    std::vector<std::future<double>> futures;
+    std::vector<std::future<EstimateResult>> futures;
     futures.reserve(trace.size());
     const auto start = SteadyClock::now();
     for (size_t i = 0; i < trace.size(); ++i) {
       const auto scheduled = start + MsToDuration(trace[i].arrival_ms);
       std::this_thread::sleep_until(scheduled);
       futures.push_back(engine.Submit(
-          &est, pool[trace[i].pool_index],
+          &est, EstimateRequest(pool[trace[i].pool_index]),
           // Runs on the dispatcher thread right before the future
           // resolves; the later future.get() sequences the write.
-          [&latencies, i, scheduled](double) {
+          [&latencies, i, scheduled](const EstimateResult&) {
             const std::chrono::duration<double, std::milli> lat =
                 SteadyClock::now() - scheduled;
             latencies[i] = lat.count();
@@ -178,7 +186,8 @@ int Run() {
 
     QuantileSketch latency_ms;
     for (size_t i = 0; i < trace.size(); ++i) {
-      if (futures[i].get() != reference[trace[i].pool_index]) {
+      const EstimateResult r = futures[i].get();
+      if (!r.ok() || r.estimate != reference[trace[i].pool_index]) {
         all_identical = false;
       }
       latency_ms.Add(latencies[i]);
@@ -189,9 +198,79 @@ int Run() {
              latency_ms, astats.batches, astats.largest_batch);
   }
 
+  // ---- Mixed-priority, short-deadline traffic (the shedding path). ----
+  //
+  // Run by default under --smoke (so CI builds and exercises priority
+  // flushing and deadline shedding on every push) or explicitly with
+  // --serve-mixed-priority. Priorities cycle low/normal/high in
+  // submission order; every 4th request carries an already-expired
+  // deadline and MUST come back as a typed DEADLINE_EXCEEDED result —
+  // never an exception, never a block — while every live request must
+  // stay bit-identical to the sequential path.
+  bool shedding_ok = true;
+  if (GetEnvBool("NARU_SERVE_MIXED_PRIORITY", smoke)) {
+    AsyncEngineConfig acfg;
+    // Small flushes: backlog forces reordering. --max-batch can shrink
+    // the geometry further but never widen it past the backlog.
+    acfg.max_batch_size = std::min<size_t>(max_batch, 8);
+    acfg.max_wait_ms = 0.5;
+    acfg.engine.num_threads = threads;
+    AsyncEngine engine(acfg);
+
+    constexpr RequestPriority kCycle[3] = {RequestPriority::kLow,
+                                           RequestPriority::kNormal,
+                                           RequestPriority::kHigh};
+    std::vector<std::future<EstimateResult>> futures;
+    std::vector<uint8_t> expired(trace.size(), 0);
+    futures.reserve(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {  // burst: no arrival sleeps
+      EstimateRequest request(pool[trace[i].pool_index]);
+      request.options.priority = kCycle[i % 3];
+      if (i % 4 == 3) {
+        request.options.deadline = EstimateOptions::DeadlineInMs(-1.0);
+        expired[i] = 1;
+      }
+      futures.push_back(engine.Submit(&est, std::move(request)));
+    }
+    // Wait on the futures rather than Drain(): an active drain reverts
+    // flushing to FIFO-by-arrival (its no-starvation guarantee), which
+    // would suppress the priority reordering this phase asserts.
+
+    size_t shed = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const EstimateResult r = futures[i].get();
+      if (expired[i]) {
+        if (r.status.code() != StatusCode::kDeadlineExceeded) {
+          shedding_ok = false;
+        }
+        ++shed;
+      } else if (!r.ok() || r.estimate != reference[trace[i].pool_index]) {
+        all_identical = false;
+      }
+    }
+    const EngineStats stats = engine.stats();
+    const auto astats = engine.async_stats();
+    std::printf(
+        "\nmixed-priority trace: %zu requests, %zu expired deadlines -> "
+        "%zu shed (engine counted %zu), %zu priority flushes over %zu "
+        "batches\n",
+        trace.size(), shed, stats.results_shed, stats.shed_deadline,
+        astats.priority_flushes, astats.batches);
+    if (stats.shed_deadline != shed || stats.results_shed != shed) {
+      shedding_ok = false;
+    }
+    // With a burst of 3 interleaved classes against 8-wide flushes, the
+    // dispatcher must have jumped the FIFO order at least once.
+    if (trace.size() >= 32 && astats.priority_flushes == 0) {
+      shedding_ok = false;
+    }
+    std::printf("shedding path typed and counted: %s\n",
+                shedding_ok ? "yes" : "NO (BUG)");
+  }
+
   std::printf("\nestimates bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO (BUG)");
-  return all_identical ? 0 : 1;
+  return all_identical && shedding_ok ? 0 : 1;
 }
 
 }  // namespace

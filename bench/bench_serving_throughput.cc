@@ -149,16 +149,22 @@ int Run() {
         ecfg.enable_plan = planned;
         InferenceEngine engine(ecfg);  // fresh engine: caches start cold
 
+        // Typed serving surface: default-option requests are required to
+        // be bit-identical to the sequential path (and every result must
+        // come back OK — nothing here carries a deadline).
         std::vector<double> results(trace.size());
-        std::vector<Query> chunk;
-        std::vector<double> chunk_out;
+        std::vector<EstimateRequest> chunk;
+        std::vector<EstimateResult> chunk_out;
         Stopwatch sw;
         for (size_t lo = 0; lo < trace.size(); lo += batch) {
           const size_t hi = std::min(trace.size(), lo + batch);
-          chunk.assign(trace.begin() + static_cast<ptrdiff_t>(lo),
-                       trace.begin() + static_cast<ptrdiff_t>(hi));
+          chunk.clear();
+          for (size_t i = lo; i < hi; ++i) chunk.emplace_back(trace[i]);
           engine.EstimateBatch(&est, chunk, &chunk_out);
-          for (size_t i = lo; i < hi; ++i) results[i] = chunk_out[i - lo];
+          for (size_t i = lo; i < hi; ++i) {
+            if (!chunk_out[i - lo].ok()) all_identical = false;
+            results[i] = chunk_out[i - lo].estimate;
+          }
         }
         const double secs = sw.ElapsedSeconds();
         const double qps =

@@ -21,11 +21,22 @@
 //       EstimateBatch. With --async the CLI becomes a real accept loop:
 //       every line is Submit()ed to the streaming AsyncEngine the moment
 //       it is read, micro-batching happens in the background, and results
-//       stream out in submission order as they complete. A line may carry
-//       an arrival timestamp `@<ms> <preds>` (milliseconds since serve
-//       start); --async replays those arrival times faithfully and
-//       reports per-query latency percentiles, so a recorded trace can be
-//       re-served under its original timing.
+//       stream out in submission order as they complete.
+//
+//       Requests flow through the typed serving API (serve/request.h): a
+//       line may carry, before the predicates, any of
+//         @<ms>    arrival timestamp (milliseconds since serve start);
+//                  --async replays recorded arrival times faithfully and
+//                  reports per-query latency percentiles
+//         ^high | ^low | ^normal
+//                  priority class: the async dispatcher flushes pending
+//                  work highest class first instead of pure FIFO
+//         ~<ms>    soft deadline, milliseconds from submission; a request
+//                  whose deadline expires before dispatch is SHED and its
+//                  result line reports DeadlineExceeded instead of a value
+//       e.g.  `@1250 ^high ~5 city=SF AND price<=100`. Shed or failed
+//       requests print `NA  NA  <query>  # <status>` so the output stays
+//       one line per request.
 //
 //       Both modes print full EngineStats (cache hit/miss/eviction
 //       counters, sampling-plan group sizes, prefix-share ratio, workspace
@@ -51,6 +62,7 @@
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -63,6 +75,7 @@
 #include "query/parser.h"
 #include "serve/async_engine.h"
 #include "serve/inference_engine.h"
+#include "serve/request.h"
 #include "util/env_config.h"
 #include "util/quantile.h"
 #include "util/string_util.h"
@@ -81,7 +94,9 @@ int Usage() {
                "  naru_cli serve <data.csv> <model.bundle> <queries.txt|-> "
                "[threads]\n"
                "    serve flags: --async --max-batch N --max-wait-ms X "
-               "--cache-budget-mb N\n");
+               "--cache-budget-mb N\n"
+               "    trace line prefix: @<ms> arrival, ^high|^low priority, "
+               "~<ms> deadline\n");
   return 2;
 }
 
@@ -126,18 +141,49 @@ void InstallSigintHandler() {
   sigaction(SIGINT, &sa, nullptr);
 }
 
-/// Strips an optional `@<ms> ` arrival-timestamp prefix off a trace line.
-/// Returns the arrival offset in ms, or a negative value when the line
-/// carries no timestamp. `*rest` receives the predicate text either way.
-double ParseArrivalPrefix(const std::string& line, std::string* rest) {
-  *rest = line;
-  if (line.empty() || line[0] != '@') return -1.0;
-  char* end = nullptr;
-  const double ms = std::strtod(line.c_str() + 1, &end);
-  if (end == line.c_str() + 1 || ms < 0) return -1.0;
-  while (*end == ' ' || *end == '\t') ++end;
-  *rest = end;
-  return ms;
+/// Parsed per-request trace prefix: `@<ms>` arrival, `^<class>` priority,
+/// `~<ms>` deadline budget. Fields keep their defaults when the token is
+/// absent.
+struct TracePrefix {
+  double arrival_ms = -1.0;   ///< negative = no timestamp
+  double deadline_ms = -1.0;  ///< negative = no deadline
+  RequestPriority priority = RequestPriority::kNormal;
+};
+
+/// Strips the optional `@<ms>` / `^<class>` / `~<ms>` tokens (any order)
+/// off the front of a trace line. `*rest` receives the predicate text.
+TracePrefix ParseTracePrefix(const std::string& line, std::string* rest) {
+  TracePrefix prefix;
+  const char* p = line.c_str();
+  for (;;) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '@' || *p == '~') {
+      char* end = nullptr;
+      const double ms = std::strtod(p + 1, &end);
+      if (end == p + 1 || ms < 0) break;  // malformed: leave for the parser
+      (*p == '@' ? prefix.arrival_ms : prefix.deadline_ms) = ms;
+      p = end;
+    } else if (*p == '^') {
+      const std::string_view tail(p + 1);
+      if (tail.rfind("high", 0) == 0) {
+        prefix.priority = RequestPriority::kHigh;
+        p += 5;
+      } else if (tail.rfind("low", 0) == 0) {
+        prefix.priority = RequestPriority::kLow;
+        p += 4;
+      } else if (tail.rfind("normal", 0) == 0) {
+        prefix.priority = RequestPriority::kNormal;
+        p += 7;
+      } else {
+        break;
+      }
+    } else {
+      break;
+    }
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  *rest = p;
+  return prefix;
 }
 
 }  // namespace
@@ -250,17 +296,22 @@ int main(int raw_argc, char** raw_argv) {
     InstallSigintHandler();
 
     if (!GetEnvBool("NARU_ASYNC", false)) {
-      // Blocking mode: read the whole input, answer it as one batch.
-      // SIGINT while reading stops collecting; what was read is served
-      // and the stats still print.
-      std::vector<Query> queries;
+      // Blocking mode: read the whole input, answer it as one typed
+      // batch. Arrival timestamps are ignored (there is no accept loop to
+      // replay them on); priorities are recorded but moot (one batch, no
+      // queue); `~<ms>` deadlines count from READ time, so a deadline
+      // shorter than the collect+dispatch gap sheds. SIGINT while reading
+      // stops collecting; what was read is served and the stats still
+      // print.
+      std::vector<EstimateRequest> requests;
+      std::vector<std::string> texts;
       std::string line;
       std::string preds;
       size_t lineno = 0;
       while (!g_interrupted && std::getline(in, line)) {
         ++lineno;
         if (line.empty() || line[0] == '#') continue;
-        ParseArrivalPrefix(line, &preds);  // timestamps ignored when blocking
+        const TracePrefix prefix = ParseTracePrefix(line, &preds);
         auto disjuncts = ParseDisjunction(table, preds);
         if (!disjuncts.ok()) {
           std::fprintf(stderr, "error: line %zu: %s\n", lineno,
@@ -272,14 +323,27 @@ int main(int raw_argc, char** raw_argv) {
                        lineno);
           return 1;
         }
-        queries.push_back(disjuncts.ValueOrDie()[0]);
+        EstimateRequest req(disjuncts.ValueOrDie()[0]);
+        req.options.priority = prefix.priority;
+        if (prefix.deadline_ms >= 0) {
+          req.options.deadline =
+              EstimateOptions::DeadlineInMs(prefix.deadline_ms);
+        }
+        texts.push_back(req.query.ToString(table));
+        requests.push_back(std::move(req));
       }
       InferenceEngine engine(ecfg);
-      std::vector<double> sels;
-      engine.EstimateBatch(&est, queries, &sels);
-      for (size_t i = 0; i < queries.size(); ++i) {
-        std::printf("%.6g\t%.0f\t%s\n", sels[i], sels[i] * num_rows,
-                    queries[i].ToString(table).c_str());
+      std::vector<EstimateResult> results;
+      engine.EstimateBatch(&est, requests, &results);
+      for (size_t i = 0; i < results.size(); ++i) {
+        const EstimateResult& r = results[i];
+        if (r.ok()) {
+          std::printf("%.6g\t%.0f\t%s\n", r.estimate, r.estimate * num_rows,
+                      texts[i].c_str());
+        } else {
+          std::printf("NA\tNA\t%s\t# %s\n", texts[i].c_str(),
+                      r.status.ToString().c_str());
+        }
       }
       if (g_interrupted) {
         std::fprintf(stderr, "# interrupted: served what was read\n");
@@ -300,7 +364,7 @@ int main(int raw_argc, char** raw_argv) {
     AsyncEngine engine(acfg);
 
     struct Slot {
-      std::future<double> result;
+      std::future<EstimateResult> result;
       std::string text;
     };
     std::deque<Slot> inflight;
@@ -312,15 +376,16 @@ int main(int raw_argc, char** raw_argv) {
              (block || inflight.front().result.wait_for(
                            std::chrono::seconds(0)) ==
                            std::future_status::ready)) {
-        // The engine surfaces dispatcher-side failures as exceptional
-        // futures; report the one query and keep the loop serving.
-        try {
-          const double sel = inflight.front().result.get();
-          std::printf("%.6g\t%.0f\t%s\n", sel, sel * num_rows,
+        // Status end to end: shed (DeadlineExceeded) and failed requests
+        // arrive as typed results, never exceptions — report the one
+        // request and keep the loop serving.
+        const EstimateResult r = inflight.front().result.get();
+        if (r.ok()) {
+          std::printf("%.6g\t%.0f\t%s\n", r.estimate, r.estimate * num_rows,
                       inflight.front().text.c_str());
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "error: query '%s' failed: %s\n",
-                       inflight.front().text.c_str(), e.what());
+        } else {
+          std::printf("NA\tNA\t%s\t# %s\n", inflight.front().text.c_str(),
+                      r.status.ToString().c_str());
         }
         std::fflush(stdout);
         inflight.pop_front();
@@ -334,7 +399,8 @@ int main(int raw_argc, char** raw_argv) {
     while (!g_interrupted && std::getline(in, line)) {
       ++lineno;
       if (line.empty() || line[0] == '#') continue;
-      const double at_ms = ParseArrivalPrefix(line, &preds);
+      const TracePrefix prefix = ParseTracePrefix(line, &preds);
+      const double at_ms = prefix.arrival_ms;
       if (at_ms >= 0) {
         // Replay: wait until this request's recorded arrival time. Sleep
         // in short slices — sleep_until retries on EINTR, so one long
@@ -360,11 +426,16 @@ int main(int raw_argc, char** raw_argv) {
         ++rejected;
         continue;
       }
-      Query query = disjuncts.ValueOrDie()[0];
-      std::string text = query.ToString(table);
+      EstimateRequest request(disjuncts.ValueOrDie()[0]);
+      request.options.priority = prefix.priority;
+      if (prefix.deadline_ms >= 0) {
+        request.options.deadline =
+            EstimateOptions::DeadlineInMs(prefix.deadline_ms);
+      }
+      std::string text = request.query.ToString(table);
       const auto arrival = std::chrono::steady_clock::now();
       auto fut = engine.Submit(
-          &est, std::move(query), [&, arrival](double) {
+          &est, std::move(request), [&, arrival](const EstimateResult&) {
             const std::chrono::duration<double, std::milli> elapsed =
                 std::chrono::steady_clock::now() - arrival;
             std::lock_guard<std::mutex> lock(latency_mu);

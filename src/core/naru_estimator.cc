@@ -32,12 +32,43 @@ bool NaruEstimator::ShouldEnumerate(const Query& query) const {
          std::log10(static_cast<double>(config_.enumeration_threshold));
 }
 
-double NaruEstimator::EstimateSelectivity(const Query& query) {
-  if (query.HasEmptyRegion()) return 0.0;
-  if (ShouldEnumerate(query)) {
-    return EnumerateSelectivity(model_, query);
+EstimateResult NaruEstimator::Estimate(const Query& query,
+                                       const EstimateOptions& options) {
+  EstimateResult result;
+  if (options.ExpiredAt(std::chrono::steady_clock::now())) {
+    result.status =
+        Status::DeadlineExceeded("deadline expired before dispatch");
+    result.provenance = ResultProvenance::kShed;
+    return result;
   }
-  return sampler_.EstimateSelectivity(query);
+  result.status = Status::OK();
+  if (query.HasEmptyRegion()) {
+    result.estimate = 0.0;
+    result.provenance = ResultProvenance::kExact;
+    return result;
+  }
+  if (ShouldEnumerate(query)) {
+    result.estimate = EnumerateSelectivity(model_, query);
+    result.provenance = ResultProvenance::kEnumerated;
+    return result;
+  }
+  ProgressiveSampler::RunOptions run;
+  run.num_samples = options.num_samples;  // 0 = the configured budget
+  result.estimate =
+      sampler_.EstimateWithOptions(query, &result.std_error, run);
+  // The sampler short-circuits all-wildcard and leading-only queries to
+  // exact answers; label those honestly instead of claiming a walk.
+  if (sampler_.Classify(query) == ProgressiveSampler::Path::kSampled) {
+    result.provenance = ResultProvenance::kSampled;
+    result.samples_used = options.EffectiveSamples(config_.num_samples);
+  } else {
+    result.provenance = ResultProvenance::kExact;
+  }
+  return result;
+}
+
+double NaruEstimator::EstimateSelectivity(const Query& query) {
+  return Estimate(query).estimate;
 }
 
 void NaruEstimator::InvalidateServingCaches() {

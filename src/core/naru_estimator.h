@@ -16,6 +16,8 @@
 #include "core/conditional_model.h"
 #include "core/sampler.h"
 #include "estimator/estimator.h"
+// The typed request/result vocabulary (a leaf header: query + util only).
+#include "serve/request.h"
 
 namespace naru {
 
@@ -45,6 +47,21 @@ class NaruEstimator : public Estimator {
   ~NaruEstimator() override;
 
   std::string name() const override { return name_; }
+
+  /// The typed sequential path: one request in, one EstimateResult out —
+  /// estimate, Status (DEADLINE_EXCEEDED when the request's deadline has
+  /// already passed), std-error when sampled, provenance, samples used.
+  /// Engine-free: no caches, no batching, no threads beyond the
+  /// sampler's own — this is the reference computation every serving
+  /// surface must reproduce bit-identically for default options.
+  EstimateResult Estimate(const Query& query,
+                          const EstimateOptions& options = {});
+  EstimateResult Estimate(const EstimateRequest& request) {
+    return Estimate(request.query, request.options);
+  }
+
+  /// Legacy adapter over Estimate() (default options can neither shed nor
+  /// fail, so the bare estimate is always valid).
   double EstimateSelectivity(const Query& query) override;
   /// Serves the batch through a lazily created private InferenceEngine
   /// (defaults: shared global pool, caching on). Construct an engine

@@ -160,6 +160,8 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
       options.parallelism != 0 ? options.parallelism : cfg_.parallelism;
   SamplerWorkspacePool* workspaces =
       options.workspaces != nullptr ? options.workspaces : workspaces_;
+  const size_t num_samples =
+      options.num_samples != 0 ? options.num_samples : cfg_.num_samples;
   NARU_CHECK(query.num_columns() == model_->num_table_columns());
   if (std_error != nullptr) *std_error = 0.0;
   switch (Classify(query)) {
@@ -174,13 +176,13 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
   }
   const int last_col = LastConstrainedPosition(query);
 
-  const size_t num_shards = NumShards();
+  const size_t num_shards = SamplerNumShards(num_samples, cfg_.shard_size);
   std::vector<double> shard_w(num_shards, 0.0);
   std::vector<double> shard_w2(num_shards, 0.0);
 
   auto run_shard = [&](size_t k) {
     const size_t lo = k * cfg_.shard_size;
-    const size_t rows = std::min(cfg_.shard_size, cfg_.num_samples - lo);
+    const size_t rows = std::min(cfg_.shard_size, num_samples - lo);
     Rng rng(ShardSeed(cfg_.seed, k));
     WorkspaceLease ws(workspaces);
     shard_w[k] = cfg_.uniform_region
@@ -230,9 +232,9 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
     weight_sum += shard_w[k];
     weight_sq_sum += shard_w2[k];
   }
-  const double s = static_cast<double>(cfg_.num_samples);
+  const double s = static_cast<double>(num_samples);
   const double mean = weight_sum / s;
-  if (std_error != nullptr && !cfg_.uniform_region && cfg_.num_samples > 1) {
+  if (std_error != nullptr && !cfg_.uniform_region && num_samples > 1) {
     // Unbiased sample variance of the path weights.
     const double var =
         std::max(0.0, (weight_sq_sum - s * mean * mean) / (s - 1.0));

@@ -175,8 +175,10 @@ class ProgressiveSampler {
   /// optimizer can use to decide whether to spend more sample paths.
   double EstimateWithStdError(const Query& query, double* std_error);
 
-  /// Per-call execution overrides for the serving engine. Every field
-  /// affects only WHERE the work runs, never the estimate.
+  /// Per-call overrides for the serving engine. The execution fields
+  /// (parallelism, thread_pool, workspaces) affect only WHERE the work
+  /// runs, never the estimate; num_samples is the one VALUE override —
+  /// it changes how many paths are walked, i.e. what is computed.
   struct RunOptions {
     /// 0 = inherit config; 1 = serial on the calling thread (the engine
     /// uses this when it already runs one query per worker).
@@ -186,6 +188,12 @@ class ProgressiveSampler {
     /// nullptr = the sampler's own pool (the engine shares one pool across
     /// all queries of a batch).
     SamplerWorkspacePool* workspaces = nullptr;
+    /// Per-call sample-path budget: 0 = inherit config. A nonzero value
+    /// serves this call with that many paths — bit-identical to a sampler
+    /// configured with the same num_samples (the shard layout and RNG
+    /// streams depend only on (seed, shard_size, num_samples)). Carries
+    /// EstimateRequest's per-request budget (serve/request.h).
+    size_t num_samples = 0;
   };
 
   /// As EstimateWithStdError with per-call execution overrides. Estimates

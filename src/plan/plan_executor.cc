@@ -13,7 +13,7 @@ namespace {
 // per-(query, shard) result arrays.
 void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
                    const PlanGroup& group, size_t shard, size_t rows,
-                   uint64_t seed, size_t num_shards, SamplerWorkspace* ws,
+                   uint64_t seed, size_t slot_stride, SamplerWorkspace* ws,
                    std::vector<double>* shard_w, std::vector<double>* shard_w2) {
   const size_t n = model->num_columns();
   const size_t members = group.members.size();
@@ -89,7 +89,7 @@ void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
       sum += w;
       sq += w * w;
     }
-    const size_t slot = group.members[b] * num_shards + shard;
+    const size_t slot = group.members[b] * slot_stride + shard;
     (*shard_w)[slot] = sum;
     (*shard_w2)[slot] = sq;
   }
@@ -109,24 +109,38 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   if (std_errors != nullptr) std_errors->assign(m, 0.0);
   if (m == 0) return;
 
-  const size_t num_shards =
-      SamplerNumShards(options.num_samples, options.shard_size);
-  std::vector<double> shard_w(m * num_shards, 0.0);
-  std::vector<double> shard_w2(m * num_shards, 0.0);
+  // Per-request budgets (serve/request.h) make the shard count a GROUP
+  // property: each group walks SamplerNumShards(its budget, shard_size)
+  // shards. The flat (query, shard) result arrays are strided by the
+  // widest shard count; a query only ever fills its own group's shards.
+  const auto effective_samples = [&](size_t group_budget) {
+    return group_budget != 0 ? group_budget : options.num_samples;
+  };
+  size_t max_shards = 1;
+  std::vector<std::pair<size_t, size_t>> tasks;  // (group, shard)
+  for (size_t g = 0; g < plan.groups.size(); ++g) {
+    const size_t ns = effective_samples(plan.groups[g].num_samples);
+    NARU_CHECK(ns >= 1);
+    const size_t shards = SamplerNumShards(ns, options.shard_size);
+    max_shards = std::max(max_shards, shards);
+    for (size_t k = 0; k < shards; ++k) tasks.emplace_back(g, k);
+  }
+  std::vector<double> shard_w(m * max_shards, 0.0);
+  std::vector<double> shard_w2(m * max_shards, 0.0);
 
   SamplerWorkspacePool local_pool;
   SamplerWorkspacePool* workspaces =
       options.workspaces != nullptr ? options.workspaces : &local_pool;
 
-  const size_t num_tasks = plan.groups.size() * num_shards;
+  const size_t num_tasks = tasks.size();
   auto run_task = [&](size_t t) {
-    const size_t g = t / num_shards;
-    const size_t k = t % num_shards;
+    const auto [g, k] = tasks[t];
+    const size_t ns = effective_samples(plan.groups[g].num_samples);
     const size_t lo = k * options.shard_size;
-    const size_t rows = std::min(options.shard_size, options.num_samples - lo);
+    const size_t rows = std::min(options.shard_size, ns - lo);
     WorkspaceLease ws(workspaces);
     RunGroupShard(model, plan, plan.groups[g], k, rows, options.seed,
-                  num_shards, ws.get(), &shard_w, &shard_w2);
+                  max_shards, ws.get(), &shard_w, &shard_w2);
   };
 
   // Same scheduling discipline as ProgressiveSampler: shard/group
@@ -155,18 +169,21 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   }
 
   // Reduce in shard order per query — independent of execution order, and
-  // the same arithmetic as ProgressiveSampler::EstimateWithOptions.
-  const double s = static_cast<double>(options.num_samples);
+  // the same arithmetic as ProgressiveSampler::EstimateWithOptions. Each
+  // query reduces over ITS budget's shard count.
   for (size_t q = 0; q < m; ++q) {
+    const size_t ns = effective_samples(plan.queries[q].num_samples);
+    const size_t shards = SamplerNumShards(ns, options.shard_size);
     double weight_sum = 0;
     double weight_sq_sum = 0;
-    for (size_t k = 0; k < num_shards; ++k) {
-      weight_sum += shard_w[q * num_shards + k];
-      weight_sq_sum += shard_w2[q * num_shards + k];
+    for (size_t k = 0; k < shards; ++k) {
+      weight_sum += shard_w[q * max_shards + k];
+      weight_sq_sum += shard_w2[q * max_shards + k];
     }
+    const double s = static_cast<double>(ns);
     const double mean = weight_sum / s;
     (*estimates)[q] = mean;
-    if (std_errors != nullptr && options.num_samples > 1) {
+    if (std_errors != nullptr && ns > 1) {
       const double var =
           std::max(0.0, (weight_sq_sum - s * mean * mean) / (s - 1.0));
       (*std_errors)[q] = std::sqrt(var / s);

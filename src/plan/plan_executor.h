@@ -40,6 +40,9 @@ namespace naru {
 /// are part of the RNG-stream contract); execution fields only move work
 /// between threads and never affect a result.
 struct PlanExecutionOptions {
+  /// Default sample-path budget; a PlanGroup carrying a nonzero
+  /// num_samples (a per-request budget from serve/request.h) overrides it
+  /// for that group's members.
   size_t num_samples = 1000;
   size_t shard_size = 128;
   uint64_t seed = 7;

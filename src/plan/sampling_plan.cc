@@ -33,10 +33,14 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
                                  const SamplingPlanOptions& options) {
   SamplingPlan plan;
   plan.queries.reserve(queries.size());
+  NARU_CHECK(options.budgets.empty() ||
+             options.budgets.size() == queries.size());
   const size_t n = model->num_columns();
-  for (const Query* q : queries) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query* q = queries[qi];
     QueryPlan qp;
     qp.query = q;
+    qp.num_samples = options.budgets.empty() ? 0 : options.budgets[qi];
     qp.wildcard.resize(n);
     for (size_t pos = 0; pos < n; ++pos) {
       qp.wildcard[pos] = model->PositionIsWildcard(*q, pos) ? 1 : 0;
@@ -51,75 +55,99 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
   const size_t m = plan.queries.size();
   if (m == 0) return plan;
 
-  // Sort by leading-run length descending (stable on batch order) so any
-  // contiguous segment's shareable prefix is its LAST element's run.
-  std::vector<size_t> order(m);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return plan.queries[a].wildcard_run > plan.queries[b].wildcard_run;
-  });
+  // Groups a budget class: `indices` (in batch order) all share one
+  // sample budget, so the savings-maximizing partition is free to fuse
+  // any of them.
+  const auto group_class = [&](const std::vector<size_t>& indices) {
+    const size_t mc = indices.size();
+    // Sort by leading-run length descending (stable on batch order) so any
+    // contiguous segment's shareable prefix is its LAST element's run.
+    std::vector<size_t> order = indices;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return plan.queries[a].wildcard_run > plan.queries[b].wildcard_run;
+    });
 
-  // Partition the sorted sequence into contiguous segments maximizing the
-  // prefix-sharing savings Σ run(last) · (len - 1); on equal savings,
-  // prefer fewer segments (wider stacked GEMMs). best[j] = optimum for
-  // the first j queries.
-  struct Best {
-    size_t savings = 0;
-    size_t segments = 0;
-    size_t cut = 0;  // segment start for the partition ending at j
+    // Partition the sorted sequence into contiguous segments maximizing
+    // the prefix-sharing savings Σ run(last) · (len - 1); on equal
+    // savings, prefer fewer segments (wider stacked GEMMs). best[j] =
+    // optimum for the first j queries.
+    struct Best {
+      size_t savings = 0;
+      size_t segments = 0;
+      size_t cut = 0;  // segment start for the partition ending at j
+    };
+    std::vector<Best> best(mc + 1);
+    for (size_t j = 1; j <= mc; ++j) {
+      best[j].savings = 0;
+      best[j].segments = mc + 1;
+      for (size_t i = 0; i < j; ++i) {  // segment [i, j)
+        const size_t run = plan.queries[order[j - 1]].wildcard_run;
+        const size_t cand = best[i].savings + run * (j - 1 - i);
+        const size_t segs = best[i].segments + 1;
+        if (cand > best[j].savings ||
+            (cand == best[j].savings && segs < best[j].segments)) {
+          best[j].savings = cand;
+          best[j].segments = segs;
+          best[j].cut = i;
+        }
+      }
+    }
+
+    // Recover segments, then split any that exceed max_group_width.
+    std::vector<std::pair<size_t, size_t>> segments;  // [begin, end)
+    for (size_t j = mc; j > 0; j = best[j].cut) {
+      segments.emplace_back(best[j].cut, j);
+    }
+    std::reverse(segments.begin(), segments.end());
+
+    const size_t cap = std::max<size_t>(options.max_group_width, 1);
+    for (const auto& [seg_begin, seg_end] : segments) {
+      const size_t len = seg_end - seg_begin;
+      const size_t pieces = (len + cap - 1) / cap;
+      // Even split: every piece keeps the segment's shared prefix.
+      const size_t base = len / pieces;
+      const size_t extra = len % pieces;
+      size_t at = seg_begin;
+      for (size_t p = 0; p < pieces; ++p) {
+        const size_t take = base + (p < extra ? 1 : 0);
+        PlanGroup group;
+        group.members.assign(order.begin() + static_cast<ptrdiff_t>(at),
+                             order.begin() + static_cast<ptrdiff_t>(at + take));
+        at += take;
+        group.prefix_len = plan.queries[group.members.front()].wildcard_run;
+        for (size_t member : group.members) {
+          group.prefix_len =
+              std::min(group.prefix_len, plan.queries[member].wildcard_run);
+        }
+        group.num_samples = plan.queries[group.members.front()].num_samples;
+        // Tail blocks must be droppable by truncation once their queries
+        // pass their last constrained position.
+        std::stable_sort(group.members.begin(), group.members.end(),
+                         [&](size_t a, size_t b) {
+                           return plan.queries[a].last_col >
+                                  plan.queries[b].last_col;
+                         });
+        plan.groups.push_back(std::move(group));
+      }
+    }
   };
-  std::vector<Best> best(m + 1);
-  for (size_t j = 1; j <= m; ++j) {
-    best[j].savings = 0;
-    best[j].segments = m + 1;
-    for (size_t i = 0; i < j; ++i) {  // segment [i, j)
-      const size_t run = plan.queries[order[j - 1]].wildcard_run;
-      const size_t cand = best[i].savings + run * (j - 1 - i);
-      const size_t segs = best[i].segments + 1;
-      if (cand > best[j].savings ||
-          (cand == best[j].savings && segs < best[j].segments)) {
-        best[j].savings = cand;
-        best[j].segments = segs;
-        best[j].cut = i;
-      }
-    }
-  }
 
-  // Recover segments, then split any that exceed max_group_width.
-  std::vector<std::pair<size_t, size_t>> segments;  // [begin, end) in order
-  for (size_t j = m; j > 0; j = best[j].cut) {
-    segments.emplace_back(best[j].cut, j);
-  }
-  std::reverse(segments.begin(), segments.end());
-
-  const size_t cap = std::max<size_t>(options.max_group_width, 1);
-  for (const auto& [seg_begin, seg_end] : segments) {
-    const size_t len = seg_end - seg_begin;
-    const size_t pieces = (len + cap - 1) / cap;
-    // Even split: every piece keeps the segment's shared prefix.
-    const size_t base = len / pieces;
-    const size_t extra = len % pieces;
-    size_t at = seg_begin;
-    for (size_t p = 0; p < pieces; ++p) {
-      const size_t take = base + (p < extra ? 1 : 0);
-      PlanGroup group;
-      group.members.assign(order.begin() + static_cast<ptrdiff_t>(at),
-                           order.begin() + static_cast<ptrdiff_t>(at + take));
-      at += take;
-      group.prefix_len = plan.queries[group.members.front()].wildcard_run;
-      for (size_t member : group.members) {
-        group.prefix_len =
-            std::min(group.prefix_len, plan.queries[member].wildcard_run);
-      }
-      // Tail blocks must be droppable by truncation once their queries
-      // pass their last constrained position.
-      std::stable_sort(group.members.begin(), group.members.end(),
-                       [&](size_t a, size_t b) {
-                         return plan.queries[a].last_col >
-                                plan.queries[b].last_col;
-                       });
-      plan.groups.push_back(std::move(group));
+  // Partition by sample budget first — a group's shared prefix walk and
+  // shard layout are functions of the budget, so cross-budget fusion is
+  // impossible by construction. Classes run in ascending-budget order
+  // (deterministic); with one class this is exactly the budget-free path.
+  std::vector<size_t> budgets_seen;
+  for (const auto& qp : plan.queries) budgets_seen.push_back(qp.num_samples);
+  std::sort(budgets_seen.begin(), budgets_seen.end());
+  budgets_seen.erase(std::unique(budgets_seen.begin(), budgets_seen.end()),
+                     budgets_seen.end());
+  std::vector<size_t> class_indices;
+  for (const size_t budget : budgets_seen) {
+    class_indices.clear();
+    for (size_t qi = 0; qi < m; ++qi) {
+      if (plan.queries[qi].num_samples == budget) class_indices.push_back(qi);
     }
+    group_class(class_indices);
   }
   return plan;
 }

@@ -50,6 +50,11 @@ struct QueryPlan {
   size_t wildcard_run = 0;
   /// Wildcard flag per model position 0..num_columns-1.
   std::vector<uint8_t> wildcard;
+  /// Per-request sample-path budget (serve/request.h); 0 = the executor's
+  /// default. Part of the VALUE contract: the compiler never groups
+  /// queries with different budgets, because a group's members share one
+  /// prefix walk and one shard layout — both functions of the budget.
+  size_t num_samples = 0;
 };
 
 /// One group of queries sharing a leading-wildcard prefix walk.
@@ -61,6 +66,9 @@ struct PlanGroup {
   /// so that finished queries always occupy the TAIL blocks of the
   /// stacked walk and can be dropped by truncation.
   std::vector<size_t> members;
+  /// The members' common sample budget (0 = executor default). Uniform
+  /// across the group by construction.
+  size_t num_samples = 0;
 };
 
 struct SamplingPlan {
@@ -82,6 +90,13 @@ struct SamplingPlanOptions {
   /// (group, shard) tasks for the executor to spread across threads.
   /// Never affects estimates.
   size_t max_group_width = 32;
+  /// Per-query sample-path budgets, parallel to the `queries` argument of
+  /// CompileSamplingPlan (0 entries = executor default). Empty = every
+  /// query uses the default. Queries are partitioned by budget BEFORE the
+  /// savings-maximizing grouping runs, so a group only ever fuses queries
+  /// with identical budgets — with a single budget class the grouping is
+  /// exactly the budget-free one.
+  std::vector<size_t> budgets;
 };
 
 /// Compiles the batch `queries` (distinct, sampled-path queries against

@@ -1,6 +1,7 @@
 #include "serve/async_engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -11,14 +12,18 @@ namespace naru {
 
 namespace {
 
-// In-flight keys pair the estimator's identity with the canonical query
-// bytes: only submissions against the same estimator (hence the same
-// sampling config) may share a computation.
-std::string InflightKey(const NaruEstimator* est, const Query& query) {
-  std::string key =
-      StrFormat("%p|", static_cast<const void*>(est));
-  key += QueryKey(query);
-  return key;
+// In-flight keys pair the estimator's identity with everything that
+// decides a computation's value, schedule, and cache interaction: the
+// effective sample budget, the priority class, the cache policy, and the
+// canonical query bytes. Only submissions agreeing on all of them may
+// share a computation (a kBypass request must never ride a twin that may
+// be served from cache).
+std::string InflightKeyPrefix(const NaruEstimator* est,
+                              const EstimateRequest& request) {
+  return StrFormat("%p|%zu|%d|%d|", static_cast<const void*>(est),
+                   request.options.EffectiveSamples(est->config().num_samples),
+                   static_cast<int>(request.options.priority),
+                   static_cast<int>(request.options.cache_policy));
 }
 
 }  // namespace
@@ -39,61 +44,119 @@ AsyncEngine::~AsyncEngine() {
   dispatcher_.join();
 }
 
-std::future<double> AsyncEngine::Submit(
-    NaruEstimator* est, Query query, std::function<void(double)> on_complete) {
-  std::string key = InflightKey(est, query);
-  std::future<double> result;
+size_t AsyncEngine::TotalPendingLocked() const {
+  size_t total = 0;
+  for (const auto& q : pending_) total += q.size();
+  return total;
+}
+
+std::future<EstimateResult> AsyncEngine::Submit(
+    NaruEstimator* est, EstimateRequest request,
+    std::function<void(const EstimateResult&)> on_complete) {
+  // Serialize the canonical query bytes ONCE, here: they become both the
+  // tail of the in-flight duplicate-sharing key and — riding inside
+  // request.key — the engine's batch-pass key, which used to re-serialize
+  // them per batch.
+  if (request.key.empty()) AppendQueryKey(request.query, &request.key);
+  // Deadline-carrying requests never share a computation: whether a
+  // request is shed is decided by ITS deadline alone.
+  const bool sharable = !request.options.has_deadline();
+  std::string key;
+  if (sharable) {
+    key = InflightKeyPrefix(est, request);
+    key += request.key;
+  }
+  std::future<EstimateResult> result;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
-    auto it = inflight_.find(key);
-    if (it != inflight_.end()) {
-      // An identical twin is pending or mid-walk: join it. No queue entry,
-      // no extra computation — the twin's delivery resolves this future.
-      std::promise<double> promise;
-      result = promise.get_future();
-      it->second->promises.push_back(std::move(promise));
-      it->second->callbacks.push_back(std::move(on_complete));  // may be empty
-      ++stats_.joined_duplicates;
-      return result;
+    if (sharable) {
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        // An identical twin is pending or mid-walk: join it. No queue
+        // entry, no extra computation — the twin's delivery resolves this
+        // future.
+        std::promise<EstimateResult> promise;
+        result = promise.get_future();
+        it->second->promises.push_back(std::move(promise));
+        it->second->callbacks.push_back(std::move(on_complete));
+        it->second->arrivals.push_back(std::chrono::steady_clock::now());
+        ++stats_.joined_duplicates;
+        return result;
+      }
     }
+    const size_t pri = PriorityIndex(request.options.priority);
     Pending p{est,
-              std::move(query),
-              std::promise<double>(),
+              std::move(request),
+              std::promise<EstimateResult>(),
               std::move(on_complete),
               std::chrono::steady_clock::now(),
+              next_seq_++,
               std::move(key),
               std::make_shared<Joiners>()};
     result = p.promise.get_future();
-    inflight_.emplace(p.key, p.joiners);
-    pending_.push_back(std::move(p));
-    ++primaries_submitted_;
+    if (sharable) inflight_.emplace(p.inflight_key, p.joiners);
+    outstanding_.insert(p.seq);
+    pending_[pri].push_back(std::move(p));
   }
   cv_.notify_all();
   return result;
 }
 
+std::future<double> AsyncEngine::Submit(NaruEstimator* est, Query query,
+                                        std::function<void(double)> on_complete) {
+  // Adapter over the typed surface: unwrap the estimate, map a non-OK
+  // Status to an exceptional future (the pre-typed contract), and keep
+  // the callback-failure isolation — a throwing callback fails only THIS
+  // submitter's future.
+  auto promise = std::make_shared<std::promise<double>>();
+  std::future<double> result = promise->get_future();
+  Submit(est, EstimateRequest(std::move(query)),
+         [promise, callback = std::move(on_complete)](const EstimateResult& r) {
+           try {
+             if (!r.status.ok()) {
+               throw std::runtime_error(r.status.ToString());
+             }
+             if (callback) callback(r.estimate);
+             promise->set_value(r.estimate);
+           } catch (...) {
+             try {
+               promise->set_exception(std::current_exception());
+             } catch (const std::future_error&) {
+               // value already set before the callback threw
+             }
+           }
+         });
+  return result;
+}
+
 void AsyncEngine::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  // Wait on a PRIMARY watermark, not queue emptiness: micro-batches are
-  // cut FIFO by one dispatcher, so `primaries_completed_ >= watermark`
-  // proves every queue entry submitted before this call is done — even
-  // while other threads keep the queue non-empty with new work. That also
-  // covers every pre-Drain joiner: a joiner delivers exactly when its
-  // (earlier-submitted, hence pre-watermark) primary does. The total
-  // stats_.completed counter would NOT work here — joiner deliveries land
-  // out of FIFO order and could reach a submission-count watermark while
-  // later pre-Drain primaries are still queued.
-  const size_t watermark = primaries_submitted_;
+  // Wait until no primary submitted before this call is still
+  // outstanding. Priority flushing dispatches primaries out of
+  // submission order, so the condition is set-emptiness below the
+  // watermark, not a completion count. It also covers every pre-Drain
+  // joiner: a joiner delivers exactly when its (earlier-submitted, hence
+  // below-watermark) primary does.
+  const uint64_t watermark = next_seq_;
   ++drain_waiters_;
   cv_.notify_all();  // flush pending work now instead of at the deadline
-  drain_cv_.wait(lock, [&] { return primaries_completed_ >= watermark; });
+  drain_cv_.wait(lock, [&] {
+    return outstanding_.empty() || *outstanding_.begin() >= watermark;
+  });
   --drain_waiters_;
 }
 
 AsyncEngineStats AsyncEngine::async_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+EngineStats AsyncEngine::stats() const {
+  EngineStats snapshot = engine_.stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.priority_flushes = stats_.priority_flushes;
+  return snapshot;
 }
 
 void AsyncEngine::DispatcherLoop() {
@@ -103,26 +166,66 @@ void AsyncEngine::DispatcherLoop() {
 
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
-    if (pending_.empty()) return;  // stop_ and nothing left: done
+    cv_.wait(lock, [&] { return stop_ || TotalPendingLocked() > 0; });
+    if (TotalPendingLocked() == 0) return;  // stop_ and nothing left: done
 
     // Let the micro-batch accumulate until it is full, the oldest pending
-    // submission hits its deadline, or someone needs results now.
-    const auto deadline = pending_.front().arrival + max_wait;
+    // submission (across ALL priority classes — a waiting low-priority
+    // request still bounds the flush latency) hits its deadline, or
+    // someone needs results now.
+    const auto oldest_arrival = [&] {
+      auto oldest = std::chrono::steady_clock::time_point::max();
+      for (const auto& q : pending_) {
+        if (!q.empty()) oldest = std::min(oldest, q.front().arrival);
+      }
+      return oldest;
+    };
+    auto deadline = oldest_arrival() + max_wait;
     while (!stop_ && drain_waiters_ == 0 &&
-           pending_.size() < cfg_.max_batch_size &&
+           TotalPendingLocked() < cfg_.max_batch_size &&
            std::chrono::steady_clock::now() < deadline) {
       cv_.wait_until(lock, deadline);
+      deadline = oldest_arrival() + max_wait;
     }
 
-    // Cut one micro-batch off the queue. Later submissions keep arriving
-    // and accumulating while this batch runs — that overlap is the point.
-    const size_t take = std::min(pending_.size(), cfg_.max_batch_size);
+    // Cut one micro-batch off the queues, HIGHEST priority class first
+    // (FIFO within a class). Later submissions keep arriving and
+    // accumulating while this batch runs — that overlap is the point.
+    //
+    // EXCEPT while draining (or stopping): then cut FIFO BY ARRIVAL
+    // across classes, so a pre-Drain low-priority request cannot be
+    // starved past the barrier by ongoing higher-priority traffic —
+    // Drain's "bounded by work submitted before the call" guarantee
+    // outranks priority order for its duration.
+    const size_t total_pending = TotalPendingLocked();
+    const size_t take = std::min(total_pending, cfg_.max_batch_size);
+    const bool fifo_cut = stop_ || drain_waiters_ > 0;
     std::vector<Pending> batch;
     batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
+    auto max_selected_arrival = std::chrono::steady_clock::time_point::min();
+    if (fifo_cut) {
+      while (batch.size() < take) {
+        size_t best = kNumPriorities;
+        for (size_t pri = 0; pri < kNumPriorities; ++pri) {
+          if (!pending_[pri].empty() &&
+              (best == kNumPriorities ||
+               pending_[pri].front().arrival < pending_[best].front().arrival)) {
+            best = pri;
+          }
+        }
+        batch.push_back(std::move(pending_[best].front()));
+        pending_[best].pop_front();
+      }
+    } else {
+      for (size_t pri = kNumPriorities; pri-- > 0 && batch.size() < take;) {
+        auto& q = pending_[pri];
+        while (!q.empty() && batch.size() < take) {
+          max_selected_arrival =
+              std::max(max_selected_arrival, q.front().arrival);
+          batch.push_back(std::move(q.front()));
+          q.pop_front();
+        }
+      }
     }
     ++stats_.batches;
     stats_.largest_batch = std::max(stats_.largest_batch, take);
@@ -133,24 +236,46 @@ void AsyncEngine::DispatcherLoop() {
     } else {
       ++stats_.deadline_flushes;
     }
+    // A flush reordered the queue iff some selected request arrived AFTER
+    // a request it left behind — exactly when the cut differs from the
+    // FIFO cut. Only possible when the batch could not take everything.
+    if (take < total_pending &&
+        oldest_arrival() < max_selected_arrival) {
+      ++stats_.priority_flushes;
+    }
     lock.unlock();
 
+    const auto flush_time = std::chrono::steady_clock::now();
     std::vector<NaruEstimator*> ests;
-    std::vector<Query> queries;
+    std::vector<EstimateRequest> requests;
     ests.reserve(take);
-    queries.reserve(take);
+    requests.reserve(take);
     for (Pending& p : batch) {
       ests.push_back(p.est);
-      queries.push_back(std::move(p.query));  // batch only needs promises now
+      requests.push_back(std::move(p.request));  // batch keeps promises only
     }
-    std::vector<double> out;
+    std::vector<EstimateResult> out;
     std::exception_ptr batch_error;
     try {
-      engine_.EstimateMixedBatch(ests, queries, &out);
+      engine_.EstimateMixedBatch(ests, requests, &out);
     } catch (...) {
       // Estimation itself is noexcept in practice; this guards allocation
       // failure so waiters never hang.
       batch_error = std::current_exception();
+    }
+    if (batch_error != nullptr) {
+      // Status end to end: an engine-side failure becomes a typed
+      // Internal result on every request of the batch (the legacy double
+      // adapter re-raises it as an exceptional future).
+      out.assign(take, EstimateResult{});
+      for (EstimateResult& r : out) {
+        r.status = Status::Internal("batch estimation failed");
+      }
+    }
+    for (size_t i = 0; i < take; ++i) {
+      out[i].queue_ms = std::chrono::duration<double, std::milli>(
+                            flush_time - batch[i].arrival)
+                            .count();
     }
 
     // Unregister the batch's in-flight keys BEFORE delivering: a joiner
@@ -161,55 +286,48 @@ void AsyncEngine::DispatcherLoop() {
     size_t delivered = take;
     lock.lock();
     for (const Pending& p : batch) {
-      inflight_.erase(p.key);
+      if (!p.inflight_key.empty()) inflight_.erase(p.inflight_key);
       delivered += p.joiners->promises.size();
     }
     lock.unlock();
 
-    if (batch_error == nullptr) {
-      // Per-request delivery: each submitter's callback runs on the
-      // dispatcher thread before ITS future becomes ready, and a throwing
-      // callback fails only that submitter's future — never the primary's
-      // or another joiner's.
-      const auto deliver = [](std::promise<double>* promise,
-                              const std::function<void(double)>& callback,
-                              double value) {
-        try {
-          if (callback) callback(value);
-          promise->set_value(value);
-        } catch (...) {
+    // Per-request delivery: each submitter's callback runs on the
+    // dispatcher thread before ITS future becomes ready, and a throwing
+    // callback fails only that submitter's future — never the primary's
+    // or another joiner's.
+    const auto deliver =
+        [](std::promise<EstimateResult>* promise,
+           const std::function<void(const EstimateResult&)>& callback,
+           const EstimateResult& value) {
           try {
-            promise->set_exception(std::current_exception());
-          } catch (const std::future_error&) {
-            // value already set before the callback threw
+            if (callback) callback(value);
+            promise->set_value(value);
+          } catch (...) {
+            try {
+              promise->set_exception(std::current_exception());
+            } catch (const std::future_error&) {
+              // value already set before the callback threw
+            }
           }
-        }
-      };
-      for (size_t i = 0; i < take; ++i) {
-        Pending& p = batch[i];
-        deliver(&p.promise, p.on_complete, out[i]);
-        for (size_t j = 0; j < p.joiners->promises.size(); ++j) {
-          deliver(&p.joiners->promises[j], p.joiners->callbacks[j], out[i]);
-        }
-      }
-    } else {
-      for (size_t i = 0; i < take; ++i) {
-        try {
-          batch[i].promise.set_exception(batch_error);
-        } catch (const std::future_error&) {
-        }
-        for (auto& joined : batch[i].joiners->promises) {
-          try {
-            joined.set_exception(batch_error);
-          } catch (const std::future_error&) {
-          }
-        }
+        };
+    for (size_t i = 0; i < take; ++i) {
+      Pending& p = batch[i];
+      deliver(&p.promise, p.on_complete, out[i]);
+      for (size_t j = 0; j < p.joiners->promises.size(); ++j) {
+        // A joiner's queue time runs from its OWN submission to the
+        // twin's dispatch (0 when it joined a batch already mid-walk).
+        EstimateResult joined = out[i];
+        joined.queue_ms = std::max(
+            0.0, std::chrono::duration<double, std::milli>(
+                     flush_time - p.joiners->arrivals[j])
+                     .count());
+        deliver(&p.joiners->promises[j], p.joiners->callbacks[j], joined);
       }
     }
 
     lock.lock();
     stats_.completed += delivered;
-    primaries_completed_ += take;
+    for (const Pending& p : batch) outstanding_.erase(p.seq);
     drain_cv_.notify_all();  // a Drain watermark may have been reached
   }
 }

@@ -2,23 +2,33 @@
 //
 // The blocking EstimateBatch surface forces a server to collect a whole
 // batch before any sampling starts. AsyncEngine inverts that: callers
-// Submit() single queries as they arrive and immediately get a
-// std::future<double>; a background dispatcher thread coalesces pending
-// submissions into adaptive micro-batches — flushed as soon as
-// `max_batch_size` queries are pending OR the oldest pending query has
+// Submit() single EstimateRequests as they arrive and immediately get a
+// std::future<EstimateResult>; a background dispatcher thread coalesces
+// pending submissions into adaptive micro-batches — flushed as soon as
+// `max_batch_size` requests are pending OR the oldest pending request has
 // waited `max_wait_ms` — and drives them through the shard-parallel
 // InferenceEngine. Request arrival therefore overlaps with sampling: while
 // one micro-batch is being estimated, the next one accumulates.
 //
-// Determinism contract: a query's estimate is independent of which
+// Requests carry intent (serve/request.h): the dispatcher cuts each
+// micro-batch HIGHEST PRIORITY CLASS FIRST (FIFO within a class) instead
+// of pure FIFO, and a request whose soft deadline has expired by the time
+// its batch dispatches is shed by the engine with a typed
+// DEADLINE_EXCEEDED result instead of burning model evaluations on an
+// answer nobody is waiting for. Results carry the estimate, Status,
+// std-error, provenance, and queue/compute latency attribution.
+//
+// Determinism contract: a request's estimate is independent of which
 // micro-batch it lands in. EstimateBatch coalesces duplicates and serves
-// every distinct query through the fixed-seed sharded sampler, and every
-// cache entry is exact, so for a fixed seed Submit() returns a value
-// bit-identical to the sequential NaruEstimator::EstimateSelectivity —
-// regardless of arrival order, batching boundaries, thread count, or
-// cache eviction history (asserted in tests/test_serving_async.cc).
+// every distinct (query, budget) through the fixed-seed sharded sampler,
+// and every cache entry is exact, so for a fixed seed Submit() returns a
+// value bit-identical to the sequential
+// NaruEstimator::EstimateSelectivity — regardless of arrival order,
+// batching boundaries, priority interleaving, thread count, or cache
+// eviction history (asserted in tests/test_serving_async.cc).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -27,12 +37,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/inference_engine.h"
+#include "serve/request.h"
 
 namespace naru {
 
@@ -41,10 +53,11 @@ struct AsyncEngineConfig {
   /// (values below 1 are treated as 1). Larger batches amortize better;
   /// the deadline below bounds the latency cost of waiting for them.
   size_t max_batch_size = 64;
-  /// Flush deadline: a pending query is dispatched at most this many
-  /// milliseconds after its submission even if the batch is not full.
-  /// 0 dispatches as soon as the dispatcher is free (lowest latency,
-  /// least coalescing). Negative values are treated as 0.
+  /// Flush deadline: a pending request is dispatched at most this many
+  /// milliseconds after the OLDEST pending request's submission even if
+  /// the batch is not full. 0 dispatches as soon as the dispatcher is
+  /// free (lowest latency, least coalescing). Negative values are
+  /// treated as 0.
   double max_wait_ms = 2.0;
   /// The wrapped blocking engine (threads, caching, cache budget).
   InferenceEngineConfig engine;
@@ -52,8 +65,8 @@ struct AsyncEngineConfig {
 
 /// Dispatcher counters (cumulative since construction).
 struct AsyncEngineStats {
-  size_t submitted = 0;         ///< queries accepted by Submit
-  size_t completed = 0;         ///< queries whose result has been delivered
+  size_t submitted = 0;         ///< requests accepted by Submit
+  size_t completed = 0;         ///< requests whose result has been delivered
   size_t batches = 0;           ///< micro-batches dispatched
   size_t size_flushes = 0;      ///< flushed because max_batch_size was hit
   size_t deadline_flushes = 0;  ///< flushed because max_wait_ms expired
@@ -62,6 +75,10 @@ struct AsyncEngineStats {
   /// Submissions that joined an identical in-flight twin instead of
   /// enqueueing their own computation (see Submit).
   size_t joined_duplicates = 0;
+  /// Micro-batches cut out of FIFO order because a higher priority class
+  /// jumped the queue (also merged into EngineStats::priority_flushes by
+  /// stats()).
+  size_t priority_flushes = 0;
 };
 
 /// A streaming serving front-end over one InferenceEngine. Thread-safe:
@@ -76,35 +93,57 @@ class AsyncEngine {
   AsyncEngine(const AsyncEngine&) = delete;
   AsyncEngine& operator=(const AsyncEngine&) = delete;
 
-  /// Enqueues one query and returns a future resolving to its selectivity
-  /// (bit-identical to est->EstimateSelectivity(query) for a fixed seed).
-  /// If `on_complete` is provided it is invoked with the result on the
-  /// dispatcher thread, before the future becomes ready — keep it cheap
-  /// (record a timestamp, bump a counter); heavy work there stalls every
-  /// later micro-batch.
+  /// Enqueues one typed request and returns a future resolving to its
+  /// EstimateResult. For default options the estimate is bit-identical to
+  /// est->EstimateSelectivity(request.query) for a fixed seed; a request
+  /// whose deadline expires before dispatch resolves (never blocks) with
+  /// status DEADLINE_EXCEEDED. If `on_complete` is provided it is invoked
+  /// with the result on the dispatcher thread, before the future becomes
+  /// ready — keep it cheap (record a timestamp, bump a counter); heavy
+  /// work there stalls every later micro-batch.
   ///
-  /// In-flight duplicate sharing: a query submitted while an identical
-  /// query (same estimator, literally identical regions by canonical key)
-  /// is still pending or mid-walk JOINS the twin's computation instead of
+  /// The request's priority class decides which micro-batch it lands in
+  /// (higher classes are flushed first); its canonical query bytes are
+  /// serialized HERE, once, and ride inside request.key down through the
+  /// engine's keyed batch pass.
+  ///
+  /// In-flight duplicate sharing: a deadline-free request submitted while
+  /// an identical one (same estimator, same effective sample budget, same
+  /// priority class, same cache policy, identical regions by canonical key) is
+  /// still pending or mid-walk JOINS the twin's computation instead of
   /// enqueueing its own — its future resolves, and its on_complete fires,
   /// when the twin's result is delivered. Exact for the same reason batch
-  /// coalescing is: identical queries have identical deterministic
-  /// answers. This closes the gap where duplicates landing in different
-  /// micro-batches computed twice; counted in
+  /// coalescing is: identical requests have identical deterministic
+  /// answers. Requests carrying a deadline neither join nor accept
+  /// joiners (shedding is per-request; sharing a computation would let
+  /// one request's deadline decide another's fate); counted in
   /// AsyncEngineStats::joined_duplicates.
+  std::future<EstimateResult> Submit(
+      NaruEstimator* est, EstimateRequest request,
+      std::function<void(const EstimateResult&)> on_complete = {});
+
+  /// Legacy adapter: default-option submission returning the bare
+  /// selectivity. The future carries an exception when the typed surface
+  /// would have carried a non-OK status (impossible for default options
+  /// short of an engine-internal failure).
   std::future<double> Submit(NaruEstimator* est, Query query,
                              std::function<void(double)> on_complete = {});
 
-  /// Blocks until every query submitted before this call has completed —
-  /// and no longer: queries submitted concurrently with or after Drain
+  /// Blocks until every request submitted before this call has completed —
+  /// and no longer: requests submitted concurrently with or after Drain
   /// are not waited for, so a drain cannot be starved by ongoing traffic.
   /// Pending work is flushed immediately (counted as drain_flushes)
-  /// rather than waiting out max_wait_ms.
+  /// rather than waiting out max_wait_ms, and flushes revert to
+  /// FIFO-by-arrival for the drain's duration so ongoing higher-priority
+  /// submissions cannot starve a pre-Drain low-priority request past the
+  /// barrier.
   void Drain();
 
   AsyncEngineStats async_stats() const;
-  /// The wrapped engine's counters and cache occupancy.
-  EngineStats stats() const { return engine_.stats(); }
+  /// The wrapped engine's counters and cache occupancy, with the
+  /// dispatcher-side priority_flushes merged in (the blocking engine has
+  /// no queue to reorder, so the field is dispatcher-owned).
+  EngineStats stats() const;
   /// The wrapped blocking engine (e.g. for ClearCachesFor on retrain).
   InferenceEngine* engine() { return &engine_; }
 
@@ -116,21 +155,40 @@ class AsyncEngine {
   /// key is registered in `inflight_`; read lock-free by the dispatcher
   /// after it unregisters the key.
   struct Joiners {
-    std::vector<std::promise<double>> promises;
-    std::vector<std::function<void(double)>> callbacks;
+    std::vector<std::promise<EstimateResult>> promises;
+    std::vector<std::function<void(const EstimateResult&)>> callbacks;
+    /// Per-joiner submission times: each joiner's delivered queue_ms is
+    /// measured from ITS OWN arrival, not the primary's.
+    std::vector<std::chrono::steady_clock::time_point> arrivals;
   };
 
   struct Pending {
     NaruEstimator* est;
-    Query query;
-    std::promise<double> promise;
-    std::function<void(double)> on_complete;
+    EstimateRequest request;
+    std::promise<EstimateResult> promise;
+    std::function<void(const EstimateResult&)> on_complete;
     std::chrono::steady_clock::time_point arrival;
-    std::string key;  // estimator identity + canonical query bytes
+    /// Submission sequence number (Drain bookkeeping; priority flushing
+    /// delivers primaries out of order, so emptiness of the
+    /// below-watermark outstanding set — not a completion count — is the
+    /// drain condition).
+    uint64_t seq = 0;
+    /// Estimator identity + budget + priority + canonical query bytes;
+    /// empty when the request is not registered for duplicate sharing
+    /// (deadline-carrying requests).
+    std::string inflight_key;
     std::shared_ptr<Joiners> joiners;
   };
 
+  static constexpr size_t kNumPriorities = 3;
+  static size_t PriorityIndex(RequestPriority priority) {
+    return static_cast<size_t>(priority) < kNumPriorities
+               ? static_cast<size_t>(priority)
+               : static_cast<size_t>(RequestPriority::kNormal);
+  }
+
   void DispatcherLoop();
+  size_t TotalPendingLocked() const;
 
   AsyncEngineConfig cfg_;
   InferenceEngine engine_;
@@ -138,7 +196,9 @@ class AsyncEngine {
   mutable std::mutex mu_;
   std::condition_variable cv_;        // wakes the dispatcher
   std::condition_variable drain_cv_;  // wakes Drain waiters
-  std::deque<Pending> pending_;
+  /// One FIFO queue per priority class (index = RequestPriority value).
+  /// Micro-batches are cut highest class first, FIFO within a class.
+  std::array<std::deque<Pending>, kNumPriorities> pending_;
   /// Key -> joiner list of the computation currently pending or mid-walk
   /// for that key. Registered by Submit, unregistered by the dispatcher
   /// when the result is delivered (later duplicates then hit the engine's
@@ -147,14 +207,14 @@ class AsyncEngine {
   size_t drain_waiters_ = 0;    // active Drain calls: flush immediately
   bool stop_ = false;
   AsyncEngineStats stats_;
-  /// Drain bookkeeping in PRIMARY terms (queue entries, not joiners).
-  /// Primaries are dispatched and delivered FIFO, so `primaries_completed_
-  /// >= watermark` proves every pre-watermark primary is done — and with
-  /// it every pre-watermark joiner, since a joiner's primary is always
-  /// submitted before the joiner. stats_.completed (primaries + joiners)
-  /// is NOT FIFO-ordered and must not be used as a drain watermark.
-  size_t primaries_submitted_ = 0;
-  size_t primaries_completed_ = 0;
+  /// Drain bookkeeping: sequence numbers of primaries submitted but not
+  /// yet delivered. Priority flushing dispatches primaries OUT of
+  /// submission order, so Drain(watermark) waits until no outstanding
+  /// sequence number is below its watermark — which also covers every
+  /// pre-watermark joiner, since a joiner's primary is always submitted
+  /// (hence sequenced) before the joiner.
+  uint64_t next_seq_ = 0;
+  std::set<uint64_t> outstanding_;
 
   std::thread dispatcher_;  // last member: joins before the rest dies
 };

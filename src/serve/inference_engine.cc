@@ -1,6 +1,8 @@
 #include "serve/inference_engine.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 
 #include "core/enumerator.h"
 #include "plan/plan_executor.h"
@@ -29,17 +31,27 @@ std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
 }
 
 // The config-dependent memo-key prefix: sampled estimates depend on the
-// estimator's sampling configuration, not only on the model — two
-// estimators wrapping one model (e.g. Naru-1000 and Naru-4000) must never
-// share memo entries. Built once per batch, not once per query.
-std::string MemoPrefix(const NaruEstimatorConfig& cfg) {
+// estimator's sampling configuration — and on the request's effective
+// sample budget — not only on the model: two estimators wrapping one
+// model (e.g. Naru-1000 and Naru-4000), or two requests for one query
+// with different per-request budgets, must never share entries. Built
+// once per (batch, budget), not once per request. Also used as the budget
+// component of the duplicate-coalescing key, so it is computed even when
+// caching is off.
+std::string MemoPrefix(const NaruEstimatorConfig& cfg, size_t eff_samples) {
   // shard_size is part of the key: the shard layout defines the RNG
   // streams, so two estimators differing only in it produce different
   // sampled estimates.
-  return StrFormat("%zu|%zu|%llu|%zu|%d|", cfg.num_samples,
+  return StrFormat("%zu|%zu|%llu|%zu|%d|", eff_samples,
                    cfg.enumeration_threshold,
                    static_cast<unsigned long long>(cfg.sampler_seed),
                    cfg.shard_size, cfg.uniform_region ? 1 : 0);
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
 }
 
 }  // namespace
@@ -82,8 +94,15 @@ std::string FormatEngineStats(const EngineStats& stats) {
   std::string out;
   out += StrFormat(
       "# engine: %zu queries (%zu sampled, %zu enumerated, %zu exact "
-      "shortcuts)\n",
-      stats.queries, stats.sampled, stats.enumerated, stats.exact_shortcuts);
+      "shortcuts, %zu shed on deadline)\n",
+      stats.queries, stats.sampled, stats.enumerated, stats.exact_shortcuts,
+      stats.shed_deadline);
+  out += StrFormat(
+      "# results: %zu cache_hit / %zu exact / %zu enumerated / %zu sampled "
+      "/ %zu planned_group / %zu shed; %zu priority flushes\n",
+      stats.results_cache_hit, stats.results_exact, stats.results_enumerated,
+      stats.results_sampled, stats.results_planned, stats.results_shed,
+      stats.priority_flushes);
   out += StrFormat(
       "# caches: memo %zu hits / %zu misses / %zu evictions (%zu entries, "
       "%.1f KB), marginal %zu hits / %zu misses / %zu evictions (%zu "
@@ -119,24 +138,79 @@ void InferenceEngine::ClearCachesFor(const ConditionalModel* model) {
 void InferenceEngine::EstimateBatch(NaruEstimator* est,
                                     const std::vector<Query>& queries,
                                     std::vector<double>* out) {
-  const size_t n = queries.size();
-  out->assign(n, 0.0);
+  std::vector<EstimateRequest> requests;
+  requests.reserve(queries.size());
+  for (const Query& q : queries) requests.emplace_back(q);
+  std::vector<EstimateResult> results;
+  EstimateBatch(est, requests, &results);
+  out->resize(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    // Default options carry no deadline, so nothing can shed: every
+    // result is OK by construction.
+    (*out)[i] = results[i].estimate;
+  }
+}
+
+void InferenceEngine::EstimateBatch(NaruEstimator* est,
+                                    const std::vector<EstimateRequest>& requests,
+                                    std::vector<EstimateResult>* out) {
+  const size_t n = requests.size();
+  out->assign(n, EstimateResult{});
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries += n;
   }
   if (n == 0) return;
+  const auto compute_start = std::chrono::steady_clock::now();
+
+  // Shed pass: a request whose deadline has already passed costs nothing
+  // beyond this check — no key, no cache traffic, no walk. Checked once
+  // per batch (the deadline is soft; in-batch compute is never cancelled).
+  std::vector<uint8_t> live(n, 1);
+  size_t shed_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (requests[i].options.ExpiredAt(compute_start)) {
+      live[i] = 0;
+      (*out)[i].status =
+          Status::DeadlineExceeded("deadline expired before dispatch");
+      (*out)[i].provenance = ResultProvenance::kShed;
+      ++shed_count;
+    }
+  }
+
+  const auto tally = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.shed_deadline += shed_count;
+    for (const EstimateResult& r : *out) {
+      switch (r.provenance) {
+        case ResultProvenance::kCacheHit: ++stats_.results_cache_hit; break;
+        case ResultProvenance::kExact: ++stats_.results_exact; break;
+        case ResultProvenance::kEnumerated: ++stats_.results_enumerated; break;
+        case ResultProvenance::kSampled: ++stats_.results_sampled; break;
+        case ResultProvenance::kPlannedGroup: ++stats_.results_planned; break;
+        case ResultProvenance::kShed: ++stats_.results_shed; break;
+        case ResultProvenance::kUnknown: break;
+      }
+    }
+  };
+  if (shed_count == n) {
+    tally();
+    return;
+  }
 
   // A caller-established serial region wins over the engine's own thread
   // configuration — the same coarser-grain-wins rule the sampler follows.
   ThreadPool* p = ScopedSerialRegion::Active() ? nullptr : pool();
   const bool concurrent = est->model()->SupportsConcurrentSampling();
 
-  // ONE keyed pass over the batch: each query's canonical key is built
-  // exactly once here and reused for (a) duplicate coalescing and (b) the
-  // memo lookup inside EstimateOne — the sequential code used to rebuild
-  // it per call. The config-dependent memo prefix is likewise hoisted to
-  // once per batch.
+  // ONE keyed pass over the batch: each request's full memo key — the
+  // config/budget prefix plus the canonical query bytes — is built
+  // exactly once here and reused for (a) duplicate coalescing and (b)
+  // every cache interaction below. Canonical bytes arriving in
+  // request.key (serialized upstream by AsyncEngine::Submit) are reused
+  // instead of re-serialized. The prefix embeds the effective per-request
+  // sample budget, so two requests for one query with different budgets
+  // never coalesce and never share memo entries.
   //
   // Coalescing duplicates up front matters because k copies of one
   // uncached query would otherwise cost k full walks (k workers all miss
@@ -144,113 +218,148 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   // traces the engine serves. Coalescing is exact (identical queries get
   // the one deterministic result), so it stays on even when caching is
   // disabled.
+  // Requests coalesce only when key AND cache policy agree: the
+  // representative's policy governs the computation's cache interaction,
+  // so folding a kBypass request onto a kReadWrite twin (or vice versa)
+  // would make the policy order-dependent. Policies do NOT enter the memo
+  // key — read-write and read-only requests share memo entries.
+  constexpr size_t kNoRep = static_cast<size_t>(-1);
+  constexpr size_t kNumPolicies = 3;
   std::vector<std::string> keys(n);
-  std::unordered_map<std::string_view, size_t> first_index;
+  std::vector<size_t> eff(n, 0);
+  std::unordered_map<size_t, std::string> prefixes;  // budget -> prefix
+  std::unordered_map<std::string_view, std::array<size_t, kNumPolicies>>
+      first_index;  // key -> representative per cache policy
   std::vector<size_t> reps;          // one representative per distinct key
-  std::vector<size_t> dup_of(n, 0);  // representative index per query
+  std::vector<size_t> dup_of(n);     // representative index per request
   reps.reserve(n);
   first_index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    keys[i] = QueryKey(queries[i]);
-    const auto [it, inserted] =
-        first_index.emplace(std::string_view(keys[i]), i);
-    if (inserted) reps.push_back(i);
-    dup_of[i] = it->second;
+    dup_of[i] = i;
+    if (!live[i]) continue;
+    eff[i] = requests[i].options.EffectiveSamples(est->config().num_samples);
+    auto [pit, inserted_prefix] = prefixes.try_emplace(eff[i]);
+    if (inserted_prefix) pit->second = MemoPrefix(est->config(), eff[i]);
+    const std::string& prefix = pit->second;
+    const std::string& query_bytes = requests[i].key;
+    keys[i].reserve(prefix.size() +
+                    (query_bytes.empty() ? 32 : query_bytes.size()));
+    keys[i] = prefix;
+    if (query_bytes.empty()) {
+      AppendQueryKey(requests[i].query, &keys[i]);
+    } else {
+      keys[i] += query_bytes;
+    }
+    const size_t policy =
+        std::min(static_cast<size_t>(requests[i].options.cache_policy),
+                 kNumPolicies - 1);
+    auto [it, inserted] = first_index.try_emplace(
+        std::string_view(keys[i]),
+        std::array<size_t, kNumPolicies>{kNoRep, kNoRep, kNoRep});
+    (void)inserted;
+    size_t& slot = it->second[policy];
+    if (slot == kNoRep) {
+      slot = i;
+      reps.push_back(i);
+    }
+    dup_of[i] = slot;
   }
   const size_t m = reps.size();
-  const std::string memo_prefix =
-      cfg_.enable_cache ? MemoPrefix(est->config()) : std::string();
 
-  // Planned route: resolve every distinct query through the exact fast
-  // paths (memo, empty, enumeration, wildcard exits, leading-only), then
-  // compile the sampled remainder into ONE SamplingPlan for the whole
-  // batch — queries grouped by shared leading-wildcard prefix, one prefix
-  // walk per (shard, group), per-column forward passes fused into stacked
-  // GEMMs. Requires pure stackable sessions; the uniform-region strawman
-  // takes none of the walk structure the plan exploits.
-  if (cfg_.enable_plan && est->model()->SupportsStackedEvaluation() &&
-      !est->sampler()->config().uniform_region) {
-    std::vector<size_t> sampled_reps;
-    std::vector<std::string> sampled_keys;
-    auto resolve_and_plan = [&] {
-      std::string memo_key;
+  // The distinct-request compute. The representative's cache policy
+  // governs the computation; duplicates only copy its result.
+  const auto run_reps = [&] {
+    // Planned route: resolve every distinct request through the exact
+    // fast paths (memo, empty, enumeration, wildcard exits,
+    // leading-only), then compile the sampled remainder into ONE
+    // SamplingPlan for the whole batch — queries grouped by shared
+    // leading-wildcard prefix WITHIN each budget class, one prefix walk
+    // per (shard, group), per-column forward passes fused into stacked
+    // GEMMs. Requires pure stackable sessions; the uniform-region
+    // strawman takes none of the walk structure the plan exploits.
+    if (cfg_.enable_plan && est->model()->SupportsStackedEvaluation() &&
+        !est->sampler()->config().uniform_region) {
+      std::vector<size_t> sampled_reps;
+      std::vector<std::string> sampled_keys;
+      std::vector<size_t> sampled_budgets;
+      std::vector<CachePolicy> sampled_policies;
       for (size_t k = 0; k < m; ++k) {
-        double result;
-        if (ResolveBeforeSampling(est, queries[reps[k]], memo_prefix,
-                                  keys[reps[k]], &memo_key, &result)) {
-          (*out)[reps[k]] = result;
-        } else {
-          sampled_reps.push_back(reps[k]);
-          sampled_keys.push_back(std::move(memo_key));
+        const size_t i = reps[k];
+        if (!ResolveBeforeSampling(est, requests[i].query, keys[i],
+                                   requests[i].options.cache_policy,
+                                   &(*out)[i])) {
+          sampled_reps.push_back(i);
+          sampled_keys.push_back(keys[i]);
+          sampled_budgets.push_back(eff[i]);
+          sampled_policies.push_back(requests[i].options.cache_policy);
         }
       }
-      EstimatePlanned(est, queries, sampled_reps, sampled_keys, p, out);
-    };
-    if (p == nullptr) {
-      // Strictly serial: one serial region over resolution AND plan
-      // execution keeps every kernel inline (the num_threads=1 contract).
-      ScopedSerialRegion serial;
-      resolve_and_plan();
-    } else {
-      resolve_and_plan();
+      EstimatePlanned(est, requests, sampled_reps, sampled_keys,
+                      sampled_budgets, sampled_policies, p, out);
+      return;
     }
-    for (size_t i = 0; i < n; ++i) (*out)[i] = (*out)[dup_of[i]];
-    return;
+
+    // Legacy route (models without stackable sessions, uniform-region, or
+    // enable_plan off): the schedule is chosen on the COALESCED width — a
+    // batch of 64 requests over 2 distinct templates is 2 queries' worth
+    // of work and should shard each walk across the pool, not park it on
+    // 2 of N workers.
+    if (p != nullptr && concurrent && m >= p->num_threads() && m > 1) {
+      // Wide batches: one distinct query per worker, sampler serial
+      // within a query. Queries are independent and every cached value is
+      // exact, so the schedule cannot affect results.
+      p->ParallelFor(
+          0, m,
+          [&](size_t lo, size_t hi) {
+            ScopedSerialRegion serial;
+            for (size_t k = lo; k < hi; ++k) {
+              const size_t i = reps[k];
+              EstimateOne(est, requests[i].query, keys[i], eff[i],
+                          requests[i].options.cache_policy,
+                          /*sampler_parallelism=*/1,
+                          /*sampler_pool=*/nullptr, &(*out)[i]);
+            }
+          },
+          /*min_chunk=*/1);
+    } else {
+      for (size_t k = 0; k < m; ++k) {
+        const size_t i = reps[k];
+        EstimateOne(est, requests[i].query, keys[i], eff[i],
+                    requests[i].options.cache_policy,
+                    /*sampler_parallelism=*/p == nullptr ? 1 : 0,
+                    /*sampler_pool=*/p, &(*out)[i]);
+      }
+    }
+  };
+  if (p == nullptr) {
+    // Strictly serial: one serial region over the whole batch keeps every
+    // kernel inline (the num_threads=1 contract) — including the
+    // enumeration and leading-only paths, whose kernels would otherwise
+    // fan out to the global pool.
+    ScopedSerialRegion serial;
+    run_reps();
+  } else {
+    run_reps();
   }
 
-  // Legacy route (models without stackable sessions, uniform-region, or
-  // enable_plan off): the schedule is chosen on the COALESCED width — a
-  // batch of 64 requests over 2 distinct templates is 2 queries' worth of
-  // work and should shard each walk across the pool, not park it on 2 of
-  // N workers.
-  if (p != nullptr && concurrent && m >= p->num_threads() && m > 1) {
-    // Wide batches: one distinct query per worker, sampler serial within a
-    // query. Queries are independent and every cached value is exact, so
-    // the schedule cannot affect results.
-    p->ParallelFor(
-        0, m,
-        [&](size_t lo, size_t hi) {
-          ScopedSerialRegion serial;
-          for (size_t k = lo; k < hi; ++k) {
-            (*out)[reps[k]] =
-                EstimateOne(est, queries[reps[k]], memo_prefix, keys[reps[k]],
-                            /*sampler_parallelism=*/1,
-                            /*sampler_pool=*/nullptr);
-          }
-        },
-        /*min_chunk=*/1);
-  } else if (p == nullptr) {
-    // Strictly serial: hold a serial region across the whole batch so the
-    // enumeration and leading-only paths (whose kernels would otherwise
-    // fan out to the global pool) honor the num_threads=1 contract too.
-    ScopedSerialRegion serial;
-    for (size_t k = 0; k < m; ++k) {
-      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]], memo_prefix,
-                                    keys[reps[k]],
-                                    /*sampler_parallelism=*/1,
-                                    /*sampler_pool=*/nullptr);
-    }
-  } else {
-    // Narrow batches (or a non-concurrent model): distinct queries run in
-    // order; each query's sample-path shards use the engine's pool.
-    for (size_t k = 0; k < m; ++k) {
-      (*out)[reps[k]] = EstimateOne(est, queries[reps[k]], memo_prefix,
-                                    keys[reps[k]],
-                                    /*sampler_parallelism=*/0, p);
-    }
+  const double compute_ms = ElapsedMs(compute_start);
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_of[i] != i) (*out)[i] = (*out)[dup_of[i]];
+    if (live[i]) (*out)[i].compute_ms = compute_ms;
   }
-  for (size_t i = 0; i < n; ++i) (*out)[i] = (*out)[dup_of[i]];
+  tally();
 }
 
 void InferenceEngine::EstimateMixedBatch(
-    const std::vector<NaruEstimator*>& ests, const std::vector<Query>& queries,
-    std::vector<double>* out) {
-  NARU_CHECK(ests.size() == queries.size());
-  out->assign(queries.size(), 0.0);
+    const std::vector<NaruEstimator*>& ests,
+    const std::vector<EstimateRequest>& requests,
+    std::vector<EstimateResult>* out) {
+  NARU_CHECK(ests.size() == requests.size());
+  out->assign(requests.size(), EstimateResult{});
 
-  // Group query indices by estimator (queries against the same model share
-  // sessions' weights, workspaces, and caches), then serve each group as
-  // one batch.
+  // Group request indices by estimator (queries against the same model
+  // share sessions' weights, workspaces, and caches), then serve each
+  // group as one batch.
   std::vector<NaruEstimator*> order;
   std::unordered_map<NaruEstimator*, std::vector<size_t>> groups;
   for (size_t i = 0; i < ests.size(); ++i) {
@@ -258,41 +367,63 @@ void InferenceEngine::EstimateMixedBatch(
     if (bucket.empty()) order.push_back(ests[i]);
     bucket.push_back(i);
   }
-  std::vector<Query> group_queries;
-  std::vector<double> group_out;
+  std::vector<EstimateRequest> group_requests;
+  std::vector<EstimateResult> group_out;
   for (NaruEstimator* est : order) {
     const auto& idx = groups[est];
-    group_queries.clear();
-    group_queries.reserve(idx.size());
-    for (size_t i : idx) group_queries.push_back(queries[i]);
-    EstimateBatch(est, group_queries, &group_out);
-    for (size_t k = 0; k < idx.size(); ++k) (*out)[idx[k]] = group_out[k];
+    group_requests.clear();
+    group_requests.reserve(idx.size());
+    for (size_t i : idx) group_requests.push_back(requests[i]);
+    EstimateBatch(est, group_requests, &group_out);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      (*out)[idx[k]] = std::move(group_out[k]);
+    }
+  }
+}
+
+void InferenceEngine::EstimateMixedBatch(
+    const std::vector<NaruEstimator*>& ests, const std::vector<Query>& queries,
+    std::vector<double>* out) {
+  std::vector<EstimateRequest> requests;
+  requests.reserve(queries.size());
+  for (const Query& q : queries) requests.emplace_back(q);
+  std::vector<EstimateResult> results;
+  EstimateMixedBatch(ests, requests, &results);
+  out->resize(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    (*out)[i] = results[i].estimate;
   }
 }
 
 bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
                                             const Query& query,
-                                            const std::string& memo_prefix,
-                                            const std::string& query_key,
-                                            std::string* memo_key,
-                                            double* result) {
+                                            const std::string& memo_key,
+                                            CachePolicy cache_policy,
+                                            EstimateResult* result) {
   ConditionalModel* model = est->model();
-  memo_key->clear();
+  result->status = Status::OK();
+  result->std_error = 0.0;
+  result->samples_used = 0;
   if (query.HasEmptyRegion()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.exact_shortcuts;
-    *result = 0.0;
+    result->estimate = 0.0;
+    result->provenance = ResultProvenance::kExact;
     return true;
   }
 
-  const bool use_cache = cfg_.enable_cache;
-  if (use_cache) {
-    memo_key->reserve(memo_prefix.size() + query_key.size());
-    *memo_key += memo_prefix;
-    *memo_key += query_key;
+  // A per-request policy can only restrict what the engine-level switch
+  // allows: kReadOnly serves hot entries without polluting the working
+  // set, kBypass recomputes (to the bit-identical value) end to end.
+  const bool cache_lookup =
+      cfg_.enable_cache && cache_policy != CachePolicy::kBypass;
+  const bool cache_store =
+      cfg_.enable_cache && cache_policy == CachePolicy::kReadWrite;
+  if (cache_lookup) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (caches_[model].result_memo.Lookup(*memo_key, result)) {
+    if (caches_[model].result_memo.Lookup(memo_key, &result->estimate)) {
       ++stats_.memo_hits;
+      result->provenance = ResultProvenance::kCacheHit;
       return true;
     }
     ++stats_.memo_misses;
@@ -303,8 +434,9 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
     // keep flowing meanwhile.
     {
       std::lock_guard<std::mutex> lock(EnumerationMutexFor(model));
-      *result = EnumerateSelectivity(model, query);
+      result->estimate = EnumerateSelectivity(model, query);
     }
+    result->provenance = ResultProvenance::kEnumerated;
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.enumerated;
   } else {
@@ -313,7 +445,8 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
     // sequential ProgressiveSampler::EstimateWithStdError.
     const ProgressiveSampler::Path path = est->sampler()->Classify(query);
     if (path == ProgressiveSampler::Path::kAllWildcard) {
-      *result = 1.0;  // every position wildcard: the walk would exit at once
+      result->estimate = 1.0;  // every position wildcard: immediate exit
+      result->provenance = ResultProvenance::kExact;
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.exact_shortcuts;
     } else if (path == ProgressiveSampler::Path::kLeadingOnly) {
@@ -321,11 +454,12 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
       // predicate prefixes skip the forward pass entirely.
       const std::string region_key =
           RegionKey(query.region(model->TableColumnOf(0)));
+      result->provenance = ResultProvenance::kExact;
       bool hit = false;
-      if (use_cache) {
+      if (cache_lookup) {
         std::lock_guard<std::mutex> lock(mu_);
         auto& masses = caches_[model].leading_mass;
-        if (masses.Lookup(region_key, result)) {
+        if (masses.Lookup(region_key, &result->estimate)) {
           hit = true;
           ++stats_.marginal_hits;
           ++stats_.exact_shortcuts;
@@ -334,12 +468,12 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
         }
       }
       if (!hit) {
-        *result = est->sampler()->LeadingOnlyMass(query);
+        result->estimate = est->sampler()->LeadingOnlyMass(query);
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.exact_shortcuts;
-        if (use_cache) {
+        if (cache_store) {
           stats_.marginal_evictions += caches_[model].leading_mass.Insert(
-              region_key, *result, cfg_.cache_budget_bytes);
+              region_key, result->estimate, cfg_.cache_budget_bytes);
         }
       }
     } else {
@@ -347,59 +481,63 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
     }
   }
 
-  if (use_cache) {
+  if (cache_store) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.memo_evictions += caches_[model].result_memo.Insert(
-        *memo_key, *result, cfg_.cache_budget_bytes);
+        memo_key, result->estimate, cfg_.cache_budget_bytes);
   }
   return true;
 }
 
-double InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
-                                    const std::string& memo_prefix,
-                                    const std::string& query_key,
-                                    size_t sampler_parallelism,
-                                    ThreadPool* sampler_pool) {
-  std::string memo_key;
-  double result;
-  if (ResolveBeforeSampling(est, query, memo_prefix, query_key, &memo_key,
-                            &result)) {
-    return result;
+void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
+                                  const std::string& memo_key,
+                                  size_t eff_samples, CachePolicy cache_policy,
+                                  size_t sampler_parallelism,
+                                  ThreadPool* sampler_pool,
+                                  EstimateResult* result) {
+  if (ResolveBeforeSampling(est, query, memo_key, cache_policy, result)) {
+    return;
   }
 
   ProgressiveSampler::RunOptions options;
   options.parallelism = sampler_parallelism;
   options.thread_pool = sampler_pool;
   options.workspaces = &workspaces_;
-  result = est->sampler()->EstimateWithOptions(query, nullptr, options);
+  options.num_samples = eff_samples;
+  result->estimate =
+      est->sampler()->EstimateWithOptions(query, &result->std_error, options);
+  result->provenance = ResultProvenance::kSampled;
+  result->samples_used = eff_samples;
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.sampled;
-  if (cfg_.enable_cache) {
+  if (cfg_.enable_cache && cache_policy == CachePolicy::kReadWrite) {
     stats_.memo_evictions += caches_[est->model()].result_memo.Insert(
-        memo_key, result, cfg_.cache_budget_bytes);
+        memo_key, result->estimate, cfg_.cache_budget_bytes);
   }
-  return result;
 }
 
-void InferenceEngine::EstimatePlanned(NaruEstimator* est,
-                                      const std::vector<Query>& queries,
-                                      const std::vector<size_t>& reps,
-                                      const std::vector<std::string>& memo_keys,
-                                      ThreadPool* pool,
-                                      std::vector<double>* out) {
+void InferenceEngine::EstimatePlanned(
+    NaruEstimator* est, const std::vector<EstimateRequest>& requests,
+    const std::vector<size_t>& reps, const std::vector<std::string>& memo_keys,
+    const std::vector<size_t>& budgets,
+    const std::vector<CachePolicy>& policies, ThreadPool* pool,
+    std::vector<EstimateResult>* out) {
   if (reps.empty()) return;
   std::vector<const Query*> sampled;
   sampled.reserve(reps.size());
-  for (size_t rep : reps) sampled.push_back(&queries[rep]);
+  for (size_t rep : reps) sampled.push_back(&requests[rep].query);
 
   const ProgressiveSamplerConfig& scfg = est->sampler()->config();
   SamplingPlanOptions plan_opts;
+  plan_opts.budgets = budgets;  // the compiler never fuses across budgets
   if (pool != nullptr) {
     // (group, shard) tasks are the parallelism grain: when shards alone
     // cannot cover the pool (few sample paths -> one shard), shrink the
     // group width so the task count does. Grouping is an execution detail
     // — it can never change an estimate — so this cap may depend on the
-    // thread count without breaking thread-count invariance.
+    // thread count without breaking thread-count invariance. (The cap is
+    // sized from the estimator's default budget; per-request budgets only
+    // shift how many shards each group happens to have.)
     const size_t num_shards =
         SamplerNumShards(scfg.num_samples, scfg.shard_size);
     const size_t min_groups =
@@ -422,7 +560,8 @@ void InferenceEngine::EstimatePlanned(NaruEstimator* est,
   popts.workspaces = &workspaces_;
 
   std::vector<double> estimates;
-  ExecuteSamplingPlan(est->model(), plan, popts, &estimates);
+  std::vector<double> std_errors;
+  ExecuteSamplingPlan(est->model(), plan, popts, &estimates, &std_errors);
 
   std::lock_guard<std::mutex> lock(mu_);
   stats_.sampled += reps.size();
@@ -433,8 +572,13 @@ void InferenceEngine::EstimatePlanned(NaruEstimator* est,
   stats_.plan_walk_cols += plan.WalkColumns();
   auto& memo = caches_[est->model()].result_memo;
   for (size_t i = 0; i < reps.size(); ++i) {
-    (*out)[reps[i]] = estimates[i];
-    if (cfg_.enable_cache) {
+    EstimateResult& r = (*out)[reps[i]];
+    r.estimate = estimates[i];
+    r.std_error = std_errors[i];
+    r.status = Status::OK();
+    r.provenance = ResultProvenance::kPlannedGroup;
+    r.samples_used = budgets[i];
+    if (cfg_.enable_cache && policies[i] == CachePolicy::kReadWrite) {
       stats_.memo_evictions +=
           memo.Insert(memo_keys[i], estimates[i], cfg_.cache_budget_bytes);
     }

@@ -11,6 +11,14 @@
 // a batched estimate is bit-identical to the sequential one, regardless of
 // batch size, thread count, or cache eviction history.
 //
+// The native surface is typed (serve/request.h): EstimateBatch maps
+// EstimateRequests — query + per-request sample budget, soft deadline,
+// priority class, cache policy — to EstimateResults carrying the
+// estimate, a Status (DEADLINE_EXCEEDED for shed requests), the Monte
+// Carlo standard error when sampled, a provenance tag, and latency
+// attribution. The legacy double-returning overloads are thin adapters
+// over it and stay bit-identical for default options.
+//
 // Caches are size-aware LRU maps (serve/lru_cache.h) bounded by a byte
 // budget per model; hit/miss/eviction counters and occupancy are exposed
 // through EngineStats. For an asynchronous Submit()-based surface on top
@@ -26,6 +34,7 @@
 #include "core/naru_estimator.h"
 #include "core/sampler.h"
 #include "serve/lru_cache.h"
+#include "serve/request.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -39,7 +48,9 @@ struct InferenceEngineConfig {
   /// only parallelism they have).
   size_t num_threads = 0;
   /// Cache exact results (memo + first-column marginal masses). Hits can
-  /// never change an estimate, only skip redundant forward passes.
+  /// never change an estimate, only skip redundant forward passes. A
+  /// request's CachePolicy can only further RESTRICT caching (read-only /
+  /// bypass), never enable it past this switch.
   bool enable_cache = true;
   /// Per-model byte budget for EACH exact-result cache (the memo and the
   /// marginal-mass map are budgeted independently). Entries are charged
@@ -87,6 +98,27 @@ struct EngineStats {
   size_t plan_walk_cols = 0;     ///< column walks the sequential path runs
   size_t workspaces_created = 0; ///< sampler workspaces ever created (churn)
 
+  /// Requests shed with DEADLINE_EXCEEDED: their deadline had already
+  /// passed when the engine dispatched them, so they cost no model
+  /// evaluation (the compute-vs-provenance counters above never see
+  /// them).
+  size_t shed_deadline = 0;
+  /// Async-dispatcher flushes whose micro-batch was cut out of FIFO order
+  /// because a higher priority class jumped a queue. Filled only through
+  /// AsyncEngine::stats() — the blocking engine has no queue to reorder.
+  size_t priority_flushes = 0;
+
+  /// Results DELIVERED per provenance (serve/request.h). Unlike the
+  /// compute counters above (which count distinct computations),
+  /// coalesced duplicates count here too — the columns answer "what did
+  /// callers receive", not "what did the engine run".
+  size_t results_cache_hit = 0;
+  size_t results_exact = 0;
+  size_t results_enumerated = 0;
+  size_t results_sampled = 0;
+  size_t results_planned = 0;
+  size_t results_shed = 0;
+
   /// Fraction of per-shard column walks the prefix sharing eliminated.
   double prefix_share_ratio() const {
     return plan_walk_cols == 0
@@ -114,16 +146,33 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Estimates all queries against `est`, one selectivity per query in
-  /// *out. Thread-safe with respect to the engine's own state; do not call
-  /// concurrently for estimators sharing a model that does not support
-  /// concurrent sampling.
+  /// Serves all requests against `est`, one EstimateResult per request in
+  /// *out. Requests whose deadline has already passed at dispatch are
+  /// shed with a DEADLINE_EXCEEDED status and cost no model evaluation;
+  /// everything else resolves with status OK. Requests coalesce only when
+  /// their canonical query bytes, effective sample budgets, AND cache
+  /// policies all match (the representative's policy governs the cache
+  /// interaction). Thread-safe with respect to the engine's own state; do not
+  /// call concurrently for estimators sharing a model that does not
+  /// support concurrent sampling.
+  void EstimateBatch(NaruEstimator* est,
+                     const std::vector<EstimateRequest>& requests,
+                     std::vector<EstimateResult>* out);
+
+  /// Legacy adapter: default-option requests, estimates only. Results are
+  /// bit-identical to the typed surface with default EstimateOptions
+  /// (and, transitively, to the sequential path).
   void EstimateBatch(NaruEstimator* est, const std::vector<Query>& queries,
                      std::vector<double>* out);
 
   /// Groups a mixed batch by estimator and serves each group batched:
-  /// `ests` and `queries` are parallel arrays of equal length, and
-  /// (*out)[i] is ests[i]'s estimate for queries[i].
+  /// `ests` and `requests` are parallel arrays of equal length, and
+  /// (*out)[i] is ests[i]'s result for requests[i].
+  void EstimateMixedBatch(const std::vector<NaruEstimator*>& ests,
+                          const std::vector<EstimateRequest>& requests,
+                          std::vector<EstimateResult>* out);
+
+  /// Legacy adapter over the typed mixed batch.
   void EstimateMixedBatch(const std::vector<NaruEstimator*>& ests,
                           const std::vector<Query>& queries,
                           std::vector<double>* out);
@@ -163,33 +212,36 @@ class InferenceEngine {
   /// empty region, enumeration policy, trailing-wildcard exit, leading-only
   /// marginal, then the sharded sampler with `sampler_parallelism` on
   /// `sampler_pool` (nullptr = the sampler's configured pool).
-  /// `memo_prefix` and `query_key` are the batch-hoisted key parts
-  /// (see EstimateBatch): the memo key is their concatenation, computed
-  /// here exactly once per distinct query.
-  double EstimateOne(NaruEstimator* est, const Query& query,
-                     const std::string& memo_prefix,
-                     const std::string& query_key, size_t sampler_parallelism,
-                     ThreadPool* sampler_pool);
+  /// `memo_key` is the batch-hoisted full cache key (config prefix +
+  /// canonical query bytes); `eff_samples` the request's effective sample
+  /// budget. Fills *result (estimate, status, std_error, provenance,
+  /// samples_used).
+  void EstimateOne(NaruEstimator* est, const Query& query,
+                   const std::string& memo_key, size_t eff_samples,
+                   CachePolicy cache_policy, size_t sampler_parallelism,
+                   ThreadPool* sampler_pool, EstimateResult* result);
 
   /// Every routing step of EstimateOne short of the sampled walk: memo
   /// lookup, empty region, enumeration, trailing-wildcard exit,
-  /// leading-only marginal. Returns true with *result set when the query
-  /// resolved; false when it needs a progressive-sampling walk, leaving
-  /// its memo key in *memo_key for post-walk insertion. Shared by
-  /// EstimateOne and the planned batch path so the routing policy cannot
-  /// diverge between them.
+  /// leading-only marginal. Returns true with *result filled when the
+  /// query resolved; false when it needs a progressive-sampling walk.
+  /// Shared by EstimateOne and the planned batch path so the routing
+  /// policy cannot diverge between them.
   bool ResolveBeforeSampling(NaruEstimator* est, const Query& query,
-                             const std::string& memo_prefix,
-                             const std::string& query_key,
-                             std::string* memo_key, double* result);
+                             const std::string& memo_key,
+                             CachePolicy cache_policy, EstimateResult* result);
 
-  /// Serves the batch's unresolved sampled queries through a compiled
-  /// SamplingPlan (prefix sharing + stacked GEMMs); writes (*out)[rep]
-  /// and memoizes each result. `reps`/`memo_keys` are parallel arrays.
-  void EstimatePlanned(NaruEstimator* est, const std::vector<Query>& queries,
+  /// Serves the batch's unresolved sampled requests through a compiled
+  /// SamplingPlan (prefix sharing + stacked GEMMs, grouping split by
+  /// per-request budget); fills (*out)[rep] and memoizes each result.
+  /// `reps`/`memo_keys`/`budgets`/`policies` are parallel arrays.
+  void EstimatePlanned(NaruEstimator* est,
+                       const std::vector<EstimateRequest>& requests,
                        const std::vector<size_t>& reps,
                        const std::vector<std::string>& memo_keys,
-                       ThreadPool* pool, std::vector<double>* out);
+                       const std::vector<size_t>& budgets,
+                       const std::vector<CachePolicy>& policies,
+                       ThreadPool* pool, std::vector<EstimateResult>* out);
 
   /// nullptr when the engine is strictly serial.
   ThreadPool* pool() const;

@@ -39,12 +39,16 @@ std::string RegionKey(const ValueSet& region) {
   return key;
 }
 
+void AppendQueryKey(const Query& query, std::string* out) {
+  AppendRaw<uint64_t>(query.num_columns(), out);
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    AppendRegionKey(query.region(c), out);
+  }
+}
+
 std::string QueryKey(const Query& query) {
   std::string key;
-  AppendRaw<uint64_t>(query.num_columns(), &key);
-  for (size_t c = 0; c < query.num_columns(); ++c) {
-    AppendRegionKey(query.region(c), &key);
-  }
+  AppendQueryKey(query, &key);
   return key;
 }
 

@@ -22,6 +22,11 @@ void AppendRegionKey(const ValueSet& region, std::string* out);
 /// Canonical key of one region.
 std::string RegionKey(const ValueSet& region);
 
+/// Appends the canonical key of a whole query (all per-column regions in
+/// order) to *out — the allocation-free form the serving engine's keyed
+/// batch pass uses to build composite cache keys in place.
+void AppendQueryKey(const Query& query, std::string* out);
+
 /// Canonical key of a whole query: all per-column regions in order.
 std::string QueryKey(const Query& query);
 

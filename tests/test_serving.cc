@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ensemble.h"
@@ -18,6 +22,7 @@
 #include "serve/inference_engine.h"
 #include "serve/lru_cache.h"
 #include "serve/query_key.h"
+#include "serve/request.h"
 
 namespace naru {
 namespace {
@@ -454,6 +459,297 @@ TEST(InferenceEngine, PlanLayoutAndPlanDisableAreResultInvariant) {
   EXPECT_EQ(unplanned, whole);
   EXPECT_EQ(legacy.stats().plan_batches, 0u);
   EXPECT_EQ(legacy.stats().planned_queries, 0u);
+}
+
+// Tentpole of the typed-API redesign: the legacy double-returning
+// surfaces are thin adapters over EstimateRequest/EstimateResult, so for
+// default options all three — typed, legacy, sequential — must agree
+// bit-for-bit, and typed results must carry status/provenance/latency.
+TEST(InferenceEngine, TypedDefaultRequestsMatchLegacyDoubleApi) {
+  Table table = SmallTable(53);
+  auto model = SmallTrainedModel(table, 53);
+  const auto queries = ServingQueries(table, 59);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 50;  // exercise the enumeration provenance
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<double> sequential;
+  std::vector<double> sequential_stderr;
+  for (const auto& q : queries) {
+    const EstimateResult r = est.Estimate(q);
+    ASSERT_TRUE(r.ok());
+    sequential.push_back(r.estimate);
+    sequential_stderr.push_back(r.std_error);
+  }
+
+  InferenceEngine typed_engine(InferenceEngineConfig{.num_threads = 3});
+  std::vector<EstimateRequest> requests;
+  for (const auto& q : queries) requests.emplace_back(q);
+  std::vector<EstimateResult> results;
+  typed_engine.EstimateBatch(&est, requests, &results);
+
+  InferenceEngine legacy_engine(InferenceEngineConfig{.num_threads = 3});
+  std::vector<double> legacy;
+  legacy_engine.EstimateBatch(&est, queries, &legacy);
+
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "query " << i;
+    EXPECT_EQ(results[i].estimate, sequential[i]) << "query " << i;
+    EXPECT_EQ(results[i].estimate, legacy[i]) << "query " << i;
+    EXPECT_NE(results[i].provenance, ResultProvenance::kUnknown)
+        << "query " << i;
+    EXPECT_GE(results[i].compute_ms, 0.0);
+    // Sampled results surface the sequential path's Monte Carlo standard
+    // error; exact answers report 0.
+    if (results[i].provenance == ResultProvenance::kSampled ||
+        results[i].provenance == ResultProvenance::kPlannedGroup) {
+      EXPECT_EQ(results[i].std_error, sequential_stderr[i]) << "query " << i;
+      EXPECT_EQ(results[i].samples_used, ncfg.num_samples);
+    } else {
+      EXPECT_EQ(results[i].samples_used, 0u) << "query " << i;
+    }
+  }
+
+  // Per-provenance result counters account for every delivered result.
+  const EngineStats stats = typed_engine.stats();
+  EXPECT_EQ(stats.results_cache_hit + stats.results_exact +
+                stats.results_enumerated + stats.results_sampled +
+                stats.results_planned + stats.results_shed,
+            queries.size());
+  EXPECT_EQ(stats.results_shed, 0u);
+}
+
+TEST(InferenceEngine, ExpiredDeadlinesAreShedWithTypedStatus) {
+  Table table = SmallTable(59);
+  auto model = SmallTrainedModel(table, 59);
+  const auto queries = ServingQueries(table, 61);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<EstimateRequest> requests;
+  requests.emplace_back(queries[0]);
+  requests.emplace_back(queries[1]);  // expired: must shed
+  requests.back().options.deadline = EstimateOptions::DeadlineInMs(-10.0);
+  requests.emplace_back(queries[2]);
+  requests.emplace_back(queries[3]);  // generous: must NOT shed
+  requests.back().options.deadline = EstimateOptions::DeadlineInMs(60000.0);
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 2});
+  std::vector<EstimateResult> results;
+  engine.EstimateBatch(&est, requests, &results);
+
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(std::isnan(results[1].estimate));
+  EXPECT_EQ(results[1].provenance, ResultProvenance::kShed);
+  EXPECT_EQ(results[1].samples_used, 0u);
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+    ASSERT_TRUE(results[i].ok()) << "query " << i;
+    EXPECT_EQ(results[i].estimate, est.EstimateSelectivity(queries[i]))
+        << "query " << i;
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, requests.size());
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.results_shed, 1u);
+
+  // The sequential typed path sheds by the same rule.
+  const EstimateResult direct = est.Estimate(
+      queries[1], EstimateOptions{.deadline = EstimateOptions::DeadlineInMs(-1.0)});
+  EXPECT_EQ(direct.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(direct.provenance, ResultProvenance::kShed);
+}
+
+// Per-request sample budgets are part of the value contract: a request
+// carrying num_samples=N must be bit-identical (estimate AND std-error)
+// to a dedicated estimator configured with N — through the sequential
+// typed path, the planned engine, and the legacy engine route — and
+// budgets must never coalesce or share memo entries with each other.
+TEST(InferenceEngine, PerRequestSampleBudgetsMatchDedicatedEstimators) {
+  Table table = SmallTable(61);
+  auto model = SmallTrainedModel(table, 61);
+
+  WorkloadConfig wcfg;
+  wcfg.num_queries = 18;
+  wcfg.min_filters = 1;
+  wcfg.max_filters = 4;
+  wcfg.leading_wildcards = 2;  // keep the plan's prefix sharing in play
+  wcfg.leading_wildcard_fraction = 0.5;
+  wcfg.seed = 103;
+  const std::vector<Query> queries = GenerateWorkload(table, wcfg);
+
+  NaruEstimatorConfig base_cfg;
+  base_cfg.num_samples = 200;
+  base_cfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), base_cfg, 0);
+
+  // One reference estimator per budget (0 = the base config's 200).
+  const size_t budgets[] = {0, 100, 350};
+  std::vector<std::unique_ptr<NaruEstimator>> refs;
+  for (const size_t budget : budgets) {
+    NaruEstimatorConfig cfg = base_cfg;
+    if (budget != 0) cfg.num_samples = budget;
+    refs.push_back(std::make_unique<NaruEstimator>(model.get(), cfg, 0));
+  }
+
+  // A mixed-budget batch: query i asks for budgets[i % 3].
+  std::vector<EstimateRequest> requests;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EstimateRequest req(queries[i]);
+    req.options.num_samples = budgets[i % 3];
+    requests.push_back(std::move(req));
+  }
+
+  for (const bool planned : {true, false}) {
+    InferenceEngineConfig ecfg;
+    ecfg.num_threads = 2;
+    ecfg.enable_plan = planned;
+    InferenceEngine engine(ecfg);
+    std::vector<EstimateResult> results;
+    engine.EstimateBatch(&est, requests, &results);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const EstimateResult want = refs[i % 3]->Estimate(queries[i]);
+      ASSERT_TRUE(results[i].ok());
+      EXPECT_EQ(results[i].estimate, want.estimate)
+          << "query " << i << " planned " << planned;
+      EXPECT_EQ(results[i].std_error, want.std_error)
+          << "query " << i << " planned " << planned;
+      // The sequential typed path honors the same per-request override.
+      const EstimateResult direct = est.Estimate(
+          queries[i], EstimateOptions{.num_samples = budgets[i % 3]});
+      EXPECT_EQ(direct.estimate, want.estimate) << "query " << i;
+    }
+
+    // Budgets never share memo entries: re-serving the same mixed batch
+    // hits the memo once per distinct (query, budget) pair.
+    std::set<std::pair<std::string, size_t>> distinct;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      distinct.emplace(QueryKey(queries[i]), budgets[i % 3]);
+    }
+    const EngineStats cold = engine.stats();
+    std::vector<EstimateResult> warm_results;
+    engine.EstimateBatch(&est, requests, &warm_results);
+    const EngineStats warm = engine.stats();
+    EXPECT_EQ(warm.memo_hits - cold.memo_hits, distinct.size())
+        << "planned " << planned;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(warm_results[i].estimate, results[i].estimate);
+      EXPECT_EQ(warm_results[i].provenance, ResultProvenance::kCacheHit);
+    }
+
+    // One query asked under two budgets in ONE batch must not coalesce.
+    std::vector<EstimateRequest> pair;
+    pair.emplace_back(queries[0]);
+    pair.back().options.num_samples = 100;
+    pair.emplace_back(queries[0]);
+    pair.back().options.num_samples = 350;
+    std::vector<EstimateResult> pair_out;
+    engine.EstimateBatch(&est, pair, &pair_out);
+    EXPECT_EQ(pair_out[0].estimate, refs[1]->EstimateSelectivity(queries[0]));
+    EXPECT_EQ(pair_out[1].estimate, refs[2]->EstimateSelectivity(queries[0]));
+  }
+}
+
+TEST(InferenceEngine, CachePolicyRestrictsCachingButNeverChangesValues) {
+  Table table = SmallTable(67);
+  auto model = SmallTrainedModel(table, 67);
+  const auto queries = ServingQueries(table, 71);
+  const Query& q = queries[0];  // a sampled-path query
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+  const double want = est.EstimateSelectivity(q);
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 1});
+  const auto serve_one = [&](CachePolicy policy) {
+    std::vector<EstimateRequest> reqs;
+    reqs.emplace_back(q);
+    reqs.back().options.cache_policy = policy;
+    std::vector<EstimateResult> out;
+    engine.EstimateBatch(&est, reqs, &out);
+    EXPECT_EQ(out[0].estimate, want);
+    return out[0];
+  };
+
+  // Bypass: no lookup, no insert — every pass recomputes.
+  serve_one(CachePolicy::kBypass);
+  EXPECT_EQ(engine.stats().sampled, 1u);
+  EXPECT_EQ(engine.stats().memo_misses, 0u);  // bypass skipped the lookup
+  serve_one(CachePolicy::kBypass);
+  EXPECT_EQ(engine.stats().sampled, 2u);
+
+  // Read-only: looks up (and misses — bypass never stored) but does not
+  // pollute the cache.
+  serve_one(CachePolicy::kReadOnly);
+  EXPECT_EQ(engine.stats().sampled, 3u);
+  EXPECT_EQ(engine.stats().memo_misses, 1u);
+  EXPECT_EQ(engine.stats().memo_entries, 0u);
+
+  // Read-write stores; a later read-only request then hits.
+  serve_one(CachePolicy::kReadWrite);
+  EXPECT_EQ(engine.stats().sampled, 4u);
+  EXPECT_EQ(engine.stats().memo_entries, 1u);
+  const EstimateResult hit = serve_one(CachePolicy::kReadOnly);
+  EXPECT_EQ(hit.provenance, ResultProvenance::kCacheHit);
+  EXPECT_EQ(engine.stats().sampled, 4u);
+  EXPECT_EQ(engine.stats().memo_hits, 1u);
+}
+
+// Coalescing is policy-aware: a kBypass request must recompute even when
+// its query twin in the same batch is served from the warm memo — in
+// either batch order.
+TEST(InferenceEngine, MixedPoliciesInOneBatchNeverCoalesce) {
+  Table table = SmallTable(73);
+  auto model = SmallTrainedModel(table, 73);
+  const Query q = ServingQueries(table, 79)[0];  // a sampled-path query
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+  const double want = est.EstimateSelectivity(q);
+
+  InferenceEngine engine(InferenceEngineConfig{.num_threads = 2});
+  {
+    std::vector<EstimateRequest> warmup{EstimateRequest(q)};
+    std::vector<EstimateResult> out;
+    engine.EstimateBatch(&est, warmup, &out);  // memo now holds q
+  }
+
+  for (const bool bypass_first : {false, true}) {
+    EstimateRequest rw(q);
+    EstimateRequest bypass(q);
+    bypass.options.cache_policy = CachePolicy::kBypass;
+    std::vector<EstimateRequest> batch;
+    if (bypass_first) {
+      batch.push_back(std::move(bypass));
+      batch.push_back(std::move(rw));
+    } else {
+      batch.push_back(std::move(rw));
+      batch.push_back(std::move(bypass));
+    }
+    const size_t sampled_before = engine.stats().sampled;
+    std::vector<EstimateResult> out;
+    engine.EstimateBatch(&est, batch, &out);
+    const size_t rw_at = bypass_first ? 1 : 0;
+    const size_t bypass_at = bypass_first ? 0 : 1;
+    EXPECT_EQ(out[rw_at].provenance, ResultProvenance::kCacheHit)
+        << "bypass_first " << bypass_first;
+    EXPECT_NE(out[bypass_at].provenance, ResultProvenance::kCacheHit)
+        << "bypass_first " << bypass_first;
+    EXPECT_EQ(engine.stats().sampled, sampled_before + 1);  // the bypass
+    EXPECT_EQ(out[0].estimate, want);
+    EXPECT_EQ(out[1].estimate, want);
+  }
 }
 
 TEST(InferenceEngine, OracleModelServesConcurrently) {

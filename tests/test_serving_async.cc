@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "query/workload.h"
 #include "serve/async_engine.h"
 #include "serve/lru_cache.h"
+#include "serve/request.h"
 
 namespace naru {
 namespace {
@@ -406,6 +410,224 @@ TEST(AsyncEngine, DrainCoversPendingWorkDespiteConcurrentJoins) {
   for (size_t i = 0; i < futures.size(); ++i) {
     EXPECT_EQ(futures[i].get(), est.EstimateSelectivity(queries[i]));
   }
+}
+
+// Tentpole of the typed-API redesign: the legacy future<double> Submit is
+// a thin adapter over the typed surface, so both must agree bit-for-bit
+// with the sequential path, and typed results must carry provenance and
+// queue/compute latency attribution.
+TEST(AsyncEngine, TypedAndLegacySubmitAgreeWithSequential) {
+  Table table = SmallTable(23);
+  auto model = SmallTrainedModel(table, 23);
+  const auto queries = AsyncQueries(table, 95);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 8;
+  acfg.max_wait_ms = 1.0;
+  acfg.engine.num_threads = 2;
+  AsyncEngine engine(acfg);
+
+  std::vector<std::future<EstimateResult>> typed;
+  std::vector<std::future<double>> legacy;
+  for (const auto& q : queries) {
+    typed.push_back(engine.Submit(&est, EstimateRequest(q)));
+    legacy.push_back(engine.Submit(&est, q));
+  }
+  engine.Drain();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const EstimateResult r = typed[i].get();
+    const double want = est.EstimateSelectivity(queries[i]);
+    ASSERT_TRUE(r.ok()) << "query " << i;
+    EXPECT_EQ(r.estimate, want) << "query " << i;
+    EXPECT_EQ(legacy[i].get(), want) << "query " << i;
+    EXPECT_NE(r.provenance, ResultProvenance::kUnknown);
+    EXPECT_GE(r.queue_ms, 0.0);
+    EXPECT_GE(r.compute_ms, 0.0);
+  }
+}
+
+// Satellite of the typed-API redesign: the dispatcher flushes by priority
+// class, not FIFO. A high-priority request submitted AFTER a low-priority
+// one must be dispatched (and complete) before it whenever the dispatcher
+// is backlogged.
+TEST(AsyncEngine, HighPriorityFlushesBeforeEarlierLowPriority) {
+  Table table = SmallTable(29);
+  auto model = SmallTrainedModel(table, 29);
+  const auto queries = AsyncQueries(table, 97);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;  // one request per flush: order is observable
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  std::mutex mu;
+  std::vector<std::string> completion_order;
+  const auto record = [&](const char* name) {
+    return [&, name](const EstimateResult&) {
+      std::lock_guard<std::mutex> lock(mu);
+      completion_order.emplace_back(name);
+    };
+  };
+
+  // A heavy blocker occupies the dispatcher (per-request budget makes it
+  // slow); the low- and high-priority requests are submitted only once it
+  // is mid-walk, so they must land in later flushes, cut by priority.
+  EstimateRequest blocker(queries[0]);
+  blocker.options.num_samples = 30000;
+  auto f_blocker = engine.Submit(&est, std::move(blocker), record("blocker"));
+  while (engine.async_stats().batches == 0) {
+    std::this_thread::yield();
+  }
+  EstimateRequest low(queries[1]);
+  low.options.priority = RequestPriority::kLow;
+  auto f_low = engine.Submit(&est, std::move(low), record("low"));
+  EstimateRequest high(queries[2]);
+  high.options.priority = RequestPriority::kHigh;
+  auto f_high = engine.Submit(&est, std::move(high), record("high"));
+  // Wait on the futures, NOT Drain(): an active drain deliberately
+  // reverts flushing to FIFO-by-arrival (its no-starvation guarantee),
+  // which would hide exactly the priority ordering under test.
+  const EstimateResult r_blocker = f_blocker.get();
+  const EstimateResult r_low = f_low.get();
+  const EstimateResult r_high = f_high.get();
+
+  ASSERT_EQ(completion_order.size(), 3u);
+  size_t low_at = 0, high_at = 0;
+  for (size_t i = 0; i < completion_order.size(); ++i) {
+    if (completion_order[i] == "low") low_at = i;
+    if (completion_order[i] == "high") high_at = i;
+  }
+  EXPECT_LT(high_at, low_at) << "high priority did not jump the queue";
+  EXPECT_GE(engine.async_stats().priority_flushes, 1u);
+  // The dispatcher-side counter is merged into the EngineStats snapshot.
+  EXPECT_EQ(engine.stats().priority_flushes,
+            engine.async_stats().priority_flushes);
+
+  // Priority is a scheduling knob only: every estimate is still the
+  // sequential one (the blocker under its per-request budget).
+  EstimateOptions heavy;
+  heavy.num_samples = 30000;
+  EXPECT_EQ(r_blocker.estimate, est.Estimate(queries[0], heavy).estimate);
+  EXPECT_EQ(r_low.estimate, est.EstimateSelectivity(queries[1]));
+  EXPECT_EQ(r_high.estimate, est.EstimateSelectivity(queries[2]));
+}
+
+// Satellite: expired deadlines shed with a typed DEADLINE_EXCEEDED result
+// — resolved futures, never blocked Drains or crashes — while live
+// requests in the same micro-batches stay bit-identical.
+TEST(AsyncEngine, ExpiredDeadlinesShedTypedResults) {
+  Table table = SmallTable(31);
+  auto model = SmallTrainedModel(table, 31);
+  const auto queries = AsyncQueries(table, 101);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 4;
+  acfg.max_wait_ms = 0.5;
+  acfg.engine.num_threads = 2;
+  AsyncEngine engine(acfg);
+
+  std::vector<std::future<EstimateResult>> futures;
+  std::vector<uint8_t> expired;
+  for (size_t round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EstimateRequest request(queries[i]);
+      const bool expire = (i % 3) == 1;
+      if (expire) {
+        request.options.deadline = EstimateOptions::DeadlineInMs(-5.0);
+      }
+      expired.push_back(expire ? 1 : 0);
+      futures.push_back(engine.Submit(&est, std::move(request)));
+    }
+  }
+  engine.Drain();
+
+  size_t shed = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << i << " not resolved by Drain";
+    const EstimateResult r = futures[i].get();
+    if (expired[i]) {
+      EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+          << "request " << i;
+      EXPECT_TRUE(std::isnan(r.estimate));
+      EXPECT_EQ(r.provenance, ResultProvenance::kShed);
+      ++shed;
+    } else {
+      ASSERT_TRUE(r.ok()) << "request " << i;
+      EXPECT_EQ(r.estimate,
+                est.EstimateSelectivity(queries[i % queries.size()]));
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed_deadline, shed);
+  EXPECT_EQ(stats.results_shed, shed);
+}
+
+// Drain must not be starved by ongoing higher-priority traffic: while a
+// drain is active, flushes revert to FIFO-by-arrival, so a pre-Drain
+// low-priority request completes even under a sustained high-priority
+// flood.
+TEST(AsyncEngine, DrainCompletesLowPriorityDespiteHighPriorityFlood) {
+  Table table = SmallTable(37);
+  auto model = SmallTrainedModel(table, 37);
+  const auto queries = AsyncQueries(table, 103);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 2;  // narrow flushes: priority order would matter
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;  // every flood request costs a walk
+  AsyncEngine engine(acfg);
+
+  EstimateRequest low(queries[0]);
+  low.options.priority = RequestPriority::kLow;
+  auto f_low = engine.Submit(&est, std::move(low));
+
+  // A side thread floods high-priority requests (cycling queries so the
+  // in-flight join cannot collapse them into one computation) for the
+  // whole duration of the drain.
+  std::atomic<bool> stop{false};
+  std::thread flood([&] {
+    size_t i = 1;
+    while (!stop.load()) {
+      EstimateRequest high(queries[i++ % queries.size()]);
+      high.options.priority = RequestPriority::kHigh;
+      engine.Submit(&est, std::move(high));
+    }
+  });
+  engine.Drain();
+  // The pre-Drain low-priority future must be ready the moment Drain
+  // returns — the flood cannot push it past the barrier.
+  EXPECT_EQ(f_low.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  stop.store(true);
+  flood.join();
+  engine.Drain();
+  EXPECT_EQ(f_low.get().estimate, est.EstimateSelectivity(queries[0]));
 }
 
 TEST(AsyncEngine, DestructorDrainsPendingSubmissions) {
