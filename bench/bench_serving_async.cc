@@ -36,6 +36,16 @@
 //                       shed counters, and priority-ordered flushing
 //                       (default off; ON under --smoke so CI exercises
 //                       the shedding path on every push)
+//   --serve-saturation  also replay the trace as an open-loop burst
+//                       (QPS >> service rate) against a BOUNDED pending
+//                       queue: asserts the admission policy — queue depth
+//                       never exceeds --max-pending, only the low class
+//                       is admission-shed while it has pending work
+//                       (typed RESOURCE_EXHAUSTED), and every non-shed
+//                       result stays bit-identical to the unsaturated
+//                       sequential run (default off; ON under --smoke)
+//   --max-pending N     pending-queue bound for the saturation phase
+//                       (default 8)
 //   --smoke             CI preset: tiny model, no arrival sleeps
 #include <algorithm>
 #include <chrono>
@@ -268,9 +278,91 @@ int Run() {
                 shedding_ok ? "yes" : "NO (BUG)");
   }
 
+  // ---- Saturation: open-loop burst against a bounded pending queue. ----
+  //
+  // Run by default under --smoke or explicitly with --serve-saturation.
+  // The burst submits far faster than the engine serves (caching off so
+  // every request costs a walk), alternating low/high priority so a low
+  // is always pending when a high arrives. Asserted invariants, per the
+  // overload-safety contract:
+  //   - the pending depth never exceeds max_pending (high-water mark);
+  //   - highs are never admission-shed (a strictly lower class was always
+  //     available when one arrived);
+  //   - some lows ARE shed, each with a typed RESOURCE_EXHAUSTED result;
+  //   - every non-shed result is bit-identical to the unsaturated
+  //     sequential run with the same seed.
+  bool saturation_ok = true;
+  if (GetEnvBool("NARU_SERVE_SATURATION", smoke)) {
+    const size_t max_pending = static_cast<size_t>(
+        std::clamp<int64_t>(GetEnvInt("NARU_MAX_PENDING", 8), 1, 1 << 20));
+    AsyncEngineConfig acfg;
+    acfg.max_batch_size = 2;  // slow service: tiny batches, no deadline wait
+    acfg.max_wait_ms = 0.0;
+    acfg.max_pending = max_pending;
+    acfg.engine.num_threads = threads;
+    acfg.engine.enable_cache = false;  // a real walk per request: overload
+    AsyncEngine engine(acfg);
+
+    // Mostly lows, with FEWER than max_pending highs spread through the
+    // burst: the queue can then never hold highs alone, so every high
+    // arrives while a strictly lower class has pending work — making
+    // "highs are never admission-shed" a policy guarantee to assert, not
+    // a race.
+    const size_t num_highs = std::min(max_pending - 1, trace.size() / 8);
+    const size_t high_stride =
+        num_highs > 0 ? trace.size() / (num_highs + 1) : trace.size() + 1;
+    std::vector<std::future<EstimateResult>> futures;
+    std::vector<uint8_t> is_high(trace.size(), 0);
+    futures.reserve(trace.size());
+    size_t highs_sent = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {  // burst: no arrival sleeps
+      EstimateRequest request(pool[trace[i].pool_index]);
+      if (highs_sent < num_highs && (i + 1) % high_stride == 0) {
+        is_high[i] = 1;
+        ++highs_sent;
+      }
+      request.options.priority =
+          is_high[i] ? RequestPriority::kHigh : RequestPriority::kLow;
+      futures.push_back(engine.Submit(&est, std::move(request)));
+    }
+    engine.Drain();
+
+    size_t shed_low = 0, shed_high = 0, served = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const EstimateResult r = futures[i].get();
+      if (r.status.code() == StatusCode::kResourceExhausted) {
+        ++(is_high[i] ? shed_high : shed_low);
+      } else if (!r.ok() ||
+                 r.estimate != reference[trace[i].pool_index]) {
+        saturation_ok = false;  // admitted requests must stay exact
+      } else {
+        ++served;
+      }
+    }
+    const auto astats = engine.async_stats();
+    const EngineStats stats = engine.stats();
+    std::printf(
+        "\nsaturation trace: %zu requests vs max_pending=%zu -> %zu served, "
+        "%zu low / %zu high admission-shed (engine counted %zu), peak "
+        "pending %zu\n",
+        trace.size(), max_pending, served, shed_low, shed_high,
+        stats.shed_admission, astats.max_pending_seen);
+    // Bounded depth, low-first shedding, and conservation: every request
+    // either served or shed, and the counters agree.
+    if (astats.max_pending_seen > max_pending) saturation_ok = false;
+    if (shed_high != 0) saturation_ok = false;
+    if (trace.size() >= 4 * max_pending && shed_low == 0) {
+      saturation_ok = false;  // a real burst must have overflowed
+    }
+    if (stats.shed_admission != shed_low + shed_high) saturation_ok = false;
+    if (astats.submitted != astats.completed) saturation_ok = false;
+    std::printf("admission control bounded and low-shed-first: %s\n",
+                saturation_ok ? "yes" : "NO (BUG)");
+  }
+
   std::printf("\nestimates bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO (BUG)");
-  return all_identical && shedding_ok ? 0 : 1;
+  return all_identical && shedding_ok && saturation_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -47,6 +47,10 @@
 //         --async            stream through AsyncEngine (accept loop)
 //         --max-batch N      async micro-batch flush size   (default 64)
 //         --max-wait-ms X    async micro-batch deadline     (default 2.0)
+//         --max-pending N    admission control: bound the async pending
+//                            queue; overflow sheds the lowest priority
+//                            class first with a typed ResourceExhausted
+//                            result line (default 0 = unbounded)
 //         --cache-budget-mb N  per-model result-cache budget (default 4)
 //
 //       Flags may appear anywhere, but a bare `--flag` consumes a
@@ -94,7 +98,7 @@ int Usage() {
                "  naru_cli serve <data.csv> <model.bundle> <queries.txt|-> "
                "[threads]\n"
                "    serve flags: --async --max-batch N --max-wait-ms X "
-               "--cache-budget-mb N\n"
+               "--max-pending N --cache-budget-mb N\n"
                "    trace line prefix: @<ms> arrival, ^high|^low priority, "
                "~<ms> deadline\n");
   return 2;
@@ -361,6 +365,10 @@ int main(int raw_argc, char** raw_argv) {
     acfg.max_batch_size = static_cast<size_t>(
         std::max<int64_t>(GetEnvInt("NARU_MAX_BATCH", 64), 1));
     acfg.max_wait_ms = GetEnvDouble("NARU_MAX_WAIT_MS", 2.0);
+    // 0 = unbounded; a bound sheds the lowest priority class first when
+    // submissions outrun the service rate (typed ResourceExhausted lines).
+    acfg.max_pending = static_cast<size_t>(
+        std::max<int64_t>(GetEnvInt("NARU_MAX_PENDING", 0), 0));
     AsyncEngine engine(acfg);
 
     struct Slot {
@@ -453,11 +461,14 @@ int main(int raw_argc, char** raw_argv) {
     }
     std::fprintf(stderr,
                  "# served %zu queries (%zu rejected, %zu joined in-flight "
-                 "twins) in %zu micro-batches (largest %zu; %zu size / %zu "
-                 "deadline / %zu drain flushes)\n",
+                 "twins, %zu admission-shed, peak pending %zu) in %zu "
+                 "micro-batches (largest %zu; %zu size / %zu deadline / %zu "
+                 "drain flushes, %zu deadline reorders)\n",
                  astats.completed, rejected, astats.joined_duplicates,
+                 astats.shed_admission, astats.max_pending_seen,
                  astats.batches, astats.largest_batch, astats.size_flushes,
-                 astats.deadline_flushes, astats.drain_flushes);
+                 astats.deadline_flushes, astats.drain_flushes,
+                 astats.deadline_reorders);
     std::fputs(FormatEngineStats(engine.stats()).c_str(), stderr);
     if (!latency_ms.empty()) {
       std::fprintf(stderr,

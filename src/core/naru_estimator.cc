@@ -1,6 +1,7 @@
 #include "core/naru_estimator.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/enumerator.h"
 #include "serve/inference_engine.h"
@@ -54,8 +55,23 @@ EstimateResult NaruEstimator::Estimate(const Query& query,
   }
   ProgressiveSampler::RunOptions run;
   run.num_samples = options.num_samples;  // 0 = the configured budget
+  // Propagate the soft deadline into the walk: the sampler re-checks it
+  // between column steps (same inclusive predicate as the dispatch-time
+  // shed above) and abandons the walk once it expires. Deadline-free
+  // requests (the default, and the bit-identity reference) never pay a
+  // clock read.
+  bool abandoned = false;
+  run.deadline = options.deadline;
+  run.abandoned = &abandoned;
   result.estimate =
       sampler_.EstimateWithOptions(query, &result.std_error, run);
+  if (abandoned) {
+    result.estimate = std::numeric_limits<double>::quiet_NaN();
+    result.std_error = 0.0;
+    result.status = Status::DeadlineExceeded("deadline expired mid-walk");
+    result.provenance = ResultProvenance::kShed;
+    return result;
+  }
   // The sampler short-circuits all-wildcard and leading-only queries to
   // exact answers; label those honestly instead of claiming a walk.
   if (sampler_.Classify(query) == ProgressiveSampler::Path::kSampled) {

@@ -1,7 +1,9 @@
 #include "core/sampler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace naru {
@@ -180,7 +182,12 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
   std::vector<double> shard_w(num_shards, 0.0);
   std::vector<double> shard_w2(num_shards, 0.0);
 
+  // Shared mid-walk abandonment flag: the first shard to observe
+  // `options.deadline` expired (between columns, never inside a kernel)
+  // sets it, and every other shard bails at its next column boundary.
+  std::atomic<bool> walk_abandoned{false};
   auto run_shard = [&](size_t k) {
+    if (walk_abandoned.load(std::memory_order_relaxed)) return;
     const size_t lo = k * cfg_.shard_size;
     const size_t rows = std::min(cfg_.shard_size, num_samples - lo);
     Rng rng(ShardSeed(cfg_.seed, k));
@@ -188,7 +195,8 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
     shard_w[k] = cfg_.uniform_region
                      ? UniformShardWeightSum(query, rows, &rng, ws.get())
                      : ShardWeightSum(query, rows, last_col, &rng, ws.get(),
-                                      &shard_w2[k]);
+                                      &shard_w2[k], options.deadline,
+                                      &walk_abandoned);
   };
 
   // The model's kernel-level parallelism (gemm) is suppressed inside shard
@@ -225,6 +233,14 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
     for (size_t k = 0; k < num_shards; ++k) run_shard(k);
   }
 
+  if (walk_abandoned.load(std::memory_order_relaxed)) {
+    // Partial shard sums are meaningless; the caller turns this into a
+    // typed DEADLINE_EXCEEDED result. Reached only when the caller set a
+    // deadline, so legacy callers never observe it.
+    if (options.abandoned != nullptr) *options.abandoned = true;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
   // Reduce in shard order: the sum is independent of execution order.
   double weight_sum = 0;
   double weight_sq_sum = 0;
@@ -243,11 +259,13 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
   return mean;
 }
 
-double ProgressiveSampler::ShardWeightSum(const Query& query, size_t rows,
-                                          int last_col, Rng* rng,
-                                          SamplerWorkspace* ws,
-                                          double* weight_sq_sum) {
+double ProgressiveSampler::ShardWeightSum(
+    const Query& query, size_t rows, int last_col, Rng* rng,
+    SamplerWorkspace* ws, double* weight_sq_sum,
+    std::chrono::steady_clock::time_point deadline,
+    std::atomic<bool>* abandoned) {
   const size_t n = model_->num_columns();
+  const bool has_deadline = deadline != kNoDeadline;
   ws->samples.Resize(rows, n);
   ws->samples.Fill(0);
   ws->weights.assign(rows, 1.0);
@@ -255,6 +273,17 @@ double ProgressiveSampler::ShardWeightSum(const Query& query, size_t rows,
 
   auto session = model_->StartSession(rows);
   for (size_t col = 0; col <= static_cast<size_t>(last_col); ++col) {
+    // Mid-walk deadline checkpoint: BETWEEN columns only, so a walk that
+    // is not abandoned consumes exactly the draws and arithmetic of a
+    // deadline-free walk (bit-identity). Expiry is the shared inclusive
+    // predicate (util/deadline.h).
+    if (has_deadline) {
+      if (abandoned->load(std::memory_order_relaxed)) return 0.0;
+      if (DeadlineExpired(deadline, std::chrono::steady_clock::now())) {
+        abandoned->store(true, std::memory_order_relaxed);
+        return 0.0;
+      }
+    }
     const bool wildcard = model_->PositionIsWildcard(query, col);
     session->Dist(ws->samples, col, &ws->probs);
     NARU_CHECK(ws->probs.rows() == rows &&

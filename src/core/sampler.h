@@ -25,12 +25,15 @@
 // |R| · P̂(x); it collapses on skewed data and exists for the ablation.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/conditional_model.h"
 #include "query/query.h"
+#include "util/deadline.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -194,6 +197,19 @@ class ProgressiveSampler {
     /// streams depend only on (seed, shard_size, num_samples)). Carries
     /// EstimateRequest's per-request budget (serve/request.h).
     size_t num_samples = 0;
+    /// Soft mid-walk deadline (steady_clock; kNoDeadline = none).
+    /// Checked BETWEEN column steps of the sampled walk — never inside a
+    /// kernel, so a walk that runs to completion is bit-identical to one
+    /// run without a deadline. Once the shared inclusive predicate
+    /// (util/deadline.h) trips, every shard of the walk is abandoned;
+    /// `*abandoned` is set and the returned estimate is NaN — the caller
+    /// must replace it with a typed DEADLINE_EXCEEDED status. Exact
+    /// shortcut paths (empty, all-wildcard, leading-only) and the
+    /// uniform-region strawman are never abandoned.
+    std::chrono::steady_clock::time_point deadline = kNoDeadline;
+    /// Out-param (may be nullptr): set to true when the walk was
+    /// abandoned on `deadline`; never written otherwise.
+    bool* abandoned = nullptr;
   };
 
   /// As EstimateWithStdError with per-call execution overrides. Estimates
@@ -224,10 +240,16 @@ class ProgressiveSampler {
 
  private:
   /// Walks one shard of `rows` paths; returns the shard's weight sum and
-  /// adds squared weights into *weight_sq_sum.
+  /// adds squared weights into *weight_sq_sum. `deadline` (time_point::
+  /// max() = none) is re-checked between column steps against the shared
+  /// `abandoned` flag: the first shard to observe expiry sets it, every
+  /// shard bails at its next column boundary, and the partial sums are
+  /// discarded by the caller.
   double ShardWeightSum(const Query& query, size_t rows, int last_col,
                         Rng* rng, SamplerWorkspace* ws,
-                        double* weight_sq_sum);
+                        double* weight_sq_sum,
+                        std::chrono::steady_clock::time_point deadline,
+                        std::atomic<bool>* abandoned);
   double UniformShardWeightSum(const Query& query, size_t rows, Rng* rng,
                                SamplerWorkspace* ws);
 

@@ -1,20 +1,42 @@
 #include "plan/plan_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace naru {
 
 namespace {
 
+// True once the group's walk may be abandoned: every member's deadline
+// has passed (abandon_deadline is their max; the shared inclusive expiry
+// predicate, util/deadline.h). Reads the shared flag first so sibling
+// shards of an already-abandoned group bail without a clock read.
+bool GroupExpired(const PlanGroup& group, std::atomic<uint8_t>* abandoned) {
+  if (group.abandon_deadline == kNoDeadline) return false;
+  if (abandoned->load(std::memory_order_relaxed) != 0) return true;
+  if (DeadlineExpired(group.abandon_deadline,
+                      std::chrono::steady_clock::now())) {
+    abandoned->store(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 // One (group, shard) task: prefix walk, fork, stacked suffix walk.
 // Writes each member's shard weight sum / squared sum into the flat
-// per-(query, shard) result arrays.
+// per-(query, shard) result arrays. Between column steps (never inside a
+// kernel) the task checks the group's abandon deadline; once it trips,
+// the task returns early, `abandoned` stays set, and the caller marks
+// every member DEADLINE_EXCEEDED — partial sums are discarded.
 void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
                    const PlanGroup& group, size_t shard, size_t rows,
                    uint64_t seed, size_t slot_stride, SamplerWorkspace* ws,
-                   std::vector<double>* shard_w, std::vector<double>* shard_w2) {
+                   std::vector<double>* shard_w, std::vector<double>* shard_w2,
+                   std::atomic<uint8_t>* abandoned) {
   const size_t n = model->num_columns();
   const size_t members = group.members.size();
   const size_t prefix_len = group.prefix_len;
@@ -28,6 +50,7 @@ void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
   auto session = model->StartSession(rows);
   const Query& lead_query = *plan.queries[group.members.front()].query;
   for (size_t col = 0; col < prefix_len; ++col) {
+    if (GroupExpired(group, abandoned)) return;
     session->Dist(ws->prefix_samples, col, &ws->prefix_probs);
     NARU_CHECK(ws->prefix_probs.rows() == rows &&
                ws->prefix_probs.cols() == model->DomainSize(col));
@@ -65,6 +88,7 @@ void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
       --active;
     }
     if (active == 0) break;
+    if (GroupExpired(group, abandoned)) return;
     ws->samples.Resize(active * rows, n);  // truncation keeps leading rows
     session->Dist(ws->samples, col, &ws->probs);
     NARU_CHECK(ws->probs.rows() == active * rows &&
@@ -100,13 +124,15 @@ void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
 void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
                          const PlanExecutionOptions& options,
                          std::vector<double>* estimates,
-                         std::vector<double>* std_errors) {
+                         std::vector<double>* std_errors,
+                         std::vector<Status>* statuses) {
   NARU_CHECK(model->SupportsStackedEvaluation());
   NARU_CHECK(options.num_samples >= 1);
   NARU_CHECK(options.shard_size >= 1);
   const size_t m = plan.queries.size();
   estimates->assign(m, 0.0);
   if (std_errors != nullptr) std_errors->assign(m, 0.0);
+  if (statuses != nullptr) statuses->assign(m, Status::OK());
   if (m == 0) return;
 
   // Per-request budgets (serve/request.h) make the shard count a GROUP
@@ -117,8 +143,10 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
     return group_budget != 0 ? group_budget : options.num_samples;
   };
   size_t max_shards = 1;
+  std::vector<size_t> group_of(m, 0);  // query -> owning group
   std::vector<std::pair<size_t, size_t>> tasks;  // (group, shard)
   for (size_t g = 0; g < plan.groups.size(); ++g) {
+    for (size_t member : plan.groups[g].members) group_of[member] = g;
     const size_t ns = effective_samples(plan.groups[g].num_samples);
     NARU_CHECK(ns >= 1);
     const size_t shards = SamplerNumShards(ns, options.shard_size);
@@ -132,15 +160,23 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   SamplerWorkspacePool* workspaces =
       options.workspaces != nullptr ? options.workspaces : &local_pool;
 
+  // One abandonment flag per group, shared by its (group, shard) tasks:
+  // the first task to observe the group's abandon_deadline expired sets
+  // it and every sibling bails at its next column boundary (or skips
+  // entirely, below).
+  std::vector<std::atomic<uint8_t>> abandoned(plan.groups.size());
+  for (auto& flag : abandoned) flag.store(0, std::memory_order_relaxed);
+
   const size_t num_tasks = tasks.size();
   auto run_task = [&](size_t t) {
     const auto [g, k] = tasks[t];
+    if (abandoned[g].load(std::memory_order_relaxed) != 0) return;
     const size_t ns = effective_samples(plan.groups[g].num_samples);
     const size_t lo = k * options.shard_size;
     const size_t rows = std::min(options.shard_size, ns - lo);
     WorkspaceLease ws(workspaces);
     RunGroupShard(model, plan, plan.groups[g], k, rows, options.seed,
-                  max_shards, ws.get(), &shard_w, &shard_w2);
+                  max_shards, ws.get(), &shard_w, &shard_w2, &abandoned[g]);
   };
 
   // Same scheduling discipline as ProgressiveSampler: shard/group
@@ -170,8 +206,18 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
 
   // Reduce in shard order per query — independent of execution order, and
   // the same arithmetic as ProgressiveSampler::EstimateWithOptions. Each
-  // query reduces over ITS budget's shard count.
+  // query reduces over ITS budget's shard count. Members of an abandoned
+  // group have incomplete shard sums: they report a typed
+  // DEADLINE_EXCEEDED instead of a value.
   for (size_t q = 0; q < m; ++q) {
+    if (abandoned[group_of[q]].load(std::memory_order_relaxed) != 0) {
+      (*estimates)[q] = std::numeric_limits<double>::quiet_NaN();
+      if (statuses != nullptr) {
+        (*statuses)[q] =
+            Status::DeadlineExceeded("deadline expired mid-walk");
+      }
+      continue;
+    }
     const size_t ns = effective_samples(plan.queries[q].num_samples);
     const size_t shards = SamplerNumShards(ns, options.shard_size);
     double weight_sum = 0;

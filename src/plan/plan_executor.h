@@ -32,6 +32,7 @@
 
 #include "core/sampler.h"
 #include "plan/sampling_plan.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -63,9 +64,19 @@ struct PlanExecutionOptions {
 /// (num_samples, shard_size, seed). `std_errors` (optional) receives the
 /// matching Monte Carlo standard errors. Requires
 /// model->SupportsStackedEvaluation().
+///
+/// Mid-walk abandonment: a group whose abandon_deadline (the latest
+/// member deadline) has passed is given up BETWEEN column steps — never
+/// inside a kernel — and every member of an abandoned group reports a
+/// DEADLINE_EXCEEDED entry in `statuses` (optional; parallel to
+/// `estimates`, OK elsewhere) with a NaN estimate. Expiry is inclusive
+/// (now >= deadline), the serve-layer predicate. Groups that are not
+/// abandoned are bit-identical to a deadline-free run: the checkpoint
+/// reads the clock, it never touches RNG streams or weights.
 void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
                          const PlanExecutionOptions& options,
                          std::vector<double>* estimates,
-                         std::vector<double>* std_errors = nullptr);
+                         std::vector<double>* std_errors = nullptr,
+                         std::vector<Status>* statuses = nullptr);
 
 }  // namespace naru

@@ -35,12 +35,15 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
   plan.queries.reserve(queries.size());
   NARU_CHECK(options.budgets.empty() ||
              options.budgets.size() == queries.size());
+  NARU_CHECK(options.deadlines.empty() ||
+             options.deadlines.size() == queries.size());
   const size_t n = model->num_columns();
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const Query* q = queries[qi];
     QueryPlan qp;
     qp.query = q;
     qp.num_samples = options.budgets.empty() ? 0 : options.budgets[qi];
+    if (!options.deadlines.empty()) qp.deadline = options.deadlines[qi];
     qp.wildcard.resize(n);
     for (size_t pos = 0; pos < n; ++pos) {
       qp.wildcard[pos] = model->PositionIsWildcard(*q, pos) ? 1 : 0;
@@ -120,6 +123,16 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
               std::min(group.prefix_len, plan.queries[member].wildcard_run);
         }
         group.num_samples = plan.queries[group.members.front()].num_samples;
+        // Abandonable only past the LATEST member deadline: the shared
+        // walk serves every member, so it may be given up only once all
+        // of them have expired. kNoDeadline is time_point::max(), so one
+        // deadline-free member disables abandonment via the max.
+        group.abandon_deadline =
+            std::chrono::steady_clock::time_point::min();
+        for (size_t member : group.members) {
+          group.abandon_deadline = std::max(group.abandon_deadline,
+                                            plan.queries[member].deadline);
+        }
         // Tail blocks must be droppable by truncation once their queries
         // pass their last constrained position.
         std::stable_sort(group.members.begin(), group.members.end(),

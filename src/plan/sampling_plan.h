@@ -29,11 +29,13 @@
 // path for any group layout (the test oracle throughout src/plan).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include "core/conditional_model.h"
 #include "query/query.h"
+#include "util/deadline.h"
 
 namespace naru {
 
@@ -55,6 +57,12 @@ struct QueryPlan {
   /// queries with different budgets, because a group's members share one
   /// prefix walk and one shard layout — both functions of the budget.
   size_t num_samples = 0;
+  /// Per-request soft deadline (steady_clock; kNoDeadline = none).
+  /// Scheduling metadata only — it NEVER affects grouping, and a group's
+  /// walk is abandoned mid-column only once EVERY member has expired
+  /// (see PlanGroup::abandon_deadline), so a deadline can only replace an
+  /// answer with a typed DEADLINE_EXCEEDED status, never change one.
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
 };
 
 /// One group of queries sharing a leading-wildcard prefix walk.
@@ -69,6 +77,11 @@ struct PlanGroup {
   /// The members' common sample budget (0 = executor default). Uniform
   /// across the group by construction.
   size_t num_samples = 0;
+  /// Instant past which the group's walk may be abandoned between column
+  /// steps: the LATEST member deadline — every member must have expired
+  /// before a shared walk is given up, because one walk serves them all.
+  /// kNoDeadline (any deadline-free member) disables abandonment.
+  std::chrono::steady_clock::time_point abandon_deadline = kNoDeadline;
 };
 
 struct SamplingPlan {
@@ -97,6 +110,10 @@ struct SamplingPlanOptions {
   /// with identical budgets — with a single budget class the grouping is
   /// exactly the budget-free one.
   std::vector<size_t> budgets;
+  /// Per-query soft deadlines, parallel to `queries` (empty = none; see
+  /// QueryPlan::deadline). Unlike budgets these never partition or
+  /// reorder the grouping — they only set each group's abandon_deadline.
+  std::vector<std::chrono::steady_clock::time_point> deadlines;
 };
 
 /// Compiles the batch `queries` (distinct, sampled-path queries against

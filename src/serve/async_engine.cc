@@ -1,6 +1,8 @@
 #include "serve/async_engine.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -50,6 +52,41 @@ size_t AsyncEngine::TotalPendingLocked() const {
   return total;
 }
 
+namespace {
+
+/// The typed result an admission-shed request resolves to. queue_ms is
+/// filled by the caller (victims waited; rejected incomings did not).
+EstimateResult AdmissionShedResult() {
+  EstimateResult result;
+  result.status =
+      Status::ResourceExhausted("pending queue full: admission shed");
+  result.provenance = ResultProvenance::kShed;
+  return result;
+}
+
+/// Resolves ONE submitter: its callback runs before its future becomes
+/// ready, and a throwing callback fails only this submitter's future —
+/// never another joiner's or the primary's. The single definition for
+/// every delivery site (dispatcher and admission shed), because the
+/// double-set / exception-to-promise fallback is easy to get subtly
+/// wrong in a second copy.
+void DeliverResult(std::promise<EstimateResult>* promise,
+                   const std::function<void(const EstimateResult&)>& callback,
+                   const EstimateResult& value) {
+  try {
+    if (callback) callback(value);
+    promise->set_value(value);
+  } catch (...) {
+    try {
+      promise->set_exception(std::current_exception());
+    } catch (const std::future_error&) {
+      // value already set before the callback threw
+    }
+  }
+}
+
+}  // namespace
+
 std::future<EstimateResult> AsyncEngine::Submit(
     NaruEstimator* est, EstimateRequest request,
     std::function<void(const EstimateResult&)> on_complete) {
@@ -67,6 +104,10 @@ std::future<EstimateResult> AsyncEngine::Submit(
     key += request.key;
   }
   std::future<EstimateResult> result;
+  // An admission victim evicted from the pending queues; its (and its
+  // joiners') shed results are delivered OUTSIDE the lock.
+  std::unique_ptr<Pending> victim;
+  bool victim_evicted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -75,7 +116,7 @@ std::future<EstimateResult> AsyncEngine::Submit(
       if (it != inflight_.end()) {
         // An identical twin is pending or mid-walk: join it. No queue
         // entry, no extra computation — the twin's delivery resolves this
-        // future.
+        // future. Joiners never trip admission control: they add no work.
         std::promise<EstimateResult> promise;
         result = promise.get_future();
         it->second->promises.push_back(std::move(promise));
@@ -86,18 +127,97 @@ std::future<EstimateResult> AsyncEngine::Submit(
       }
     }
     const size_t pri = PriorityIndex(request.options.priority);
-    Pending p{est,
-              std::move(request),
-              std::promise<EstimateResult>(),
-              std::move(on_complete),
-              std::chrono::steady_clock::now(),
-              next_seq_++,
-              std::move(key),
-              std::make_shared<Joiners>()};
-    result = p.promise.get_future();
-    if (sharable) inflight_.emplace(p.inflight_key, p.joiners);
-    outstanding_.insert(p.seq);
-    pending_[pri].push_back(std::move(p));
+    // Admission control: bounded pending queues shed the LOWEST class
+    // first. With the queues full, find the lowest class holding pending
+    // work; if the incoming request outranks it, that class's OLDEST
+    // request is evicted (typed RESOURCE_EXHAUSTED) to admit the
+    // incoming one — otherwise the incoming request is itself (tied-)
+    // lowest and is rejected the same way. A higher class is therefore
+    // never admission-shed while a lower class has pending work.
+    if (cfg_.max_pending > 0 && TotalPendingLocked() >= cfg_.max_pending) {
+      size_t lowest = 0;
+      while (lowest < kNumPriorities && pending_[lowest].empty()) ++lowest;
+      if (lowest < pri) {
+        victim = std::make_unique<Pending>(
+            std::move(pending_[lowest].front()));
+        pending_[lowest].pop_front();
+        if (victim->request.options.has_deadline()) {
+          --pending_deadlines_[lowest];
+        }
+        victim_evicted = true;
+        if (!victim->inflight_key.empty()) {
+          inflight_.erase(victim->inflight_key);
+        }
+        outstanding_.erase(victim->seq);
+        // Joiners riding the victim are shed with it: every one of them
+        // receives (and is counted as) an admission-shed delivery.
+        stats_.shed_admission += 1 + victim->joiners->promises.size();
+        stats_.completed += 1 + victim->joiners->promises.size();
+      } else {
+        // Reject the incoming request: never enqueued, never sequenced —
+        // resolve it right here (below, outside the lock).
+        ++stats_.shed_admission;
+        ++stats_.completed;
+      }
+    }
+    if (victim == nullptr && cfg_.max_pending > 0 &&
+        TotalPendingLocked() >= cfg_.max_pending) {
+      // The incoming request was the one shed. (Never default-construct
+      // a Pending: EstimateRequest's default query is invalid.)
+      victim = std::make_unique<Pending>(
+          Pending{est,
+                  std::move(request),
+                  std::promise<EstimateResult>(),
+                  std::move(on_complete),
+                  std::chrono::steady_clock::now(),
+                  /*seq=*/0,
+                  std::string(),
+                  std::make_shared<Joiners>()});
+      result = victim->promise.get_future();
+    } else {
+      Pending p{est,
+                std::move(request),
+                std::promise<EstimateResult>(),
+                std::move(on_complete),
+                std::chrono::steady_clock::now(),
+                next_seq_++,
+                std::move(key),
+                std::make_shared<Joiners>()};
+      result = p.promise.get_future();
+      if (sharable) inflight_.emplace(p.inflight_key, p.joiners);
+      outstanding_.insert(p.seq);
+      if (p.request.options.has_deadline()) ++pending_deadlines_[pri];
+      pending_[pri].push_back(std::move(p));
+      stats_.max_pending_seen =
+          std::max(stats_.max_pending_seen, TotalPendingLocked());
+    }
+  }
+  if (victim != nullptr) {
+    // Deliver the shed result on this thread: a callback failure is
+    // confined to the shed request's own future, as everywhere else.
+    const auto now = std::chrono::steady_clock::now();
+    EstimateResult shed = AdmissionShedResult();
+    shed.queue_ms = std::max(
+        0.0,
+        std::chrono::duration<double, std::milli>(now - victim->arrival)
+            .count());
+    DeliverResult(&victim->promise, victim->on_complete, shed);
+    for (size_t j = 0; j < victim->joiners->promises.size(); ++j) {
+      EstimateResult joined = AdmissionShedResult();
+      joined.queue_ms = std::max(
+          0.0, std::chrono::duration<double, std::milli>(
+                   now - victim->joiners->arrivals[j])
+                   .count());
+      DeliverResult(&victim->joiners->promises[j],
+                    victim->joiners->callbacks[j], joined);
+    }
+    if (victim_evicted) {
+      // The eviction freed a seq below some Drain watermark, and the
+      // incoming request was enqueued: wake both sides.
+      drain_cv_.notify_all();
+      cv_.notify_all();
+    }
+    return result;
   }
   cv_.notify_all();
   return result;
@@ -156,6 +276,10 @@ EngineStats AsyncEngine::stats() const {
   EngineStats snapshot = engine_.stats();
   std::lock_guard<std::mutex> lock(mu_);
   snapshot.priority_flushes = stats_.priority_flushes;
+  snapshot.shed_admission = stats_.shed_admission;
+  // Admission-shed callers received a shed result the blocking engine
+  // never saw; fold them into the delivered-results column.
+  snapshot.results_shed += stats_.shed_admission;
   return snapshot;
 }
 
@@ -188,21 +312,30 @@ void AsyncEngine::DispatcherLoop() {
       deadline = oldest_arrival() + max_wait;
     }
 
-    // Cut one micro-batch off the queues, HIGHEST priority class first
-    // (FIFO within a class). Later submissions keep arriving and
-    // accumulating while this batch runs — that overlap is the point.
+    // Cut one micro-batch off the queues, HIGHEST priority class first.
+    // Within a class, deadline-carrying requests are cut first, TIGHTEST
+    // deadline first (a near-deadline request must not be stranded
+    // behind deadline-free traffic); deadline-free requests keep FIFO
+    // among themselves. Later submissions keep arriving and accumulating
+    // while this batch runs — that overlap is the point.
     //
     // EXCEPT while draining (or stopping): then cut FIFO BY ARRIVAL
-    // across classes, so a pre-Drain low-priority request cannot be
-    // starved past the barrier by ongoing higher-priority traffic —
-    // Drain's "bounded by work submitted before the call" guarantee
-    // outranks priority order for its duration.
+    // across classes (ignoring deadlines too), so a pre-Drain
+    // low-priority request cannot be starved past the barrier by ongoing
+    // higher-priority or tighter-deadline traffic — Drain's "bounded by
+    // work submitted before the call" guarantee outranks every
+    // scheduling preference for its duration.
     const size_t total_pending = TotalPendingLocked();
     const size_t take = std::min(total_pending, cfg_.max_batch_size);
     const bool fifo_cut = stop_ || drain_waiters_ > 0;
     std::vector<Pending> batch;
     batch.reserve(take);
-    auto max_selected_arrival = std::chrono::steady_clock::time_point::min();
+    // Per-class max arrival among selected requests (class-jump
+    // detection below).
+    std::array<std::chrono::steady_clock::time_point, kNumPriorities>
+        selected_max_arrival;
+    selected_max_arrival.fill(std::chrono::steady_clock::time_point::min());
+    bool deadline_reorder = false;
     if (fifo_cut) {
       while (batch.size() < take) {
         size_t best = kNumPriorities;
@@ -213,6 +346,9 @@ void AsyncEngine::DispatcherLoop() {
             best = pri;
           }
         }
+        if (pending_[best].front().request.options.has_deadline()) {
+          --pending_deadlines_[best];
+        }
         batch.push_back(std::move(pending_[best].front()));
         pending_[best].pop_front();
       }
@@ -220,28 +356,62 @@ void AsyncEngine::DispatcherLoop() {
       for (size_t pri = kNumPriorities; pri-- > 0 && batch.size() < take;) {
         auto& q = pending_[pri];
         while (!q.empty() && batch.size() < take) {
-          max_selected_arrival =
-              std::max(max_selected_arrival, q.front().arrival);
-          batch.push_back(std::move(q.front()));
-          q.pop_front();
+          // Tightest deadline first; ties and the deadline-free
+          // remainder resolve FIFO (index 0 = oldest). The scan only
+          // runs while the class holds deadline-carrying requests — the
+          // common all-deadline-free backlog stays O(1) per slot.
+          size_t pick = 0;
+          if (pending_deadlines_[pri] > 0) {
+            auto best_deadline = EstimateOptions::kNoDeadline;
+            for (size_t j = 0; j < q.size(); ++j) {
+              const EstimateOptions& opt = q[j].request.options;
+              if (opt.has_deadline() && opt.deadline < best_deadline) {
+                best_deadline = opt.deadline;
+                pick = j;
+              }
+            }
+            --pending_deadlines_[pri];  // the pick carries a deadline
+            if (pick != 0) deadline_reorder = true;
+          }
+          selected_max_arrival[pri] =
+              std::max(selected_max_arrival[pri], q[pick].arrival);
+          batch.push_back(std::move(q[pick]));
+          q.erase(q.begin() + static_cast<ptrdiff_t>(pick));
         }
       }
     }
     ++stats_.batches;
     stats_.largest_batch = std::max(stats_.largest_batch, take);
-    if (take >= cfg_.max_batch_size) {
-      ++stats_.size_flushes;
-    } else if (stop_ || drain_waiters_ > 0) {
+    // Flush-reason attribution: a drain/stop flush is a drain flush even
+    // when the queue happens to hold max_batch_size requests — the
+    // results were demanded NOW, the size was incidental. (The reverse
+    // ordering used to misattribute it as a size flush.)
+    if (fifo_cut) {
       ++stats_.drain_flushes;
+    } else if (take >= cfg_.max_batch_size) {
+      ++stats_.size_flushes;
     } else {
       ++stats_.deadline_flushes;
     }
-    // A flush reordered the queue iff some selected request arrived AFTER
-    // a request it left behind — exactly when the cut differs from the
-    // FIFO cut. Only possible when the batch could not take everything.
-    if (take < total_pending &&
-        oldest_arrival() < max_selected_arrival) {
-      ++stats_.priority_flushes;
+    if (deadline_reorder) ++stats_.deadline_reorders;
+    // A priority flush = a CLASS jumped the queue: some selected request
+    // arrived after a request left behind in a strictly lower class.
+    // (Within-class deadline reordering is counted separately above and
+    // must not masquerade as a class jump.)
+    if (take < total_pending) {
+      for (size_t pri = 1; pri < kNumPriorities && !fifo_cut; ++pri) {
+        bool jumped = false;
+        for (size_t lower = 0; lower < pri; ++lower) {
+          if (!pending_[lower].empty() &&
+              pending_[lower].front().arrival < selected_max_arrival[pri]) {
+            jumped = true;
+          }
+        }
+        if (jumped) {
+          ++stats_.priority_flushes;
+          break;
+        }
+      }
     }
     lock.unlock();
 
@@ -292,27 +462,10 @@ void AsyncEngine::DispatcherLoop() {
     lock.unlock();
 
     // Per-request delivery: each submitter's callback runs on the
-    // dispatcher thread before ITS future becomes ready, and a throwing
-    // callback fails only that submitter's future — never the primary's
-    // or another joiner's.
-    const auto deliver =
-        [](std::promise<EstimateResult>* promise,
-           const std::function<void(const EstimateResult&)>& callback,
-           const EstimateResult& value) {
-          try {
-            if (callback) callback(value);
-            promise->set_value(value);
-          } catch (...) {
-            try {
-              promise->set_exception(std::current_exception());
-            } catch (const std::future_error&) {
-              // value already set before the callback threw
-            }
-          }
-        };
+    // dispatcher thread before ITS future becomes ready (DeliverResult).
     for (size_t i = 0; i < take; ++i) {
       Pending& p = batch[i];
-      deliver(&p.promise, p.on_complete, out[i]);
+      DeliverResult(&p.promise, p.on_complete, out[i]);
       for (size_t j = 0; j < p.joiners->promises.size(); ++j) {
         // A joiner's queue time runs from its OWN submission to the
         // twin's dispatch (0 when it joined a batch already mid-walk).
@@ -321,7 +474,8 @@ void AsyncEngine::DispatcherLoop() {
             0.0, std::chrono::duration<double, std::milli>(
                      flush_time - p.joiners->arrivals[j])
                      .count());
-        deliver(&p.joiners->promises[j], p.joiners->callbacks[j], joined);
+        DeliverResult(&p.joiners->promises[j], p.joiners->callbacks[j],
+                      joined);
       }
     }
 

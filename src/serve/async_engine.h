@@ -11,12 +11,30 @@
 // one micro-batch is being estimated, the next one accumulates.
 //
 // Requests carry intent (serve/request.h): the dispatcher cuts each
-// micro-batch HIGHEST PRIORITY CLASS FIRST (FIFO within a class) instead
-// of pure FIFO, and a request whose soft deadline has expired by the time
-// its batch dispatches is shed by the engine with a typed
-// DEADLINE_EXCEEDED result instead of burning model evaluations on an
-// answer nobody is waiting for. Results carry the estimate, Status,
+// micro-batch HIGHEST PRIORITY CLASS FIRST instead of pure FIFO — and
+// within a class, deadline-carrying requests first, tightest deadline
+// first, with deadline-free requests keeping FIFO among themselves, so a
+// near-deadline request is never stranded behind deadline-free traffic.
+// Both preferences are STRICT: just as sustained higher-class traffic
+// can starve a lower class, sustained deadline-carrying traffic at or
+// above the service rate can starve deadline-free requests of the same
+// class. Give latency-sensitive work a deadline (or a class) of its
+// own; Drain() remains the FIFO escape hatch — it reverts the cut to
+// arrival order for its duration, so a drain is never starved.
+// A request whose soft deadline has expired by the time its batch
+// dispatches is shed by the engine with a typed DEADLINE_EXCEEDED result
+// instead of burning model evaluations on an answer nobody is waiting
+// for; one that expires mid-walk is abandoned between column steps once
+// every sharer has expired. Results carry the estimate, Status,
 // std-error, provenance, and queue/compute latency attribution.
+//
+// Overload safety: with AsyncEngineConfig::max_pending set, the pending
+// queues are BOUNDED. A Submit against full queues sheds the oldest
+// request of the lowest pending priority class (or rejects the incoming
+// request when it is itself lowest) with a typed RESOURCE_EXHAUSTED
+// result — the open-loop saturation discipline: the low class degrades
+// first, the queue depth and therefore worst-case queueing delay stay
+// bounded, and nothing blocks.
 //
 // Determinism contract: a request's estimate is independent of which
 // micro-batch it lands in. EstimateBatch coalesces duplicates and serves
@@ -59,6 +77,18 @@ struct AsyncEngineConfig {
   /// free (lowest latency, least coalescing). Negative values are
   /// treated as 0.
   double max_wait_ms = 2.0;
+  /// Admission control: upper bound on requests pending in the
+  /// dispatcher's queues (joiners of in-flight twins never count — they
+  /// add no work). 0 (the default) = unbounded, the pre-admission
+  /// behavior. When a Submit finds the queues full, the LOWEST priority
+  /// class pays: if a class strictly below the incoming request's has
+  /// pending work, its OLDEST request is shed (typed RESOURCE_EXHAUSTED,
+  /// future resolved immediately) and the incoming request is admitted;
+  /// otherwise the incoming request — itself (tied-)lowest — is rejected
+  /// the same way. A higher class is therefore never admission-shed
+  /// while a lower class has pending work. Counted in
+  /// EngineStats::shed_admission.
+  size_t max_pending = 0;
   /// The wrapped blocking engine (threads, caching, cache budget).
   InferenceEngineConfig engine;
 };
@@ -79,6 +109,19 @@ struct AsyncEngineStats {
   /// jumped the queue (also merged into EngineStats::priority_flushes by
   /// stats()).
   size_t priority_flushes = 0;
+  /// Micro-batches whose within-class cut order was changed by deadlines:
+  /// a deadline-carrying request was pulled ahead of an earlier-arrived
+  /// request of its own class (see DispatcherLoop's tightest-deadline
+  /// ordering).
+  size_t deadline_reorders = 0;
+  /// Requests shed by admission control (pending queues at max_pending):
+  /// both evicted-oldest-lowest victims and rejected-incoming requests.
+  /// Merged into EngineStats::shed_admission / results_shed by stats().
+  size_t shed_admission = 0;
+  /// High-water mark of the pending-queue depth observed after any
+  /// Submit. With max_pending > 0 this never exceeds it — the saturation
+  /// smoke asserts exactly that.
+  size_t max_pending_seen = 0;
 };
 
 /// A streaming serving front-end over one InferenceEngine. Thread-safe:
@@ -97,10 +140,14 @@ class AsyncEngine {
   /// EstimateResult. For default options the estimate is bit-identical to
   /// est->EstimateSelectivity(request.query) for a fixed seed; a request
   /// whose deadline expires before dispatch resolves (never blocks) with
-  /// status DEADLINE_EXCEEDED. If `on_complete` is provided it is invoked
-  /// with the result on the dispatcher thread, before the future becomes
-  /// ready — keep it cheap (record a timestamp, bump a counter); heavy
-  /// work there stalls every later micro-batch.
+  /// status DEADLINE_EXCEEDED, and one that overflows a bounded pending
+  /// queue (see AsyncEngineConfig::max_pending) with RESOURCE_EXHAUSTED.
+  /// If `on_complete` is provided it is invoked with the result on the
+  /// dispatcher thread, before the future becomes ready — keep it cheap
+  /// (record a timestamp, bump a counter); heavy work there stalls every
+  /// later micro-batch. (Admission-shed results are the one exception:
+  /// they are delivered on the thread that triggered the shed — the
+  /// victim's or the rejected request's submitter.)
   ///
   /// The request's priority class decides which micro-batch it lands in
   /// (higher classes are flushed first); its canonical query bytes are
@@ -141,8 +188,10 @@ class AsyncEngine {
 
   AsyncEngineStats async_stats() const;
   /// The wrapped engine's counters and cache occupancy, with the
-  /// dispatcher-side priority_flushes merged in (the blocking engine has
-  /// no queue to reorder, so the field is dispatcher-owned).
+  /// dispatcher-side fields merged in: priority_flushes, shed_admission
+  /// (also folded into results_shed — an admission-shed caller received a
+  /// shed result). The blocking engine has no queue to reorder or bound,
+  /// so those fields are dispatcher-owned.
   EngineStats stats() const;
   /// The wrapped blocking engine (e.g. for ClearCachesFor on retrain).
   InferenceEngine* engine() { return &engine_; }
@@ -197,8 +246,14 @@ class AsyncEngine {
   std::condition_variable cv_;        // wakes the dispatcher
   std::condition_variable drain_cv_;  // wakes Drain waiters
   /// One FIFO queue per priority class (index = RequestPriority value).
-  /// Micro-batches are cut highest class first, FIFO within a class.
+  /// Micro-batches are cut highest class first; within a class,
+  /// deadline-carrying requests tightest-first, deadline-free FIFO.
   std::array<std::deque<Pending>, kNumPriorities> pending_;
+  /// Pending deadline-CARRYING requests per class, maintained by every
+  /// enqueue/cut/evict: the dispatcher's tightest-deadline pick only
+  /// scans a queue when its count is nonzero, so the common all-
+  /// deadline-free cut stays O(1) pop_front per slot under mu_.
+  std::array<size_t, kNumPriorities> pending_deadlines_{};
   /// Key -> joiner list of the computation currently pending or mid-walk
   /// for that key. Registered by Submit, unregistered by the dispatcher
   /// when the result is delivered (later duplicates then hit the engine's

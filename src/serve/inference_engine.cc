@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <limits>
 
 #include "core/enumerator.h"
 #include "plan/plan_executor.h"
@@ -94,9 +95,10 @@ std::string FormatEngineStats(const EngineStats& stats) {
   std::string out;
   out += StrFormat(
       "# engine: %zu queries (%zu sampled, %zu enumerated, %zu exact "
-      "shortcuts, %zu shed on deadline)\n",
+      "shortcuts, %zu shed on deadline, %zu abandoned mid-walk, %zu shed "
+      "at admission)\n",
       stats.queries, stats.sampled, stats.enumerated, stats.exact_shortcuts,
-      stats.shed_deadline);
+      stats.shed_deadline, stats.shed_midwalk, stats.shed_admission);
   out += StrFormat(
       "# results: %zu cache_hit / %zu exact / %zu enumerated / %zu sampled "
       "/ %zu planned_group / %zu shed; %zu priority flushes\n",
@@ -225,6 +227,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   // key — read-write and read-only requests share memo entries.
   constexpr size_t kNoRep = static_cast<size_t>(-1);
   constexpr size_t kNumPolicies = 3;
+  constexpr auto kNoDeadline = EstimateOptions::kNoDeadline;
   std::vector<std::string> keys(n);
   std::vector<size_t> eff(n, 0);
   std::unordered_map<size_t, std::string> prefixes;  // budget -> prefix
@@ -232,6 +235,13 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
       first_index;  // key -> representative per cache policy
   std::vector<size_t> reps;          // one representative per distinct key
   std::vector<size_t> dup_of(n);     // representative index per request
+  // Mid-walk abandonment instant per COMPUTATION (indexed by rep): the
+  // LATEST deadline over every request coalesced into it, so a shared
+  // walk is abandoned only once every interested request has expired —
+  // one deadline-free duplicate (kNoDeadline = max()) pins it to "never".
+  // This is the per-computation analogue of PlanGroup::abandon_deadline.
+  std::vector<std::chrono::steady_clock::time_point> rep_deadline(n,
+                                                                  kNoDeadline);
   reps.reserve(n);
   first_index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -261,6 +271,10 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
     if (slot == kNoRep) {
       slot = i;
       reps.push_back(i);
+      rep_deadline[i] = requests[i].options.deadline;
+    } else {
+      rep_deadline[slot] =
+          std::max(rep_deadline[slot], requests[i].options.deadline);
     }
     dup_of[i] = slot;
   }
@@ -279,23 +293,30 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
     // strawman takes none of the walk structure the plan exploits.
     if (cfg_.enable_plan && est->model()->SupportsStackedEvaluation() &&
         !est->sampler()->config().uniform_region) {
-      std::vector<size_t> sampled_reps;
-      std::vector<std::string> sampled_keys;
-      std::vector<size_t> sampled_budgets;
-      std::vector<CachePolicy> sampled_policies;
+      std::vector<SampledRep> sampled;
       for (size_t k = 0; k < m; ++k) {
         const size_t i = reps[k];
-        if (!ResolveBeforeSampling(est, requests[i].query, keys[i],
-                                   requests[i].options.cache_policy,
-                                   &(*out)[i])) {
-          sampled_reps.push_back(i);
-          sampled_keys.push_back(keys[i]);
-          sampled_budgets.push_back(eff[i]);
-          sampled_policies.push_back(requests[i].options.cache_policy);
+        // Phase attribution: a rep resolved here (cache hit, shortcut,
+        // enumeration) is charged ONLY its own resolution time — never
+        // the batch's sampling segment. That is the headline fix: a
+        // cache hit used to report the whole batch's walk time.
+        const auto resolve_start = std::chrono::steady_clock::now();
+        if (ResolveBeforeSampling(est, requests[i].query, keys[i],
+                                  requests[i].options.cache_policy,
+                                  &(*out)[i])) {
+          (*out)[i].compute_ms = ElapsedMs(resolve_start);
+        } else {
+          SampledRep rep;
+          rep.index = i;
+          rep.memo_key = keys[i];
+          rep.budget = eff[i];
+          rep.policy = requests[i].options.cache_policy;
+          rep.deadline = rep_deadline[i];
+          rep.resolve_ms = ElapsedMs(resolve_start);
+          sampled.push_back(std::move(rep));
         }
       }
-      EstimatePlanned(est, requests, sampled_reps, sampled_keys,
-                      sampled_budgets, sampled_policies, p, out);
+      EstimatePlanned(est, requests, sampled, p, out);
       return;
     }
 
@@ -315,7 +336,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
             for (size_t k = lo; k < hi; ++k) {
               const size_t i = reps[k];
               EstimateOne(est, requests[i].query, keys[i], eff[i],
-                          requests[i].options.cache_policy,
+                          requests[i].options.cache_policy, rep_deadline[i],
                           /*sampler_parallelism=*/1,
                           /*sampler_pool=*/nullptr, &(*out)[i]);
             }
@@ -325,7 +346,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
       for (size_t k = 0; k < m; ++k) {
         const size_t i = reps[k];
         EstimateOne(est, requests[i].query, keys[i], eff[i],
-                    requests[i].options.cache_policy,
+                    requests[i].options.cache_policy, rep_deadline[i],
                     /*sampler_parallelism=*/p == nullptr ? 1 : 0,
                     /*sampler_pool=*/p, &(*out)[i]);
       }
@@ -342,10 +363,12 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
     run_reps();
   }
 
-  const double compute_ms = ElapsedMs(compute_start);
+  // compute_ms was attributed per phase above (each request's own resolve
+  // / walk / fused segment), NOT stamped batch-wide: a cache hit must not
+  // report a 1000-sample walk's cost. Duplicates inherit their
+  // representative's attribution — they received that computation.
   for (size_t i = 0; i < n; ++i) {
     if (dup_of[i] != i) (*out)[i] = (*out)[dup_of[i]];
-    if (live[i]) (*out)[i].compute_ms = compute_ms;
   }
   tally();
 }
@@ -492,10 +515,15 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
 void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
                                   const std::string& memo_key,
                                   size_t eff_samples, CachePolicy cache_policy,
+                                  std::chrono::steady_clock::time_point deadline,
                                   size_t sampler_parallelism,
                                   ThreadPool* sampler_pool,
                                   EstimateResult* result) {
+  // Per-request attribution: this call's own wall time is the request's
+  // compute_ms — a memo hit reports its lookup, a walk its sampling.
+  const auto start = std::chrono::steady_clock::now();
   if (ResolveBeforeSampling(est, query, memo_key, cache_policy, result)) {
+    result->compute_ms = ElapsedMs(start);
     return;
   }
 
@@ -504,10 +532,29 @@ void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
   options.thread_pool = sampler_pool;
   options.workspaces = &workspaces_;
   options.num_samples = eff_samples;
+  // Mid-walk abandonment: the sampler re-checks `deadline` between
+  // column steps. It is the latest deadline over every request coalesced
+  // into this computation, so abandonment means every one of them had
+  // expired.
+  bool abandoned = false;
+  options.deadline = deadline;
+  options.abandoned = &abandoned;
   result->estimate =
       est->sampler()->EstimateWithOptions(query, &result->std_error, options);
+  if (abandoned) {
+    result->estimate = std::numeric_limits<double>::quiet_NaN();
+    result->std_error = 0.0;
+    result->status = Status::DeadlineExceeded("deadline expired mid-walk");
+    result->provenance = ResultProvenance::kShed;
+    result->samples_used = 0;
+    result->compute_ms = ElapsedMs(start);  // the burn before abandoning
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_midwalk;  // never memoized: there is no value to store
+    return;
+  }
   result->provenance = ResultProvenance::kSampled;
   result->samples_used = eff_samples;
+  result->compute_ms = ElapsedMs(start);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.sampled;
   if (cfg_.enable_cache && cache_policy == CachePolicy::kReadWrite) {
@@ -518,18 +565,26 @@ void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
 
 void InferenceEngine::EstimatePlanned(
     NaruEstimator* est, const std::vector<EstimateRequest>& requests,
-    const std::vector<size_t>& reps, const std::vector<std::string>& memo_keys,
-    const std::vector<size_t>& budgets,
-    const std::vector<CachePolicy>& policies, ThreadPool* pool,
+    const std::vector<SampledRep>& reps, ThreadPool* pool,
     std::vector<EstimateResult>* out) {
   if (reps.empty()) return;
+  const auto segment_start = std::chrono::steady_clock::now();
   std::vector<const Query*> sampled;
   sampled.reserve(reps.size());
-  for (size_t rep : reps) sampled.push_back(&requests[rep].query);
+  for (const SampledRep& rep : reps) {
+    sampled.push_back(&requests[rep.index].query);
+  }
 
   const ProgressiveSamplerConfig& scfg = est->sampler()->config();
   SamplingPlanOptions plan_opts;
-  plan_opts.budgets = budgets;  // the compiler never fuses across budgets
+  plan_opts.budgets.reserve(reps.size());
+  plan_opts.deadlines.reserve(reps.size());
+  for (const SampledRep& rep : reps) {
+    plan_opts.budgets.push_back(rep.budget);  // never fused across budgets
+    // Scheduling-only metadata: a group is abandonable once EVERY
+    // member's (coalesced-max) deadline has passed.
+    plan_opts.deadlines.push_back(rep.deadline);
+  }
   if (pool != nullptr) {
     // (group, shard) tasks are the parallelism grain: when shards alone
     // cannot cover the pool (few sample paths -> one shard), shrink the
@@ -561,10 +616,14 @@ void InferenceEngine::EstimatePlanned(
 
   std::vector<double> estimates;
   std::vector<double> std_errors;
-  ExecuteSamplingPlan(est->model(), plan, popts, &estimates, &std_errors);
+  std::vector<Status> statuses;
+  ExecuteSamplingPlan(est->model(), plan, popts, &estimates, &std_errors,
+                      &statuses);
+  // The fused segment is shared work: every rep that sampled through it
+  // is charged the segment's elapsed time on top of its own resolve time.
+  const double segment_ms = ElapsedMs(segment_start);
 
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.sampled += reps.size();
   stats_.planned_queries += reps.size();
   ++stats_.plan_batches;
   stats_.plan_groups += plan.groups.size();
@@ -572,15 +631,28 @@ void InferenceEngine::EstimatePlanned(
   stats_.plan_walk_cols += plan.WalkColumns();
   auto& memo = caches_[est->model()].result_memo;
   for (size_t i = 0; i < reps.size(); ++i) {
-    EstimateResult& r = (*out)[reps[i]];
+    EstimateResult& r = (*out)[reps[i].index];
+    r.compute_ms = reps[i].resolve_ms + segment_ms;
+    if (!statuses[i].ok()) {
+      // Group abandoned mid-walk: every sharer had expired. Typed, never
+      // memoized (there is no value), NaN estimate.
+      r.estimate = std::numeric_limits<double>::quiet_NaN();
+      r.std_error = 0.0;
+      r.status = statuses[i];
+      r.provenance = ResultProvenance::kShed;
+      r.samples_used = 0;
+      ++stats_.shed_midwalk;
+      continue;
+    }
+    ++stats_.sampled;
     r.estimate = estimates[i];
     r.std_error = std_errors[i];
     r.status = Status::OK();
     r.provenance = ResultProvenance::kPlannedGroup;
-    r.samples_used = budgets[i];
-    if (cfg_.enable_cache && policies[i] == CachePolicy::kReadWrite) {
-      stats_.memo_evictions +=
-          memo.Insert(memo_keys[i], estimates[i], cfg_.cache_budget_bytes);
+    r.samples_used = reps[i].budget;
+    if (cfg_.enable_cache && reps[i].policy == CachePolicy::kReadWrite) {
+      stats_.memo_evictions += memo.Insert(reps[i].memo_key, estimates[i],
+                                           cfg_.cache_budget_bytes);
     }
   }
 }

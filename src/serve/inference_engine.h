@@ -25,6 +25,7 @@
 // of this engine, see serve/async_engine.h.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -103,6 +104,17 @@ struct EngineStats {
   /// evaluation (the compute-vs-provenance counters above never see
   /// them).
   size_t shed_deadline = 0;
+  /// Computations abandoned BETWEEN column steps because every request
+  /// sharing the walk had expired mid-walk; each abandoned computation's
+  /// requests resolve with DEADLINE_EXCEEDED. Counts computations, not
+  /// requests (coalesced duplicates share one abandonment).
+  size_t shed_midwalk = 0;
+  /// Requests shed with RESOURCE_EXHAUSTED by admission control: the
+  /// async pending queue was at AsyncEngineConfig::max_pending and this
+  /// request was (or became) the oldest of the lowest pending priority
+  /// class. Filled only through AsyncEngine::stats() — the blocking
+  /// engine has no admission queue.
+  size_t shed_admission = 0;
   /// Async-dispatcher flushes whose micro-batch was cut out of FIFO order
   /// because a higher priority class jumped a queue. Filled only through
   /// AsyncEngine::stats() — the blocking engine has no queue to reorder.
@@ -214,12 +226,18 @@ class InferenceEngine {
   /// `sampler_pool` (nullptr = the sampler's configured pool).
   /// `memo_key` is the batch-hoisted full cache key (config prefix +
   /// canonical query bytes); `eff_samples` the request's effective sample
-  /// budget. Fills *result (estimate, status, std_error, provenance,
-  /// samples_used).
+  /// budget; `deadline` the computation's mid-walk abandonment instant
+  /// (the LATEST deadline over every request coalesced into it;
+  /// time_point::max() = never abandon). Fills *result (estimate, status,
+  /// std_error, provenance, samples_used, compute_ms — this call's own
+  /// wall time, the per-request attribution the whole-batch stamp used to
+  /// get wrong).
   void EstimateOne(NaruEstimator* est, const Query& query,
                    const std::string& memo_key, size_t eff_samples,
-                   CachePolicy cache_policy, size_t sampler_parallelism,
-                   ThreadPool* sampler_pool, EstimateResult* result);
+                   CachePolicy cache_policy,
+                   std::chrono::steady_clock::time_point deadline,
+                   size_t sampler_parallelism, ThreadPool* sampler_pool,
+                   EstimateResult* result);
 
   /// Every routing step of EstimateOne short of the sampled walk: memo
   /// lookup, empty region, enumeration, trailing-wildcard exit,
@@ -231,17 +249,35 @@ class InferenceEngine {
                              const std::string& memo_key,
                              CachePolicy cache_policy, EstimateResult* result);
 
+  /// One unresolved sampled representative headed for the planned batch
+  /// path: everything EstimatePlanned needs that EstimateBatch's keyed
+  /// pass already derived.
+  struct SampledRep {
+    size_t index = 0;        ///< representative's index into the batch
+    std::string memo_key;    ///< full cache key (config prefix + bytes)
+    size_t budget = 0;       ///< effective per-request sample budget
+    CachePolicy policy = CachePolicy::kReadWrite;
+    /// Mid-walk abandonment instant: the LATEST deadline over every
+    /// request coalesced into this computation (max() = never abandon).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /// Wall time this rep spent in the keyed/exact resolve pass — folded
+    /// into its compute_ms on top of the fused segment's elapsed time.
+    double resolve_ms = 0.0;
+  };
+
   /// Serves the batch's unresolved sampled requests through a compiled
   /// SamplingPlan (prefix sharing + stacked GEMMs, grouping split by
-  /// per-request budget); fills (*out)[rep] and memoizes each result.
-  /// `reps`/`memo_keys`/`budgets`/`policies` are parallel arrays.
+  /// per-request budget); fills (*out)[rep.index] and memoizes each
+  /// completed result. Reps whose plan group was abandoned mid-walk (all
+  /// sharers expired) resolve with DEADLINE_EXCEEDED and are never
+  /// memoized. compute_ms per rep = its resolve_ms + the fused planned
+  /// segment's elapsed time (group work is shared, so the segment is
+  /// batch-attributed).
   void EstimatePlanned(NaruEstimator* est,
                        const std::vector<EstimateRequest>& requests,
-                       const std::vector<size_t>& reps,
-                       const std::vector<std::string>& memo_keys,
-                       const std::vector<size_t>& budgets,
-                       const std::vector<CachePolicy>& policies,
-                       ThreadPool* pool, std::vector<EstimateResult>* out);
+                       const std::vector<SampledRep>& reps, ThreadPool* pool,
+                       std::vector<EstimateResult>* out);
 
   /// nullptr when the engine is strictly serial.
   ThreadPool* pool() const;

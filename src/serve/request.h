@@ -22,6 +22,7 @@
 #include <string>
 
 #include "query/query.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace naru {
@@ -60,7 +61,11 @@ enum class ResultProvenance : uint8_t {
   kEnumerated,    ///< exact enumeration of a small region
   kSampled,       ///< per-query progressive-sampling walk
   kPlannedGroup,  ///< sampled through a compiled SamplingPlan group
-  kShed,          ///< not computed: deadline expired before dispatch
+  /// Not answered: deadline expired before dispatch, the walk was
+  /// abandoned mid-column after every sharer expired, or admission
+  /// control dropped the request from a full pending queue. `status`
+  /// distinguishes the three (DEADLINE_EXCEEDED vs RESOURCE_EXHAUSTED).
+  kShed,
 };
 
 /// Short lower-case name, e.g. "cache_hit" (stats rendering, CLI output).
@@ -80,9 +85,12 @@ struct EstimateOptions {
   /// Soft completion deadline. A request whose deadline has already
   /// passed when the engine dispatches it is SHED: it costs no model
   /// evaluation and resolves to a DEADLINE_EXCEEDED status (counted in
-  /// EngineStats::shed_deadline). Soft means an in-flight computation is
-  /// never cancelled — the deadline is checked at dispatch, not mid-walk.
-  /// kNoDeadline (the default) never sheds.
+  /// EngineStats::shed_deadline). The deadline also propagates INTO the
+  /// sampled walk: between column steps (never inside a kernel) the walk
+  /// re-checks it and is abandoned — typed DEADLINE_EXCEEDED, counted in
+  /// EngineStats::shed_midwalk — once every request sharing the
+  /// computation has expired. Exact paths (enumeration, shortcuts) run to
+  /// completion once started. kNoDeadline (the default) never sheds.
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
 
   /// Flush class in the async dispatcher; see RequestPriority.
@@ -102,8 +110,17 @@ struct EstimateOptions {
   }
 
   bool has_deadline() const { return deadline != kNoDeadline; }
+
+  /// The shared expiry predicate (util/deadline.h — one definition for
+  /// every shed site, serve-layer and below): INCLUSIVE at the deadline
+  /// instant — a request whose deadline equals the check time is already
+  /// expired, matching the documented "expired by dispatch time".
+  static bool Expired(std::chrono::steady_clock::time_point deadline,
+                      std::chrono::steady_clock::time_point now) {
+    return DeadlineExpired(deadline, now);
+  }
   bool ExpiredAt(std::chrono::steady_clock::time_point now) const {
-    return has_deadline() && now > deadline;
+    return Expired(deadline, now);
   }
 
   /// THE resolution of the 0-means-inherit budget rule, shared by every
@@ -155,9 +172,16 @@ struct EstimateResult {
   size_t samples_used = 0;
 
   /// Milliseconds spent queued before dispatch (async surface; 0 on the
-  /// blocking path) and inside the dispatched batch's compute. Queue +
-  /// compute ≈ the latency the caller observed.
+  /// blocking path). Queue + compute ≈ the latency the caller observed.
   double queue_ms = 0.0;
+  /// Milliseconds of compute attributed to THIS request, per phase: a
+  /// request resolved in the keyed/exact pass (cache hit, shortcut,
+  /// enumeration) is charged only its own resolution, and a sampled
+  /// request its walk — on the planned route the fused group segment's
+  /// elapsed time (shared work is batch-attributed), on the legacy route
+  /// its own EstimateOne call. A cache hit therefore always reports less
+  /// compute than a sampled walk; shed requests report the compute burned
+  /// before abandonment (0 when shed pre-dispatch).
   double compute_ms = 0.0;
 
   bool ok() const { return status.ok(); }

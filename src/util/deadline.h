@@ -1,0 +1,27 @@
+// THE deadline-expiry predicate, shared by every layer that sheds or
+// abandons on a soft deadline: the serve-layer dispatch checks
+// (EstimateOptions::ExpiredAt), the sampler's mid-walk between-column
+// checks (core/sampler), and the plan executor's group abandonment
+// (plan/plan_executor). One definition so the sites cannot drift — the
+// predicate is INCLUSIVE at the deadline instant (a request whose
+// deadline equals the check time is already expired, matching the
+// documented "expired by dispatch time"); an exclusive `>` at one site
+// is exactly the bug this header exists to prevent.
+#pragma once
+
+#include <chrono>
+
+namespace naru {
+
+/// Sentinel for "no deadline": never expires.
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+/// True once `now` has reached `deadline` (inclusive). kNoDeadline never
+/// expires.
+inline bool DeadlineExpired(std::chrono::steady_clock::time_point deadline,
+                            std::chrono::steady_clock::time_point now) {
+  return deadline != kNoDeadline && now >= deadline;
+}
+
+}  // namespace naru

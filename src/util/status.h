@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -61,6 +62,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -771,6 +772,201 @@ TEST(InferenceEngine, OracleModelServesConcurrently) {
   std::vector<double> batched;
   engine.EstimateBatch(&est, queries, &batched);
   EXPECT_EQ(batched, sequential);
+}
+
+// Satellite of the overload-safety PR: expiry is INCLUSIVE at the
+// deadline instant — a request whose deadline equals the check time is
+// already expired ("expired by dispatch time"), and every shed site uses
+// this one predicate.
+TEST(EstimateOptions, ExpiryIsInclusiveAtTheDeadlineInstant) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t = Clock::now();
+
+  EstimateOptions options;  // no deadline: never expires
+  EXPECT_FALSE(options.ExpiredAt(t));
+  EXPECT_FALSE(options.ExpiredAt(Clock::time_point::max()));
+
+  options.deadline = t;
+  EXPECT_TRUE(options.ExpiredAt(t)) << "expiry must include the instant";
+  EXPECT_FALSE(options.ExpiredAt(t - std::chrono::nanoseconds(1)));
+  EXPECT_TRUE(options.ExpiredAt(t + std::chrono::nanoseconds(1)));
+
+  // The shared raw-time_point form (the one the mid-walk checks mirror)
+  // agrees.
+  EXPECT_TRUE(EstimateOptions::Expired(t, t));
+  EXPECT_FALSE(EstimateOptions::Expired(t + std::chrono::nanoseconds(1), t));
+  EXPECT_FALSE(EstimateOptions::Expired(EstimateOptions::kNoDeadline, t));
+}
+
+// Headline bugfix of the overload-safety PR: compute_ms is attributed per
+// phase, not stamped batch-wide. A cache hit served in the SAME batch as
+// a sampled walk must report strictly less compute than the walk — the
+// old whole-batch stamp gave both the identical (walk-sized) figure.
+TEST(InferenceEngine, CacheHitComputeMsBelowSampledWalk) {
+  Table table = SmallTable(83);
+  auto model = SmallTrainedModel(table, 83);
+  const auto queries = ServingQueries(table, 113);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 2000;  // a walk long enough to dwarf a memo lookup
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  // Two queries that definitely walk (not shortcuts): queries[0] is
+  // sampled by construction; find a second one.
+  ASSERT_EQ(est.sampler()->Classify(queries[0]),
+            ProgressiveSampler::Path::kSampled);
+  size_t fresh = 0;
+  for (size_t i = 1; i < queries.size() && fresh == 0; ++i) {
+    if (est.sampler()->Classify(queries[i]) ==
+        ProgressiveSampler::Path::kSampled) {
+      fresh = i;
+    }
+  }
+  ASSERT_NE(fresh, 0u);
+
+  for (const bool planned : {true, false}) {
+    InferenceEngineConfig ecfg;
+    ecfg.num_threads = 2;
+    ecfg.enable_plan = planned;
+    InferenceEngine engine(ecfg);
+
+    // Warm the memo with queries[0].
+    std::vector<EstimateRequest> warm{EstimateRequest(queries[0])};
+    std::vector<EstimateResult> warm_out;
+    engine.EstimateBatch(&est, warm, &warm_out);
+    ASSERT_TRUE(warm_out[0].provenance == ResultProvenance::kSampled ||
+                warm_out[0].provenance == ResultProvenance::kPlannedGroup);
+    EXPECT_GT(warm_out[0].compute_ms, 0.0);
+
+    // One batch holding both a hit and a fresh walk: per-phase
+    // attribution must separate them.
+    std::vector<EstimateRequest> batch;
+    batch.emplace_back(queries[0]);      // memo hit
+    batch.emplace_back(queries[fresh]);  // fresh sampled walk
+    std::vector<EstimateResult> out;
+    engine.EstimateBatch(&est, batch, &out);
+    ASSERT_EQ(out[0].provenance, ResultProvenance::kCacheHit)
+        << "planned " << planned;
+    ASSERT_TRUE(out[1].provenance == ResultProvenance::kSampled ||
+                out[1].provenance == ResultProvenance::kPlannedGroup);
+    EXPECT_LT(out[0].compute_ms, out[1].compute_ms)
+        << "planned " << planned
+        << ": a cache hit must not be charged the batch's walk time";
+    // And across batches: the hit is cheaper than its own original walk.
+    EXPECT_LT(out[0].compute_ms, warm_out[0].compute_ms)
+        << "planned " << planned;
+  }
+}
+
+// Tentpole: a soft deadline propagates INTO the walk. A computation whose
+// every interested request has expired is abandoned between column steps
+// with a typed DEADLINE_EXCEEDED — and the surviving requests of the same
+// batch stay bit-identical to a run without the expired request.
+TEST(InferenceEngine, MidWalkDeadlineAbandonsOnlyTheExpiredComputation) {
+  Table table = SmallTable(89);
+  auto model = SmallTrainedModel(table, 89);
+  const auto queries = ServingQueries(table, 127);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 200;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  for (const bool planned : {true, false}) {
+    InferenceEngineConfig ecfg;
+    ecfg.num_threads = 2;
+    ecfg.enable_cache = false;  // identical recomputation across runs
+    ecfg.enable_plan = planned;
+
+    // Survivors: a handful of deadline-free requests.
+    std::vector<EstimateRequest> survivors;
+    for (size_t i = 0; i < 5; ++i) survivors.emplace_back(queries[i]);
+
+    // The doomed request: a huge per-request budget (its walk takes far
+    // longer than the deadline) with a deadline that is STILL LIVE at
+    // dispatch — generous enough to survive scheduling noise on a loaded
+    // machine, far shorter than its walk — so it passes the shed pass
+    // and must be abandoned mid-walk, at a column boundary.
+    std::vector<EstimateRequest> batch = survivors;
+    EstimateRequest doomed(queries[0]);
+    doomed.options.num_samples = 500000;
+    batch.push_back(std::move(doomed));
+
+    InferenceEngine engine(ecfg);  // before the deadline: pool spawn-up
+    std::vector<EstimateResult> out;
+    batch.back().options.deadline = EstimateOptions::DeadlineInMs(50.0);
+    engine.EstimateBatch(&est, batch, &out);
+
+    const EstimateResult& shed = out.back();
+    EXPECT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded)
+        << "planned " << planned;
+    EXPECT_TRUE(std::isnan(shed.estimate));
+    EXPECT_EQ(shed.provenance, ResultProvenance::kShed);
+    EXPECT_EQ(shed.samples_used, 0u);
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.shed_deadline, 0u)
+        << "planned " << planned << ": must not have shed at dispatch";
+    EXPECT_GE(stats.shed_midwalk, 1u) << "planned " << planned;
+    EXPECT_EQ(stats.results_shed, 1u);
+
+    // Survivors are bit-identical to the sequential path AND to a batch
+    // that never contained the expired request.
+    InferenceEngine control(ecfg);
+    std::vector<EstimateResult> control_out;
+    control.EstimateBatch(&est, survivors, &control_out);
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      ASSERT_TRUE(out[i].ok()) << "planned " << planned << " query " << i;
+      EXPECT_EQ(out[i].estimate, control_out[i].estimate)
+          << "planned " << planned << " query " << i;
+      EXPECT_EQ(out[i].estimate, est.EstimateSelectivity(batch[i].query))
+          << "planned " << planned << " query " << i;
+    }
+  }
+
+  // The sequential typed path abandons mid-walk by the same rule.
+  EstimateOptions heavy;
+  heavy.num_samples = 500000;
+  heavy.deadline = EstimateOptions::DeadlineInMs(50.0);
+  const EstimateResult direct = est.Estimate(queries[0], heavy);
+  EXPECT_EQ(direct.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(direct.provenance, ResultProvenance::kShed);
+  EXPECT_TRUE(std::isnan(direct.estimate));
+}
+
+// A deadline-free duplicate pins its coalesced computation alive: the
+// shared walk may be abandoned only when EVERY request riding it has
+// expired, so coalescing one live request with an expired-deadline twin
+// must complete — with the one deterministic value for both.
+TEST(InferenceEngine, CoalescedComputationSurvivesWhileAnySharerIsLive) {
+  Table table = SmallTable(97);
+  auto model = SmallTrainedModel(table, 97);
+  const auto queries = ServingQueries(table, 131);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 150000;  // walk well past the 50 ms deadline below
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  InferenceEngineConfig ecfg;
+  ecfg.num_threads = 2;
+  ecfg.enable_cache = false;
+  InferenceEngine engine(ecfg);
+
+  std::vector<EstimateRequest> batch;
+  batch.emplace_back(queries[0]);  // deadline-carrying...
+  batch.emplace_back(queries[0]);  // ...coalesced with a deadline-free twin
+  std::vector<EstimateResult> out;
+  // Live at dispatch (generous headroom), expired long before the walk
+  // ends — only the deadline-free twin keeps the computation alive.
+  batch.front().options.deadline = EstimateOptions::DeadlineInMs(50.0);
+  engine.EstimateBatch(&est, batch, &out);
+
+  ASSERT_TRUE(out[0].ok()) << out[0].status.ToString();
+  ASSERT_TRUE(out[1].ok());
+  EXPECT_EQ(out[0].estimate, out[1].estimate);
+  EXPECT_EQ(out[0].estimate, est.EstimateSelectivity(queries[0]));
+  EXPECT_EQ(engine.stats().shed_midwalk, 0u);
 }
 
 TEST(MultiOrderEnsemble, BatchMatchesSequential) {

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -628,6 +630,279 @@ TEST(AsyncEngine, DrainCompletesLowPriorityDespiteHighPriorityFlood) {
   flood.join();
   engine.Drain();
   EXPECT_EQ(f_low.get().estimate, est.EstimateSelectivity(queries[0]));
+}
+
+// Parks the dispatcher thread inside a request's on_complete callback
+// until released — the deterministic way to stage a known queue state
+// (fill queues, register a Drain, ...) while the dispatcher cannot cut.
+struct DispatcherHostage {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<bool> entered{false};
+
+  std::function<void(const EstimateResult&)> Callback() {
+    return [this](const EstimateResult&) {
+      entered.store(true);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// Tentpole of the overload-safety PR: with max_pending set, a full queue
+// sheds the LOWEST pending priority class first (oldest request of that
+// class), rejects an incoming request only when it is itself lowest, and
+// never admission-sheds a higher class while a lower one has pending
+// work. Shed results are typed RESOURCE_EXHAUSTED; the queue depth never
+// exceeds the bound; survivors stay bit-identical.
+TEST(AsyncEngine, AdmissionControlShedsLowestClassFirstAndBoundsQueue) {
+  Table table = SmallTable(41);
+  auto model = SmallTrainedModel(table, 41);
+  const auto queries = AsyncQueries(table, 107);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;
+  acfg.max_wait_ms = 0.0;
+  acfg.max_pending = 3;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  // Park the dispatcher so the queue state below is fully deterministic.
+  DispatcherHostage hostage;
+  auto f_blocker =
+      engine.Submit(&est, EstimateRequest(queries[0]), hostage.Callback());
+  while (!hostage.entered.load()) std::this_thread::yield();
+
+  const auto at = [&](size_t i, RequestPriority pri) {
+    EstimateRequest req(queries[i]);
+    req.options.priority = pri;
+    return req;
+  };
+  // Fill the queue with three lows.
+  auto f_low1 = engine.Submit(&est, at(1, RequestPriority::kLow));
+  auto f_low2 = engine.Submit(&est, at(2, RequestPriority::kLow));
+  auto f_low3 = engine.Submit(&est, at(3, RequestPriority::kLow));
+
+  // A high against the full queue evicts the OLDEST low — immediately.
+  auto f_high = engine.Submit(&est, at(4, RequestPriority::kHigh));
+  ASSERT_EQ(f_low1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "the evicted victim's future must resolve at once";
+  const EstimateResult low1 = f_low1.get();
+  EXPECT_EQ(low1.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(std::isnan(low1.estimate));
+  EXPECT_EQ(low1.provenance, ResultProvenance::kShed);
+  EXPECT_GE(low1.queue_ms, 0.0);
+
+  // An incoming low against the (again) full queue is itself lowest:
+  // rejected, the pending lows keep their place.
+  auto f_low4 = engine.Submit(&est, at(5, RequestPriority::kLow));
+  ASSERT_EQ(f_low4.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f_low4.get().status.code(), StatusCode::kResourceExhausted);
+
+  // An incoming normal outranks the pending lows: the next-oldest low
+  // pays.
+  auto f_normal = engine.Submit(&est, at(6, RequestPriority::kNormal));
+  ASSERT_EQ(f_low2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f_low2.get().status.code(), StatusCode::kResourceExhausted);
+
+  {
+    const auto astats = engine.async_stats();
+    EXPECT_EQ(astats.shed_admission, 3u);
+    EXPECT_LE(astats.max_pending_seen, acfg.max_pending);
+  }
+
+  hostage.Release();
+  engine.Drain();
+
+  // Survivors — including every request of a class above low — completed
+  // with bit-identical estimates.
+  EXPECT_EQ(f_blocker.get().estimate, est.EstimateSelectivity(queries[0]));
+  EXPECT_EQ(f_low3.get().estimate, est.EstimateSelectivity(queries[3]));
+  EXPECT_EQ(f_high.get().estimate, est.EstimateSelectivity(queries[4]));
+  EXPECT_EQ(f_normal.get().estimate, est.EstimateSelectivity(queries[6]));
+
+  const auto astats = engine.async_stats();
+  EXPECT_EQ(astats.submitted, 7u);
+  EXPECT_EQ(astats.completed, 7u);  // shed deliveries count as completed
+  EXPECT_LE(astats.max_pending_seen, acfg.max_pending);
+  // The dispatcher-owned counter is merged into the EngineStats snapshot,
+  // and admission sheds are delivered shed results.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed_admission, 3u);
+  EXPECT_EQ(stats.results_shed, 3u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+}
+
+// Satellite bugfix: a flush forced by Drain (or stop) while the queue
+// happens to hold exactly max_batch_size requests is a DRAIN flush — the
+// old reason attribution checked the size branch first and miscounted it
+// as a size flush.
+TEST(AsyncEngine, DrainFlushOfFullQueueIsCountedAsDrainFlush) {
+  Table table = SmallTable(43);
+  auto model = SmallTrainedModel(table, 43);
+  const auto queries = AsyncQueries(table, 109);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 3;
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  DispatcherHostage hostage;
+  auto f_blocker =
+      engine.Submit(&est, EstimateRequest(queries[0]), hostage.Callback());
+  while (!hostage.entered.load()) std::this_thread::yield();
+
+  // Exactly max_batch_size requests pile up, THEN a drain registers.
+  std::vector<std::future<EstimateResult>> futures;
+  for (size_t i = 1; i <= 3; ++i) {
+    futures.push_back(engine.Submit(&est, EstimateRequest(queries[i])));
+  }
+  std::thread drainer([&] { engine.Drain(); });
+  // The drain only needs the mutex (the dispatcher is parked outside it)
+  // to register its waiter; give it ample time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  hostage.Release();
+  drainer.join();
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().estimate,
+              est.EstimateSelectivity(queries[i + 1]));
+  }
+  (void)f_blocker.get();
+  const auto astats = engine.async_stats();
+  EXPECT_GE(astats.drain_flushes, 1u)
+      << "a drain-forced cut of a full queue is a drain flush";
+  EXPECT_EQ(astats.size_flushes, 0u)
+      << "it must not masquerade as a size flush";
+}
+
+// The opposite ordering: the queue reaches max_batch_size with NO drain
+// active — that flush is a size flush.
+TEST(AsyncEngine, SizeFlushWithoutDrainIsCountedAsSizeFlush) {
+  Table table = SmallTable(47);
+  auto model = SmallTrainedModel(table, 47);
+  const auto queries = AsyncQueries(table, 113);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 3;
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  DispatcherHostage hostage;
+  auto f_blocker =
+      engine.Submit(&est, EstimateRequest(queries[0]), hostage.Callback());
+  while (!hostage.entered.load()) std::this_thread::yield();
+
+  std::vector<std::future<EstimateResult>> futures;
+  for (size_t i = 1; i <= 3; ++i) {
+    futures.push_back(engine.Submit(&est, EstimateRequest(queries[i])));
+  }
+  hostage.Release();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().estimate,
+              est.EstimateSelectivity(queries[i + 1]));
+  }
+  (void)f_blocker.get();
+  const auto astats = engine.async_stats();
+  EXPECT_GE(astats.size_flushes, 1u);
+  EXPECT_EQ(astats.drain_flushes, 0u);
+}
+
+// Tentpole: within a priority class the dispatcher cuts deadline-carrying
+// requests first, tightest deadline first, while deadline-free requests
+// keep FIFO among themselves — a near-deadline request is not stranded
+// behind deadline-free traffic that arrived earlier.
+TEST(AsyncEngine, TightestDeadlineIsCutFirstWithinAClass) {
+  Table table = SmallTable(53);
+  auto model = SmallTrainedModel(table, 53);
+  const auto queries = AsyncQueries(table, 127);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;  // one request per flush: order is observable
+  acfg.max_wait_ms = 0.0;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  DispatcherHostage hostage;
+  auto f_blocker =
+      engine.Submit(&est, EstimateRequest(queries[0]), hostage.Callback());
+  while (!hostage.entered.load()) std::this_thread::yield();
+
+  std::mutex mu;
+  std::vector<std::string> completion_order;
+  const auto record = [&](const char* name) {
+    return [&, name](const EstimateResult&) {
+      std::lock_guard<std::mutex> lock(mu);
+      completion_order.emplace_back(name);
+    };
+  };
+
+  // All normal priority; generous deadlines (nothing sheds). Arrival
+  // order: deadline-free first, then loose, then tight.
+  EstimateRequest free_req(queries[1]);
+  auto f_free = engine.Submit(&est, std::move(free_req), record("free"));
+  EstimateRequest loose(queries[2]);
+  loose.options.deadline = EstimateOptions::DeadlineInMs(60000.0);
+  auto f_loose = engine.Submit(&est, std::move(loose), record("loose"));
+  EstimateRequest tight(queries[3]);
+  tight.options.deadline = EstimateOptions::DeadlineInMs(30000.0);
+  auto f_tight = engine.Submit(&est, std::move(tight), record("tight"));
+
+  hostage.Release();
+  // Wait on the futures, NOT Drain(): an active drain reverts to
+  // FIFO-by-arrival, which would hide the ordering under test.
+  const EstimateResult r_free = f_free.get();
+  const EstimateResult r_loose = f_loose.get();
+  const EstimateResult r_tight = f_tight.get();
+  (void)f_blocker.get();
+
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], "tight");
+  EXPECT_EQ(completion_order[1], "loose");
+  EXPECT_EQ(completion_order[2], "free");
+  EXPECT_GE(engine.async_stats().deadline_reorders, 1u);
+
+  // Scheduling only — every estimate is still the sequential one.
+  EXPECT_EQ(r_free.estimate, est.EstimateSelectivity(queries[1]));
+  EXPECT_EQ(r_loose.estimate, est.EstimateSelectivity(queries[2]));
+  EXPECT_EQ(r_tight.estimate, est.EstimateSelectivity(queries[3]));
 }
 
 TEST(AsyncEngine, DestructorDrainsPendingSubmissions) {
