@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,13 @@ BenchEnv GetBenchEnv() {
       std::clamp<int64_t>(GetEnvInt("NARU_THREADS", 0), 0, 256));
   env.batch = static_cast<size_t>(
       std::clamp<int64_t>(GetEnvInt("NARU_BATCH", 0), 0, 1 << 20));
+  const std::string kernel_name = GetEnvString("NARU_KERNEL", "scalar");
+  if (!ParseKernelKind(kernel_name, &env.kernel)) {
+    std::fprintf(stderr,
+                 "unknown NARU_KERNEL '%s' (want scalar | simd | simd_int8)\n",
+                 kernel_name.c_str());
+    std::exit(2);
+  }
   return env;
 }
 
@@ -178,6 +186,98 @@ size_t SampleRows(const Table& table, double fraction) {
   return std::max<size_t>(
       static_cast<size_t>(static_cast<double>(table.num_rows()) * fraction),
       32);
+}
+
+namespace {
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string EncodeObject(const JsonObject& obj) {
+  std::string out = "{";
+  for (size_t i = 0; i < obj.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += EscapeJsonString(obj[i].first);
+    out += ": ";
+    out += obj[i].second.Encode();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string JsonValue::Encode() const {
+  switch (kind) {
+    case Kind::kString:
+      return EscapeJsonString(str);
+    case Kind::kBool:
+      return b ? "true" : "false";
+    case Kind::kNumber:
+      break;
+  }
+  if (!std::isfinite(num)) return "null";
+  // Integers print exactly; everything else keeps float precision.
+  if (num == static_cast<double>(static_cast<int64_t>(num)) &&
+      std::fabs(num) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(num));
+  }
+  return StrFormat("%.9g", num);
+}
+
+bool BenchJsonWriter::Write() const {
+  const std::string dir = GetEnvString("NARU_BENCH_JSON_DIR", ".");
+  const std::string path = StrFormat("%s/BENCH_%s.json", dir.c_str(),
+                                     name_.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "# could not write %s (continuing)\n", path.c_str());
+    return false;
+  }
+  std::string body = "{\n";
+  body += StrFormat("  \"bench\": %s,\n", EscapeJsonString(name_).c_str());
+  body += "  \"schema_version\": 1,\n";
+  body += StrFormat("  \"simd\": %s,\n",
+                    EscapeJsonString(SimdDispatchString()).c_str());
+  body += StrFormat("  \"config\": %s,\n", EncodeObject(config_).c_str());
+  body += "  \"rows\": [\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    body += "    ";
+    body += EncodeObject(rows_[i]);
+    body += i + 1 < rows_.size() ? ",\n" : "\n";
+  }
+  body += "  ]\n}\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (ok) std::printf("# wrote %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace bench

@@ -20,6 +20,7 @@
 //   NARU_MAX_BATCH       async micro-batch flush size
 //   NARU_MAX_WAIT_MS     async micro-batch flush deadline
 //   NARU_CACHE_BUDGET_MB per-model exact-result cache budget
+//   NARU_KERNEL          inference kernel: scalar | simd | simd_int8
 //   NARU_SMOKE           CI preset: tiny model, no arrival sleeps
 //
 // Every knob is also reachable as a command-line flag through
@@ -39,6 +40,7 @@
 #include "query/executor.h"
 #include "query/metrics.h"
 #include "query/workload.h"
+#include "tensor/kernel.h"
 #include "util/env_config.h"
 #include "util/quantile.h"
 #include "util/stopwatch.h"
@@ -61,6 +63,10 @@ struct BenchEnv {
   /// Batch size for EstimateBatch-driven evaluation (0 = let each bench
   /// pick its default or sweep its grid).
   size_t batch;
+  /// Inference kernel family (NARU_KERNEL / --kernel; default scalar).
+  /// Terminates with exit code 2 on an unknown name so a typoed CI matrix
+  /// leg fails loudly instead of silently benchmarking the scalar path.
+  KernelKind kernel;
 };
 BenchEnv GetBenchEnv();
 
@@ -121,6 +127,65 @@ size_t BudgetBytes(const Table& table, double fraction);
 /// rows (the paper's 1.3% / 0.7% budgets), NOT floored -- the point of the
 /// Sample baseline is that small samples miss rare tuples.
 size_t SampleRows(const Table& table, double fraction);
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_<name>.json
+//
+// Benches that feed dashboards/CI write one JSON file per run alongside
+// their human-readable tables, all through this shared writer so the schema
+// stays uniform:
+//   {
+//     "bench": "<name>", "schema_version": 1,
+//     "simd": "<runtime dispatch probe, e.g. 'simd dispatch: avx2'>",
+//     "config": { flat key -> string/number/bool },
+//     "rows":   [ { flat key -> string/number/bool }, ... ]
+//   }
+// ---------------------------------------------------------------------------
+
+/// A flat JSON scalar (enough for the bench schema: no nesting in rows).
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind;
+  std::string str;
+  double num = 0;
+  bool b = false;
+
+  JsonValue(const char* s) : kind(Kind::kString), str(s) {}          // NOLINT
+  JsonValue(std::string s) : kind(Kind::kString), str(std::move(s)) {}  // NOLINT
+  JsonValue(double v) : kind(Kind::kNumber), num(v) {}               // NOLINT
+  JsonValue(int v) : kind(Kind::kNumber), num(v) {}                  // NOLINT
+  JsonValue(size_t v)                                                // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(v)) {}
+  JsonValue(bool v) : kind(Kind::kBool), b(v) {}                     // NOLINT
+
+  /// JSON-encodes the value (strings escaped; non-finite numbers -> null).
+  std::string Encode() const;
+};
+
+/// One flat JSON object, insertion-ordered.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Accumulates config + result rows and writes BENCH_<name>.json.
+class BenchJsonWriter {
+ public:
+  /// `name` becomes both the "bench" field and the file stem.
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+
+  void SetConfig(const std::string& key, JsonValue value) {
+    config_.emplace_back(key, std::move(value));
+  }
+  void AddRow(JsonObject row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json into NARU_BENCH_JSON_DIR (default ".") and
+  /// prints the path. Returns false (with a stderr note) on I/O failure —
+  /// benches treat that as non-fatal so a read-only CWD can't fail a run.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  std::vector<JsonObject> rows_;
+};
 
 }  // namespace bench
 }  // namespace naru

@@ -1,0 +1,218 @@
+// Micro-benchmark for the kernel layer (tensor/gemm_simd.cc): GFLOP/s of
+// scalar vs SIMD vs int8 GEMM at the shapes the MADE serving path actually
+// runs, plus the NT head-reuse shape. Single-threaded on purpose
+// (ScopedSerialRegion) so the numbers measure the kernels, not the pool.
+//
+// Emits BENCH_micro_gemm.json (shared schema, see bench_common.h) with one
+// row per (shape, kernel): GFLOP/s, speedup over scalar at the same shape,
+// and matrix-level max relative error vs the scalar result.
+//
+// Exit status: nonzero when a kernel's result diverges from scalar beyond
+// its epsilon (always), or — under --smoke with the AVX2 probe active —
+// when the fp32 SIMD kernel fails a lenient 1.2x speedup floor at the
+// 64x128x128 MADE hidden-layer shape (the CI tripwire; the acceptance
+// target on dedicated hardware is 2x, reported in the headline line).
+//
+// Knobs: --smoke (shorter timing windows), NARU_KERNEL is ignored here —
+// this bench always measures all kernels side by side.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "tensor/gemm.h"
+#include "tensor/kernel.h"
+#include "tensor/matrix.h"
+#include "tensor/quant.h"
+#include "util/macros.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace naru {
+namespace bench {
+namespace {
+
+void FillRandom(Matrix* m, Rng* rng) {
+  for (size_t i = 0; i < m->rows(); ++i) {
+    float* row = m->Row(i);
+    for (size_t j = 0; j < m->cols(); ++j) {
+      row[j] = static_cast<float>(rng->Gaussian());
+    }
+  }
+}
+
+// One nonzero per 16-wide column group: the one-hot encoded input shape.
+void FillOneHotish(Matrix* m, Rng* rng) {
+  m->Zero();
+  for (size_t i = 0; i < m->rows(); ++i) {
+    for (size_t g = 0; g < m->cols(); g += 16) {
+      const size_t span = std::min<size_t>(16, m->cols() - g);
+      m->At(i, g + rng->UniformInt(span)) = 1.0f;
+    }
+  }
+}
+
+double MaxRelErr(const Matrix& ref, const Matrix& got) {
+  double max_abs = 0, max_diff = 0;
+  for (size_t i = 0; i < ref.rows(); ++i) {
+    for (size_t j = 0; j < ref.cols(); ++j) {
+      max_abs = std::max<double>(max_abs, std::fabs(ref.At(i, j)));
+      max_diff =
+          std::max<double>(max_diff, std::fabs(ref.At(i, j) - got.At(i, j)));
+    }
+  }
+  return max_diff / (max_abs + 1e-12);
+}
+
+struct Case {
+  const char* name;
+  const char* op;  // "nn" | "nn_onehot" | "nt"
+  size_t m, k, n;
+};
+
+// Timed loop: iterate until the window closes, report GFLOP/s.
+template <typename Fn>
+double TimeGflops(const Case& cs, double min_seconds, Fn&& fn) {
+  fn();  // warm-up (also first-touch of the output)
+  Stopwatch sw;
+  size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (sw.ElapsedSeconds() < min_seconds);
+  const double secs = sw.ElapsedSeconds();
+  const double flops = 2.0 * static_cast<double>(cs.m) *
+                       static_cast<double>(cs.k) * static_cast<double>(cs.n) *
+                       static_cast<double>(iters);
+  return flops / secs / 1e9;
+}
+
+int Run() {
+  const bool smoke = GetEnvBool("NARU_SMOKE", false);
+  const double min_seconds = smoke ? 0.02 : 0.25;
+  PrintBanner("Micro GEMM: scalar vs simd vs simd_int8",
+              StrFormat("%s; window=%.0fms%s", SimdDispatchString().c_str(),
+                        min_seconds * 1e3, smoke ? " (smoke)" : ""));
+
+  const Case cases[] = {
+      // The MADE hidden-layer shape (batch=samples-shard, 128->128): the
+      // acceptance shape for the 2x target.
+      {"made_hidden", "nn", 64, 128, 128},
+      // A full progressive-sampling shard stack.
+      {"made_stacked", "nn", 512, 128, 128},
+      // The encoded input layer: one-hot rows into the first hidden layer.
+      {"made_input_onehot", "nn_onehot", 64, 480, 128},
+      // Embedding-reuse output head: logits = trunk x table^T.
+      {"head_reuse_nt", "nt", 64, 32, 100},
+  };
+
+  BenchJsonWriter json("micro_gemm");
+  json.SetConfig("smoke", smoke);
+  json.SetConfig("min_seconds", min_seconds);
+
+  std::printf("\n%-20s %-10s %10s %9s %12s\n", "shape", "kernel", "gflops",
+              "speedup", "max_rel_err");
+
+  ScopedSerialRegion serial;  // measure kernels, not the pool
+  Rng rng(5);
+  bool ok = true;
+  double made_hidden_simd_speedup = 0;
+
+  for (const Case& cs : cases) {
+    Matrix a(cs.m, cs.k);
+    const bool onehot = std::string(cs.op) == "nn_onehot";
+    if (onehot) {
+      FillOneHotish(&a, &rng);
+    } else {
+      FillRandom(&a, &rng);
+    }
+    const InputHint hint = onehot ? InputHint::kOneHot : InputHint::kDense;
+    const bool nt = std::string(cs.op) == "nt";
+    Matrix b(nt ? cs.n : cs.k, nt ? cs.k : cs.n);
+    FillRandom(&b, &rng);
+    QuantizedWeights q;
+    if (!nt) QuantizeWeightsPerColumn(b, &q);
+
+    Matrix ref, out;
+    double scalar_gflops = 0;
+    // Kernel sweep; int8 only exists for the NN weight path.
+    std::vector<std::string> kernels = {"scalar", "simd"};
+    if (!nt) kernels.push_back("simd_int8");
+    for (const std::string& kname : kernels) {
+      double gflops = 0;
+      if (kname == "simd_int8") {
+        gflops = TimeGflops(cs, min_seconds,
+                            [&] { GemmNNInt8(a, q, &out, false, hint); });
+      } else {
+        KernelKind kernel = KernelKind::kScalar;
+        NARU_CHECK(ParseKernelKind(kname, &kernel));
+        if (nt) {
+          gflops = TimeGflops(cs, min_seconds,
+                              [&] { GemmNT(a, b, &out, false, kernel); });
+        } else {
+          gflops = TimeGflops(cs, min_seconds, [&] {
+            GemmNN(a, b, &out, false, kernel, hint);
+          });
+        }
+      }
+      double rel_err = 0;
+      if (kname == "scalar") {
+        scalar_gflops = gflops;
+        ref = out;
+      } else {
+        rel_err = MaxRelErr(ref, out);
+        // fp32 kernels reassociate only; int8 adds quantization error.
+        const double bound = kname == "simd_int8" ? 5e-2 : 1e-3;
+        if (rel_err > bound) {
+          std::printf("FAIL: %s/%s rel err %.3g exceeds %.3g\n", cs.name,
+                      kname.c_str(), rel_err, bound);
+          ok = false;
+        }
+      }
+      const double speedup = scalar_gflops > 0 ? gflops / scalar_gflops : 0;
+      if (std::string(cs.name) == "made_hidden" && kname == "simd") {
+        made_hidden_simd_speedup = speedup;
+      }
+      std::printf("%-20s %-10s %10.2f %8.2fx %12.3g\n", cs.name,
+                  kname.c_str(), gflops, speedup, rel_err);
+      json.AddRow({{"shape", cs.name},
+                   {"op", cs.op},
+                   {"m", cs.m},
+                   {"k", cs.k},
+                   {"n", cs.n},
+                   {"kernel", kname},
+                   {"gflops", gflops},
+                   {"speedup_vs_scalar", speedup},
+                   {"max_rel_err", rel_err}});
+    }
+  }
+
+  std::printf("\nheadline: simd speedup at 64x128x128 = %.2fx "
+              "(acceptance target 2x on AVX2 hardware)\n",
+              made_hidden_simd_speedup);
+  json.SetConfig("made_hidden_simd_speedup", made_hidden_simd_speedup);
+  json.Write();
+
+  if (smoke && DetectedSimdLevel() == SimdLevel::kAvx2 &&
+      made_hidden_simd_speedup < 1.2) {
+    // Lenient CI floor: shared runners are noisy, so the tripwire is well
+    // under the 2x acceptance target.
+    std::printf("FAIL: smoke speedup floor 1.2x not met (%.2fx)\n",
+                made_hidden_simd_speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace naru
+
+int main(int argc, char** argv) {
+  naru::bench::InitBench(argc, argv);
+  return naru::bench::Run();
+}

@@ -17,8 +17,13 @@ namespace naru {
 namespace {
 
 void FillRandom(Matrix* m, Rng* rng) {
-  for (size_t i = 0; i < m->size(); ++i) {
-    m->data()[i] = static_cast<float>(rng->Gaussian());
+  // Row-wise over cols(): Matrix rows are stride-padded and the padding
+  // must stay zero (see tensor/matrix.h).
+  for (size_t i = 0; i < m->rows(); ++i) {
+    float* row = m->Row(i);
+    for (size_t j = 0; j < m->cols(); ++j) {
+      row[j] = static_cast<float>(rng->Gaussian());
+    }
   }
 }
 

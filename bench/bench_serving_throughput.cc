@@ -21,7 +21,16 @@
 // and every engine configuration is additionally run with planning
 // disabled so the planned/legacy speedup is measured directly.
 //
+// A second phase compares inference KERNELS (tensor/kernel.h) at the
+// largest grid point: scalar vs simd vs simd_int8, each with a fresh
+// estimator + engine, reporting qps, q-error quantiles against executed
+// ground truth, and a bit-determinism check across thread counts within
+// each kernel. Emits BENCH_serving_throughput.json (shared schema).
+//
 // Knobs (env or flags, see bench_common.h):
+//   --kernel K          kernel for the GRID phase: scalar|simd|simd_int8
+//                       (default scalar; the kernel phase always runs all
+//                       three)
 //   --threads N         restrict the engine thread grid to {N}  (default 2/4/8)
 //   --batch N           restrict the batch grid to {N}          (default 1/8/64)
 //   --serve-requests N  trace length                            (default 512)
@@ -31,7 +40,9 @@
 //                       the pool (default 2; 0 disables shaping)
 //   --smoke             CI preset: tiny model/trace, single grid point;
 //                       exits nonzero if the planned path's estimates
-//                       diverge from the sequential (or legacy) path
+//                       diverge from the sequential (or legacy) path, if a
+//                       kernel is non-deterministic across thread counts,
+//                       or if int8's median q-error shifts >5% vs fp32
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -63,8 +74,9 @@ int Run() {
   PrintBanner(
       "Serving throughput: planned EstimateBatch vs legacy vs sequential",
       StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu "
-                "prefix-wildcards=%zu%s",
+                "prefix-wildcards=%zu kernel=%s (%s)%s",
                 rows, num_requests, num_unique, num_samples, prefix_wildcards,
+                KernelKindName(env.kernel), SimdDispatchString().c_str(),
                 smoke ? " (smoke)" : ""));
 
   Table table = MakeDmvLike(rows, env.seed);
@@ -99,16 +111,22 @@ int Run() {
   }
 
   // The trace: uniform draws from the pool. Deterministic in the seed.
+  // Template indices are kept so the kernel phase can attach per-request
+  // ground truth without executing the trace itself.
   Rng trace_rng(env.seed + 23);
   std::vector<Query> trace;
+  std::vector<size_t> trace_tpl;
   trace.reserve(num_requests);
+  trace_tpl.reserve(num_requests);
   for (size_t i = 0; i < num_requests; ++i) {
-    trace.push_back(pool[trace_rng.UniformInt(pool.size())]);
+    trace_tpl.push_back(trace_rng.UniformInt(pool.size()));
+    trace.push_back(pool[trace_tpl.back()]);
   }
 
   NaruEstimatorConfig ncfg;
   ncfg.num_samples = num_samples;
   ncfg.enumeration_threshold = 0;  // pure sampling path: clean scaling story
+  ncfg.kernel = env.kernel;        // grid phase runs on the --kernel choice
   NaruEstimator est(model.get(), ncfg, model->SizeBytes());
 
   std::vector<size_t> thread_grid = smoke ? std::vector<size_t>{2}
@@ -137,6 +155,45 @@ int Run() {
   std::printf("%8d %6d %5s %10.1f %9.2fx %9s %9zu %7s %7s   (sequential)\n",
               1, 1, "-", baseline_qps, 1.0, "-", trace.size(), "-", "-");
 
+  BenchJsonWriter json("serving_throughput");
+  json.SetConfig("rows", rows);
+  json.SetConfig("requests", num_requests);
+  json.SetConfig("unique", num_unique);
+  json.SetConfig("samples", num_samples);
+  json.SetConfig("grid_kernel", KernelKindName(env.kernel));
+  json.SetConfig("smoke", smoke);
+
+  // Runs the whole trace through a fresh engine; returns qps, fills
+  // per-request estimates. Every result must come back OK — nothing here
+  // carries a deadline.
+  auto run_trace = [&](NaruEstimator* e, size_t threads, size_t batch,
+                       bool planned, std::vector<double>* results,
+                       EngineStats* stats_out) -> double {
+    InferenceEngineConfig ecfg;
+    ecfg.num_threads = threads;
+    ecfg.enable_plan = planned;
+    InferenceEngine engine(ecfg);  // fresh engine: caches start cold
+    results->assign(trace.size(), 0.0);
+    std::vector<EstimateRequest> chunk;
+    std::vector<EstimateResult> chunk_out;
+    bool all_ok = true;
+    Stopwatch sw;
+    for (size_t lo = 0; lo < trace.size(); lo += batch) {
+      const size_t hi = std::min(trace.size(), lo + batch);
+      chunk.clear();
+      for (size_t i = lo; i < hi; ++i) chunk.emplace_back(trace[i]);
+      engine.EstimateBatch(e, chunk, &chunk_out);
+      for (size_t i = lo; i < hi; ++i) {
+        if (!chunk_out[i - lo].ok()) all_ok = false;
+        (*results)[i] = chunk_out[i - lo].estimate;
+      }
+    }
+    const double secs = sw.ElapsedSeconds();
+    if (stats_out != nullptr) *stats_out = engine.stats();
+    return all_ok && secs > 0 ? static_cast<double>(trace.size()) / secs
+                              : 0.0;
+  };
+
   double headline_planned = 0;  // largest threads x largest batch, planned
   double headline_legacy = 0;   // same point, planning disabled
   bool all_identical = true;
@@ -144,43 +201,30 @@ int Run() {
   for (size_t threads : thread_grid) {
     for (size_t batch : batch_grid) {
       for (const bool planned : {false, true}) {
-        InferenceEngineConfig ecfg;
-        ecfg.num_threads = threads;
-        ecfg.enable_plan = planned;
-        InferenceEngine engine(ecfg);  // fresh engine: caches start cold
-
         // Typed serving surface: default-option requests are required to
-        // be bit-identical to the sequential path (and every result must
-        // come back OK — nothing here carries a deadline).
-        std::vector<double> results(trace.size());
-        std::vector<EstimateRequest> chunk;
-        std::vector<EstimateResult> chunk_out;
-        Stopwatch sw;
-        for (size_t lo = 0; lo < trace.size(); lo += batch) {
-          const size_t hi = std::min(trace.size(), lo + batch);
-          chunk.clear();
-          for (size_t i = lo; i < hi; ++i) chunk.emplace_back(trace[i]);
-          engine.EstimateBatch(&est, chunk, &chunk_out);
-          for (size_t i = lo; i < hi; ++i) {
-            if (!chunk_out[i - lo].ok()) all_identical = false;
-            results[i] = chunk_out[i - lo].estimate;
-          }
-        }
-        const double secs = sw.ElapsedSeconds();
+        // be bit-identical to the sequential path.
+        std::vector<double> results;
+        EngineStats stats;
         const double qps =
-            secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
+            run_trace(&est, threads, batch, planned, &results, &stats);
 
         if (results != reference) all_identical = false;
         if (threads == thread_grid.back() && batch == batch_grid.back()) {
           (planned ? headline_planned : headline_legacy) = qps;
         }
 
-        const auto stats = engine.stats();
         std::printf("%8zu %6zu %5s %10.1f %9.2fx %9zu %9zu %7zu %7.3f\n",
                     threads, batch, planned ? "yes" : "no", qps,
                     baseline_qps > 0 ? qps / baseline_qps : 0.0,
                     stats.memo_hits, stats.sampled, stats.plan_groups,
                     stats.prefix_share_ratio());
+        json.AddRow({{"phase", "grid"},
+                     {"threads", threads},
+                     {"batch", batch},
+                     {"planned", planned},
+                     {"qps", qps},
+                     {"speedup_vs_sequential",
+                      baseline_qps > 0 ? qps / baseline_qps : 0.0}});
       }
     }
   }
@@ -196,7 +240,84 @@ int Run() {
         baseline_qps > 0 ? headline_planned / baseline_qps : 0.0,
         baseline_qps > 0 ? headline_legacy / baseline_qps : 0.0);
   }
-  return all_identical ? 0 : 1;
+
+  // --- Kernel comparison at the largest grid point ---------------------
+  //
+  // One estimator per kernel, used strictly one at a time (the kernel is
+  // model-wide state; see NaruEstimatorConfig::kernel). Ground truth is
+  // executed once per template, so accuracy is a real q-error, not a
+  // fp32-vs-fp32 diff. Within each kernel the estimates must be
+  // bit-identical across thread counts; across kernels only the q-error
+  // distribution is compared.
+  const size_t kthreads = thread_grid.back();
+  const size_t kbatch = batch_grid.back();
+  std::printf("\nkernel comparison (threads=%zu batch=%zu, planned):\n",
+              kthreads, kbatch);
+  std::printf("%-10s %10s %9s %9s %9s %9s %6s\n", "kernel", "qps", "speedup",
+              "qerr-med", "qerr-p95", "qerr-max", "det");
+  const std::vector<int64_t> pool_cards = ExecuteCounts(table, pool);
+
+  bool kernels_ok = true;
+  double scalar_qps = 0, scalar_median = 0, int8_median = 0;
+  for (const KernelKind kernel :
+       {KernelKind::kScalar, KernelKind::kSimd, KernelKind::kSimdInt8}) {
+    NaruEstimatorConfig kcfg = ncfg;
+    kcfg.kernel = kernel;
+    NaruEstimator kest(model.get(), kcfg, model->SizeBytes());
+
+    std::vector<double> results, results_alt;
+    const double qps =
+        run_trace(&kest, kthreads, kbatch, true, &results, nullptr);
+    // Determinism contract: a different thread count must not change a
+    // single bit of any estimate under the same kernel.
+    const size_t alt_threads = kthreads > 2 ? 2 : kthreads + 1;
+    run_trace(&kest, alt_threads, kbatch, true, &results_alt, nullptr);
+    const bool deterministic = results == results_alt;
+    if (!deterministic) kernels_ok = false;
+
+    QuantileSketch qerr;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      qerr.Add(QError(results[i] * static_cast<double>(rows),
+                      static_cast<double>(pool_cards[trace_tpl[i]])));
+    }
+    const ErrorQuantiles eq = ComputeErrorQuantiles(qerr);
+    if (kernel == KernelKind::kScalar) {
+      scalar_qps = qps;
+      scalar_median = eq.median;
+    }
+    if (kernel == KernelKind::kSimdInt8) int8_median = eq.median;
+    const double speedup = scalar_qps > 0 ? qps / scalar_qps : 0.0;
+    std::printf("%-10s %10.1f %8.2fx %9.3f %9.3f %9.3f %6s\n",
+                KernelKindName(kernel), qps, speedup, eq.median, eq.p95,
+                eq.max, deterministic ? "yes" : "NO");
+    json.AddRow({{"phase", "kernel"},
+                 {"kernel", KernelKindName(kernel)},
+                 {"threads", kthreads},
+                 {"batch", kbatch},
+                 {"qps", qps},
+                 {"speedup_vs_scalar_kernel", speedup},
+                 {"qerr_median", eq.median},
+                 {"qerr_p95", eq.p95},
+                 {"qerr_max", eq.max},
+                 {"deterministic_across_threads", deterministic}});
+  }
+  // Quantization is allowed to move accuracy, but only barely: the int8
+  // median q-error must stay within 5% of the fp32 one.
+  const double int8_shift =
+      scalar_median > 0 ? std::fabs(int8_median - scalar_median) / scalar_median
+                        : 0.0;
+  std::printf("int8 median q-error shift vs fp32: %.2f%% (bound 5%%)\n",
+              int8_shift * 100.0);
+  json.SetConfig("int8_median_qerr_shift", int8_shift);
+  json.Write();
+  if (!kernels_ok) {
+    std::printf("FAIL: kernel estimates not bit-identical across threads\n");
+  }
+  if (smoke && int8_shift > 0.05) {
+    std::printf("FAIL: int8 q-error shift exceeds 5%%\n");
+    kernels_ok = false;
+  }
+  return all_identical && kernels_ok ? 0 : 1;
 }
 
 }  // namespace

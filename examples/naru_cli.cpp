@@ -80,6 +80,7 @@
 #include "serve/async_engine.h"
 #include "serve/inference_engine.h"
 #include "serve/request.h"
+#include "tensor/kernel.h"
 #include "util/env_config.h"
 #include "util/quantile.h"
 #include "util/string_util.h"
@@ -99,6 +100,8 @@ int Usage() {
                "[threads]\n"
                "    serve flags: --async --max-batch N --max-wait-ms X "
                "--max-pending N --cache-budget-mb N\n"
+               "    estimate/serve: --kernel scalar|simd|simd_int8 "
+               "(inference kernel; default scalar)\n"
                "    trace line prefix: @<ms> arrival, ^high|^low priority, "
                "~<ms> deadline\n");
   return 2;
@@ -133,6 +136,21 @@ std::vector<char*> ExtractPositionals(int argc, char** argv) {
 /// serve loops then wind down normally and print EngineStats on the way
 /// out — Ctrl-C on a live accept loop reports the serving counters
 /// instead of discarding them.
+/// Resolves --kernel / NARU_KERNEL (default scalar); exits 2 on an
+/// unknown name so a typo can't silently serve the scalar path.
+KernelKind CliKernel() {
+  const std::string name = GetEnvString("NARU_KERNEL", "scalar");
+  KernelKind kernel = KernelKind::kScalar;
+  if (!ParseKernelKind(name, &kernel)) {
+    std::fprintf(stderr,
+                 "error: unknown --kernel '%s' "
+                 "(want scalar | simd | simd_int8)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return kernel;
+}
+
 volatile std::sig_atomic_t g_interrupted = 0;
 
 void HandleSigint(int) { g_interrupted = 1; }
@@ -252,6 +270,7 @@ int main(int raw_argc, char** raw_argv) {
     NaruEstimatorConfig ncfg;
     ncfg.num_samples =
         argc >= 6 ? static_cast<size_t>(std::atoll(argv[5])) : 2000;
+    ncfg.kernel = CliKernel();
     MadeModel* m = model.ValueOrDie().get();
     NaruEstimator est(m, ncfg, m->SizeBytes());
     // OR clauses evaluate through inclusion-exclusion (§2.2).
@@ -288,8 +307,15 @@ int main(int raw_argc, char** raw_argv) {
       return 1;
     }
     MadeModel* m = model.ValueOrDie().get();
-    NaruEstimator est(m, NaruEstimatorConfig{}, m->SizeBytes());
+    NaruEstimatorConfig ncfg;
+    ncfg.kernel = CliKernel();
+    NaruEstimator est(m, ncfg, m->SizeBytes());
     const double num_rows = static_cast<double>(table.num_rows());
+    // Dispatch probe up front: "simd" silently falling back to the
+    // portable kernels is the first thing to rule out when serving is
+    // slower than expected.
+    std::fprintf(stderr, "# kernel=%s (%s)\n",
+                 KernelKindName(ncfg.kernel), SimdDispatchString().c_str());
 
     InferenceEngineConfig ecfg;
     ecfg.num_threads = static_cast<size_t>(threads);

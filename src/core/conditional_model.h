@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "query/query.h"
+#include "tensor/kernel.h"
 #include "tensor/matrix.h"
 
 namespace naru {
@@ -118,6 +119,17 @@ class ConditionalModel {
   /// forwards to ConditionalDist, which most models back with shared
   /// scratch buffers.
   virtual bool SupportsConcurrentSampling() const { return false; }
+
+  /// Selects the kernel family the INFERENCE forward paths use
+  /// (ConditionalDist, sessions, LogProbRows); training always stays
+  /// scalar fp32. kSimdInt8 additionally (re)quantizes the model's linear
+  /// weights into int8 side panels. The setting is model-wide state: all
+  /// sessions observe it, so wrapping one model with estimators of
+  /// different kernels is unsupported (last set wins) — use one model
+  /// instance per kernel to A/B. Default: no-op (model stays scalar) for
+  /// models without tuned kernels (the Oracle, per-column nets).
+  virtual void SetInferenceKernel(KernelKind kernel) { (void)kernel; }
+  virtual KernelKind inference_kernel() const { return KernelKind::kScalar; }
 
   /// True when this model's sampling sessions are PURE: Dist(samples, col)
   /// is a function of its arguments alone — callable at any column without

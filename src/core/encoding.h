@@ -44,6 +44,19 @@ class InputEncoder {
   /// Offset of column `col`'s slice within the input row.
   size_t offset(size_t col) const { return offsets_[col]; }
 
+  /// Fraction of the input width produced by one-hot slices (exact zeros
+  /// except one 1 per encoded column). Drives the GEMM sparse-input hint
+  /// for the first hidden layer: with mostly-one-hot inputs the zero-skip
+  /// fast path pays; with embedding-dominated inputs it does not.
+  double OneHotWidthFraction() const {
+    if (total_width_ == 0) return 0.0;
+    size_t w = 0;
+    for (size_t c = 0; c < kinds_.size(); ++c) {
+      if (kinds_[c] == ColEncoding::kOneHot) w += widths_[c];
+    }
+    return static_cast<double>(w) / static_cast<double>(total_width_);
+  }
+
   /// Embedding table for `col` (nullptr when not embedding-encoded).
   Embedding* embedding(size_t col) { return embeddings_[col].get(); }
   const Embedding* embedding(size_t col) const {

@@ -117,6 +117,12 @@ class FactorizedModel : public ConditionalModel, public TrainableModel {
   bool SupportsStackedEvaluation() const override {
     return cond_->SupportsStackedEvaluation();
   }
+  void SetInferenceKernel(KernelKind kernel) override {
+    cond_->SetInferenceKernel(kernel);
+  }
+  KernelKind inference_kernel() const override {
+    return cond_->inference_kernel();
+  }
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
 

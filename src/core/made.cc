@@ -79,6 +79,20 @@ MadeModel::MadeModel(std::vector<size_t> domains, Config config)
         std::move(mask), &rng_);
   }
   eval_.acts.resize(hidden_.size());
+
+  // With a mostly-one-hot input row the first layer's zero-skip fast path
+  // pays (one nonzero per one-hot column); embedding-dominated inputs are
+  // dense and run branch-free.
+  input_hint_ = encoder_.OneHotWidthFraction() > 0.5 ? InputHint::kOneHot
+                                                     : InputHint::kDense;
+}
+
+void MadeModel::SetInferenceKernel(KernelKind kernel) {
+  inference_kernel_ = kernel;
+  if (kernel == KernelKind::kSimdInt8) {
+    for (auto& h : hidden_) h.PrepareInt8Inference();
+    for (auto& head : heads_) head.fc->PrepareInt8Inference();
+  }
 }
 
 bool MadeModel::HasSkip(size_t layer) const {
@@ -87,29 +101,38 @@ bool MadeModel::HasSkip(size_t layer) const {
 }
 
 void MadeModel::ForwardTrunk(const IntMatrix& codes, size_t upto,
-                             EvalContext* ctx) const {
+                             EvalContext* ctx, KernelKind kernel) const {
   if (ctx->acts.size() != hidden_.size()) ctx->acts.resize(hidden_.size());
   encoder_.EncodeBatchPrefix(codes, upto, &ctx->x);
   const Matrix* cur = &ctx->x;
   for (size_t l = 0; l < hidden_.size(); ++l) {
-    hidden_[l].Forward(*cur, &ctx->acts[l]);
+    // Only the encoded input is one-hot sparse; hidden activations are
+    // dense post-ReLU.
+    const InputHint hint = l == 0 ? input_hint_ : InputHint::kDense;
+    hidden_[l].Forward(*cur, &ctx->acts[l], kernel, hint);
     if (HasSkip(l)) Axpy(*cur, 1.0f, &ctx->acts[l]);
     ReluForward(ctx->acts[l], &ctx->acts[l]);
     cur = &ctx->acts[l];
   }
 }
 
-void MadeModel::HeadForward(size_t col, EvalContext* ctx,
-                            Matrix* block) const {
+void MadeModel::HeadForward(size_t col, EvalContext* ctx, Matrix* block,
+                            KernelKind kernel) const {
   const Head& head = heads_[col];
+  // Linear (no-hidden) MADE heads read the one-hot input directly.
+  const InputHint hint = hidden_.empty() ? input_hint_ : InputHint::kDense;
   if (!head.reuse) {
-    head.fc->Forward(final_hidden(*ctx), block);
+    head.fc->Forward(final_hidden(*ctx), block, kernel, hint);
     return;
   }
-  head.fc->Forward(final_hidden(*ctx), &ctx->head_tmp);  // (B x h)
+  head.fc->Forward(final_hidden(*ctx), &ctx->head_tmp, kernel,
+                   hint);  // (B x h)
   const Embedding* emb = encoder_.embedding(col);
   NARU_CHECK(emb != nullptr);
-  GemmNT(ctx->head_tmp, emb->table().value, block);  // (B x D)
+  // Embedding-reuse logits stay fp32 (SIMD when enabled): the table is
+  // shared with the input encoding, so it is not quantized.
+  GemmNT(ctx->head_tmp, emb->table().value, block, /*accumulate=*/false,
+         kernel);  // (B x D)
 }
 
 void MadeModel::HeadBackward(size_t col, const Matrix& dblock,
@@ -136,8 +159,8 @@ void MadeModel::ConditionalDist(const IntMatrix& samples, size_t col,
 void MadeModel::ConditionalDistWith(EvalContext* ctx, const IntMatrix& samples,
                                     size_t col, Matrix* probs) const {
   NARU_CHECK(col < num_columns());
-  ForwardTrunk(samples, col, ctx);
-  HeadForward(col, ctx, &ctx->block);
+  ForwardTrunk(samples, col, ctx, inference_kernel_);
+  HeadForward(col, ctx, &ctx->block, inference_kernel_);
   SoftmaxRows(ctx->block, probs);
 }
 
@@ -166,9 +189,9 @@ void MadeModel::LogProbRows(const IntMatrix& tuples,
                             std::vector<double>* out_nats) {
   const size_t batch = tuples.rows();
   out_nats->assign(batch, 0.0);
-  ForwardTrunk(tuples, num_columns(), &eval_);
+  ForwardTrunk(tuples, num_columns(), &eval_, inference_kernel_);
   for (size_t c = 0; c < num_columns(); ++c) {
-    HeadForward(c, &eval_, &eval_.block);
+    HeadForward(c, &eval_, &eval_.block, inference_kernel_);
     const size_t d = domains_[c];
     for (size_t r = 0; r < batch; ++r) {
       const float* row = eval_.block.Row(r);
@@ -182,7 +205,9 @@ void MadeModel::LogProbRows(const IntMatrix& tuples,
 double MadeModel::ForwardBackward(const IntMatrix& codes) {
   const size_t batch = codes.rows();
   NARU_CHECK(batch > 0);
-  ForwardTrunk(codes, num_columns(), &eval_);
+  // Training is pinned to the scalar reference kernel: gradients must match
+  // the arithmetic the tests and the determinism contract were built on.
+  ForwardTrunk(codes, num_columns(), &eval_, KernelKind::kScalar);
 
   const float grad_scale = 1.0f / static_cast<float>(batch);
   Matrix dfinal(final_hidden(eval_).rows(), final_hidden(eval_).cols());
@@ -190,7 +215,7 @@ double MadeModel::ForwardBackward(const IntMatrix& codes) {
 
   double total_nll = 0;
   for (size_t c = 0; c < num_columns(); ++c) {
-    HeadForward(c, &eval_, &eval_.block);
+    HeadForward(c, &eval_, &eval_.block, KernelKind::kScalar);
     for (size_t r = 0; r < batch; ++r) targets_[r] = codes.At(r, c);
     dblock_.Resize(eval_.block.rows(), eval_.block.cols());
     dblock_.Zero();

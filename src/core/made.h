@@ -81,6 +81,13 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   /// Sessions own an EvalContext each, so they can run concurrently.
   std::unique_ptr<SamplingSession> StartSession(size_t batch) override;
   bool SupportsConcurrentSampling() const override { return true; }
+  /// Switches the inference forward paths (ConditionalDist*, LogProbRows,
+  /// sessions) to `kernel`; training stays scalar. kSimdInt8 (re)quantizes
+  /// every hidden layer and head into int8 panels; the embedding-reuse
+  /// logits GEMM stays fp32 SIMD (the embedding table doubles as an input
+  /// encoder, so it is not quantized).
+  void SetInferenceKernel(KernelKind kernel) override;
+  KernelKind inference_kernel() const override { return inference_kernel_; }
   /// Sessions route through ConditionalDistWith, a pure function of
   /// (samples, col) — see StackedConditionalDist above.
   bool SupportsStackedEvaluation() const override { return true; }
@@ -105,9 +112,11 @@ class MadeModel : public ConditionalModel, public TrainableModel {
  private:
   /// Encodes columns < upto and runs the hidden stack into `ctx`; the
   /// result lives in final_hidden(*ctx). With upto == num_columns() this is
-  /// a full forward. Const: only caller scratch is written.
-  void ForwardTrunk(const IntMatrix& codes, size_t upto,
-                    EvalContext* ctx) const;
+  /// a full forward. Const: only caller scratch is written. `kernel` picks
+  /// the GEMM family (training passes kScalar, inference the configured
+  /// inference_kernel_).
+  void ForwardTrunk(const IntMatrix& codes, size_t upto, EvalContext* ctx,
+                    KernelKind kernel) const;
 
   const Matrix& final_hidden(const EvalContext& ctx) const {
     return ctx.acts.empty() ? ctx.x : ctx.acts.back();
@@ -116,7 +125,8 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   /// Computes the raw logits block for `col` from the last ForwardTrunk
   /// through `ctx`. The block is written into `block` (batch x
   /// domains_[col]), which may alias &ctx->block.
-  void HeadForward(size_t col, EvalContext* ctx, Matrix* block) const;
+  void HeadForward(size_t col, EvalContext* ctx, Matrix* block,
+                   KernelKind kernel) const;
 
   /// Backpropagates a logits-block gradient through head `col`,
   /// accumulating into dfinal (batch x F). Reads the member context's
@@ -143,6 +153,12 @@ class MadeModel : public ConditionalModel, public TrainableModel {
     bool reuse = false;  // logits = fc_out · E^T
   };
   std::vector<Head> heads_;
+
+  // Inference kernel (scalar by default; see SetInferenceKernel) and the
+  // sparse-input hint for the first hidden layer, fixed at construction
+  // from the encoder's one-hot width fraction.
+  KernelKind inference_kernel_ = KernelKind::kScalar;
+  InputHint input_hint_ = InputHint::kDense;
 
   // Member workspace for the single-threaded paths (training, the
   // stateless ConditionalDist, LogProbRows). Concurrent inference goes

@@ -23,7 +23,11 @@ NaruEstimator::NaruEstimator(ConditionalModel* model,
                }),
       model_size_bytes_(model_size_bytes),
       name_(name.empty() ? StrFormat("Naru-%zu", config.num_samples)
-                         : std::move(name)) {}
+                         : std::move(name)) {
+  // Model-wide: see NaruEstimatorConfig::kernel. Scalar is a real (re)set,
+  // not a no-op, so a fresh estimator restores the reference path.
+  model_->SetInferenceKernel(config_.kernel);
+}
 
 NaruEstimator::~NaruEstimator() = default;
 

@@ -91,6 +91,13 @@ class OrderedModel : public ConditionalModel, public TrainableModel {
     return cond_->SupportsStackedEvaluation();
   }
 
+  void SetInferenceKernel(KernelKind kernel) override {
+    cond_->SetInferenceKernel(kernel);
+  }
+  KernelKind inference_kernel() const override {
+    return cond_->inference_kernel();
+  }
+
   /// Accepts TABLE-order tuples (permutes, then delegates).
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override {

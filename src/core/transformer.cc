@@ -145,7 +145,8 @@ void TransformerModel::AttendBackwardOne(Block* blk, size_t b, size_t h,
   }
 }
 
-void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len) {
+void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len,
+                                    KernelKind kernel) {
   const size_t batch = codes.rows();
   const size_t T = seq_len;
   const size_t e = config_.d_model;
@@ -169,9 +170,9 @@ void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len) {
     Block& blk = blocks_[l];
     const Matrix& x = xs_[l];
     blk.ln1.Forward(x, &blk.ln1_out);
-    blk.wq.Forward(blk.ln1_out, &blk.q);
-    blk.wk.Forward(blk.ln1_out, &blk.k);
-    blk.wv.Forward(blk.ln1_out, &blk.v);
+    blk.wq.Forward(blk.ln1_out, &blk.q, kernel);
+    blk.wk.Forward(blk.ln1_out, &blk.k, kernel);
+    blk.wv.Forward(blk.ln1_out, &blk.v, kernel);
     blk.attn_probs.Resize(batch * config_.num_heads * T, T);
     blk.attn_cat.Resize(batch * T, e);
     ParallelFor(0, batch, [&](size_t lo, size_t hi) {
@@ -181,12 +182,12 @@ void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len) {
         }
       }
     });
-    blk.wo.Forward(blk.attn_cat, &blk.attn_proj);
+    blk.wo.Forward(blk.attn_cat, &blk.attn_proj, kernel);
     blk.res1.Resize(batch * T, e);
     std::memcpy(blk.res1.data(), x.data(), x.size() * sizeof(float));
     Axpy(blk.attn_proj, 1.0f, &blk.res1);
     blk.ln2.Forward(blk.res1, &blk.ln2_out);
-    blk.ffn.Forward(blk.ln2_out, &blk.ffn_out);
+    blk.ffn.Forward(blk.ln2_out, &blk.ffn_out, kernel);
     Matrix& next = xs_[l + 1];
     next.Resize(batch * T, e);
     std::memcpy(next.data(), blk.res1.data(),
@@ -196,16 +197,20 @@ void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len) {
   lnf_.Forward(xs_.back(), &y_);
 }
 
-void TransformerModel::HeadForward(size_t col, size_t batch, size_t seq_len) {
+void TransformerModel::HeadForward(size_t col, size_t batch, size_t seq_len,
+                                   KernelKind kernel) {
   const size_t e = config_.d_model;
   ybuf_.Resize(batch, e);
   for (size_t b = 0; b < batch; ++b) {
     std::memcpy(ybuf_.Row(b), y_.Row(b * seq_len + col), e * sizeof(float));
   }
   if (config_.embedding_reuse) {
-    GemmNT(ybuf_, embeds_[col]->table().value, &logits_);
+    // Tied logits stay fp32 (SIMD when enabled): the embedding table is
+    // shared with the input encoding and is not quantized.
+    GemmNT(ybuf_, embeds_[col]->table().value, &logits_,
+           /*accumulate=*/false, kernel);
   } else {
-    heads_[col]->Forward(ybuf_, &logits_);
+    heads_[col]->Forward(ybuf_, &logits_, kernel);
   }
 }
 
@@ -213,9 +218,24 @@ void TransformerModel::ConditionalDist(const IntMatrix& samples, size_t col,
                                        Matrix* probs) {
   NARU_CHECK(col < domains_.size());
   const size_t T = col + 1;
-  ForwardTrunk(samples, T);
-  HeadForward(col, samples.rows(), T);
+  ForwardTrunk(samples, T, inference_kernel_);
+  HeadForward(col, samples.rows(), T, inference_kernel_);
   SoftmaxRows(logits_, probs);
+}
+
+void TransformerModel::SetInferenceKernel(KernelKind kernel) {
+  inference_kernel_ = kernel;
+  if (kernel != KernelKind::kSimdInt8) return;
+  for (auto& blk : blocks_) {
+    blk.wq.PrepareInt8Inference();
+    blk.wk.PrepareInt8Inference();
+    blk.wv.PrepareInt8Inference();
+    blk.wo.PrepareInt8Inference();
+    blk.ffn.PrepareInt8Inference();
+  }
+  for (auto& h : heads_) {
+    if (h) h->PrepareInt8Inference();
+  }
 }
 
 void TransformerModel::LogProbRows(const IntMatrix& tuples,
@@ -223,9 +243,9 @@ void TransformerModel::LogProbRows(const IntMatrix& tuples,
   const size_t batch = tuples.rows();
   const size_t n = domains_.size();
   out_nats->assign(batch, 0.0);
-  ForwardTrunk(tuples, n);
+  ForwardTrunk(tuples, n, inference_kernel_);
   for (size_t c = 0; c < n; ++c) {
-    HeadForward(c, batch, n);
+    HeadForward(c, batch, n, inference_kernel_);
     for (size_t b = 0; b < batch; ++b) {
       const float* row = logits_.Row(b);
       const double lse = LogSumExpSlice(row, 0, domains_[c]);
@@ -239,7 +259,8 @@ double TransformerModel::ForwardBackward(const IntMatrix& codes) {
   const size_t n = domains_.size();
   const size_t e = config_.d_model;
   NARU_CHECK(codes.cols() == n);
-  ForwardTrunk(codes, n);
+  // Training is pinned to the scalar reference kernel.
+  ForwardTrunk(codes, n, KernelKind::kScalar);
 
   // Heads + loss; dy_ collects gradients w.r.t. y_.
   const float gscale = 1.0f / static_cast<float>(batch);
@@ -248,7 +269,7 @@ double TransformerModel::ForwardBackward(const IntMatrix& codes) {
   targets_.resize(batch);
   double total_nll = 0;
   for (size_t c = 0; c < n; ++c) {
-    HeadForward(c, batch, n);
+    HeadForward(c, batch, n, KernelKind::kScalar);
     for (size_t b = 0; b < batch; ++b) targets_[b] = codes.At(b, c);
     dlogits_.Resize(batch, domains_[c]);
     dlogits_.Zero();

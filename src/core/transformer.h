@@ -57,6 +57,12 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
                        Matrix* probs) override;
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
+  /// Switches inference GEMMs (projections, FFN, untied heads) to `kernel`;
+  /// training stays scalar. kSimdInt8 quantizes those Linears; embedding
+  /// tables (input encoding + tied logits) and the per-head attention math
+  /// stay fp32.
+  void SetInferenceKernel(KernelKind kernel) override;
+  KernelKind inference_kernel() const override { return inference_kernel_; }
 
   // --- TrainableModel ---
   double ForwardBackward(const IntMatrix& codes) override;
@@ -92,10 +98,13 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
   /// Runs the trunk on the first `seq_len` token positions of `codes`
   /// (column j feeds position j+1; columns >= seq_len-1 are never read).
   /// Leaves the final normalized activations in y_ (batch*seq_len x E).
-  void ForwardTrunk(const IntMatrix& codes, size_t seq_len);
+  /// `kernel` picks the GEMM family (training passes kScalar).
+  void ForwardTrunk(const IntMatrix& codes, size_t seq_len,
+                    KernelKind kernel);
 
   /// Head `col` logits from y_ position `col` into logits_ (batch x D_col).
-  void HeadForward(size_t col, size_t batch, size_t seq_len);
+  void HeadForward(size_t col, size_t batch, size_t seq_len,
+                   KernelKind kernel);
 
   /// Multi-head causal attention for one example/head pair.
   void AttendForwardOne(Block* blk, size_t b, size_t h, size_t T);
@@ -105,6 +114,7 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
   std::vector<size_t> domains_;
   Config config_;
   Rng rng_;
+  KernelKind inference_kernel_ = KernelKind::kScalar;
 
   std::vector<std::unique_ptr<Embedding>> embeds_;  // per column, width E
   Parameter pos_;  // (n x E) learned positional embedding

@@ -4,19 +4,29 @@
 
 namespace naru {
 
+// Initializers draw row-wise over the logical columns: the RNG stream is a
+// function of the logical shape, not the padded stride (keeps checkpoints
+// and seeded runs stable across padding changes), and row padding stays
+// zero as matrix.h requires.
+
 void KaimingUniformInit(Matrix* w, size_t fan_in, Rng* rng) {
   NARU_CHECK(fan_in > 0);
   const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
-  float* data = w->data();
-  for (size_t i = 0; i < w->size(); ++i) {
-    data[i] = static_cast<float>((rng->UniformDouble() * 2.0 - 1.0) * bound);
+  for (size_t r = 0; r < w->rows(); ++r) {
+    float* row = w->Row(r);
+    for (size_t c = 0; c < w->cols(); ++c) {
+      row[c] =
+          static_cast<float>((rng->UniformDouble() * 2.0 - 1.0) * bound);
+    }
   }
 }
 
 void NormalInit(Matrix* w, double std_dev, Rng* rng) {
-  float* data = w->data();
-  for (size_t i = 0; i < w->size(); ++i) {
-    data[i] = static_cast<float>(rng->Gaussian() * std_dev);
+  for (size_t r = 0; r < w->rows(); ++r) {
+    float* row = w->Row(r);
+    for (size_t c = 0; c < w->cols(); ++c) {
+      row[c] = static_cast<float>(rng->Gaussian() * std_dev);
+    }
   }
 }
 

@@ -10,8 +10,13 @@ Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Rng* rng)
   KaimingUniformInit(&w_.value, in_dim, rng);
 }
 
-void Linear::Forward(const Matrix& x, Matrix* y) const {
-  GemmNN(x, w_.value, y);
+void Linear::Forward(const Matrix& x, Matrix* y, KernelKind kernel,
+                     InputHint hint) const {
+  if (kernel == KernelKind::kSimdInt8 && q8_.valid()) {
+    GemmNNInt8(x, q8_, y, /*accumulate=*/false, hint);
+  } else {
+    GemmNN(x, w_.value, y, /*accumulate=*/false, kernel, hint);
+  }
   AddBiasRows(b_.value, y);
 }
 
@@ -19,6 +24,10 @@ void Linear::Backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
   GemmTN(x, dy, &w_.grad, /*accumulate=*/true);
   AccumulateBiasGrad(dy, &b_.grad);
   if (dx != nullptr) GemmNT(dy, w_.value, dx);
+}
+
+void Linear::PrepareInt8Inference() {
+  QuantizeWeightsPerColumn(w_.value, &q8_);
 }
 
 }  // namespace naru

@@ -4,11 +4,17 @@
 // input/output matrices and passes the forward input back into Backward.
 // This keeps memory management explicit and makes layers trivially reusable
 // across batch sizes.
+//
+// Forward takes a KernelKind (kernel.h): the default kScalar is the
+// reference path; kSimd runs the blocked SIMD kernels; kSimdInt8 uses the
+// int8 weight panel prepared by PrepareInt8Inference (falling back to fp32
+// SIMD when none is prepared). Backward is training-only and always scalar.
 #pragma once
 
 #include <string>
 
 #include "nn/parameter.h"
+#include "tensor/quant.h"
 #include "util/random.h"
 
 namespace naru {
@@ -22,12 +28,22 @@ class Linear {
   size_t out_dim() const { return w_.value.cols(); }
 
   /// y = x W + b. x is (batch x in), y resized to (batch x out).
-  void Forward(const Matrix& x, Matrix* y) const;
+  void Forward(const Matrix& x, Matrix* y,
+               KernelKind kernel = KernelKind::kScalar,
+               InputHint hint = InputHint::kDense) const;
 
   /// Given the forward input `x` and upstream gradient `dy`, accumulates
   /// dW += x^T dy, db += colsum(dy) and computes dx = dy W^T (skipped when
   /// dx == nullptr, e.g. at the first layer).
   void Backward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+  /// (Re)quantizes the current weights into the int8 side panel used by
+  /// kSimdInt8 forwards. Call after weights settle (model load / end of
+  /// training); training updates do NOT requantize automatically.
+  void PrepareInt8Inference();
+  /// Drops the int8 panel (kSimdInt8 forwards fall back to fp32 SIMD).
+  void ClearInt8Inference() { q8_.Clear(); }
+  const QuantizedWeights& int8_weights() const { return q8_; }
 
   Parameter& weight() { return w_; }
   Parameter& bias() { return b_; }
@@ -43,6 +59,7 @@ class Linear {
  private:
   Parameter w_;  // (in x out)
   Parameter b_;  // (1 x out)
+  QuantizedWeights q8_;
 };
 
 }  // namespace naru

@@ -16,11 +16,11 @@ Mlp::Mlp(std::string name, const std::vector<size_t>& dims, Rng* rng) {
   pre_.resize(layers_.size());
 }
 
-void Mlp::Forward(const Matrix& x, Matrix* y) {
+void Mlp::Forward(const Matrix& x, Matrix* y, KernelKind kernel) {
   const Matrix* cur = &x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     inputs_[i] = *cur;  // copy; batches are small relative to weights
-    layers_[i].Forward(inputs_[i], &pre_[i]);
+    layers_[i].Forward(inputs_[i], &pre_[i], kernel);
     if (i + 1 < layers_.size()) {
       ReluForward(pre_[i], &pre_[i]);
       cur = &pre_[i];
@@ -29,11 +29,12 @@ void Mlp::Forward(const Matrix& x, Matrix* y) {
   *y = pre_.back();
 }
 
-void Mlp::ForwardInference(const Matrix& x, Matrix* y) const {
+void Mlp::ForwardInference(const Matrix& x, Matrix* y,
+                           KernelKind kernel) const {
   Matrix a = x;
   Matrix b;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i].Forward(a, &b);
+    layers_[i].Forward(a, &b, kernel);
     if (i + 1 < layers_.size()) ReluForward(b, &b);
     a = std::move(b);
     b = Matrix();

@@ -21,12 +21,21 @@ class Mlp {
   size_t in_dim() const { return layers_.front().in_dim(); }
   size_t out_dim() const { return layers_.back().out_dim(); }
 
-  /// y = MLP(x); stashes activations for a subsequent Backward.
-  void Forward(const Matrix& x, Matrix* y);
+  /// y = MLP(x); stashes activations for a subsequent Backward. The kernel
+  /// applies to the GEMMs only; pass non-scalar kernels solely on inference
+  /// paths (Backward assumes scalar-forward arithmetic).
+  void Forward(const Matrix& x, Matrix* y,
+               KernelKind kernel = KernelKind::kScalar);
 
   /// Inference-only forward that does not touch the stored activations
   /// (safe to call concurrently from const contexts).
-  void ForwardInference(const Matrix& x, Matrix* y) const;
+  void ForwardInference(const Matrix& x, Matrix* y,
+                        KernelKind kernel = KernelKind::kScalar) const;
+
+  /// (Re)quantizes every layer for kSimdInt8 inference (see Linear).
+  void PrepareInt8Inference() {
+    for (auto& l : layers_) l.PrepareInt8Inference();
+  }
 
   /// Backpropagates dy (w.r.t. the last Forward output), accumulating
   /// parameter grads; writes dx unless nullptr.

@@ -21,8 +21,8 @@ struct Parameter {
 
   void ZeroGrad() { grad.Zero(); }
 
-  /// Number of scalar weights.
-  size_t count() const { return value.size(); }
+  /// Number of scalar weights (logical shape, excludes row padding).
+  size_t count() const { return value.rows() * value.cols(); }
 };
 
 /// Total scalar count across a parameter set.

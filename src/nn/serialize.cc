@@ -34,8 +34,12 @@ Status SaveParameters(const std::string& path,
     os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
     WritePod<uint64_t>(os, p->value.rows());
     WritePod<uint64_t>(os, p->value.cols());
-    os.write(reinterpret_cast<const char*>(p->value.data()),
-             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    // Row-wise: the file holds rows*cols floats regardless of the in-memory
+    // padded stride (matrix.h), so the format is layout-independent.
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      os.write(reinterpret_cast<const char*>(p->value.Row(r)),
+               static_cast<std::streamsize>(p->value.cols() * sizeof(float)));
+    }
   }
   if (!os.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -77,8 +81,10 @@ Status LoadParameters(const std::string& path,
           static_cast<unsigned long long>(cols), p->value.rows(),
           p->value.cols()));
     }
-    is.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      is.read(reinterpret_cast<char*>(p->value.Row(r)),
+              static_cast<std::streamsize>(p->value.cols() * sizeof(float)));
+    }
     if (!is.good()) return Status::IOError("truncated tensor data");
   }
   return Status::OK();

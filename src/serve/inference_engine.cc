@@ -42,11 +42,13 @@ std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
 std::string MemoPrefix(const NaruEstimatorConfig& cfg, size_t eff_samples) {
   // shard_size is part of the key: the shard layout defines the RNG
   // streams, so two estimators differing only in it produce different
-  // sampled estimates.
-  return StrFormat("%zu|%zu|%llu|%zu|%d|", eff_samples,
+  // sampled estimates. The kernel is part of the key because simd /
+  // simd_int8 estimates are not bit-identical to scalar ones.
+  return StrFormat("%zu|%zu|%llu|%zu|%d|%d|", eff_samples,
                    cfg.enumeration_threshold,
                    static_cast<unsigned long long>(cfg.sampler_seed),
-                   cfg.shard_size, cfg.uniform_region ? 1 : 0);
+                   cfg.shard_size, cfg.uniform_region ? 1 : 0,
+                   static_cast<int>(cfg.kernel));
 }
 
 double ElapsedMs(std::chrono::steady_clock::time_point since) {

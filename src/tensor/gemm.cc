@@ -1,5 +1,6 @@
 #include "tensor/gemm.h"
 
+#include "tensor/gemm_kernels.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -9,7 +10,8 @@ namespace {
 constexpr size_t kMinRowsPerTask = 16;
 }  // namespace
 
-void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate,
+            KernelKind kernel, InputHint hint) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
@@ -20,6 +22,21 @@ void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
     c->Resize(m, n);
     c->Zero();
   }
+  if (kernel != KernelKind::kScalar) {
+    // Same cols() means same stride (matrix.h), which the row kernels
+    // require: they cover the padded width with no remainder handling.
+    NARU_CHECK(c->stride() == b.stride());
+    const bool onehot = hint == InputHint::kOneHot;
+    ParallelFor(
+        0, m,
+        [&](size_t lo, size_t hi) {
+          gemm_detail::NNRowsSimd(a.data(), a.stride(), b.data(), b.stride(),
+                                  c->data(), c->stride(), lo, hi, k, onehot);
+        },
+        kMinRowsPerTask);
+    return;
+  }
+  const bool onehot = hint == InputHint::kOneHot;
   ParallelFor(
       0, m,
       [&](size_t lo, size_t hi) {
@@ -27,18 +44,31 @@ void GemmNN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
           const float* arow = a.Row(i);
           float* crow = c->Row(i);
           // ikj ordering: inner loop is a vectorizable axpy over B's row.
-          for (size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            const float* brow = b.Row(kk);
-            for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          if (onehot) {
+            // Sparse fast path: one-hot input rows are almost all zeros,
+            // so testing A once per k skips whole axpy rows. Exact: the
+            // skipped terms contribute +0.0f. Not worth it for dense
+            // activations, where the branch only impedes vectorization.
+            for (size_t kk = 0; kk < k; ++kk) {
+              const float av = arow[kk];
+              if (av == 0.0f) continue;
+              const float* brow = b.Row(kk);
+              for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          } else {
+            for (size_t kk = 0; kk < k; ++kk) {
+              const float av = arow[kk];
+              const float* brow = b.Row(kk);
+              for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
           }
         }
       },
       kMinRowsPerTask);
 }
 
-void GemmNT(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+void GemmNT(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate,
+            KernelKind kernel) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.rows();
@@ -48,6 +78,20 @@ void GemmNT(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
   } else {
     c->Resize(m, n);
     c->Zero();
+  }
+  if (kernel != KernelKind::kScalar) {
+    // Shared reduction dim means shared stride; the dot products run over
+    // the padded width (zero padding contributes zero).
+    NARU_CHECK(a.stride() == b.stride());
+    ParallelFor(
+        0, m,
+        [&](size_t lo, size_t hi) {
+          gemm_detail::NTRowsSimd(a.data(), a.stride(), b.data(), b.stride(),
+                                  c->data(), c->stride(), lo, hi, a.stride(),
+                                  n);
+        },
+        kMinRowsPerTask);
+    return;
   }
   ParallelFor(
       0, m,
@@ -78,6 +122,8 @@ void GemmTN(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
     c->Zero();
   }
   // Parallelize over output rows (columns of A) to keep writes disjoint.
+  // The zero-skip stays: this is the training-side X^T * dY, where X is
+  // often the sparse one-hot encoding.
   ParallelFor(
       0, k,
       [&](size_t lo, size_t hi) {

@@ -1,0 +1,67 @@
+// Kernel selection and runtime CPU dispatch for the tensor layer.
+//
+// The inference path can run on one of three kernel families:
+//   kScalar   — the original ikj loops in gemm.cc; always available, the
+//               correctness reference, and the default (existing bit-identity
+//               tests pin it).
+//   kSimd     — cache-blocked fp32 kernels with explicit SIMD inner loops
+//               (AVX2/FMA on x86, NEON on ARM, portable blocked fallback
+//               elsewhere), selected at runtime via DetectedSimdLevel().
+//   kSimdInt8 — kSimd plus per-output-channel int8 weights on Linear /
+//               MaskedLinear forward passes (fp32 activations and
+//               accumulation); layers without prepared int8 weights fall
+//               back to the fp32 SIMD path.
+//
+// Determinism contract: for a FIXED kernel choice, every GEMM partitions
+// work by output row and keeps a fixed intra-row reduction order, so
+// results are bit-identical across thread counts and batch splits. Results
+// are NOT bit-identical across different kernel choices (FMA contraction
+// and register blocking change rounding); the serving layer keys its memo
+// caches on the kernel for exactly this reason.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace naru {
+
+/// Which kernel family the forward path uses. Training always uses kScalar.
+enum class KernelKind : uint8_t {
+  kScalar = 0,
+  kSimd = 1,
+  kSimdInt8 = 2,
+};
+
+/// "scalar" / "simd" / "simd_int8".
+const char* KernelKindName(KernelKind k);
+
+/// Parses "scalar" / "simd" / "simd_int8" (case-insensitive). Returns false
+/// and leaves *out untouched on anything else.
+bool ParseKernelKind(const std::string& s, KernelKind* out);
+
+/// Instruction set the SIMD kernels dispatch to on this machine.
+enum class SimdLevel : uint8_t {
+  kNone = 0,  // portable blocked fallback
+  kAvx2 = 1,  // AVX2 + FMA
+  kNeon = 2,  // ARM NEON
+};
+
+/// "none" / "avx2" / "neon".
+const char* SimdLevelName(SimdLevel l);
+
+/// Probes the CPU once and caches the answer. kAvx2 requires both AVX2 and
+/// FMA; kNeon is a compile-time property of ARM builds.
+SimdLevel DetectedSimdLevel();
+
+/// One-line dispatch probe for bench banners and `serve` startup, e.g.
+/// "simd dispatch: avx2". Mentions an active test override when present.
+std::string SimdDispatchString();
+
+/// Test seam: forces DetectedSimdLevel() to return `level` so the portable
+/// fallback (and the NEON-less path) can be exercised on any host. Call
+/// ClearSimdLevelOverrideForTest() to restore probing. Not thread-safe;
+/// intended for single-threaded test setup only.
+void SetSimdLevelOverrideForTest(SimdLevel level);
+void ClearSimdLevelOverrideForTest();
+
+}  // namespace naru

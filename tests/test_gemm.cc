@@ -1,0 +1,403 @@
+// Conformance suite for the kernel layer (gemm_simd.cc, quant.cc):
+//   - SIMD (native dispatch AND the forced portable fallback) vs the scalar
+//     reference across odd shapes, accumulate on/off, and both transpose
+//     variants, within a tight epsilon (FMA contraction means cross-kernel
+//     equality is not bitwise).
+//   - WITHIN a fixed kernel: bitwise determinism across row partitions
+//     (the thread-count contract) — evaluating a row subset reproduces the
+//     full-batch rows exactly, including across the MR=4/MR=1 seam.
+//   - The one-hot InputHint is exact: hinted and dense runs are bitwise
+//     identical per kernel.
+//   - Int8: quantize→dequantize round trip within half a step, masked zeros
+//     stay exactly zero, and GemmNNInt8 matches the scalar GEMM over the
+//     dequantized weights within epsilon.
+//   - Matrix storage: 64-byte row alignment, padded stride, the
+//     zero-padding invariant, and the Resize preservation contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/kernel.h"
+#include "tensor/matrix.h"
+#include "tensor/quant.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace naru {
+namespace {
+
+// Forces a dispatch level for the enclosing scope (restores probing on
+// destruction), so the portable fallback is exercised on AVX2 hosts too.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) {
+    SetSimdLevelOverrideForTest(level);
+  }
+  ~ScopedSimdLevel() { ClearSimdLevelOverrideForTest(); }
+};
+
+Matrix RandomMatrix(size_t r, size_t c, Rng* rng) {
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i) {
+    float* row = m.Row(i);
+    for (size_t j = 0; j < c; ++j) {
+      row[j] = static_cast<float>(rng->Gaussian());
+    }
+  }
+  return m;
+}
+
+// One nonzero per 16-wide group of columns — the shape of a one-hot
+// encoded input row.
+Matrix OneHotishMatrix(size_t r, size_t c, Rng* rng) {
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t g = 0; g < c; g += 16) {
+      const size_t span = std::min<size_t>(16, c - g);
+      const size_t hot = g + static_cast<size_t>(rng->UniformInt(span));
+      m.At(i, hot) = 1.0f;
+    }
+  }
+  return m;
+}
+
+// Double-accumulator references.
+void NaiveNN(const Matrix& a, const Matrix& b, Matrix* c) {
+  c->Resize(a.rows(), b.cols());
+  c->Zero();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      c->At(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+void NaiveNT(const Matrix& a, const Matrix& bt, Matrix* c) {
+  c->Resize(a.rows(), bt.rows());
+  c->Zero();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < bt.rows(); ++j) {
+      double acc = 0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * bt.At(j, k);
+      c->At(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+void ExpectNear(const Matrix& want, const Matrix& got, double tol) {
+  ASSERT_EQ(want.rows(), got.rows());
+  ASSERT_EQ(want.cols(), got.cols());
+  for (size_t i = 0; i < want.rows(); ++i) {
+    for (size_t j = 0; j < want.cols(); ++j) {
+      EXPECT_NEAR(want.At(i, j), got.At(i, j), tol)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+void ExpectBitIdentical(const Matrix& want, const Matrix& got) {
+  ASSERT_EQ(want.rows(), got.rows());
+  ASSERT_EQ(want.cols(), got.cols());
+  for (size_t i = 0; i < want.rows(); ++i) {
+    ASSERT_EQ(0, std::memcmp(want.Row(i), got.Row(i),
+                             want.cols() * sizeof(float)))
+        << "row " << i;
+  }
+}
+
+struct Shape {
+  size_t m, k, n;
+};
+
+// Odd shapes, sub-stride shapes, exact multiples, and MADE-sized cases.
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 17, 1},   {3, 5, 7},     {4, 16, 16},
+    {5, 100, 1},  {8, 16, 24},  {13, 31, 33},  {2, 8, 256},
+    {33, 64, 100}, {64, 128, 128},
+};
+
+void CheckNNConformance(double tol) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, &rng);
+    const Matrix b = RandomMatrix(s.k, s.n, &rng);
+    Matrix ref;
+    NaiveNN(a, b, &ref);
+    for (const bool accumulate : {false, true}) {
+      Matrix base = RandomMatrix(s.m, s.n, &rng);
+      Matrix scalar_out = base;
+      Matrix simd_out = base;
+      if (!accumulate) {
+        // Non-accumulate ignores prior contents entirely.
+        scalar_out = Matrix();
+        simd_out = Matrix();
+      }
+      GemmNN(a, b, &scalar_out, accumulate, KernelKind::kScalar);
+      GemmNN(a, b, &simd_out, accumulate, KernelKind::kSimd);
+      ExpectNear(scalar_out, simd_out, tol);
+      if (!accumulate) ExpectNear(ref, simd_out, tol);
+    }
+  }
+}
+
+void CheckNTConformance(double tol) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, &rng);
+    const Matrix bt = RandomMatrix(s.n, s.k, &rng);
+    Matrix ref;
+    NaiveNT(a, bt, &ref);
+    for (const bool accumulate : {false, true}) {
+      Matrix base = RandomMatrix(s.m, s.n, &rng);
+      Matrix scalar_out = base;
+      Matrix simd_out = base;
+      if (!accumulate) {
+        scalar_out = Matrix();
+        simd_out = Matrix();
+      }
+      GemmNT(a, bt, &scalar_out, accumulate, KernelKind::kScalar);
+      GemmNT(a, bt, &simd_out, accumulate, KernelKind::kSimd);
+      ExpectNear(scalar_out, simd_out, tol);
+      if (!accumulate) ExpectNear(ref, simd_out, tol);
+    }
+  }
+}
+
+TEST(GemmConformance, SimdNNMatchesScalar) { CheckNNConformance(1e-3); }
+
+TEST(GemmConformance, SimdNTMatchesScalar) { CheckNTConformance(1e-3); }
+
+TEST(GemmConformance, PortableFallbackMatchesScalar) {
+  ScopedSimdLevel force(SimdLevel::kNone);
+  CheckNNConformance(1e-3);
+  CheckNTConformance(1e-3);
+}
+
+#if defined(__x86_64__)
+TEST(GemmConformance, DispatchProbeFindsAvx2OnX86WithAvx2) {
+  // On the CI/dev hosts this suite targets, x86 implies AVX2; the probe
+  // must not silently land on the fallback there.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    EXPECT_EQ(DetectedSimdLevel(), SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(DetectedSimdLevel(), SimdLevel::kNone);
+  }
+}
+#endif
+
+// The thread-count determinism contract: C rows depend only on A's row and
+// B, never on how rows are partitioned. Evaluating a leading subset of A's
+// rows must reproduce the full run bitwise — this crosses the MR=4/MR=1
+// register-blocking seam in the SIMD kernels (rows 4..6 of a 7-row run sit
+// in an MR=4 block; in a 5-row run row 4 is an MR=1 remainder).
+void CheckRowPartitionDeterminism(KernelKind kernel) {
+  Rng rng(17);
+  const size_t m = 23, k = 61, n = 37;
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  Matrix full;
+  GemmNN(a, b, &full, false, kernel);
+  for (const size_t sub : {1ul, 4ul, 5ul, 7ul, 22ul}) {
+    Matrix asub(sub, k);
+    for (size_t i = 0; i < sub; ++i) {
+      std::memcpy(asub.Row(i), a.Row(i), k * sizeof(float));
+    }
+    Matrix csub;
+    GemmNN(asub, b, &csub, false, kernel);
+    for (size_t i = 0; i < sub; ++i) {
+      ASSERT_EQ(0,
+                std::memcmp(full.Row(i), csub.Row(i), n * sizeof(float)))
+          << "kernel " << KernelKindName(kernel) << " sub " << sub
+          << " row " << i;
+    }
+  }
+  // And inline (serial-region) execution equals pooled execution.
+  Matrix serial;
+  {
+    ScopedSerialRegion sr;
+    GemmNN(a, b, &serial, false, kernel);
+  }
+  ExpectBitIdentical(full, serial);
+}
+
+TEST(GemmDeterminism, ScalarRowPartitions) {
+  CheckRowPartitionDeterminism(KernelKind::kScalar);
+}
+
+TEST(GemmDeterminism, SimdRowPartitions) {
+  CheckRowPartitionDeterminism(KernelKind::kSimd);
+}
+
+TEST(GemmDeterminism, PortableRowPartitions) {
+  ScopedSimdLevel force(SimdLevel::kNone);
+  CheckRowPartitionDeterminism(KernelKind::kSimd);
+}
+
+TEST(GemmDeterminism, OneHotHintIsExact) {
+  Rng rng(19);
+  const Matrix a = OneHotishMatrix(21, 93, &rng);
+  const Matrix b = RandomMatrix(93, 40, &rng);
+  for (const KernelKind kernel : {KernelKind::kScalar, KernelKind::kSimd}) {
+    Matrix dense, hinted;
+    GemmNN(a, b, &dense, false, kernel, InputHint::kDense);
+    GemmNN(a, b, &hinted, false, kernel, InputHint::kOneHot);
+    ExpectBitIdentical(dense, hinted);
+  }
+}
+
+TEST(Quantize, RoundTripWithinHalfStep) {
+  Rng rng(23);
+  Matrix w = RandomMatrix(47, 29, &rng);
+  // A masked column and a masked block, as MADE weights have.
+  for (size_t i = 0; i < w.rows(); ++i) w.At(i, 3) = 0.0f;
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 20; j < 29; ++j) w.At(i, j) = 0.0f;
+  }
+  QuantizedWeights q;
+  QuantizeWeightsPerColumn(w, &q);
+  EXPECT_EQ(q.rows, w.rows());
+  EXPECT_EQ(q.cols, w.cols());
+  EXPECT_EQ(q.stride, PaddedStride(w.cols()));
+  EXPECT_EQ(q.scales[3], 0.0f);  // all-zero column
+
+  Matrix dq;
+  DequantizeWeights(q, &dq);
+  for (size_t i = 0; i < w.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      const float scale = q.scales[j];
+      // Symmetric round-to-nearest: at most half a quantization step off
+      // (plus fp slack).
+      EXPECT_NEAR(w.At(i, j), dq.At(i, j), 0.5f * scale + 1e-6f)
+          << "at (" << i << ", " << j << ")";
+      // Exact zeros stay exact (masking invariant).
+      if (w.At(i, j) == 0.0f) EXPECT_EQ(dq.At(i, j), 0.0f);
+    }
+  }
+}
+
+void CheckInt8MatchesDequantReference() {
+  Rng rng(29);
+  for (const Shape& s : kShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, &rng);
+    const Matrix w = RandomMatrix(s.k, s.n, &rng);
+    QuantizedWeights q;
+    QuantizeWeightsPerColumn(w, &q);
+    Matrix dq;
+    DequantizeWeights(q, &dq);
+    Matrix ref;
+    GemmNN(a, dq, &ref, false, KernelKind::kScalar);
+    Matrix got;
+    GemmNNInt8(a, q, &got);
+    // Same math, different association (scale distributed vs applied
+    // last): epsilon-bounded, scaled to the reduction length.
+    const double tol = 1e-4 * std::sqrt(static_cast<double>(s.k)) + 1e-5;
+    ExpectNear(ref, got, tol);
+  }
+}
+
+TEST(GemmInt8, MatchesDequantizedScalarReference) {
+  CheckInt8MatchesDequantReference();
+}
+
+TEST(GemmInt8, PortableFallbackMatchesReference) {
+  ScopedSimdLevel force(SimdLevel::kNone);
+  CheckInt8MatchesDequantReference();
+}
+
+TEST(GemmInt8, RowPartitionsDeterministic) {
+  Rng rng(31);
+  const size_t m = 19, k = 45, n = 26;
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix w = RandomMatrix(k, n, &rng);
+  QuantizedWeights q;
+  QuantizeWeightsPerColumn(w, &q);
+  Matrix full;
+  GemmNNInt8(a, q, &full);
+  for (const size_t sub : {1ul, 5ul, 18ul}) {
+    Matrix asub(sub, k);
+    for (size_t i = 0; i < sub; ++i) {
+      std::memcpy(asub.Row(i), a.Row(i), k * sizeof(float));
+    }
+    Matrix csub;
+    GemmNNInt8(asub, q, &csub);
+    for (size_t i = 0; i < sub; ++i) {
+      ASSERT_EQ(0,
+                std::memcmp(full.Row(i), csub.Row(i), n * sizeof(float)))
+          << "sub " << sub << " row " << i;
+    }
+  }
+}
+
+TEST(MatrixStorage, AlignmentAndPaddedStride) {
+  Matrix m(5, 17);
+  EXPECT_EQ(m.stride(), 32u);  // 17 -> next multiple of 16
+  EXPECT_EQ(m.stride() % kMatrixRowAlignFloats, 0u);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(r)) % kMatrixRowAlignBytes,
+              0u);
+  }
+  EXPECT_EQ(m.size(), m.rows() * m.stride());
+}
+
+TEST(MatrixStorage, PaddingStaysZero) {
+  Matrix m(4, 20);
+  m.Fill(3.5f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    for (size_t j = m.cols(); j < m.stride(); ++j) {
+      EXPECT_EQ(row[j], 0.0f) << "padding at (" << r << ", " << j << ")";
+    }
+  }
+  // GEMM outputs keep padding zero because B's padding is zero.
+  Rng rng(37);
+  const Matrix a = RandomMatrix(6, 9, &rng);
+  const Matrix b = RandomMatrix(9, 20, &rng);
+  for (const KernelKind kernel : {KernelKind::kScalar, KernelKind::kSimd}) {
+    Matrix c;
+    GemmNN(a, b, &c, false, kernel);
+    for (size_t r = 0; r < c.rows(); ++r) {
+      const float* row = c.Row(r);
+      for (size_t j = c.cols(); j < c.stride(); ++j) {
+        EXPECT_EQ(row[j], 0.0f);
+      }
+    }
+  }
+  // Shrinking cols within one stride class must clear the old tail.
+  Matrix s(2, 20);
+  s.Fill(1.0f);
+  s.Resize(2, 17);  // same 32-float stride
+  for (size_t r = 0; r < s.rows(); ++r) {
+    const float* row = s.Row(r);
+    for (size_t j = s.cols(); j < s.stride(); ++j) EXPECT_EQ(row[j], 0.0f);
+  }
+}
+
+TEST(MatrixStorage, ResizePreservesLeadingRowsWhenColsUnchanged) {
+  Matrix m(3, 10);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 10; ++c) {
+      m.At(r, c) = static_cast<float>(r * 100 + c);
+    }
+  }
+  m.Resize(5, 10);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(m.At(r, c), static_cast<float>(r * 100 + c));
+    }
+  }
+  m.Resize(2, 10);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(m.At(r, c), static_cast<float>(r * 100 + c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace naru
