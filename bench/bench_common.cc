@@ -1,10 +1,13 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/string_util.h"
 
@@ -234,6 +237,47 @@ std::string EncodeObject(const JsonObject& obj) {
 
 }  // namespace
 
+namespace {
+
+/// Short commit id: NARU_GIT_COMMIT wins (CI stamps it so containers
+/// without a .git directory still record provenance), then a best-effort
+/// `git rev-parse`, then "unknown". Never fails the bench.
+std::string ResolveCommit() {
+  std::string commit = GetEnvString("NARU_GIT_COMMIT", "");
+  if (!commit.empty()) return commit;
+  std::FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      commit.assign(buf);
+      while (!commit.empty() &&
+             (commit.back() == '\n' || commit.back() == '\r')) {
+        commit.pop_back();
+      }
+    }
+    pclose(pipe);
+  }
+  return commit.empty() ? "unknown" : commit;
+}
+
+}  // namespace
+
+JsonObject BenchRunMetadata() {
+  JsonObject meta;
+  char host[256];
+  if (gethostname(host, sizeof(host)) != 0) {
+    std::strncpy(host, "unknown", sizeof(host));
+  }
+  host[sizeof(host) - 1] = '\0';
+  meta.emplace_back("host", std::string(host));
+  meta.emplace_back("commit", ResolveCommit());
+  meta.emplace_back("threads",
+                    static_cast<double>(GetEnvInt("NARU_THREADS", 0)));
+  meta.emplace_back("kernel", GetEnvString("NARU_KERNEL", "scalar"));
+  meta.emplace_back("smoke", GetEnvInt("NARU_SMOKE", 0) != 0);
+  return meta;
+}
+
 std::string JsonValue::Encode() const {
   switch (kind) {
     case Kind::kString:
@@ -263,9 +307,11 @@ bool BenchJsonWriter::Write() const {
   }
   std::string body = "{\n";
   body += StrFormat("  \"bench\": %s,\n", EscapeJsonString(name_).c_str());
-  body += "  \"schema_version\": 1,\n";
+  body += "  \"schema_version\": 2,\n";
   body += StrFormat("  \"simd\": %s,\n",
                     EscapeJsonString(SimdDispatchString()).c_str());
+  body += StrFormat("  \"meta\": %s,\n",
+                    EncodeObject(BenchRunMetadata()).c_str());
   body += StrFormat("  \"config\": %s,\n", EncodeObject(config_).c_str());
   body += "  \"rows\": [\n";
   for (size_t i = 0; i < rows_.size(); ++i) {

@@ -135,11 +135,20 @@ size_t SampleRows(const Table& table, double fraction);
 // their human-readable tables, all through this shared writer so the schema
 // stays uniform:
 //   {
-//     "bench": "<name>", "schema_version": 1,
+//     "bench": "<name>", "schema_version": 2,
 //     "simd": "<runtime dispatch probe, e.g. 'simd dispatch: avx2'>",
+//     "meta": {
+//       "host":    hostname of the machine that produced the run,
+//       "commit":  NARU_GIT_COMMIT if set, else `git rev-parse --short HEAD`,
+//                  else "unknown",
+//       "threads": NARU_THREADS, "kernel": NARU_KERNEL, "smoke": bool
+//     },
 //     "config": { flat key -> string/number/bool },
 //     "rows":   [ { flat key -> string/number/bool }, ... ]
 //   }
+// tools/check_bench_regression.py compares "rows" metrics against the
+// checked-in trajectory under bench/trajectory/ and treats "meta" as
+// provenance only (never compared). Schema history: v1 had no "meta".
 // ---------------------------------------------------------------------------
 
 /// A flat JSON scalar (enough for the bench schema: no nesting in rows).
@@ -164,6 +173,11 @@ struct JsonValue {
 
 /// One flat JSON object, insertion-ordered.
 using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Run provenance stamped into every BENCH_*.json "meta" block: host,
+/// commit (NARU_GIT_COMMIT > git rev-parse > "unknown"), threads, kernel,
+/// smoke. Exposed so tests can assert the stamp without parsing a file.
+JsonObject BenchRunMetadata();
 
 /// Accumulates config + result rows and writes BENCH_<name>.json.
 class BenchJsonWriter {

@@ -139,6 +139,30 @@ int Run() {
 
   bool all_identical = true;
 
+  BenchJsonWriter json("serving_async");
+  json.SetConfig("rows", rows);
+  json.SetConfig("requests", num_requests);
+  json.SetConfig("unique", num_unique);
+  json.SetConfig("samples", num_samples);
+  json.SetConfig("qps", qps);
+  json.SetConfig("threads", threads);
+  json.SetConfig("max_batch", max_batch);
+  json.SetConfig("smoke", smoke);
+  // One row per mode; "mode" is the row identity the regression checker
+  // joins on, numeric fields are the gated metrics.
+  const auto add_latency_row = [&json](const std::string& mode, double qps_out,
+                                       const QuantileSketch& lat,
+                                       size_t batches, size_t largest) {
+    json.AddRow(JsonObject{{"mode", mode},
+                           {"qps", qps_out},
+                           {"p50_ms", lat.Quantile(0.5)},
+                           {"p90_ms", lat.Quantile(0.9)},
+                           {"p99_ms", lat.Quantile(0.99)},
+                           {"max_ms", lat.Max()},
+                           {"batches", batches},
+                           {"largest_batch", largest}});
+  };
+
   // ---- Blocking baseline: arrival and sampling never overlap. ----
   {
     InferenceEngineConfig ecfg;
@@ -161,9 +185,10 @@ int Run() {
       latency_ms.Add(lat.count());
     }
     const std::chrono::duration<double> total = SteadyClock::now() - start;
-    PrintRow("blocking", -1.0,
-             total.count() > 0 ? num_requests / total.count() : 0.0,
-             latency_ms, num_requests, 1);
+    const double achieved =
+        total.count() > 0 ? num_requests / total.count() : 0.0;
+    PrintRow("blocking", -1.0, achieved, latency_ms, num_requests, 1);
+    add_latency_row("blocking", achieved, latency_ms, num_requests, 1);
   }
 
   // ---- Async grid: one max-wait deadline per row. ----
@@ -203,9 +228,12 @@ int Run() {
       latency_ms.Add(latencies[i]);
     }
     const auto astats = engine.async_stats();
-    PrintRow("async", wait_ms,
-             total.count() > 0 ? num_requests / total.count() : 0.0,
-             latency_ms, astats.batches, astats.largest_batch);
+    const double achieved =
+        total.count() > 0 ? num_requests / total.count() : 0.0;
+    PrintRow("async", wait_ms, achieved, latency_ms, astats.batches,
+             astats.largest_batch);
+    add_latency_row(StrFormat("async-wait%.1f", wait_ms), achieved,
+                    latency_ms, astats.batches, astats.largest_batch);
   }
 
   // ---- Mixed-priority, short-deadline traffic (the shedding path). ----
@@ -276,6 +304,10 @@ int Run() {
     }
     std::printf("shedding path typed and counted: %s\n",
                 shedding_ok ? "yes" : "NO (BUG)");
+    json.AddRow(JsonObject{{"mode", "mixed-priority"},
+                           {"shed_deadline", stats.shed_deadline},
+                           {"priority_flushes", astats.priority_flushes},
+                           {"batches", astats.batches}});
   }
 
   // ---- Saturation: open-loop burst against a bounded pending queue. ----
@@ -328,10 +360,17 @@ int Run() {
     engine.Drain();
 
     size_t shed_low = 0, shed_high = 0, served = 0;
+    bool retry_hints_ok = true;
+    double max_retry_hint_ms = 0.0;
     for (size_t i = 0; i < trace.size(); ++i) {
       const EstimateResult r = futures[i].get();
       if (r.status.code() == StatusCode::kResourceExhausted) {
         ++(is_high[i] ? shed_high : shed_low);
+        // Every admission shed must carry a positive retry-after hint
+        // (pending depth × smoothed service time, floored): a client that
+        // obeys it stops hammering a full queue.
+        if (!(r.retry_after_ms > 0.0)) retry_hints_ok = false;
+        max_retry_hint_ms = std::max(max_retry_hint_ms, r.retry_after_ms);
       } else if (!r.ok() ||
                  r.estimate != reference[trace[i].pool_index]) {
         saturation_ok = false;  // admitted requests must stay exact
@@ -356,9 +395,19 @@ int Run() {
     }
     if (stats.shed_admission != shed_low + shed_high) saturation_ok = false;
     if (astats.submitted != astats.completed) saturation_ok = false;
-    std::printf("admission control bounded and low-shed-first: %s\n",
-                saturation_ok ? "yes" : "NO (BUG)");
+    if (!retry_hints_ok) saturation_ok = false;
+    std::printf(
+        "admission control bounded and low-shed-first: %s "
+        "(retry hints positive: %s, max %.2f ms)\n",
+        saturation_ok ? "yes" : "NO (BUG)", retry_hints_ok ? "yes" : "NO",
+        max_retry_hint_ms);
+    json.AddRow(JsonObject{{"mode", "saturation"},
+                           {"shed_admission", stats.shed_admission},
+                           {"served", served},
+                           {"peak_pending", astats.max_pending_seen}});
   }
+
+  json.Write();
 
   std::printf("\nestimates bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO (BUG)");

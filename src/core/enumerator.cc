@@ -1,15 +1,23 @@
 #include "core/enumerator.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace naru {
 
 double EnumerateSelectivity(ConditionalModel* model, const Query& query,
-                            size_t batch) {
+                            size_t batch,
+                            std::chrono::steady_clock::time_point deadline,
+                            bool* abandoned) {
   NARU_CHECK(query.num_columns() == model->num_table_columns());
   if (query.HasEmptyRegion()) return 0.0;
   const size_t n = model->num_table_columns();
+  // Deadline-free enumerations (the bit-identity reference) never read
+  // the clock; with a deadline, expiry is re-checked before each
+  // LogProbRows batch — between kernels, mirroring the sampler's
+  // between-column-steps checks.
+  const bool has_deadline = deadline != kNoDeadline;
 
   // Odometer over the per-column regions, in code order.
   std::vector<size_t> counts(n);
@@ -21,9 +29,16 @@ double EnumerateSelectivity(ConditionalModel* model, const Query& query,
   double total = 0;
   size_t filled = 0;
   bool done = false;
+  bool expired = false;
 
   auto flush = [&]() {
     if (filled == 0) return;
+    if (has_deadline &&
+        DeadlineExpired(deadline, std::chrono::steady_clock::now())) {
+      expired = true;
+      filled = 0;
+      return;
+    }
     IntMatrix chunk(filled, n);
     for (size_t r = 0; r < filled; ++r) {
       for (size_t c = 0; c < n; ++c) chunk.At(r, c) = tuples.At(r, c);
@@ -33,7 +48,7 @@ double EnumerateSelectivity(ConditionalModel* model, const Query& query,
     filled = 0;
   };
 
-  while (!done) {
+  while (!done && !expired) {
     for (size_t c = 0; c < n; ++c) {
       tuples.At(filled, c) = query.region(c).NthCode(idx[c]);
     }
@@ -48,6 +63,10 @@ double EnumerateSelectivity(ConditionalModel* model, const Query& query,
     }
   }
   flush();
+  if (expired) {
+    if (abandoned != nullptr) *abandoned = true;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return total;
 }
 

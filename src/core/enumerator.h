@@ -4,16 +4,29 @@
 // Table 6 uses its cost model to report naive-enumeration latencies.
 #pragma once
 
+#include <chrono>
+
 #include "core/conditional_model.h"
 #include "query/query.h"
+#include "util/deadline.h"
 
 namespace naru {
 
 /// Sum of P̂(x) over all x in R_1 x ... x R_n, batching tuples through the
 /// model. The caller is responsible for checking the region is small
 /// (e.g. via Query::Log10RegionSize).
-double EnumerateSelectivity(ConditionalModel* model, const Query& query,
-                            size_t batch = 2048);
+///
+/// Soft-deadline contract (mirrors the sampler's mid-walk checks): the
+/// shared inclusive DeadlineExpired predicate is re-checked BETWEEN
+/// LogProbRows batches — never inside a kernel — and before the final
+/// partial batch. Once expired the enumeration is abandoned: *abandoned
+/// is set and the return value is NaN (must not be used). Deadline-free
+/// calls (the default, and the bit-identity reference) never pay a clock
+/// read and are unchanged.
+double EnumerateSelectivity(
+    ConditionalModel* model, const Query& query, size_t batch = 2048,
+    std::chrono::steady_clock::time_point deadline = kNoDeadline,
+    bool* abandoned = nullptr);
 
 /// Estimated wall-clock seconds a naive enumeration of `query` would take
 /// at `points_per_second` model throughput (Table 6's "Enum (est.)").

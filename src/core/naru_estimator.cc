@@ -53,7 +53,20 @@ EstimateResult NaruEstimator::Estimate(const Query& query,
     return result;
   }
   if (ShouldEnumerate(query)) {
-    result.estimate = EnumerateSelectivity(model_, query);
+    // The deadline propagates into exact enumeration too: expiry is
+    // re-checked between LogProbRows batches and the enumeration is
+    // abandoned once it passes — the same typed DEADLINE_EXCEEDED as a
+    // mid-walk abandonment (deadline-free requests pay no clock reads).
+    bool enum_abandoned = false;
+    result.estimate = EnumerateSelectivity(model_, query, /*batch=*/2048,
+                                           options.deadline, &enum_abandoned);
+    if (enum_abandoned) {
+      result.estimate = std::numeric_limits<double>::quiet_NaN();
+      result.status =
+          Status::DeadlineExceeded("deadline expired mid-enumeration");
+      result.provenance = ResultProvenance::kShed;
+      return result;
+    }
     result.provenance = ResultProvenance::kEnumerated;
     return result;
   }

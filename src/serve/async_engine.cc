@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "serve/query_key.h"
+#include "util/deadline.h"
 #include "util/string_util.h"
 
 namespace naru {
@@ -64,6 +65,18 @@ EstimateResult AdmissionShedResult() {
   return result;
 }
 
+/// The typed result for an admission victim whose deadline had already
+/// expired while it waited. DEADLINE_EXCEEDED, not RESOURCE_EXHAUSTED:
+/// the request was doomed regardless of queue pressure, and a retry hint
+/// would be misleading — resubmitting an expired request is pointless.
+EstimateResult ExpiredVictimResult() {
+  EstimateResult result;
+  result.status = Status::DeadlineExceeded(
+      "deadline expired while pending; evicted at admission");
+  result.provenance = ResultProvenance::kShed;
+  return result;
+}
+
 /// Resolves ONE submitter: its callback runs before its future becomes
 /// ready, and a throwing callback fails only this submitter's future —
 /// never another joiner's or the primary's. The single definition for
@@ -108,6 +121,13 @@ std::future<EstimateResult> AsyncEngine::Submit(
   // joiners') shed results are delivered OUTSIDE the lock.
   std::unique_ptr<Pending> victim;
   bool victim_evicted = false;
+  // True when the victim was chosen because its own deadline had already
+  // expired (satellite of the admission policy below): such victims get a
+  // DEADLINE_EXCEEDED result instead of RESOURCE_EXHAUSTED.
+  bool victim_expired = false;
+  // Retry-after hint priced under the lock (pending depth × smoothed
+  // per-request service time); attached to RESOURCE_EXHAUSTED results.
+  double retry_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -135,29 +155,72 @@ std::future<EstimateResult> AsyncEngine::Submit(
     // lowest and is rejected the same way. A higher class is therefore
     // never admission-shed while a lower class has pending work.
     if (cfg_.max_pending > 0 && TotalPendingLocked() >= cfg_.max_pending) {
-      size_t lowest = 0;
-      while (lowest < kNumPriorities && pending_[lowest].empty()) ++lowest;
-      if (lowest < pri) {
-        victim = std::make_unique<Pending>(
-            std::move(pending_[lowest].front()));
-        pending_[lowest].pop_front();
-        if (victim->request.options.has_deadline()) {
-          --pending_deadlines_[lowest];
+      // Retry hint for whichever request ends up RESOURCE_EXHAUSTED:
+      // current depth × smoothed per-request service time, floored so
+      // the hint is always positive even before any batch has run.
+      retry_ms = std::max(
+          0.5, static_cast<double>(TotalPendingLocked()) * ewma_service_ms_);
+      // Deadline-aware victim choice FIRST: a pending request whose
+      // deadline has ALREADY expired is doomed — the dispatcher would
+      // shed it at dispatch anyway — so evicting it admits the incoming
+      // request at zero real cost, regardless of class order (evicting
+      // an expired high-priority request to admit a low one is still
+      // free). The scan only touches classes that hold deadline-carrying
+      // requests, so the common all-deadline-free backlog pays nothing.
+      const auto admit_now = std::chrono::steady_clock::now();
+      size_t vic_class = kNumPriorities;
+      size_t vic_idx = 0;
+      for (size_t c = 0; c < kNumPriorities && vic_class == kNumPriorities;
+           ++c) {
+        if (pending_deadlines_[c] == 0) continue;
+        const auto& q = pending_[c];
+        for (size_t j = 0; j < q.size(); ++j) {
+          const EstimateOptions& opt = q[j].request.options;
+          if (opt.has_deadline() && DeadlineExpired(opt.deadline, admit_now)) {
+            vic_class = c;
+            vic_idx = j;
+            break;
+          }
         }
+      }
+      if (vic_class != kNumPriorities) {
+        auto& q = pending_[vic_class];
+        victim = std::make_unique<Pending>(std::move(q[vic_idx]));
+        q.erase(q.begin() + static_cast<ptrdiff_t>(vic_idx));
+        --pending_deadlines_[vic_class];  // expired victims carry deadlines
         victim_evicted = true;
-        if (!victim->inflight_key.empty()) {
-          inflight_.erase(victim->inflight_key);
-        }
+        victim_expired = true;
+        // Deadline-carrying requests are never sharable, so an expired
+        // victim has no in-flight key and no joiners.
         outstanding_.erase(victim->seq);
-        // Joiners riding the victim are shed with it: every one of them
-        // receives (and is counted as) an admission-shed delivery.
-        stats_.shed_admission += 1 + victim->joiners->promises.size();
-        stats_.completed += 1 + victim->joiners->promises.size();
-      } else {
-        // Reject the incoming request: never enqueued, never sequenced —
-        // resolve it right here (below, outside the lock).
         ++stats_.shed_admission;
+        ++stats_.expired_victims;
         ++stats_.completed;
+      } else {
+        size_t lowest = 0;
+        while (lowest < kNumPriorities && pending_[lowest].empty()) ++lowest;
+        if (lowest < pri) {
+          victim = std::make_unique<Pending>(
+              std::move(pending_[lowest].front()));
+          pending_[lowest].pop_front();
+          if (victim->request.options.has_deadline()) {
+            --pending_deadlines_[lowest];
+          }
+          victim_evicted = true;
+          if (!victim->inflight_key.empty()) {
+            inflight_.erase(victim->inflight_key);
+          }
+          outstanding_.erase(victim->seq);
+          // Joiners riding the victim are shed with it: every one of them
+          // receives (and is counted as) an admission-shed delivery.
+          stats_.shed_admission += 1 + victim->joiners->promises.size();
+          stats_.completed += 1 + victim->joiners->promises.size();
+        } else {
+          // Reject the incoming request: never enqueued, never sequenced —
+          // resolve it right here (below, outside the lock).
+          ++stats_.shed_admission;
+          ++stats_.completed;
+        }
       }
     }
     if (victim == nullptr && cfg_.max_pending > 0 &&
@@ -196,20 +259,34 @@ std::future<EstimateResult> AsyncEngine::Submit(
     // Deliver the shed result on this thread: a callback failure is
     // confined to the shed request's own future, as everywhere else.
     const auto now = std::chrono::steady_clock::now();
-    EstimateResult shed = AdmissionShedResult();
+    const size_t shed_class = PriorityIndex(victim->request.options.priority);
+    std::vector<double> shed_queue_ms;  // folded into class_queue_ below
+    EstimateResult shed =
+        victim_expired ? ExpiredVictimResult() : AdmissionShedResult();
+    shed.retry_after_ms = victim_expired ? 0.0 : retry_ms;
     shed.queue_ms = std::max(
         0.0,
         std::chrono::duration<double, std::milli>(now - victim->arrival)
             .count());
+    shed_queue_ms.push_back(shed.queue_ms);
     DeliverResult(&victim->promise, victim->on_complete, shed);
     for (size_t j = 0; j < victim->joiners->promises.size(); ++j) {
       EstimateResult joined = AdmissionShedResult();
+      joined.retry_after_ms = retry_ms;
       joined.queue_ms = std::max(
           0.0, std::chrono::duration<double, std::milli>(
                    now - victim->joiners->arrivals[j])
                    .count());
+      shed_queue_ms.push_back(joined.queue_ms);
       DeliverResult(&victim->joiners->promises[j],
                     victim->joiners->callbacks[j], joined);
+    }
+    {
+      // Shed deliveries count toward the per-class queue-latency view
+      // too: the caller waited that long for SOME answer. Joiners share
+      // the victim's in-flight key, hence its priority class.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (double q : shed_queue_ms) class_queue_[shed_class].Add(q);
     }
     if (victim_evicted) {
       // The eviction freed a seq below some Drain watermark, and the
@@ -277,9 +354,19 @@ EngineStats AsyncEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot.priority_flushes = stats_.priority_flushes;
   snapshot.shed_admission = stats_.shed_admission;
+  snapshot.shed_expired_victims = stats_.expired_victims;
   // Admission-shed callers received a shed result the blocking engine
   // never saw; fold them into the delivered-results column.
   snapshot.results_shed += stats_.shed_admission;
+  // Overlay the queue-side percentiles: only the async layer sees queue
+  // time (the blocking engine fills the compute side of class_latency).
+  for (size_t c = 0; c < kNumPriorities; ++c) {
+    ClassLatencyStats& cls = snapshot.class_latency[c];
+    cls.queued = class_queue_[c].count();
+    cls.queue_p50_ms = class_queue_[c].Quantile(0.5);
+    cls.queue_p99_ms = class_queue_[c].Quantile(0.99);
+    cls.queue_max_ms = class_queue_[c].max_ms();
+  }
   return snapshot;
 }
 
@@ -442,6 +529,11 @@ void AsyncEngine::DispatcherLoop() {
         r.status = Status::Internal("batch estimation failed");
       }
     }
+    // Smoothed per-request service time for the retry-after hint:
+    // batch wall time amortized over its width.
+    const double batch_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - flush_time)
+                                .count();
     for (size_t i = 0; i < take; ++i) {
       out[i].queue_ms = std::chrono::duration<double, std::milli>(
                             flush_time - batch[i].arrival)
@@ -463,8 +555,14 @@ void AsyncEngine::DispatcherLoop() {
 
     // Per-request delivery: each submitter's callback runs on the
     // dispatcher thread before ITS future becomes ready (DeliverResult).
+    // (class, queue_ms) per delivered result, folded into class_queue_
+    // under the lock below.
+    std::vector<std::pair<size_t, double>> queue_samples;
+    queue_samples.reserve(delivered);
     for (size_t i = 0; i < take; ++i) {
       Pending& p = batch[i];
+      const size_t cls = PriorityIndex(requests[i].options.priority);
+      queue_samples.emplace_back(cls, out[i].queue_ms);
       DeliverResult(&p.promise, p.on_complete, out[i]);
       for (size_t j = 0; j < p.joiners->promises.size(); ++j) {
         // A joiner's queue time runs from its OWN submission to the
@@ -474,6 +572,7 @@ void AsyncEngine::DispatcherLoop() {
             0.0, std::chrono::duration<double, std::milli>(
                      flush_time - p.joiners->arrivals[j])
                      .count());
+        queue_samples.emplace_back(cls, joined.queue_ms);
         DeliverResult(&p.joiners->promises[j], p.joiners->callbacks[j],
                       joined);
       }
@@ -482,6 +581,11 @@ void AsyncEngine::DispatcherLoop() {
     lock.lock();
     stats_.completed += delivered;
     for (const Pending& p : batch) outstanding_.erase(p.seq);
+    const double per_req = batch_ms / static_cast<double>(take);
+    ewma_service_ms_ = ewma_service_ms_ == 0.0
+                           ? per_req
+                           : 0.8 * ewma_service_ms_ + 0.2 * per_req;
+    for (const auto& s : queue_samples) class_queue_[s.first].Add(s.second);
     drain_cv_.notify_all();  // a Drain watermark may have been reached
   }
 }

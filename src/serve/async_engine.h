@@ -63,6 +63,7 @@
 
 #include "serve/inference_engine.h"
 #include "serve/request.h"
+#include "util/latency_histogram.h"
 
 namespace naru {
 
@@ -115,9 +116,17 @@ struct AsyncEngineStats {
   /// ordering).
   size_t deadline_reorders = 0;
   /// Requests shed by admission control (pending queues at max_pending):
-  /// both evicted-oldest-lowest victims and rejected-incoming requests.
-  /// Merged into EngineStats::shed_admission / results_shed by stats().
+  /// evicted victims (expired-deadline or oldest-lowest-class) and
+  /// rejected-incoming requests. Merged into EngineStats::shed_admission /
+  /// results_shed by stats().
   size_t shed_admission = 0;
+  /// Subset of shed_admission: victims whose deadline had ALREADY expired
+  /// while they waited. Admission control prefers these — the dispatcher
+  /// would shed them at dispatch anyway, so evicting them costs nothing —
+  /// over the oldest-lowest-class victim; they resolve with
+  /// DEADLINE_EXCEEDED (not RESOURCE_EXHAUSTED: retrying is pointless).
+  /// Merged into EngineStats::shed_expired_victims by stats().
+  size_t expired_victims = 0;
   /// High-water mark of the pending-queue depth observed after any
   /// Submit. With max_pending > 0 this never exceeds it — the saturation
   /// smoke asserts exactly that.
@@ -262,6 +271,14 @@ class AsyncEngine {
   size_t drain_waiters_ = 0;    // active Drain calls: flush immediately
   bool stop_ = false;
   AsyncEngineStats stats_;
+  /// Per-class queue-latency accumulation over every delivered result
+  /// (admission sheds and joiners included — each waited its own time);
+  /// stats() renders percentiles into EngineStats::class_latency.
+  std::array<LatencyHistogram, kNumPriorities> class_queue_;
+  /// Smoothed per-request service time across dispatched micro-batches
+  /// (batch wall time / batch width, EWMA α=0.2); with the pending depth
+  /// it prices the retry-after hint on admission-shed results.
+  double ewma_service_ms_ = 0.0;
   /// Drain bookkeeping: sequence numbers of primaries submitted but not
   /// yet delivered. Priority flushing dispatches primaries OUT of
   /// submission order, so Drain(watermark) waits until no outstanding

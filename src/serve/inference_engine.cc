@@ -90,6 +90,13 @@ EngineStats InferenceEngine::stats() const {
     snapshot.marginal_bytes += cache.leading_mass.bytes();
   }
   snapshot.workspaces_created = workspaces_.total_created();
+  for (size_t c = 0; c < class_compute_.size(); ++c) {
+    ClassLatencyStats& cls = snapshot.class_latency[c];
+    cls.results = class_compute_[c].count();
+    cls.compute_p50_ms = class_compute_[c].Quantile(0.5);
+    cls.compute_p99_ms = class_compute_[c].Quantile(0.99);
+    cls.compute_max_ms = class_compute_[c].max_ms();
+  }
   return snapshot;
 }
 
@@ -125,6 +132,26 @@ std::string FormatEngineStats(const EngineStats& stats) {
       stats.prefix_share_ratio(), stats.plan_shared_cols,
       stats.plan_walk_cols);
   out += StrFormat("# workspaces created: %zu\n", stats.workspaces_created);
+  if (stats.shed_expired_victims > 0) {
+    out += StrFormat(
+        "# admission victims already expired when evicted: %zu\n",
+        stats.shed_expired_victims);
+  }
+  static const char* kClassNames[3] = {"low", "normal", "high"};
+  for (size_t c = 0; c < stats.class_latency.size(); ++c) {
+    const ClassLatencyStats& cls = stats.class_latency[c];
+    if (cls.results == 0 && cls.queued == 0) continue;
+    out += StrFormat(
+        "# class %-6s %zu results, compute p50/p99/max %.3f/%.3f/%.3f ms",
+        kClassNames[c], cls.results, cls.compute_p50_ms, cls.compute_p99_ms,
+        cls.compute_max_ms);
+    if (cls.queued > 0) {
+      out += StrFormat(", queue (%zu measured) p50/p99/max %.3f/%.3f/%.3f ms",
+                       cls.queued, cls.queue_p50_ms, cls.queue_p99_ms,
+                       cls.queue_max_ms);
+    }
+    out += "\n";
+  }
   return out;
 }
 
@@ -132,6 +159,7 @@ void InferenceEngine::ClearCaches() {
   std::lock_guard<std::mutex> lock(mu_);
   caches_.clear();
   stats_ = EngineStats{};
+  for (LatencyHistogram& h : class_compute_) h.Clear();
 }
 
 void InferenceEngine::ClearCachesFor(const ConditionalModel* model) {
@@ -185,6 +213,14 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   const auto tally = [&] {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.shed_deadline += shed_count;
+    for (size_t i = 0; i < n; ++i) {
+      // Per-class compute attribution (duplicates inherit their
+      // representative's compute_ms — they received that computation).
+      const auto cls = std::min<size_t>(
+          static_cast<size_t>(requests[i].options.priority),
+          class_compute_.size() - 1);
+      class_compute_[cls].Add((*out)[i].compute_ms);
+    }
     for (const EstimateResult& r : *out) {
       switch (r.provenance) {
         case ResultProvenance::kCacheHit: ++stats_.results_cache_hit; break;
@@ -305,7 +341,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
         const auto resolve_start = std::chrono::steady_clock::now();
         if (ResolveBeforeSampling(est, requests[i].query, keys[i],
                                   requests[i].options.cache_policy,
-                                  &(*out)[i])) {
+                                  rep_deadline[i], &(*out)[i])) {
           (*out)[i].compute_ms = ElapsedMs(resolve_start);
         } else {
           SampledRep rep;
@@ -420,11 +456,10 @@ void InferenceEngine::EstimateMixedBatch(
   }
 }
 
-bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
-                                            const Query& query,
-                                            const std::string& memo_key,
-                                            CachePolicy cache_policy,
-                                            EstimateResult* result) {
+bool InferenceEngine::ResolveBeforeSampling(
+    NaruEstimator* est, const Query& query, const std::string& memo_key,
+    CachePolicy cache_policy, std::chrono::steady_clock::time_point deadline,
+    EstimateResult* result) {
   ConditionalModel* model = est->model();
   result->status = Status::OK();
   result->std_error = 0.0;
@@ -456,10 +491,25 @@ bool InferenceEngine::ResolveBeforeSampling(NaruEstimator* est,
 
   if (est->ShouldEnumerate(query)) {
     // Serialized per model (see EnumerationMutexFor); sampling queries
-    // keep flowing meanwhile.
+    // keep flowing meanwhile. The computation's deadline (max over
+    // coalesced duplicates) propagates in: expiry is re-checked between
+    // LogProbRows batches and the enumeration abandoned once it passes —
+    // the exact-path analogue of a mid-walk abandonment.
+    bool enum_abandoned = false;
     {
       std::lock_guard<std::mutex> lock(EnumerationMutexFor(model));
-      result->estimate = EnumerateSelectivity(model, query);
+      result->estimate = EnumerateSelectivity(model, query, /*batch=*/2048,
+                                              deadline, &enum_abandoned);
+    }
+    if (enum_abandoned) {
+      result->estimate = std::numeric_limits<double>::quiet_NaN();
+      result->std_error = 0.0;
+      result->status =
+          Status::DeadlineExceeded("deadline expired mid-enumeration");
+      result->provenance = ResultProvenance::kShed;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed_midwalk;  // never memoized: there is no value to store
+      return true;
     }
     result->provenance = ResultProvenance::kEnumerated;
     std::lock_guard<std::mutex> lock(mu_);
@@ -524,7 +574,8 @@ void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
   // Per-request attribution: this call's own wall time is the request's
   // compute_ms — a memo hit reports its lookup, a walk its sampling.
   const auto start = std::chrono::steady_clock::now();
-  if (ResolveBeforeSampling(est, query, memo_key, cache_policy, result)) {
+  if (ResolveBeforeSampling(est, query, memo_key, cache_policy, deadline,
+                            result)) {
     result->compute_ms = ElapsedMs(start);
     return;
   }

@@ -25,6 +25,7 @@
 // of this engine, see serve/async_engine.h.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,7 @@
 #include "core/sampler.h"
 #include "serve/lru_cache.h"
 #include "serve/request.h"
+#include "util/latency_histogram.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -68,6 +70,23 @@ struct InferenceEngineConfig {
   /// bit-identical either way, so this is purely an execution strategy
   /// switch (kept as a flag for A/B benchmarking).
   bool enable_plan = true;
+};
+
+/// Per-priority-class latency percentiles (snapshot computed by stats()
+/// from fixed-memory log-bucketed histograms — see util/latency_histogram.h
+/// for the ~19% resolution caveat; counts and maxima are exact). Queue
+/// fields are dispatcher-side and filled only through AsyncEngine::stats()
+/// (the blocking engine has no queue); compute fields cover every result
+/// the engine delivered for the class, duplicates included.
+struct ClassLatencyStats {
+  size_t results = 0;          ///< results delivered in this class
+  double compute_p50_ms = 0.0;
+  double compute_p99_ms = 0.0;
+  double compute_max_ms = 0.0;
+  size_t queued = 0;           ///< async deliveries with a measured queue time
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  double queue_max_ms = 0.0;
 };
 
 /// Serving counters and cache introspection. Counters are cumulative
@@ -119,6 +138,17 @@ struct EngineStats {
   /// because a higher priority class jumped a queue. Filled only through
   /// AsyncEngine::stats() — the blocking engine has no queue to reorder.
   size_t priority_flushes = 0;
+  /// Subset of shed_admission whose victim's deadline had ALREADY expired
+  /// while it waited in the pending queues: admission control prefers
+  /// evicting such doomed requests (the dispatcher would shed them anyway)
+  /// over the oldest-lowest-class one. Filled only through
+  /// AsyncEngine::stats().
+  size_t shed_expired_victims = 0;
+
+  /// Per-priority-class latency percentiles (index = RequestPriority
+  /// value: 0 low, 1 normal, 2 high). Compute fields are engine-side;
+  /// queue fields are merged in by AsyncEngine::stats().
+  std::array<ClassLatencyStats, 3> class_latency;
 
   /// Results DELIVERED per provenance (serve/request.h). Unlike the
   /// compute counters above (which count distinct computations),
@@ -244,10 +274,16 @@ class InferenceEngine {
   /// leading-only marginal. Returns true with *result filled when the
   /// query resolved; false when it needs a progressive-sampling walk.
   /// Shared by EstimateOne and the planned batch path so the routing
-  /// policy cannot diverge between them.
+  /// policy cannot diverge between them. `deadline` is the computation's
+  /// abandonment instant (max over coalesced duplicates): exact
+  /// enumeration re-checks it between LogProbRows batches and resolves to
+  /// a typed DEADLINE_EXCEEDED shed (counted in shed_midwalk, never
+  /// memoized) once it passes.
   bool ResolveBeforeSampling(NaruEstimator* est, const Query& query,
                              const std::string& memo_key,
-                             CachePolicy cache_policy, EstimateResult* result);
+                             CachePolicy cache_policy,
+                             std::chrono::steady_clock::time_point deadline,
+                             EstimateResult* result);
 
   /// One unresolved sampled representative headed for the planned batch
   /// path: everything EstimatePlanned needs that EstimateBatch's keyed
@@ -289,6 +325,9 @@ class InferenceEngine {
   mutable std::mutex mu_;  // caches + stats
   std::unordered_map<const ConditionalModel*, ModelCache> caches_;
   EngineStats stats_;
+  /// Per-priority-class compute_ms accumulation (index = RequestPriority
+  /// value); stats() renders percentiles into EngineStats::class_latency.
+  std::array<LatencyHistogram, 3> class_compute_;
 };
 
 }  // namespace naru

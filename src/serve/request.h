@@ -86,11 +86,14 @@ struct EstimateOptions {
   /// passed when the engine dispatches it is SHED: it costs no model
   /// evaluation and resolves to a DEADLINE_EXCEEDED status (counted in
   /// EngineStats::shed_deadline). The deadline also propagates INTO the
-  /// sampled walk: between column steps (never inside a kernel) the walk
-  /// re-checks it and is abandoned — typed DEADLINE_EXCEEDED, counted in
-  /// EngineStats::shed_midwalk — once every request sharing the
-  /// computation has expired. Exact paths (enumeration, shortcuts) run to
-  /// completion once started. kNoDeadline (the default) never sheds.
+  /// compute: the sampled walk re-checks it between column steps (never
+  /// inside a kernel) and is abandoned — typed DEADLINE_EXCEEDED, counted
+  /// in EngineStats::shed_midwalk — once every request sharing the
+  /// computation has expired; exact enumeration re-checks it between
+  /// LogProbRows batches the same way. The remaining exact shortcuts
+  /// (empty / all-wildcard / leading-only) are single model-free steps and
+  /// run to completion once started. kNoDeadline (the default) never
+  /// sheds.
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
 
   /// Flush class in the async dispatcher; see RequestPriority.
@@ -174,6 +177,13 @@ struct EstimateResult {
   /// Milliseconds spent queued before dispatch (async surface; 0 on the
   /// blocking path). Queue + compute ≈ the latency the caller observed.
   double queue_ms = 0.0;
+  /// Retry-after hint, milliseconds: on a RESOURCE_EXHAUSTED result the
+  /// server's estimate of how long until the pending queues drain enough
+  /// to admit a resubmission (pending depth × the dispatcher's smoothed
+  /// per-request service time, floored so it is always positive on an
+  /// admission shed). 0 = no hint (every other status, and shed paths
+  /// where retrying is pointless — e.g. an expired-deadline victim).
+  double retry_after_ms = 0.0;
   /// Milliseconds of compute attributed to THIS request, per phase: a
   /// request resolved in the keyed/exact pass (cache hit, shortcut,
   /// enumeration) is charged only its own resolution, and a sampled

@@ -1,0 +1,78 @@
+// Fixed-memory latency accumulation for long-running serving stats.
+//
+// QuantileSketch (util/quantile.h) stores every sample — exact, and right
+// for bench workloads of a few thousand queries, but unbounded for a
+// serving engine that lives for millions of requests. This histogram is
+// the engine-side alternative: log-scale buckets at ~19% resolution
+// (quarter-powers of two), O(1) memory and Add, exact count and max,
+// approximate quantiles by bucket interpolation. Deterministic: the same
+// sample stream always produces the same answers.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace naru {
+
+class LatencyHistogram {
+ public:
+  /// Records one latency in milliseconds (negatives clamp to 0).
+  void Add(double ms) {
+    ms = std::max(ms, 0.0);
+    ++buckets_[BucketIndex(ms)];
+    ++count_;
+    max_ms_ = std::max(max_ms_, ms);
+  }
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Exact maximum recorded value (0 when empty).
+  double max_ms() const { return max_ms_; }
+
+  /// Approximate q-quantile, q in [0, 1]: the geometric midpoint of the
+  /// bucket holding the q-th sample (error bounded by the ~19% bucket
+  /// width). Quantile(1.0) returns the exact maximum; 0 when empty.
+  double Quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q >= 1.0) return max_ms_;
+    const auto rank =
+        static_cast<size_t>(q * static_cast<double>(count_ - 1));
+    size_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) return std::min(BucketMid(b), max_ms_);
+    }
+    return max_ms_;
+  }
+
+  void Clear() { *this = LatencyHistogram(); }
+
+ private:
+  // Bucket 0 holds everything below kMinMs; above it, 4 buckets per
+  // doubling. 96 buckets cover kMinMs * 2^24 ≈ 4.6 hours.
+  static constexpr size_t kBuckets = 96;
+  static constexpr double kMinMs = 1e-3;
+  static constexpr double kBucketsPerDoubling = 4.0;
+
+  static size_t BucketIndex(double ms) {
+    if (ms <= kMinMs) return 0;
+    const double pos = std::log2(ms / kMinMs) * kBucketsPerDoubling;
+    return std::min(static_cast<size_t>(pos) + 1, kBuckets - 1);
+  }
+  static double BucketMid(size_t b) {
+    if (b == 0) return kMinMs / 2;
+    // Geometric midpoint of [lo, lo * 2^(1/4)).
+    const double lo =
+        kMinMs *
+        std::exp2((static_cast<double>(b) - 1.0) / kBucketsPerDoubling);
+    return lo * std::exp2(0.5 / kBucketsPerDoubling);
+  }
+
+  std::array<size_t, kBuckets> buckets_{};
+  size_t count_ = 0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace naru

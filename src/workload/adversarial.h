@@ -1,0 +1,197 @@
+// Adversarial serving workloads: the scenario matrix behind bench_adversarial.
+//
+// The paper's §6.1.3 generator (query/workload.h) draws one query shape from
+// one distribution — good for accuracy tables, useless for proving the
+// serving stack's overload behavior. "An Empirical Analysis of Deep Learning
+// for Cardinality Estimation" (Ortiz et al.) shows these estimators fail in
+// workload-dependent ways a single shaped trace never exposes, and Hyrise's
+// calibration_query_generator sweeps the query space for the same reason.
+// This header is the serving-side analogue: a deterministic, seeded
+// generator that sweeps
+//
+//   - selectivity bands       (zero / narrow / medium / broad, with quotas
+//                              enforced by rejection sampling against
+//                              executed ground truth),
+//   - predicate shape         (point / range / IN-list / leading-wildcard
+//                              runs of varying length),
+//   - column & literal skew   (uniform, Zipf-hot rows, cold out-of-
+//                              distribution literals),
+//   - priority mix            (all-normal, mixed, inverted),
+//   - cache-adversarial churn (Zipf-hot repeats vs a cyclic sweep that
+//                              defeats LRU),
+//   - arrival burstiness      (instant, Poisson, bursty on/off),
+//   - deadline pressure       (pre-expired and tight-but-live fractions)
+//
+// and emits a reproducible trace of serving requests: same (table, scenario,
+// seed) ⇒ byte-identical TraceToString. Traces carry RELATIVE deadlines
+// (milliseconds after arrival) because EstimateOptions::deadline is an
+// absolute steady_clock instant; MaterializeRequest pins them to a trace
+// start time at submit time.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "serve/request.h"
+
+namespace naru {
+
+/// Dominant predicate shape of a scenario's query pool.
+enum class PredicateShape : uint8_t {
+  kPoint = 0,          ///< equality on every filtered column
+  kRange,              ///< <= / >= / BETWEEN around an anchor tuple
+  kInList,             ///< IN-lists whose members follow the data
+  kWildcardPrefix,     ///< point filters behind a leading wildcard run
+};
+
+/// How anchor tuples / literals are drawn.
+enum class SkewKind : uint8_t {
+  kUniform = 0,  ///< anchor tuples uniform over rows
+  kZipfHot,      ///< Zipf over rows: hot tuples dominate (hot literals)
+  kZipfCold,     ///< literals uniform over the DOMAIN (OOD-ish, cold/rare)
+};
+
+/// Open-loop arrival process of a trace.
+enum class ArrivalKind : uint8_t {
+  kInstant = 0,  ///< every request at t = 0 (maximum instantaneous pressure)
+  kPoisson,      ///< exponential inter-arrivals at `qps`
+  kBursty,       ///< Poisson at `qps` inside on-windows, silent off-windows
+};
+
+/// Priority-class mix of a trace.
+enum class PriorityMixKind : uint8_t {
+  kAllNormal = 0,
+  kMixed,     ///< ~50% low / 35% normal / 15% high (admission-shed shaped)
+  kInverted,  ///< ~50% high / 35% normal / 15% low (flush-order shaped)
+};
+
+/// Pool-index access pattern of a trace (what the result caches see).
+enum class ChurnKind : uint8_t {
+  kRepeatHot = 0,  ///< Zipf-hot indices: few keys repeat, caches help
+  kCyclicSweep,    ///< round-robin over the whole pool: the LRU-adversarial
+                   ///< pattern (every key evicted before its next use once
+                   ///< the pool outsizes the cache)
+};
+
+/// Declared selectivity bands. Band edges are fractions of the table:
+/// zero (sel == 0), narrow (0, 0.005], medium (0.005, 0.1], broad (0.1, 1].
+inline constexpr size_t kNumSelectivityBands = 4;
+
+/// Short lower-case band name ("zero", "narrow", "medium", "broad").
+const char* SelectivityBandName(size_t band);
+
+/// Band index of a true selectivity (see edges above).
+size_t ClassifySelectivityBand(double selectivity);
+
+const char* PredicateShapeToString(PredicateShape shape);
+const char* SkewKindToString(SkewKind skew);
+const char* ArrivalKindToString(ArrivalKind arrival);
+const char* PriorityMixToString(PriorityMixKind mix);
+const char* ChurnKindToString(ChurnKind churn);
+
+/// One cell of the scenario matrix: everything GenerateAdversarialTrace
+/// needs besides the table, sizes, and seed.
+struct AdversarialScenario {
+  std::string name;
+  PredicateShape shape = PredicateShape::kPoint;
+  SkewKind skew = SkewKind::kUniform;
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  PriorityMixKind priority_mix = PriorityMixKind::kAllNormal;
+  ChurnKind churn = ChurnKind::kRepeatHot;
+
+  /// Arrival rate (Poisson rate, or the on-window rate when bursty).
+  double qps = 4000.0;
+  /// Bursty on/off window lengths (ignored unless arrival == kBursty).
+  double burst_on_ms = 4.0;
+  double burst_off_ms = 16.0;
+
+  /// Fraction of requests whose deadline is already expired at arrival
+  /// (relative deadline 0 — the inclusive predicate sheds them at
+  /// dispatch). Drives the deadline-shed policy.
+  double expired_deadline_fraction = 0.0;
+  /// Fraction carrying a tight-but-live deadline of `tight_deadline_ms`.
+  /// With a large per-request sample budget these are the mid-walk
+  /// abandonment drivers.
+  double tight_deadline_fraction = 0.0;
+  double tight_deadline_ms = 50.0;
+
+  /// Per-request sample budget override (0 = inherit the estimator's).
+  size_t request_samples = 0;
+
+  /// Fraction of requests with CachePolicy::kBypass (cache-adversarial
+  /// even when the key stream repeats).
+  double bypass_cache_fraction = 0.0;
+
+  /// Filter-count range for candidate queries (max 0 = all columns).
+  size_t min_filters = 1;
+  size_t max_filters = 0;
+
+  /// Minimum pool entries per selectivity band, enforced by rejection
+  /// sampling plus deterministic fallback synthesis. A zero entry
+  /// declares the band unused (nothing asserted for it).
+  std::array<size_t, kNumSelectivityBands> band_quota = {1, 1, 1, 1};
+};
+
+/// One request of an adversarial trace. Deadlines are RELATIVE to the
+/// request's arrival instant, in milliseconds; < 0 means no deadline and 0
+/// means expired-on-arrival (see AdversarialScenario fractions).
+struct AdversarialRequest {
+  double arrival_ms = 0.0;
+  size_t pool_index = 0;
+  RequestPriority priority = RequestPriority::kNormal;
+  double deadline_ms = -1.0;
+  CachePolicy cache_policy = CachePolicy::kReadWrite;
+  size_t num_samples = 0;  ///< 0 = inherit
+};
+
+/// A reproducible adversarial trace: the query pool with executed ground
+/// truth, plus the timed request stream over it.
+struct AdversarialTrace {
+  std::string scenario;
+  std::vector<Query> pool;
+  /// Executed (full-scan) true selectivity per pool entry.
+  std::vector<double> pool_true_sel;
+  /// Selectivity band per pool entry (ClassifySelectivityBand of the above).
+  std::vector<size_t> pool_band;
+  /// Leading wildcard-run length per pool entry (table order).
+  std::vector<size_t> pool_wildcard_run;
+  /// Achieved pool entries per band (quota satisfaction is visible here).
+  std::array<size_t, kNumSelectivityBands> band_counts = {0, 0, 0, 0};
+  std::vector<AdversarialRequest> requests;
+};
+
+/// Generates the pool (rejection-sampled against executed ground truth to
+/// meet `scenario.band_quota`, deterministic fallback synthesis for bands
+/// the shape cannot reach) and the timed request stream. Deterministic in
+/// (table contents, scenario, pool_size, num_requests, seed).
+AdversarialTrace GenerateAdversarialTrace(const Table& table,
+                                          const AdversarialScenario& scenario,
+                                          size_t pool_size,
+                                          size_t num_requests, uint64_t seed);
+
+/// The default scenario matrix bench_adversarial sweeps: every enum
+/// dimension appears in at least one cell, and the overload cells
+/// (deadline_storm, burst_admission, midwalk_deadlines) are shaped so the
+/// corresponding policy counters must fire under the bench's engine
+/// geometry.
+std::vector<AdversarialScenario> AdversarialScenarioMatrix();
+
+/// Canonical byte serialization of a trace (pool via QueryKey bytes, all
+/// numeric fields at full precision). Two traces from the same inputs are
+/// byte-identical — THE seed-determinism contract, asserted in
+/// tests/test_workload_harness.
+std::string TraceToString(const AdversarialTrace& trace);
+
+/// Pins request `i` of `trace` to an absolute trace start instant: fills
+/// query, priority, cache policy, sample budget, and converts the relative
+/// deadline to `start + arrival_ms + deadline_ms`.
+EstimateRequest MaterializeRequest(
+    const AdversarialTrace& trace, size_t i,
+    std::chrono::steady_clock::time_point start);
+
+}  // namespace naru

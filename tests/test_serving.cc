@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/ensemble.h"
+#include "core/enumerator.h"
 #include "core/made.h"
 #include "core/naru_estimator.h"
 #include "core/oracle_model.h"
@@ -967,6 +968,122 @@ TEST(InferenceEngine, CoalescedComputationSurvivesWhileAnySharerIsLive) {
   EXPECT_EQ(out[0].estimate, out[1].estimate);
   EXPECT_EQ(out[0].estimate, est.EstimateSelectivity(queries[0]));
   EXPECT_EQ(engine.stats().shed_midwalk, 0u);
+}
+
+// Satellite: the soft deadline propagates into EXACT ENUMERATION too.
+// Expiry is re-checked between LogProbRows batches (never inside a
+// kernel); an abandoned enumeration returns a typed DEADLINE_EXCEEDED
+// shed counted as shed_midwalk, and every other request of the batch —
+// including a small deadline-free enumeration — stays bit-identical to a
+// run that never contained the doomed request.
+TEST(InferenceEngine, MidWalkDeadlineAbandonsExactEnumeration) {
+  // Big domains so a near-half-domain region still holds ~189k points:
+  // ~92 LogProbRows batches of 2048, far longer than the deadline.
+  Table table = MakeRandomTable(3000, {90, 70, 60}, 157, /*skew=*/1.0);
+  MadeModel::Config mcfg;
+  mcfg.hidden_sizes = {24, 24};
+  mcfg.encoder.onehot_threshold = 16;
+  mcfg.seed = 157;
+  auto model =
+      std::make_unique<MadeModel>(std::vector<size_t>{90, 70, 60}, mcfg);
+  TrainerConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 256;
+  Trainer(model.get(), tcfg).Train(table);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 200000;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<ValueSet> all;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    all.push_back(ValueSet::All(table.column(c).DomainSize()));
+  }
+  // The doomed enumeration: 45*70*60 = 189k points (under the threshold),
+  // ~92 LogProbRows batches — far longer than the deadline below.
+  auto huge_region = all;
+  huge_region[0] = ValueSet::Interval(90, 0, 44);
+  const Query huge(huge_region);
+  ASSERT_TRUE(est.ShouldEnumerate(huge));
+  auto small_region = all;
+  small_region[0] = ValueSet::Interval(90, 3, 4);
+  const Query small_enum(small_region);  // 2*70*60 points: finishes fast
+  ASSERT_TRUE(est.ShouldEnumerate(small_enum));
+  // Survivor regions sit ABOVE the threshold: sampled walks.
+  auto f1 = all;
+  f1[2] = ValueSet::Interval(60, 10, 45);  // 90*70*36 = 227k points
+  auto f2 = all;
+  f2[1] = ValueSet::Interval(70, 5, 60);  // 90*56*60 = 302k points
+  ASSERT_FALSE(est.ShouldEnumerate(Query(f1)));
+  ASSERT_FALSE(est.ShouldEnumerate(Query(f2)));
+
+  InferenceEngineConfig ecfg;
+  ecfg.num_threads = 2;
+  ecfg.enable_cache = false;  // identical recomputation across runs
+  InferenceEngine engine(ecfg);
+
+  std::vector<EstimateRequest> survivors;
+  survivors.emplace_back(Query(f1));
+  survivors.emplace_back(Query(f2));
+  survivors.emplace_back(small_enum);
+  std::vector<EstimateRequest> batch = survivors;
+  batch.emplace_back(huge);
+  std::vector<EstimateResult> out;
+  // Live at dispatch (generous headroom for scheduling noise), expired
+  // long before the ~92-batch enumeration can finish.
+  batch.back().options.deadline = EstimateOptions::DeadlineInMs(50.0);
+  engine.EstimateBatch(&est, batch, &out);
+
+  const EstimateResult& shed = out.back();
+  EXPECT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(std::isnan(shed.estimate));
+  EXPECT_EQ(shed.provenance, ResultProvenance::kShed);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed_deadline, 0u) << "must not have shed at dispatch";
+  EXPECT_EQ(stats.shed_midwalk, 1u);
+  EXPECT_EQ(stats.enumerated, 1u) << "the small enumeration must finish";
+  EXPECT_EQ(stats.results_shed, 1u);
+
+  // Survivors are bit-identical to a batch that never held the doomed
+  // enumeration, and to the sequential path.
+  InferenceEngine control(ecfg);
+  std::vector<EstimateResult> control_out;
+  control.EstimateBatch(&est, survivors, &control_out);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    ASSERT_TRUE(out[i].ok()) << "query " << i;
+    EXPECT_EQ(out[i].estimate, control_out[i].estimate) << "query " << i;
+    EXPECT_EQ(out[i].estimate,
+              est.EstimateSelectivity(survivors[i].query))
+        << "query " << i;
+  }
+  EXPECT_EQ(out[2].provenance, ResultProvenance::kEnumerated);
+
+  // The sequential typed path abandons the same way...
+  EstimateOptions opt;
+  opt.deadline = EstimateOptions::DeadlineInMs(50.0);
+  const EstimateResult direct = est.Estimate(huge, opt);
+  EXPECT_EQ(direct.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(direct.provenance, ResultProvenance::kShed);
+  EXPECT_TRUE(std::isnan(direct.estimate));
+
+  // ...and the enumerator primitive honors the contract directly: an
+  // expired deadline abandons (after at most one batch), no deadline
+  // completes with a sane selectivity.
+  bool abandoned = false;
+  const double v = EnumerateSelectivity(
+      est.model(), huge, /*batch=*/2048,
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+      &abandoned);
+  EXPECT_TRUE(abandoned);
+  EXPECT_TRUE(std::isnan(v));
+  abandoned = false;
+  const double small_v = EnumerateSelectivity(est.model(), small_enum,
+                                              /*batch=*/2048, kNoDeadline,
+                                              &abandoned);
+  EXPECT_FALSE(abandoned);
+  EXPECT_TRUE(std::isfinite(small_v));
+  EXPECT_GE(small_v, 0.0);
 }
 
 TEST(MultiOrderEnsemble, BatchMatchesSequential) {

@@ -750,6 +750,121 @@ TEST(AsyncEngine, AdmissionControlShedsLowestClassFirstAndBoundsQueue) {
   EXPECT_EQ(stats.shed_deadline, 0u);
 }
 
+// Satellite: deadline-aware admission. A FULL queue first looks for a
+// pending request whose deadline has ALREADY EXPIRED — dead weight that
+// dispatch would shed anyway — and evicts that victim (typed
+// DEADLINE_EXCEEDED, retry_after_ms 0: retrying an expired request is
+// pointless) regardless of class order, before falling back to the
+// lowest-class-first policy. Rejected overflow still gets
+// RESOURCE_EXHAUSTED, now with a positive retry-after hint.
+TEST(AsyncEngine, AdmissionEvictsExpiredPendingVictimFirst) {
+  Table table = SmallTable(47);
+  auto model = SmallTrainedModel(table, 47);
+  const auto queries = AsyncQueries(table, 113);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 100;
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  AsyncEngineConfig acfg;
+  acfg.max_batch_size = 1;
+  acfg.max_wait_ms = 0.0;
+  acfg.max_pending = 3;
+  acfg.engine.num_threads = 2;
+  acfg.engine.enable_cache = false;
+  AsyncEngine engine(acfg);
+
+  // Park the dispatcher so the queue state below is fully deterministic.
+  DispatcherHostage hostage;
+  auto f_blocker =
+      engine.Submit(&est, EstimateRequest(queries[0]), hostage.Callback());
+  while (!hostage.entered.load()) std::this_thread::yield();
+
+  const auto at = [&](size_t i, RequestPriority pri) {
+    EstimateRequest req(queries[i]);
+    req.options.priority = pri;
+    return req;
+  };
+
+  // Fill the queue: lowA (live), lowB (deadline expired long ago — Submit
+  // does not pre-shed, so it sits pending), lowC (live).
+  auto f_lowA = engine.Submit(&est, at(1, RequestPriority::kLow));
+  auto expired = at(2, RequestPriority::kLow);
+  expired.options.deadline = EstimateOptions::DeadlineInMs(-60000.0);
+  auto f_lowB = engine.Submit(&est, std::move(expired));
+  auto f_lowC = engine.Submit(&est, at(3, RequestPriority::kLow));
+  ASSERT_NE(f_lowB.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "an expired deadline must not be shed at submit time";
+
+  // A normal against the full queue evicts the EXPIRED low — not lowA,
+  // the oldest request of the lowest class.
+  auto f_norm = engine.Submit(&est, at(4, RequestPriority::kNormal));
+  ASSERT_EQ(f_lowB.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_NE(f_lowA.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a live request must not pay while an expired one pends";
+  const EstimateResult lowB = f_lowB.get();
+  EXPECT_EQ(lowB.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(std::isnan(lowB.estimate));
+  EXPECT_EQ(lowB.provenance, ResultProvenance::kShed);
+  EXPECT_EQ(lowB.retry_after_ms, 0.0);
+  EXPECT_GE(lowB.queue_ms, 0.0);
+
+  // The queue is full again with nothing expired: an incoming low is
+  // itself lowest — rejected, and told how long to back off.
+  auto f_lowD = engine.Submit(&est, at(5, RequestPriority::kLow));
+  ASSERT_EQ(f_lowD.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const EstimateResult lowD = f_lowD.get();
+  EXPECT_EQ(lowD.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(lowD.retry_after_ms, 0.0)
+      << "a rejected request must carry a retry-after hint";
+
+  // Expiry beats class order in BOTH directions. Stage an expired HIGH:
+  // nothing pending is expired, so it evicts lowA by the fallback
+  // lowest-class policy...
+  auto dead_high = at(6, RequestPriority::kHigh);
+  dead_high.options.deadline = EstimateOptions::DeadlineInMs(-1000.0);
+  auto f_high = engine.Submit(&est, std::move(dead_high));
+  ASSERT_EQ(f_lowA.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f_lowA.get().status.code(), StatusCode::kResourceExhausted);
+  // ...and then an incoming LOW evicts the expired high.
+  auto f_lowE = engine.Submit(&est, at(7, RequestPriority::kLow));
+  ASSERT_EQ(f_high.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const EstimateResult high = f_high.get();
+  EXPECT_EQ(high.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(high.provenance, ResultProvenance::kShed);
+  EXPECT_EQ(high.retry_after_ms, 0.0);
+
+  {
+    const auto astats = engine.async_stats();
+    EXPECT_EQ(astats.shed_admission, 4u);
+    EXPECT_EQ(astats.expired_victims, 2u);
+    EXPECT_LE(astats.max_pending_seen, acfg.max_pending);
+  }
+
+  hostage.Release();
+  engine.Drain();
+
+  // Survivors completed with bit-identical estimates.
+  EXPECT_EQ(f_blocker.get().estimate, est.EstimateSelectivity(queries[0]));
+  EXPECT_EQ(f_lowC.get().estimate, est.EstimateSelectivity(queries[3]));
+  EXPECT_EQ(f_norm.get().estimate, est.EstimateSelectivity(queries[4]));
+  EXPECT_EQ(f_lowE.get().estimate, est.EstimateSelectivity(queries[7]));
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed_admission, 4u);
+  EXPECT_EQ(stats.shed_expired_victims, 2u);
+  EXPECT_EQ(stats.results_shed, 4u);
+  EXPECT_EQ(stats.shed_deadline, 0u)
+      << "admission evictions must not masquerade as dispatch sheds";
+}
+
 // Satellite bugfix: a flush forced by Drain (or stop) while the queue
 // happens to hold exactly max_batch_size requests is a DRAIN flush — the
 // old reason attribution checked the size branch first and miscounted it

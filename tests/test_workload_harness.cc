@@ -1,0 +1,277 @@
+// Tests for the adversarial workload harness (src/workload) and the perf
+// trajectory checker (tools/check_bench_regression.py):
+//   - seed determinism: same (table, scenario, sizes, seed) => byte-identical
+//     TraceToString — THE reproducibility contract behind bench_adversarial
+//     and the checked-in trajectory baselines;
+//   - band coverage: every scenario of the default matrix meets its
+//     selectivity-band quotas against executed ground truth;
+//   - shape sweeps: wildcard-prefix pools actually vary the leading
+//     wildcard-run length;
+//   - materialization: relative trace deadlines pin correctly to absolute
+//     EstimateOptions deadlines;
+//   - checker self-test: the regression gate passes an unchanged run and
+//     ordinary jitter, and fails an injected 2x latency regression, a
+//     throughput collapse, and shrunken row coverage.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "serve/request.h"
+#include "workload/adversarial.h"
+
+namespace naru {
+namespace {
+
+Table HarnessTable(uint64_t seed) {
+  return MakeRandomTable(400, {7, 5, 9, 4}, seed, /*skew=*/1.0);
+}
+
+AdversarialScenario BaseScenario() {
+  AdversarialScenario sc;
+  sc.name = "unit";
+  sc.qps = 2000.0;
+  return sc;
+}
+
+TEST(SelectivityBands, EdgesAndNames) {
+  EXPECT_EQ(ClassifySelectivityBand(0.0), 0u);
+  EXPECT_EQ(ClassifySelectivityBand(0.001), 1u);
+  EXPECT_EQ(ClassifySelectivityBand(0.005), 1u);
+  EXPECT_EQ(ClassifySelectivityBand(0.05), 2u);
+  EXPECT_EQ(ClassifySelectivityBand(0.5), 3u);
+  EXPECT_EQ(ClassifySelectivityBand(1.0), 3u);
+  EXPECT_STREQ(SelectivityBandName(0), "zero");
+  EXPECT_STREQ(SelectivityBandName(3), "broad");
+}
+
+// THE seed-determinism contract: byte-identical traces from identical
+// inputs, a different trace from a different seed.
+TEST(AdversarialTrace, SeedDeterminismIsByteIdentical) {
+  Table table = HarnessTable(71);
+  const AdversarialScenario sc = BaseScenario();
+
+  const AdversarialTrace a = GenerateAdversarialTrace(table, sc, 16, 120, 5);
+  const AdversarialTrace b = GenerateAdversarialTrace(table, sc, 16, 120, 5);
+  const std::string sa = TraceToString(a);
+  EXPECT_FALSE(sa.empty());
+  EXPECT_NE(sa.find(sc.name), std::string::npos);
+  EXPECT_EQ(sa, TraceToString(b));
+
+  const AdversarialTrace c = GenerateAdversarialTrace(table, sc, 16, 120, 6);
+  EXPECT_NE(sa, TraceToString(c));
+
+  // Regenerating the table from the same seed reproduces the trace too:
+  // determinism holds through the data layer, not just the generator.
+  Table table2 = HarnessTable(71);
+  const AdversarialTrace d =
+      GenerateAdversarialTrace(table2, sc, 16, 120, 5);
+  EXPECT_EQ(sa, TraceToString(d));
+}
+
+// Every cell of the default matrix meets its declared band quotas against
+// EXECUTED ground truth, classifies its pool consistently, and emits a
+// structurally sane request stream honoring the scenario's mix knobs.
+TEST(AdversarialTrace, MatrixMeetsBandQuotasAndScenarioShape) {
+  Table table = HarnessTable(73);
+  const size_t pool_size = 20;
+  const size_t num_requests = 200;
+
+  for (const AdversarialScenario& sc : AdversarialScenarioMatrix()) {
+    SCOPED_TRACE(sc.name);
+    const AdversarialTrace trace =
+        GenerateAdversarialTrace(table, sc, pool_size, num_requests, 91);
+
+    // Pool: ground truth in range, bands consistent, quotas met.
+    ASSERT_GE(trace.pool.size(), pool_size);
+    ASSERT_EQ(trace.pool_true_sel.size(), trace.pool.size());
+    ASSERT_EQ(trace.pool_band.size(), trace.pool.size());
+    std::array<size_t, kNumSelectivityBands> counted = {0, 0, 0, 0};
+    for (size_t i = 0; i < trace.pool.size(); ++i) {
+      EXPECT_GE(trace.pool_true_sel[i], 0.0);
+      EXPECT_LE(trace.pool_true_sel[i], 1.0);
+      EXPECT_EQ(trace.pool_band[i],
+                ClassifySelectivityBand(trace.pool_true_sel[i]));
+      ++counted[trace.pool_band[i]];
+    }
+    for (size_t b = 0; b < kNumSelectivityBands; ++b) {
+      EXPECT_EQ(trace.band_counts[b], counted[b]);
+      if (sc.band_quota[b] > 0) {
+        EXPECT_GE(trace.band_counts[b], sc.band_quota[b])
+            << "band " << SelectivityBandName(b) << " quota unmet";
+      }
+    }
+
+    // Requests: time-ordered, indices valid, deadline knobs honored.
+    ASSERT_EQ(trace.requests.size(), num_requests);
+    size_t expired = 0, tight = 0;
+    std::array<size_t, 3> by_class = {0, 0, 0};
+    double prev_ms = 0.0;
+    for (const AdversarialRequest& r : trace.requests) {
+      EXPECT_GE(r.arrival_ms, prev_ms) << "arrivals must be nondecreasing";
+      prev_ms = r.arrival_ms;
+      EXPECT_LT(r.pool_index, trace.pool.size());
+      if (r.deadline_ms == 0.0) ++expired;
+      if (r.deadline_ms > 0.0) ++tight;
+      ++by_class[static_cast<size_t>(r.priority)];
+    }
+    if (sc.expired_deadline_fraction > 0.0) EXPECT_GT(expired, 0u);
+    if (sc.tight_deadline_fraction > 0.0) EXPECT_GT(tight, 0u);
+    if (sc.priority_mix == PriorityMixKind::kAllNormal) {
+      EXPECT_EQ(by_class[0], 0u);
+      EXPECT_EQ(by_class[2], 0u);
+    } else {
+      // Mixed and inverted both use all three classes; inverted skews
+      // high-heavy (flush-order shaped), mixed skews low-heavy.
+      EXPECT_GT(by_class[0], 0u);
+      EXPECT_GT(by_class[1], 0u);
+      EXPECT_GT(by_class[2], 0u);
+      if (sc.priority_mix == PriorityMixKind::kInverted) {
+        EXPECT_GT(by_class[2], by_class[0]);
+      } else {
+        EXPECT_GT(by_class[0], by_class[2]);
+      }
+    }
+    if (sc.arrival == ArrivalKind::kInstant) {
+      EXPECT_EQ(trace.requests.back().arrival_ms, 0.0);
+    } else {
+      EXPECT_GT(trace.requests.back().arrival_ms, 0.0);
+    }
+  }
+}
+
+// The wildcard-prefix shape must SWEEP run lengths, not fixate on one.
+TEST(AdversarialTrace, WildcardPrefixSweepsRunLengths) {
+  Table table = HarnessTable(79);
+  AdversarialScenario sc = BaseScenario();
+  sc.name = "wildcard_unit";
+  sc.shape = PredicateShape::kWildcardPrefix;
+  const AdversarialTrace trace =
+      GenerateAdversarialTrace(table, sc, 24, 60, 17);
+  ASSERT_EQ(trace.pool_wildcard_run.size(), trace.pool.size());
+  std::set<size_t> runs(trace.pool_wildcard_run.begin(),
+                        trace.pool_wildcard_run.end());
+  EXPECT_GE(runs.size(), 2u) << "run lengths must vary across the pool";
+  EXPECT_GE(*runs.rbegin(), 1u) << "some pool entry must lead with a run";
+}
+
+// Relative trace deadlines pin to absolute EstimateOptions instants at a
+// caller-chosen start; everything else is copied through.
+TEST(AdversarialTrace, MaterializeRequestPinsRelativeDeadlines) {
+  Table table = HarnessTable(83);
+  AdversarialScenario sc = BaseScenario();
+  sc.expired_deadline_fraction = 0.3;
+  sc.tight_deadline_fraction = 0.3;
+  sc.priority_mix = PriorityMixKind::kMixed;
+  sc.request_samples = 777;
+  sc.bypass_cache_fraction = 0.5;
+  const AdversarialTrace trace =
+      GenerateAdversarialTrace(table, sc, 12, 80, 23);
+
+  const auto start = std::chrono::steady_clock::now();
+  bool saw_deadline = false, saw_free = false, saw_bypass = false;
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    const AdversarialRequest& r = trace.requests[i];
+    const EstimateRequest req = MaterializeRequest(trace, i, start);
+    EXPECT_EQ(req.options.priority, r.priority);
+    EXPECT_EQ(req.options.num_samples, sc.request_samples);
+    if (r.cache_policy == CachePolicy::kBypass) saw_bypass = true;
+    if (r.deadline_ms < 0.0) {
+      saw_free = true;
+      EXPECT_FALSE(req.options.has_deadline());
+    } else {
+      saw_deadline = true;
+      ASSERT_TRUE(req.options.has_deadline());
+      const double off_ms =
+          std::chrono::duration<double, std::milli>(req.options.deadline -
+                                                    start)
+              .count();
+      EXPECT_NEAR(off_ms, r.arrival_ms + r.deadline_ms, 1e-5);
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_TRUE(saw_free);
+  EXPECT_TRUE(saw_bypass);
+}
+
+// ---- tools/check_bench_regression.py self-test -------------------------
+
+#ifndef NARU_SOURCE_DIR
+#define NARU_SOURCE_DIR ".."
+#endif
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/naru_trajectory_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// A minimal schema-v2 bench JSON with one latency, one throughput, and
+/// one counter metric (plus a second row so coverage loss is testable).
+void WriteBenchJson(const std::string& dir, double p99_ms, double qps,
+                    bool include_second_row) {
+  std::ofstream f(dir + "/BENCH_selftest.json");
+  f << "{\n  \"bench\": \"selftest\",\n  \"schema_version\": 2,\n"
+    << "  \"simd\": \"none\",\n  \"meta\": {\"host\": \"unit\"},\n"
+    << "  \"config\": {},\n  \"rows\": [\n"
+    << "    {\"mode\": \"steady\", \"p99_ms\": " << p99_ms
+    << ", \"qps\": " << qps << ", \"shed\": 10}";
+  if (include_second_row) {
+    f << ",\n    {\"mode\": \"burst\", \"p99_ms\": 5.0}";
+  }
+  f << "\n  ]\n}\n";
+}
+
+int RunChecker(const std::string& baseline_dir, const std::string& fresh_dir) {
+  const std::string cmd = std::string("python3 ") + NARU_SOURCE_DIR +
+                          "/tools/check_bench_regression.py --baseline-dir " +
+                          baseline_dir + " --fresh-dir " + fresh_dir +
+                          " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(BenchRegressionChecker, PassesCleanAndJitterFailsRealRegressions) {
+  if (std::system("python3 -c 'pass' >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  const std::string baseline = MakeTempDir();
+  const std::string fresh = MakeTempDir();
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_FALSE(fresh.empty());
+  WriteBenchJson(baseline, /*p99_ms=*/8.0, /*qps=*/1000.0, true);
+
+  // Identical run: clean.
+  WriteBenchJson(fresh, 8.0, 1000.0, true);
+  EXPECT_EQ(RunChecker(baseline, fresh), 0);
+
+  // Ordinary noise (1.1x latency, -5% throughput): inside the bands.
+  WriteBenchJson(fresh, 8.8, 950.0, true);
+  EXPECT_EQ(RunChecker(baseline, fresh), 0);
+
+  // An injected 2x latency regression: gated.
+  WriteBenchJson(fresh, 16.0, 1000.0, true);
+  EXPECT_EQ(RunChecker(baseline, fresh), 1);
+
+  // A throughput collapse: gated.
+  WriteBenchJson(fresh, 8.0, 300.0, true);
+  EXPECT_EQ(RunChecker(baseline, fresh), 1);
+
+  // A baseline row missing from the fresh run: coverage shrank, gated.
+  WriteBenchJson(fresh, 8.0, 1000.0, false);
+  EXPECT_EQ(RunChecker(baseline, fresh), 1);
+
+  // A missing fresh FILE is a failure, not a silent skip.
+  EXPECT_NE(RunChecker(baseline, baseline + "/nonexistent"), 0);
+}
+
+}  // namespace
+}  // namespace naru

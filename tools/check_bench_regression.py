@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Gate fresh bench runs against the checked-in perf trajectory.
+
+Compares BENCH_<name>.json files produced by a fresh bench run (see
+bench/bench_common.h for the schema) against the canonical baselines under
+bench/trajectory/, failing (exit 1) when any gated metric drifts beyond its
+noise band. docs/BENCHMARKS.md describes the trajectory workflow, the
+bands, and how to refresh baselines.
+
+Row matching
+    Rows are joined on their IDENTITY: every string and bool field, plus
+    the structural integer fields (threads, batch, m, k, n). A baseline row
+    with no fresh counterpart is itself a failure — coverage must not
+    silently shrink. Extra fresh rows are reported but never fail.
+
+Metric classes (by field name), each with its own band:
+    latency     *_ms                lower is better   --tol-latency
+    qerr        qerr*, max_rel_err  lower is better   --tol-qerr
+    throughput  qps, gflops,        higher is better  --tol-throughput
+                *per_sec, speedup*
+    counter     shed*, *_flushes,   symmetric drift   --tol-count
+                served, batches,
+                largest_batch,
+                peak_pending
+Anything else numeric is informational and never gated. A band is violated
+only when BOTH the ratio exceeds the class tolerance AND the absolute delta
+exceeds the class slack (so microsecond jitter on a 0.1 ms metric or a
+±3 swing on a tiny counter cannot fail CI). JSON null (a non-finite
+measurement) is skipped.
+
+Exit codes: 0 clean, 1 regression (or missing file/row), 2 usage error.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+IDENTITY_NUMERIC = {"threads", "batch", "m", "k", "n"}
+COUNTER_NAMES = {"served", "shed", "batches", "largest_batch", "peak_pending"}
+
+
+def classify(name):
+    """Metric class of a numeric row field, or None if informational."""
+    if name in IDENTITY_NUMERIC:
+        return None
+    if name.endswith("_ms"):
+        return "latency"
+    if name.startswith("qerr") or name.endswith("_qerr") or name == "max_rel_err":
+        return "qerr"
+    if name == "qps" or name == "gflops" or name.endswith("per_sec") or \
+            name.startswith("speedup"):
+        return "throughput"
+    if name.startswith("shed") or name.endswith("_flushes") or \
+            name in COUNTER_NAMES:
+        return "counter"
+    return None
+
+
+def row_identity(row):
+    """Join key: strings, bools, and structural integers, order-insensitive."""
+    parts = []
+    for key, value in row.items():
+        if isinstance(value, bool) or isinstance(value, str):
+            parts.append((key, value))
+        elif isinstance(value, (int, float)) and key in IDENTITY_NUMERIC:
+            parts.append((key, int(value)))
+    return tuple(sorted(parts))
+
+
+def fmt_identity(identity):
+    return "/".join(f"{k}={v}" for k, v in identity) or "<only row>"
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class Bands:
+    def __init__(self, args):
+        # (ratio tolerance, absolute slack) per class.
+        self.latency = (args.tol_latency, args.slack_ms)
+        self.qerr = (args.tol_qerr, args.slack_qerr)
+        self.throughput = (args.tol_throughput, 0.0)
+        self.counter = (args.tol_count, args.slack_count)
+
+    def check(self, cls, base, fresh):
+        """Returns a violation description, or None if inside the band."""
+        tol, slack = getattr(self, cls)
+        if cls == "throughput":
+            # Higher is better: gate the downward direction only.
+            if fresh < base / tol and base - fresh > slack:
+                return f"dropped {base:.6g} -> {fresh:.6g} (floor {base / tol:.6g})"
+            return None
+        if cls == "counter":
+            # Symmetric: either direction of large drift is suspicious
+            # (a vanished shed counter means a policy stopped firing).
+            lo, hi = min(base, fresh), max(base, fresh)
+            if hi - lo <= slack:
+                return None
+            if lo <= 0 or hi / lo > tol:
+                return f"drifted {base:.6g} -> {fresh:.6g} (band x{tol:g} +/-{slack:g})"
+            return None
+        # Lower is better: gate the upward direction only.
+        if fresh > base * tol and fresh - base > slack:
+            return f"rose {base:.6g} -> {fresh:.6g} (ceiling {base * tol:.6g})"
+        return None
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return None, f"{path}: unreadable ({err})"
+    if not isinstance(doc.get("rows"), list):
+        return None, f"{path}: no rows[] array"
+    return doc, None
+
+
+def compare(name, base_doc, fresh_doc, bands, out):
+    """Appends violation strings to `out`; returns (gated, skipped) counts."""
+    fresh_rows = {}
+    for row in fresh_doc["rows"]:
+        fresh_rows.setdefault(row_identity(row), row)
+    gated = 0
+    seen = set()
+    for base_row in base_doc["rows"]:
+        identity = row_identity(base_row)
+        seen.add(identity)
+        fresh_row = fresh_rows.get(identity)
+        if fresh_row is None:
+            out.append(f"{name} [{fmt_identity(identity)}]: row missing from "
+                       "fresh run (coverage shrank)")
+            continue
+        for key, base_val in base_row.items():
+            cls = classify(key)
+            if cls is None or not is_number(base_val):
+                continue
+            fresh_val = fresh_row.get(key)
+            if not is_number(fresh_val):
+                continue  # null / absent: measurement was non-finite
+            if not (math.isfinite(base_val) and math.isfinite(fresh_val)):
+                continue
+            gated += 1
+            violation = bands.check(cls, float(base_val), float(fresh_val))
+            if violation is not None:
+                out.append(
+                    f"{name} [{fmt_identity(identity)}] {key}: {violation}")
+    extra = [i for i in fresh_rows if i not in seen]
+    for identity in extra:
+        print(f"note: {name} [{fmt_identity(identity)}]: new row not in "
+              "baseline (refresh the trajectory to start gating it)")
+    return gated
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory of canonical BENCH_*.json baselines")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding the fresh run's BENCH_*.json")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="gate only BENCH_<name>.json (repeatable; "
+                             "default: every baseline present)")
+    parser.add_argument("--tol-latency", type=float, default=1.75,
+                        help="latency ratio ceiling (default 1.75x)")
+    parser.add_argument("--slack-ms", type=float, default=1.0,
+                        help="latency absolute slack, ms (default 1.0)")
+    parser.add_argument("--tol-qerr", type=float, default=1.25,
+                        help="q-error ratio ceiling (default 1.25x)")
+    parser.add_argument("--slack-qerr", type=float, default=0.05,
+                        help="q-error absolute slack (default 0.05)")
+    parser.add_argument("--tol-throughput", type=float, default=1.75,
+                        help="throughput ratio floor divisor (default 1.75x)")
+    parser.add_argument("--tol-count", type=float, default=4.0,
+                        help="counter drift ratio band (default 4x)")
+    parser.add_argument("--slack-count", type=float, default=8.0,
+                        help="counter absolute slack (default 8)")
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline_dir)
+    fresh_dir = Path(args.fresh_dir)
+    if not baseline_dir.is_dir():
+        print(f"error: baseline dir {baseline_dir} does not exist")
+        return 2
+
+    if args.bench:
+        paths = [baseline_dir / f"BENCH_{b}.json" for b in args.bench]
+        missing = [p for p in paths if not p.is_file()]
+        if missing:
+            print(f"error: no baseline for {', '.join(map(str, missing))}")
+            return 2
+    else:
+        paths = sorted(baseline_dir.glob("BENCH_*.json"))
+        if not paths:
+            print(f"error: no BENCH_*.json baselines under {baseline_dir}")
+            return 2
+
+    bands = Bands(args)
+    violations = []
+    total_gated = 0
+    for base_path in paths:
+        name = base_path.stem
+        base_doc, err = load(base_path)
+        if err:
+            violations.append(err)
+            continue
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.is_file():
+            violations.append(
+                f"{name}: fresh run produced no {fresh_path.name}")
+            continue
+        fresh_doc, err = load(fresh_path)
+        if err:
+            violations.append(err)
+            continue
+        total_gated += compare(name, base_doc, fresh_doc, bands, violations)
+
+    if violations:
+        print(f"PERF REGRESSION: {len(violations)} violation(s) against "
+              f"{baseline_dir}:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"perf trajectory clean: {total_gated} gated metrics across "
+          f"{len(paths)} bench(es) within noise bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
