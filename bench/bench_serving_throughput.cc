@@ -14,18 +14,23 @@
 // trace (asserted at the end), so the grid measures execution efficiency
 // only — no accuracy is traded anywhere.
 //
-// Half the template pool is shaped to share a leading-wildcard run of
-// `--serve-prefix-wildcards` columns (default 2), the structure the
-// sampling-plan layer (src/plan) shares across the queries of a batch;
-// each engine row reports its plan-group count and prefix-share ratio,
-// and every engine configuration is additionally run with planning
-// disabled so the planned/legacy speedup is measured directly.
+// The template pool is prefix-correlated two ways: half shares a
+// leading-wildcard run of `--serve-prefix-wildcards` columns, and a
+// quarter shares CONSTRAINED leading prefixes (identical equality
+// literals on `--serve-shared-prefix` columns, drawn from a few template
+// tuples) — the two structures hierarchical plan trees (src/plan) fuse.
+// Every engine grid point runs as a three-way PLAN ABLATION: legacy
+// (planning off), flat (one-level prefix groups, the pre-tree planner),
+// and tree (hierarchical prefix forking) — so the tree/flat and
+// tree/legacy speedups are measured directly, and every leg must produce
+// bit-identical estimates.
 //
 // A second phase compares inference KERNELS (tensor/kernel.h) at the
 // largest grid point: scalar vs simd vs simd_int8, each with a fresh
 // estimator + engine, reporting qps, q-error quantiles against executed
 // ground truth, and a bit-determinism check across thread counts within
-// each kernel. Emits BENCH_serving_throughput.json (shared schema).
+// each kernel. Emits BENCH_serving_throughput.json (shared schema,
+// row_schema v2: grid rows carry "plan" in {legacy, flat, tree}).
 //
 // Knobs (env or flags, see bench_common.h):
 //   --kernel K          kernel for the GRID phase: scalar|simd|simd_int8
@@ -38,8 +43,12 @@
 //   --serve-samples N   progressive sample paths per query      (default 512)
 //   --serve-prefix-wildcards N  leading wildcard columns forced on half
 //                       the pool (default 2; 0 disables shaping)
+//   --serve-shared-prefix N  constrained-prefix columns shared by a quarter
+//                       of the pool (default 2; 0 disables shaping)
+//   --group-width W     plan fork fan-out cap: auto (width-aware, the
+//                       default) or a fixed positive integer
 //   --smoke             CI preset: tiny model/trace, single grid point;
-//                       exits nonzero if the planned path's estimates
+//                       exits nonzero if any planned leg's estimates
 //                       diverge from the sequential (or legacy) path, if a
 //                       kernel is non-deterministic across thread counts,
 //                       or if int8's median q-error shifts >5% vs fp32
@@ -71,13 +80,23 @@ int Run() {
       GetEnvInt("NARU_SERVE_SAMPLES", smoke ? 256 : 512), 1, 1 << 20));
   const size_t prefix_wildcards = static_cast<size_t>(
       std::clamp<int64_t>(GetEnvInt("NARU_SERVE_PREFIX_WILDCARDS", 2), 0, 64));
+  const size_t shared_prefix = static_cast<size_t>(
+      std::clamp<int64_t>(GetEnvInt("NARU_SERVE_SHARED_PREFIX", 3), 0, 64));
+  // --group-width auto|N: the plan fork fan-out cap (0 = width-aware auto).
+  const std::string width_str = GetEnvString("NARU_GROUP_WIDTH", "auto");
+  const size_t group_width =
+      width_str == "auto" || width_str == "0"
+          ? 0
+          : static_cast<size_t>(std::clamp<int64_t>(
+                GetEnvInt("NARU_GROUP_WIDTH", 0), 1, 4096));
   PrintBanner(
-      "Serving throughput: planned EstimateBatch vs legacy vs sequential",
+      "Serving throughput: tree vs flat vs legacy engine vs sequential",
       StrFormat("rows=%zu requests=%zu unique=%zu samples=%zu "
-                "prefix-wildcards=%zu kernel=%s (%s)%s",
+                "prefix-wildcards=%zu shared-prefix=%zu group-width=%s "
+                "kernel=%s (%s)%s",
                 rows, num_requests, num_unique, num_samples, prefix_wildcards,
-                KernelKindName(env.kernel), SimdDispatchString().c_str(),
-                smoke ? " (smoke)" : ""));
+                shared_prefix, width_str.c_str(), KernelKindName(env.kernel),
+                SimdDispatchString().c_str(), smoke ? " (smoke)" : ""));
 
   Table table = MakeDmvLike(rows, env.seed);
   auto model = TrainModel(table, DmvModelConfig(env.seed + 5),
@@ -98,6 +117,12 @@ int Run() {
   wcfg.max_filters = 8;
   wcfg.leading_wildcards = prefix_wildcards;
   wcfg.leading_wildcard_fraction = prefix_wildcards > 0 ? 0.5 : 0.0;
+  wcfg.shared_prefix_columns = shared_prefix;
+  // Constrained prefixes are invisible to flat plans (leading-wildcard run
+  // 0), so this fraction is the tree-only share of the trace. Two template
+  // tuples keep each batch's literal groups wide enough to fork-share.
+  wcfg.shared_prefix_fraction = shared_prefix > 0 ? 0.6 : 0.0;
+  wcfg.shared_prefix_templates = 2;
   wcfg.seed = env.seed + 17;
   const std::vector<Query> pool = GenerateWorkload(table, wcfg);
   if (prefix_wildcards > 0) {
@@ -108,6 +133,22 @@ int Run() {
     std::printf("# pool: %zu of %zu templates share a >=%zu-column "
                 "leading-wildcard run\n",
                 shaped, pool.size(), prefix_wildcards);
+  }
+  if (shared_prefix > 0) {
+    // Constrained-prefix shaping is visible as repeated leading literals:
+    // count templates whose first `shared_prefix` columns are all equality
+    // constrained (wildcard-free leading run of length 0 + point regions).
+    size_t constrained = 0;
+    for (const Query& q : pool) {
+      bool all = true;
+      for (size_t c = 0; c < shared_prefix && all; ++c) {
+        all = q.wildcard_mask()[c] == 0;
+      }
+      constrained += all && q.LeadingWildcardRun() == 0 ? 1 : 0;
+    }
+    std::printf("# pool: %zu of %zu templates constrain their first %zu "
+                "columns (shared-literal prefixes)\n",
+                constrained, pool.size(), shared_prefix);
   }
 
   // The trace: uniform draws from the pool. Deterministic in the seed.
@@ -136,8 +177,9 @@ int Run() {
   if (env.threads > 0) thread_grid = {env.threads};
   if (env.batch > 0) batch_grid = {env.batch};
 
-  std::printf("\n%8s %6s %5s %10s %10s %9s %9s %7s %7s\n", "threads", "batch",
-              "plan", "qps", "speedup", "memo", "sampled", "groups", "share");
+  std::printf("\n%8s %6s %6s %10s %10s %9s %9s %6s %6s %5s %6s\n", "threads",
+              "batch", "plan", "qps", "speedup", "memo", "sampled", "trees",
+              "share", "depth", "saved");
 
   // Baseline: the sequential pre-engine path — one thread, one query at a
   // time, no cross-query sharing of any kind.
@@ -152,8 +194,9 @@ int Run() {
     const double secs = sw.ElapsedSeconds();
     baseline_qps = secs > 0 ? static_cast<double>(trace.size()) / secs : 0.0;
   }
-  std::printf("%8d %6d %5s %10.1f %9.2fx %9s %9zu %7s %7s   (sequential)\n",
-              1, 1, "-", baseline_qps, 1.0, "-", trace.size(), "-", "-");
+  std::printf(
+      "%8d %6d %6s %10.1f %9.2fx %9s %9zu %6s %6s %5s %6s   (sequential)\n", 1,
+      1, "-", baseline_qps, 1.0, "-", trace.size(), "-", "-", "-", "-");
 
   BenchJsonWriter json("serving_throughput");
   json.SetConfig("rows", rows);
@@ -162,16 +205,31 @@ int Run() {
   json.SetConfig("samples", num_samples);
   json.SetConfig("grid_kernel", KernelKindName(env.kernel));
   json.SetConfig("smoke", smoke);
+  json.SetConfig("row_schema", "v2");
+  json.SetConfig("group_width", width_str);
+
+  // One ablation leg per grid point: planning off, flat one-level groups,
+  // or hierarchical trees.
+  struct PlanLeg {
+    const char* name;
+    bool planned;
+    PlanMode mode;
+  };
+  const PlanLeg kLegs[] = {{"legacy", false, PlanMode::kFlat},
+                           {"flat", true, PlanMode::kFlat},
+                           {"tree", true, PlanMode::kTree}};
 
   // Runs the whole trace through a fresh engine; returns qps, fills
   // per-request estimates. Every result must come back OK — nothing here
   // carries a deadline.
   auto run_trace = [&](NaruEstimator* e, size_t threads, size_t batch,
-                       bool planned, std::vector<double>* results,
+                       const PlanLeg& leg, std::vector<double>* results,
                        EngineStats* stats_out) -> double {
     InferenceEngineConfig ecfg;
     ecfg.num_threads = threads;
-    ecfg.enable_plan = planned;
+    ecfg.enable_plan = leg.planned;
+    ecfg.plan_mode = leg.mode;
+    ecfg.group_width = group_width;
     InferenceEngine engine(ecfg);  // fresh engine: caches start cold
     results->assign(trace.size(), 0.0);
     std::vector<EstimateRequest> chunk;
@@ -194,34 +252,52 @@ int Run() {
                               : 0.0;
   };
 
-  double headline_planned = 0;  // largest threads x largest batch, planned
-  double headline_legacy = 0;   // same point, planning disabled
+  double headline_tree = 0;    // largest threads x largest batch, trees
+  double headline_flat = 0;    // same point, flat one-level groups
+  double headline_legacy = 0;  // same point, planning disabled
   bool all_identical = true;
 
   for (size_t threads : thread_grid) {
     for (size_t batch : batch_grid) {
-      for (const bool planned : {false, true}) {
+      for (const PlanLeg& leg : kLegs) {
         // Typed serving surface: default-option requests are required to
-        // be bit-identical to the sequential path.
+        // be bit-identical to the sequential path. Best-of-3 per leg: each
+        // rep runs a fresh (cold) engine, so the max measures the engine,
+        // not the scheduler's worst interruption.
         std::vector<double> results;
         EngineStats stats;
-        const double qps =
-            run_trace(&est, threads, batch, planned, &results, &stats);
-
-        if (results != reference) all_identical = false;
+        double qps = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+          qps = std::max(
+              qps, run_trace(&est, threads, batch, leg, &results, &stats));
+          if (results != reference) all_identical = false;
+        }
         if (threads == thread_grid.back() && batch == batch_grid.back()) {
-          (planned ? headline_planned : headline_legacy) = qps;
+          if (!leg.planned) {
+            headline_legacy = qps;
+          } else if (leg.mode == PlanMode::kTree) {
+            headline_tree = qps;
+          } else {
+            headline_flat = qps;
+          }
         }
 
-        std::printf("%8zu %6zu %5s %10.1f %9.2fx %9zu %9zu %7zu %7.3f\n",
-                    threads, batch, planned ? "yes" : "no", qps,
-                    baseline_qps > 0 ? qps / baseline_qps : 0.0,
-                    stats.memo_hits, stats.sampled, stats.plan_groups,
-                    stats.prefix_share_ratio());
+        // "saved" = shared column steps beyond what flat one-level groups
+        // would have shared on the same batches.
+        const size_t saved =
+            stats.plan_shared_cols > stats.plan_flat_shared_cols
+                ? stats.plan_shared_cols - stats.plan_flat_shared_cols
+                : 0;
+        std::printf(
+            "%8zu %6zu %6s %10.1f %9.2fx %9zu %9zu %6zu %6.3f %5zu %6zu\n",
+            threads, batch, leg.name, qps,
+            baseline_qps > 0 ? qps / baseline_qps : 0.0, stats.memo_hits,
+            stats.sampled, stats.plan_trees, stats.prefix_share_ratio(),
+            stats.plan_max_depth, saved);
         json.AddRow({{"phase", "grid"},
                      {"threads", threads},
                      {"batch", batch},
-                     {"planned", planned},
+                     {"plan", leg.name},
                      {"qps", qps},
                      {"speedup_vs_sequential",
                       baseline_qps > 0 ? qps / baseline_qps : 0.0}});
@@ -231,14 +307,15 @@ int Run() {
 
   std::printf("\nestimates bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO (BUG)");
-  if (headline_legacy > 0 && headline_planned > 0) {
+  if (headline_legacy > 0 && headline_flat > 0 && headline_tree > 0) {
     std::printf(
-        "headline: planned vs legacy engine at threads=%zu/batch=%zu = "
-        "%.2fx (planned %.2fx, legacy %.2fx over sequential)\n",
-        thread_grid.back(), batch_grid.back(),
-        headline_planned / headline_legacy,
-        baseline_qps > 0 ? headline_planned / baseline_qps : 0.0,
+        "headline: tree vs flat plans at threads=%zu/batch=%zu = %.2fx "
+        "(tree %.2fx, flat %.2fx, legacy %.2fx over sequential)\n",
+        thread_grid.back(), batch_grid.back(), headline_tree / headline_flat,
+        baseline_qps > 0 ? headline_tree / baseline_qps : 0.0,
+        baseline_qps > 0 ? headline_flat / baseline_qps : 0.0,
         baseline_qps > 0 ? headline_legacy / baseline_qps : 0.0);
+    json.SetConfig("headline_tree_vs_flat", headline_tree / headline_flat);
   }
 
   // --- Kernel comparison at the largest grid point ---------------------
@@ -267,11 +344,11 @@ int Run() {
 
     std::vector<double> results, results_alt;
     const double qps =
-        run_trace(&kest, kthreads, kbatch, true, &results, nullptr);
+        run_trace(&kest, kthreads, kbatch, kLegs[2], &results, nullptr);
     // Determinism contract: a different thread count must not change a
     // single bit of any estimate under the same kernel.
     const size_t alt_threads = kthreads > 2 ? 2 : kthreads + 1;
-    run_trace(&kest, alt_threads, kbatch, true, &results_alt, nullptr);
+    run_trace(&kest, alt_threads, kbatch, kLegs[2], &results_alt, nullptr);
     const bool deterministic = results == results_alt;
     if (!deterministic) kernels_ok = false;
 

@@ -39,9 +39,9 @@
 //       one line per request.
 //
 //       Both modes print full EngineStats (cache hit/miss/eviction
-//       counters, sampling-plan group sizes, prefix-share ratio, workspace
-//       churn) on stderr at exit — including on SIGINT, which winds the
-//       loop down cleanly instead of discarding the counters.
+//       counters, plan-tree sizes/depth/fanout, prefix-share ratio,
+//       workspace churn) on stderr at exit — including on SIGINT, which
+//       winds the loop down cleanly instead of discarding the counters.
 //
 //       Serving knobs (flags map onto NARU_* env vars, see docs/SERVING.md):
 //         --async            stream through AsyncEngine (accept loop)
@@ -52,6 +52,8 @@
 //                            class first with a typed ResourceExhausted
 //                            result line (default 0 = unbounded)
 //         --cache-budget-mb N  per-model result-cache budget (default 4)
+//         --group-width auto|N plan-tree fork fan-out cap (default auto:
+//                            width-aware from model width x kernel)
 //
 //       Flags may appear anywhere, but a bare `--flag` consumes a
 //       following non-flag token as its value — place flags after the
@@ -322,6 +324,15 @@ int main(int raw_argc, char** raw_argv) {
     ecfg.cache_budget_bytes = static_cast<size_t>(std::max<int64_t>(
                                   GetEnvInt("NARU_CACHE_BUDGET_MB", 4), 0)) *
                               1024 * 1024;
+    // --group-width auto|N: plan-tree fork fan-out cap (auto = sized from
+    // the model width and the active kernel).
+    const std::string width_str = GetEnvString("NARU_GROUP_WIDTH", "auto");
+    ecfg.group_width =
+        width_str == "auto" || width_str == "0"
+            ? 0
+            : static_cast<size_t>(std::min<int64_t>(
+                  std::max<int64_t>(GetEnvInt("NARU_GROUP_WIDTH", 0), 1),
+                  4096));
 
     InstallSigintHandler();
 

@@ -139,11 +139,20 @@ class ConditionalModel {
   /// separately. This is the contract the sampling-plan executor
   /// (src/plan) relies on for both prefix forking (resume a walk at column
   /// L through a fresh session) and cross-query GEMM fusion (one stacked
-  /// forward pass for a whole plan group). Feed-forward models whose
+  /// forward pass for a plan tree's whole frontier). Feed-forward models whose
   /// sessions recompute from the prefix (MADE) declare this; models with
   /// incremental per-session state (the Oracle's shrinking row lists) must
   /// not.
   virtual bool SupportsStackedEvaluation() const { return false; }
+
+  /// Dominant GEMM inner width of the stacked inference path (the widest
+  /// hidden layer a stacked Dist call multiplies through). The plan
+  /// compiler's AutoGroupWidth uses it, together with the kernel and
+  /// shard size, to pick a fork fan-out cap whose stacked GEMM shapes
+  /// land in the sweet spot bench_micro_gemm measured. Purely advisory:
+  /// it never affects estimates. 0 = unknown (callers fall back to a
+  /// fixed cap).
+  virtual size_t StackedWidthHint() const { return 0; }
 };
 
 }  // namespace naru

@@ -117,6 +117,9 @@ class FactorizedModel : public ConditionalModel, public TrainableModel {
   bool SupportsStackedEvaluation() const override {
     return cond_->SupportsStackedEvaluation();
   }
+  size_t StackedWidthHint() const override {
+    return cond_->StackedWidthHint();
+  }
   void SetInferenceKernel(KernelKind kernel) override {
     cond_->SetInferenceKernel(kernel);
   }

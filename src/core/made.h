@@ -91,6 +91,13 @@ class MadeModel : public ConditionalModel, public TrainableModel {
   /// Sessions route through ConditionalDistWith, a pure function of
   /// (samples, col) — see StackedConditionalDist above.
   bool SupportsStackedEvaluation() const override { return true; }
+  /// The widest hidden layer dominates the stacked GEMM chain (linear
+  /// MADE: no hidden GEMMs, leave the hint unknown).
+  size_t StackedWidthHint() const override {
+    size_t width = 0;
+    for (size_t h : config_.hidden_sizes) width = std::max(width, h);
+    return width;
+  }
 
   // --- Training ---
   /// Fused forward/backward over a batch of full tuples; accumulates

@@ -50,14 +50,15 @@ struct SamplerWorkspace {
   std::vector<double> weights;  ///< per-path running products of masses
   std::vector<uint8_t> alive;   ///< per-path liveness (0 once weight hits 0)
 
-  // Plan-execution scratch (src/plan): the shared leading-wildcard prefix
-  // walk of a plan group runs in these before being forked into the
-  // stacked per-query suffix walk, which reuses samples/probs above with
-  // one row block per query. One workspace therefore carries a whole
-  // (shard, group) task, keeping live workspaces proportional to the
-  // number of concurrently running tasks.
-  IntMatrix prefix_samples;     ///< prefix walk codes, paths x columns
-  Matrix prefix_probs;          ///< prefix walk conditionals
+  // Plan-execution scratch (src/plan): the frontier executor walks a plan
+  // tree with one row block per live branch inside samples/weights/alive
+  // above, and rebuilds that stacked layout at every retire/fork boundary
+  // by ping-ponging into these spares (then swapping). One workspace
+  // therefore carries a whole (tree, shard) task, keeping live workspaces
+  // proportional to the number of concurrently running tasks.
+  IntMatrix spare_samples;           ///< layout-rebuild target for samples
+  std::vector<double> spare_weights; ///< layout-rebuild target for weights
+  std::vector<uint8_t> spare_alive;  ///< layout-rebuild target for alive
 };
 
 /// Thread-safe free-list of SamplerWorkspaces. One pool can back many
@@ -105,7 +106,7 @@ class WorkspaceLease {
 /// One query's block of sample paths inside a (possibly stacked) walk.
 /// The sequential sampler uses a block spanning a whole workspace
 /// (row_offset 0); the plan executor (src/plan) points blocks at row
-/// ranges of one stacked matrix shared by every query of a plan group.
+/// ranges of one stacked matrix shared by every branch of a plan tree.
 struct SamplerRowBlock {
   IntMatrix* samples = nullptr;  ///< sampled prefix codes (stacked rows)
   Matrix* probs = nullptr;       ///< this column's conditionals, row-aligned

@@ -71,18 +71,20 @@ inline float DotSlice(const float* a, const float* b, size_t n) {
 
 }  // namespace
 
-void TransformerModel::AttendForwardOne(Block* blk, size_t b, size_t h,
-                                        size_t T) {
-  const size_t dh = config_.d_model / config_.num_heads;
+void TransformerModel::AttendForward(const Matrix& qm, const Matrix& km,
+                                     const Matrix& vm, Matrix* probs,
+                                     Matrix* cat, size_t num_heads, size_t b,
+                                     size_t h, size_t T) {
+  const size_t dh = qm.cols() / num_heads;
   const size_t off = h * dh;
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   for (size_t i = 0; i < T; ++i) {
-    float* prow = blk->attn_probs.Row((b * config_.num_heads + h) * T + i);
-    const float* qi = blk->q.Row(b * T + i) + off;
+    float* prow = probs->Row((b * num_heads + h) * T + i);
+    const float* qi = qm.Row(b * T + i) + off;
     // Causal scores over j <= i, softmax-stabilized.
     float maxv = -1e30f;
     for (size_t j = 0; j <= i; ++j) {
-      const float s = scale * DotSlice(qi, blk->k.Row(b * T + j) + off, dh);
+      const float s = scale * DotSlice(qi, km.Row(b * T + j) + off, dh);
       prow[j] = s;
       if (s > maxv) maxv = s;
     }
@@ -95,11 +97,11 @@ void TransformerModel::AttendForwardOne(Block* blk, size_t b, size_t h,
     for (size_t j = 0; j <= i; ++j) prow[j] *= inv_z;
     for (size_t j = i + 1; j < T; ++j) prow[j] = 0.0f;
     // Head output: weighted sum of V rows.
-    float* out = blk->attn_cat.Row(b * T + i) + off;
+    float* out = cat->Row(b * T + i) + off;
     std::memset(out, 0, dh * sizeof(float));
     for (size_t j = 0; j <= i; ++j) {
       const float w = prow[j];
-      const float* vj = blk->v.Row(b * T + j) + off;
+      const float* vj = vm.Row(b * T + j) + off;
       for (size_t d = 0; d < dh; ++d) out[d] += w * vj[d];
     }
   }
@@ -178,7 +180,8 @@ void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len,
     ParallelFor(0, batch, [&](size_t lo, size_t hi) {
       for (size_t b = lo; b < hi; ++b) {
         for (size_t h = 0; h < config_.num_heads; ++h) {
-          AttendForwardOne(&blk, b, h, T);
+          AttendForward(blk.q, blk.k, blk.v, &blk.attn_probs, &blk.attn_cat,
+                        config_.num_heads, b, h, T);
         }
       }
     });
@@ -195,6 +198,57 @@ void TransformerModel::ForwardTrunk(const IntMatrix& codes, size_t seq_len,
     Axpy(blk.ffn_out, 1.0f, &next);
   }
   lnf_.Forward(xs_.back(), &y_);
+}
+
+void TransformerModel::ForwardTrunkWith(EvalContext* ctx,
+                                        const IntMatrix& codes,
+                                        size_t seq_len,
+                                        KernelKind kernel) const {
+  const size_t batch = codes.rows();
+  const size_t T = seq_len;
+  const size_t e = config_.d_model;
+  NARU_CHECK(T >= 1 && T <= domains_.size());
+
+  Matrix& x = ctx->x;
+  x.Resize(batch * T, e);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t p = 0; p < T; ++p) {
+      float* row = x.Row(b * T + p);
+      const float* src =
+          p == 0 ? sos_.value.Row(0)
+                 : embeds_[p - 1]->table().value.Row(
+                       static_cast<size_t>(codes.At(b, p - 1)));
+      const float* pe = pos_.value.Row(p);
+      for (size_t d = 0; d < e; ++d) row[d] = src[d] + pe[d];
+    }
+  }
+
+  for (const Block& blk : blocks_) {
+    blk.ln1.Forward(x, &ctx->ln1_out);
+    blk.wq.Forward(ctx->ln1_out, &ctx->q, kernel);
+    blk.wk.Forward(ctx->ln1_out, &ctx->k, kernel);
+    blk.wv.Forward(ctx->ln1_out, &ctx->v, kernel);
+    ctx->attn_probs.Resize(batch * config_.num_heads * T, T);
+    ctx->attn_cat.Resize(batch * T, e);
+    ParallelFor(0, batch, [&](size_t lo, size_t hi) {
+      for (size_t b = lo; b < hi; ++b) {
+        for (size_t h = 0; h < config_.num_heads; ++h) {
+          AttendForward(ctx->q, ctx->k, ctx->v, &ctx->attn_probs,
+                        &ctx->attn_cat, config_.num_heads, b, h, T);
+        }
+      }
+    });
+    blk.wo.Forward(ctx->attn_cat, &ctx->attn_proj, kernel);
+    ctx->res1.Resize(batch * T, e);
+    std::memcpy(ctx->res1.data(), x.data(), x.size() * sizeof(float));
+    Axpy(ctx->attn_proj, 1.0f, &ctx->res1);
+    blk.ln2.Forward(ctx->res1, &ctx->ln2_out);
+    blk.ffn.ForwardInference(ctx->ln2_out, &ctx->ffn_out, kernel);
+    // x <- res1 + ffn_out (x's storage is reused as the next block input).
+    std::memcpy(x.data(), ctx->res1.data(), ctx->res1.size() * sizeof(float));
+    Axpy(ctx->ffn_out, 1.0f, &x);
+  }
+  lnf_.Forward(x, &ctx->y);
 }
 
 void TransformerModel::HeadForward(size_t col, size_t batch, size_t seq_len,
@@ -214,13 +268,59 @@ void TransformerModel::HeadForward(size_t col, size_t batch, size_t seq_len,
   }
 }
 
-void TransformerModel::ConditionalDist(const IntMatrix& samples, size_t col,
-                                       Matrix* probs) {
+void TransformerModel::HeadForwardWith(EvalContext* ctx, size_t col,
+                                       size_t batch, size_t seq_len,
+                                       KernelKind kernel) const {
+  const size_t e = config_.d_model;
+  ctx->ybuf.Resize(batch, e);
+  for (size_t b = 0; b < batch; ++b) {
+    std::memcpy(ctx->ybuf.Row(b), ctx->y.Row(b * seq_len + col),
+                e * sizeof(float));
+  }
+  if (config_.embedding_reuse) {
+    // Tied logits stay fp32 (SIMD when enabled), as in HeadForward.
+    GemmNT(ctx->ybuf, embeds_[col]->table().value, &ctx->logits,
+           /*accumulate=*/false, kernel);
+  } else {
+    heads_[col]->Forward(ctx->ybuf, &ctx->logits, kernel);
+  }
+}
+
+void TransformerModel::ConditionalDistWith(EvalContext* ctx,
+                                           const IntMatrix& samples,
+                                           size_t col, Matrix* probs) const {
   NARU_CHECK(col < domains_.size());
   const size_t T = col + 1;
-  ForwardTrunk(samples, T, inference_kernel_);
-  HeadForward(col, samples.rows(), T, inference_kernel_);
-  SoftmaxRows(logits_, probs);
+  ForwardTrunkWith(ctx, samples, T, inference_kernel_);
+  HeadForwardWith(ctx, col, samples.rows(), T, inference_kernel_);
+  SoftmaxRows(ctx->logits, probs);
+}
+
+void TransformerModel::ConditionalDist(const IntMatrix& samples, size_t col,
+                                       Matrix* probs) {
+  ConditionalDistWith(&eval_, samples, col, probs);
+}
+
+namespace {
+// Sampling cursor with private scratch: distinct sessions evaluate the
+// (read-only) weights concurrently.
+class TransformerSession : public SamplingSession {
+ public:
+  explicit TransformerSession(const TransformerModel* model)
+      : model_(model) {}
+  void Dist(const IntMatrix& samples, size_t col, Matrix* probs) override {
+    model_->ConditionalDistWith(&ctx_, samples, col, probs);
+  }
+
+ private:
+  const TransformerModel* model_;
+  TransformerModel::EvalContext ctx_;
+};
+}  // namespace
+
+std::unique_ptr<SamplingSession> TransformerModel::StartSession(size_t batch) {
+  (void)batch;  // contexts size themselves on first Dist
+  return std::make_unique<TransformerSession>(this);
 }
 
 void TransformerModel::SetInferenceKernel(KernelKind kernel) {
@@ -243,11 +343,11 @@ void TransformerModel::LogProbRows(const IntMatrix& tuples,
   const size_t batch = tuples.rows();
   const size_t n = domains_.size();
   out_nats->assign(batch, 0.0);
-  ForwardTrunk(tuples, n, inference_kernel_);
+  ForwardTrunkWith(&eval_, tuples, n, inference_kernel_);
   for (size_t c = 0; c < n; ++c) {
-    HeadForward(c, batch, n, inference_kernel_);
+    HeadForwardWith(&eval_, c, batch, n, inference_kernel_);
     for (size_t b = 0; b < batch; ++b) {
-      const float* row = logits_.Row(b);
+      const float* row = eval_.logits.Row(b);
       const double lse = LogSumExpSlice(row, 0, domains_[c]);
       (*out_nats)[b] += row[tuples.At(b, c)] - lse;
     }

@@ -20,6 +20,7 @@
 // only, so early sampler columns are cheap.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,11 +51,51 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
   /// `domains[i]` is |A_i| for column i in table order.
   TransformerModel(std::vector<size_t> domains, Config config);
 
+  /// Scratch for one inference forward pass: the block activations are
+  /// ping-ponged through a single set of matrices (inference needs no
+  /// per-block stashes — those exist only for backward). Weights are
+  /// read-only at inference, so callers holding distinct contexts may
+  /// evaluate concurrently; every sampling session owns one. Training
+  /// keeps the member workspace (ForwardBackward reads the stashes).
+  struct EvalContext {
+    Matrix x;  // current block input/output (batch*T x E)
+    Matrix ln1_out, q, k, v;
+    Matrix attn_probs;  // (batch*heads*T x T), causal rows
+    Matrix attn_cat, attn_proj;
+    Matrix res1, ln2_out, ffn_out;
+    Matrix y;  // lnf_ output
+    Matrix ybuf, logits;
+  };
+
   // --- ConditionalModel ---
   size_t num_columns() const override { return domains_.size(); }
   size_t DomainSize(size_t col) const override { return domains_[col]; }
   void ConditionalDist(const IntMatrix& samples, size_t col,
                        Matrix* probs) override;
+  /// Re-entrant ConditionalDist evaluating through caller-owned scratch.
+  void ConditionalDistWith(EvalContext* ctx, const IntMatrix& samples,
+                           size_t col, Matrix* probs) const;
+  /// Stacked-rows entry point for the sampling-plan executor (src/plan):
+  /// rows of `samples` may stack the walk states of several queries into
+  /// one trunk forward. Per-row results are bit-identical to evaluating
+  /// each query's rows separately because causal attention only mixes
+  /// token positions *within* a row — across rows every kernel on the
+  /// path (embed, layernorm, gemm, attention, softmax) is row-independent.
+  void StackedConditionalDist(EvalContext* ctx, const IntMatrix& samples,
+                              size_t col, Matrix* probs) const {
+    ConditionalDistWith(ctx, samples, col, probs);
+  }
+  /// Sessions own an EvalContext each, so they can run concurrently.
+  std::unique_ptr<SamplingSession> StartSession(size_t batch) override;
+  bool SupportsConcurrentSampling() const override { return true; }
+  /// Sessions route through ConditionalDistWith, a pure function of
+  /// (samples, col) — see StackedConditionalDist above.
+  bool SupportsStackedEvaluation() const override { return true; }
+  /// The widest GEMM in the stacked chain is the FFN inner layer (or the
+  /// d_model-wide projections when ffn_hidden is smaller).
+  size_t StackedWidthHint() const override {
+    return std::max(config_.d_model, config_.ffn_hidden);
+  }
   void LogProbRows(const IntMatrix& tuples,
                    std::vector<double>* out_nats) override;
   /// Switches inference GEMMs (projections, FFN, untied heads) to `kernel`;
@@ -97,17 +138,34 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
 
   /// Runs the trunk on the first `seq_len` token positions of `codes`
   /// (column j feeds position j+1; columns >= seq_len-1 are never read).
-  /// Leaves the final normalized activations in y_ (batch*seq_len x E).
-  /// `kernel` picks the GEMM family (training passes kScalar).
+  /// Leaves the final normalized activations in y_ (batch*seq_len x E),
+  /// keeping every block's stashes for backward. `kernel` picks the GEMM
+  /// family (training passes kScalar).
   void ForwardTrunk(const IntMatrix& codes, size_t seq_len,
                     KernelKind kernel);
+
+  /// Inference trunk through caller scratch: same math as ForwardTrunk but
+  /// activations ping-pong through one set of matrices (no per-block
+  /// stashes) and the FFN uses its stateless inference path. Const: only
+  /// `ctx` is written. Leaves the normalized activations in ctx->y.
+  void ForwardTrunkWith(EvalContext* ctx, const IntMatrix& codes,
+                        size_t seq_len, KernelKind kernel) const;
 
   /// Head `col` logits from y_ position `col` into logits_ (batch x D_col).
   void HeadForward(size_t col, size_t batch, size_t seq_len,
                    KernelKind kernel);
 
-  /// Multi-head causal attention for one example/head pair.
-  void AttendForwardOne(Block* blk, size_t b, size_t h, size_t T);
+  /// Head `col` logits from ctx->y into ctx->logits. Const.
+  void HeadForwardWith(EvalContext* ctx, size_t col, size_t batch,
+                       size_t seq_len, KernelKind kernel) const;
+
+  /// Multi-head causal attention for one example/head pair, reading Q/K/V
+  /// and writing probs/cat through explicit matrices so the training path
+  /// (block stashes) and the inference path (EvalContext scratch) share
+  /// the exact same arithmetic.
+  static void AttendForward(const Matrix& qm, const Matrix& km,
+                            const Matrix& vm, Matrix* probs, Matrix* cat,
+                            size_t num_heads, size_t b, size_t h, size_t T);
   void AttendBackwardOne(Block* blk, size_t b, size_t h, size_t T,
                          const Matrix& dcat);
 
@@ -123,12 +181,17 @@ class TransformerModel : public ConditionalModel, public TrainableModel {
   LayerNorm lnf_;
   std::vector<std::unique_ptr<Linear>> heads_;  // null under reuse
 
-  // Workspaces.
+  // Training workspaces (ForwardBackward reads these stashes).
   std::vector<Matrix> xs_;  // xs_[l] = input to block l; xs_[L] = trunk out
   Matrix y_;                // lnf_(xs_[L])
   Matrix ybuf_, logits_, dlogits_, dybuf_;
   Matrix dy_, dx_, dres1_, dcat_, dq_, dk_, dv_, dtmp_, dtmp2_;
   std::vector<int32_t> targets_;
+
+  // Member context for the single-threaded inference paths (the stateless
+  // ConditionalDist, LogProbRows). Concurrent inference goes through
+  // session-owned EvalContexts instead.
+  EvalContext eval_;
 };
 
 }  // namespace naru

@@ -6,19 +6,20 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 namespace naru {
 
 namespace {
 
-// True once the group's walk may be abandoned: every member's deadline
+// True once the tree's walk may be abandoned: every member's deadline
 // has passed (abandon_deadline is their max; the shared inclusive expiry
 // predicate, util/deadline.h). Reads the shared flag first so sibling
-// shards of an already-abandoned group bail without a clock read.
-bool GroupExpired(const PlanGroup& group, std::atomic<uint8_t>* abandoned) {
-  if (group.abandon_deadline == kNoDeadline) return false;
+// shards of an already-abandoned tree bail without a clock read.
+bool TreeExpired(const PlanTree& tree, std::atomic<uint8_t>* abandoned) {
+  if (tree.abandon_deadline == kNoDeadline) return false;
   if (abandoned->load(std::memory_order_relaxed) != 0) return true;
-  if (DeadlineExpired(group.abandon_deadline,
+  if (DeadlineExpired(tree.abandon_deadline,
                       std::chrono::steady_clock::now())) {
     abandoned->store(1, std::memory_order_relaxed);
     return true;
@@ -26,96 +27,140 @@ bool GroupExpired(const PlanGroup& group, std::atomic<uint8_t>* abandoned) {
   return false;
 }
 
-// One (group, shard) task: prefix walk, fork, stacked suffix walk.
-// Writes each member's shard weight sum / squared sum into the flat
-// per-(query, shard) result arrays. Between column steps (never inside a
-// kernel) the task checks the group's abandon deadline; once it trips,
-// the task returns early, `abandoned` stays set, and the caller marks
-// every member DEADLINE_EXCEEDED — partial sums are discarded.
-void RunGroupShard(ConditionalModel* model, const SamplingPlan& plan,
-                   const PlanGroup& group, size_t shard, size_t rows,
-                   uint64_t seed, size_t slot_stride, SamplerWorkspace* ws,
-                   std::vector<double>* shard_w, std::vector<double>* shard_w2,
-                   std::atomic<uint8_t>* abandoned) {
+// One live branch of the frontier: the plan-tree node whose segment it is
+// walking, plus its private RNG stream. Branch i owns rows
+// [i*rows, (i+1)*rows) of the stacked walk state.
+struct FrontierEntry {
+  size_t node = 0;
+  Rng rng;
+};
+
+// One (tree, shard) task: the column-synchronous frontier walk described
+// in the header. Writes each finished query's shard weight sum / squared
+// sum into the flat per-(query, shard) result arrays. Between column
+// steps (never inside a kernel) the task checks the tree's abandon
+// deadline; once it trips, the task returns early, `abandoned` stays set,
+// and the caller marks every member DEADLINE_EXCEEDED — partial sums are
+// discarded.
+void RunTreeShard(ConditionalModel* model, const SamplingPlan& plan,
+                  const PlanTree& tree, size_t shard, size_t rows,
+                  uint64_t seed, size_t slot_stride, SamplerWorkspace* ws,
+                  std::vector<double>* shard_w, std::vector<double>* shard_w2,
+                  std::atomic<uint8_t>* abandoned) {
   const size_t n = model->num_columns();
-  const size_t members = group.members.size();
-  const size_t prefix_len = group.prefix_len;
 
-  // --- Prefix: one walk over the shared leading-wildcard run. ---
-  Rng rng(SamplerShardSeed(seed, shard));
-  ws->prefix_samples.Resize(rows, n);
-  ws->prefix_samples.Fill(0);
-  ws->weights.assign(rows, 1.0);
-  ws->alive.assign(rows, 1);
+  IntMatrix* samples = &ws->samples;
+  IntMatrix* spare_samples = &ws->spare_samples;
+  std::vector<double>* weights = &ws->weights;
+  std::vector<double>* spare_weights = &ws->spare_weights;
+  std::vector<uint8_t>* alive = &ws->alive;
+  std::vector<uint8_t>* spare_alive = &ws->spare_alive;
+
+  // The root's block: a fresh shard walk, exactly the sequential start.
+  std::vector<FrontierEntry> entries;
+  entries.push_back(FrontierEntry{0, Rng(SamplerShardSeed(seed, shard))});
+  samples->Resize(rows, n);
+  samples->Fill(0);
+  weights->assign(rows, 1.0);
+  alive->assign(rows, 1);
+
   auto session = model->StartSession(rows);
-  const Query& lead_query = *plan.queries[group.members.front()].query;
-  for (size_t col = 0; col < prefix_len; ++col) {
-    if (GroupExpired(group, abandoned)) return;
-    session->Dist(ws->prefix_samples, col, &ws->prefix_probs);
-    NARU_CHECK(ws->prefix_probs.rows() == rows &&
-               ws->prefix_probs.cols() == model->DomainSize(col));
-    // Wildcard for every member by construction of prefix_len; the query
-    // argument is never consulted on the wildcard path.
-    SamplerColumnStep(model, lead_query, col, /*wildcard=*/true,
-                      SamplerRowBlock{&ws->prefix_samples, &ws->prefix_probs,
-                                      ws->weights.data(), ws->alive.data(),
-                                      /*row_offset=*/0, rows},
-                      &rng);
-  }
 
-  // --- Fork: one row block and one RNG copy per member. ---
-  const size_t total = members * rows;
-  ws->samples.Resize(total, n);
-  for (size_t b = 0; b < members; ++b) {
-    // Row-major and same column count: each member's block is one
-    // contiguous copy of the whole prefix block.
-    std::memcpy(ws->samples.Row(b * rows), ws->prefix_samples.Row(0),
-                rows * n * sizeof(int32_t));
-  }
-  ws->weights.assign(total, 1.0);
-  ws->alive.assign(total, 1);
-  std::vector<Rng> rngs(members, rng);
-
-  // --- Suffix: column-synchronous stacked walk. Members are ordered by
-  // last_col descending, so the active set is always a leading slice of
-  // the stacked matrix and finished members drop off by truncation. ---
-  const int max_last = plan.queries[group.members.front()].last_col;
-  size_t active = members;
-  for (size_t col = prefix_len; col <= static_cast<size_t>(max_last); ++col) {
-    while (active > 0 &&
-           plan.queries[group.members[active - 1]].last_col <
-               static_cast<int>(col)) {
-      --active;
+  size_t col = 0;
+  while (!entries.empty()) {
+    // --- Retire / fork boundary: rebuild the stacked layout whenever a
+    // frontier node's segment ends at this column. Terminal queries
+    // reduce, children fork with copies of the block and the RNG stream.
+    // Row position never enters per-row arithmetic, so relayout is
+    // invisible to the estimates. ---
+    bool boundary = false;
+    size_t out_count = 0;
+    for (const FrontierEntry& e : entries) {
+      const PlanTreeNode& node = tree.nodes[e.node];
+      if (node.end == col) {
+        boundary = true;
+        out_count += node.children.size();
+      } else {
+        out_count += 1;
+      }
     }
-    if (active == 0) break;
-    if (GroupExpired(group, abandoned)) return;
-    ws->samples.Resize(active * rows, n);  // truncation keeps leading rows
-    session->Dist(ws->samples, col, &ws->probs);
-    NARU_CHECK(ws->probs.rows() == active * rows &&
+    if (boundary) {
+      spare_samples->Resize(out_count * rows, n);
+      spare_weights->resize(out_count * rows);
+      spare_alive->resize(out_count * rows);
+      std::vector<FrontierEntry> next;
+      next.reserve(out_count);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        FrontierEntry& e = entries[i];
+        const PlanTreeNode& node = tree.nodes[e.node];
+        const size_t src = i * rows;
+        const auto copy_block_to = [&](size_t dst) {
+          if (rows > 0) {
+            std::memcpy(spare_samples->Row(dst * rows), samples->Row(src),
+                        rows * n * sizeof(int32_t));
+          }
+          std::copy(weights->begin() + static_cast<ptrdiff_t>(src),
+                    weights->begin() + static_cast<ptrdiff_t>(src + rows),
+                    spare_weights->begin() + static_cast<ptrdiff_t>(dst * rows));
+          std::copy(alive->begin() + static_cast<ptrdiff_t>(src),
+                    alive->begin() + static_cast<ptrdiff_t>(src + rows),
+                    spare_alive->begin() + static_cast<ptrdiff_t>(dst * rows));
+        };
+        if (node.end != col) {
+          copy_block_to(next.size());
+          next.push_back(std::move(e));
+          continue;
+        }
+        // Queries finishing in this segment: the block's weights are
+        // their complete walk (their last constrained column is col-1) —
+        // the same sums the sequential shard would reduce.
+        for (size_t q : node.terminals) {
+          double sum = 0;
+          double sq = 0;
+          for (size_t r = 0; r < rows; ++r) {
+            const double w = (*weights)[src + r];
+            sum += w;
+            sq += w * w;
+          }
+          (*shard_w)[q * slot_stride + shard] = sum;
+          (*shard_w2)[q * slot_stride + shard] = sq;
+        }
+        // Fork: every child continues from an identical copy of the walk
+        // state — block AND RNG stream — which is exactly where each
+        // child's sequential walk would stand after these columns.
+        for (size_t child : node.children) {
+          copy_block_to(next.size());
+          next.push_back(FrontierEntry{child, e.rng});
+        }
+      }
+      std::swap(samples, spare_samples);
+      std::swap(weights, spare_weights);
+      std::swap(alive, spare_alive);
+      entries = std::move(next);
+      if (entries.empty()) return;  // every branch retired
+    }
+
+    if (TreeExpired(tree, abandoned)) return;
+
+    // --- One stacked evaluation for the whole frontier, then the shared
+    // per-row column step per branch (each with its own RNG). The node's
+    // representative query stands in for every member below it: across
+    // the segment they share the wildcard flag, the masked region, and
+    // the dead-path fallback code by construction. ---
+    session->Dist(*samples, col, &ws->probs);
+    NARU_CHECK(ws->probs.rows() == entries.size() * rows &&
                ws->probs.cols() == model->DomainSize(col));
-    for (size_t b = 0; b < active; ++b) {
-      const QueryPlan& qp = plan.queries[group.members[b]];
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const PlanTreeNode& node = tree.nodes[entries[i].node];
+      const QueryPlan& qp = plan.queries[node.rep];
       SamplerColumnStep(model, *qp.query, col, qp.wildcard[col] != 0,
-                        SamplerRowBlock{&ws->samples, &ws->probs,
-                                        ws->weights.data() + b * rows,
-                                        ws->alive.data() + b * rows,
-                                        /*row_offset=*/b * rows, rows},
-                        &rngs[b]);
+                        SamplerRowBlock{samples, &ws->probs,
+                                        weights->data() + i * rows,
+                                        alive->data() + i * rows,
+                                        /*row_offset=*/i * rows, rows},
+                        &entries[i].rng);
     }
-  }
-
-  // --- Reduce each member's block into its (query, shard) slot. ---
-  for (size_t b = 0; b < members; ++b) {
-    double sum = 0;
-    double sq = 0;
-    for (size_t r = 0; r < rows; ++r) {
-      const double w = ws->weights[b * rows + r];
-      sum += w;
-      sq += w * w;
-    }
-    const size_t slot = group.members[b] * slot_stride + shard;
-    (*shard_w)[slot] = sum;
-    (*shard_w2)[slot] = sq;
+    ++col;
   }
 }
 
@@ -135,23 +180,23 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   if (statuses != nullptr) statuses->assign(m, Status::OK());
   if (m == 0) return;
 
-  // Per-request budgets (serve/request.h) make the shard count a GROUP
-  // property: each group walks SamplerNumShards(its budget, shard_size)
+  // Per-request budgets (serve/request.h) make the shard count a TREE
+  // property: each tree walks SamplerNumShards(its budget, shard_size)
   // shards. The flat (query, shard) result arrays are strided by the
-  // widest shard count; a query only ever fills its own group's shards.
-  const auto effective_samples = [&](size_t group_budget) {
-    return group_budget != 0 ? group_budget : options.num_samples;
+  // widest shard count; a query only ever fills its own tree's shards.
+  const auto effective_samples = [&](size_t tree_budget) {
+    return tree_budget != 0 ? tree_budget : options.num_samples;
   };
   size_t max_shards = 1;
-  std::vector<size_t> group_of(m, 0);  // query -> owning group
-  std::vector<std::pair<size_t, size_t>> tasks;  // (group, shard)
-  for (size_t g = 0; g < plan.groups.size(); ++g) {
-    for (size_t member : plan.groups[g].members) group_of[member] = g;
-    const size_t ns = effective_samples(plan.groups[g].num_samples);
+  std::vector<size_t> tree_of(m, 0);  // query -> owning tree
+  std::vector<std::pair<size_t, size_t>> tasks;  // (tree, shard)
+  for (size_t t = 0; t < plan.trees.size(); ++t) {
+    for (size_t member : plan.trees[t].members) tree_of[member] = t;
+    const size_t ns = effective_samples(plan.trees[t].num_samples);
     NARU_CHECK(ns >= 1);
     const size_t shards = SamplerNumShards(ns, options.shard_size);
     max_shards = std::max(max_shards, shards);
-    for (size_t k = 0; k < shards; ++k) tasks.emplace_back(g, k);
+    for (size_t k = 0; k < shards; ++k) tasks.emplace_back(t, k);
   }
   std::vector<double> shard_w(m * max_shards, 0.0);
   std::vector<double> shard_w2(m * max_shards, 0.0);
@@ -160,26 +205,26 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   SamplerWorkspacePool* workspaces =
       options.workspaces != nullptr ? options.workspaces : &local_pool;
 
-  // One abandonment flag per group, shared by its (group, shard) tasks:
-  // the first task to observe the group's abandon_deadline expired sets
+  // One abandonment flag per tree, shared by its (tree, shard) tasks:
+  // the first task to observe the tree's abandon_deadline expired sets
   // it and every sibling bails at its next column boundary (or skips
   // entirely, below).
-  std::vector<std::atomic<uint8_t>> abandoned(plan.groups.size());
+  std::vector<std::atomic<uint8_t>> abandoned(plan.trees.size());
   for (auto& flag : abandoned) flag.store(0, std::memory_order_relaxed);
 
   const size_t num_tasks = tasks.size();
   auto run_task = [&](size_t t) {
-    const auto [g, k] = tasks[t];
-    if (abandoned[g].load(std::memory_order_relaxed) != 0) return;
-    const size_t ns = effective_samples(plan.groups[g].num_samples);
+    const auto [tree, k] = tasks[t];
+    if (abandoned[tree].load(std::memory_order_relaxed) != 0) return;
+    const size_t ns = effective_samples(plan.trees[tree].num_samples);
     const size_t lo = k * options.shard_size;
     const size_t rows = std::min(options.shard_size, ns - lo);
     WorkspaceLease ws(workspaces);
-    RunGroupShard(model, plan, plan.groups[g], k, rows, options.seed,
-                  max_shards, ws.get(), &shard_w, &shard_w2, &abandoned[g]);
+    RunTreeShard(model, plan, plan.trees[tree], k, rows, options.seed,
+                 max_shards, ws.get(), &shard_w, &shard_w2, &abandoned[tree]);
   };
 
-  // Same scheduling discipline as ProgressiveSampler: shard/group
+  // Same scheduling discipline as ProgressiveSampler: shard/tree
   // parallelism only on concurrent-capable models, a caller's serial
   // region wins, and whenever coarse parallelism is exercised (or an
   // explicit parallelism=1 asked for one thread) the kernels inside run
@@ -207,10 +252,10 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   // Reduce in shard order per query — independent of execution order, and
   // the same arithmetic as ProgressiveSampler::EstimateWithOptions. Each
   // query reduces over ITS budget's shard count. Members of an abandoned
-  // group have incomplete shard sums: they report a typed
+  // tree have incomplete shard sums: they report a typed
   // DEADLINE_EXCEEDED instead of a value.
   for (size_t q = 0; q < m; ++q) {
-    if (abandoned[group_of[q]].load(std::memory_order_relaxed) != 0) {
+    if (abandoned[tree_of[q]].load(std::memory_order_relaxed) != 0) {
       (*estimates)[q] = std::numeric_limits<double>::quiet_NaN();
       if (statuses != nullptr) {
         (*statuses)[q] =

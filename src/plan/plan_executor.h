@@ -1,31 +1,34 @@
-// Executes compiled SamplingPlans: shared prefix walks, forked suffix
-// walks, cross-query GEMM fusion.
+// Executes compiled SamplingPlans: hierarchical shared walk segments,
+// forked branch walks, cross-query GEMM fusion.
 //
-// Execution model. The unit of work is a (group, shard) task:
+// Execution model. The unit of work is a (tree, shard) task, walked
+// column-synchronously with a FRONTIER of live branches:
 //
-//   1. PREFIX — walk the group's shared leading-wildcard prefix once, on
-//      one block of shard_size paths, drawing from the shard's RNG stream
-//      Rng(SamplerShardSeed(seed, shard)). Every position in the prefix is
-//      unconstrained for every member, so masses are exactly 1, no path
-//      dies, and the resulting (samples, RNG state) is what EVERY member's
-//      sequential walk would hold after those columns.
-//   2. FORK — copy the prefix block into one row block per member of a
-//      stacked sample matrix and give each member a private copy of the
-//      post-prefix RNG state.
-//   3. SUFFIX — walk the remaining columns column-synchronously: ONE
-//      stacked model evaluation per column covers every still-active
-//      member (the cross-query GEMM fusion; requires
-//      ConditionalModel::SupportsStackedEvaluation), then each member's
+//   1. The frontier starts as the tree's root — one block of shard_size
+//      paths drawing from the shard's RNG stream
+//      Rng(SamplerShardSeed(seed, shard)). Every query below a node takes
+//      an identical column step across the node's segment (all wildcard,
+//      or all constrained by the same region), so one block serves them
+//      all: the (samples, weights, liveness, RNG state) after the segment
+//      is what EVERY member's sequential walk would hold there.
+//   2. At a column where some frontier node's segment ends, the stacked
+//      row layout is rebuilt: the node's terminal queries reduce their
+//      weight sums from the node's block (their walk is complete), and
+//      each child forks off with a private copy of the block and of the
+//      post-segment RNG state. Deeper shared segments then continue —
+//      multi-depth sharing, not the single prefix+fork of the flat plans.
+//   3. At every column, ONE stacked model evaluation covers every live
+//      branch (the cross-query GEMM fusion; requires
+//      ConditionalModel::SupportsStackedEvaluation), then each branch's
 //      block runs the shared SamplerColumnStep kernel with its own RNG.
-//      Members are ordered by last constrained position descending, so a
-//      finished member's rows are dropped from the stacked matrix by
-//      truncating its tail.
 //
-// Determinism: per member, the draws consumed and the arithmetic applied
-// are those of ProgressiveSampler's sequential shard walk, and every
+// Determinism: per member query, the draws consumed and the arithmetic
+// applied are those of ProgressiveSampler's sequential shard walk — forks
+// copy RNG state exactly where the sequential walks coincide, and every
 // kernel on the stacked evaluation path is row-independent — so estimates
 // (and standard errors) are bit-identical to the sequential path for a
-// fixed seed, regardless of grouping, batch composition, or thread count.
+// fixed seed, regardless of tree shape, batch composition, or thread
+// count.
 #pragma once
 
 #include <vector>
@@ -41,14 +44,14 @@ namespace naru {
 /// are part of the RNG-stream contract); execution fields only move work
 /// between threads and never affect a result.
 struct PlanExecutionOptions {
-  /// Default sample-path budget; a PlanGroup carrying a nonzero
+  /// Default sample-path budget; a PlanTree carrying a nonzero
   /// num_samples (a per-request budget from serve/request.h) overrides it
-  /// for that group's members.
+  /// for that tree's members.
   size_t num_samples = 1000;
   size_t shard_size = 128;
   uint64_t seed = 7;
   /// 1 = strictly serial on the calling thread; any other value spreads
-  /// (group, shard) tasks across `thread_pool` when the model supports
+  /// (tree, shard) tasks across `thread_pool` when the model supports
   /// concurrent sampling.
   size_t parallelism = 0;
   /// nullptr = the process-global pool.
@@ -65,12 +68,12 @@ struct PlanExecutionOptions {
 /// matching Monte Carlo standard errors. Requires
 /// model->SupportsStackedEvaluation().
 ///
-/// Mid-walk abandonment: a group whose abandon_deadline (the latest
+/// Mid-walk abandonment: a tree whose abandon_deadline (the latest
 /// member deadline) has passed is given up BETWEEN column steps — never
-/// inside a kernel — and every member of an abandoned group reports a
+/// inside a kernel — and every member of an abandoned tree reports a
 /// DEADLINE_EXCEEDED entry in `statuses` (optional; parallel to
 /// `estimates`, OK elsewhere) with a NaN estimate. Expiry is inclusive
-/// (now >= deadline), the serve-layer predicate. Groups that are not
+/// (now >= deadline), the serve-layer predicate. Trees that are not
 /// abandoned are bit-identical to a deadline-free run: the checkpoint
 /// reads the clock, it never touches RNG streams or weights.
 void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,

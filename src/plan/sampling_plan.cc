@@ -2,8 +2,29 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <utility>
+
+#include "serve/query_key.h"
 
 namespace naru {
+
+namespace {
+
+// Queries-under-node counts (terminals plus all descendants), computable
+// in one reverse pass because children always follow their parent.
+std::vector<size_t> CountsUnder(const PlanTree& tree) {
+  std::vector<size_t> counts(tree.nodes.size(), 0);
+  for (size_t id = tree.nodes.size(); id > 0; --id) {
+    const PlanTreeNode& node = tree.nodes[id - 1];
+    size_t c = node.terminals.size();
+    for (size_t child : node.children) c += counts[child];
+    counts[id - 1] = c;
+  }
+  return counts;
+}
+
+}  // namespace
 
 size_t SamplingPlan::WalkColumns() const {
   size_t cols = 0;
@@ -13,10 +34,16 @@ size_t SamplingPlan::WalkColumns() const {
   return cols;
 }
 
-size_t SamplingPlan::SharedPrefixColumns() const {
+size_t SamplingPlan::SharedColumns() const {
   size_t saved = 0;
-  for (const auto& g : groups) {
-    if (g.members.size() > 1) saved += g.prefix_len * (g.members.size() - 1);
+  for (const auto& tree : trees) {
+    const std::vector<size_t> counts = CountsUnder(tree);
+    for (size_t id = 0; id < tree.nodes.size(); ++id) {
+      const PlanTreeNode& node = tree.nodes[id];
+      if (counts[id] > 1) {
+        saved += (node.end - node.begin) * (counts[id] - 1);
+      }
+    }
   }
   return saved;
 }
@@ -24,14 +51,356 @@ size_t SamplingPlan::SharedPrefixColumns() const {
 double SamplingPlan::PrefixShareRatio() const {
   const size_t walk = WalkColumns();
   if (walk == 0) return 0.0;
-  return static_cast<double>(SharedPrefixColumns()) /
-         static_cast<double>(walk);
+  return static_cast<double>(SharedColumns()) / static_cast<double>(walk);
 }
+
+size_t SamplingPlan::MaxForkDepth() const {
+  size_t depth = 0;
+  for (const auto& tree : trees) depth = std::max(depth, tree.fork_depth);
+  return depth;
+}
+
+size_t SamplingPlan::MaxFanout() const {
+  size_t fanout = 1;
+  for (const auto& tree : trees) fanout = std::max(fanout, tree.max_fanout);
+  return fanout;
+}
+
+size_t AutoGroupWidth(size_t width_hint, KernelKind kernel,
+                      size_t shard_size) {
+  if (width_hint == 0) return 32;  // no hint: the PR 3 cap
+  // Target stacked rows per GEMM: the scalar ikj loops peak early and
+  // then just burn cache, while the blocked SIMD kernels keep scaling to
+  // a few thousand stacked rows (bench_micro_gemm), and the int8 path —
+  // half the weight traffic — to roughly twice that.
+  size_t target_rows = 1024;
+  if (kernel == KernelKind::kSimd) target_rows = 4096;
+  if (kernel == KernelKind::kSimdInt8) target_rows = 8192;
+  // Wider hidden layers fill the cache with fewer rows; narrow ones need
+  // more rows to amortize the per-GEMM fixed cost.
+  if (width_hint >= 512) target_rows /= 2;
+  if (width_hint <= 64) target_rows *= 2;
+  const size_t width = target_rows / std::max<size_t>(shard_size, 1);
+  return std::min<size_t>(64, std::max<size_t>(4, width));
+}
+
+namespace {
+
+// Per-query, per-model-position walk-step descriptors. Two queries take
+// bit-identical column steps at position `pos` iff their descriptors
+// match: both wildcard (mass 1, draw from the full conditional), or both
+// constrained by a region with identical canonical bytes (RegionKey) —
+// MaskProbsToRegion and FallbackCode are functions of that region and of
+// walk state the queries share inside a common segment. Wildcard encodes
+// as "" (a real region key is never empty), so string equality is the
+// whole test.
+std::vector<std::string> PositionDescriptors(const ConditionalModel* model,
+                                             const QueryPlan& qp) {
+  const size_t n = qp.wildcard.size();
+  std::vector<std::string> desc(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (qp.wildcard[pos]) continue;
+    AppendRegionKey(qp.query->region(model->TableColumnOf(pos)), &desc[pos]);
+  }
+  return desc;
+}
+
+// Shared trie-segment scan: starting at `col`, the longest run of columns
+// every query in `members` steps through identically — no member finishes
+// (last_col < cur) and all descriptors agree. Returns the break column.
+size_t SegmentEnd(const std::vector<QueryPlan>& queries,
+                  const std::vector<std::vector<std::string>>& desc,
+                  const std::vector<size_t>& members, size_t col, size_t n) {
+  size_t cur = col;
+  while (cur < n) {
+    bool brk = false;
+    const std::string& lead = desc[members.front()][cur];
+    for (size_t m : members) {
+      if (queries[m].last_col < static_cast<int>(cur) ||
+          desc[m][cur] != lead) {
+        brk = true;
+        break;
+      }
+    }
+    if (brk) break;
+    ++cur;
+  }
+  return cur;
+}
+
+// Splits `members` at the break column into (terminals, child partitions
+// keyed by descriptor in first-occurrence order).
+void SplitAtBreak(const std::vector<QueryPlan>& queries,
+                  const std::vector<std::vector<std::string>>& desc,
+                  const std::vector<size_t>& members, size_t brk, size_t n,
+                  std::vector<size_t>* terminals,
+                  std::vector<std::vector<size_t>>* parts) {
+  terminals->clear();
+  parts->clear();
+  for (size_t m : members) {
+    if (queries[m].last_col < static_cast<int>(brk)) {
+      terminals->push_back(m);
+      continue;
+    }
+    NARU_CHECK(brk < n);  // a survivor implies the break is a real column
+    std::vector<std::vector<size_t>>& ps = *parts;
+    bool placed = false;
+    for (auto& part : ps) {
+      if (desc[part.front()][brk] == desc[m][brk]) {
+        part.push_back(m);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) ps.push_back({m});
+  }
+}
+
+class TreeCompiler {
+ public:
+  TreeCompiler(const ConditionalModel* model, SamplingPlan* plan,
+               const SamplingPlanOptions& options)
+      : plan_(plan),
+        n_(model->num_columns()),
+        cap_(std::max<size_t>(options.max_group_width, 1)) {
+    desc_.reserve(plan->queries.size());
+    for (const QueryPlan& qp : plan->queries) {
+      desc_.push_back(PositionDescriptors(model, qp));
+    }
+  }
+
+  /// Hierarchical mode: recursively cut the budget class into clusters of
+  /// at most `cap_` queries (splitting at trie fork points, greedily
+  /// re-packing small sibling clusters so stacked GEMMs stay wide), then
+  /// build one trie per cluster.
+  void EmitTreeClass(const std::vector<size_t>& indices) {
+    for (const std::vector<size_t>& cluster : SplitCluster(indices, 0)) {
+      EmitTrie(cluster);
+    }
+  }
+
+  /// Flat mode: PR 3 groups expressed as depth-1 trees (root = the shared
+  /// leading-wildcard prefix, one leaf per member).
+  void EmitFlatClass(const std::vector<size_t>& indices) {
+    for (const auto& [prefix_len, members] : FlatGroups(indices)) {
+      PlanTree tree;
+      tree.members = members;
+      PlanTreeNode root;
+      root.begin = 0;
+      root.end = prefix_len;
+      root.rep = members.front();
+      if (members.size() == 1) {
+        root.end = static_cast<size_t>(plan_->queries[members[0]].last_col) + 1;
+        root.terminals = members;
+        tree.nodes.push_back(std::move(root));
+      } else {
+        tree.nodes.push_back(root);
+        for (size_t m : members) {
+          PlanTreeNode leaf;
+          leaf.begin = prefix_len;
+          leaf.end = static_cast<size_t>(plan_->queries[m].last_col) + 1;
+          leaf.rep = m;
+          leaf.terminals = {m};
+          tree.nodes[0].children.push_back(tree.nodes.size());
+          tree.nodes.push_back(std::move(leaf));
+        }
+      }
+      FinishTree(std::move(tree));
+    }
+  }
+
+  /// The PR 3 savings-maximizing DP over leading-wildcard runs, width-cap
+  /// splitting included: returns (prefix_len, members) groups with
+  /// members ordered by last_col descending. Also the flat baseline the
+  /// FlatSharedColumns() stat is computed from.
+  std::vector<std::pair<size_t, std::vector<size_t>>> FlatGroups(
+      const std::vector<size_t>& indices) const {
+    const std::vector<QueryPlan>& queries = plan_->queries;
+    const size_t mc = indices.size();
+    // Sort by leading-run length descending (stable on batch order) so any
+    // contiguous segment's shareable prefix is its LAST element's run.
+    std::vector<size_t> order = indices;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return queries[a].wildcard_run > queries[b].wildcard_run;
+    });
+
+    // Partition the sorted sequence into contiguous segments maximizing
+    // the prefix-sharing savings Σ run(last) · (len - 1); on equal
+    // savings, prefer fewer segments (wider stacked GEMMs). best[j] =
+    // optimum for the first j queries.
+    struct Best {
+      size_t savings = 0;
+      size_t segments = 0;
+      size_t cut = 0;  // segment start for the partition ending at j
+    };
+    std::vector<Best> best(mc + 1);
+    for (size_t j = 1; j <= mc; ++j) {
+      best[j].savings = 0;
+      best[j].segments = mc + 1;
+      for (size_t i = 0; i < j; ++i) {  // segment [i, j)
+        const size_t run = queries[order[j - 1]].wildcard_run;
+        const size_t cand = best[i].savings + run * (j - 1 - i);
+        const size_t segs = best[i].segments + 1;
+        if (cand > best[j].savings ||
+            (cand == best[j].savings && segs < best[j].segments)) {
+          best[j].savings = cand;
+          best[j].segments = segs;
+          best[j].cut = i;
+        }
+      }
+    }
+
+    // Recover segments, then split any that exceed the width cap.
+    std::vector<std::pair<size_t, size_t>> segments;  // [begin, end)
+    for (size_t j = mc; j > 0; j = best[j].cut) {
+      segments.emplace_back(best[j].cut, j);
+    }
+    std::reverse(segments.begin(), segments.end());
+
+    std::vector<std::pair<size_t, std::vector<size_t>>> groups;
+    for (const auto& [seg_begin, seg_end] : segments) {
+      const size_t len = seg_end - seg_begin;
+      const size_t pieces = (len + cap_ - 1) / cap_;
+      // Even split: every piece keeps the segment's shared prefix.
+      const size_t base = len / pieces;
+      const size_t extra = len % pieces;
+      size_t at = seg_begin;
+      for (size_t p = 0; p < pieces; ++p) {
+        const size_t take = base + (p < extra ? 1 : 0);
+        std::vector<size_t> members(
+            order.begin() + static_cast<ptrdiff_t>(at),
+            order.begin() + static_cast<ptrdiff_t>(at + take));
+        at += take;
+        size_t prefix_len = queries[members.front()].wildcard_run;
+        for (size_t m : members) {
+          prefix_len = std::min(prefix_len, queries[m].wildcard_run);
+        }
+        // Tail blocks must be droppable by truncation once their queries
+        // pass their last constrained position.
+        std::stable_sort(members.begin(), members.end(),
+                         [&](size_t a, size_t b) {
+                           return queries[a].last_col > queries[b].last_col;
+                         });
+        groups.emplace_back(prefix_len, std::move(members));
+      }
+    }
+    return groups;
+  }
+
+  /// Flat baseline savings on this class (for FlatSharedColumns()).
+  size_t FlatSavings(const std::vector<size_t>& indices) const {
+    size_t saved = 0;
+    for (const auto& [prefix_len, members] : FlatGroups(indices)) {
+      if (members.size() > 1) saved += prefix_len * (members.size() - 1);
+    }
+    return saved;
+  }
+
+ private:
+  std::vector<std::vector<size_t>> SplitCluster(
+      const std::vector<size_t>& members, size_t col) const {
+    if (members.size() <= cap_) return {members};
+    const size_t brk = SegmentEnd(plan_->queries, desc_, members, col, n_);
+    std::vector<size_t> terminals;
+    std::vector<std::vector<size_t>> parts;
+    SplitAtBreak(plan_->queries, desc_, members, brk, n_, &terminals, &parts);
+    // Units: cap-sized chunks of the terminals, then each sub-part cut
+    // recursively. All units share the walk over [col, brk), so greedy
+    // first-fit packing of consecutive units keeps GEMMs wide without
+    // ever fusing what the trie would not.
+    std::vector<std::vector<size_t>> units;
+    for (size_t at = 0; at < terminals.size(); at += cap_) {
+      const size_t take = std::min(cap_, terminals.size() - at);
+      units.emplace_back(terminals.begin() + static_cast<ptrdiff_t>(at),
+                         terminals.begin() + static_cast<ptrdiff_t>(at + take));
+    }
+    for (const std::vector<size_t>& part : parts) {
+      std::vector<std::vector<size_t>> sub = SplitCluster(part, brk);
+      for (auto& s : sub) units.push_back(std::move(s));
+    }
+    std::vector<std::vector<size_t>> bins;
+    for (std::vector<size_t>& unit : units) {
+      if (!bins.empty() && bins.back().size() + unit.size() <= cap_) {
+        bins.back().insert(bins.back().end(), unit.begin(), unit.end());
+      } else {
+        bins.push_back(std::move(unit));
+      }
+    }
+    return bins;
+  }
+
+  /// Builds the trie over `cluster` and appends the finished tree.
+  void EmitTrie(const std::vector<size_t>& cluster) {
+    PlanTree tree;
+    tree.members = cluster;
+    BuildNode(&tree, cluster, 0);
+    FinishTree(std::move(tree));
+  }
+
+  size_t BuildNode(PlanTree* tree, const std::vector<size_t>& members,
+                   size_t col) const {
+    const size_t id = tree->nodes.size();
+    tree->nodes.emplace_back();
+    const size_t end = SegmentEnd(plan_->queries, desc_, members, col, n_);
+    std::vector<size_t> terminals;
+    std::vector<std::vector<size_t>> parts;
+    SplitAtBreak(plan_->queries, desc_, members, end, n_, &terminals, &parts);
+    // Fill through the index: recursion below reallocates `nodes`.
+    tree->nodes[id].begin = col;
+    tree->nodes[id].end = end;
+    tree->nodes[id].rep = members.front();
+    tree->nodes[id].terminals = std::move(terminals);
+    for (const std::vector<size_t>& part : parts) {
+      const size_t child = BuildNode(tree, part, end);
+      tree->nodes[id].children.push_back(child);
+    }
+    return id;
+  }
+
+  /// Budget, deadline, and shape stats; appends to the plan.
+  void FinishTree(PlanTree tree) {
+    const std::vector<QueryPlan>& queries = plan_->queries;
+    tree.num_samples = queries[tree.members.front()].num_samples;
+    // Abandonable only past the LATEST member deadline: the shared walk
+    // serves every member, so it may be given up only once all of them
+    // have expired. kNoDeadline is time_point::max(), so one
+    // deadline-free member disables abandonment via the max.
+    tree.abandon_deadline = std::chrono::steady_clock::time_point::min();
+    for (size_t m : tree.members) {
+      tree.abandon_deadline =
+          std::max(tree.abandon_deadline, queries[m].deadline);
+    }
+    // Fork depth / fanout by one reverse pass (children follow parents).
+    std::vector<size_t> depth(tree.nodes.size(), 0);
+    for (size_t id = tree.nodes.size(); id > 0; --id) {
+      const PlanTreeNode& node = tree.nodes[id - 1];
+      size_t below = 0;
+      for (size_t child : node.children) {
+        below = std::max(below, depth[child]);
+      }
+      const size_t branches =
+          node.children.size() + (node.terminals.empty() ? 0 : 1);
+      depth[id - 1] = below + (branches >= 2 ? 1 : 0);
+      tree.max_fanout =
+          std::max(tree.max_fanout, std::max<size_t>(node.children.size(), 1));
+    }
+    if (!tree.nodes.empty()) tree.fork_depth = depth[0];
+    plan_->trees.push_back(std::move(tree));
+  }
+
+  SamplingPlan* plan_;
+  const size_t n_;
+  const size_t cap_;
+  std::vector<std::vector<std::string>> desc_;
+};
+
+}  // namespace
 
 SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
                                  const std::vector<const Query*>& queries,
                                  const SamplingPlanOptions& options) {
   SamplingPlan plan;
+  plan.mode = options.mode;
   plan.queries.reserve(queries.size());
   NARU_CHECK(options.budgets.empty() ||
              options.budgets.size() == queries.size());
@@ -58,94 +427,9 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
   const size_t m = plan.queries.size();
   if (m == 0) return plan;
 
-  // Groups a budget class: `indices` (in batch order) all share one
-  // sample budget, so the savings-maximizing partition is free to fuse
-  // any of them.
-  const auto group_class = [&](const std::vector<size_t>& indices) {
-    const size_t mc = indices.size();
-    // Sort by leading-run length descending (stable on batch order) so any
-    // contiguous segment's shareable prefix is its LAST element's run.
-    std::vector<size_t> order = indices;
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return plan.queries[a].wildcard_run > plan.queries[b].wildcard_run;
-    });
+  TreeCompiler compiler(model, &plan, options);
 
-    // Partition the sorted sequence into contiguous segments maximizing
-    // the prefix-sharing savings Σ run(last) · (len - 1); on equal
-    // savings, prefer fewer segments (wider stacked GEMMs). best[j] =
-    // optimum for the first j queries.
-    struct Best {
-      size_t savings = 0;
-      size_t segments = 0;
-      size_t cut = 0;  // segment start for the partition ending at j
-    };
-    std::vector<Best> best(mc + 1);
-    for (size_t j = 1; j <= mc; ++j) {
-      best[j].savings = 0;
-      best[j].segments = mc + 1;
-      for (size_t i = 0; i < j; ++i) {  // segment [i, j)
-        const size_t run = plan.queries[order[j - 1]].wildcard_run;
-        const size_t cand = best[i].savings + run * (j - 1 - i);
-        const size_t segs = best[i].segments + 1;
-        if (cand > best[j].savings ||
-            (cand == best[j].savings && segs < best[j].segments)) {
-          best[j].savings = cand;
-          best[j].segments = segs;
-          best[j].cut = i;
-        }
-      }
-    }
-
-    // Recover segments, then split any that exceed max_group_width.
-    std::vector<std::pair<size_t, size_t>> segments;  // [begin, end)
-    for (size_t j = mc; j > 0; j = best[j].cut) {
-      segments.emplace_back(best[j].cut, j);
-    }
-    std::reverse(segments.begin(), segments.end());
-
-    const size_t cap = std::max<size_t>(options.max_group_width, 1);
-    for (const auto& [seg_begin, seg_end] : segments) {
-      const size_t len = seg_end - seg_begin;
-      const size_t pieces = (len + cap - 1) / cap;
-      // Even split: every piece keeps the segment's shared prefix.
-      const size_t base = len / pieces;
-      const size_t extra = len % pieces;
-      size_t at = seg_begin;
-      for (size_t p = 0; p < pieces; ++p) {
-        const size_t take = base + (p < extra ? 1 : 0);
-        PlanGroup group;
-        group.members.assign(order.begin() + static_cast<ptrdiff_t>(at),
-                             order.begin() + static_cast<ptrdiff_t>(at + take));
-        at += take;
-        group.prefix_len = plan.queries[group.members.front()].wildcard_run;
-        for (size_t member : group.members) {
-          group.prefix_len =
-              std::min(group.prefix_len, plan.queries[member].wildcard_run);
-        }
-        group.num_samples = plan.queries[group.members.front()].num_samples;
-        // Abandonable only past the LATEST member deadline: the shared
-        // walk serves every member, so it may be given up only once all
-        // of them have expired. kNoDeadline is time_point::max(), so one
-        // deadline-free member disables abandonment via the max.
-        group.abandon_deadline =
-            std::chrono::steady_clock::time_point::min();
-        for (size_t member : group.members) {
-          group.abandon_deadline = std::max(group.abandon_deadline,
-                                            plan.queries[member].deadline);
-        }
-        // Tail blocks must be droppable by truncation once their queries
-        // pass their last constrained position.
-        std::stable_sort(group.members.begin(), group.members.end(),
-                         [&](size_t a, size_t b) {
-                           return plan.queries[a].last_col >
-                                  plan.queries[b].last_col;
-                         });
-        plan.groups.push_back(std::move(group));
-      }
-    }
-  };
-
-  // Partition by sample budget first — a group's shared prefix walk and
+  // Partition by sample budget first — a tree's shared walk segments and
   // shard layout are functions of the budget, so cross-budget fusion is
   // impossible by construction. Classes run in ascending-budget order
   // (deterministic); with one class this is exactly the budget-free path.
@@ -160,7 +444,12 @@ SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
     for (size_t qi = 0; qi < m; ++qi) {
       if (plan.queries[qi].num_samples == budget) class_indices.push_back(qi);
     }
-    group_class(class_indices);
+    plan.flat_shared_cols += compiler.FlatSavings(class_indices);
+    if (options.mode == PlanMode::kFlat) {
+      compiler.EmitFlatClass(class_indices);
+    } else {
+      compiler.EmitTreeClass(class_indices);
+    }
   }
   return plan;
 }

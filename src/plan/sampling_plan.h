@@ -10,23 +10,32 @@
 //   - per-query region-mask metadata is materialized once (wildcard flag
 //     per model position, last constrained position, leading-wildcard run
 //     length);
-//   - queries are partitioned into PLAN GROUPS by shared leading-wildcard
-//     prefix. The walk state over a leading run of unconstrained positions
-//     is query-independent for a fixed (seed, shard) RNG stream — every
-//     position contributes mass exactly 1 and draws from the full
-//     conditional — so one shard walk over the group's common prefix is
-//     computed once and forked into per-query suffix walks, exactly;
-//   - within a group, the per-column model evaluations of all queries are
-//     fused into single stacked forward passes (one GEMM sequence for the
-//     whole group instead of one per query); see plan_executor.h.
+//   - queries are compiled into PLAN TREES: prefix tries in which every
+//     node is a maximal run of columns over which all queries below the
+//     node take the SAME walk step, and children fork at the first column
+//     where they diverge. A shared segment is walked once per shard and
+//     forked — copying samples, weights, liveness, and the RNG stream —
+//     into each child, so a batch sharing columns 0-3 and then splitting
+//     into two sub-groups sharing 4-6 walks columns 0-3 exactly once;
+//   - sharing is not limited to wildcards: two queries whose leading
+//     columns carry IDENTICAL constrained regions (the same point / range
+//     / IN-list predicate, compared by canonical RegionKey bytes) take
+//     bit-identical column steps there — same masked mass folded into the
+//     weights, same truncated draw — so the walk AND its likelihood terms
+//     are shared;
+//   - within a tree, the per-column model evaluations of every live
+//     branch are fused into single stacked forward passes (one GEMM
+//     sequence for the whole frontier instead of one per query); see
+//     plan_executor.h.
 //
-// Grouping maximizes the number of prefix column-walks saved,
-// Σ prefix_len · (group size - 1), by dynamic programming over queries
-// sorted by leading-run length; ties prefer fewer, wider groups (wider
-// stacked GEMMs). The partition only decides WHERE rows sit in stacked
-// matrices and which columns are walked once instead of per query — never
-// what is computed — so estimates are bit-identical to the sequential
-// path for any group layout (the test oracle throughout src/plan).
+// The tree layout only decides WHERE rows sit in stacked matrices and
+// which columns are walked once instead of per query — never what is
+// computed — so estimates are bit-identical to the sequential path for
+// any tree shape (the test oracle throughout src/plan).
+//
+// PlanMode::kFlat preserves the PR 3 single-level grouping (savings-
+// maximizing DP over leading-wildcard runs only, one fork per group) as a
+// degenerate tree shape, for ablations and as the conservative fallback.
 #pragma once
 
 #include <chrono>
@@ -35,6 +44,7 @@
 
 #include "core/conditional_model.h"
 #include "query/query.h"
+#include "tensor/kernel.h"
 #include "util/deadline.h"
 
 namespace naru {
@@ -48,77 +58,140 @@ struct QueryPlan {
   /// Last constrained model position (the trailing-wildcard early exit).
   /// Plans are compiled for sampled queries only, so this is >= 0.
   int last_col = -1;
-  /// Leading run of wildcard model positions (the shareable prefix).
+  /// Leading run of wildcard model positions (the flat-mode prefix).
   size_t wildcard_run = 0;
   /// Wildcard flag per model position 0..num_columns-1.
   std::vector<uint8_t> wildcard;
   /// Per-request sample-path budget (serve/request.h); 0 = the executor's
-  /// default. Part of the VALUE contract: the compiler never groups
-  /// queries with different budgets, because a group's members share one
-  /// prefix walk and one shard layout — both functions of the budget.
+  /// default. Part of the VALUE contract: the compiler never fuses
+  /// queries with different budgets, because a tree's members share walk
+  /// segments and one shard layout — both functions of the budget.
   size_t num_samples = 0;
   /// Per-request soft deadline (steady_clock; kNoDeadline = none).
-  /// Scheduling metadata only — it NEVER affects grouping, and a group's
+  /// Scheduling metadata only — it NEVER affects tree shape, and a tree's
   /// walk is abandoned mid-column only once EVERY member has expired
-  /// (see PlanGroup::abandon_deadline), so a deadline can only replace an
+  /// (see PlanTree::abandon_deadline), so a deadline can only replace an
   /// answer with a typed DEADLINE_EXCEEDED status, never change one.
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
 };
 
-/// One group of queries sharing a leading-wildcard prefix walk.
-struct PlanGroup {
-  /// Shared prefix length: min wildcard_run over members (possibly 0 —
-  /// such a group still fuses its members' forward passes).
-  size_t prefix_len = 0;
-  /// Indices into SamplingPlan::queries, ordered by last_col descending
-  /// so that finished queries always occupy the TAIL blocks of the
-  /// stacked walk and can be dropped by truncation.
+/// One node of a plan tree: a chain-compressed trie node, i.e. a maximal
+/// column run [begin, end) over which every query below the node takes an
+/// identical walk step (all wildcard, or all carrying the same constrained
+/// region by canonical key). At column `end` the node's terminals finish
+/// (their last constrained position is end-1) and each child forks off
+/// with a private copy of the walk state.
+struct PlanTreeNode {
+  size_t begin = 0;  ///< first column of the shared segment
+  size_t end = 0;    ///< one past the last column (begin == end: pure fork)
+  /// Representative member (index into SamplingPlan::queries): the
+  /// executor reads the segment's regions and wildcard flags through this
+  /// query — valid for every member below the node by construction.
+  size_t rep = 0;
+  /// Queries (indices into SamplingPlan::queries) whose walk finishes in
+  /// this segment: last_col == end - 1. Reduced when the node retires.
+  std::vector<size_t> terminals;
+  /// Child node ids (into PlanTree::nodes) forking at column `end`, in
+  /// deterministic first-member order. Children always appear after their
+  /// parent in PlanTree::nodes.
+  std::vector<size_t> children;
+};
+
+/// One prefix trie of queries sharing walk structure; the executor's unit
+/// of GEMM fusion (a (tree, shard) pair is one task).
+struct PlanTree {
+  /// nodes[0] is the root (begin == 0).
+  std::vector<PlanTreeNode> nodes;
+  /// Every member query of the tree (union of node terminals).
   std::vector<size_t> members;
   /// The members' common sample budget (0 = executor default). Uniform
-  /// across the group by construction.
+  /// across the tree by construction.
   size_t num_samples = 0;
-  /// Instant past which the group's walk may be abandoned between column
+  /// Instant past which the tree's walk may be abandoned between column
   /// steps: the LATEST member deadline — every member must have expired
   /// before a shared walk is given up, because one walk serves them all.
   /// kNoDeadline (any deadline-free member) disables abandonment.
   std::chrono::steady_clock::time_point abandon_deadline = kNoDeadline;
+  /// Fork depth: maximum number of fork points (nodes with >= 2 children
+  /// or any terminal alongside survivors) on a root-to-leaf path. 0 for a
+  /// single-query tree.
+  size_t fork_depth = 0;
+  /// Widest single fork (max children count over nodes; 1 if none).
+  size_t max_fanout = 1;
+};
+
+/// How CompileSamplingPlan shapes its trees.
+enum class PlanMode {
+  /// Hierarchical prefix-forking trie: multi-depth sharing over wildcard
+  /// AND identically-constrained leading columns. The default.
+  kTree,
+  /// PR 3 flat grouping: one shared leading-wildcard prefix per group,
+  /// one fork, members stacked until they finish. Kept for the
+  /// legacy/flat/tree ablation in bench_serving_throughput.
+  kFlat,
 };
 
 struct SamplingPlan {
   std::vector<QueryPlan> queries;
-  std::vector<PlanGroup> groups;
+  std::vector<PlanTree> trees;
+  PlanMode mode = PlanMode::kTree;
 
   /// Per-shard column-walks the sequential path would run: Σ (last_col+1).
   size_t WalkColumns() const;
-  /// Per-shard column-walks saved by prefix sharing:
-  /// Σ_groups prefix_len · (members-1).
-  size_t SharedPrefixColumns() const;
-  /// SharedPrefixColumns / WalkColumns in [0, 1).
+  /// Per-shard column-walks saved by segment sharing:
+  /// Σ_nodes (end - begin) · (queries under node - 1). In kFlat mode this
+  /// reduces to the PR 3 quantity Σ_groups prefix_len · (members - 1).
+  size_t SharedColumns() const;
+  /// Column-walks the FLAT single-level leading-wildcard grouping would
+  /// have saved on the same batch (computed by the compiler in both
+  /// modes); SharedColumns() - FlatSharedColumns() is the headroom the
+  /// hierarchical / constrained sharing added.
+  size_t FlatSharedColumns() const { return flat_shared_cols; }
+  /// SharedColumns / WalkColumns in [0, 1).
   double PrefixShareRatio() const;
+  /// Max PlanTree::fork_depth over trees (0 when empty).
+  size_t MaxForkDepth() const;
+  /// Max PlanTree::max_fanout over trees (1 when empty).
+  size_t MaxFanout() const;
+
+  size_t flat_shared_cols = 0;  ///< see FlatSharedColumns()
 };
 
 struct SamplingPlanOptions {
-  /// Upper bound on queries per group. Bounds stacked-walk memory
-  /// (group_width · shard_size rows of model activations) and yields more
-  /// (group, shard) tasks for the executor to spread across threads.
-  /// Never affects estimates.
+  /// Tree shape: hierarchical trie (default) or flat PR 3 grouping.
+  PlanMode mode = PlanMode::kTree;
+  /// Fork fan-out cap: upper bound on queries fused into one tree. Bounds
+  /// stacked-walk memory (width · shard_size rows of model activations)
+  /// and yields more (tree, shard) tasks for the executor to spread
+  /// across threads. Never affects estimates. 32 matches the PR 3 cap;
+  /// serving derives it from AutoGroupWidth below instead.
   size_t max_group_width = 32;
   /// Per-query sample-path budgets, parallel to the `queries` argument of
   /// CompileSamplingPlan (0 entries = executor default). Empty = every
-  /// query uses the default. Queries are partitioned by budget BEFORE the
-  /// savings-maximizing grouping runs, so a group only ever fuses queries
-  /// with identical budgets — with a single budget class the grouping is
-  /// exactly the budget-free one.
+  /// query uses the default. Queries are partitioned by budget BEFORE any
+  /// tree is built, so a tree only ever fuses queries with identical
+  /// budgets — with a single budget class the shape is exactly the
+  /// budget-free one.
   std::vector<size_t> budgets;
   /// Per-query soft deadlines, parallel to `queries` (empty = none; see
   /// QueryPlan::deadline). Unlike budgets these never partition or
-  /// reorder the grouping — they only set each group's abandon_deadline.
+  /// reorder the trees — they only set each tree's abandon_deadline.
   std::vector<std::chrono::steady_clock::time_point> deadlines;
 };
 
+/// Width auto-tuning: picks a fork fan-out cap so stacked GEMM shapes land
+/// in the sweet spot bench_micro_gemm measured — SIMD kernels amortize
+/// over far more stacked rows than the scalar loops before going
+/// memory-bound, and wider hidden layers saturate cache with fewer rows.
+/// `width_hint` is the model's dominant GEMM inner width
+/// (ConditionalModel::StackedWidthHint); 0 falls back to the PR 3 cap of
+/// 32. Deterministic: a pure function of its arguments.
+size_t AutoGroupWidth(size_t width_hint, KernelKind kernel,
+                      size_t shard_size);
+
 /// Compiles the batch `queries` (distinct, sampled-path queries against
-/// `model`) into groups. Deterministic: depends only on the query batch
-/// and options, never on threads or timing.
+/// `model`) into plan trees. Deterministic: depends only on the query
+/// batch and options, never on threads or timing.
 SamplingPlan CompileSamplingPlan(const ConditionalModel* model,
                                  const std::vector<const Query*>& queries,
                                  const SamplingPlanOptions& options = {});

@@ -17,6 +17,18 @@ std::vector<Query> GenerateWorkload(const Table& table,
   std::vector<Query> out;
   out.reserve(config.num_queries);
 
+  // Anchor tuples for constrained-prefix shaping, pre-drawn so every shaped
+  // query picks literals from the same small template pool (gated on the
+  // knob: unshaped configs consume exactly the RNG stream they always did).
+  const bool shape_shared_prefix = config.shared_prefix_columns > 0 &&
+                                   config.shared_prefix_fraction > 0.0 &&
+                                   config.shared_prefix_templates > 0;
+  std::vector<size_t> template_rows;
+  if (shape_shared_prefix) {
+    template_rows.resize(config.shared_prefix_templates);
+    for (size_t& r : template_rows) r = rng.UniformInt(table.num_rows());
+  }
+
   std::vector<size_t> col_order(num_cols);
   for (size_t i = 0; i < num_cols; ++i) col_order[i] = i;
 
@@ -27,13 +39,25 @@ std::vector<Query> GenerateWorkload(const Table& table,
     // Choose f distinct columns via partial shuffle.
     rng.Shuffle(&col_order);
 
-    // Leading-wildcard shaping: push the first `leading_wildcards` columns
-    // out of filter range so this query keeps an unconstrained leading run
-    // (the draw is gated on the knob, so unshaped configs consume exactly
-    // the RNG stream they always did).
-    if (config.leading_wildcards > 0 &&
-        config.leading_wildcard_fraction > 0.0 &&
-        rng.UniformDouble() < config.leading_wildcard_fraction) {
+    // Constrained-prefix shaping: equality predicates on the leading
+    // columns, literals from a shared anchor tuple. The f drawn filters
+    // then avoid those columns, so the prefix predicates are exactly the
+    // template's.
+    size_t prefix_cols = 0;
+    size_t template_row = 0;
+    if (shape_shared_prefix &&
+        rng.UniformDouble() < config.shared_prefix_fraction) {
+      prefix_cols = std::min(config.shared_prefix_columns, num_cols);
+      template_row = template_rows[rng.UniformInt(template_rows.size())];
+      std::stable_partition(col_order.begin(), col_order.end(),
+                            [&](size_t c) { return c >= prefix_cols; });
+      f = std::min(f, num_cols - prefix_cols);
+    } else if (config.leading_wildcards > 0 &&
+               config.leading_wildcard_fraction > 0.0 &&
+               rng.UniformDouble() < config.leading_wildcard_fraction) {
+      // Leading-wildcard shaping: push the first `leading_wildcards`
+      // columns out of filter range so this query keeps an unconstrained
+      // leading run.
       std::stable_partition(
           col_order.begin(), col_order.end(),
           [&](size_t c) { return c >= config.leading_wildcards; });
@@ -47,7 +71,14 @@ std::vector<Query> GenerateWorkload(const Table& table,
     const size_t tuple_row = rng.UniformInt(table.num_rows());
 
     std::vector<Predicate> preds;
-    preds.reserve(f);
+    preds.reserve(prefix_cols + f);
+    for (size_t c = 0; c < prefix_cols; ++c) {
+      Predicate p;
+      p.column = c;
+      p.op = CompareOp::kEq;
+      p.literal = table.column(c).code(template_row);
+      preds.push_back(p);
+    }
     for (size_t k = 0; k < f; ++k) {
       const size_t col = col_order[k];
       const size_t domain = table.column(col).DomainSize();

@@ -38,6 +38,19 @@ struct WorkloadConfig {
   /// leaves generation untouched (existing seeds keep their workloads).
   size_t leading_wildcards = 0;
   double leading_wildcard_fraction = 0.0;
+  /// Constrained-prefix shaping: with probability `shared_prefix_fraction`,
+  /// a query's first `shared_prefix_columns` columns receive equality
+  /// predicates whose literals come from one of `shared_prefix_templates`
+  /// pre-drawn anchor tuples. Queries shaped from the same template carry
+  /// identical leading (column, literal) pairs — the constrained prefixes
+  /// that hierarchical plan trees (src/plan) share, walk and likelihood
+  /// terms both. 0 columns or fraction 0 (the defaults) leave generation
+  /// untouched; all new draws are gated on the knob, so existing seeds
+  /// keep their workloads. A query shaped here skips leading-wildcard
+  /// shaping (the two prefix styles are mutually exclusive per query).
+  size_t shared_prefix_columns = 0;
+  size_t shared_prefix_templates = 4;
+  double shared_prefix_fraction = 0.0;
   uint64_t seed = 42;
 };
 

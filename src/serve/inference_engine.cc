@@ -123,14 +123,21 @@ std::string FormatEngineStats(const EngineStats& stats) {
       stats.marginal_misses, stats.marginal_evictions, stats.marginal_entries,
       stats.marginal_bytes / 1024.0);
   out += StrFormat(
-      "# plans: %zu queries in %zu groups over %zu batches, avg group %.1f, "
+      "# plans: %zu queries in %zu trees over %zu batches, avg tree %.1f, "
       "prefix-share ratio %.3f (%zu of %zu column walks shared)\n",
-      stats.planned_queries, stats.plan_groups, stats.plan_batches,
-      stats.plan_groups == 0 ? 0.0
-                             : static_cast<double>(stats.planned_queries) /
-                                   static_cast<double>(stats.plan_groups),
+      stats.planned_queries, stats.plan_trees, stats.plan_batches,
+      stats.plan_trees == 0 ? 0.0
+                            : static_cast<double>(stats.planned_queries) /
+                                  static_cast<double>(stats.plan_trees),
       stats.prefix_share_ratio(), stats.plan_shared_cols,
       stats.plan_walk_cols);
+  out += StrFormat(
+      "# plan trees: max fork depth %zu, max fanout %zu, shared cols %zu "
+      "vs %zu flat-equivalent (+%zu from multi-depth/constrained sharing)\n",
+      stats.plan_max_depth, stats.plan_max_fanout, stats.plan_shared_cols,
+      stats.plan_flat_shared_cols,
+      stats.plan_shared_cols -
+          std::min(stats.plan_flat_shared_cols, stats.plan_shared_cols));
   out += StrFormat("# workspaces created: %zu\n", stats.workspaces_created);
   if (stats.shed_expired_victims > 0) {
     out += StrFormat(
@@ -277,7 +284,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   // LATEST deadline over every request coalesced into it, so a shared
   // walk is abandoned only once every interested request has expired —
   // one deadline-free duplicate (kNoDeadline = max()) pins it to "never".
-  // This is the per-computation analogue of PlanGroup::abandon_deadline.
+  // This is the per-computation analogue of PlanTree::abandon_deadline.
   std::vector<std::chrono::steady_clock::time_point> rep_deadline(n,
                                                                   kNoDeadline);
   reps.reserve(n);
@@ -630,6 +637,15 @@ void InferenceEngine::EstimatePlanned(
 
   const ProgressiveSamplerConfig& scfg = est->sampler()->config();
   SamplingPlanOptions plan_opts;
+  plan_opts.mode = cfg_.plan_mode;
+  // Fork fan-out cap: pinned by config, or auto-tuned so stacked GEMM
+  // shapes suit the model's hidden width, the active kernel, and the
+  // shard size. Execution-only — the cap can never change an estimate.
+  plan_opts.max_group_width =
+      cfg_.group_width != 0
+          ? cfg_.group_width
+          : AutoGroupWidth(est->model()->StackedWidthHint(),
+                           est->model()->inference_kernel(), scfg.shard_size);
   plan_opts.budgets.reserve(reps.size());
   plan_opts.deadlines.reserve(reps.size());
   for (const SampledRep& rep : reps) {
@@ -639,13 +655,13 @@ void InferenceEngine::EstimatePlanned(
     plan_opts.deadlines.push_back(rep.deadline);
   }
   if (pool != nullptr) {
-    // (group, shard) tasks are the parallelism grain: when shards alone
+    // (tree, shard) tasks are the parallelism grain: when shards alone
     // cannot cover the pool (few sample paths -> one shard), shrink the
-    // group width so the task count does. Grouping is an execution detail
-    // — it can never change an estimate — so this cap may depend on the
-    // thread count without breaking thread-count invariance. (The cap is
-    // sized from the estimator's default budget; per-request budgets only
-    // shift how many shards each group happens to have.)
+    // tree width so the task count does. Tree shape is an execution
+    // detail — it can never change an estimate — so this cap may depend
+    // on the thread count without breaking thread-count invariance. (The
+    // cap is sized from the estimator's default budget; per-request
+    // budgets only shift how many shards each tree happens to have.)
     const size_t num_shards =
         SamplerNumShards(scfg.num_samples, scfg.shard_size);
     const size_t min_groups =
@@ -679,9 +695,12 @@ void InferenceEngine::EstimatePlanned(
   std::lock_guard<std::mutex> lock(mu_);
   stats_.planned_queries += reps.size();
   ++stats_.plan_batches;
-  stats_.plan_groups += plan.groups.size();
-  stats_.plan_shared_cols += plan.SharedPrefixColumns();
+  stats_.plan_trees += plan.trees.size();
+  stats_.plan_shared_cols += plan.SharedColumns();
+  stats_.plan_flat_shared_cols += plan.FlatSharedColumns();
   stats_.plan_walk_cols += plan.WalkColumns();
+  stats_.plan_max_depth = std::max(stats_.plan_max_depth, plan.MaxForkDepth());
+  stats_.plan_max_fanout = std::max(stats_.plan_max_fanout, plan.MaxFanout());
   auto& memo = caches_[est->model()].result_memo;
   for (size_t i = 0; i < reps.size(); ++i) {
     EstimateResult& r = (*out)[reps[i].index];

@@ -35,6 +35,7 @@
 
 #include "core/naru_estimator.h"
 #include "core/sampler.h"
+#include "plan/sampling_plan.h"
 #include "serve/lru_cache.h"
 #include "serve/request.h"
 #include "util/latency_histogram.h"
@@ -63,13 +64,27 @@ struct InferenceEngineConfig {
   /// bit-identical value through the deterministic sampler.
   size_t cache_budget_bytes = 4 * 1024 * 1024;
   /// Compile each batch's sampled queries into a SamplingPlan (src/plan):
-  /// queries grouped by shared leading-wildcard prefix, one walk per
-  /// (shard, prefix group), per-column model evaluations fused into
-  /// stacked GEMMs across the group. Only taken for models whose sessions
-  /// support stacked evaluation (MADE and wrappers); estimates are
-  /// bit-identical either way, so this is purely an execution strategy
-  /// switch (kept as a flag for A/B benchmarking).
+  /// queries compiled into prefix-forking plan trees, one walk per shared
+  /// segment per shard, per-column model evaluations fused into stacked
+  /// GEMMs across the tree's frontier. Only taken for models whose
+  /// sessions support stacked evaluation (MADE, the transformer, and
+  /// wrappers); estimates are bit-identical either way, so this is purely
+  /// an execution strategy switch (kept as a flag for A/B benchmarking).
   bool enable_plan = true;
+  /// Plan tree shape (plan/sampling_plan.h): hierarchical prefix-forking
+  /// tries with constrained-prefix sharing (default), or the flat PR 3
+  /// single-level leading-wildcard grouping (the legacy/flat/tree
+  /// ablation in bench_serving_throughput). Execution strategy only —
+  /// estimates are bit-identical in either mode, which is why memo keys
+  /// do NOT include it (a result cached under one mode is exactly the
+  /// other mode's answer).
+  PlanMode plan_mode = PlanMode::kTree;
+  /// Fork fan-out cap per plan tree: 0 = auto-tuned per batch from the
+  /// model's StackedWidthHint, its active inference kernel, and the
+  /// sampler's shard size (AutoGroupWidth, plan/sampling_plan.h); a
+  /// nonzero N pins the cap (`--group-width auto|N` in the serving
+  /// benches). Execution-only, like plan_mode: never part of memo keys.
+  size_t group_width = 0;
 };
 
 /// Per-priority-class latency percentiles (snapshot computed by stats()
@@ -113,9 +128,19 @@ struct EngineStats {
 
   size_t planned_queries = 0;    ///< sampled walks served through plans
   size_t plan_batches = 0;       ///< batches that compiled a sampling plan
-  size_t plan_groups = 0;        ///< plan groups compiled (GEMM-fusion units)
+  size_t plan_trees = 0;         ///< plan trees compiled (GEMM-fusion units)
   size_t plan_shared_cols = 0;   ///< per-shard column walks saved by sharing
   size_t plan_walk_cols = 0;     ///< column walks the sequential path runs
+  /// Column walks the flat PR 3 single-level wildcard grouping would have
+  /// saved on the same batches (the compiler computes both);
+  /// plan_shared_cols - plan_flat_shared_cols is what multi-depth forking
+  /// and constrained-prefix sharing added on top.
+  size_t plan_flat_shared_cols = 0;
+  /// Deepest fork nesting over all compiled trees (0 = no forks: every
+  /// tree was a single chain; 1 = the flat one-fork shape).
+  size_t plan_max_depth = 0;
+  /// Widest single fork (children at one node) over all compiled trees.
+  size_t plan_max_fanout = 0;
   size_t workspaces_created = 0; ///< sampler workspaces ever created (churn)
 
   /// Requests shed with DEADLINE_EXCEEDED: their deadline had already
@@ -305,7 +330,7 @@ class InferenceEngine {
   /// Serves the batch's unresolved sampled requests through a compiled
   /// SamplingPlan (prefix sharing + stacked GEMMs, grouping split by
   /// per-request budget); fills (*out)[rep.index] and memoizes each
-  /// completed result. Reps whose plan group was abandoned mid-walk (all
+  /// completed result. Reps whose plan tree was abandoned mid-walk (all
   /// sharers expired) resolve with DEADLINE_EXCEEDED and are never
   /// memoized. compute_ms per rep = its resolve_ms + the fused planned
   /// segment's elapsed time (group work is shared, so the segment is

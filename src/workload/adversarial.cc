@@ -45,10 +45,23 @@ Query MakeCandidate(const Table& table, const AdversarialScenario& s,
   const size_t span = max_f - min_f + 1;
   size_t f = min_f + attempt % span;
 
+  const size_t rows = table.num_rows();
+
+  // `lead` columns are withheld from the random filter draw: left
+  // unconstrained (wildcard prefix) or pinned to a shared template tuple
+  // (shared literal prefix).
   size_t lead = 0;
-  if (s.shape == PredicateShape::kWildcardPrefix && num_cols > 1) {
+  size_t template_row = 0;
+  const bool shared_prefix =
+      s.shape == PredicateShape::kSharedLiteralPrefix && num_cols > 1;
+  if ((s.shape == PredicateShape::kWildcardPrefix || shared_prefix) &&
+      num_cols > 1) {
     lead = 1 + (attempt / span) % (num_cols - 1);
     f = std::min(f, num_cols - lead);
+    // A handful of template tuples shared across candidates, so many pool
+    // entries carry IDENTICAL leading (column, literal) pairs — the
+    // constrained prefixes plan trees fuse. Deterministic in `attempt`.
+    if (shared_prefix) template_row = (((attempt / span) % 4) * 131) % rows;
   }
 
   std::vector<size_t> cols;
@@ -57,13 +70,21 @@ Query MakeCandidate(const Table& table, const AdversarialScenario& s,
   rng->Shuffle(&cols);
   f = std::min(f, cols.size());
 
-  const size_t rows = table.num_rows();
   const size_t anchor =
       row_zipf != nullptr ? row_zipf->Sample(rng) : rng->UniformInt(rows);
   const bool cold = s.skew == SkewKind::kZipfCold;
 
   std::vector<Predicate> preds;
-  preds.reserve(f);
+  preds.reserve(lead + f);
+  if (shared_prefix) {
+    for (size_t c = 0; c < lead; ++c) {
+      Predicate p;
+      p.column = c;
+      p.op = CompareOp::kEq;
+      p.literal = table.column(c).code(template_row);
+      preds.push_back(std::move(p));
+    }
+  }
   for (size_t k = 0; k < f; ++k) {
     const size_t col = cols[k];
     const size_t domain = table.column(col).DomainSize();
@@ -77,6 +98,7 @@ Query MakeCandidate(const Table& table, const AdversarialScenario& s,
       switch (s.shape) {
         case PredicateShape::kPoint:
         case PredicateShape::kWildcardPrefix:
+        case PredicateShape::kSharedLiteralPrefix:
           break;
         case PredicateShape::kRange: {
           const int64_t other =
@@ -236,6 +258,8 @@ const char* PredicateShapeToString(PredicateShape shape) {
       return "in_list";
     case PredicateShape::kWildcardPrefix:
       return "wildcard_prefix";
+    case PredicateShape::kSharedLiteralPrefix:
+      return "shared_literal_prefix";
   }
   return "?";
 }
@@ -464,6 +488,17 @@ std::vector<AdversarialScenario> AdversarialScenarioMatrix() {
     AdversarialScenario s;
     s.name = "wildcard_prefix_sweep";
     s.shape = PredicateShape::kWildcardPrefix;
+    matrix.push_back(std::move(s));
+  }
+  {  // Shared CONSTRAINED prefixes of every length: many pool entries pin
+     // their leading columns to the same few template tuples, the case
+     // where hierarchical plan trees share walk segments AND likelihood
+     // terms. Cyclic churn keeps the result caches out of the way so the
+     // plan path actually executes.
+    AdversarialScenario s;
+    s.name = "shared_literal_prefix_sweep";
+    s.shape = PredicateShape::kSharedLiteralPrefix;
+    s.churn = ChurnKind::kCyclicSweep;
     matrix.push_back(std::move(s));
   }
   {  // Cache-adversarial: cyclic sweep defeats LRU reuse, and a quarter of

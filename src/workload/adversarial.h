@@ -47,6 +47,10 @@ enum class PredicateShape : uint8_t {
   kRange,              ///< <= / >= / BETWEEN around an anchor tuple
   kInList,             ///< IN-lists whose members follow the data
   kWildcardPrefix,     ///< point filters behind a leading wildcard run
+  kSharedLiteralPrefix,  ///< leading equality literals drawn from a small
+                         ///< template set, so pool entries share identical
+                         ///< CONSTRAINED prefixes (the walk+likelihood
+                         ///< sharing case of hierarchical plan trees)
 };
 
 /// How anchor tuples / literals are drawn.

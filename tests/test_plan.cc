@@ -1,21 +1,24 @@
-// Tests for the sampling-plan layer (src/plan): plan compilation
-// (grouping, prefix lengths, the savings-maximizing partition) and plan
-// execution (shared prefix walks, forked suffix walks, stacked GEMMs).
-// The oracle throughout is bit-identity with the sequential
-// ProgressiveSampler for a fixed seed — across shard sizes, group
-// layouts, and thread counts.
+// Tests for the sampling-plan layer (src/plan): plan compilation (prefix
+// tries with multi-depth forking, constrained-prefix sharing, width
+// capping, the flat PR 3 mode) and plan execution (shared segment walks,
+// forked suffix walks, stacked GEMMs). The oracle throughout is
+// bit-identity with the sequential ProgressiveSampler for a fixed seed —
+// across shard sizes, tree shapes, kernels, and thread counts.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 #include <vector>
 
 #include "core/made.h"
 #include "core/oracle_model.h"
 #include "core/trainer.h"
+#include "core/transformer.h"
 #include "data/datasets.h"
 #include "plan/plan_executor.h"
 #include "plan/sampling_plan.h"
 #include "query/workload.h"
+#include "tensor/kernel.h"
 
 namespace naru {
 namespace {
@@ -89,12 +92,64 @@ TEST(Query, WildcardMaskAndLeadingRun) {
             2u);
 }
 
-TEST(SamplingPlan, GroupsByLeadingWildcardRun) {
+TEST(SamplingPlan, FlatModeGroupsByLeadingWildcardRun) {
   Table t = PlanTable(5);
   auto model = PlanModel(t, 5);
-  // Runs: 3, 3, 0, 2, 2 — the optimal partition merges all four
-  // wildcard-led queries into ONE group at prefix 2 (savings 2·3 = 6,
-  // beating {3,3}+{2,2} = 5) and isolates the run-0 query.
+  // Runs: 3, 3, 0, 2, 2 — the PR 3 savings-maximizing partition merges all
+  // four wildcard-led queries into ONE group at prefix 2 (savings 2·3 = 6,
+  // beating {3,3}+{2,2} = 5) and isolates the run-0 query. In kFlat mode
+  // each group is a depth-1 tree: a [0, prefix) root plus one leaf per
+  // member.
+  const std::vector<Query> queries = {
+      QueryOn(t, {3, 4}), QueryOn(t, {3, 5}), QueryOn(t, {0, 2}),
+      QueryOn(t, {2, 3}), QueryOn(t, {2, 5})};
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  SamplingPlanOptions opts;
+  opts.mode = PlanMode::kFlat;
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, opts);
+  ASSERT_EQ(plan.queries.size(), 5u);
+  EXPECT_EQ(plan.queries[0].wildcard_run, 3u);
+  EXPECT_EQ(plan.queries[2].wildcard_run, 0u);
+  EXPECT_EQ(plan.queries[3].wildcard_run, 2u);
+  EXPECT_EQ(plan.queries[0].last_col, 4);
+
+  ASSERT_EQ(plan.trees.size(), 2u);
+  EXPECT_EQ(plan.SharedColumns(), 6u);  // prefix 2 shared by 4 queries
+  EXPECT_EQ(plan.FlatSharedColumns(), 6u);  // flat mode IS the flat bound
+  size_t grouped = 0;
+  for (const auto& tree : plan.trees) {
+    grouped += tree.members.size();
+    EXPECT_LE(tree.fork_depth, 1u);  // flat trees fork at most once
+    if (tree.members.size() > 1) {
+      // The shared root never exceeds any member's wildcard run.
+      const PlanTreeNode& root = tree.nodes[0];
+      for (size_t m : tree.members) {
+        EXPECT_LE(root.end, plan.queries[m].wildcard_run);
+      }
+      EXPECT_EQ(root.end, 2u);
+      EXPECT_EQ(tree.max_fanout, tree.members.size());
+    }
+  }
+  EXPECT_EQ(grouped, 5u);
+  EXPECT_GT(plan.PrefixShareRatio(), 0.0);
+}
+
+// Hand-checked trie construction: multi-depth forking plus constrained-
+// prefix sharing. Queries (constrained columns, Interval [1,2] each):
+//   q0 {3,4}  q1 {3,5}  q2 {0,2}  q3 {2,3}  q4 {2,5}
+// Descriptor walk: q2 constrains column 0, everyone else is wildcard
+// there, so the root is a pure fork ([0,0)). q0/q1/q3/q4 share [0,2)
+// (all wildcard); at column 2 the pair q3/q4 carries an IDENTICAL
+// constrained region (shared constrained prefix) while q0/q1 are
+// wildcard. q0/q1 then share [2,4) — column 3 constrained the same way —
+// and fork at column 4. Savings, per shard:
+//   [0,2)·(4-1) = 6,  [2,4)·(2-1) = 2,  q3/q4 [2,3)·(2-1) = 1   → 9
+// versus the flat single-level bound of 6 (one group of four at prefix 2).
+TEST(SamplingPlan, TrieSharesMultiDepthAndConstrainedPrefixes) {
+  Table t = PlanTable(5);
+  auto model = PlanModel(t, 5);
   const std::vector<Query> queries = {
       QueryOn(t, {3, 4}), QueryOn(t, {3, 5}), QueryOn(t, {0, 2}),
       QueryOn(t, {2, 3}), QueryOn(t, {2, 5})};
@@ -102,34 +157,60 @@ TEST(SamplingPlan, GroupsByLeadingWildcardRun) {
   for (const auto& q : queries) ptrs.push_back(&q);
 
   const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs);
-  ASSERT_EQ(plan.queries.size(), 5u);
-  EXPECT_EQ(plan.queries[0].wildcard_run, 3u);
-  EXPECT_EQ(plan.queries[2].wildcard_run, 0u);
-  EXPECT_EQ(plan.queries[3].wildcard_run, 2u);
-  EXPECT_EQ(plan.queries[0].last_col, 4);
+  ASSERT_EQ(plan.trees.size(), 1u);  // everything under the default cap
+  const PlanTree& tree = plan.trees[0];
+  EXPECT_EQ(tree.members.size(), 5u);
+  EXPECT_EQ(plan.WalkColumns(), 24u);    // 5 + 6 + 3 + 4 + 6
+  EXPECT_EQ(plan.SharedColumns(), 9u);   // hand-checked above
+  EXPECT_EQ(plan.FlatSharedColumns(), 6u);
+  EXPECT_EQ(plan.MaxForkDepth(), 3u);  // root -> [0,2) -> [2,4) -> leaves
+  EXPECT_EQ(plan.MaxFanout(), 2u);
 
-  ASSERT_EQ(plan.groups.size(), 2u);
-  EXPECT_EQ(plan.SharedPrefixColumns(), 6u);  // prefix 2 shared by 4 queries
-  size_t grouped = 0;
-  for (const auto& g : plan.groups) {
-    grouped += g.members.size();
-    // Members ordered by last_col descending (truncation invariant).
-    for (size_t i = 1; i < g.members.size(); ++i) {
-      EXPECT_GE(plan.queries[g.members[i - 1]].last_col,
-                plan.queries[g.members[i]].last_col);
+  // Structural invariants: children partition their parent's survivors,
+  // terminals finish exactly at their node's end.
+  std::set<size_t> seen;
+  for (const PlanTreeNode& node : tree.nodes) {
+    EXPECT_LE(node.begin, node.end);
+    for (size_t m : node.terminals) {
+      EXPECT_EQ(static_cast<size_t>(plan.queries[m].last_col) + 1, node.end);
+      EXPECT_TRUE(seen.insert(m).second);  // each query finishes once
     }
-    // The shared prefix never exceeds any member's run.
-    for (size_t m : g.members) {
-      EXPECT_LE(g.prefix_len, plan.queries[m].wildcard_run);
+    for (size_t c : node.children) {
+      EXPECT_EQ(tree.nodes[c].begin, node.end);
     }
   }
-  EXPECT_EQ(grouped, 5u);
-  EXPECT_GT(plan.PrefixShareRatio(), 0.0);
+  EXPECT_EQ(seen.size(), 5u);
 }
 
-TEST(SamplingPlan, GroupWidthCapSplitsEvenly) {
+TEST(SamplingPlan, GroupWidthCapSplitsFlatGroupsEvenly) {
   Table t = PlanTable(7);
   auto model = PlanModel(t, 7);
+  std::vector<Query> queries;
+  for (size_t i = 0; i < 10; ++i) queries.push_back(QueryOn(t, {2, 3 + i % 3}));
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  SamplingPlanOptions opts;
+  opts.mode = PlanMode::kFlat;
+  opts.max_group_width = 4;
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, opts);
+  size_t grouped = 0;
+  for (const auto& tree : plan.trees) {
+    EXPECT_LE(tree.members.size(), 4u);
+    ASSERT_GE(tree.nodes.size(), 1u);
+    EXPECT_EQ(tree.nodes[0].end, 2u);  // every piece keeps the shared prefix
+    grouped += tree.members.size();
+  }
+  EXPECT_EQ(grouped, 10u);
+  EXPECT_EQ(plan.trees.size(), 3u);  // 10 into pieces of <= 4
+}
+
+TEST(SamplingPlan, TreeModeWidthCapSplitsAtForkPoints) {
+  Table t = PlanTable(7);
+  auto model = PlanModel(t, 7);
+  // 10 queries, all sharing the constrained column 2; sub-shapes {2,3},
+  // {2,4}, {2,5} repeat, so the trie below the shared segment has three
+  // natural fork groups of sizes 4 / 3 / 3.
   std::vector<Query> queries;
   for (size_t i = 0; i < 10; ++i) queries.push_back(QueryOn(t, {2, 3 + i % 3}));
   std::vector<const Query*> ptrs;
@@ -139,13 +220,70 @@ TEST(SamplingPlan, GroupWidthCapSplitsEvenly) {
   opts.max_group_width = 4;
   const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, opts);
   size_t grouped = 0;
-  for (const auto& g : plan.groups) {
-    EXPECT_LE(g.members.size(), 4u);
-    EXPECT_EQ(g.prefix_len, 2u);  // every piece keeps the shared prefix
-    grouped += g.members.size();
+  for (const auto& tree : plan.trees) {
+    EXPECT_LE(tree.members.size(), 4u);
+    grouped += tree.members.size();
+    // Identical queries collapse into shared terminals, so even the split
+    // trees keep whole-walk sharing: every multi-member tree here fuses
+    // identical queries over their full walk.
+    if (tree.members.size() > 1) {
+      EXPECT_GT(plan.SharedColumns(), 0u);
+    }
   }
   EXPECT_EQ(grouped, 10u);
-  EXPECT_EQ(plan.groups.size(), 3u);  // 10 into pieces of <= 4
+  EXPECT_EQ(plan.trees.size(), 3u);  // the natural 4/3/3 fork groups
+}
+
+TEST(SamplingPlan, AutoGroupWidthScalesWithKernelAndModelWidth) {
+  // Fixed points of the heuristic, locked so serving behavior is explicit:
+  // unknown width falls back to the PR 3 cap; SIMD kernels stack more rows
+  // than scalar; wider models stack fewer; everything lands in [4, 64].
+  EXPECT_EQ(AutoGroupWidth(0, KernelKind::kSimd, 128), 32u);
+  EXPECT_GT(AutoGroupWidth(128, KernelKind::kSimd, 128),
+            AutoGroupWidth(128, KernelKind::kScalar, 128));
+  EXPECT_GE(AutoGroupWidth(64, KernelKind::kSimdInt8, 128),
+            AutoGroupWidth(64, KernelKind::kSimd, 128));
+  EXPECT_LE(AutoGroupWidth(1024, KernelKind::kSimd, 128),
+            AutoGroupWidth(128, KernelKind::kSimd, 128));
+  for (const KernelKind k :
+       {KernelKind::kScalar, KernelKind::kSimd, KernelKind::kSimdInt8}) {
+    for (const size_t hint : {size_t{0}, size_t{24}, size_t{256},
+                              size_t{4096}}) {
+      const size_t w = AutoGroupWidth(hint, k, 128);
+      EXPECT_GE(w, 4u) << "hint " << hint;
+      EXPECT_LE(w, 64u) << "hint " << hint;
+    }
+  }
+}
+
+TEST(SamplingPlan, MixedBudgetsNeverFuse) {
+  Table t = PlanTable(19);
+  auto model = PlanModel(t, 19);
+  // Six queries that would all share a wildcard prefix — but three carry a
+  // different per-request sample budget, so the compiler must partition
+  // them into budget classes before any tree is built.
+  std::vector<Query> queries;
+  for (size_t i = 0; i < 6; ++i) queries.push_back(QueryOn(t, {2, 3 + i % 2}));
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  SamplingPlanOptions opts;
+  opts.budgets = {100, 400, 100, 400, 100, 400};
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, opts);
+  size_t members = 0;
+  for (const PlanTree& tree : plan.trees) {
+    ASSERT_FALSE(tree.members.empty());
+    // Every member of a tree shares the tree's budget.
+    for (size_t m : tree.members) {
+      EXPECT_EQ(plan.queries[m].num_samples, tree.num_samples);
+    }
+    EXPECT_TRUE(tree.num_samples == 100 || tree.num_samples == 400);
+    members += tree.members.size();
+  }
+  EXPECT_EQ(members, 6u);
+  // Both budget classes share within themselves (3 queries each, common
+  // prefix) but the plan never fuses across classes.
+  EXPECT_GT(plan.SharedColumns(), 0u);
 }
 
 TEST(MadeModel, StackedRowsEvaluateBitIdentically) {
@@ -198,13 +336,19 @@ TEST(MadeModel, StackedRowsEvaluateBitIdentically) {
 }
 
 // The heart of the refactor: for randomized batches with mixed
-// leading-wildcard runs, planned execution is bit-identical to the
-// sequential per-query sampler — across shard sizes, group layouts, and
-// thread counts (estimates AND standard errors).
+// leading-wildcard runs AND shared constrained prefixes, planned execution
+// is bit-identical to the sequential per-query sampler — across shard
+// sizes, plan modes, tree shapes (the width cap changes fork depths and
+// fanouts), and thread counts (estimates AND standard errors).
 TEST(PlanExecutor, BitIdenticalToSequentialSampler) {
   Table t = PlanTable(11);
   auto model = PlanModel(t, 11);
-  const std::vector<Query> queries = MixedRunBatch(t, 24, 3, 131);
+  std::vector<Query> queries = MixedRunBatch(t, 24, 3, 131);
+  // Shared-constrained-prefix pairs: identical leading equality literals,
+  // diverging suffixes (the sharing flat plans cannot express).
+  queries.push_back(QueryOn(t, {0, 1, 3}));
+  queries.push_back(QueryOn(t, {0, 1, 4}));
+  queries.push_back(QueryOn(t, {0, 1, 5}));
   ASSERT_GE(queries.size(), 8u);
   std::vector<const Query*> ptrs;
   for (const auto& q : queries) ptrs.push_back(&q);
@@ -223,26 +367,130 @@ TEST(PlanExecutor, BitIdenticalToSequentialSampler) {
       want_se.push_back(se);
     }
 
-    for (const size_t group_width : {size_t{1}, size_t{3}, size_t{32}}) {
-      SamplingPlanOptions popts;
-      popts.max_group_width = group_width;
-      const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs, popts);
-      for (const size_t parallelism : {size_t{1}, size_t{0}}) {
-        PlanExecutionOptions opts;
-        opts.num_samples = 300;
-        opts.shard_size = shard_size;
-        opts.seed = 17;
-        opts.parallelism = parallelism;
-        std::vector<double> got, got_se;
-        ExecuteSamplingPlan(model.get(), plan, opts, &got, &got_se);
-        ASSERT_EQ(got.size(), queries.size());
-        for (size_t i = 0; i < queries.size(); ++i) {
-          EXPECT_EQ(got[i], want[i])
-              << "shard " << shard_size << " width " << group_width
-              << " parallelism " << parallelism << " query " << i;
-          EXPECT_EQ(got_se[i], want_se[i]) << "stderr, query " << i;
+    for (const PlanMode mode : {PlanMode::kTree, PlanMode::kFlat}) {
+      for (const size_t group_width : {size_t{1}, size_t{3}, size_t{32}}) {
+        SamplingPlanOptions popts;
+        popts.mode = mode;
+        popts.max_group_width = group_width;
+        const SamplingPlan plan =
+            CompileSamplingPlan(model.get(), ptrs, popts);
+        for (const size_t parallelism : {size_t{1}, size_t{0}}) {
+          PlanExecutionOptions opts;
+          opts.num_samples = 300;
+          opts.shard_size = shard_size;
+          opts.seed = 17;
+          opts.parallelism = parallelism;
+          std::vector<double> got, got_se;
+          ExecuteSamplingPlan(model.get(), plan, opts, &got, &got_se);
+          ASSERT_EQ(got.size(), queries.size());
+          for (size_t i = 0; i < queries.size(); ++i) {
+            EXPECT_EQ(got[i], want[i])
+                << "mode " << (mode == PlanMode::kTree ? "tree" : "flat")
+                << " shard " << shard_size << " width " << group_width
+                << " parallelism " << parallelism << " query " << i;
+            EXPECT_EQ(got_se[i], want_se[i]) << "stderr, query " << i;
+          }
         }
       }
+    }
+  }
+}
+
+// Same oracle across the inference kernels: each kernel changes the
+// numbers, but within a kernel the tree walk must match the sequential
+// walk bit for bit.
+TEST(PlanExecutor, BitIdenticalToSequentialAcrossKernels) {
+  Table t = PlanTable(23);
+  auto model = PlanModel(t, 23);
+  std::vector<Query> queries = MixedRunBatch(t, 12, 2, 137);
+  queries.push_back(QueryOn(t, {0, 1, 3}));
+  queries.push_back(QueryOn(t, {0, 1, 5}));
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  for (const KernelKind kernel :
+       {KernelKind::kScalar, KernelKind::kSimd, KernelKind::kSimdInt8}) {
+    model->SetInferenceKernel(kernel);
+
+    ProgressiveSamplerConfig scfg;
+    scfg.num_samples = 200;
+    scfg.shard_size = 64;
+    scfg.seed = 29;
+    ProgressiveSampler sampler(model.get(), scfg);
+    std::vector<double> want;
+    for (const auto& q : queries) {
+      want.push_back(sampler.EstimateSelectivity(q));
+    }
+
+    const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs);
+    for (const size_t parallelism : {size_t{1}, size_t{0}}) {
+      PlanExecutionOptions opts;
+      opts.num_samples = 200;
+      opts.shard_size = 64;
+      opts.seed = 29;
+      opts.parallelism = parallelism;
+      std::vector<double> got;
+      ExecuteSamplingPlan(model.get(), plan, opts, &got);
+      EXPECT_EQ(got, want) << "kernel " << KernelKindName(kernel)
+                           << " parallelism " << parallelism;
+    }
+  }
+  model->SetInferenceKernel(KernelKind::kScalar);
+}
+
+// The transformer no longer falls back to per-query forwards: it supports
+// stacked evaluation, and tree execution over its sessions is bit-
+// identical to its sequential walk.
+TEST(PlanExecutor, TransformerPlannedBitIdenticalToSequential) {
+  Table t = MakeRandomTable(400, {6, 5, 8, 4}, 31, /*skew=*/1.0);
+  TransformerModel::Config tcfg;
+  tcfg.d_model = 16;
+  tcfg.num_heads = 2;
+  tcfg.num_layers = 1;
+  tcfg.ffn_hidden = 32;
+  tcfg.seed = 31;
+  auto model = std::make_unique<TransformerModel>(
+      std::vector<size_t>{6, 5, 8, 4}, tcfg);
+  TrainerConfig trcfg;
+  trcfg.epochs = 1;
+  trcfg.batch_size = 128;
+  Trainer(model.get(), trcfg).Train(t);
+  ASSERT_TRUE(model->SupportsStackedEvaluation());
+  ASSERT_GT(model->StackedWidthHint(), 0u);
+
+  std::vector<Query> queries = {QueryOn(t, {2, 3}), QueryOn(t, {2}),
+                                QueryOn(t, {0, 1, 2}), QueryOn(t, {0, 1, 3}),
+                                QueryOn(t, {1, 3})};
+  std::vector<const Query*> ptrs;
+  for (const auto& q : queries) ptrs.push_back(&q);
+
+  ProgressiveSamplerConfig scfg;
+  scfg.num_samples = 128;
+  scfg.shard_size = 64;
+  scfg.seed = 41;
+  ProgressiveSampler sampler(model.get(), scfg);
+  std::vector<double> want, want_se;
+  for (const auto& q : queries) {
+    double se = 0;
+    want.push_back(sampler.EstimateWithStdError(q, &se));
+    want_se.push_back(se);
+  }
+
+  const SamplingPlan plan = CompileSamplingPlan(model.get(), ptrs);
+  EXPECT_GT(plan.SharedColumns(), 0u);
+  for (const size_t parallelism : {size_t{1}, size_t{0}}) {
+    PlanExecutionOptions opts;
+    opts.num_samples = 128;
+    opts.shard_size = 64;
+    opts.seed = 41;
+    opts.parallelism = parallelism;
+    std::vector<double> got, got_se;
+    ExecuteSamplingPlan(model.get(), plan, opts, &got, &got_se);
+    ASSERT_EQ(got.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "parallelism " << parallelism
+                                 << " query " << i;
+      EXPECT_EQ(got_se[i], want_se[i]) << "stderr, query " << i;
     }
   }
 }
@@ -272,8 +520,11 @@ TEST(PlanExecutor, PrefixShareSavesModelColumnCalls) {
             ValueSet::Interval(3, 1, 2)});
   const SamplingPlan plan =
       CompileSamplingPlan(&model, {&qa, &qb});
-  ASSERT_EQ(plan.groups.size(), 1u);
-  EXPECT_EQ(plan.groups[0].prefix_len, 2u);
+  ASSERT_EQ(plan.trees.size(), 1u);
+  // Shared root walks the 2-column wildcard prefix once for both members.
+  EXPECT_EQ(plan.trees[0].nodes[0].begin, 0u);
+  EXPECT_EQ(plan.trees[0].nodes[0].end, 2u);
+  EXPECT_EQ(plan.SharedColumns(), 2u);
 
   PlanExecutionOptions opts;
   opts.num_samples = 64;

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "core/oracle_model.h"
 #include "core/sampler.h"
@@ -289,6 +291,73 @@ TEST(Workload, InOperatorModeProducesSetRegions) {
     }
   }
   EXPECT_GT(in_preds, 100u);
+}
+
+TEST(Workload, SharedPrefixShapingRepeatsLeadingLiterals) {
+  Table t = MakeDmvLike(2000, 37);
+  WorkloadConfig cfg;
+  cfg.num_queries = 300;
+  cfg.min_filters = 1;
+  cfg.max_filters = 4;
+  cfg.shared_prefix_columns = 2;
+  cfg.shared_prefix_fraction = 0.5;
+  cfg.shared_prefix_templates = 2;
+  cfg.seed = 17;
+  const auto queries = GenerateWorkload(t, cfg);
+  ASSERT_EQ(queries.size(), 300u);
+
+  // Tally the literal pairs of queries that equality-constrain both leading
+  // columns; shaped queries all draw theirs from the pre-picked template
+  // tuples, so the same pairs recur across the trace.
+  std::map<std::pair<int64_t, int64_t>, size_t> pair_counts;
+  for (const auto& q : queries) {
+    int64_t lit0 = -1;
+    int64_t lit1 = -1;
+    std::set<size_t> cols;
+    for (const auto& p : q.predicates()) {
+      cols.insert(p.column);
+      if (p.column == 0 && p.op == CompareOp::kEq) lit0 = p.literal;
+      if (p.column == 1 && p.op == CompareOp::kEq) lit1 = p.literal;
+    }
+    EXPECT_EQ(cols.size(), q.predicates().size())
+        << "filters must stay on distinct columns";
+    EXPECT_LE(q.predicates().size(),
+              cfg.shared_prefix_columns + cfg.max_filters);
+    if (lit0 >= 0 && lit1 >= 0) ++pair_counts[{lit0, lit1}];
+  }
+  size_t prefixed = 0;
+  size_t heavy_pairs = 0;
+  for (const auto& entry : pair_counts) {
+    prefixed += entry.second;
+    if (entry.second >= 10) ++heavy_pairs;
+  }
+  // ~half the trace is shaped (fraction 0.5), and the shaped half reuses at
+  // most `shared_prefix_templates` distinct literal prefixes — exactly the
+  // repetition the plan trie forks on.
+  EXPECT_GE(prefixed, 100u);
+  EXPECT_GE(heavy_pairs, 1u);
+  EXPECT_LE(heavy_pairs, cfg.shared_prefix_templates);
+}
+
+TEST(Workload, SharedPrefixKnobsAreInertWhenFractionIsZero) {
+  // The shaping draws are gated on the knob, so switching it off must
+  // reproduce the unshaped workload bit for bit (same RNG stream).
+  Table t = MakeDmvLike(1500, 41);
+  WorkloadConfig base;
+  base.num_queries = 60;
+  base.min_filters = 2;
+  base.max_filters = 5;
+  base.seed = 23;
+  WorkloadConfig gated = base;
+  gated.shared_prefix_columns = 3;
+  gated.shared_prefix_templates = 4;
+  gated.shared_prefix_fraction = 0.0;
+  const auto a = GenerateWorkload(t, base);
+  const auto b = GenerateWorkload(t, gated);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(t), b[i].ToString(t));
+  }
 }
 
 TEST(Workload, InQueriesAgreeAcrossExecutorAndSampler) {

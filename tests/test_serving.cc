@@ -400,7 +400,7 @@ TEST(InferenceEngine, PrefixSharingBitIdenticalAcrossThreadsAndShards) {
 
       const auto stats = engine.stats();
       EXPECT_GT(stats.planned_queries, 0u);
-      EXPECT_GT(stats.plan_groups, 0u);
+      EXPECT_GT(stats.plan_trees, 0u);
       EXPECT_GT(stats.plan_shared_cols, 0u);  // prefixes actually shared
       EXPECT_GT(stats.prefix_share_ratio(), 0.0);
       EXPECT_GT(stats.workspaces_created, 0u);  // satellite: pool churn
