@@ -43,6 +43,19 @@
 //       workspace churn) on stderr at exit — including on SIGINT, which
 //       winds the loop down cleanly instead of discarding the counters.
 //
+//   naru_cli serve <data.csv> <model.bundle> --listen host:port [--tenant N]
+//       Network server: registers the model as one tenant in a
+//       ModelRegistry and serves it over TCP (net/server.h). SIGINT
+//       drains gracefully — in-flight requests resolve and flush before
+//       the socket closes.
+//
+//   naru_cli serve <data.csv> <queries.txt|-> --connect host:port [--tenant N]
+//       Network client: parses the SAME trace lines (tokens below) and
+//       sends them to a --listen server instead of estimating locally.
+//       Output is line-for-line identical to in-process serving; an
+//       admission-shed response additionally prints the server's
+//       `retry in <N> ms` back-off hint.
+//
 //       Serving knobs (flags map onto NARU_* env vars, see docs/SERVING.md):
 //         --async            stream through AsyncEngine (accept loop)
 //         --max-batch N      async micro-batch flush size   (default 64)
@@ -76,12 +89,16 @@
 #include "core/naru_estimator.h"
 #include "core/trainer.h"
 #include "data/csv_table.h"
+#include "net/client.h"
+#include "net/registry.h"
+#include "net/server.h"
 #include "query/executor.h"
 #include "query/compound.h"
 #include "query/parser.h"
 #include "serve/async_engine.h"
 #include "serve/inference_engine.h"
 #include "serve/request.h"
+#include "serve/trace_format.h"
 #include "tensor/kernel.h"
 #include "util/env_config.h"
 #include "util/quantile.h"
@@ -100,6 +117,10 @@ int Usage() {
                "  naru_cli truth <data.csv> \"<preds>\"\n"
                "  naru_cli serve <data.csv> <model.bundle> <queries.txt|-> "
                "[threads]\n"
+               "  naru_cli serve <data.csv> <model.bundle> --listen "
+               "host:port [--tenant NAME]\n"
+               "  naru_cli serve <data.csv> <queries.txt|-> --connect "
+               "host:port [--tenant NAME]\n"
                "    serve flags: --async --max-batch N --max-wait-ms X "
                "--max-pending N --cache-budget-mb N\n"
                "    estimate/serve: --kernel scalar|simd|simd_int8 "
@@ -165,49 +186,23 @@ void InstallSigintHandler() {
   sigaction(SIGINT, &sa, nullptr);
 }
 
-/// Parsed per-request trace prefix: `@<ms>` arrival, `^<class>` priority,
-/// `~<ms>` deadline budget. Fields keep their defaults when the token is
-/// absent.
-struct TracePrefix {
-  double arrival_ms = -1.0;   ///< negative = no timestamp
-  double deadline_ms = -1.0;  ///< negative = no deadline
-  RequestPriority priority = RequestPriority::kNormal;
-};
-
-/// Strips the optional `@<ms>` / `^<class>` / `~<ms>` tokens (any order)
-/// off the front of a trace line. `*rest` receives the predicate text.
-TracePrefix ParseTracePrefix(const std::string& line, std::string* rest) {
-  TracePrefix prefix;
-  const char* p = line.c_str();
-  for (;;) {
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '@' || *p == '~') {
-      char* end = nullptr;
-      const double ms = std::strtod(p + 1, &end);
-      if (end == p + 1 || ms < 0) break;  // malformed: leave for the parser
-      (*p == '@' ? prefix.arrival_ms : prefix.deadline_ms) = ms;
-      p = end;
-    } else if (*p == '^') {
-      const std::string_view tail(p + 1);
-      if (tail.rfind("high", 0) == 0) {
-        prefix.priority = RequestPriority::kHigh;
-        p += 5;
-      } else if (tail.rfind("low", 0) == 0) {
-        prefix.priority = RequestPriority::kLow;
-        p += 4;
-      } else if (tail.rfind("normal", 0) == 0) {
-        prefix.priority = RequestPriority::kNormal;
-        p += 7;
-      } else {
-        break;
-      }
-    } else {
-      break;
-    }
+/// Waits until `at_ms` after `trace_start` in short slices so SIGINT is
+/// honored promptly (sleep_until retries on EINTR). Returns false when
+/// interrupted. Shared by the async and --connect replay loops.
+bool ReplayWait(std::chrono::steady_clock::time_point trace_start,
+                double at_ms) {
+  const auto target =
+      trace_start +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(at_ms));
+  while (!g_interrupted) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= target) return true;
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            target - now, std::chrono::milliseconds(50)));
   }
-  while (*p == ' ' || *p == '\t') ++p;
-  *rest = p;
-  return prefix;
+  return false;
 }
 
 }  // namespace
@@ -283,25 +278,138 @@ int main(int raw_argc, char** raw_argv) {
   }
 
   if (cmd == "serve") {
-    if (argc < 5) return Usage();
+    const std::string listen_spec = GetEnvString("NARU_LISTEN", "");
+    const std::string connect_spec = GetEnvString("NARU_CONNECT", "");
+    const std::string tenant_name = GetEnvString("NARU_TENANT", "default");
+    if (!listen_spec.empty() && !connect_spec.empty()) {
+      std::fprintf(stderr,
+                   "error: --listen and --connect are mutually exclusive\n");
+      return 2;
+    }
+    const double num_rows = static_cast<double>(table.num_rows());
+    InstallSigintHandler();
+
+    if (!connect_spec.empty()) {
+      // Network client: serve <data.csv> <queries.txt|-> --connect
+      // host:port [--tenant NAME]. The model stays on the server — the
+      // client needs only the table schema to parse predicates into wire
+      // regions, and the SAME trace tokens (`@<ms>`, `^<class>`, `~<ms>`)
+      // mean the same thing they do in-process: the deadline crosses the
+      // wire as a relative budget the server pins to its own clock.
+      if (argc < 4) return Usage();
+      std::string host;
+      uint16_t port = 0;
+      Status st = ParseHostPort(connect_spec, &host, &port);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+      NetClient client;
+      st = client.Connect(host, port);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "# connected to %s:%u  tenant=%s\n", host.c_str(),
+                   port, tenant_name.c_str());
+
+      const std::string source = argv[3];
+      const bool from_stdin = source == "-";
+      std::ifstream file;
+      if (!from_stdin) {
+        file.open(source);
+        if (!file) {
+          std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
+          return 1;
+        }
+      }
+      std::istream& in = from_stdin ? std::cin : file;
+
+      QuantileSketch latency_ms;
+      uint64_t next_id = 0;
+      size_t rejected = 0;
+      std::string line;
+      std::string preds;
+      size_t lineno = 0;
+      const auto trace_start = std::chrono::steady_clock::now();
+      while (!g_interrupted && std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') continue;
+        const TracePrefix prefix = ParseTracePrefix(line, &preds);
+        if (prefix.arrival_ms >= 0 &&
+            !ReplayWait(trace_start, prefix.arrival_ms)) {
+          break;
+        }
+        auto disjuncts = ParseDisjunction(table, preds);
+        if (!disjuncts.ok() || disjuncts.ValueOrDie().size() != 1) {
+          std::fprintf(stderr, "error: line %zu rejected: %s\n", lineno,
+                       disjuncts.ok()
+                           ? "must be one conjunction"
+                           : disjuncts.status().ToString().c_str());
+          ++rejected;
+          continue;
+        }
+        const Query& query = disjuncts.ValueOrDie()[0];
+        WireEstimateRequest request;
+        request.request_id = ++next_id;
+        request.tenant = tenant_name;
+        request.regions = query.regions();
+        request.deadline_ms = prefix.deadline_ms;
+        request.priority = prefix.priority;
+        const std::string text = query.ToString(table);
+        const auto sent_at = std::chrono::steady_clock::now();
+        WireEstimateResponse response;
+        st = client.CallEstimate(request, &response);
+        if (!st.ok()) {
+          std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - sent_at;
+        latency_ms.Add(elapsed.count());
+        // Typed results cross the wire losslessly, so shed requests print
+        // the same NA line they would in-process — including the
+        // `retry in N ms` hint on an admission shed.
+        std::fputs(
+            FormatResultLine(FromWireResponse(response), num_rows, text)
+                .c_str(),
+            stdout);
+        std::fflush(stdout);
+      }
+
+      // Server-side view of the tenant on the way out, over the same
+      // socket (the STATS control verb).
+      WireControlRequest ctrl;
+      ctrl.request_id = ++next_id;
+      ctrl.verb = ControlVerb::kStats;
+      ctrl.tenant = tenant_name;
+      WireControlResponse ctrl_resp;
+      st = client.CallControl(ctrl, &ctrl_resp);
+      if (st.ok() && ctrl_resp.status_code == StatusCode::kOk) {
+        std::fputs(ctrl_resp.text.c_str(), stderr);
+      }
+      if (rejected > 0) {
+        std::fprintf(stderr, "# %zu lines rejected by the parser\n",
+                     rejected);
+      }
+      if (!latency_ms.empty()) {
+        std::fprintf(
+            stderr,
+            "# round-trip ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+            latency_ms.Quantile(0.5), latency_ms.Quantile(0.9),
+            latency_ms.Quantile(0.99), latency_ms.Max());
+      }
+      return 0;
+    }
+
+    // Remaining modes host the model in this process.
+    if (argc < 4) return Usage();
     auto model = LoadModelBundle(argv[3]);
     if (!model.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    model.status().ToString().c_str());
       return 1;
     }
-    const std::string source = argv[4];
-    const bool from_stdin = source == "-";
-    std::ifstream file;
-    if (!from_stdin) {
-      file.open(source);
-      if (!file) {
-        std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
-        return 1;
-      }
-    }
-    std::istream& in = from_stdin ? std::cin : file;
-
     const long long threads =
         argc >= 6 ? std::atoll(argv[5]) : GetEnvInt("NARU_THREADS", 0);
     if (threads < 0 || threads > 256) {
@@ -311,8 +419,6 @@ int main(int raw_argc, char** raw_argv) {
     MadeModel* m = model.ValueOrDie().get();
     NaruEstimatorConfig ncfg;
     ncfg.kernel = CliKernel();
-    NaruEstimator est(m, ncfg, m->SizeBytes());
-    const double num_rows = static_cast<double>(table.num_rows());
     // Dispatch probe up front: "simd" silently falling back to the
     // portable kernels is the first thing to rule out when serving is
     // slower than expected.
@@ -333,8 +439,90 @@ int main(int raw_argc, char** raw_argv) {
             : static_cast<size_t>(std::min<int64_t>(
                   std::max<int64_t>(GetEnvInt("NARU_GROUP_WIDTH", 0), 1),
                   4096));
+    AsyncEngineConfig acfg;
+    acfg.engine = ecfg;
+    acfg.max_batch_size = static_cast<size_t>(
+        std::max<int64_t>(GetEnvInt("NARU_MAX_BATCH", 64), 1));
+    acfg.max_wait_ms = GetEnvDouble("NARU_MAX_WAIT_MS", 2.0);
+    // 0 = unbounded; a bound sheds the lowest priority class first when
+    // submissions outrun the service rate (typed ResourceExhausted lines).
+    acfg.max_pending = static_cast<size_t>(
+        std::max<int64_t>(GetEnvInt("NARU_MAX_PENDING", 0), 0));
 
-    InstallSigintHandler();
+    if (!listen_spec.empty()) {
+      // Network server: serve <data.csv> <model.bundle> --listen
+      // host:port [--tenant NAME]. One tenant is registered under
+      // --tenant; every engine knob above becomes that tenant's isolated
+      // serving stack. Ctrl-C drains gracefully: in-flight requests
+      // resolve and their responses flush before the socket closes.
+      std::string host;
+      uint16_t port = 0;
+      Status st = ParseHostPort(listen_spec, &host, &port);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 2;
+      }
+      std::vector<size_t> domains;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        domains.push_back(table.column(c).DomainSize());
+      }
+      const size_t model_bytes = m->SizeBytes();
+      TenantOptions topts;
+      topts.estimator = ncfg;
+      topts.engine = acfg;
+      ModelRegistry registry;
+      st = registry.AddTenant(tenant_name, csv_path, table.num_rows(),
+                              std::move(domains),
+                              std::move(model).ValueOrDie(), model_bytes,
+                              topts);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      NetServerConfig scfg;
+      scfg.host = host;
+      scfg.port = port;
+      NetServer server(&registry, scfg);
+      st = server.Start();
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "# listening on %s:%u  tenant=%s  (Ctrl-C drains)\n",
+                   host.c_str(), server.port(), tenant_name.c_str());
+      while (!g_interrupted) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::fprintf(stderr, "# interrupted: draining in-flight requests\n");
+      server.Shutdown();
+      const NetServerStats ns = server.stats();
+      std::fprintf(stderr,
+                   "# net: %zu conns accepted, %zu frames, %zu submitted, "
+                   "%zu responses, %zu control, %zu protocol errors "
+                   "(%zu poisoned streams), %zu rejected, %zu orphaned\n",
+                   ns.connections_accepted, ns.frames_received,
+                   ns.requests_submitted, ns.responses_sent,
+                   ns.control_requests, ns.protocol_errors,
+                   ns.poisoned_streams, ns.rejected_requests,
+                   ns.orphaned_responses);
+      std::fputs(registry.FormatTenantStats("").c_str(), stderr);
+      return 0;
+    }
+
+    if (argc < 5) return Usage();
+    NaruEstimator est(m, ncfg, m->SizeBytes());
+    const std::string source = argv[4];
+    const bool from_stdin = source == "-";
+    std::ifstream file;
+    if (!from_stdin) {
+      file.open(source);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
+        return 1;
+      }
+    }
+    std::istream& in = from_stdin ? std::cin : file;
 
     if (!GetEnvBool("NARU_ASYNC", false)) {
       // Blocking mode: read the whole input, answer it as one typed
@@ -365,11 +553,7 @@ int main(int raw_argc, char** raw_argv) {
           return 1;
         }
         EstimateRequest req(disjuncts.ValueOrDie()[0]);
-        req.options.priority = prefix.priority;
-        if (prefix.deadline_ms >= 0) {
-          req.options.deadline =
-              EstimateOptions::DeadlineInMs(prefix.deadline_ms);
-        }
+        prefix.ApplyTo(&req.options);
         texts.push_back(req.query.ToString(table));
         requests.push_back(std::move(req));
       }
@@ -377,14 +561,8 @@ int main(int raw_argc, char** raw_argv) {
       std::vector<EstimateResult> results;
       engine.EstimateBatch(&est, requests, &results);
       for (size_t i = 0; i < results.size(); ++i) {
-        const EstimateResult& r = results[i];
-        if (r.ok()) {
-          std::printf("%.6g\t%.0f\t%s\n", r.estimate, r.estimate * num_rows,
-                      texts[i].c_str());
-        } else {
-          std::printf("NA\tNA\t%s\t# %s\n", texts[i].c_str(),
-                      r.status.ToString().c_str());
-        }
+        std::fputs(FormatResultLine(results[i], num_rows, texts[i]).c_str(),
+                   stdout);
       }
       if (g_interrupted) {
         std::fprintf(stderr, "# interrupted: served what was read\n");
@@ -397,15 +575,6 @@ int main(int raw_argc, char** raw_argv) {
     // replay timestamps), stream results out in submission order, report
     // latency percentiles. Parse errors are reported and skipped — an
     // accept loop must not die on one malformed request.
-    AsyncEngineConfig acfg;
-    acfg.engine = ecfg;
-    acfg.max_batch_size = static_cast<size_t>(
-        std::max<int64_t>(GetEnvInt("NARU_MAX_BATCH", 64), 1));
-    acfg.max_wait_ms = GetEnvDouble("NARU_MAX_WAIT_MS", 2.0);
-    // 0 = unbounded; a bound sheds the lowest priority class first when
-    // submissions outrun the service rate (typed ResourceExhausted lines).
-    acfg.max_pending = static_cast<size_t>(
-        std::max<int64_t>(GetEnvInt("NARU_MAX_PENDING", 0), 0));
     AsyncEngine engine(acfg);
 
     struct Slot {
@@ -425,13 +594,9 @@ int main(int raw_argc, char** raw_argv) {
         // arrive as typed results, never exceptions — report the one
         // request and keep the loop serving.
         const EstimateResult r = inflight.front().result.get();
-        if (r.ok()) {
-          std::printf("%.6g\t%.0f\t%s\n", r.estimate, r.estimate * num_rows,
-                      inflight.front().text.c_str());
-        } else {
-          std::printf("NA\tNA\t%s\t# %s\n", inflight.front().text.c_str(),
-                      r.status.ToString().c_str());
-        }
+        std::fputs(
+            FormatResultLine(r, num_rows, inflight.front().text).c_str(),
+            stdout);
         std::fflush(stdout);
         inflight.pop_front();
       }
@@ -445,23 +610,9 @@ int main(int raw_argc, char** raw_argv) {
       ++lineno;
       if (line.empty() || line[0] == '#') continue;
       const TracePrefix prefix = ParseTracePrefix(line, &preds);
-      const double at_ms = prefix.arrival_ms;
-      if (at_ms >= 0) {
-        // Replay: wait until this request's recorded arrival time. Sleep
-        // in short slices — sleep_until retries on EINTR, so one long
-        // sleep would ignore SIGINT for the rest of the replay gap.
-        const auto target =
-            trace_start +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double, std::milli>(at_ms));
-        while (!g_interrupted) {
-          const auto now = std::chrono::steady_clock::now();
-          if (now >= target) break;
-          std::this_thread::sleep_for(std::min<
-              std::chrono::steady_clock::duration>(
-              target - now, std::chrono::milliseconds(50)));
-        }
-        if (g_interrupted) break;
+      if (prefix.arrival_ms >= 0 &&
+          !ReplayWait(trace_start, prefix.arrival_ms)) {
+        break;
       }
       auto disjuncts = ParseDisjunction(table, preds);
       if (!disjuncts.ok() || disjuncts.ValueOrDie().size() != 1) {
@@ -472,11 +623,7 @@ int main(int raw_argc, char** raw_argv) {
         continue;
       }
       EstimateRequest request(disjuncts.ValueOrDie()[0]);
-      request.options.priority = prefix.priority;
-      if (prefix.deadline_ms >= 0) {
-        request.options.deadline =
-            EstimateOptions::DeadlineInMs(prefix.deadline_ms);
-      }
+      prefix.ApplyTo(&request.options);
       std::string text = request.query.ToString(table);
       const auto arrival = std::chrono::steady_clock::now();
       auto fut = engine.Submit(

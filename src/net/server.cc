@@ -1,0 +1,529 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace naru {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+NetServer::NetServer(ModelRegistry* registry, NetServerConfig config)
+    : registry_(registry), cfg_(std::move(config)) {}
+
+NetServer::~NetServer() {
+  Shutdown();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+}
+
+Status NetServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("cannot parse listen host '%s'", cfg_.host.c_str()));
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (listen(listen_fd_, cfg_.backlog) != 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(listen)");
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return Errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  if (!SetNonBlocking(wake_read_fd_) || !SetNonBlocking(wake_write_fd_)) {
+    return Errno("fcntl(pipe)");
+  }
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void NetServer::Shutdown() {
+  // Serialized and idempotent: the second caller (e.g. the destructor
+  // after an explicit Shutdown) finds the thread already joined.
+  std::lock_guard<std::mutex> shutdown_lock(state_mu_);
+  if (!io_thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+  {
+    // state_mu_ is already held; wait on a secondary predicate loop.
+    // quiesced_ is set by the I/O thread under state_mu_.
+    std::unique_lock<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.wait(lock, [this] { return quiesced_; });
+  }
+  // Every request the I/O thread will ever submit has been submitted;
+  // resolve them all. Callbacks land the responses in the outboxes.
+  registry_->DrainAll();
+  finish_requested_.store(true, std::memory_order_release);
+  Wake();
+  io_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void NetServer::Wake() {
+  const ssize_t n = write(wake_write_fd_, "w", 1);
+  (void)n;  // EAGAIN on a full pipe is fine: a wake is already pending
+}
+
+void NetServer::IoLoop() {
+  bool listen_closed = false;
+  bool quiesce_signaled = false;
+  std::chrono::steady_clock::time_point finish_deadline{};
+  bool finish_seen = false;
+
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  for (;;) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    const bool finishing = finish_requested_.load(std::memory_order_acquire);
+
+    if (stopping && !listen_closed) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listen_closed = true;
+    }
+    if (stopping && !quiesce_signaled) {
+      // From this iteration on no socket is read, so nothing new can be
+      // submitted: everything parsed so far went to the engines in
+      // earlier iterations of this same thread.
+      {
+        std::lock_guard<std::mutex> lock(quiesce_mu_);
+        quiesced_ = true;
+      }
+      quiesce_cv_.notify_all();
+      quiesce_signaled = true;
+    }
+    if (finishing && !finish_seen) {
+      finish_seen = true;
+      finish_deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                cfg_.drain_flush_timeout_ms));
+    }
+
+    // Finish phase: close connections as their outboxes drain; leave once
+    // none remain (or a non-reading client exhausts the flush budget).
+    if (finish_seen) {
+      std::vector<int> done;
+      for (auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->outbox.empty()) done.push_back(fd);
+      }
+      const bool expired = std::chrono::steady_clock::now() >= finish_deadline;
+      if (expired) {
+        done.clear();
+        for (auto& [fd, conn] : conns_) done.push_back(fd);
+      }
+      for (int fd : done) {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) CloseConn(it->second);
+      }
+      if (conns_.empty()) break;
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (!stopping && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const size_t conn_base = fds.size();
+    for (auto& [fd, conn] : conns_) {
+      short events = 0;
+      if (!stopping && !conn->stopped_reading && !conn->poisoned) {
+        events |= POLLIN;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->outbox.empty()) events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    const int timeout_ms = finish_seen ? 20 : 100;
+    const int n = poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0 && errno != EINTR) break;  // unrecoverable poll failure
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (!stopping && conn_base == 2 && (fds[1].revents & POLLIN)) {
+      AcceptReady();
+    }
+
+    std::vector<std::shared_ptr<Conn>> to_close;
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const std::shared_ptr<Conn>& conn = polled[i];
+      const short revents = fds[conn_base + i].revents;
+      bool dead = false;
+      if (revents & POLLIN) {
+        dead = !ReadReady(conn);
+      } else if (revents & (POLLERR | POLLHUP) &&
+                 !(revents & POLLOUT)) {
+        // No data direction left to service: if the peer reset the
+        // connection entirely, a read attempt reports it.
+        if (!conn->stopped_reading && !conn->poisoned) {
+          dead = !ReadReady(conn);
+        }
+      }
+      if (!dead) dead = !FlushOutbox(conn);
+      if (!dead) {
+        // Half-closed or poisoned connections linger only until their
+        // last response is out.
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if ((conn->poisoned || conn->stopped_reading) &&
+            conn->outbox.empty() && conn->inflight == 0) {
+          dead = true;
+        }
+      }
+      if (dead) to_close.push_back(conn);
+    }
+    for (const auto& conn : to_close) CloseConn(conn);
+  }
+
+  // Loop exit: everything left is force-closed (flush budget exhausted).
+  std::vector<std::shared_ptr<Conn>> rest;
+  rest.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) rest.push_back(conn);
+  for (const auto& conn : rest) CloseConn(conn);
+  if (!quiesce_signaled) {
+    // Abnormal exit (poll failure) — never leave Shutdown() waiting.
+    {
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      quiesced_ = true;
+    }
+    quiesce_cv_.notify_all();
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN / transient accept failure: poll again
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+bool NetServer::ReadReady(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  bool eof = false;
+  for (;;) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof = true;  // peer half-closed: parse what arrived, keep writing
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // hard socket error
+  }
+
+  // Reassemble and dispatch every complete frame in the buffer.
+  std::string_view view(conn->inbuf);
+  size_t pos = 0;
+  while (!conn->poisoned) {
+    Status prefix_error;
+    const size_t size = FrameSizeBytes(view.substr(pos),
+                                       cfg_.max_frame_payload, &prefix_error);
+    if (!prefix_error.ok()) {
+      // Unrecoverable: the reader cannot find the next frame boundary.
+      QueueError(conn, 0, prefix_error, /*fatal=*/true);
+      conn->poisoned = true;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.poisoned_streams;
+      }
+      pos = view.size();  // discard the rest of the stream
+      break;
+    }
+    if (size == 0) break;  // incomplete: wait for more bytes
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_received;
+    }
+    Frame frame;
+    const Status st = DecodeFrame(
+        view.substr(pos + kFrameHeaderBytes, size - kFrameHeaderBytes),
+        &frame);
+    if (!st.ok()) {
+      QueueError(conn, 0, st, /*fatal=*/false);
+    } else {
+      HandleFrame(conn, frame);
+    }
+    pos += size;
+  }
+  conn->inbuf.erase(0, pos);
+
+  if (eof) {
+    conn->stopped_reading = true;
+    const bool idle = [&] {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      return conn->outbox.empty() && conn->inflight == 0;
+    }();
+    if (idle && conn->inbuf.empty()) return false;  // nothing left to say
+    // A trailing partial frame at EOF is a truncated-frame malformation;
+    // nobody is listening for an error reply, so it is only counted.
+    if (!conn->inbuf.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      conn->inbuf.clear();
+    }
+  }
+  return true;
+}
+
+void NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                            const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kEstimateRequest:
+      HandleEstimate(conn, frame.request);
+      return;
+    case FrameType::kControlRequest:
+      HandleControl(conn, frame.control);
+      return;
+    default:
+      // Well-formed but nonsensical from a client (a response or error
+      // frame sent AT the server): rejected per-frame, stream survives.
+      QueueError(conn, 0,
+                 Status::InvalidArgument(StrFormat(
+                     "unexpected frame type %u from client",
+                     static_cast<unsigned>(frame.type))),
+                 /*fatal=*/false);
+      return;
+  }
+}
+
+void NetServer::HandleEstimate(const std::shared_ptr<Conn>& conn,
+                               const WireEstimateRequest& wire) {
+  const std::shared_ptr<Tenant> tenant = registry_->GetTenant(wire.tenant);
+  Status reject;
+  if (tenant == nullptr) {
+    reject = Status::NotFound(
+        StrFormat("no tenant named '%s'", wire.tenant.c_str()));
+  } else {
+    reject = tenant->ValidateRegions(wire.regions);
+  }
+  if (!reject.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_requests;
+    }
+    EstimateResult result;
+    result.status = reject;
+    result.provenance = ResultProvenance::kUnknown;
+    std::string bytes;
+    EncodeEstimateResponse(ToWireResponse(wire.request_id, result), &bytes);
+    QueueBytes(conn, std::move(bytes));
+    return;
+  }
+
+  EstimateRequest request =
+      ToEstimateRequest(wire, std::chrono::steady_clock::now());
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    ++conn->inflight;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_submitted;
+  }
+  const uint64_t id = wire.request_id;
+  std::shared_ptr<Conn> owner = conn;
+  // The future is intentionally dropped: delivery rides the callback. The
+  // tenant (and with it the engine and estimator) is captured so a
+  // concurrent DropTenant cannot tear the stack down under a live walk.
+  tenant->engine->Submit(
+      tenant->estimator.get(), std::move(request),
+      [this, owner, id, tenant](const EstimateResult& result) {
+        DeliverResult(owner, id, result);
+      });
+}
+
+void NetServer::HandleControl(const std::shared_ptr<Conn>& conn,
+                              const WireControlRequest& wire) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.control_requests;
+  }
+  WireControlResponse resp;
+  resp.request_id = wire.request_id;
+  switch (wire.verb) {
+    case ControlVerb::kList:
+      resp.text = registry_->FormatTenantList();
+      break;
+    case ControlVerb::kStats:
+      if (!wire.tenant.empty() && !registry_->HasTenant(wire.tenant)) {
+        resp.status_code = StatusCode::kNotFound;
+        resp.status_message =
+            StrFormat("no tenant named '%s'", wire.tenant.c_str());
+      } else {
+        resp.text = registry_->FormatTenantStats(wire.tenant);
+      }
+      break;
+  }
+  std::string bytes;
+  EncodeControlResponse(resp, &bytes);
+  QueueBytes(conn, std::move(bytes));
+}
+
+void NetServer::DeliverResult(const std::shared_ptr<Conn>& conn,
+                              uint64_t request_id,
+                              const EstimateResult& result) {
+  bool orphaned = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    --conn->inflight;
+    if (conn->closed) {
+      orphaned = true;
+    } else {
+      std::string bytes;
+      EncodeEstimateResponse(ToWireResponse(request_id, result), &bytes);
+      conn->outbox.push_back(std::move(bytes));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (orphaned) {
+      ++stats_.orphaned_responses;
+    } else {
+      ++stats_.responses_sent;
+    }
+  }
+  if (!orphaned) Wake();
+}
+
+void NetServer::QueueBytes(const std::shared_ptr<Conn>& conn,
+                           std::string bytes) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->closed) conn->outbox.push_back(std::move(bytes));
+}
+
+void NetServer::QueueError(const std::shared_ptr<Conn>& conn,
+                           uint64_t request_id, const Status& status,
+                           bool fatal) {
+  WireError err;
+  err.request_id = request_id;
+  err.status_code = status.code();
+  err.message = status.message();
+  err.fatal = fatal;
+  std::string bytes;
+  EncodeError(err, &bytes);
+  QueueBytes(conn, std::move(bytes));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+}
+
+bool NetServer::FlushOutbox(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    const std::string* front = nullptr;
+    size_t offset = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->outbox.empty()) return true;
+      // Deque references survive concurrent push_back; only this (I/O)
+      // thread ever pops, so the front stays valid outside the lock.
+      front = &conn->outbox.front();
+      offset = conn->outbox_offset;
+    }
+    const ssize_t n = send(conn->fd, front->data() + offset,
+                           front->size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // peer gone
+    }
+    offset += static_cast<size_t>(n);
+    if (offset == front->size()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->outbox.pop_front();
+      conn->outbox_offset = 0;
+    } else {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->outbox_offset = offset;
+      return true;  // kernel buffer full; POLLOUT resumes us
+    }
+  }
+}
+
+void NetServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->outbox.clear();
+  }
+  close(conn->fd);
+  conns_.erase(conn->fd);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+}  // namespace naru

@@ -1,0 +1,179 @@
+// TCP serving front-end: the socket accept loop over the model registry.
+//
+// One poll()-driven I/O thread owns every socket: it accepts connections,
+// reassembles length-prefixed frames (net/protocol.h) from per-connection
+// receive buffers, resolves the tenant in the registry, and feeds each
+// estimate request into that tenant's AsyncEngine::Submit. Results come
+// back on the tenant dispatchers' threads via the Submit callback, which
+// encodes the response into the owning connection's outbox and wakes the
+// I/O thread through a self-pipe — the I/O thread alone ever reads or
+// writes a socket, so connection state needs no per-field locking beyond
+// the outbox mutex the callbacks share.
+//
+// Requests are PIPELINED per connection: a client may stream any number
+// of frames without waiting, and responses return in COMPLETION order
+// (the request_id echo is the match key) — priorities, deadlines, and
+// admission control inside each tenant's engine decide completion order,
+// exactly as they do in-process.
+//
+// Malformed input (the robustness contract, tested in tests/test_net.cc):
+//   - unusable length prefix (over-limit, or too short for version+type):
+//     typed kError frame with fatal=true, then the connection closes —
+//     the stream cannot be resynchronized;
+//   - bad version / unknown type / truncated body / trailing bytes /
+//     out-of-range enum: typed kError frame, connection keeps serving;
+//   - unknown tenant / schema-mismatched query: typed kEstimateResponse
+//     carrying NotFound / InvalidArgument, id echoed;
+//   - a client that disconnects mid-frame or with requests in flight
+//     costs nothing: its in-flight results are dropped on delivery and
+//     every other connection is untouched.
+// In every case the server keeps serving the next request.
+//
+// Graceful drain: Shutdown() (idempotent, any thread — naru_cli calls it
+// on SIGINT) stops accepting and stops READING, waits for the I/O thread
+// to finish submitting what it already parsed, drains every tenant's
+// engine so each in-flight request resolves and its response lands in an
+// outbox, then flushes the outboxes and closes. No submitted request is
+// ever dropped by shutdown — a client that keeps reading receives every
+// response for every request the server read.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/registry.h"
+#include "util/status.h"
+
+namespace naru {
+
+struct NetServerConfig {
+  /// Listen address. Tests and the loopback bench bind 127.0.0.1.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; port() reports the bound one.
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Per-frame payload ceiling enforced on the length prefix before it is
+  /// trusted (protocol.h).
+  size_t max_frame_payload = kMaxFramePayloadBytes;
+  /// How long Shutdown keeps flushing pending response bytes to clients
+  /// that have stopped reading before giving up and closing anyway.
+  double drain_flush_timeout_ms = 5000.0;
+};
+
+/// I/O-thread counters (cumulative; snapshot via stats()).
+struct NetServerStats {
+  size_t connections_accepted = 0;
+  size_t connections_closed = 0;
+  size_t frames_received = 0;        ///< well-delimited frames read
+  size_t requests_submitted = 0;     ///< estimate requests handed to engines
+  size_t responses_sent = 0;         ///< estimate responses queued for write
+  size_t control_requests = 0;       ///< STATS/LIST verbs served
+  size_t protocol_errors = 0;        ///< typed kError frames sent
+  size_t poisoned_streams = 0;       ///< connections closed on a bad prefix
+  size_t rejected_requests = 0;      ///< unknown tenant / schema mismatch
+  /// Responses whose connection was already gone at delivery time (the
+  /// client disconnected with requests in flight).
+  size_t orphaned_responses = 0;
+};
+
+/// The socket front-end. One instance serves every tenant in `registry`;
+/// the registry (and therefore every tenant engine) must outlive the
+/// server. Start() spawns the I/O thread; Shutdown() (or destruction)
+/// drains and joins it.
+class NetServer {
+ public:
+  explicit NetServer(ModelRegistry* registry, NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O thread. IOError on any socket
+  /// failure (address in use, bad host, ...).
+  Status Start();
+
+  /// The bound port (after a successful Start; 0 before).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain, safe from any thread and idempotent: stop accepting,
+  /// stop reading, resolve everything in flight through the registry's
+  /// engines, flush every outbox, close, join.
+  void Shutdown();
+
+  NetServerStats stats() const;
+
+ private:
+  /// Per-connection state. The I/O thread owns fd/inbuf/reading; the
+  /// outbox block is shared with engine callbacks under `mu`.
+  struct Conn {
+    int fd = -1;
+    std::string inbuf;
+    bool poisoned = false;     ///< bad length prefix: close after flush
+    bool stopped_reading = false;
+
+    std::mutex mu;
+    std::deque<std::string> outbox;  ///< encoded frames awaiting write
+    size_t outbox_offset = 0;        ///< bytes of outbox.front() already sent
+    size_t inflight = 0;             ///< submitted, response not yet queued
+    bool closed = false;             ///< delivery after this is orphaned
+  };
+
+  void IoLoop();
+  void AcceptReady();
+  /// Reads, reassembles, decodes, dispatches. Returns false when the
+  /// connection is finished (EOF / error / poisoned stream drained).
+  bool ReadReady(const std::shared_ptr<Conn>& conn);
+  void HandleFrame(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  void HandleEstimate(const std::shared_ptr<Conn>& conn,
+                      const WireEstimateRequest& wire);
+  void HandleControl(const std::shared_ptr<Conn>& conn,
+                     const WireControlRequest& wire);
+  /// Engine-callback delivery path: encode under the outbox lock, wake
+  /// the I/O thread. Runs on tenant dispatcher threads.
+  void DeliverResult(const std::shared_ptr<Conn>& conn, uint64_t request_id,
+                     const EstimateResult& result);
+  /// Appends an already-encoded frame to the outbox (I/O thread path).
+  void QueueBytes(const std::shared_ptr<Conn>& conn, std::string bytes);
+  void QueueError(const std::shared_ptr<Conn>& conn, uint64_t request_id,
+                  const Status& status, bool fatal);
+  /// Non-blocking flush. Returns false when the socket died.
+  bool FlushOutbox(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void Wake();
+
+  ModelRegistry* registry_;
+  NetServerConfig cfg_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};  ///< stop accepting + reading
+  std::atomic<bool> finish_requested_{false};  ///< engines drained: flush+exit
+
+  std::mutex state_mu_;  ///< serializes Shutdown (idempotence)
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  bool quiesced_ = false;  ///< I/O thread has stopped submitting
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // I/O thread only
+
+  mutable std::mutex stats_mu_;
+  NetServerStats stats_;
+
+  std::thread io_thread_;
+};
+
+}  // namespace naru

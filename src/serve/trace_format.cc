@@ -1,0 +1,68 @@
+#include "serve/trace_format.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace naru {
+
+void TracePrefix::ApplyTo(EstimateOptions* options) const {
+  options->priority = priority;
+  if (deadline_ms >= 0) {
+    options->deadline = EstimateOptions::DeadlineInMs(deadline_ms);
+  }
+}
+
+TracePrefix ParseTracePrefix(const std::string& line, std::string* rest) {
+  TracePrefix prefix;
+  const char* p = line.c_str();
+  for (;;) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '@' || *p == '~') {
+      char* end = nullptr;
+      const double ms = std::strtod(p + 1, &end);
+      if (end == p + 1 || ms < 0) break;  // malformed: leave for the parser
+      (*p == '@' ? prefix.arrival_ms : prefix.deadline_ms) = ms;
+      p = end;
+    } else if (*p == '^') {
+      const std::string_view tail(p + 1);
+      if (tail.rfind("high", 0) == 0) {
+        prefix.priority = RequestPriority::kHigh;
+        p += 5;
+      } else if (tail.rfind("low", 0) == 0) {
+        prefix.priority = RequestPriority::kLow;
+        p += 4;
+      } else if (tail.rfind("normal", 0) == 0) {
+        prefix.priority = RequestPriority::kNormal;
+        p += 7;
+      } else {
+        break;
+      }
+    } else {
+      break;
+    }
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  *rest = p;
+  return prefix;
+}
+
+std::string FormatResultLine(const EstimateResult& result, double num_rows,
+                             const std::string& text) {
+  if (result.ok()) {
+    return StrFormat("%.6g\t%.0f\t%s\n", result.estimate,
+                     result.estimate * num_rows, text.c_str());
+  }
+  std::string line = StrFormat("NA\tNA\t%s\t# %s", text.c_str(),
+                               result.status.ToString().c_str());
+  if (result.status.code() == StatusCode::kResourceExhausted &&
+      result.retry_after_ms > 0) {
+    line += StrFormat(" (retry in %.0f ms)", result.retry_after_ms);
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace naru

@@ -1,0 +1,59 @@
+// Trace-line request format, shared by every serving front-end.
+//
+// A trace line is a predicate conjunction optionally prefixed (any order)
+// by:
+//   @<ms>    arrival timestamp, milliseconds since trace start — replay
+//            front-ends sleep until this instant before submitting
+//   ^high | ^normal | ^low
+//            priority class for the micro-batch dispatcher
+//   ~<ms>    soft deadline, milliseconds FROM SUBMISSION; an expired
+//            request is shed with a typed DeadlineExceeded result
+// e.g.  `@1250 ^high ~5 city=SF AND price<=100`
+//
+// One parser serves naru_cli's stdin serve loop, naru_cli --connect, and
+// bench_serving_net, so a token means exactly the same thing in-process
+// and over the wire: the network protocol carries the deadline as the
+// same relative budget (net/protocol.h pins it to the server clock at
+// decode, just as an in-process submit pins it to the local clock), and
+// priorities cross as the same enum.
+//
+// FormatResultLine is the other half of the contract: every front-end
+// prints one line per request in one format, including the retry_after_ms
+// hint on admission-shed (ResourceExhausted) results.
+#pragma once
+
+#include <string>
+
+#include "serve/request.h"
+
+namespace naru {
+
+/// Parsed per-request trace prefix. Fields keep their defaults when the
+/// token is absent.
+struct TracePrefix {
+  double arrival_ms = -1.0;   ///< negative = no timestamp
+  double deadline_ms = -1.0;  ///< negative = no deadline
+  RequestPriority priority = RequestPriority::kNormal;
+
+  /// Stamps priority and (when present) the relative deadline onto
+  /// `options`, pinning the deadline to the local clock now — the
+  /// in-process equivalent of what the server does at frame-decode time.
+  void ApplyTo(EstimateOptions* options) const;
+};
+
+/// Strips the optional `@<ms>` / `^<class>` / `~<ms>` tokens (any order)
+/// off the front of a trace line. `*rest` receives the predicate text.
+/// Malformed tokens are left in place for the predicate parser to reject.
+TracePrefix ParseTracePrefix(const std::string& line, std::string* rest);
+
+/// The one-line-per-request result format every front-end prints
+/// (trailing newline included):
+///   <selectivity>\t<cardinality>\t<query text>
+/// on success, and on failure
+///   NA\tNA\t<query text>\t# <status>
+/// with ` (retry in <N> ms)` appended when an admission-shed result
+/// carries a positive retry_after_ms hint.
+std::string FormatResultLine(const EstimateResult& result, double num_rows,
+                             const std::string& text);
+
+}  // namespace naru
