@@ -211,32 +211,39 @@ int Run() {
 
     // The matrix cells are SHAPED to trigger specific policies; a zero
     // counter on the triggering cell means the policy silently stopped
-    // firing — exactly the regression this bench exists to catch.
-    if (sc.expired_deadline_fraction > 0) {
-      if (stats.shed_deadline == 0) {
-        std::printf("!! %s: expected deadline sheds, saw none\n",
+    // firing — exactly the regression this bench exists to catch. The
+    // triggers are wall-clock-coupled (which shed path fires depends on
+    // whether a deadline expires before dispatch or mid-walk), so they
+    // are waived under NARU_SMOKE_NO_PERF_ASSERT (sanitizer slowdown
+    // shifts timing, not correctness); the conservation and typed-result
+    // checks above stay enforced.
+    if (PerfAssertsEnabled()) {
+      if (sc.expired_deadline_fraction > 0) {
+        if (stats.shed_deadline == 0) {
+          std::printf("!! %s: expected deadline sheds, saw none\n",
+                      sc.name.c_str());
+          ok = false;
+        }
+        // The storm cell is also where flush-order is observable: an
+        // UNBOUNDED deep backlog of interleaved classes (a bounded queue
+        // would evict exactly the older-lower requests the detector keys
+        // on).
+        if (astats.priority_flushes == 0) {
+          std::printf("!! %s: expected priority flushes, saw none\n",
+                      sc.name.c_str());
+          ok = false;
+        }
+      }
+      if (sc.arrival == ArrivalKind::kBursty && stats.shed_admission == 0) {
+        std::printf("!! %s: expected admission sheds, saw none\n",
                     sc.name.c_str());
         ok = false;
       }
-      // The storm cell is also where flush-order is observable: an
-      // UNBOUNDED deep backlog of interleaved classes (a bounded queue
-      // would evict exactly the older-lower requests the detector keys
-      // on).
-      if (astats.priority_flushes == 0) {
-        std::printf("!! %s: expected priority flushes, saw none\n",
+      if (sc.request_samples > 0 && stats.shed_midwalk == 0) {
+        std::printf("!! %s: expected mid-walk abandonments, saw none\n",
                     sc.name.c_str());
         ok = false;
       }
-    }
-    if (sc.arrival == ArrivalKind::kBursty && stats.shed_admission == 0) {
-      std::printf("!! %s: expected admission sheds, saw none\n",
-                  sc.name.c_str());
-      ok = false;
-    }
-    if (sc.request_samples > 0 && stats.shed_midwalk == 0) {
-      std::printf("!! %s: expected mid-walk abandonments, saw none\n",
-                  sc.name.c_str());
-      ok = false;
     }
     total_shed_deadline += stats.shed_deadline;
     total_shed_admission += stats.shed_admission;
@@ -273,8 +280,9 @@ int Run() {
       "%zu mid-walk abandonments, %zu priority flushes\n",
       total_shed_deadline, total_shed_admission, total_shed_midwalk,
       total_priority_flushes);
-  if (total_shed_deadline == 0 || total_shed_admission == 0 ||
-      total_shed_midwalk == 0 || total_priority_flushes == 0) {
+  if (PerfAssertsEnabled() &&
+      (total_shed_deadline == 0 || total_shed_admission == 0 ||
+       total_shed_midwalk == 0 || total_priority_flushes == 0)) {
     ok = false;
   }
   std::printf("every overload policy exercised: %s\n",

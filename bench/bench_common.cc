@@ -180,6 +180,10 @@ void PrintBanner(const std::string& experiment, const std::string& detail) {
   std::printf("==============================================================\n");
 }
 
+bool PerfAssertsEnabled() {
+  return GetEnvInt("NARU_SMOKE_NO_PERF_ASSERT", 0) == 0;
+}
+
 size_t BudgetBytes(const Table& table, double fraction) {
   const double raw = static_cast<double>(table.EstimatedRawBytes());
   return std::max<size_t>(static_cast<size_t>(raw * fraction), 256 * 1024);

@@ -118,6 +118,14 @@ void PrintErrorTable(const std::string& title,
 /// Prints a banner for the experiment.
 void PrintBanner(const std::string& experiment, const std::string& detail);
 
+/// False when NARU_SMOKE_NO_PERF_ASSERT=1: wall-clock-sensitive pass/fail
+/// checks (throughput floors, deadline-coupled shed-rate windows) are
+/// reported but not enforced. The sanitizer CI legs set it — a 5-20x
+/// TSan/ASan slowdown says nothing about a perf regression — while
+/// correctness asserts (error bounds, conservation counters, determinism)
+/// stay enforced unconditionally.
+bool PerfAssertsEnabled();
+
 /// Storage budget for a dataset: `fraction` of the raw table bytes, floored
 /// so miniature runs keep baselines functional (sizes are printed so the
 /// comparison stays honest).

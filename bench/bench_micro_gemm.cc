@@ -197,10 +197,13 @@ int Run() {
   json.SetConfig("made_hidden_simd_speedup", made_hidden_simd_speedup);
   json.Write();
 
-  if (smoke && DetectedSimdLevel() == SimdLevel::kAvx2 &&
+  if (smoke && PerfAssertsEnabled() &&
+      DetectedSimdLevel() == SimdLevel::kAvx2 &&
       made_hidden_simd_speedup < 1.2) {
     // Lenient CI floor: shared runners are noisy, so the tripwire is well
-    // under the 2x acceptance target.
+    // under the 2x acceptance target. Waived entirely under
+    // NARU_SMOKE_NO_PERF_ASSERT (sanitizer legs): instrumentation skews
+    // the scalar/simd ratio, not just absolute time.
     std::printf("FAIL: smoke speedup floor 1.2x not met (%.2fx)\n",
                 made_hidden_simd_speedup);
     ok = false;

@@ -298,8 +298,12 @@ int Run() {
       shedding_ok = false;
     }
     // With a burst of 3 interleaved classes against 8-wide flushes, the
-    // dispatcher must have jumped the FIFO order at least once.
-    if (trace.size() >= 32 && astats.priority_flushes == 0) {
+    // dispatcher must have jumped the FIFO order at least once. Whether a
+    // backlog forms is scheduling-timing-coupled, so the trigger is
+    // waived under NARU_SMOKE_NO_PERF_ASSERT (sanitizer legs) — the
+    // typed-shed and bit-identity checks above stay enforced.
+    if (PerfAssertsEnabled() && trace.size() >= 32 &&
+        astats.priority_flushes == 0) {
       shedding_ok = false;
     }
     std::printf("shedding path typed and counted: %s\n",

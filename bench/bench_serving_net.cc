@@ -92,7 +92,10 @@ ClientRun DriveTenant(uint16_t port, const std::string& tenant,
     run.failed = trace.size();
     return run;
   }
-  client.SetRecvTimeoutMs(120000);
+  if (!client.SetRecvTimeoutMs(120000).ok()) {
+    run.failed = trace.size();
+    return run;
+  }
 
   std::unordered_map<uint64_t, size_t> index_of;
   std::unordered_map<uint64_t, SteadyClock::time_point> sent_at;

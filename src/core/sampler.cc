@@ -10,7 +10,7 @@ namespace naru {
 
 std::unique_ptr<SamplerWorkspace> SamplerWorkspacePool::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!free_.empty()) {
       auto ws = std::move(free_.back());
       free_.pop_back();
@@ -23,17 +23,17 @@ std::unique_ptr<SamplerWorkspace> SamplerWorkspacePool::Acquire() {
 
 void SamplerWorkspacePool::Release(std::unique_ptr<SamplerWorkspace> ws) {
   if (ws == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_.push_back(std::move(ws));
 }
 
 size_t SamplerWorkspacePool::total_created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return created_;
 }
 
 size_t SamplerWorkspacePool::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return free_.size();
 }
 
@@ -185,6 +185,10 @@ double ProgressiveSampler::EstimateWithOptions(const Query& query,
   // Shared mid-walk abandonment flag: the first shard to observe
   // `options.deadline` expired (between columns, never inside a kernel)
   // sets it, and every other shard bails at its next column boundary.
+  // Relaxed order at every touch — the flag is monotonic (false -> true)
+  // and publishes nothing: an abandoned walk's partial sums are
+  // discarded below, and completed shard sums are published by the
+  // thread pool's completion edge, not by this flag.
   std::atomic<bool> walk_abandoned{false};
   auto run_shard = [&](size_t k) {
     if (walk_abandoned.load(std::memory_order_relaxed)) return;

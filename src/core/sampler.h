@@ -28,13 +28,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/conditional_model.h"
 #include "query/query.h"
 #include "util/deadline.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -81,9 +81,9 @@ class SamplerWorkspacePool {
   size_t available() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<SamplerWorkspace>> free_;
-  size_t created_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<SamplerWorkspace>> free_ NARU_GUARDED_BY(mu_);
+  size_t created_ NARU_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII lease of a SamplerWorkspace from a pool.

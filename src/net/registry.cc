@@ -49,7 +49,7 @@ Status ModelRegistry::AddTenant(const std::string& name,
       tenant->model.get(), options.estimator, model_size_bytes, name);
   tenant->engine = std::make_unique<AsyncEngine>(options.engine);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.count(name) != 0) {
     return Status::AlreadyExists(
         StrFormat("tenant '%s' is already registered", name.c_str()));
@@ -59,19 +59,19 @@ Status ModelRegistry::AddTenant(const std::string& name,
 }
 
 bool ModelRegistry::HasTenant(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.count(name) != 0;
 }
 
 std::shared_ptr<Tenant> ModelRegistry::GetTenant(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second;
 }
 
 Status ModelRegistry::DropTenant(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.erase(name) == 0) {
     return Status::NotFound(
         StrFormat("no tenant named '%s'", name.c_str()));
@@ -82,7 +82,7 @@ Status ModelRegistry::DropTenant(const std::string& name) {
 std::vector<std::string> ModelRegistry::TenantNames() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     names.reserve(tenants_.size());
     for (const auto& [name, tenant] : tenants_) names.push_back(name);
   }
@@ -91,7 +91,7 @@ std::vector<std::string> ModelRegistry::TenantNames() const {
 }
 
 size_t ModelRegistry::NumTenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.size();
 }
 
@@ -101,7 +101,7 @@ void ModelRegistry::DrainAll() {
   // tenant).
   std::vector<std::shared_ptr<Tenant>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snapshot.reserve(tenants_.size());
     for (const auto& [name, tenant] : tenants_) snapshot.push_back(tenant);
   }

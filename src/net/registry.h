@@ -25,7 +25,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "core/naru_estimator.h"
 #include "serve/async_engine.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace naru {
 
@@ -118,8 +118,13 @@ class ModelRegistry {
   std::string FormatTenantStats(const std::string& name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+  /// Guards the catalog map only: a resolved shared_ptr<Tenant> is used
+  /// outside the lock (tenant stacks synchronize themselves), so no
+  /// tenant-level lock is ever taken while mu_ is held — registry is the
+  /// TOP of the lock hierarchy (registry -> tenant -> engine).
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_
+      NARU_GUARDED_BY(mu_);
 };
 
 }  // namespace naru

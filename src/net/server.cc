@@ -83,15 +83,15 @@ Status NetServer::Start() {
 void NetServer::Shutdown() {
   // Serialized and idempotent: the second caller (e.g. the destructor
   // after an explicit Shutdown) finds the thread already joined.
-  std::lock_guard<std::mutex> shutdown_lock(state_mu_);
+  MutexLock shutdown_lock(&state_mu_);
   if (!io_thread_.joinable()) return;
   stop_requested_.store(true, std::memory_order_release);
   Wake();
   {
     // state_mu_ is already held; wait on a secondary predicate loop.
-    // quiesced_ is set by the I/O thread under state_mu_.
-    std::unique_lock<std::mutex> lock(quiesce_mu_);
-    quiesce_cv_.wait(lock, [this] { return quiesced_; });
+    // quiesced_ is set by the I/O thread under quiesce_mu_.
+    MutexLock lock(&quiesce_mu_);
+    while (!quiesced_) quiesce_cv_.Wait(quiesce_mu_);
   }
   // Every request the I/O thread will ever submit has been submitted;
   // resolve them all. Callbacks land the responses in the outboxes.
@@ -103,7 +103,7 @@ void NetServer::Shutdown() {
 }
 
 NetServerStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
@@ -134,10 +134,10 @@ void NetServer::IoLoop() {
       // submitted: everything parsed so far went to the engines in
       // earlier iterations of this same thread.
       {
-        std::lock_guard<std::mutex> lock(quiesce_mu_);
+        MutexLock lock(&quiesce_mu_);
         quiesced_ = true;
       }
-      quiesce_cv_.notify_all();
+      quiesce_cv_.NotifyAll();
       quiesce_signaled = true;
     }
     if (finishing && !finish_seen) {
@@ -154,7 +154,7 @@ void NetServer::IoLoop() {
     if (finish_seen) {
       std::vector<int> done;
       for (auto& [fd, conn] : conns_) {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(&conn->mu);
         if (conn->outbox.empty()) done.push_back(fd);
       }
       const bool expired = std::chrono::steady_clock::now() >= finish_deadline;
@@ -182,7 +182,7 @@ void NetServer::IoLoop() {
         events |= POLLIN;
       }
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(&conn->mu);
         if (!conn->outbox.empty()) events |= POLLOUT;
       }
       fds.push_back({fd, events, 0});
@@ -221,7 +221,7 @@ void NetServer::IoLoop() {
       if (!dead) {
         // Half-closed or poisoned connections linger only until their
         // last response is out.
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(&conn->mu);
         if ((conn->poisoned || conn->stopped_reading) &&
             conn->outbox.empty() && conn->inflight == 0) {
           dead = true;
@@ -240,10 +240,10 @@ void NetServer::IoLoop() {
   if (!quiesce_signaled) {
     // Abnormal exit (poll failure) — never leave Shutdown() waiting.
     {
-      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      MutexLock lock(&quiesce_mu_);
       quiesced_ = true;
     }
-    quiesce_cv_.notify_all();
+    quiesce_cv_.NotifyAll();
   }
 }
 
@@ -263,7 +263,7 @@ void NetServer::AcceptReady() {
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     conns_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.connections_accepted;
   }
 }
@@ -298,7 +298,7 @@ bool NetServer::ReadReady(const std::shared_ptr<Conn>& conn) {
       QueueError(conn, 0, prefix_error, /*fatal=*/true);
       conn->poisoned = true;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(&stats_mu_);
         ++stats_.poisoned_streams;
       }
       pos = view.size();  // discard the rest of the stream
@@ -306,7 +306,7 @@ bool NetServer::ReadReady(const std::shared_ptr<Conn>& conn) {
     }
     if (size == 0) break;  // incomplete: wait for more bytes
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++stats_.frames_received;
     }
     Frame frame;
@@ -325,14 +325,14 @@ bool NetServer::ReadReady(const std::shared_ptr<Conn>& conn) {
   if (eof) {
     conn->stopped_reading = true;
     const bool idle = [&] {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       return conn->outbox.empty() && conn->inflight == 0;
     }();
     if (idle && conn->inbuf.empty()) return false;  // nothing left to say
     // A trailing partial frame at EOF is a truncated-frame malformation;
     // nobody is listening for an error reply, so it is only counted.
     if (!conn->inbuf.empty()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++stats_.protocol_errors;
       conn->inbuf.clear();
     }
@@ -373,7 +373,7 @@ void NetServer::HandleEstimate(const std::shared_ptr<Conn>& conn,
   }
   if (!reject.ok()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       ++stats_.rejected_requests;
     }
     EstimateResult result;
@@ -388,11 +388,11 @@ void NetServer::HandleEstimate(const std::shared_ptr<Conn>& conn,
   EstimateRequest request =
       ToEstimateRequest(wire, std::chrono::steady_clock::now());
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     ++conn->inflight;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.requests_submitted;
   }
   const uint64_t id = wire.request_id;
@@ -410,7 +410,7 @@ void NetServer::HandleEstimate(const std::shared_ptr<Conn>& conn,
 void NetServer::HandleControl(const std::shared_ptr<Conn>& conn,
                               const WireControlRequest& wire) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.control_requests;
   }
   WireControlResponse resp;
@@ -439,7 +439,7 @@ void NetServer::DeliverResult(const std::shared_ptr<Conn>& conn,
                               const EstimateResult& result) {
   bool orphaned = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     --conn->inflight;
     if (conn->closed) {
       orphaned = true;
@@ -450,7 +450,7 @@ void NetServer::DeliverResult(const std::shared_ptr<Conn>& conn,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     if (orphaned) {
       ++stats_.orphaned_responses;
     } else {
@@ -462,7 +462,7 @@ void NetServer::DeliverResult(const std::shared_ptr<Conn>& conn,
 
 void NetServer::QueueBytes(const std::shared_ptr<Conn>& conn,
                            std::string bytes) {
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(&conn->mu);
   if (!conn->closed) conn->outbox.push_back(std::move(bytes));
 }
 
@@ -477,7 +477,7 @@ void NetServer::QueueError(const std::shared_ptr<Conn>& conn,
   std::string bytes;
   EncodeError(err, &bytes);
   QueueBytes(conn, std::move(bytes));
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   ++stats_.protocol_errors;
 }
 
@@ -486,7 +486,7 @@ bool NetServer::FlushOutbox(const std::shared_ptr<Conn>& conn) {
     const std::string* front = nullptr;
     size_t offset = 0;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       if (conn->outbox.empty()) return true;
       // Deque references survive concurrent push_back; only this (I/O)
       // thread ever pops, so the front stays valid outside the lock.
@@ -502,11 +502,11 @@ bool NetServer::FlushOutbox(const std::shared_ptr<Conn>& conn) {
     }
     offset += static_cast<size_t>(n);
     if (offset == front->size()) {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       conn->outbox.pop_front();
       conn->outbox_offset = 0;
     } else {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       conn->outbox_offset = offset;
       return true;  // kernel buffer full; POLLOUT resumes us
     }
@@ -515,14 +515,14 @@ bool NetServer::FlushOutbox(const std::shared_ptr<Conn>& conn) {
 
 void NetServer::CloseConn(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     if (conn->closed) return;
     conn->closed = true;
     conn->outbox.clear();
   }
   close(conn->fd);
   conns_.erase(conn->fd);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   ++stats_.connections_closed;
 }
 

@@ -39,11 +39,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -52,6 +50,7 @@
 #include "net/protocol.h"
 #include "net/registry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace naru {
 
@@ -122,11 +121,15 @@ class NetServer {
     bool poisoned = false;     ///< bad length prefix: close after flush
     bool stopped_reading = false;
 
-    std::mutex mu;
-    std::deque<std::string> outbox;  ///< encoded frames awaiting write
-    size_t outbox_offset = 0;        ///< bytes of outbox.front() already sent
-    size_t inflight = 0;             ///< submitted, response not yet queued
-    bool closed = false;             ///< delivery after this is orphaned
+    Mutex mu;
+    std::deque<std::string> outbox
+        NARU_GUARDED_BY(mu);      ///< encoded frames awaiting write
+    size_t outbox_offset NARU_GUARDED_BY(mu) =
+        0;                        ///< bytes of outbox.front() already sent
+    size_t inflight NARU_GUARDED_BY(mu) =
+        0;                        ///< submitted, response not yet queued
+    bool closed NARU_GUARDED_BY(mu) =
+        false;                    ///< delivery after this is orphaned
   };
 
   void IoLoop();
@@ -159,19 +162,25 @@ class NetServer {
   int wake_write_fd_ = -1;
   uint16_t port_ = 0;
 
+  /// Lifecycle flags, release-stored / acquire-loaded: each one-way flip
+  /// publishes the writer's preceding state to whoever observes it
+  /// (Start's socket setup before running_, Shutdown's drain before
+  /// finish_requested_), so readers never see the flag without the state
+  /// it advertises.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};  ///< stop accepting + reading
   std::atomic<bool> finish_requested_{false};  ///< engines drained: flush+exit
 
-  std::mutex state_mu_;  ///< serializes Shutdown (idempotence)
-  std::mutex quiesce_mu_;
-  std::condition_variable quiesce_cv_;
-  bool quiesced_ = false;  ///< I/O thread has stopped submitting
+  Mutex state_mu_;  ///< serializes Shutdown (idempotence)
+  Mutex quiesce_mu_;
+  CondVar quiesce_cv_;  ///< wakes Shutdown once the I/O thread quiesced
+  bool quiesced_ NARU_GUARDED_BY(quiesce_mu_) =
+      false;  ///< I/O thread has stopped submitting
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // I/O thread only
 
-  mutable std::mutex stats_mu_;
-  NetServerStats stats_;
+  mutable Mutex stats_mu_;
+  NetServerStats stats_ NARU_GUARDED_BY(stats_mu_);
 
   std::thread io_thread_;
 };

@@ -16,6 +16,10 @@ namespace {
 // has passed (abandon_deadline is their max; the shared inclusive expiry
 // predicate, util/deadline.h). Reads the shared flag first so sibling
 // shards of an already-abandoned tree bail without a clock read.
+// Memory order: RELAXED throughout — the flag is monotonic (0 -> 1,
+// never reset) and publishes no data: an abandoned tree's partial sums
+// are discarded unread, and the surviving trees' results are published
+// by the thread pool's completion edge, not by this flag.
 bool TreeExpired(const PlanTree& tree, std::atomic<uint8_t>* abandoned) {
   if (tree.abandon_deadline == kNoDeadline) return false;
   if (abandoned->load(std::memory_order_relaxed) != 0) return true;
@@ -208,7 +212,9 @@ void ExecuteSamplingPlan(ConditionalModel* model, const SamplingPlan& plan,
   // One abandonment flag per tree, shared by its (tree, shard) tasks:
   // the first task to observe the tree's abandon_deadline expired sets
   // it and every sibling bails at its next column boundary (or skips
-  // entirely, below).
+  // entirely, below). Relaxed order everywhere (see TreeExpired): the
+  // flag is monotonic and carries no payload — a late-observing sibling
+  // merely runs one extra column step.
   std::vector<std::atomic<uint8_t>> abandoned(plan.trees.size());
   for (auto& flag : abandoned) flag.store(0, std::memory_order_relaxed);
 

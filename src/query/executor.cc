@@ -32,6 +32,10 @@ int64_t ExecuteCount(const Table& table, const Query& query) {
   const auto filters = CompileFilters(query);
   if (filters.empty()) return static_cast<int64_t>(table.num_rows());
 
+  // Relaxed accumulator: per-chunk counts need only the fetch_add's RMW
+  // atomicity, and the final load happens after ParallelFor's internal
+  // completion edge (release/acquire in the pool) has already ordered
+  // every chunk's increment before it.
   std::atomic<int64_t> total{0};
   ParallelFor(
       0, table.num_rows(),
@@ -50,7 +54,7 @@ int64_t ExecuteCount(const Table& table, const Query& query) {
         total.fetch_add(local, std::memory_order_relaxed);
       },
       /*min_chunk=*/4096);
-  return total.load();
+  return total.load(std::memory_order_relaxed);
 }
 
 double ExecuteSelectivity(const Table& table, const Query& query) {

@@ -40,10 +40,10 @@ AsyncEngine::AsyncEngine(AsyncEngineConfig config)
 
 AsyncEngine::~AsyncEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   dispatcher_.join();
 }
 
@@ -51,6 +51,19 @@ size_t AsyncEngine::TotalPendingLocked() const {
   size_t total = 0;
   for (const auto& q : pending_) total += q.size();
   return total;
+}
+
+std::chrono::steady_clock::time_point AsyncEngine::OldestArrivalLocked()
+    const {
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const auto& q : pending_) {
+    if (!q.empty()) oldest = std::min(oldest, q.front().arrival);
+  }
+  return oldest;
+}
+
+bool AsyncEngine::DrainSatisfiedLocked(uint64_t watermark) const {
+  return outstanding_.empty() || *outstanding_.begin() >= watermark;
 }
 
 namespace {
@@ -129,7 +142,7 @@ std::future<EstimateResult> AsyncEngine::Submit(
   // per-request service time); attached to RESOURCE_EXHAUSTED results.
   double retry_ms = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.submitted;
     if (sharable) {
       auto it = inflight_.find(key);
@@ -285,18 +298,18 @@ std::future<EstimateResult> AsyncEngine::Submit(
       // Shed deliveries count toward the per-class queue-latency view
       // too: the caller waited that long for SOME answer. Joiners share
       // the victim's in-flight key, hence its priority class.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (double q : shed_queue_ms) class_queue_[shed_class].Add(q);
     }
     if (victim_evicted) {
       // The eviction freed a seq below some Drain watermark, and the
       // incoming request was enqueued: wake both sides.
-      drain_cv_.notify_all();
-      cv_.notify_all();
+      drain_cv_.NotifyAll();
+      cv_.NotifyAll();
     }
     return result;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return result;
 }
 
@@ -328,7 +341,7 @@ std::future<double> AsyncEngine::Submit(NaruEstimator* est, Query query,
 }
 
 void AsyncEngine::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Wait until no primary submitted before this call is still
   // outstanding. Priority flushing dispatches primaries out of
   // submission order, so the condition is set-emptiness below the
@@ -337,21 +350,19 @@ void AsyncEngine::Drain() {
   // below-watermark) primary does.
   const uint64_t watermark = next_seq_;
   ++drain_waiters_;
-  cv_.notify_all();  // flush pending work now instead of at the deadline
-  drain_cv_.wait(lock, [&] {
-    return outstanding_.empty() || *outstanding_.begin() >= watermark;
-  });
+  cv_.NotifyAll();  // flush pending work now instead of at the deadline
+  while (!DrainSatisfiedLocked(watermark)) drain_cv_.Wait(mu_);
   --drain_waiters_;
 }
 
 AsyncEngineStats AsyncEngine::async_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 EngineStats AsyncEngine::stats() const {
   EngineStats snapshot = engine_.stats();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snapshot.priority_flushes = stats_.priority_flushes;
   snapshot.shed_admission = stats_.shed_admission;
   snapshot.shed_expired_victims = stats_.expired_victims;
@@ -375,28 +386,24 @@ void AsyncEngine::DispatcherLoop() {
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(cfg_.max_wait_ms));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || TotalPendingLocked() > 0; });
-    if (TotalPendingLocked() == 0) return;  // stop_ and nothing left: done
+    while (!stop_ && TotalPendingLocked() == 0) cv_.Wait(mu_);
+    if (TotalPendingLocked() == 0) {  // stop_ and nothing left: done
+      mu_.Unlock();
+      return;
+    }
 
     // Let the micro-batch accumulate until it is full, the oldest pending
     // submission (across ALL priority classes — a waiting low-priority
     // request still bounds the flush latency) hits its deadline, or
     // someone needs results now.
-    const auto oldest_arrival = [&] {
-      auto oldest = std::chrono::steady_clock::time_point::max();
-      for (const auto& q : pending_) {
-        if (!q.empty()) oldest = std::min(oldest, q.front().arrival);
-      }
-      return oldest;
-    };
-    auto deadline = oldest_arrival() + max_wait;
+    auto deadline = OldestArrivalLocked() + max_wait;
     while (!stop_ && drain_waiters_ == 0 &&
            TotalPendingLocked() < cfg_.max_batch_size &&
            std::chrono::steady_clock::now() < deadline) {
-      cv_.wait_until(lock, deadline);
-      deadline = oldest_arrival() + max_wait;
+      cv_.WaitUntil(mu_, deadline);
+      deadline = OldestArrivalLocked() + max_wait;
     }
 
     // Cut one micro-batch off the queues, HIGHEST priority class first.
@@ -500,7 +507,7 @@ void AsyncEngine::DispatcherLoop() {
         }
       }
     }
-    lock.unlock();
+    mu_.Unlock();
 
     const auto flush_time = std::chrono::steady_clock::now();
     std::vector<NaruEstimator*> ests;
@@ -546,12 +553,12 @@ void AsyncEngine::DispatcherLoop() {
     // after this point starts a fresh computation that will hit the
     // engine's memo.
     size_t delivered = take;
-    lock.lock();
+    mu_.Lock();
     for (const Pending& p : batch) {
       if (!p.inflight_key.empty()) inflight_.erase(p.inflight_key);
       delivered += p.joiners->promises.size();
     }
-    lock.unlock();
+    mu_.Unlock();
 
     // Per-request delivery: each submitter's callback runs on the
     // dispatcher thread before ITS future becomes ready (DeliverResult).
@@ -578,7 +585,7 @@ void AsyncEngine::DispatcherLoop() {
       }
     }
 
-    lock.lock();
+    mu_.Lock();
     stats_.completed += delivered;
     for (const Pending& p : batch) outstanding_.erase(p.seq);
     const double per_req = batch_ms / static_cast<double>(take);
@@ -586,7 +593,7 @@ void AsyncEngine::DispatcherLoop() {
                            ? per_req
                            : 0.8 * ewma_service_ms_ + 0.2 * per_req;
     for (const auto& s : queue_samples) class_queue_[s.first].Add(s.second);
-    drain_cv_.notify_all();  // a Drain watermark may have been reached
+    drain_cv_.NotifyAll();  // a Drain watermark may have been reached
   }
 }
 

@@ -48,13 +48,11 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -64,6 +62,7 @@
 #include "serve/inference_engine.h"
 #include "serve/request.h"
 #include "util/latency_histogram.h"
+#include "util/thread_annotations.h"
 
 namespace naru {
 
@@ -245,48 +244,62 @@ class AsyncEngine {
                : static_cast<size_t>(RequestPriority::kNormal);
   }
 
-  void DispatcherLoop();
-  size_t TotalPendingLocked() const;
+  void DispatcherLoop() NARU_EXCLUDES(mu_);
+  size_t TotalPendingLocked() const NARU_REQUIRES(mu_);
+  /// Earliest arrival over every pending queue's front (time_point::max()
+  /// when nothing is pending); the dispatcher's flush-deadline anchor.
+  std::chrono::steady_clock::time_point OldestArrivalLocked() const
+      NARU_REQUIRES(mu_);
+  /// Drain's wait predicate: no primary sequenced before `watermark` is
+  /// still outstanding.
+  bool DrainSatisfiedLocked(uint64_t watermark) const NARU_REQUIRES(mu_);
 
   AsyncEngineConfig cfg_;
   InferenceEngine engine_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // wakes the dispatcher
-  std::condition_variable drain_cv_;  // wakes Drain waiters
+  /// One lock for the whole dispatcher state below: queues, duplicate
+  /// registry, drain bookkeeping and counters move together on every
+  /// submit/cut/delivery, so a single capability is both sufficient and
+  /// the only ordering-free choice.
+  mutable Mutex mu_;
+  CondVar cv_;        ///< wakes the dispatcher: work arrived, drain, stop
+  CondVar drain_cv_;  ///< wakes Drain waiters: outstanding_ shrank
   /// One FIFO queue per priority class (index = RequestPriority value).
   /// Micro-batches are cut highest class first; within a class,
   /// deadline-carrying requests tightest-first, deadline-free FIFO.
-  std::array<std::deque<Pending>, kNumPriorities> pending_;
+  std::array<std::deque<Pending>, kNumPriorities> pending_
+      NARU_GUARDED_BY(mu_);
   /// Pending deadline-CARRYING requests per class, maintained by every
   /// enqueue/cut/evict: the dispatcher's tightest-deadline pick only
   /// scans a queue when its count is nonzero, so the common all-
   /// deadline-free cut stays O(1) pop_front per slot under mu_.
-  std::array<size_t, kNumPriorities> pending_deadlines_{};
+  std::array<size_t, kNumPriorities> pending_deadlines_ NARU_GUARDED_BY(mu_){};
   /// Key -> joiner list of the computation currently pending or mid-walk
   /// for that key. Registered by Submit, unregistered by the dispatcher
   /// when the result is delivered (later duplicates then hit the engine's
   /// memo instead).
-  std::unordered_map<std::string, std::shared_ptr<Joiners>> inflight_;
-  size_t drain_waiters_ = 0;    // active Drain calls: flush immediately
-  bool stop_ = false;
-  AsyncEngineStats stats_;
+  std::unordered_map<std::string, std::shared_ptr<Joiners>> inflight_
+      NARU_GUARDED_BY(mu_);
+  size_t drain_waiters_ NARU_GUARDED_BY(mu_) = 0;  ///< active Drain calls
+  bool stop_ NARU_GUARDED_BY(mu_) = false;
+  AsyncEngineStats stats_ NARU_GUARDED_BY(mu_);
   /// Per-class queue-latency accumulation over every delivered result
   /// (admission sheds and joiners included — each waited its own time);
   /// stats() renders percentiles into EngineStats::class_latency.
-  std::array<LatencyHistogram, kNumPriorities> class_queue_;
+  std::array<LatencyHistogram, kNumPriorities> class_queue_
+      NARU_GUARDED_BY(mu_);
   /// Smoothed per-request service time across dispatched micro-batches
   /// (batch wall time / batch width, EWMA α=0.2); with the pending depth
   /// it prices the retry-after hint on admission-shed results.
-  double ewma_service_ms_ = 0.0;
+  double ewma_service_ms_ NARU_GUARDED_BY(mu_) = 0.0;
   /// Drain bookkeeping: sequence numbers of primaries submitted but not
   /// yet delivered. Priority flushing dispatches primaries OUT of
   /// submission order, so Drain(watermark) waits until no outstanding
   /// sequence number is below its watermark — which also covers every
   /// pre-watermark joiner, since a joiner's primary is always submitted
   /// (hence sequenced) before the joiner.
-  uint64_t next_seq_ = 0;
-  std::set<uint64_t> outstanding_;
+  uint64_t next_seq_ NARU_GUARDED_BY(mu_) = 0;
+  std::set<uint64_t> outstanding_ NARU_GUARDED_BY(mu_);
 
   std::thread dispatcher_;  // last member: joins before the rest dies
 };

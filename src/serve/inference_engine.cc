@@ -20,14 +20,13 @@ namespace {
 // two estimators' private engines) may serve one model concurrently. The
 // registry leaks one mutex per model pointer ever enumerated — bounded and
 // harmless (address reuse just shares a mutex).
-std::mutex& EnumerationMutexFor(const ConditionalModel* model) {
-  static std::mutex registry_mu;
+Mutex& EnumerationMutexFor(const ConditionalModel* model) {
+  static Mutex registry_mu;
   static auto* registry =
-      new std::unordered_map<const ConditionalModel*,
-                             std::unique_ptr<std::mutex>>();
-  std::lock_guard<std::mutex> lock(registry_mu);
+      new std::unordered_map<const ConditionalModel*, std::unique_ptr<Mutex>>();
+  MutexLock lock(&registry_mu);
   auto& slot = (*registry)[model];
-  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  if (slot == nullptr) slot = std::make_unique<Mutex>();
   return *slot;
 }
 
@@ -80,7 +79,7 @@ size_t InferenceEngine::num_threads() const {
 }
 
 EngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   EngineStats snapshot = stats_;
   for (const auto& [model, cache] : caches_) {
     (void)model;
@@ -163,14 +162,14 @@ std::string FormatEngineStats(const EngineStats& stats) {
 }
 
 void InferenceEngine::ClearCaches() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   caches_.clear();
   stats_ = EngineStats{};
   for (LatencyHistogram& h : class_compute_) h.Clear();
 }
 
 void InferenceEngine::ClearCachesFor(const ConditionalModel* model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   caches_.erase(model);
 }
 
@@ -196,7 +195,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   const size_t n = requests.size();
   out->assign(n, EstimateResult{});
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.queries += n;
   }
   if (n == 0) return;
@@ -218,7 +217,7 @@ void InferenceEngine::EstimateBatch(NaruEstimator* est,
   }
 
   const auto tally = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.shed_deadline += shed_count;
     for (size_t i = 0; i < n; ++i) {
       // Per-class compute attribution (duplicates inherit their
@@ -472,7 +471,7 @@ bool InferenceEngine::ResolveBeforeSampling(
   result->std_error = 0.0;
   result->samples_used = 0;
   if (query.HasEmptyRegion()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.exact_shortcuts;
     result->estimate = 0.0;
     result->provenance = ResultProvenance::kExact;
@@ -487,7 +486,7 @@ bool InferenceEngine::ResolveBeforeSampling(
   const bool cache_store =
       cfg_.enable_cache && cache_policy == CachePolicy::kReadWrite;
   if (cache_lookup) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (caches_[model].result_memo.Lookup(memo_key, &result->estimate)) {
       ++stats_.memo_hits;
       result->provenance = ResultProvenance::kCacheHit;
@@ -504,7 +503,7 @@ bool InferenceEngine::ResolveBeforeSampling(
     // the exact-path analogue of a mid-walk abandonment.
     bool enum_abandoned = false;
     {
-      std::lock_guard<std::mutex> lock(EnumerationMutexFor(model));
+      MutexLock lock(&EnumerationMutexFor(model));
       result->estimate = EnumerateSelectivity(model, query, /*batch=*/2048,
                                               deadline, &enum_abandoned);
     }
@@ -514,12 +513,12 @@ bool InferenceEngine::ResolveBeforeSampling(
       result->status =
           Status::DeadlineExceeded("deadline expired mid-enumeration");
       result->provenance = ResultProvenance::kShed;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.shed_midwalk;  // never memoized: there is no value to store
       return true;
     }
     result->provenance = ResultProvenance::kEnumerated;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.enumerated;
   } else {
     // Route on the sampler's own path classification so the engine's fast
@@ -529,7 +528,7 @@ bool InferenceEngine::ResolveBeforeSampling(
     if (path == ProgressiveSampler::Path::kAllWildcard) {
       result->estimate = 1.0;  // every position wildcard: immediate exit
       result->provenance = ResultProvenance::kExact;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.exact_shortcuts;
     } else if (path == ProgressiveSampler::Path::kLeadingOnly) {
       // P̂(X_0 ∈ R_0) depends only on the masked region, so repeated
@@ -539,7 +538,7 @@ bool InferenceEngine::ResolveBeforeSampling(
       result->provenance = ResultProvenance::kExact;
       bool hit = false;
       if (cache_lookup) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         auto& masses = caches_[model].leading_mass;
         if (masses.Lookup(region_key, &result->estimate)) {
           hit = true;
@@ -551,7 +550,7 @@ bool InferenceEngine::ResolveBeforeSampling(
       }
       if (!hit) {
         result->estimate = est->sampler()->LeadingOnlyMass(query);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.exact_shortcuts;
         if (cache_store) {
           stats_.marginal_evictions += caches_[model].leading_mass.Insert(
@@ -564,7 +563,7 @@ bool InferenceEngine::ResolveBeforeSampling(
   }
 
   if (cache_store) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.memo_evictions += caches_[model].result_memo.Insert(
         memo_key, result->estimate, cfg_.cache_budget_bytes);
   }
@@ -608,14 +607,14 @@ void InferenceEngine::EstimateOne(NaruEstimator* est, const Query& query,
     result->provenance = ResultProvenance::kShed;
     result->samples_used = 0;
     result->compute_ms = ElapsedMs(start);  // the burn before abandoning
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.shed_midwalk;  // never memoized: there is no value to store
     return;
   }
   result->provenance = ResultProvenance::kSampled;
   result->samples_used = eff_samples;
   result->compute_ms = ElapsedMs(start);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.sampled;
   if (cfg_.enable_cache && cache_policy == CachePolicy::kReadWrite) {
     stats_.memo_evictions += caches_[est->model()].result_memo.Insert(
@@ -692,7 +691,7 @@ void InferenceEngine::EstimatePlanned(
   // is charged the segment's elapsed time on top of its own resolve time.
   const double segment_ms = ElapsedMs(segment_start);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.planned_queries += reps.size();
   ++stats_.plan_batches;
   stats_.plan_trees += plan.trees.size();

@@ -28,7 +28,6 @@
 #include <array>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "serve/lru_cache.h"
 #include "serve/request.h"
 #include "util/latency_histogram.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -347,12 +347,16 @@ class InferenceEngine {
   std::unique_ptr<ThreadPool> own_pool_;
   SamplerWorkspacePool workspaces_;
 
-  mutable std::mutex mu_;  // caches + stats
-  std::unordered_map<const ConditionalModel*, ModelCache> caches_;
-  EngineStats stats_;
+  /// One lock for caches + stats: every per-request touch is a short
+  /// map/counter update, and a single capability keeps the hit-count and
+  /// occupancy columns of one stats() snapshot mutually consistent.
+  mutable Mutex mu_;
+  std::unordered_map<const ConditionalModel*, ModelCache> caches_
+      NARU_GUARDED_BY(mu_);
+  EngineStats stats_ NARU_GUARDED_BY(mu_);
   /// Per-priority-class compute_ms accumulation (index = RequestPriority
   /// value); stats() renders percentiles into EngineStats::class_latency.
-  std::array<LatencyHistogram, 3> class_compute_;
+  std::array<LatencyHistogram, 3> class_compute_ NARU_GUARDED_BY(mu_);
 };
 
 }  // namespace naru

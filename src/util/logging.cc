@@ -9,6 +9,10 @@
 namespace naru {
 
 namespace {
+// Lazily-initialized log level (-1 = unread). Relaxed order everywhere:
+// the value is a self-contained int — no other data is published through
+// it — and the CAS's RMW atomicity alone guarantees exactly one thread's
+// env read wins, so racing initializers still agree on the level.
 std::atomic<int> g_level{-1};
 
 int LoadLevel() {
@@ -16,8 +20,9 @@ int LoadLevel() {
   int from_env = static_cast<int>(GetEnvInt("NARU_LOG_LEVEL", 1));
   if (from_env < 0) from_env = 0;
   if (from_env > 4) from_env = 4;
-  g_level.compare_exchange_strong(expected, from_env);
-  return g_level.load();
+  g_level.compare_exchange_strong(expected, from_env,
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
 }
 
 const char* LevelName(LogLevel level) {
@@ -38,12 +43,15 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 LogLevel GetLogLevel() {
-  int level = g_level.load();
+  int level = g_level.load(std::memory_order_relaxed);
   if (level < 0) level = LoadLevel();
   return static_cast<LogLevel>(level);
 }
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  // Relaxed for the same reason as LoadLevel: the level is the only datum.
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;

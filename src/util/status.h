@@ -31,7 +31,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Lightweight success-or-error value. Ok Statuses carry no allocation.
-class Status {
+// [[nodiscard]]: a returned Status is an error-handling obligation — the
+// serving/net paths must never drop one silently, and the attribute makes
+// the compiler flag every call site that tries (see also
+// tools/check_repo_rules.py VOID_CALL, which rejects the (void)-cast
+// workaround under src/serve and src/net).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,169 @@
+// Clang thread-safety annotations + annotation-aware mutex primitives.
+//
+// The serving stack promises lock-discipline invariants in prose ("the
+// outbox block is shared with engine callbacks under mu", "caches +
+// stats" behind one engine mutex). This header turns those sentences into
+// machine-checked contracts: state is declared NARU_GUARDED_BY its mutex,
+// internal helpers declare NARU_REQUIRES, and a Clang build with
+// `-Wthread-safety -Werror=thread-safety` (CMake -DNARU_THREAD_SAFETY=ON;
+// the CI `lint` job runs it) refuses to compile an access outside the
+// lock. Under GCC — which has no thread-safety analysis — every macro
+// expands to nothing and the wrappers compile to the std primitives they
+// wrap, so the annotations are free everywhere the analysis cannot run.
+//
+// Use the wrappers, not the std types, for new synchronized state:
+//   naru::Mutex mu_;                    // capability the analysis tracks
+//   int value_ NARU_GUARDED_BY(mu_);    // enforced, not just documented
+//   naru::MutexLock lock(&mu_);         // scoped acquisition
+//   naru::CondVar cv_;                  // waits keep mu_ held (REQUIRES)
+// tools/check_repo_rules.py (the repo lint gate) rejects naked std::mutex
+// / std::condition_variable under src/ outside this header so the
+// analysis can never be quietly bypassed.
+//
+// Annotation-analysis caveat that shaped the call sites: Clang does not
+// propagate lock state into lambda bodies, so a cv-wait predicate written
+// as a capturing lambda would warn on every guarded read inside it. The
+// repo therefore writes waits as explicit loops over NARU_REQUIRES
+// predicate helpers:
+//   while (!ReadyLocked()) cv_.Wait(mu_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// The attribute spellings, active only where the analysis exists. GCC
+// defines __GNUC__ but not the capability attributes; probing
+// __has_attribute keeps the header correct for any future compiler.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define NARU_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NARU_THREAD_ANNOTATION
+#define NARU_THREAD_ANNOTATION(x)  // no analysis on this compiler
+#endif
+
+/// Declares that a member is protected by the given capability (mutex):
+/// reads require the lock held (shared or exclusive), writes require it
+/// exclusive.
+#define NARU_GUARDED_BY(x) NARU_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like NARU_GUARDED_BY for pointer members: the POINTED-TO data is
+/// guarded (the pointer itself may be read freely).
+#define NARU_PT_GUARDED_BY(x) NARU_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that a function may only be called with the capability held
+/// (and that it does not release it).
+#define NARU_REQUIRES(...) \
+  NARU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability (and returns with it
+/// held).
+#define NARU_ACQUIRE(...) \
+  NARU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the capability.
+#define NARU_RELEASE(...) \
+  NARU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts the capability, acquiring it exactly
+/// when it returns `result`.
+#define NARU_TRY_ACQUIRE(result, ...) \
+  NARU_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Declares that the caller must NOT hold the capability (deadlock
+/// documentation: public entry points that take the lock themselves).
+#define NARU_EXCLUDES(...) \
+  NARU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the capability that
+/// guards the returned/handed-out state.
+#define NARU_RETURN_CAPABILITY(x) \
+  NARU_THREAD_ANNOTATION(lock_returned(x))
+
+/// Marks a type as a capability the analysis tracks.
+#define NARU_CAPABILITY(x) NARU_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define NARU_SCOPED_CAPABILITY NARU_THREAD_ANNOTATION(scoped_lockable)
+
+/// Escape hatch: disables the analysis for one function. Reserve for
+/// provably-correct patterns the analysis cannot express; every use needs
+/// a comment saying why it is sound.
+#define NARU_NO_THREAD_SAFETY_ANALYSIS \
+  NARU_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace naru {
+
+/// An annotated std::mutex: the capability object NARU_GUARDED_BY /
+/// NARU_REQUIRES refer to. Also satisfies BasicLockable (lower-case
+/// lock/unlock) so std::condition_variable_any can release and reacquire
+/// it inside CondVar::Wait.
+class NARU_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NARU_ACQUIRE() { mu_.lock(); }
+  void Unlock() NARU_RELEASE() { mu_.unlock(); }
+  bool TryLock() NARU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable surface for std::condition_variable_any (CondVar
+  /// below). Annotated like Lock/Unlock so a stray direct use is tracked.
+  void lock() NARU_ACQUIRE() { mu_.lock(); }
+  void unlock() NARU_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped acquisition of a Mutex (the std::lock_guard analogue the
+/// analysis understands).
+class NARU_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) NARU_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() NARU_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable over naru::Mutex. Every wait REQUIRES the mutex:
+/// it is held at entry, released while blocked, and reacquired before
+/// returning — which is exactly what the analysis assumes when the
+/// annotation says "requires", so guarded predicate state may be read
+/// immediately before and after a wait. Write waits as explicit loops
+/// over NARU_REQUIRES predicate helpers (see the header comment):
+///   while (!ReadyLocked()) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — always re-check
+  /// the predicate in a loop).
+  void Wait(Mutex& mu) NARU_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until notified or `deadline`; std::cv_status::timeout when the
+  /// deadline passed.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      NARU_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace naru

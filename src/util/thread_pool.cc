@@ -16,30 +16,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
+      mu_.Lock();
+      while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
+      if (stop_ && tasks_.empty()) {
+        mu_.Unlock();
+        return;
+      }
       task = std::move(tasks_.front());
       tasks_.pop();
+      mu_.Unlock();
     }
     task();
   }
@@ -50,26 +54,41 @@ namespace {
 // that straggler helper tasks that wake after the call returned still see
 // valid memory (they only observe next >= num_chunks and exit).
 struct PforState {
+  /// Chunk-ticket counter. Relaxed is sufficient: the fetch_add's RMW
+  /// atomicity alone guarantees each chunk index is claimed exactly once,
+  /// and no data is published through this counter — the chunk's writes
+  /// are ordered by `done` below.
   std::atomic<size_t> next{0};
+  /// Completed-chunk count. Incremented with RELEASE after a chunk's
+  /// fn(lo, hi) writes, loaded with ACQUIRE by the waiting caller: the
+  /// final increment therefore publishes every chunk's writes to the
+  /// caller before ParallelFor returns.
   std::atomic<size_t> done{0};
   size_t begin = 0;
   size_t end = 0;
   size_t chunk = 1;
   size_t num_chunks = 0;
   std::function<void(size_t, size_t)> fn;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;  ///< wakes the ParallelFor caller once done == num_chunks
+
+  bool AllDone() const {
+    return done.load(std::memory_order_acquire) == num_chunks;
+  }
 
   void RunChunks() {
     for (;;) {
-      const size_t c = next.fetch_add(1);
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       const size_t lo = begin + c * chunk;
       const size_t hi = std::min(end, lo + chunk);
       fn(lo, hi);
-      if (done.fetch_add(1) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
+      if (done.fetch_add(1, std::memory_order_release) + 1 == num_chunks) {
+        // Empty critical section on purpose: it pairs with the waiter's
+        // predicate check under mu so the notify cannot slip between the
+        // waiter's check and its sleep.
+        { MutexLock lock(&mu); }
+        cv.NotifyAll();
       }
     }
   }
@@ -103,9 +122,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   }
   state->RunChunks();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock,
-                 [&] { return state->done.load() == state->num_chunks; });
+  state->mu.Lock();
+  while (!state->AllDone()) state->cv.Wait(state->mu);
+  state->mu.Unlock();
 }
 
 ThreadPool* GlobalThreadPool() {

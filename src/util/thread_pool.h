@@ -5,15 +5,14 @@
 // reused; ParallelFor partitions [begin, end) into contiguous chunks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace naru {
 
@@ -32,17 +31,17 @@ class ThreadPool {
   /// fn must be safe to call concurrently on disjoint ranges.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& fn,
-                   size_t min_chunk = 1);
+                   size_t min_chunk = 1) NARU_EXCLUDES(mu_);
 
  private:
-  void Submit(std::function<void()> task);
-  void WorkerLoop();
+  void Submit(std::function<void()> task) NARU_EXCLUDES(mu_);
+  void WorkerLoop() NARU_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ NARU_GUARDED_BY(mu_);
+  CondVar cv_;  ///< wakes workers: a task arrived or stop_ was set
+  bool stop_ NARU_GUARDED_BY(mu_) = false;
 };
 
 /// Process-wide pool sized to the hardware concurrency (capped at 16).

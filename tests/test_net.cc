@@ -828,6 +828,72 @@ TEST_F(NetServerTest, GracefulDrainDeliversEveryInFlightResponse) {
   EXPECT_EQ(stats.orphaned_responses, 0u);
 }
 
+// Concurrency regression (sanitizer matrix): Shutdown() racing in-flight
+// submissions from several client threads, with NO ordering barrier — the
+// shutdown lands while clients are mid-send, which is exactly where a race
+// between the I/O thread, the tenant dispatchers' delivery callbacks, and
+// the shutdown path would surface under TSan. The invariant is
+// conservation, not a fixed count: every request the server READ resolves
+// to a response that is either flushed to a still-reading client or
+// counted orphaned; clients see a clean EOF, never a hang or a crash.
+TEST_F(NetServerTest, ShutdownRacesInFlightSubmits) {
+  constexpr size_t kClients = 3;
+  std::atomic<size_t> pipelined{0};  // clients whose burst is fully sent
+  std::atomic<size_t> responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &pipelined, &responses] {
+      NetClient client;
+      if (!ConnectClient(&client).ok()) {
+        // Shutdown beat the connect — legal in this race, nothing to do.
+        pipelined.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t i = 0; i < beta_queries_.size(); ++i) {
+        // A send failing mid-burst is the race working as intended (the
+        // server stopped reading and closed); keep going to the read side.
+        if (!client
+                 .SendEstimate(
+                     MakeWire("beta", beta_queries_[i], c * 100 + i + 1))
+                 .ok()) {
+          break;
+        }
+      }
+      pipelined.fetch_add(1, std::memory_order_relaxed);
+      for (;;) {
+        Frame frame;
+        if (!client.ReadFrame(&frame).ok()) break;  // EOF after the drain
+        if (frame.type == FrameType::kEstimateResponse) {
+          EXPECT_EQ(frame.response.status_code, StatusCode::kOk);
+          const uint64_t id = frame.response.request_id;
+          EXPECT_EQ(Bits(frame.response.estimate),
+                    Bits(beta_ref_[(id % 100) - 1]));
+          responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Fire the shutdown as soon as ONE client has its whole burst in the
+  // socket: requests are then guaranteed in flight — parsed, queued, or
+  // mid-walk — while other clients may still be sending.
+  while (pipelined.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  std::thread shutdown([this] { server_.Shutdown(); });
+  for (auto& t : clients) t.join();
+  shutdown.join();
+
+  const NetServerStats stats = server_.stats();
+  // Conservation across the race: everything the server read was
+  // submitted, resolved, and its response accounted for — delivered to a
+  // reader or counted orphaned, never silently dropped.
+  EXPECT_EQ(stats.responses_sent + stats.orphaned_responses,
+            stats.requests_submitted);
+  // Clients read to EOF, so every flushed response reached one of them.
+  EXPECT_EQ(responses.load(std::memory_order_relaxed), stats.responses_sent);
+}
+
 TEST_F(NetServerTest, FloodedTenantDoesNotPerturbTheOther) {
   // Solo run: beta's trace alone, recording estimates and the engine
   // counters the run cost (beta's cache is off, so a repeat run does

@@ -25,6 +25,7 @@
 #include "serve/lru_cache.h"
 #include "serve/query_key.h"
 #include "serve/request.h"
+#include "util/env_config.h"
 
 namespace naru {
 namespace {
@@ -851,12 +852,17 @@ TEST(InferenceEngine, CacheHitComputeMsBelowSampledWalk) {
         << "planned " << planned;
     ASSERT_TRUE(out[1].provenance == ResultProvenance::kSampled ||
                 out[1].provenance == ResultProvenance::kPlannedGroup);
-    EXPECT_LT(out[0].compute_ms, out[1].compute_ms)
-        << "planned " << planned
-        << ": a cache hit must not be charged the batch's walk time";
-    // And across batches: the hit is cheaper than its own original walk.
-    EXPECT_LT(out[0].compute_ms, warm_out[0].compute_ms)
-        << "planned " << planned;
+    // Wall-clock-coupled ordering: a sanitizer's instrumentation can
+    // inflate a map lookup past a tiny walk, so the comparison (not the
+    // attribution mechanism) is waived under NARU_SMOKE_NO_PERF_ASSERT.
+    if (GetEnvInt("NARU_SMOKE_NO_PERF_ASSERT", 0) == 0) {
+      EXPECT_LT(out[0].compute_ms, out[1].compute_ms)
+          << "planned " << planned
+          << ": a cache hit must not be charged the batch's walk time";
+      // And across batches: the hit is cheaper than its own original walk.
+      EXPECT_LT(out[0].compute_ms, warm_out[0].compute_ms)
+          << "planned " << planned;
+    }
   }
 }
 

@@ -414,6 +414,68 @@ TEST(AsyncEngine, DrainCoversPendingWorkDespiteConcurrentJoins) {
   }
 }
 
+// Shutdown-path race: the destructor runs while submissions are still
+// pending and mid-walk. ~AsyncEngine's contract is "deliver everything
+// already accepted, then join the dispatcher" — so every future obtained
+// before destruction must be ready the instant the destructor returns,
+// carrying its real (bit-identical) result rather than a broken promise.
+// Multiple submitter threads racing each other right up to the
+// destruction point exercise the stop_/drain handshake from both sides;
+// under TSan this is the test that instruments destructor-vs-Submit.
+TEST(AsyncEngine, DestructorDeliversEverythingSubmittedBeforeIt) {
+  Table table = SmallTable(33);
+  auto model = SmallTrainedModel(table, 33);
+  const auto queries = AsyncQueries(table, 53);
+
+  NaruEstimatorConfig ncfg;
+  ncfg.num_samples = 300;  // slow walks: destruction lands mid-flight
+  ncfg.enumeration_threshold = 0;
+  NaruEstimator est(model.get(), ncfg, 0);
+
+  std::vector<double> sequential;
+  sequential.reserve(queries.size());
+  for (const auto& q : queries) {
+    sequential.push_back(est.EstimateSelectivity(q));
+  }
+
+  constexpr size_t kSubmitters = 3;
+  std::vector<std::vector<std::future<double>>> futures(kSubmitters);
+  {
+    AsyncEngineConfig acfg;
+    acfg.max_batch_size = 4;
+    acfg.max_wait_ms = 0.5;
+    acfg.engine.enable_cache = false;
+    AsyncEngine engine(acfg);
+
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        futures[t].reserve(queries.size());
+        for (const auto& q : queries) {
+          futures[t].push_back(engine.Submit(&est, q));
+        }
+      });
+    }
+    // Submit() on a destroyed engine is outside any contract, so the
+    // threads must be joined first — but nothing waits on the futures:
+    // the destructor fires while essentially all walks are queued or
+    // mid-batch on the dispatcher.
+    for (auto& th : submitters) th.join();
+  }  // ~AsyncEngine races the dispatcher + worker pool here.
+
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    ASSERT_EQ(futures[t].size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(futures[t][i].wait_for(std::chrono::seconds(0)),
+                std::future_status::ready)
+          << "submitter " << t << " query " << i
+          << " not delivered by the destructor";
+      EXPECT_EQ(futures[t][i].get(), sequential[i])
+          << "submitter " << t << " query " << i;
+    }
+  }
+}
+
 // Tentpole of the typed-API redesign: the legacy future<double> Submit is
 // a thin adapter over the typed surface, so both must agree bit-for-bit
 // with the sequential path, and typed results must carry provenance and

@@ -1,8 +1,11 @@
 // Unit tests for the utility substrate.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/env_config.h"
@@ -10,6 +13,7 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace naru {
@@ -203,6 +207,83 @@ TEST(EnvConfig, ParsesAndDefaults) {
   EXPECT_DOUBLE_EQ(GetEnvDouble("NARU_TEST_DBL", 0), 2.5);
   unsetenv("NARU_TEST_INT");
   unsetenv("NARU_TEST_DBL");
+}
+
+// The annotated Mutex/MutexLock/CondVar wrappers (util/thread_annotations.h)
+// are the only sanctioned sync primitives in src/ (tools/check_repo_rules.py
+// NAKED_SYNC) — exercise the whole surface so a wrapper regression cannot
+// hide behind the no-op GCC expansion of the annotations.
+// try_lock by the owning thread is UB on std::mutex, so held-ness is
+// always probed from a second thread here.
+bool TryLockFromOtherThread(Mutex* mu) NARU_NO_THREAD_SAFETY_ANALYSIS {
+  bool acquired = false;
+  std::thread prober([&] {
+    acquired = mu->TryLock();
+    if (acquired) mu->Unlock();
+  });
+  prober.join();
+  return acquired;
+}
+
+TEST(ThreadAnnotations, MutexExcludesAndTryLock) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(TryLockFromOtherThread(&mu));  // held: contender must fail
+  mu.Unlock();
+  EXPECT_TRUE(TryLockFromOtherThread(&mu));  // released: contender succeeds
+}
+
+TEST(ThreadAnnotations, MutexLockGuardsCounterAcrossThreads) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(ThreadAnnotations, CondVarWaitSeesNotifiedPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    mu.Lock();
+    // The repo-wide cv idiom: explicit predicate loop, never a lambda
+    // predicate (the thread-safety analysis cannot see into lambdas).
+    while (!ready) cv.Wait(mu);
+    observed = 42;
+    mu.Unlock();
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(ThreadAnnotations, CondVarWaitUntilTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  mu.Lock();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // No notifier exists: WaitUntil must return (timeout) with the lock
+  // re-acquired rather than blocking forever.
+  cv.WaitUntil(mu, deadline);
+  EXPECT_FALSE(TryLockFromOtherThread(&mu));  // lock re-acquired by waiter
+  mu.Unlock();
 }
 
 }  // namespace
